@@ -1,0 +1,47 @@
+"""Figure 10 + §5.2 headline: out-of-order commit with WritersBlock.
+
+Paper claims (shapes, not absolute numbers): OoO+WB is fastest, plain
+safe OoO commit sits between it and in-order commit; the stall breakdown
+shifts away from ROB-full under OoO commit; and WB further drains the
+LQ by committing M-speculative loads early.
+"""
+
+from repro.analysis.experiments import (
+    fig10_headline,
+    fig10_ooo_commit,
+    fig10_stall_table,
+    fig10_time_table,
+)
+from repro.analysis.tables import geometric_mean
+from repro.common.types import CommitMode
+
+from .conftest import core_count, selected_workloads, workload_scale
+
+
+def bench_fig10_commit_modes(benchmark, report):
+    rows = benchmark.pedantic(
+        fig10_ooo_commit,
+        kwargs=dict(benches=selected_workloads(), num_cores=core_count(),
+                    scale=workload_scale()),
+        rounds=1, iterations=1,
+    )
+    headline = fig10_headline(rows)
+    summary = "\n\n".join([
+        fig10_time_table(rows),
+        fig10_stall_table(rows),
+        "Headline (§5.2): "
+        f"OoO+WB over in-order: avg {headline['avg_improvement_over_inorder_pct']:.1f}% "
+        f"(max {headline['max_improvement_over_inorder_pct']:.1f}%); "
+        f"over safe OoO: avg {headline['avg_improvement_over_ooo_pct']:.1f}% "
+        f"(max {headline['max_improvement_over_ooo_pct']:.1f}%)",
+    ])
+    report("fig10_ooo_commit", summary)
+    # Shape assertions:
+    wb_geo = geometric_mean([r.norm_time(CommitMode.OOO_WB) for r in rows])
+    ooo_geo = geometric_mean([r.norm_time(CommitMode.OOO) for r in rows])
+    assert wb_geo < 1.0, f"OoO+WB must beat in-order on average ({wb_geo})"
+    assert wb_geo <= ooo_geo + 0.005, (wb_geo, ooo_geo)
+    assert headline["max_improvement_over_inorder_pct"] > 5.0
+    # WB eliminates consistency squashes entirely.
+    for row in rows:
+        assert row.results[CommitMode.OOO_WB].consistency_squashes == 0

@@ -1,0 +1,31 @@
+"""Table 6: the simulated system configuration.
+
+Regenerates the configuration table and asserts the exact paper values
+(issue width 4; IQ/ROB/LQ/SQ sizes per class; 32KB L1 / 128KB L2 / 1MB
+LLC bank; 4/12/35-cycle hits; 160-cycle memory; 6-cycle switches; 5/1
+flit messages).
+"""
+
+from repro.analysis.experiments import table6_text
+from repro.common.params import CORE_CLASSES, CacheParams, NetworkParams
+from repro.common.types import CTRL_MSG_FLITS, DATA_MSG_FLITS
+
+
+def validate_and_render():
+    slm, nhm, hsw = (CORE_CLASSES[k] for k in ("SLM", "NHM", "HSW"))
+    assert (slm.rob_entries, nhm.rob_entries, hsw.rob_entries) == (32, 128, 192)
+    assert (slm.lq_entries, nhm.lq_entries, hsw.lq_entries) == (10, 48, 72)
+    assert (slm.sq_entries, nhm.sq_entries, hsw.sq_entries) == (16, 36, 42)
+    cache = CacheParams()
+    assert cache.l1_hit_cycles == 4
+    assert cache.l2_hit_cycles == 12
+    assert cache.llc_hit_cycles == 35
+    assert cache.memory_cycles == 160
+    assert NetworkParams().switch_cycles == 6
+    assert (DATA_MSG_FLITS, CTRL_MSG_FLITS) == (5, 1)
+    return table6_text()
+
+
+def bench_table6_configuration(benchmark, report):
+    text = benchmark.pedantic(validate_and_render, rounds=1, iterations=1)
+    report("table6_config", text)

@@ -1,0 +1,60 @@
+"""Shared benchmark configuration.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_SCALE``   workload scale multiplier (default 1.0)
+``REPRO_BENCH_CORES``   core count (default 16; must be a square)
+``REPRO_BENCH_SET``     comma-separated workload names (default: the
+                        representative subset below)
+
+Each figure benchmark writes its regenerated table to
+``benchmarks/out/<name>.txt`` in addition to stdout, so EXPERIMENTS.md
+can be refreshed from the files.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+#: Representative subset: covers every sharing-pattern family while
+#: keeping the full `pytest benchmarks/` run to minutes.  Override with
+#: REPRO_BENCH_SET=all for the complete suite.
+DEFAULT_SET = (
+    "fft", "lu_ncb", "ocean_ncp", "radix", "barnes",
+    "bodytrack", "freqmine", "streamcluster", "swaptions",
+)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def workload_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "2.0"))
+
+
+def core_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_CORES", "16"))
+
+
+def selected_workloads():
+    names = os.environ.get("REPRO_BENCH_SET")
+    if not names:
+        return DEFAULT_SET
+    if names.strip() == "all":
+        from repro.workloads import ALL_WORKLOADS
+        return tuple(sorted(ALL_WORKLOADS))
+    return tuple(name.strip() for name in names.split(","))
+
+
+def write_report(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def report():
+    return write_report

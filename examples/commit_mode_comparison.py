@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Compare commit policies on the synthetic benchmark suite.
+
+Reproduces the Figure 10 experiment on a configurable workload subset:
+normalized execution time and commit-stall breakdown for in-order
+commit, Bell-Lipasti safe OoO commit, and OoO commit + WritersBlock.
+
+Run:  python examples/commit_mode_comparison.py [workload ...]
+      (default: bodytrack freqmine streamcluster)
+"""
+
+import sys
+
+from repro.analysis.experiments import (
+    fig10_headline,
+    fig10_ooo_commit,
+    fig10_stall_table,
+    fig10_time_table,
+)
+
+
+def main():
+    benches = sys.argv[1:] or ["bodytrack", "freqmine", "streamcluster"]
+    print(f"Running {benches} under 3 commit modes "
+          f"(16 cores, SLM class; this takes a minute or two)...\n")
+    rows = fig10_ooo_commit(benches, scale=1.0)
+    print(fig10_time_table(rows))
+    print()
+    print(fig10_stall_table(rows))
+    print()
+    headline = fig10_headline(rows)
+    print(f"OoO+WB improvement over in-order commit: "
+          f"avg {headline['avg_improvement_over_inorder_pct']:.1f}%, "
+          f"max {headline['max_improvement_over_inorder_pct']:.1f}%")
+    print(f"OoO+WB improvement over safe OoO commit: "
+          f"avg {headline['avg_improvement_over_ooo_pct']:.1f}%, "
+          f"max {headline['max_improvement_over_ooo_pct']:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

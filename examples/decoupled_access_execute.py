@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""DeSC-style decoupled access-execute on ECL cores (paper §1).
+
+The paper's second motivation: decoupled access-execute accelerators
+(DeSC, Ham et al. MICRO'15) need *non-speculative decoupling* via early
+commit of loads — the access slice runs far ahead, binding loads
+irrevocably and streaming values to the execute slice through a memory
+queue.  Squash-based TSO enforcement would tear the decoupling apart;
+WritersBlock makes the early binding legal.
+
+This example builds a two-slice pipeline on in-order ECL cores:
+
+* the ACCESS core streams a data array, writing each loaded value into
+  a single-producer queue in shared memory (data + per-slot flag);
+* the EXECUTE core spins on each flag, consumes the value, and
+  accumulates;
+* a third core concurrently rewrites parts of the data array, so the
+  access slice's early-bound loads genuinely race with remote writes.
+
+Run:  python examples/decoupled_access_execute.py
+"""
+
+import dataclasses
+
+from repro import table6_system
+from repro.consistency.tso_checker import check_tso
+from repro.sim.system import MulticoreSystem
+from repro.workloads import AddressSpace, TraceBuilder
+from repro.workloads.synchronization import spin_until_set
+
+ITEMS = 24
+
+
+def build_program():
+    space = AddressSpace()
+    data = space.new_array("data", ITEMS)
+    slots = space.new_array("slot", ITEMS)
+    flags = space.new_array("flags", ITEMS, stride=16)
+
+    access = TraceBuilder()
+    for i in range(ITEMS):
+        value = access.reg()
+        access.load(value, data[i])  # early-bound, runs far ahead
+        access.store(slots[i], value_reg=value)
+        access.store(flags[i], 1)
+
+    execute = TraceBuilder()
+    acc = execute.reg()
+    execute.mov(acc, 0)
+    for i in range(ITEMS):
+        spin_until_set(execute, flags[i], poll_delay=4)
+        value = execute.reg()
+        execute.load(value, slots[i])
+        nxt = execute.reg()
+        execute.compute(nxt, srcs=(value,), latency=6)  # "execute" work
+        execute.addi(acc, acc, 0)
+
+    mutator = TraceBuilder()
+    for i in range(0, ITEMS, 3):
+        mutator.compute(latency=15)
+        mutator.store(data[i], 1000 + i)  # races with the access slice
+
+    return [access.build(), execute.build(), mutator.build()], space
+
+
+def main():
+    print(__doc__)
+    traces, space = build_program()
+    params = table6_system("SLM", num_cores=4)
+    params = dataclasses.replace(params, core_type="inorder-ecl",
+                                 writers_block=True)
+    system = MulticoreSystem(params)
+    system.load_program(traces)
+    result = system.run()
+    check_tso(result.log)
+    slot_set = set(space.vars[f"slot[{i}]"] for i in range(ITEMS))
+    consumed = [e for e in result.log.events
+                if e.core == 1 and e.kind == "ld" and e.addr in slot_set]
+    print(f"pipeline completed in {result.cycles} cycles, TSO-clean")
+    print(f"  access slice bound {ITEMS} loads early "
+          f"(blocked writes seen: {result.writes_blocked}, "
+          f"tear-off reads: {result.uncacheable_reads})")
+    print(f"  execute slice consumed {len(consumed)} queue slots")
+    print("  no squash hardware anywhere — the decoupling is "
+          "non-speculative, as DeSC requires.")
+
+
+if __name__ == "__main__":
+    main()

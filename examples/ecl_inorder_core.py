@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Early Commit of Loads on a squash-incapable in-order core (paper §1).
+
+A stall-on-use in-order core (like the DEC Alpha 21164 EV5) has no
+checkpoint/rollback machinery.  Under TSO it classically cannot let a
+younger load bind before an older one — it must "wait for it", which
+serializes every cache miss.  WritersBlock makes the reordering safe to
+bind irrevocably, so the same core gets full memory-level parallelism.
+
+Run:  python examples/ecl_inorder_core.py
+"""
+
+import dataclasses
+
+from repro import table6_system
+from repro.sim.system import MulticoreSystem
+from repro.workloads import AddressSpace, TraceBuilder
+
+
+def pointer_free_misses(num_threads=4, misses=12):
+    """Each thread issues independent cold misses + light compute."""
+    space = AddressSpace()
+    arrays = [space.new_array(f"t{t}", misses) for t in range(num_threads)]
+    shared = space.new_array("shared", 16)
+    traces = []
+    for tid in range(num_threads):
+        t = TraceBuilder()
+        for i, addr in enumerate(arrays[tid]):
+            t.load(t.reg(), addr)
+            t.load(t.reg(), shared[(tid + i) % len(shared)])
+            t.compute(latency=2)
+            if i % 4 == 0:
+                t.store(shared[(tid * 3 + i) % len(shared)], i)
+        traces.append(t.build())
+    return traces
+
+
+def main():
+    print(__doc__)
+    traces = pointer_free_misses()
+    for core_type, wb in (("inorder", False), ("inorder-ecl", True)):
+        params = table6_system("SLM", num_cores=4)
+        params = dataclasses.replace(params, core_type=core_type,
+                                     writers_block=wb)
+        system = MulticoreSystem(params)
+        system.load_program(traces)
+        result = system.run()
+        label = ("blocking in-order ('wait for it')" if core_type == "inorder"
+                 else "ECL + WritersBlock")
+        print(f"{label:38s} {result.cycles:6d} cycles  "
+              f"(order stalls: {result.counter('core.inorder_order_stalls')}, "
+              f"blocked writes: {result.writes_blocked})")
+    print("\nSame core, same program, no squash hardware on either —")
+    print("the coherence layer alone makes the reordering legal.")
+
+
+if __name__ == "__main__":
+    main()

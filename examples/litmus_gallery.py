@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Litmus gallery: the paper's Tables 1-3 plus classic TSO shapes.
+
+Runs every litmus test in the library under all four commit modes
+(including the deliberately broken OOO_UNSAFE ablation) over a grid of
+timing offsets, and prints which outcomes appeared and whether the
+axiomatic TSO checker accepted the execution.
+
+Run:  python examples/litmus_gallery.py
+"""
+
+from repro import CommitMode, table6_system
+from repro.consistency.litmus import run_litmus, standard_suite
+
+MODES = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB,
+         CommitMode.OOO_UNSAFE)
+DELAYS = ((0, 0), (0, 40), (40, 0), (20, 60))
+
+
+def main():
+    for test in standard_suite():
+        cores = 16 if len(test.threads) > 4 else 4
+        print(f"\n=== {test.name} ===")
+        print(f"    {test.description}")
+        forbidden = test.forbidden or ["(none: all outcomes legal)"]
+        print(f"    forbidden: {forbidden}")
+        for mode in MODES:
+            params = table6_system("SLM", num_cores=cores, commit_mode=mode)
+            outcomes = set()
+            violations = 0
+            hits = 0
+            for delays in DELAYS:
+                result = run_litmus(test, params, extra_delays=delays)
+                outcomes.add(tuple(sorted(result.registers.items())))
+                violations += result.checker_violation is not None
+                hits += result.forbidden_hit
+            status = "TSO OK" if violations == 0 else f"{violations} VIOLATIONS"
+            flag = f" forbidden x{hits}!" if hits else ""
+            print(f"    {mode.value:10s} {len(outcomes)} distinct outcomes, "
+                  f"{status}{flag}")
+
+
+if __name__ == "__main__":
+    main()

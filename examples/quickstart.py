@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's Table 1 example on the simulator.
+
+Core 0 executes ``ld ra,y ; ld rb,x`` with the older load's address
+unresolved for a while (so the younger load reorders past it); core 1
+executes ``st x,1 ; st y,1``.  TSO forbids {ra==1, rb==0}.
+
+We run it under three commit policies and show how each one deals with
+the reordering:
+
+* in-order / safe OoO commit: the invalidation squashes the
+  M-speculative load (classic TSO enforcement);
+* OoO commit + WritersBlock: the invalidation is Nacked and the *store*
+  waits — no squash, and the reordered load commits out of order.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CommitMode, check_tso, table6_system
+from repro.sim.system import MulticoreSystem
+from repro.workloads import AddressSpace, TraceBuilder
+
+
+def build_program():
+    space = AddressSpace()
+    x = space.new_var("x")
+    y = space.new_var("y")
+
+    reader = TraceBuilder()
+    warm = reader.reg()
+    reader.load(warm, x)  # cache x so the younger load can hit
+    gate = reader.reg()
+    reader.gate(gate, srcs=(warm,), latency=300)  # slow address compute
+    ra = reader.reg()
+    reader.load(ra, y, addr_reg=gate)  # older load: unresolved address
+    rb = reader.reg()
+    reader.load(rb, x)  # younger load: hits the cached (old) copy
+
+    writer = TraceBuilder()
+    writer.compute(latency=60)
+    writer.store(x, 1)
+    writer.store(y, 1)
+    return [reader.build(), writer.build()], (ra, rb)
+
+
+def main():
+    print(__doc__)
+    traces, (ra, rb) = build_program()
+    for mode in (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB):
+        params = table6_system("SLM", num_cores=4, commit_mode=mode)
+        system = MulticoreSystem(params)
+        system.load_program(traces)
+        result = system.run()
+        check_tso(result.log)  # raises TSOViolationError if broken
+        regs = system.cores[0].reg_values
+        print(f"{mode.value:10s}  ra={regs.get(ra)} rb={regs.get(rb)}  "
+              f"cycles={result.cycles:5d}  "
+              f"squashes={result.consistency_squashes}  "
+              f"blocked_writes={result.writes_blocked}  -> TSO OK")
+    print()
+    print("Note how OoO+WB reports zero squashes: the coherence layer")
+    print("delayed the store instead (blocked_writes > 0), and both")
+    print("loads read the old values — interleaving (1) of Table 2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Packaging entry point.
+
+This project deliberately ships a setup.py/setup.cfg combination (rather
+than pyproject.toml) so that ``pip install -e .`` works in offline
+environments without the ``wheel`` package, via the legacy develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — reproduction of "Non-Speculative Load-Load Reordering in TSO"
+(Ros, Carlson, Alipour, Kaxiras; ISCA 2017).
+
+A cycle-level multicore simulator with directory MESI coherence, the
+paper's WritersBlock extension (lockdowns, tear-off reads, deferred
+invalidation acks), and an out-of-order core supporting in-order,
+Bell-Lipasti safe out-of-order, and WritersBlock-relaxed commit.
+
+Quickstart::
+
+    from repro import table6_system, run_workload, CommitMode
+    from repro.workloads import splash
+
+    params = table6_system("SLM", commit_mode=CommitMode.OOO_WB)
+    result = run_workload(splash.fft(num_threads=16), params)
+    print(result.summary())
+"""
+
+from .common import (
+    CommitMode,
+    ConfigError,
+    DeadlockError,
+    ProtocolError,
+    SimulationError,
+    SystemParams,
+    TSOViolationError,
+    table6_system,
+)
+from .consistency import ExecutionLog, check_tso
+from .sim import (
+    MulticoreSystem,
+    SimResult,
+    compare_commit_modes,
+    run_traces,
+    run_workload,
+)
+from .workloads import AddressSpace, TraceBuilder, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommitMode",
+    "ConfigError",
+    "DeadlockError",
+    "ProtocolError",
+    "SimulationError",
+    "SystemParams",
+    "TSOViolationError",
+    "table6_system",
+    "ExecutionLog",
+    "check_tso",
+    "MulticoreSystem",
+    "SimResult",
+    "compare_commit_modes",
+    "run_traces",
+    "run_workload",
+    "AddressSpace",
+    "TraceBuilder",
+    "Workload",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Experiment drivers and table formatting for the paper's evaluation."""
+
+from .experiments import (
+    DEFAULT_BENCHES,
+    fig8_table,
+    fig8_writersblock_rates,
+    fig9_overheads,
+    fig9_table,
+    fig10_headline,
+    fig10_ooo_commit,
+    fig10_stall_table,
+    fig10_time_table,
+    make_workload,
+    table6_text,
+)
+from .charts import grouped_chart, hbar_chart
+from .tables import format_table, geometric_mean
+
+__all__ = [
+    "DEFAULT_BENCHES",
+    "fig8_table",
+    "fig8_writersblock_rates",
+    "fig9_overheads",
+    "fig9_table",
+    "fig10_headline",
+    "fig10_ooo_commit",
+    "fig10_stall_table",
+    "fig10_time_table",
+    "make_workload",
+    "table6_text",
+    "format_table",
+    "geometric_mean",
+    "grouped_chart",
+    "hbar_chart",
+]

@@ -1,0 +1,41 @@
+"""Terminal bar charts for benchmark output (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def hbar_chart(items: Sequence[Tuple[str, float]], *, width: int = 48,
+               title: str = "", unit: str = "",
+               reference: Optional[float] = None) -> str:
+    """Horizontal bar chart: one row per (label, value).
+
+    ``reference`` draws a marker column at that value (e.g. 1.0 for
+    normalized execution times).
+    """
+    if not items:
+        return title
+    peak = max(max(value for __, value in items), reference or 0.0, 1e-12)
+    label_width = max(len(label) for label, __ in items)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    ref_col = (min(width - 1, round(reference / peak * width))
+               if reference is not None else None)
+    for label, value in items:
+        filled = round(value / peak * width)
+        bar = list("#" * filled + " " * (width - filled))
+        if ref_col is not None and 0 <= ref_col < width:
+            bar[ref_col] = "|" if bar[ref_col] == " " else "+"
+        lines.append(f"{label.ljust(label_width)}  {''.join(bar)} "
+                     f"{value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_chart(groups: Dict[str, Sequence[Tuple[str, float]]], *,
+                  width: int = 40, title: str = "") -> str:
+    """One mini bar chart per group, stacked vertically."""
+    blocks = [title] if title else []
+    for name, items in groups.items():
+        blocks.append(hbar_chart(items, width=width, title=f"[{name}]"))
+    return "\n\n".join(blocks)

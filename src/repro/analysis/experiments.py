@@ -1,0 +1,222 @@
+"""Experiment drivers: one function per paper figure/table.
+
+Every driver returns structured row data *and* can render itself as a
+text table, so the ``benchmarks/`` harness and the examples share one
+implementation.  The drivers are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..common.params import CORE_CLASSES, SystemParams, table6_system
+from ..common.types import CommitMode
+from ..sim.results import SimResult
+from ..sim.runner import run_workload
+from ..workloads import ALL_WORKLOADS
+from .tables import format_table, geometric_mean
+
+#: Default benchmark subset: the names the paper's text calls out, plus
+#: enough others to cover each sharing-pattern family.
+DEFAULT_BENCHES = (
+    "fft", "lu_cb", "lu_ncb", "ocean_cp", "ocean_ncp", "radix",
+    "barnes", "water_nsquared",
+    "blackscholes", "bodytrack", "canneal", "fluidanimate",
+    "freqmine", "streamcluster", "swaptions",
+)
+
+
+def make_workload(name: str, num_threads: int, scale: float):
+    try:
+        generator = ALL_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"choose from {sorted(ALL_WORKLOADS)}") from None
+    return generator(num_threads=num_threads, scale=scale)
+
+
+# ------------------------------------------------------------------ Figure 8
+@dataclass
+class Fig8Row:
+    workload: str
+    core_class: str
+    blocked_per_kstore: float
+    uncacheable_per_kload: float
+    wb_mean_duration: float = 0.0
+
+
+def fig8_writersblock_rates(benches: Sequence[str] = DEFAULT_BENCHES, *,
+                            core_classes: Sequence[str] = ("SLM", "NHM", "HSW"),
+                            num_cores: int = 16, scale: float = 0.5,
+                            check: bool = True) -> List[Fig8Row]:
+    """Figure 8: blocked writes /kstore and uncacheable reads /kload,
+    under OoO commit + WritersBlock, across core classes."""
+    rows: List[Fig8Row] = []
+    for bench in benches:
+        for core_class in core_classes:
+            params = table6_system(core_class, num_cores=num_cores,
+                                   commit_mode=CommitMode.OOO_WB)
+            result = run_workload(make_workload(bench, num_cores, scale),
+                                  params, check=check)
+            rows.append(Fig8Row(bench, core_class,
+                                result.writes_blocked_per_kilostore,
+                                result.uncacheable_per_kiloload,
+                                result.writersblock_mean_duration))
+    return rows
+
+
+def fig8_table(rows: Sequence[Fig8Row]) -> str:
+    return format_table(
+        ["workload", "class", "blocked/kstore", "uncacheable/kload",
+         "mean block cycles"],
+        [(r.workload, r.core_class, r.blocked_per_kstore,
+          r.uncacheable_per_kload, r.wb_mean_duration) for r in rows],
+        title="Figure 8: WritersBlock events (OoO commit + WB)",
+    )
+
+
+# ------------------------------------------------------------------ Figure 9
+@dataclass
+class Fig9Row:
+    workload: str
+    time_ratio: float  # WB / base execution time (in-order commit)
+    traffic_ratio: float  # WB / base network flit-hops
+
+
+def fig9_overheads(benches: Sequence[str] = DEFAULT_BENCHES, *,
+                   core_class: str = "SLM", num_cores: int = 16,
+                   scale: float = 0.5, check: bool = True) -> List[Fig9Row]:
+    """Figure 9: WritersBlock protocol overhead vs the base directory
+    protocol, both with in-order commit (should be ~1.0)."""
+    rows: List[Fig9Row] = []
+    for bench in benches:
+        base = run_workload(
+            make_workload(bench, num_cores, scale),
+            table6_system(core_class, num_cores=num_cores,
+                          commit_mode=CommitMode.IN_ORDER),
+            check=check)
+        with_wb = run_workload(
+            make_workload(bench, num_cores, scale),
+            table6_system(core_class, num_cores=num_cores,
+                          commit_mode=CommitMode.IN_ORDER,
+                          writers_block=True),
+            check=check)
+        rows.append(Fig9Row(
+            bench,
+            with_wb.cycles / max(base.cycles, 1),
+            with_wb.network_flit_hops / max(base.network_flit_hops, 1),
+        ))
+    return rows
+
+
+def fig9_table(rows: Sequence[Fig9Row]) -> str:
+    body = [(r.workload, r.time_ratio, r.traffic_ratio) for r in rows]
+    body.append(("geomean", geometric_mean([r.time_ratio for r in rows]),
+                 geometric_mean([r.traffic_ratio for r in rows])))
+    return format_table(
+        ["workload", "exec time (WB/base)", "traffic (WB/base)"],
+        body,
+        title="Figure 9: WritersBlock overhead with in-order commit",
+    )
+
+
+# ----------------------------------------------------------------- Figure 10
+@dataclass
+class Fig10Row:
+    workload: str
+    results: Dict[CommitMode, SimResult] = field(default_factory=dict)
+
+    def norm_time(self, mode: CommitMode) -> float:
+        base = self.results[CommitMode.IN_ORDER].cycles
+        return self.results[mode].cycles / max(base, 1)
+
+    def improvement_over(self, mode: CommitMode,
+                         baseline: CommitMode) -> float:
+        """Percent execution-time improvement of *mode* vs *baseline*."""
+        base = self.results[baseline].cycles
+        return 100.0 * (base - self.results[mode].cycles) / max(base, 1)
+
+
+FIG10_MODES = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB)
+
+
+def fig10_ooo_commit(benches: Sequence[str] = DEFAULT_BENCHES, *,
+                     core_class: str = "SLM", num_cores: int = 16,
+                     scale: float = 0.5, check: bool = True) -> List[Fig10Row]:
+    """Figure 10: stall breakdown and normalized execution time for
+    in-order commit, safe OoO commit, and OoO commit + WritersBlock."""
+    rows: List[Fig10Row] = []
+    for bench in benches:
+        row = Fig10Row(bench)
+        for mode in FIG10_MODES:
+            params = table6_system(core_class, num_cores=num_cores,
+                                   commit_mode=mode)
+            row.results[mode] = run_workload(
+                make_workload(bench, num_cores, scale), params, check=check)
+        rows.append(row)
+    return rows
+
+
+def fig10_time_table(rows: Sequence[Fig10Row]) -> str:
+    body = []
+    for row in rows:
+        body.append((row.workload,
+                     row.norm_time(CommitMode.IN_ORDER),
+                     row.norm_time(CommitMode.OOO),
+                     row.norm_time(CommitMode.OOO_WB)))
+    body.append((
+        "geomean",
+        1.0,
+        geometric_mean([r.norm_time(CommitMode.OOO) for r in rows]),
+        geometric_mean([r.norm_time(CommitMode.OOO_WB) for r in rows]),
+    ))
+    return format_table(
+        ["workload", "in-order", "ooo-commit", "ooo+WB"],
+        body,
+        title="Figure 10 (bottom): normalized execution time",
+    )
+
+
+def fig10_stall_table(rows: Sequence[Fig10Row]) -> str:
+    body = []
+    for row in rows:
+        for mode in FIG10_MODES:
+            result = row.results[mode]
+            body.append((row.workload, mode.value,
+                         result.stall_fraction("sq"),
+                         result.stall_fraction("lq"),
+                         result.stall_fraction("rob"),
+                         result.stall_fraction("other")))
+    return format_table(
+        ["workload", "mode", "SQ-full", "LQ-full", "ROB-full", "other"],
+        body,
+        title="Figure 10 (top): commit-stall cycle fractions",
+    )
+
+
+def fig10_headline(rows: Sequence[Fig10Row]) -> Dict[str, float]:
+    """The paper's §5.2 headline numbers for these runs."""
+    over_inorder = [row.improvement_over(CommitMode.OOO_WB,
+                                         CommitMode.IN_ORDER) for row in rows]
+    over_ooo = [row.improvement_over(CommitMode.OOO_WB, CommitMode.OOO)
+                for row in rows]
+    return {
+        "avg_improvement_over_inorder_pct": sum(over_inorder) / len(over_inorder),
+        "max_improvement_over_inorder_pct": max(over_inorder),
+        "avg_improvement_over_ooo_pct": sum(over_ooo) / len(over_ooo),
+        "max_improvement_over_ooo_pct": max(over_ooo),
+    }
+
+
+# ------------------------------------------------------------------- Table 6
+def table6_text() -> str:
+    rows = []
+    for name, core in CORE_CLASSES.items():
+        rows.append((name, core.issue_width, core.iq_entries,
+                     core.rob_entries, core.lq_entries, core.sq_entries,
+                     core.sb_entries, core.ldt_entries))
+    return format_table(
+        ["class", "width", "IQ", "ROB", "LQ", "SQ", "SB", "LDT"],
+        rows, title="Table 6: simulated core classes",
+    )

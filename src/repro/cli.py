@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``                 available workloads and commit modes
+``run WORKLOAD``         simulate one workload, print the summary
+``compare WORKLOAD``     commit-mode comparison (Figure 10 style)
+``litmus [NAME]``        run the litmus suite (or one test) on the simulator
+``fig8`` / ``fig9`` / ``fig10``   regenerate a paper figure
+``table2`` / ``table6``           regenerate a paper table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import experiments
+from .common.params import CORE_CLASSES, table6_system
+from .common.types import CommitMode
+from .sim.runner import run_workload
+from .workloads import ALL_WORKLOADS
+
+MODES = {mode.value: mode for mode in CommitMode}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=16,
+                        help="core count (square; default 16)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale multiplier")
+    parser.add_argument("--core-class", choices=sorted(CORE_CLASSES),
+                        default="SLM", help="Table 6 core class")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Non-Speculative Load-Load Reordering in TSO — "
+                    "simulator and evaluation harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and commit modes")
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    run_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    _add_common(run_p)
+
+    cmp_p = sub.add_parser("compare", help="compare commit modes")
+    cmp_p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    _add_common(cmp_p)
+
+    lit_p = sub.add_parser("litmus", help="run litmus tests")
+    lit_p.add_argument("name", nargs="?", help="one test (default: all)")
+    lit_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+
+    for fig in ("fig8", "fig9", "fig10"):
+        fig_p = sub.add_parser(fig, help=f"regenerate paper {fig}")
+        fig_p.add_argument("--benches", nargs="*",
+                           default=list(experiments.DEFAULT_BENCHES))
+        _add_common(fig_p)
+
+    sub.add_parser("table2", help="regenerate paper Table 2")
+    sub.add_parser("table6", help="regenerate paper Table 6")
+    return parser
+
+
+def cmd_list(args) -> int:
+    print("Workloads (SPLASH-3-like and PARSEC-like):")
+    for name in sorted(ALL_WORKLOADS):
+        workload = ALL_WORKLOADS[name](num_threads=4, scale=0.1)
+        print(f"  {name:16s} {workload.description}")
+    print("\nCommit modes:", ", ".join(sorted(MODES)))
+    return 0
+
+
+def cmd_run(args) -> int:
+    mode = MODES[args.mode]
+    params = table6_system(args.core_class, num_cores=args.cores,
+                           commit_mode=mode)
+    workload = ALL_WORKLOADS[args.workload](num_threads=args.cores,
+                                            scale=args.scale)
+    result = run_workload(workload, params, check=mode is not CommitMode.OOO_UNSAFE)
+    print(f"{args.workload} on {args.cores}x {args.core_class} "
+          f"({mode.value}):")
+    print("  " + result.summary())
+    print(f"  blocked writes/kstore:   {result.writes_blocked_per_kilostore:.3f}")
+    print(f"  uncacheable reads/kload: {result.uncacheable_per_kiloload:.3f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = experiments.fig10_ooo_commit(
+        [args.workload], core_class=args.core_class, num_cores=args.cores,
+        scale=args.scale)
+    print(experiments.fig10_time_table(rows))
+    print()
+    print(experiments.fig10_stall_table(rows))
+    return 0
+
+
+def cmd_litmus(args) -> int:
+    from .consistency.litmus import run_litmus, standard_suite
+
+    mode = MODES[args.mode]
+    failures = 0
+    for test in standard_suite():
+        if args.name and test.name != args.name:
+            continue
+        cores = 16 if len(test.threads) > 4 else 4
+        params = table6_system("SLM", num_cores=cores, commit_mode=mode)
+        outcome = run_litmus(test, params)
+        bad = outcome.forbidden_hit or outcome.checker_violation
+        failures += bool(bad)
+        status = "FORBIDDEN/VIOLATION" if bad else "ok"
+        print(f"{test.name:24s} {status:20s} {outcome.registers}")
+    return 1 if failures else 0
+
+
+def cmd_fig8(args) -> int:
+    rows = experiments.fig8_writersblock_rates(
+        args.benches, num_cores=args.cores, scale=args.scale)
+    print(experiments.fig8_table(rows))
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    rows = experiments.fig9_overheads(
+        args.benches, core_class=args.core_class, num_cores=args.cores,
+        scale=args.scale)
+    print(experiments.fig9_table(rows))
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    rows = experiments.fig10_ooo_commit(
+        args.benches, core_class=args.core_class, num_cores=args.cores,
+        scale=args.scale)
+    print(experiments.fig10_time_table(rows))
+    print()
+    print(experiments.fig10_stall_table(rows))
+    headline = experiments.fig10_headline(rows)
+    print()
+    for key, value in headline.items():
+        print(f"{key}: {value:.1f}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .consistency.litmus import SimpleOp, enumerate_interleavings
+
+    reader = [SimpleOp(0, "ld", "y"), SimpleOp(0, "ld", "x")]
+    writer = [SimpleOp(1, "st", "x"), SimpleOp(1, "st", "y")]
+    for i, (order, loads) in enumerate(
+            enumerate_interleavings([reader, writer]), start=1):
+        ops = " -> ".join(f"t{op.thread}:{op.kind} {op.var}" for op in order)
+        print(f"({i}) {ops}   loads={loads}")
+    return 0
+
+
+def cmd_table6(args) -> int:
+    print(experiments.table6_text())
+    return 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "litmus": cmd_litmus,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "table2": cmd_table2,
+    "table6": cmd_table6,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Directory MESI coherence with the WritersBlock extension."""
+
+from .directory import DirectoryBank, DirEntry, EvictingEntry
+from .invariants import check_coherence
+from .private_cache import LoadRequest, PrivateCache, PrivateLine
+
+__all__ = [
+    "check_coherence",
+    "DirectoryBank",
+    "DirEntry",
+    "EvictingEntry",
+    "LoadRequest",
+    "PrivateCache",
+    "PrivateLine",
+]

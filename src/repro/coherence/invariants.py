@@ -1,0 +1,99 @@
+"""Coherence invariants, checkable on a quiescent system.
+
+These are the structural single-writer/multi-reader guarantees the MESI
+protocol (and its WritersBlock extension) must maintain.  They are
+checked by the schedule-fuzzing tests after every run, and users can
+call :func:`check_coherence` on any quiesced :class:`MulticoreSystem`
+as a sanity gate.
+
+Checked invariants (all at quiescence — no in-flight messages):
+
+* **SWMR**: at most one private cache holds a line in M/E; if one does,
+  no other cache holds it at all.
+* **Directory owner accuracy**: a dir entry in state M names an owner
+  that actually holds the line in M or E.
+* **Sharer soundness**: every cache holding a line in S is on its home
+  directory's sharer list (silent evictions may leave *stale* sharers,
+  which is fine; missing ones are not).
+* **Value agreement**: every S copy matches the LLC's data for the
+  line; an M/E copy is allowed to be newer (dirty).
+* **No residual transients**: every directory entry is back in a stable
+  state with empty queues, no eviction-buffer leftovers, and no
+  outstanding MSHRs anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.errors import ProtocolError
+from ..common.types import CacheState, DirState
+
+
+def check_coherence(system) -> None:
+    """Raise :class:`ProtocolError` on any violated invariant."""
+    problems: List[str] = []
+    lines = set()
+    for cache in system.caches:
+        for line, __ in cache._lines.items():
+            lines.add(line)
+    for bank in system.directories:
+        for line, __ in bank._array.items():
+            lines.add(line)
+
+    for line in sorted(lines, key=int):
+        home = system.directories[int(line) % len(system.directories)]
+        entry = home.entry(line)
+        holders = {
+            tile: cache.line_state(line)
+            for tile, cache in enumerate(system.caches)
+            if cache.line_state(line) is not CacheState.I
+        }
+        exclusive = [t for t, s in holders.items()
+                     if s in (CacheState.M, CacheState.E)]
+        shared = [t for t, s in holders.items() if s is CacheState.S]
+        if len(exclusive) > 1:
+            problems.append(f"{line!r}: multiple exclusive owners {exclusive}")
+        if exclusive and shared:
+            problems.append(
+                f"{line!r}: owner {exclusive} coexists with sharers {shared}")
+        if entry is None:
+            if holders:
+                problems.append(
+                    f"{line!r}: cached at {sorted(holders)} but no dir entry")
+            continue
+        if not entry.is_stable() or entry.queue:
+            problems.append(f"{line!r}: residual transient state {entry!r}")
+            continue
+        if entry.state is DirState.M:
+            if not exclusive or entry.owner not in exclusive:
+                problems.append(
+                    f"{line!r}: dir owner {entry.owner} but holders {holders}")
+        else:
+            for tile in shared:
+                if tile not in entry.sharers:
+                    problems.append(
+                        f"{line!r}: cache {tile} in S but missing from "
+                        f"sharer list {sorted(entry.sharers)}")
+            # Value agreement for shared copies.
+            for tile in shared:
+                cached = system.caches[tile].line_entry(line)
+                if cached.data.values != entry.data.values:
+                    problems.append(
+                        f"{line!r}: sharer {tile} data {cached.data!r} "
+                        f"differs from LLC {entry.data!r}")
+    for bank in system.directories:
+        if bank._evicting:
+            problems.append(
+                f"dir{bank.tile}: eviction buffer not empty "
+                f"{list(bank._evicting)}")
+        if bank._pending_allocs:
+            problems.append(f"dir{bank.tile}: parked requests left over")
+    for cache in system.caches:
+        leftovers = cache.mshrs.entries()
+        if leftovers:
+            problems.append(f"cache{cache.tile}: MSHRs not drained "
+                            f"{leftovers}")
+    if problems:
+        raise ProtocolError("coherence invariants violated:\n"
+                            + "\n".join(problems))

@@ -1,0 +1,67 @@
+"""Shared infrastructure: types, configuration, events, statistics."""
+
+from .errors import (
+    ConfigError,
+    DeadlockError,
+    ProtocolError,
+    SimulationError,
+    TSOViolationError,
+)
+from .event_queue import EventQueue
+from .params import (
+    CORE_CLASSES,
+    CacheParams,
+    CoreParams,
+    HSW_CORE,
+    NHM_CORE,
+    NetworkParams,
+    SLM_CORE,
+    SystemParams,
+    mesh_side,
+    table6_system,
+)
+from .stats import Counter, Histogram, StatsRegistry
+from .types import (
+    CacheState,
+    CommitMode,
+    CTRL_MSG_FLITS,
+    DATA_MSG_FLITS,
+    DirState,
+    InstrType,
+    LineAddr,
+    MsgType,
+    flits_for,
+    line_of,
+)
+
+__all__ = [
+    "ConfigError",
+    "DeadlockError",
+    "ProtocolError",
+    "SimulationError",
+    "TSOViolationError",
+    "EventQueue",
+    "CORE_CLASSES",
+    "CacheParams",
+    "CoreParams",
+    "HSW_CORE",
+    "NHM_CORE",
+    "NetworkParams",
+    "SLM_CORE",
+    "SystemParams",
+    "mesh_side",
+    "table6_system",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+    "CacheState",
+    "CommitMode",
+    "CTRL_MSG_FLITS",
+    "DATA_MSG_FLITS",
+    "DirState",
+    "InstrType",
+    "LineAddr",
+    "MsgType",
+    "flits_for",
+    "line_of",
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the simulator.
+
+All simulator-raised errors derive from :class:`SimulationError` so callers
+can distinguish modelling bugs from ordinary Python errors.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulator."""
+
+
+class ConfigError(SimulationError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class ProtocolError(SimulationError):
+    """The coherence protocol reached an illegal state or transition.
+
+    Raised when a controller receives a message it cannot handle in its
+    current state.  This always indicates a modelling bug, never a legal
+    race: the protocol is designed to be complete over its reachable
+    state space.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The system-wide watchdog detected no forward progress.
+
+    Carries a diagnostic snapshot (one line per core) describing what
+    each core is blocked on, so deadlock-scenario tests can assert on
+    the cause.
+    """
+
+    def __init__(self, cycle: int, snapshot: str) -> None:
+        super().__init__(
+            f"no instruction committed for too long (cycle {cycle})\n{snapshot}"
+        )
+        self.cycle = cycle
+        self.snapshot = snapshot
+
+
+class TSOViolationError(SimulationError):
+    """The consistency checker found an execution forbidden by TSO."""

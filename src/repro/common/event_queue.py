@@ -1,0 +1,71 @@
+"""Deterministic cycle-driven event queue.
+
+The simulator advances a global clock; components may schedule callbacks
+for future cycles.  Events scheduled for the same cycle fire in the order
+they were scheduled (FIFO per cycle), which keeps runs exactly
+reproducible regardless of dict/hash ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+from .errors import SimulationError
+
+EventFn = Callable[[], None]
+
+
+class EventQueue:
+    """Min-heap of (cycle, sequence, callback) with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, EventFn]] = []
+        self._seq = 0
+        self.now = 0
+
+    def schedule(self, delay: int, fn: EventFn) -> None:
+        """Run *fn* after *delay* cycles (delay 0 = later this cycle)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def schedule_at(self, cycle: int, fn: EventFn) -> None:
+        """Run *fn* at absolute *cycle* (must not be in the past)."""
+        self.schedule(cycle - self.now, fn)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def next_cycle(self) -> int:
+        """Cycle of the earliest pending event (error if empty)."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        return self._heap[0][0]
+
+    def run_due(self) -> int:
+        """Fire every event due at the current cycle; return count fired.
+
+        Events that schedule new work for the same cycle are also fired,
+        so a cycle is fully drained before the clock advances.
+        """
+        fired = 0
+        while self._heap and self._heap[0][0] == self.now:
+            __, __, fn = heapq.heappop(self._heap)
+            fn()
+            fired += 1
+        return fired
+
+    def advance(self) -> None:
+        """Move the clock forward one cycle."""
+        self.now += 1
+
+    def advance_to_next_event(self) -> None:
+        """Skip idle cycles directly to the next scheduled event."""
+        if self._heap and self._heap[0][0] > self.now:
+            self.now = self._heap[0][0]

@@ -1,0 +1,98 @@
+"""Lightweight statistics registry.
+
+Components own :class:`Counter` / :class:`Histogram` objects created through
+a shared :class:`StatsRegistry`, so a simulation can dump every statistic by
+name without components knowing about each other.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A named integer-valued histogram (value -> occurrence count)."""
+
+    __slots__ = ("name", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: Dict[int, int] = defaultdict(int)
+
+    def record(self, value: int, count: int = 1) -> None:
+        self.buckets[value] += count
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    @property
+    def mean(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(v * c for v, c in self.buckets.items()) / total
+
+    @property
+    def max(self) -> int:
+        return max(self.buckets) if self.buckets else 0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.total}, mean={self.mean:.2f})"
+
+
+class StatsRegistry:
+    """Creates and indexes counters and histograms by dotted name."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called *name*, creating it if needed."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return the histogram called *name*, creating it if needed."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def value(self, name: str, default: int = 0) -> int:
+        """Current value of counter *name* (0 if never created)."""
+        counter = self._counters.get(name)
+        return counter.value if counter else default
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters as a plain dict."""
+        return {name: value for name, value in self.counters()}
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        """{name: {total, mean, max}} for every histogram."""
+        return {
+            name: {"total": h.total, "mean": h.mean, "max": h.max}
+            for name, h in sorted(self._histograms.items())
+        }

@@ -1,0 +1,145 @@
+"""Shared enums and small value types used across the simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InstrType(enum.Enum):
+    """Kinds of trace instructions executed by a core."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    ATOMIC = "atomic"  # atomic read-modify-write (load + store pair)
+    NOP = "nop"
+
+
+class CommitMode(enum.Enum):
+    """Commit policy of the out-of-order core.
+
+    IN_ORDER
+        Instructions commit strictly from the head of the ROB.
+    OOO
+        Safe out-of-order commit per the six Bell-Lipasti conditions,
+        including condition 6 (consistency): a load may not commit while
+        an older load is not performed.
+    OOO_WB
+        Out-of-order commit with WritersBlock coherence: condition 6 is
+        relaxed for loads; a performed M-speculative load may commit,
+        exporting its lockdown to the LDT.
+    OOO_UNSAFE
+        Ablation only: condition 6 dropped *without* WritersBlock.
+        Demonstrably violates TSO; used to validate the checker.
+    """
+
+    IN_ORDER = "in-order"
+    OOO = "ooo"
+    OOO_WB = "ooo-wb"
+    OOO_UNSAFE = "ooo-unsafe"
+
+
+class CacheState(enum.Enum):
+    """Stable MESI states of a line in a private cache."""
+
+    M = "M"
+    E = "E"
+    S = "S"
+    I = "I"
+
+
+class DirState(enum.Enum):
+    """Stable + key transient states of a directory (LLC) entry.
+
+    The transient states model a blocking directory (as in GEMS): a
+    directory entry in a transient state for a write normally blocks both
+    reads and writes until the writer's Unblock.  WRITERS_BLOCK is the
+    paper's new transient state: it blocks *writes only* and serves reads
+    uncacheable tear-off data.
+    """
+
+    I = "I"  # not present anywhere; memory (modelled inside LLC) is owner
+    S = "S"  # one or more sharers, LLC data valid
+    M = "M"  # single exclusive/modified owner, LLC data possibly stale
+    BUSY_READ = "BusyR"  # 3-hop read in flight, waiting for Unblock
+    BUSY_WRITE = "BusyW"  # write in flight, collecting acks
+    WRITERS_BLOCK = "WB"  # write blocked by lockdown(s); reads allowed
+
+
+class MsgType(enum.Enum):
+    """Coherence and data messages exchanged over the mesh."""
+
+    # Requests (core -> directory)
+    GETS = "GetS"  # read request
+    GETX = "GetX"  # write request (fetch + write permission)
+    UPGRADE = "Upgrade"  # write permission for a line already in S
+    PUTS = "PutS"  # non-silent eviction of a shared line
+    PUTM = "PutM"  # writeback of an M/E line
+    # Directory -> core
+    DATA = "Data"  # cacheable data response
+    DATA_EXCL = "DataE"  # cacheable data, exclusive permission
+    DATA_UNCACHEABLE = "DataU"  # tear-off copy, use-once, not tracked
+    INV = "Inv"  # invalidation on behalf of a writer
+    FWD_GETS = "FwdGetS"  # forward read to exclusive owner
+    FWD_GETX = "FwdGetX"  # forward write to exclusive owner
+    WB_ACK = "WbAck"  # writeback accepted
+    BLOCKED_HINT = "BlockedHint"  # writer's request is in WritersBlock (paper §3.5.2)
+    # Core -> directory / writer
+    ACK = "Ack"  # invalidation acknowledgment
+    NACK = "Nack"  # invalidation hit a lockdown (enters WritersBlock)
+    NACK_DATA = "NackData"  # Nack + data from an E/M copy under lockdown
+    ACK_DATA = "AckData"  # invalidation ack + data from E/M copy
+    DEFERRED_ACK = "DeferredAck"  # lockdown lifted; redirected via directory
+    UNBLOCK = "Unblock"  # requester finished; directory leaves transient state
+    COPYBACK = "CopyBack"  # owner's data copy to the LLC on a forwarded read
+    PERM = "Perm"  # write permission grant without data (Upgrade response)
+
+
+#: Number of flits for data-bearing vs control messages (paper Table 6).
+DATA_MSG_FLITS = 5
+CTRL_MSG_FLITS = 1
+
+#: Message types that carry a full cache line.
+_DATA_BEARING = {
+    MsgType.DATA,
+    MsgType.DATA_EXCL,
+    MsgType.DATA_UNCACHEABLE,
+    MsgType.PUTM,
+    MsgType.NACK_DATA,
+    MsgType.ACK_DATA,
+    MsgType.COPYBACK,
+}
+
+
+def flits_for(msg_type: MsgType) -> int:
+    """Return the number of flits a message of *msg_type* occupies."""
+    return DATA_MSG_FLITS if msg_type in _DATA_BEARING else CTRL_MSG_FLITS
+
+
+@dataclass(frozen=True)
+class LineAddr:
+    """A cache-line-aligned address.
+
+    The simulator operates on line granularity for coherence but keeps
+    byte addresses on instructions so that false sharing (two variables
+    in one line) is representable, as the paper's footnote 4 requires.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"negative line address: {self.value}")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # compact in protocol traces
+        return f"L{self.value:#x}"
+
+
+def line_of(byte_addr: int, line_bytes: int) -> LineAddr:
+    """Map a byte address to its cache line address."""
+    return LineAddr(byte_addr // line_bytes)

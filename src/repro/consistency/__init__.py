@@ -1,0 +1,15 @@
+"""Consistency: execution recording and the axiomatic TSO checker."""
+
+from .execution import ExecutionLog, MemEvent, StoreInfo
+from .operational import TOp, enumerate_outcomes, outcome_reachable
+from .tso_checker import check_tso
+
+__all__ = [
+    "ExecutionLog",
+    "MemEvent",
+    "StoreInfo",
+    "check_tso",
+    "TOp",
+    "enumerate_outcomes",
+    "outcome_reachable",
+]

@@ -1,0 +1,102 @@
+"""Execution recording for consistency checking.
+
+Every store (and atomic) is assigned a globally unique, monotonically
+increasing *version* id when its value is produced.  When a store
+performs (writes an M-state cache line), its version is appended to the
+per-address **coherence order** — ownership of the line is exclusive, so
+append order at perform time *is* the coherence order.  Loads record the
+version they observed.  The axiomatic TSO checker consumes this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class MemEvent:
+    """One committed memory access, as observed by the memory system."""
+
+    kind: str  # "ld" | "st" | "at" (atomic read-modify-write)
+    core: int
+    seq: int  # per-core program-order sequence number
+    addr: int  # byte address
+    version_read: Optional[int] = None  # ld / at
+    version_written: Optional[int] = None  # st / at
+    cycle: int = 0
+    forwarded: bool = False  # value came from the local SQ/SB
+    uncacheable: bool = False  # value came from a tear-off copy
+
+
+@dataclass
+class StoreInfo:
+    version: int
+    core: int
+    seq: int
+    addr: int
+    value: int
+
+
+class ExecutionLog:
+    """Collects memory events and per-address coherence orders."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[MemEvent] = []
+        self.stores: Dict[int, StoreInfo] = {}
+        self.coherence_order: Dict[int, List[int]] = {}
+        self._next_version = 1
+
+    # -------------------------------------------------------------- versions
+    def new_version(self, core: int, seq: int, addr: int, value: int) -> int:
+        """Mint a version id for a store whose value just became known."""
+        version = self._next_version
+        self._next_version += 1
+        self.stores[version] = StoreInfo(version, core, seq, addr, value)
+        return version
+
+    def store_performed(self, version: int) -> None:
+        """The store became globally visible: append to coherence order."""
+        info = self.stores[version]
+        self.coherence_order.setdefault(info.addr, []).append(version)
+
+    # --------------------------------------------------------------- events
+    def record_load(self, core: int, seq: int, addr: int, version: int,
+                    cycle: int, *, forwarded: bool = False,
+                    uncacheable: bool = False) -> None:
+        if self.enabled:
+            self.events.append(MemEvent("ld", core, seq, addr,
+                                        version_read=version, cycle=cycle,
+                                        forwarded=forwarded,
+                                        uncacheable=uncacheable))
+
+    def record_store(self, core: int, seq: int, addr: int, version: int,
+                     cycle: int) -> None:
+        if self.enabled:
+            self.events.append(MemEvent("st", core, seq, addr,
+                                        version_written=version, cycle=cycle))
+
+    def record_atomic(self, core: int, seq: int, addr: int,
+                      version_read: int, version_written: int,
+                      cycle: int) -> None:
+        if self.enabled:
+            self.events.append(MemEvent("at", core, seq, addr,
+                                        version_read=version_read,
+                                        version_written=version_written,
+                                        cycle=cycle))
+
+    # --------------------------------------------------------------- access
+    def events_by_core(self) -> Dict[int, List[MemEvent]]:
+        by_core: Dict[int, List[MemEvent]] = {}
+        for event in self.events:
+            by_core.setdefault(event.core, []).append(event)
+        for events in by_core.values():
+            events.sort(key=lambda e: e.seq)
+        return by_core
+
+    def value_of(self, version: int) -> int:
+        """Value written by *version* (0 = initial contents)."""
+        if version == 0:
+            return 0
+        return self.stores[version].value

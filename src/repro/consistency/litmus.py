@@ -1,0 +1,373 @@
+"""Litmus tests: classic TSO shapes plus the paper's Tables 1-3.
+
+A :class:`LitmusTest` describes per-thread memory operations with timing
+knobs (compute delays, unresolved-address loads).  :func:`run_litmus`
+executes it on the full simulator and returns the final register values;
+:func:`sweep_litmus` re-runs across a grid of timing offsets to hunt for
+forbidden outcomes.  Because every run also passes through the axiomatic
+checker, a litmus test failing would surface both as a forbidden outcome
+*and* a checker cycle.
+
+:func:`enumerate_interleavings` reproduces Table 2 analytically: all
+interleavings of two instruction streams, classified legal/illegal under
+TSO by the same axiomatic rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.params import SystemParams, table6_system
+from ..common.types import CommitMode
+from ..workloads.trace import AddressSpace, TraceBuilder
+from .execution import ExecutionLog
+from .tso_checker import check_tso
+from ..common.errors import TSOViolationError
+
+
+@dataclass(frozen=True)
+class Op:
+    """One litmus operation: ("ld", var, out_name) or ("st", var, value)."""
+
+    kind: str  # "ld" | "st" | "delay" | "ld_slow" | "spin" | "at"
+    var: str = ""
+    arg: int = 0
+    out: str = ""  # register result name for loads
+
+
+def ld(var: str, out: str) -> Op:
+    return Op("ld", var, out=out)
+
+
+def ld_slow(var: str, out: str, delay: int = 150) -> Op:
+    """A load whose address resolves only after *delay* cycles."""
+    return Op("ld_slow", var, arg=delay, out=out)
+
+
+def st(var: str, value: int) -> Op:
+    return Op("st", var, arg=value)
+
+
+def delay(cycles: int) -> Op:
+    return Op("delay", arg=cycles)
+
+
+def spin_nonzero(var: str, out: str) -> Op:
+    """Spin until *var* becomes non-zero; *out* gets the observed value."""
+    return Op("spin", var, out=out)
+
+
+@dataclass
+class LitmusTest:
+    """A named litmus test with its TSO-forbidden outcomes."""
+
+    name: str
+    threads: List[List[Op]]
+    forbidden: List[Dict[str, int]]
+    description: str = ""
+    variables: Optional[List[str]] = None
+
+    def all_vars(self) -> List[str]:
+        if self.variables:
+            return self.variables
+        seen: List[str] = []
+        for thread in self.threads:
+            for op in thread:
+                if op.var and op.var not in seen:
+                    seen.append(op.var)
+        return seen
+
+
+@dataclass
+class LitmusOutcome:
+    registers: Dict[str, int]
+    forbidden_hit: bool
+    checker_violation: Optional[str] = None
+
+
+def _build_traces(test: LitmusTest, space: AddressSpace,
+                  extra_delays: Sequence[int]):
+    """Compile litmus threads to traces; returns (traces, reg_map)."""
+    addr = {var: space.new_var(var) for var in test.all_vars()}
+    traces = []
+    out_regs: List[Tuple[int, int, str]] = []  # (thread, reg, name)
+    for tid, thread in enumerate(test.threads):
+        t = TraceBuilder()
+        if tid < len(extra_delays) and extra_delays[tid]:
+            t.compute(latency=extra_delays[tid])
+        for op in thread:
+            if op.kind == "ld":
+                reg = t.reg()
+                t.load(reg, addr[op.var])
+                out_regs.append((tid, reg, op.out))
+            elif op.kind == "ld_slow":
+                base = t.reg()
+                t.compute(base, latency=op.arg)  # value 0: slow zero offset
+                reg = t.reg()
+                t.load(reg, addr[op.var], addr_reg=base)
+                out_regs.append((tid, reg, op.out))
+            elif op.kind == "st":
+                t.store(addr[op.var], op.arg)
+            elif op.kind == "delay":
+                t.compute(latency=op.arg)
+            elif op.kind == "spin":
+                r_val = t.reg()
+                top = t.here
+                t.load(r_val, addr[op.var])
+                t.beqz(r_val, top, predict_taken=True)
+                out_regs.append((tid, r_val, op.out))
+            elif op.kind == "at":
+                reg = t.reg()
+                t.faa(reg, addr[op.var], op.arg)
+                out_regs.append((tid, reg, op.out))
+            else:
+                raise ValueError(f"unknown litmus op {op.kind!r}")
+        traces.append(t.build())
+    return traces, out_regs
+
+
+def run_litmus(test: LitmusTest, params: Optional[SystemParams] = None, *,
+               extra_delays: Sequence[int] = ()) -> LitmusOutcome:
+    """Run one timing instance of *test*; check registers and TSO."""
+    from ..sim.system import MulticoreSystem  # local import: avoid cycle
+
+    if params is None:
+        params = table6_system("SLM", num_cores=4)
+    space = AddressSpace(params.cache.line_bytes)
+    traces, out_regs = _build_traces(test, space, extra_delays)
+    system = MulticoreSystem(params)
+    system.load_program(traces)
+    result = system.run()
+    registers = {
+        name: system.cores[tid].reg_values.get(reg, 0)
+        for tid, reg, name in out_regs
+    }
+    violation: Optional[str] = None
+    try:
+        check_tso(result.log)
+    except TSOViolationError as exc:
+        violation = str(exc)
+    forbidden_hit = any(
+        all(registers.get(k) == v for k, v in combo.items())
+        for combo in test.forbidden
+    )
+    return LitmusOutcome(registers=registers, forbidden_hit=forbidden_hit,
+                         checker_violation=violation)
+
+
+def sweep_litmus(test: LitmusTest, params: Optional[SystemParams] = None, *,
+                 delays: Sequence[Sequence[int]] = ((0, 0), (0, 40), (40, 0),
+                                                    (0, 80), (80, 0),
+                                                    (20, 60), (60, 20)),
+                 ) -> List[LitmusOutcome]:
+    """Run *test* across a grid of per-thread start offsets."""
+    return [run_litmus(test, params, extra_delays=combo) for combo in delays]
+
+
+# ----------------------------------------------------------- the test suite
+def table1_test() -> LitmusTest:
+    """Paper Table 1: TSO forbids {ra==1, rb==0} (with ld y slow)."""
+    return LitmusTest(
+        name="table1-load-pair",
+        threads=[
+            [ld("x", "warm"), ld_slow("y", "ra", delay=420), ld("x", "rb")],
+            [delay(40), st("x", 1), st("y", 1)],
+        ],
+        forbidden=[{"ra": 1, "rb": 0}],
+        description="ld ra,y ; ld rb,x || st x,1 ; st y,1 — the paper's "
+                    "running example with the younger load hitting a "
+                    "stale cached x while the older load's address is "
+                    "unresolved.",
+    )
+
+
+def table3_test() -> LitmusTest:
+    """Paper Table 3: transitive happens-before via a third core."""
+    return LitmusTest(
+        name="table3-three-core",
+        threads=[
+            [ld("x", "warm"), ld_slow("y", "ra", delay=420), ld("x", "rb")],
+            [delay(40), st("x", 1)],
+            [spin_nonzero("x", "rc"), st("y", 1)],
+        ],
+        forbidden=[{"ra": 1, "rb": 0}],
+        description="st x and st y on different cores, ordered by core 2 "
+                    "spinning on x — delaying st x transitively delays "
+                    "st y (paper Table 3).",
+    )
+
+
+def store_buffer_test() -> LitmusTest:
+    """Classic SB: {r0==0, r1==0} is ALLOWED in TSO (store buffering)."""
+    return LitmusTest(
+        name="store-buffering",
+        threads=[
+            [st("x", 1), ld("y", "r0")],
+            [st("y", 1), ld("x", "r1")],
+        ],
+        forbidden=[],  # nothing forbidden: SB relaxation is TSO-legal
+        description="Dekker-style store buffering; 0,0 allowed under TSO.",
+    )
+
+
+def message_passing_test() -> LitmusTest:
+    """MP: seeing the flag means seeing the data."""
+    return LitmusTest(
+        name="message-passing",
+        threads=[
+            [st("data", 42), st("flag", 1)],
+            [spin_nonzero("flag", "rf"), ld("data", "rd")],
+        ],
+        forbidden=[{"rf": 1, "rd": 0}],
+        description="Flag/data message passing; stale data is forbidden.",
+    )
+
+
+def corr_test() -> LitmusTest:
+    """CoRR: two reads of one location must not go backwards."""
+    return LitmusTest(
+        name="coherence-read-read",
+        threads=[
+            [ld("x", "warm"), delay(30), ld("x", "r0"), ld("x", "r1")],
+            [delay(45), st("x", 1)],
+        ],
+        forbidden=[{"r0": 1, "r1": 0}],
+        description="Per-location coherence: later read can't see older value.",
+    )
+
+
+def iriw_test() -> LitmusTest:
+    """IRIW: independent reads of independent writes (forbidden in TSO)."""
+    return LitmusTest(
+        name="iriw",
+        threads=[
+            [st("x", 1)],
+            [st("y", 1)],
+            [spin_nonzero("x", "r0"), ld("y", "r1")],
+            [spin_nonzero("y", "r2"), ld("x", "r3")],
+        ],
+        forbidden=[{"r0": 1, "r1": 0, "r2": 1, "r3": 0}],
+        description="Writes to x and y must appear in one global order.",
+    )
+
+
+def load_buffering_test() -> LitmusTest:
+    """LB: loads may not be buffered past later stores in TSO."""
+    return LitmusTest(
+        name="load-buffering",
+        threads=[
+            [ld("x", "r0"), st("y", 1)],
+            [ld("y", "r1"), st("x", 1)],
+        ],
+        forbidden=[{"r0": 1, "r1": 1}],
+        description="TSO keeps load->store order: both loads reading "
+                    "the other thread's (later) store is forbidden.",
+    )
+
+
+def wrc_test() -> LitmusTest:
+    """WRC: write-to-read causality must be transitive."""
+    return LitmusTest(
+        name="write-read-causality",
+        threads=[
+            [st("x", 1)],
+            [spin_nonzero("x", "r0"), st("y", 1)],
+            [spin_nonzero("y", "r1"), ld("x", "r2")],
+        ],
+        forbidden=[{"r0": 1, "r1": 1, "r2": 0}],
+        description="Core 2 observes y=1 which was caused by x=1; it "
+                    "must then observe x=1 as well.",
+    )
+
+
+def atomic_mutex_test() -> LitmusTest:
+    """Two fetch-and-adds must serialize (atomicity check)."""
+    return LitmusTest(
+        name="atomic-faa",
+        threads=[
+            [Op("at", "c", 1, out="r0")],
+            [Op("at", "c", 1, out="r1")],
+        ],
+        forbidden=[{"r0": 0, "r1": 0}, {"r0": 1, "r1": 1}],
+        description="Both RMWs reading the same old value is forbidden.",
+    )
+
+
+def standard_suite() -> List[LitmusTest]:
+    return [
+        table1_test(),
+        table3_test(),
+        store_buffer_test(),
+        message_passing_test(),
+        corr_test(),
+        iriw_test(),
+        load_buffering_test(),
+        wrc_test(),
+        atomic_mutex_test(),
+    ]
+
+
+# ------------------------------------------------- Table 2: interleavings
+@dataclass(frozen=True)
+class SimpleOp:
+    """An abstract operation for interleaving enumeration."""
+
+    thread: int
+    kind: str  # "ld" | "st"
+    var: str
+
+
+def enumerate_interleavings(threads: Sequence[Sequence[SimpleOp]]
+                            ) -> List[Tuple[Tuple[SimpleOp, ...], Dict[str, str]]]:
+    """All program-order-preserving interleavings with load outcomes.
+
+    Returns (interleaving, {load key -> "old"/"new"}) for each
+    interleaving, executing stores in interleaving order (memory order)
+    and binding each load to the current value of its variable.
+    """
+    results = []
+    lengths = [len(t) for t in threads]
+    for order in _merge_orders(lengths):
+        ops = tuple(threads[t][i] for t, i in order)
+        state: Dict[str, str] = {}
+        loads: Dict[str, str] = {}
+        counts: Dict[int, int] = {}
+        for op in ops:
+            counts[op.thread] = counts.get(op.thread, 0) + 1
+            if op.kind == "st":
+                state[op.var] = "new"
+            else:
+                key = f"t{op.thread}:ld {op.var}"
+                loads[key] = state.get(op.var, "old")
+        results.append((ops, loads))
+    return results
+
+
+def legal_tso_outcomes(threads: Sequence[Sequence[SimpleOp]]
+                       ) -> List[Dict[str, str]]:
+    """Distinct load-outcome combinations reachable by TSO interleavings."""
+    outcomes = []
+    for __, loads in enumerate_interleavings(threads):
+        if loads not in outcomes:
+            outcomes.append(loads)
+    return outcomes
+
+
+def _merge_orders(lengths: Sequence[int]):
+    """All merges of ``lengths[i]`` items per thread, preserving order."""
+    symbols: List[int] = []
+    for thread, n in enumerate(lengths):
+        symbols.extend([thread] * n)
+    seen = set()
+    for perm in itertools.permutations(symbols):
+        if perm in seen:
+            continue
+        seen.add(perm)
+        counters = [0] * len(lengths)
+        order = []
+        for thread in perm:
+            order.append((thread, counters[thread]))
+            counters[thread] += 1
+        yield tuple(order)

@@ -1,0 +1,172 @@
+"""Operational x86-TSO reference model.
+
+The abstract machine of Owens/Sarkar/Sewell ("x86-TSO: a rigorous and
+usable programmer's model"): a single shared memory, one FIFO store
+buffer per hardware thread, and a nondeterministic scheduler.  At each
+step the machine may (a) execute the next instruction of some thread —
+loads read from the own store buffer first (youngest matching entry),
+then memory; stores append to the buffer; RMWs require an *empty* own
+buffer and act atomically on memory — or (b) drain the oldest entry of
+some store buffer to memory.
+
+:func:`enumerate_outcomes` explores every schedule of a small program
+and returns the set of reachable final register valuations.  This is
+the ground truth the *simulator* (operational, microarchitectural) and
+the *axiomatic checker* are validated against:
+
+* every outcome observed on the simulator must be operationally
+  reachable (soundness of the whole machine);
+* an execution whose outcome is operationally unreachable must be
+  rejected by the axiomatic checker (checker completeness on these
+  shapes).
+
+Programs are tiny: threads are lists of :class:`TOp` — ``ld``, ``st``,
+and ``rmw`` on named locations.  State spaces are memoized; typical
+litmus shapes explore a few thousand states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class TOp:
+    """One abstract operation: ('ld', loc, reg) / ('st', loc, value) /
+    ('rmw', loc, reg, value) — the rmw loads into reg then stores value."""
+
+    kind: str  # "ld" | "st" | "rmw"
+    loc: str
+    reg: str = ""
+    value: int = 0
+
+
+def ld(loc: str, reg: str) -> TOp:
+    return TOp("ld", loc, reg=reg)
+
+
+def st(loc: str, value: int) -> TOp:
+    return TOp("st", loc, value=value)
+
+
+def rmw(loc: str, reg: str, value: int) -> TOp:
+    return TOp("rmw", loc, reg=reg, value=value)
+
+
+State = Tuple[
+    Tuple[int, ...],  # per-thread program counter
+    Tuple[Tuple[Tuple[str, int], ...], ...],  # per-thread store buffer
+    Tuple[Tuple[str, int], ...],  # memory (sorted items)
+    Tuple[Tuple[str, int], ...],  # registers (sorted "t{i}:{reg}" items)
+]
+
+
+def enumerate_outcomes(threads: Sequence[Sequence[TOp]],
+                       *, max_states: int = 200_000
+                       ) -> Set[FrozenSet[Tuple[str, int]]]:
+    """All reachable final register valuations under x86-TSO."""
+    initial: State = (
+        tuple(0 for __ in threads),
+        tuple(() for __ in threads),
+        (),
+        (),
+    )
+    outcomes: Set[FrozenSet[Tuple[str, int]]] = set()
+    seen: Set[State] = set()
+    stack: List[State] = [initial]
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        if len(seen) > max_states:
+            raise RuntimeError("state space too large; shrink the program")
+        pcs, buffers, memory, registers = state
+        successors = _successors(threads, state)
+        if not successors:
+            outcomes.add(frozenset(registers))
+            continue
+        stack.extend(successors)
+    return outcomes
+
+
+def _read(memory: Tuple[Tuple[str, int], ...], loc: str) -> int:
+    for name, value in memory:
+        if name == loc:
+            return value
+    return 0
+
+
+def _write(memory: Tuple[Tuple[str, int], ...], loc: str,
+           value: int) -> Tuple[Tuple[str, int], ...]:
+    items = dict(memory)
+    items[loc] = value
+    return tuple(sorted(items.items()))
+
+
+def _set_reg(registers: Tuple[Tuple[str, int], ...], key: str,
+             value: int) -> Tuple[Tuple[str, int], ...]:
+    items = dict(registers)
+    items[key] = value
+    return tuple(sorted(items.items()))
+
+
+def _successors(threads, state: State) -> List[State]:
+    pcs, buffers, memory, registers = state
+    next_states: List[State] = []
+    for tid in range(len(threads)):
+        # (b) drain the oldest store-buffer entry to memory.
+        if buffers[tid]:
+            (loc, value), rest = buffers[tid][0], buffers[tid][1:]
+            new_buffers = _replace(buffers, tid, rest)
+            next_states.append(
+                (pcs, new_buffers, _write(memory, loc, value), registers))
+        # (a) execute the thread's next instruction.
+        if pcs[tid] >= len(threads[tid]):
+            continue
+        op = threads[tid][pcs[tid]]
+        new_pcs = _replace(pcs, tid, pcs[tid] + 1)
+        if op.kind == "st":
+            new_buffers = _replace(
+                buffers, tid, buffers[tid] + ((op.loc, op.value),))
+            next_states.append((new_pcs, new_buffers, memory, registers))
+        elif op.kind == "ld":
+            value = _forwarded(buffers[tid], op.loc)
+            if value is None:
+                value = _read(memory, op.loc)
+            new_regs = _set_reg(registers, f"t{tid}:{op.reg}", value)
+            next_states.append((new_pcs, buffers, memory, new_regs))
+        elif op.kind == "rmw":
+            if buffers[tid]:
+                continue  # RMW requires a drained own buffer (fence)
+            old = _read(memory, op.loc)
+            new_regs = _set_reg(registers, f"t{tid}:{op.reg}", old)
+            next_states.append(
+                (new_pcs, buffers, _write(memory, op.loc, op.value),
+                 new_regs))
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+    return next_states
+
+
+def _forwarded(buffer: Tuple[Tuple[str, int], ...], loc: str):
+    for name, value in reversed(buffer):
+        if name == loc:
+            return value
+    return None
+
+
+def _replace(items: tuple, index: int, value) -> tuple:
+    return items[:index] + (value,) + items[index + 1:]
+
+
+def outcome_reachable(threads: Sequence[Sequence[TOp]],
+                      expected: Dict[str, int]) -> bool:
+    """Is a final valuation with (at least) *expected* register values
+    reachable?  Keys are ``"t{tid}:{reg}"``."""
+    wanted = set(expected.items())
+    for outcome in enumerate_outcomes(threads):
+        if wanted <= set(outcome):
+            return True
+    return False

@@ -1,0 +1,29 @@
+"""The out-of-order core model: pipeline, queues, lockdowns, commit."""
+
+from .commit import CommitUnit, ScanState
+from .instruction import ALU_OPS, ATOMIC_OPS, BRANCH_OPS, DynInstr, Instruction
+from .ldt import LDTEntry, LockdownTable
+from .load_queue import LoadQueue, LQEntry
+from .lockdowns import LockdownUnit
+from .ooo_core import OoOCore
+from .rob import ReorderBuffer
+from .store_queue import SQEntry, StoreQueue
+
+__all__ = [
+    "CommitUnit",
+    "ScanState",
+    "ALU_OPS",
+    "ATOMIC_OPS",
+    "BRANCH_OPS",
+    "DynInstr",
+    "Instruction",
+    "LDTEntry",
+    "LockdownTable",
+    "LoadQueue",
+    "LQEntry",
+    "LockdownUnit",
+    "OoOCore",
+    "ReorderBuffer",
+    "SQEntry",
+    "StoreQueue",
+]

@@ -1,0 +1,143 @@
+"""Commit policies: in-order, Bell-Lipasti safe OoO, OoO + WritersBlock.
+
+The Bell-Lipasti conditions (paper §4) gate out-of-order commit:
+
+1. completed; 2. register WAR resolved (proxied here by "all older
+instructions have issued", i.e. have read their sources); 3. no older
+unresolved branch; 4. no older store with an unresolved address;
+5. no older instruction can raise an exception (inactive, as in the
+paper's experiments); 6. consistency — a load may not commit while an
+older load is unperformed.
+
+``OOO_WB`` relaxes condition 6 for loads: a performed M-speculative load
+commits immediately, exporting its lockdown to the LDT (unless the LDT
+is full).  ``OOO_UNSAFE`` (ablation) drops condition 6 with no lockdown
+export — it demonstrably violates TSO and exists to validate the checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.types import CommitMode, InstrType
+
+
+@dataclass
+class ScanState:
+    """Facts about the instructions older than the current scan point."""
+
+    war_ok: bool = True  # all older instructions issued (WAR proxy)
+    branch_ok: bool = True  # no older unresolved branch
+    stores_resolved: bool = True  # no older store with unknown address
+    older_loads_performed: bool = True  # condition 6 ingredient
+    older_store_uncommitted: bool = False  # SQ->SB FIFO order
+
+    def absorb(self, core, dyn) -> None:
+        """Update the facts after skipping (not committing) *dyn*."""
+        if not dyn.issued:
+            self.war_ok = False
+        itype = dyn.itype
+        if itype is InstrType.BRANCH and not dyn.executed:
+            self.branch_ok = False
+        if itype is InstrType.STORE:
+            entry = dyn.sq_entry
+            if entry is None or not entry.resolved:
+                self.stores_resolved = False
+            self.older_store_uncommitted = True
+        if itype is InstrType.ATOMIC:
+            self.older_store_uncommitted = True
+            if not dyn.performed:
+                self.older_loads_performed = False
+                if dyn.resolved_addr is None:
+                    self.stores_resolved = False
+        if itype is InstrType.LOAD and not dyn.performed:
+            self.older_loads_performed = False
+
+
+class CommitUnit:
+    """Per-core commit stage; drives the core's structures directly."""
+
+    def __init__(self, mode: CommitMode) -> None:
+        self.mode = mode
+
+    def run(self, core) -> int:
+        """Commit up to ``commit_width`` instructions; returns the count."""
+        if self.mode is CommitMode.IN_ORDER:
+            return self._run_in_order(core)
+        return self._run_ooo(core)
+
+    def _run_in_order(self, core) -> int:
+        committed = 0
+        width = core.params.core.commit_width
+        state = ScanState()
+        while committed < width and not core.rob.empty:
+            head = core.rob.head()
+            if not self._eligible(core, head, state):
+                break
+            core.do_commit(head)
+            committed += 1
+        return committed
+
+    def _run_ooo(self, core) -> int:
+        committed = 0
+        width = core.params.core.commit_width
+        state = ScanState()
+        idx = 0
+        while idx < len(core.rob) and committed < width:
+            dyn = core.rob[idx]
+            if self._eligible(core, dyn, state):
+                core.do_commit(dyn)
+                committed += 1
+                # The collapsible ROB closed the gap; same idx is next.
+            else:
+                state.absorb(core, dyn)
+                idx += 1
+                # Conditions 2-4 never recover within one scan: once an
+                # older instruction is unissued, an older branch is
+                # unresolved, or an older store address is unknown,
+                # nothing younger can commit this cycle.
+                if not (state.war_ok and state.branch_ok
+                        and state.stores_resolved):
+                    break
+        return committed
+
+    # ------------------------------------------------------------ predicate
+    def _eligible(self, core, dyn, state: ScanState) -> bool:
+        if not (state.war_ok and state.branch_ok and state.stores_resolved):
+            return False
+        itype = dyn.itype
+        if itype in (InstrType.ALU, InstrType.NOP, InstrType.BRANCH):
+            if not dyn.executed:
+                return False
+            # Under squash-based consistency enforcement (plain OOO), an
+            # unperformed older load means a younger performed load may
+            # yet be consistency-squashed, re-executing this region:
+            # nothing younger than the SoS load may irrevocably commit.
+            # WritersBlock removes exactly this restriction (loads are
+            # never consistency-squashed), which is where most of its
+            # commit benefit comes from.  OOO_UNSAFE ignores the hazard.
+            if self.mode is CommitMode.OOO:
+                return state.older_loads_performed
+            return True
+        if itype is InstrType.ATOMIC:
+            return dyn.performed
+        if itype is InstrType.STORE:
+            if not dyn.executed or state.older_store_uncommitted:
+                return False
+            if not state.older_loads_performed:  # TSO load->store order
+                return False
+            return not core.sb.full
+        if itype is InstrType.LOAD:
+            if not dyn.performed:
+                return False
+            if state.older_loads_performed:
+                return True
+            # The load is M-speculative: condition 6 normally blocks it.
+            if self.mode is CommitMode.OOO_UNSAFE:
+                return True
+            if self.mode is CommitMode.OOO_WB:
+                # Forwarded loads export a lockdown too (their value can
+                # go stale once the forwarding store drains).
+                return not core.ldt.full
+            return False
+        raise AssertionError(f"unhandled itype {itype}")

@@ -1,0 +1,72 @@
+"""Lockdown Table (LDT), paper §4.2.
+
+When an M-speculative load commits out-of-order (OOO_WB mode), it leaves
+the collapsible LQ but its lockdown must survive until the load *would
+have become ordered*.  The lockdown is exported to this small table; the
+responsibility to release it is handed to the load's nearest older
+non-performed LQ entry (its ``guards`` set).
+
+Invalidations search the LDT associatively by line address and set the
+"seen" bit; the deferred ack goes out only when the last lockdown for
+that line is released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..common.errors import SimulationError
+from ..common.types import LineAddr
+
+
+@dataclass
+class LDTEntry:
+    """One exported lockdown."""
+
+    index: int
+    line: LineAddr
+    seen: bool = False
+
+
+class LockdownTable:
+    """Fixed-capacity table of exported lockdowns."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: Dict[int, LDTEntry] = {}
+        self._next_index = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, line: LineAddr, *, seen: bool = False) -> LDTEntry:
+        if self.full:
+            raise SimulationError("LDT overflow")
+        entry = LDTEntry(index=self._next_index, line=line, seen=seen)
+        self._entries[entry.index] = entry
+        self._next_index += 1
+        return entry
+
+    def get(self, index: int) -> LDTEntry:
+        return self._entries[index]
+
+    def release(self, index: int) -> LDTEntry:
+        """Free the entry; the caller handles any deferred ack."""
+        entry = self._entries.pop(index, None)
+        if entry is None:
+            raise SimulationError(f"LDT release of unknown index {index}")
+        return entry
+
+    def entries_on_line(self, line: LineAddr) -> List[LDTEntry]:
+        return [entry for entry in self._entries.values() if entry.line == line]
+
+    def has_line(self, line: LineAddr) -> bool:
+        return any(entry.line == line for entry in self._entries.values())
+
+    def entries(self) -> List[LDTEntry]:
+        return list(self._entries.values())

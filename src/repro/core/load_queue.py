@@ -1,0 +1,142 @@
+"""Collapsible load queue with SoS / M-speculative tracking.
+
+Terminology (paper Table 4):
+
+* a load is **performed** once it has its data;
+* it is **ordered** (w.r.t. loads) when every older load is performed;
+* the unique oldest non-performed load is the **SoS load** (all loads
+  before it are performed, so it is ordered but not performed);
+* a performed-but-unordered load is **M-speculative** and holds a
+  *lockdown* until it becomes ordered (or is squashed).
+
+Because the LQ is collapsible, committed loads leave from any position;
+their lockdowns migrate to the LDT (see :mod:`repro.core.lockdowns`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set
+
+from ..common.errors import SimulationError
+from ..common.types import LineAddr
+from .instruction import DynInstr
+
+
+@dataclass
+class LQEntry:
+    """One in-flight load."""
+
+    dyn: DynInstr
+    line: Optional[LineAddr] = None  # known once the address resolves
+    performed: bool = False
+    forwarded: bool = False  # value came from the local SQ/SB
+    #: This entry holds a Nacked invalidation's deferred ack ("seen" bit).
+    seen: bool = False
+    #: LDT indices this entry must release when performed *and* ordered.
+    guards: Set[int] = field(default_factory=set)
+    #: The ordered-sweep already lifted this entry's lockdown.
+    ordered_done: bool = False
+    #: The load already retired (in-order ECL cores retire loads early,
+    #: keeping the LQ entry alive until performed and ordered).
+    retired: bool = False
+
+    def __repr__(self) -> str:
+        flags = ("P" if self.performed else "") + ("S" if self.seen else "")
+        return f"<LQ {self.dyn!r} {self.line!r} {flags} g={sorted(self.guards)}>"
+
+
+class LoadQueue:
+    """Program-ordered, collapsible queue of loads."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: List[LQEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LQEntry]:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, dyn: DynInstr) -> LQEntry:
+        if self.full:
+            raise SimulationError("LQ overflow")
+        entry = LQEntry(dyn=dyn)
+        self._entries.append(entry)
+        return entry
+
+    def entry_for(self, dyn: DynInstr) -> Optional[LQEntry]:
+        for entry in self._entries:
+            if entry.dyn is dyn:
+                return entry
+        return None
+
+    def remove(self, entry: LQEntry) -> None:
+        self._entries.remove(entry)
+
+    def position(self, entry: LQEntry) -> int:
+        return self._entries.index(entry)
+
+    # ------------------------------------------------------------- ordering
+    def first_nonperformed(self) -> Optional[LQEntry]:
+        """The SoS load: oldest entry without data (None if all performed)."""
+        for entry in self._entries:
+            if not entry.performed:
+                return entry
+        return None
+
+    def is_sos(self, entry: LQEntry) -> bool:
+        return self.first_nonperformed() is entry
+
+    def is_ordered(self, entry: LQEntry) -> bool:
+        """All older loads performed (the entry itself may or may not be)."""
+        for other in self._entries:
+            if other is entry:
+                return True
+            if not other.performed:
+                return False
+        raise SimulationError(f"{entry!r} not in LQ")
+
+    def is_mspeculative(self, entry: LQEntry) -> bool:
+        """Performed out-of-order w.r.t. an older non-performed load.
+
+        Forwarded loads count too: once the forwarding store drains, a
+        remote write can make the forwarded value stale relative to the
+        load's program-order point, so the reordering is observable and
+        must be protected like any other (found by the cross-mode
+        fuzzer; see tests/integration/test_random_programs.py).
+        """
+        return entry.performed and not self.is_ordered(entry)
+
+    def mspeculative_on_line(self, line: LineAddr) -> List[LQEntry]:
+        """All current M-speculative entries whose address is on *line*."""
+        first_np = self.first_nonperformed()
+        if first_np is None:
+            return []
+        found: List[LQEntry] = []
+        past_first_np = False
+        for entry in self._entries:
+            if entry is first_np:
+                past_first_np = True
+                continue
+            if past_first_np and entry.performed and entry.line == line:
+                found.append(entry)
+        return found
+
+    def nearest_older_nonperformed(self, entry: LQEntry) -> Optional[LQEntry]:
+        """The youngest non-performed entry older than *entry* (paper §4.2)."""
+        candidate: Optional[LQEntry] = None
+        for other in self._entries:
+            if other is entry:
+                return candidate
+            if not other.performed:
+                candidate = other
+        raise SimulationError(f"{entry!r} not in LQ")
+
+    def has_lockdown_on(self, line: LineAddr) -> bool:
+        return bool(self.mspeculative_on_line(line))

@@ -1,0 +1,151 @@
+"""Lockdown lifecycle: LQ lockdowns, LDT export, deferred invalidation acks.
+
+This unit owns the interaction the paper's §3.2 and §4.2 describe:
+
+* an invalidation that finds M-speculative loads (LQ) or exported
+  lockdowns (LDT) on its line is Nacked; the "seen" bits are set and the
+  deferred ack is owed;
+* a lockdown is *lifted* when its load becomes ordered, and *ended* when
+  its load is squashed; either way, once the **last** lockdown for the
+  line is gone the deferred ack goes out;
+* an M-speculative load committing out-of-order exports its lockdown to
+  the LDT and hands release responsibility to its nearest older
+  non-performed load (the ``guards`` set), which may hand it on again.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set, Tuple
+
+from ..common.errors import SimulationError
+from ..common.stats import StatsRegistry
+from ..common.types import LineAddr
+from .ldt import LockdownTable
+from .load_queue import LoadQueue, LQEntry
+
+HolderKey = Tuple[str, int]  # ("lq", dyn uid) or ("ldt", table index)
+
+
+class LockdownUnit:
+    """Coordinates the LQ, the LDT, and pending deferred acks."""
+
+    def __init__(self, lq: LoadQueue, ldt: LockdownTable,
+                 send_deferred_ack: Callable[[LineAddr], None],
+                 stats: StatsRegistry) -> None:
+        self.lq = lq
+        self.ldt = ldt
+        self._send_deferred_ack = send_deferred_ack
+        self._pending: Dict[LineAddr, Set[HolderKey]] = {}
+        self._stat_lockdown_hits = stats.counter("core.lockdown_invalidations")
+        self._stat_exports = stats.counter("core.ldt_exports")
+        self._stat_deferred = stats.counter("core.deferred_acks_sent")
+
+    # -------------------------------------------------------------- queries
+    def has_lockdown(self, line: LineAddr) -> bool:
+        return self.lq.has_lockdown_on(line) or self.ldt.has_line(line)
+
+    def line_pending_inv(self, line: LineAddr) -> bool:
+        """Line under a Nacked invalidation: no new lockdowns, and new
+        unordered loads should not even issue for it (paper §3.4)."""
+        return line in self._pending
+
+    # -------------------------------------------------------- invalidation
+    def on_invalidation(self, line: LineAddr) -> bool:
+        """Record the lockdown holders for an arriving invalidation.
+
+        Returns True when at least one lockdown exists (the cache Nacks
+        and this unit owes a deferred ack later).
+        """
+        lq_holders = self.lq.mspeculative_on_line(line)
+        ldt_holders = self.ldt.entries_on_line(line)
+        if not lq_holders and not ldt_holders:
+            return False
+        if line in self._pending:
+            raise SimulationError(
+                f"second invalidation for {line!r} while one is pending"
+            )
+        self._stat_lockdown_hits.add()
+        keys: Set[HolderKey] = set()
+        for entry in lq_holders:
+            entry.seen = True
+            keys.add(("lq", entry.dyn.uid))
+        for ldt_entry in ldt_holders:
+            ldt_entry.seen = True
+            keys.add(("ldt", ldt_entry.index))
+        self._pending[line] = keys
+        return True
+
+    def _release_holder(self, line: LineAddr, key: HolderKey) -> None:
+        holders = self._pending.get(line)
+        if holders is None:
+            return
+        holders.discard(key)
+        if not holders:
+            del self._pending[line]
+            self._stat_deferred.add()
+            self._send_deferred_ack(line)
+
+    # ------------------------------------------------------------ lifecycle
+    def sweep_ordered(self) -> None:
+        """Lift the lockdown of every load that just became ordered.
+
+        Called whenever ordering may have advanced (a load performed,
+        a commit or squash removed LQ entries).
+        """
+        for entry in self.lq:
+            if not entry.performed:
+                break
+            if not entry.ordered_done:
+                entry.ordered_done = True
+                self._lift(entry)
+
+    def _lift(self, entry: LQEntry) -> None:
+        if entry.seen:
+            entry.seen = False
+            self._release_holder(entry.line, ("lq", entry.dyn.uid))
+        for index in sorted(entry.guards):
+            self._release_ldt(index)
+        entry.guards.clear()
+
+    def _release_ldt(self, index: int) -> None:
+        ldt_entry = self.ldt.release(index)
+        if ldt_entry.seen:
+            self._release_holder(ldt_entry.line, ("ldt", index))
+
+    def on_squash(self, entry: LQEntry) -> None:
+        """A C-/D-speculative squash *ends* the lockdown (paper §3.2)."""
+        if entry.seen:
+            entry.seen = False
+            self._release_holder(entry.line, ("lq", entry.dyn.uid))
+        if entry.guards:
+            heir = self.lq.nearest_older_nonperformed(entry)
+            if heir is not None:
+                heir.guards |= entry.guards
+            else:
+                for index in sorted(entry.guards):
+                    self._release_ldt(index)
+            entry.guards.clear()
+
+    def export_on_commit(self, entry: LQEntry) -> bool:
+        """Export an M-speculative load's lockdown to the LDT (paper §4.2).
+
+        Returns False (commit must wait) when the LDT is full.  On
+        success the caller removes *entry* from the LQ.
+        """
+        if self.ldt.full:
+            return False
+        guard = self.lq.nearest_older_nonperformed(entry)
+        if guard is None:
+            raise SimulationError(f"exporting an ordered load: {entry!r}")
+        ldt_entry = self.ldt.allocate(entry.line, seen=entry.seen)
+        self._stat_exports.add()
+        if entry.seen:
+            holders = self._pending.get(entry.line)
+            if holders is None:
+                raise SimulationError(f"seen bit without pending inv: {entry!r}")
+            holders.discard(("lq", entry.dyn.uid))
+            holders.add(("ldt", ldt_entry.index))
+            entry.seen = False
+        guard.guards |= entry.guards | {ldt_entry.index}
+        entry.guards.clear()
+        return True

@@ -1,0 +1,570 @@
+"""The out-of-order core model.
+
+A mechanistic OoO pipeline driven by a per-core instruction trace:
+dispatch (width-limited, resource-checked) → dataflow issue → execute /
+memory → commit (policy-pluggable).  Branches compare real register
+values, so spin loops on shared memory behave dynamically; loads and
+stores move versioned values through the coherence protocol.
+
+Consistency enforcement is the configurable part (paper §4/§5):
+
+* ``IN_ORDER`` / ``OOO``: M-speculative loads are squashed when an
+  invalidation hits them (classic TSO enforcement); commit is in-order
+  or Bell-Lipasti-safe out-of-order respectively.
+* ``OOO_WB``: no consistency squashes — M-speculative loads enter
+  lockdown, Nack invalidations, and may commit out-of-order exporting
+  their lockdown to the LDT.
+* ``OOO_UNSAFE``: ablation; reordered loads commit with no protection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..common.errors import SimulationError
+from ..common.event_queue import EventQueue
+from ..common.params import SystemParams
+from ..common.stats import StatsRegistry
+from ..common.types import CacheState, CommitMode, InstrType, LineAddr, line_of
+from ..coherence.private_cache import LoadRequest, PrivateCache
+from ..consistency.execution import ExecutionLog
+from ..mem.store_buffer import SBEntry, StoreBuffer
+from .commit import CommitUnit
+from .instruction import DynInstr, Instruction
+from .ldt import LockdownTable
+from .load_queue import LoadQueue, LQEntry
+from .lockdowns import LockdownUnit
+from .rob import ReorderBuffer
+from .store_queue import StoreQueue
+
+
+class OoOCore:
+    """One core: pipeline structures plus commit policy."""
+
+    def __init__(self, core_id: int, params: SystemParams, cache: PrivateCache,
+                 events: EventQueue, stats: StatsRegistry,
+                 log: ExecutionLog) -> None:
+        self.core_id = core_id
+        self.params = params
+        self.cache = cache
+        self.events = events
+        self.log = log
+        self.mode = params.commit_mode
+        cp = params.core
+        self.rob = ReorderBuffer(cp.rob_entries)
+        self.iq: List[DynInstr] = []
+        self.lq = LoadQueue(cp.lq_entries)
+        self.sq = StoreQueue(cp.sq_entries)
+        self.sb = StoreBuffer(cp.sb_entries)
+        self.ldt = LockdownTable(cp.ldt_entries)
+        self.lockdowns = LockdownUnit(self.lq, self.ldt,
+                                      cache.send_deferred_ack, stats)
+        self.commit_unit = CommitUnit(self.mode)
+
+        self.trace: List[Instruction] = []
+        self.pc = 0
+        self._seq = 0
+        self.fetch_stall_until = 0
+        self.done = False
+        self.done_cycle: Optional[int] = None
+        self.reg_values: Dict[int, int] = {}
+        self.reg_producer: Dict[int, DynInstr] = {}
+        self._pending_atomics: List[DynInstr] = []
+
+        # Wire the coherence-side hooks.
+        cache.invalidation_hook = self._on_invalidation
+        cache.lockdown_query = self._lockdown_query
+        cache.eviction_hook = self._on_nonsilent_eviction
+
+        prefix = f"core{core_id}"
+        self._stat_committed = stats.counter(f"{prefix}.committed")
+        self._stat_cycles = stats.counter(f"{prefix}.active_cycles")
+        self._stat_squashes = stats.counter("core.consistency_squashes")
+        self._stat_mispredicts = stats.counter("core.branch_mispredicts")
+        self._stat_stores = stats.counter("core.stores_performed")
+        self._stat_loads = stats.counter("core.loads_performed")
+        self._stat_stalls = {
+            reason: stats.counter(f"{prefix}.stall_{reason}")
+            for reason in ("sq", "lq", "rob", "other")
+        }
+        self._agg_stalls = {
+            reason: stats.counter(f"core.stall_{reason}")
+            for reason in ("sq", "lq", "rob", "other")
+        }
+        self._stat_commits_total = stats.counter("core.committed")
+
+    # ----------------------------------------------------------------- setup
+    def load_trace(self, trace: List[Instruction]) -> None:
+        self.trace = trace
+        self.pc = 0
+        self.done = not trace
+
+    # ------------------------------------------------------------------ tick
+    def tick(self) -> None:
+        if self.done:
+            return
+        self._stat_cycles.add()
+        committed = self.commit_unit.run(self)
+        if committed == 0:
+            self._account_stall()
+        self._issue()
+        self._memory_stage()
+        self._sb_drain()
+        self._dispatch()
+        self._check_done()
+
+    def _account_stall(self) -> None:
+        if self.sq.full:
+            reason = "sq"
+        elif self.lq.full:
+            reason = "lq"
+        elif self.rob.full:
+            reason = "rob"
+        else:
+            reason = "other"
+        self._stat_stalls[reason].add()
+        self._agg_stalls[reason].add()
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self) -> None:
+        width = self.params.core.issue_width
+        dispatched = 0
+        while dispatched < width:
+            if self.events.now < self.fetch_stall_until:
+                break
+            if self.pc >= len(self.trace):
+                break
+            instr = self.trace[self.pc]
+            if self.rob.full or len(self.iq) >= self.params.core.iq_entries:
+                break
+            if instr.itype is InstrType.LOAD and self.lq.full:
+                break
+            if instr.itype is InstrType.STORE and self.sq.full:
+                break
+            self._dispatch_one(instr)
+            dispatched += 1
+
+    def _dispatch_one(self, instr: Instruction) -> None:
+        dyn = DynInstr(instr=instr, trace_idx=self.pc, seq=self._seq)
+        self._seq += 1
+        regs, addr_idx, value_idx = self._source_regs(instr)
+        producers: List[Optional[DynInstr]] = []
+        captured: List[Optional[int]] = []
+        for reg in regs:
+            producer = self.reg_producer.get(reg)
+            producers.append(producer)
+            captured.append(None if producer else self.reg_values.get(reg, 0))
+        dyn.producers = tuple(producers)
+        dyn.src_values = tuple(captured)
+        dyn.addr_src_idx = addr_idx
+        dyn.value_src_idx = value_idx
+        if instr.dst is not None:
+            self.reg_producer[instr.dst] = dyn
+        self.rob.push(dyn)
+        self.iq.append(dyn)
+        if instr.itype is InstrType.LOAD:
+            dyn.lq_entry = self.lq.allocate(dyn)
+        elif instr.itype is InstrType.STORE:
+            dyn.sq_entry = self.sq.allocate(dyn)
+        elif instr.itype is InstrType.ATOMIC:
+            self._pending_atomics.append(dyn)
+        dyn.dispatched_cycle = self.events.now
+        # Follow the static prediction; execute() redirects on mispredict.
+        if instr.itype is InstrType.BRANCH and instr.predict_taken:
+            self.pc = instr.target
+        else:
+            self.pc += 1
+
+    @staticmethod
+    def _source_regs(instr: Instruction):
+        """Register list read by *instr*, plus addr/value positions."""
+        if instr.itype in (InstrType.ALU, InstrType.BRANCH):
+            if instr.op in ("addi", "xori", "beqz", "bnez"):
+                return (instr.srcs[0],), None, None
+            return tuple(instr.srcs), None, None  # mov/compute/gate
+        regs: List[int] = []
+        addr_idx = value_idx = None
+        if instr.addr_reg is not None:
+            addr_idx = len(regs)
+            regs.append(instr.addr_reg)
+        if instr.itype is InstrType.STORE and instr.value_reg is not None:
+            value_idx = len(regs)
+            regs.append(instr.value_reg)
+        return tuple(regs), addr_idx, value_idx
+
+    # ----------------------------------------------------------------- issue
+    def _issue(self) -> None:
+        width = self.params.core.issue_width
+        issued = 0
+        idx = 0
+        while idx < len(self.iq) and issued < width:
+            dyn = self.iq[idx]
+            if dyn.sources_ready():
+                self.iq.pop(idx)
+                self._start_execution(dyn)
+                issued += 1
+            else:
+                idx += 1
+
+    def _start_execution(self, dyn: DynInstr) -> None:
+        dyn.issued = True
+        itype = dyn.itype
+        if itype in (InstrType.ALU, InstrType.NOP):
+            self.events.schedule(dyn.instr.latency,
+                                 lambda: self._execute_alu(dyn))
+        elif itype is InstrType.BRANCH:
+            self.events.schedule(dyn.instr.latency,
+                                 lambda: self._execute_branch(dyn))
+        elif itype is InstrType.LOAD:
+            self._resolve_address(dyn)
+            dyn.lq_entry.line = line_of(dyn.resolved_addr,
+                                        self.params.cache.line_bytes)
+        elif itype is InstrType.STORE:
+            self.events.schedule(dyn.instr.latency,
+                                 lambda: self._execute_store(dyn))
+        elif itype is InstrType.ATOMIC:
+            self._resolve_address(dyn)
+
+    def _resolve_address(self, dyn: DynInstr) -> None:
+        base = dyn.instr.addr or 0
+        if dyn.addr_src_idx is not None:
+            base += dyn.source_value(dyn.addr_src_idx)
+        dyn.resolved_addr = base
+
+    def _execute_alu(self, dyn: DynInstr) -> None:
+        if dyn.squashed:
+            return
+        op, imm = dyn.instr.op, dyn.instr.imm
+        if op == "mov":
+            dyn.value = imm
+        elif op == "addi":
+            dyn.value = dyn.source_value(0) + imm
+        elif op == "xori":
+            dyn.value = dyn.source_value(0) ^ imm
+        elif op == "compute" and dyn.producers:
+            dyn.value = dyn.source_value(0)  # latency-adding passthrough
+        else:  # "gate", or compute with no sources
+            dyn.value = imm
+        dyn.executed = True
+
+    def _execute_branch(self, dyn: DynInstr) -> None:
+        if dyn.squashed:
+            return
+        value = dyn.source_value(0)
+        taken = (value == 0) if dyn.instr.op == "beqz" else (value != 0)
+        dyn.executed = True
+        dyn.value = int(taken)
+        if taken == dyn.instr.predict_taken:
+            return
+        dyn.mispredicted = True
+        self._stat_mispredicts.add()
+        self._squash(self.rob.squash_younger_than(dyn))
+        self.pc = dyn.instr.target if taken else dyn.trace_idx + 1
+        self.fetch_stall_until = (self.events.now
+                                  + self.params.core.mispredict_penalty)
+
+    def _execute_store(self, dyn: DynInstr) -> None:
+        if dyn.squashed:
+            return
+        self._resolve_address(dyn)
+        entry = dyn.sq_entry
+        if entry is None:
+            raise SimulationError(f"store {dyn!r} missing from SQ")
+        entry.addr = dyn.resolved_addr
+        if dyn.value_src_idx is not None:
+            entry.value = dyn.source_value(dyn.value_src_idx)
+        else:
+            entry.value = dyn.instr.imm
+        entry.version = self.log.new_version(self.core_id, dyn.seq,
+                                             entry.addr, entry.value)
+        dyn.value = entry.value
+        dyn.version_written = entry.version
+        dyn.executed = True
+        # Prefetch write permission as early as the address is known
+        # (paper §3.1.2); failure to get an MSHR just skips the prefetch.
+        line = line_of(entry.addr, self.params.cache.line_bytes)
+        if self.cache.line_state(line) not in (CacheState.M, CacheState.E):
+            self.cache.request_write(line, _noop)
+
+    # ---------------------------------------------------------- memory stage
+    def _memory_stage(self) -> None:
+        if len(self.lq):
+            budget = self.params.core.issue_width
+            for entry in list(self.lq):
+                if budget == 0:
+                    break
+                if self._try_load(entry):
+                    budget -= 1
+        if self._pending_atomics:
+            self._try_atomics()
+
+    def _try_load(self, entry: LQEntry) -> bool:
+        dyn = entry.dyn
+        if entry.performed or not dyn.issued:
+            return False
+        line = entry.line
+        if dyn.mem_inflight:
+            # Already accessing; if we are the SoS load piggybacked on a
+            # write that the directory hinted is blocked, launch a fresh
+            # uncacheable read on a (possibly reserved) MSHR (§3.5.2).
+            if (not self.params.disable_sos_bypass
+                    and self.lq.is_sos(entry) and not dyn.used_tearoff
+                    and not dyn.bypass_launched
+                    and self.cache.write_blocked(line)):
+                request = self._make_request(entry)
+                if self.cache.load(request, sos_bypass=True) != "retry":
+                    dyn.bypass_launched = True
+                    return True
+            return False
+        if dyn.retry_when_ordered and not self.lq.is_sos(entry):
+            return False
+        if self.sq.unresolved_older_than(dyn.seq):
+            return False
+        if self._older_unperformed_atomic(dyn.seq):
+            return False
+        # Store-to-load forwarding: youngest older exact-address match.
+        fwd = self.sq.forward_for(dyn.resolved_addr, dyn.seq)
+        if fwd is not None:
+            if not fwd.value_ready:
+                return False  # wait for the store's value
+            self._perform_load(entry, fwd.version, fwd.value, forwarded=True)
+            return True
+        sb_entry = self.sb.forward(dyn.resolved_addr, dyn.seq)
+        if sb_entry is not None:
+            self._perform_load(entry, sb_entry.version, sb_entry.value,
+                               forwarded=True)
+            return True
+        # §3.4 optimization: don't issue unordered loads for a line whose
+        # lockdown has already been seen by an invalidation.
+        if self.lockdowns.line_pending_inv(line) and not self.lq.is_sos(entry):
+            return False
+        request = self._make_request(entry)
+        sos_bypass = (not self.params.disable_sos_bypass
+                      and self.lq.is_sos(entry)
+                      and self.cache.write_blocked(line))
+        result = self.cache.load(request, sos_bypass=sos_bypass)
+        if result == "retry":
+            return False
+        dyn.mem_inflight = True
+        dyn.retry_when_ordered = False
+        if sos_bypass:
+            dyn.bypass_launched = True
+        return True
+
+    def _make_request(self, entry: LQEntry) -> LoadRequest:
+        dyn = entry.dyn
+
+        def is_ordered() -> bool:
+            return (not dyn.squashed and not dyn.performed
+                    and self.lq.first_nonperformed() is entry)
+
+        def on_value(versioned, uncacheable: bool) -> None:
+            if dyn.squashed or dyn.performed:
+                return
+            version, value = versioned
+            dyn.used_tearoff = uncacheable
+            self._perform_load(entry, version, value, uncacheable=uncacheable)
+
+        def on_must_retry(wait_for_sos: bool) -> None:
+            if dyn.squashed or dyn.performed:
+                return
+            dyn.mem_inflight = False
+            dyn.bypass_launched = False
+            dyn.retry_when_ordered = wait_for_sos
+
+        return LoadRequest(byte_addr=dyn.resolved_addr, is_ordered=is_ordered,
+                           on_value=on_value, on_must_retry=on_must_retry)
+
+    def _perform_load(self, entry: LQEntry, version: int, value: int, *,
+                      forwarded: bool = False, uncacheable: bool = False) -> None:
+        dyn = entry.dyn
+        dyn.performed = True
+        dyn.executed = True
+        dyn.mem_inflight = False
+        dyn.value = value
+        dyn.version_read = version
+        entry.performed = True
+        entry.forwarded = forwarded
+        dyn.forwarded_load = forwarded
+        dyn.performed_cycle = self.events.now
+        self._stat_loads.add()
+        self.lockdowns.sweep_ordered()
+
+    def _older_unperformed_atomic(self, seq: int) -> bool:
+        if not self._pending_atomics:
+            return False
+        return any(a.seq < seq and not a.performed and not a.squashed
+                   for a in self._pending_atomics)
+
+    # ---------------------------------------------------------------- atomic
+    def _try_atomics(self) -> None:
+        head = self.rob.head()
+        if head is None or head.itype is not InstrType.ATOMIC:
+            return
+        dyn = head
+        if dyn.performed or not dyn.issued or not self.sb.empty:
+            return
+        line = line_of(dyn.resolved_addr, self.params.cache.line_bytes)
+        state = self.cache.line_state(line)
+        if state is CacheState.E:
+            self.cache.request_write(line, _noop)  # silent E->M
+            state = self.cache.line_state(line)
+        if state is CacheState.M:
+            self._perform_atomic(dyn, line)
+        elif not self.cache.has_write_mshr(line):
+            self.cache.request_write(line, _noop)
+
+    def _perform_atomic(self, dyn: DynInstr, line: LineAddr) -> None:
+        addr = dyn.resolved_addr
+        offset = addr % self.params.cache.line_bytes
+        line_entry = self.cache.line_entry(line)
+        old_version, old_value = line_entry.data.read(offset)
+        new_value = 1 if dyn.instr.op == "tas" else old_value + dyn.instr.imm
+        version = self.log.new_version(self.core_id, dyn.seq, addr, new_value)
+        self.cache.perform_atomic(addr, version, new_value)
+        self.log.store_performed(version)
+        self.log.record_atomic(self.core_id, dyn.seq, addr,
+                               old_version, version, self.events.now)
+        dyn.value = old_value
+        dyn.version_read = old_version
+        dyn.version_written = version
+        dyn.performed = True
+        dyn.executed = True
+        self._pending_atomics.remove(dyn)
+        self._stat_loads.add()
+        self._stat_stores.add()
+
+    # ---------------------------------------------------------------- stores
+    def _sb_drain(self) -> None:
+        head = self.sb.head()
+        if head is None:
+            return
+        state = self.cache.line_state(head.line)
+        if state is CacheState.E:
+            self.cache.request_write(head.line, _noop)  # silent E->M
+            state = self.cache.line_state(head.line)
+        if state is CacheState.M:
+            self.cache.perform_store(head.byte_addr, head.version, head.value)
+            self.log.store_performed(head.version)
+            self.log.record_store(self.core_id, head.seq, head.byte_addr,
+                                  head.version, self.events.now)
+            self.sb.pop_head()
+            self._stat_stores.add()
+        elif not self.cache.has_write_mshr(head.line):
+            self.cache.request_write(head.line, _noop)
+
+    # ---------------------------------------------------------------- commit
+    def do_commit(self, dyn: DynInstr) -> None:
+        """Retire *dyn* (called by the commit unit after eligibility)."""
+        self.rob.commit(dyn)
+        dyn.committed = True
+        itype = dyn.itype
+        if itype is InstrType.LOAD:
+            entry = dyn.lq_entry
+            if self.mode is CommitMode.OOO_WB and self.lq.is_mspeculative(entry):
+                if not self.lockdowns.export_on_commit(entry):
+                    raise SimulationError("commit of M-spec load with full LDT")
+            self.lq.remove(entry)
+            # Loads are logged at commit so squashed (re-executed) loads
+            # never pollute the consistency checker's event set.
+            self.log.record_load(self.core_id, dyn.seq, dyn.resolved_addr,
+                                 dyn.version_read, dyn.performed_cycle,
+                                 forwarded=dyn.forwarded_load,
+                                 uncacheable=dyn.used_tearoff)
+        elif itype is InstrType.STORE:
+            sq_entry = dyn.sq_entry
+            line = line_of(sq_entry.addr, self.params.cache.line_bytes)
+            self.sb.push(SBEntry(byte_addr=sq_entry.addr, line=line,
+                                 offset=sq_entry.addr % self.params.cache.line_bytes,
+                                 version=sq_entry.version,
+                                 value=sq_entry.value, seq=dyn.seq))
+            self.sq.remove(sq_entry)
+        if dyn.instr.dst is not None:
+            self.reg_values[dyn.instr.dst] = dyn.value or 0
+            if self.reg_producer.get(dyn.instr.dst) is dyn:
+                del self.reg_producer[dyn.instr.dst]
+        self._stat_committed.add()
+        self._stat_commits_total.add()
+
+    # ---------------------------------------------------------------- squash
+    def _squash(self, squashed: List[DynInstr]) -> None:
+        if not squashed:
+            return
+        for dyn in squashed:  # oldest first: heirs for guards survive
+            dyn.squashed = True
+            if dyn.itype is InstrType.LOAD:
+                entry = dyn.lq_entry
+                if entry is not None:
+                    self.lockdowns.on_squash(entry)
+                    self.lq.remove(entry)
+                    dyn.lq_entry = None
+            elif dyn.itype is InstrType.STORE:
+                sq_entry = dyn.sq_entry
+                if sq_entry is not None:
+                    self.sq.remove(sq_entry)
+                    dyn.sq_entry = None
+            elif dyn.itype is InstrType.ATOMIC:
+                if dyn in self._pending_atomics:
+                    self._pending_atomics.remove(dyn)
+        self.iq = [d for d in self.iq if not d.squashed]
+        self._rebuild_rename()
+        self.lockdowns.sweep_ordered()
+
+    def _rebuild_rename(self) -> None:
+        self.reg_producer = {}
+        for dyn in self.rob:
+            if dyn.instr.dst is not None and not dyn.committed:
+                self.reg_producer[dyn.instr.dst] = dyn
+
+    # ------------------------------------------------------------ coherence
+    def _on_invalidation(self, line: LineAddr) -> bool:
+        """Cache hook: an invalidation must be answered for *line*."""
+        if self.mode is CommitMode.OOO_WB:
+            return self.lockdowns.on_invalidation(line)
+        if self.mode is CommitMode.OOO_UNSAFE:
+            return False
+        victims = self.lq.mspeculative_on_line(line)
+        if victims:
+            self._consistency_squash(victims[0])
+        return False
+
+    def _on_nonsilent_eviction(self, line: LineAddr) -> None:
+        """A non-silent shared eviction loses future invalidations for
+        *line*: squash-mode cores must squash M-speculative loads now
+        (paper §3.8)."""
+        if self.mode in (CommitMode.OOO_WB, CommitMode.OOO_UNSAFE):
+            return
+        victims = self.lq.mspeculative_on_line(line)
+        if victims:
+            self._consistency_squash(victims[0])
+
+    def _consistency_squash(self, entry: LQEntry) -> None:
+        dyn = entry.dyn
+        self._stat_squashes.add()
+        self._squash(self.rob.squash_from(dyn))
+        self.pc = dyn.trace_idx
+        self.fetch_stall_until = (self.events.now
+                                  + self.params.core.mispredict_penalty)
+
+    def _lockdown_query(self, line: LineAddr) -> bool:
+        if self.mode is not CommitMode.OOO_WB:
+            return False
+        return self.lockdowns.has_lockdown(line)
+
+    # ------------------------------------------------------------------ done
+    def _check_done(self) -> None:
+        if self.pc >= len(self.trace) and self.rob.empty and self.sb.empty:
+            self.done = True
+            self.done_cycle = self.events.now
+
+    def snapshot(self) -> str:
+        """One-line diagnostic used in deadlock reports."""
+        head = self.rob.head()
+        return (f"core{self.core_id}: pc={self.pc}/{len(self.trace)} "
+                f"rob={len(self.rob)} head={head!r} lq={len(self.lq)} "
+                f"sq={len(self.sq)} sb={len(self.sb)} iq={len(self.iq)} "
+                f"ldt={len(self.ldt)}")
+
+
+def _noop() -> None:
+    """Placeholder grant callback for polled write permission."""

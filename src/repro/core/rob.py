@@ -1,0 +1,73 @@
+"""Collapsible reorder buffer.
+
+Out-of-order commit removes entries from arbitrary positions; the
+collapsible design closes the gap immediately so program order is kept
+implicitly by position (the design Bell & Lipasti settled on, paper §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..common.errors import SimulationError
+from .instruction import DynInstr
+
+
+class ReorderBuffer:
+    """Program-ordered window of in-flight instructions."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: List[DynInstr] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynInstr]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> DynInstr:
+        return self._entries[index]
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def head(self) -> Optional[DynInstr]:
+        return self._entries[0] if self._entries else None
+
+    def push(self, dyn: DynInstr) -> None:
+        if self.full:
+            raise SimulationError("ROB overflow")
+        self._entries.append(dyn)
+
+    def commit(self, dyn: DynInstr) -> None:
+        """Remove *dyn* from any position (collapse the gap)."""
+        self._entries.remove(dyn)
+
+    def squash_younger_than(self, dyn: Optional[DynInstr]) -> List[DynInstr]:
+        """Remove and return everything younger than *dyn*.
+
+        With ``dyn=None`` the whole ROB is squashed.  *dyn* itself stays.
+        """
+        if dyn is None:
+            squashed, self._entries = self._entries, []
+            return squashed
+        try:
+            pos = self._entries.index(dyn)
+        except ValueError:
+            raise SimulationError(f"{dyn!r} not in ROB")
+        squashed = self._entries[pos + 1:]
+        del self._entries[pos + 1:]
+        return squashed
+
+    def squash_from(self, dyn: DynInstr) -> List[DynInstr]:
+        """Remove and return *dyn* and everything younger."""
+        pos = self._entries.index(dyn)
+        squashed = self._entries[pos:]
+        del self._entries[pos:]
+        return squashed

@@ -1,0 +1,92 @@
+"""Store queue (pre-commit stores) with store-to-load forwarding.
+
+Stores sit here from dispatch until commit, at which point they move to
+the FIFO store buffer.  Loads search older stores for an exact-address
+match (TSO forwarding, paper footnote 5); an older store with an
+*unresolved* address conservatively blocks younger loads from issuing
+(this model does not speculate on memory dependences — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..common.errors import SimulationError
+from .instruction import DynInstr
+
+
+@dataclass
+class SQEntry:
+    """One in-flight (uncommitted) store."""
+
+    dyn: DynInstr
+    addr: Optional[int] = None  # byte address, once resolved
+    value: Optional[int] = None
+    version: Optional[int] = None  # assigned when the value is ready
+
+    @property
+    def resolved(self) -> bool:
+        return self.addr is not None
+
+    @property
+    def value_ready(self) -> bool:
+        return self.version is not None
+
+
+class StoreQueue:
+    """Program-ordered queue of uncommitted stores."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: List[SQEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[SQEntry]:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, dyn: DynInstr) -> SQEntry:
+        if self.full:
+            raise SimulationError("SQ overflow")
+        entry = SQEntry(dyn=dyn)
+        self._entries.append(entry)
+        return entry
+
+    def entry_for(self, dyn: DynInstr) -> Optional[SQEntry]:
+        for entry in self._entries:
+            if entry.dyn is dyn:
+                return entry
+        return None
+
+    def remove(self, entry: SQEntry) -> None:
+        self._entries.remove(entry)
+
+    def oldest(self) -> Optional[SQEntry]:
+        return self._entries[0] if self._entries else None
+
+    def unresolved_older_than(self, load_seq: int) -> bool:
+        """Any older store whose address is still unknown?"""
+        return any(
+            entry.dyn.seq < load_seq and not entry.resolved
+            for entry in self._entries
+        )
+
+    def forward_for(self, byte_addr: int, load_seq: int) -> Optional[SQEntry]:
+        """Youngest older store matching *byte_addr* exactly.
+
+        Returns the entry even if its value is not ready yet — the load
+        then waits for the value rather than reading the cache.
+        """
+        best: Optional[SQEntry] = None
+        for entry in self._entries:
+            if entry.dyn.seq >= load_seq:
+                continue
+            if entry.resolved and entry.addr == byte_addr:
+                best = entry
+        return best

@@ -1,0 +1,18 @@
+"""Memory-side building blocks: arrays, MSHRs, store buffer, line data."""
+
+from .cache_array import CacheArray, PresenceLRU
+from .line_data import INITIAL, LineData, VersionedValue
+from .mshr import MSHREntry, MSHRFile
+from .store_buffer import SBEntry, StoreBuffer
+
+__all__ = [
+    "CacheArray",
+    "PresenceLRU",
+    "INITIAL",
+    "LineData",
+    "VersionedValue",
+    "MSHREntry",
+    "MSHRFile",
+    "SBEntry",
+    "StoreBuffer",
+]

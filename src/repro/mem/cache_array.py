@@ -1,0 +1,101 @@
+"""Set-associative cache tag/state array with LRU replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from ..common.errors import ConfigError
+from ..common.types import LineAddr
+
+T = TypeVar("T")
+
+
+class CacheArray(Generic[T]):
+    """Maps line addresses to caller-defined entries, LRU per set.
+
+    The array stores whatever entry object the controller wants (coherence
+    state, line data, ...).  It enforces capacity: inserting into a full
+    set reports the LRU victim, which the controller must evict first.
+    """
+
+    def __init__(self, sets: int, ways: int) -> None:
+        if sets <= 0 or ways <= 0:
+            raise ConfigError("cache sets and ways must be positive")
+        self.sets = sets
+        self.ways = ways
+        # One OrderedDict per set; order = LRU (front) .. MRU (back).
+        self._sets: List["OrderedDict[LineAddr, T]"] = [
+            OrderedDict() for __ in range(sets)
+        ]
+
+    def _set_for(self, line: LineAddr) -> "OrderedDict[LineAddr, T]":
+        return self._sets[int(line) % self.sets]
+
+    def lookup(self, line: LineAddr, *, touch: bool = True) -> Optional[T]:
+        """Return the entry for *line*, updating LRU unless ``touch=False``."""
+        entries = self._set_for(line)
+        entry = entries.get(line)
+        if entry is not None and touch:
+            entries.move_to_end(line)
+        return entry
+
+    def __contains__(self, line: LineAddr) -> bool:
+        return line in self._set_for(line)
+
+    def victim_for(self, line: LineAddr) -> Optional[Tuple[LineAddr, T]]:
+        """LRU victim that must leave before *line* can be inserted.
+
+        Returns ``None`` if the set has a free way or already holds *line*.
+        """
+        entries = self._set_for(line)
+        if line in entries or len(entries) < self.ways:
+            return None
+        victim_line = next(iter(entries))
+        return victim_line, entries[victim_line]
+
+    def insert(self, line: LineAddr, entry: T) -> None:
+        """Insert (or replace) *line*; the set must have room."""
+        entries = self._set_for(line)
+        if line not in entries and len(entries) >= self.ways:
+            raise ConfigError(
+                f"set for {line!r} is full; evict the victim before inserting"
+            )
+        entries[line] = entry
+        entries.move_to_end(line)
+
+    def remove(self, line: LineAddr) -> Optional[T]:
+        """Remove and return the entry for *line* (None if absent)."""
+        return self._set_for(line).pop(line, None)
+
+    def items(self) -> Iterator[Tuple[LineAddr, T]]:
+        for entries in self._sets:
+            yield from entries.items()
+
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+
+class PresenceLRU:
+    """A tag-only LRU array used to model L1 presence for hit latency.
+
+    The private hierarchy keeps one coherence point (the L2-sized array);
+    this structure only decides whether an access pays the L1 or the L2
+    hit latency (DESIGN.md decision 2).
+    """
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self._tags: CacheArray[bool] = CacheArray(sets, ways)
+
+    def touch(self, line: LineAddr) -> None:
+        """Record an access to *line*, evicting the L1-LRU tag if needed."""
+        victim = self._tags.victim_for(line)
+        if victim is not None:
+            self._tags.remove(victim[0])
+        self._tags.insert(line, True)
+
+    def __contains__(self, line: LineAddr) -> bool:
+        return line in self._tags
+
+    def drop(self, line: LineAddr) -> None:
+        self._tags.remove(line)

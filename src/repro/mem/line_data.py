@@ -1,0 +1,53 @@
+"""Value tracking at cache-line granularity.
+
+The simulator moves *real* values through the coherence protocol: each
+store is assigned a globally unique version id, and a cache line's content
+maps byte offsets to the (version, value) last written there.  A load
+returns whatever version the copy it reads actually holds — which is how
+a speculatively reordered load can bind to a stale value, the behaviour
+the whole paper is about.  The TSO checker later validates the observed
+versions.
+
+Version 0 denotes the initial value (zero) of every location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: (version id, value) for one byte-granular location.
+VersionedValue = Tuple[int, int]
+
+INITIAL: VersionedValue = (0, 0)
+
+
+@dataclass
+class LineData:
+    """Contents of one cache line: byte offset -> (version, value).
+
+    Offsets never written retain the initial (0, 0).  Copies are shallow
+    snapshots: once a copy is handed to another cache it is never mutated
+    through the original (callers must use :meth:`copy`).
+    """
+
+    values: Dict[int, VersionedValue] = field(default_factory=dict)
+
+    def read(self, offset: int) -> VersionedValue:
+        return self.values.get(offset, INITIAL)
+
+    def write(self, offset: int, version: int, value: int) -> None:
+        self.values[offset] = (version, value)
+
+    def copy(self) -> "LineData":
+        return LineData(dict(self.values))
+
+    def merge_from(self, other: "LineData") -> None:
+        """Adopt *other*'s contents (used when a writeback reaches the LLC)."""
+        self.values = dict(other.values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"+{off}=v{ver}:{val}" for off, (ver, val) in sorted(self.values.items())
+        )
+        return f"LineData({inner})"

@@ -1,0 +1,82 @@
+"""FIFO store buffer (post-commit stores, TSO store->store order).
+
+Committed stores leave the store queue and wait here until they reach the
+head *and* the core holds write permission for their line (paper §3.1.2).
+TSO allows loads to bypass the buffer, forwarding from it on an exact
+address match (paper footnote 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Optional
+
+from ..common.errors import SimulationError
+from ..common.types import LineAddr
+
+
+@dataclass
+class SBEntry:
+    """One committed store awaiting global visibility."""
+
+    byte_addr: int
+    line: LineAddr
+    offset: int
+    version: int  # globally unique store version id
+    value: int
+    seq: int  # core-local program-order sequence of the store
+
+
+class StoreBuffer:
+    """Bounded FIFO of committed stores."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: Deque[SBEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, entry: SBEntry) -> None:
+        if self.full:
+            raise SimulationError("store buffer overflow")
+        self._entries.append(entry)
+
+    def head(self) -> Optional[SBEntry]:
+        return self._entries[0] if self._entries else None
+
+    def pop_head(self) -> SBEntry:
+        if not self._entries:
+            raise SimulationError("pop from empty store buffer")
+        return self._entries.popleft()
+
+    def forward(self, byte_addr: int,
+                before_seq: Optional[int] = None) -> Optional[SBEntry]:
+        """Youngest entry matching *byte_addr* exactly.
+
+        ``before_seq`` restricts the search to stores older than the
+        forwarding load: cores that retire loads early (ECL) can have
+        *younger* stores in the SB while an older load is outstanding,
+        and those must never forward backwards in program order.
+        """
+        for entry in reversed(self._entries):
+            if entry.byte_addr == byte_addr and (
+                    before_seq is None or entry.seq < before_seq):
+                return entry
+        return None
+
+    def has_line(self, line: LineAddr) -> bool:
+        """Any buffered store targeting cache line *line*?"""
+        return any(entry.line == line for entry in self._entries)
+
+    def __iter__(self) -> Iterator[SBEntry]:
+        return iter(self._entries)

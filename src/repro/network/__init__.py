@@ -1,0 +1,7 @@
+"""On-chip interconnect: messages, mesh topology, and delivery model."""
+
+from .mesh import MeshNetwork
+from .message import Message
+from .topology import Link, MeshTopology
+
+__all__ = ["MeshNetwork", "Message", "Link", "MeshTopology"]

@@ -1,0 +1,45 @@
+"""Coherence messages carried by the on-chip network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..common.types import LineAddr, MsgType, flits_for
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One point-to-point message between a cache controller and a
+    directory bank (or between two caches, for 3-hop transactions).
+
+    ``payload`` carries transaction-specific fields, e.g. ``requester``
+    (tile id of the original requester for forwarded requests) or
+    ``ack_count`` (number of invalidation acks the writer must collect).
+    """
+
+    msg_type: MsgType
+    src: int  # source tile id
+    dst: int  # destination tile id
+    dst_port: str  # "cache" or "llc"
+    line: LineAddr
+    payload: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def flits(self) -> int:
+        return flits_for(self.msg_type)
+
+    @property
+    def requester(self) -> Optional[int]:
+        return self.payload.get("requester")
+
+    def __repr__(self) -> str:
+        extra = f" {self.payload}" if self.payload else ""
+        return (
+            f"<{self.msg_type.value} #{self.msg_id} {self.src}->{self.dst}"
+            f":{self.dst_port} {self.line!r}{extra}>"
+        )

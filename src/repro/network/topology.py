@@ -1,0 +1,59 @@
+"""2D-mesh geometry and deterministic X-Y routing.
+
+Tiles are numbered row-major on a ``side x side`` mesh.  Routing is
+dimension-ordered (X first, then Y), which is deadlock-free and, crucially
+for this paper, **unordered across different source-destination pairs**:
+two messages between different endpoints may arrive in any relative order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..common.errors import ConfigError
+
+Link = Tuple[int, int]  # directed link (from_tile, to_tile)
+
+
+class MeshTopology:
+    """Geometry helper: coordinates, hop counts, and X-Y routes."""
+
+    def __init__(self, num_tiles: int) -> None:
+        side = int(round(num_tiles ** 0.5))
+        if side * side != num_tiles:
+            raise ConfigError(f"mesh requires a square tile count, got {num_tiles}")
+        self.num_tiles = num_tiles
+        self.side = side
+
+    def coords(self, tile: int) -> Tuple[int, int]:
+        """(x, y) coordinates of *tile*."""
+        if not 0 <= tile < self.num_tiles:
+            raise ConfigError(f"tile {tile} out of range 0..{self.num_tiles - 1}")
+        return tile % self.side, tile // self.side
+
+    def tile_at(self, x: int, y: int) -> int:
+        return y * self.side + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two tiles."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> List[Link]:
+        """Directed links on the X-then-Y route from *src* to *dst*."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        links: List[Link] = []
+        x, y = sx, sy
+        step = 1 if dx > x else -1
+        while x != dx:
+            nxt = x + step
+            links.append((self.tile_at(x, y), self.tile_at(nxt, y)))
+            x = nxt
+        step = 1 if dy > y else -1
+        while y != dy:
+            nxt = y + step
+            links.append((self.tile_at(x, y), self.tile_at(x, nxt)))
+            y = nxt
+        return links

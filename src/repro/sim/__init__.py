@@ -1,0 +1,16 @@
+"""System assembly and run loop."""
+
+from .results import SimResult
+from .runner import compare_commit_modes, run_traces, run_workload
+from .system import MulticoreSystem
+from .tracing import ProtocolTracer, TraceRecord
+
+__all__ = [
+    "SimResult",
+    "compare_commit_modes",
+    "run_traces",
+    "run_workload",
+    "MulticoreSystem",
+    "ProtocolTracer",
+    "TraceRecord",
+]

@@ -1,0 +1,141 @@
+"""Simulation results container and derived metrics."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..common.params import SystemParams
+from ..consistency.execution import ExecutionLog
+
+
+@dataclass
+class SimResult:
+    """Everything a benchmark needs from one simulation run."""
+
+    params: SystemParams
+    cycles: int
+    stats: Dict[str, int]
+    log: ExecutionLog
+    per_core_cycles: List[int] = field(default_factory=list)
+    #: {histogram name: {total, mean, max}} (e.g. WritersBlock durations).
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    # ----------------------------------------------------------- raw counters
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.stats.get(name, default)
+
+    @property
+    def committed(self) -> int:
+        return self.counter("core.committed")
+
+    @property
+    def loads_performed(self) -> int:
+        return self.counter("core.loads_performed")
+
+    @property
+    def stores_performed(self) -> int:
+        return self.counter("core.stores_performed")
+
+    @property
+    def consistency_squashes(self) -> int:
+        return self.counter("core.consistency_squashes")
+
+    @property
+    def network_flit_hops(self) -> int:
+        """Traffic metric: flits x links traversed."""
+        return self.counter("network.flit_hops")
+
+    @property
+    def writes_blocked(self) -> int:
+        """Write requests delayed by WritersBlock (Nacked or queued)."""
+        return (self.counter("dir.writersblock_entered")
+                + self.counter("dir.writes_blocked"))
+
+    @property
+    def uncacheable_reads(self) -> int:
+        return self.counter("dir.uncacheable_reads")
+
+    @property
+    def writersblock_mean_duration(self) -> float:
+        """Mean cycles a write spent held in WritersBlock (footnote 2)."""
+        return self.histograms.get("dir.writersblock_duration",
+                                   {}).get("mean", 0.0)
+
+    @property
+    def writersblock_max_duration(self) -> float:
+        return self.histograms.get("dir.writersblock_duration",
+                                   {}).get("max", 0.0)
+
+    # --------------------------------------------------------- paper metrics
+    @property
+    def writes_blocked_per_kilostore(self) -> float:
+        """Figure 8 (top): blocked write requests per 1000 stores."""
+        stores = max(self.stores_performed, 1)
+        return 1000.0 * self.writes_blocked / stores
+
+    @property
+    def uncacheable_per_kiloload(self) -> float:
+        """Figure 8 (bottom): uncacheable data responses per 1000 loads."""
+        loads = max(self.loads_performed, 1)
+        return 1000.0 * self.uncacheable_reads / loads
+
+    def stall_fraction(self, reason: str) -> float:
+        """Figure 10 (top): fraction of active cycles stalled for *reason*."""
+        total = sum(
+            self.counter(f"core{i}.active_cycles")
+            for i in range(self.params.num_cores)
+        )
+        return self.counter(f"core.stall_{reason}") / max(total, 1)
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Execution-time improvement vs *baseline* (>1 means faster)."""
+        return baseline.cycles / max(self.cycles, 1)
+
+    # ----------------------------------------------------------- persistence
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot (stats + headline metrics).
+
+        The execution log is not included (it can be huge); persist the
+        numbers a benchmark or paper table needs.
+        """
+        params = dataclasses.asdict(self.params)
+        params["commit_mode"] = self.params.commit_mode.value
+        return {
+            "params": params,
+            "cycles": self.cycles,
+            "per_core_cycles": list(self.per_core_cycles),
+            "stats": dict(self.stats),
+            "metrics": {
+                "committed": self.committed,
+                "loads_performed": self.loads_performed,
+                "stores_performed": self.stores_performed,
+                "consistency_squashes": self.consistency_squashes,
+                "network_flit_hops": self.network_flit_hops,
+                "writes_blocked": self.writes_blocked,
+                "uncacheable_reads": self.uncacheable_reads,
+                "writes_blocked_per_kilostore":
+                    self.writes_blocked_per_kilostore,
+                "uncacheable_per_kiloload": self.uncacheable_per_kiloload,
+                "writersblock_mean_duration":
+                    self.writersblock_mean_duration,
+                "writersblock_max_duration": self.writersblock_max_duration,
+            },
+            "histograms": dict(self.histograms),
+        }
+
+    def save_json(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+
+    def summary(self) -> str:
+        return (
+            f"cycles={self.cycles} committed={self.committed} "
+            f"loads={self.loads_performed} stores={self.stores_performed} "
+            f"wb_blocked={self.writes_blocked} "
+            f"uncacheable={self.uncacheable_reads} "
+            f"squashes={self.consistency_squashes} "
+            f"traffic={self.network_flit_hops}"
+        )

@@ -1,0 +1,43 @@
+"""High-level entry points: run a workload under a configuration."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..common.params import SystemParams, table6_system
+from ..common.types import CommitMode
+from ..consistency.tso_checker import check_tso
+from ..core.instruction import Instruction
+from .results import SimResult
+from .system import MulticoreSystem
+
+
+def run_traces(traces: Sequence[List[Instruction]],
+               params: Optional[SystemParams] = None, *,
+               check: bool = True) -> SimResult:
+    """Run raw per-core traces; optionally verify TSO afterwards."""
+    if params is None:
+        params = table6_system("SLM")
+    system = MulticoreSystem(params)
+    system.load_program(traces)
+    result = system.run()
+    if check and params.record_execution:
+        check_tso(result.log)
+    return result
+
+
+def run_workload(workload, params: Optional[SystemParams] = None, *,
+                 check: bool = True) -> SimResult:
+    """Run a :class:`repro.workloads.trace.Workload`."""
+    return run_traces(workload.traces, params, check=check)
+
+
+def compare_commit_modes(workload, base_params: SystemParams,
+                         modes: Iterable[CommitMode], *,
+                         check: bool = True) -> Dict[CommitMode, SimResult]:
+    """Run *workload* once per commit mode (paper Figure 10 setup)."""
+    results: Dict[CommitMode, SimResult] = {}
+    for mode in modes:
+        params = base_params.with_commit(mode)
+        results[mode] = run_workload(workload, params, check=check)
+    return results

@@ -1,0 +1,119 @@
+"""The multicore system: cores, private caches, mesh, directory banks.
+
+Tiles are numbered 0..N-1; each hosts a core + private cache and one
+LLC/directory bank.  A line's home bank is ``line % N`` (address
+interleaving).  The run loop advances a global clock: deliver due events
+(network messages, latency callbacks), tick every core, repeat.  A
+watchdog raises :class:`DeadlockError` if no instruction commits
+system-wide for ``watchdog_cycles`` — the deadlock-scenario tests rely
+on this to prove the safe-passage rules are load-bearing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..coherence.directory import DirectoryBank
+from ..coherence.private_cache import PrivateCache
+from ..common.errors import DeadlockError, SimulationError
+from ..common.event_queue import EventQueue
+from ..common.params import SystemParams
+from ..common.stats import StatsRegistry
+from ..consistency.execution import ExecutionLog
+from ..core.inorder_core import InOrderCore
+from ..core.instruction import Instruction
+from ..core.ooo_core import OoOCore
+from ..network.mesh import MeshNetwork
+from .results import SimResult
+
+
+class MulticoreSystem:
+    """Builds and runs one simulated multicore."""
+
+    def __init__(self, params: SystemParams) -> None:
+        params.validate()
+        self.params = params
+        self.events = EventQueue()
+        self.stats = StatsRegistry()
+        self.log = ExecutionLog(params.record_execution)
+        self.network = MeshNetwork(params.num_cores, params.network,
+                                   self.events, self.stats)
+        self.directories: List[DirectoryBank] = [
+            DirectoryBank(tile, params.cache, self.network, self.events,
+                          self.stats, writers_block=params.writers_block)
+            for tile in range(params.num_cores)
+        ]
+        self.caches: List[PrivateCache] = [
+            PrivateCache(tile, params.cache, self.network, self.events,
+                         self.stats, writers_block=params.writers_block)
+            for tile in range(params.num_cores)
+        ]
+        self.cores: List = [self._build_core(tile)
+                            for tile in range(params.num_cores)]
+
+    def _build_core(self, tile: int):
+        if self.params.core_type == "ooo":
+            return OoOCore(tile, self.params, self.caches[tile], self.events,
+                           self.stats, self.log)
+        return InOrderCore(tile, self.params, self.caches[tile], self.events,
+                           self.stats, self.log,
+                           ecl=self.params.core_type == "inorder-ecl")
+
+    def load_program(self, traces: Sequence[List[Instruction]]) -> None:
+        """Assign per-core traces (shorter list leaves extra cores idle)."""
+        if len(traces) > len(self.cores):
+            raise SimulationError(
+                f"{len(traces)} traces for {len(self.cores)} cores"
+            )
+        for core, trace in zip(self.cores, traces):
+            core.load_trace(list(trace))
+        for core in self.cores[len(traces):]:
+            core.load_trace([])
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> SimResult:
+        """Simulate until all cores finish (or watchdog/cycle-cap fires)."""
+        commit_counter = self.stats.counter("core.committed")
+        last_commits = commit_counter.value
+        last_progress_cycle = self.events.now
+        watchdog = self.params.watchdog_cycles
+        max_cycles = self.params.max_cycles
+        cores = self.cores
+        events = self.events
+        while True:
+            events.run_due()
+            active = False
+            for core in cores:
+                if not core.done:
+                    core.tick()
+                    active = True
+            if not active:
+                if events.empty:
+                    break
+                events.advance_to_next_event()
+                continue
+            if commit_counter.value != last_commits:
+                last_commits = commit_counter.value
+                last_progress_cycle = events.now
+            elif events.now - last_progress_cycle > watchdog:
+                raise DeadlockError(events.now, self._snapshot())
+            if max_cycles and events.now >= max_cycles:
+                raise SimulationError(f"cycle cap {max_cycles} exceeded")
+            events.advance()
+        return self._result()
+
+    def _snapshot(self) -> str:
+        lines = [core.snapshot() for core in self.cores if not core.done]
+        lines += [d.snapshot() for d in self.directories]
+        return "\n".join(lines)
+
+    def _result(self) -> SimResult:
+        done_cycles = [core.done_cycle or 0 for core in self.cores]
+        return SimResult(
+            params=self.params,
+            cycles=max(done_cycles) if done_cycles else self.events.now,
+            stats=self.stats.as_dict(),
+            log=self.log,
+            per_core_cycles=done_cycles,
+            histograms=self.stats.histogram_summaries(),
+        )

@@ -1,0 +1,27 @@
+"""Bounded model checking of the real protocol controllers."""
+
+from .explorer import (
+    BufferingNetwork,
+    ExplorationResult,
+    VerifCore,
+    VerifSystem,
+    explore,
+)
+from .properties import (
+    combined_invariant,
+    no_residue,
+    swmr_invariant,
+    writersblock_blocks_writes,
+)
+
+__all__ = [
+    "BufferingNetwork",
+    "ExplorationResult",
+    "VerifCore",
+    "VerifSystem",
+    "explore",
+    "combined_invariant",
+    "no_residue",
+    "swmr_invariant",
+    "writersblock_blocks_writes",
+]

@@ -1,0 +1,272 @@
+"""Bounded state-space exploration of the real coherence protocol.
+
+The simulator's network delivers messages at deterministic times, so a
+single run exercises one interleaving.  This explorer instead *buffers*
+every network send and branches on which pending message to deliver
+next (respecting the per-(src, dst) FIFO order that deterministic X-Y
+routing guarantees), deep-copying the whole system at each branch.
+Between deliveries, all locally scheduled work (latency callbacks,
+controller follow-ups) runs to quiescence — so the unit of reordering
+is exactly the unordered-network nondeterminism the paper's protocol
+must tolerate.
+
+At every fully quiescent state the caller's invariant checks run; at
+the end of each execution path a *termination* check verifies nothing
+is stuck (all injected operations completed).  State fingerprinting
+prunes re-explored interleavings.
+
+This is bounded model checking of the *actual implementation*, not an
+abstract model: the explored objects are the production
+:class:`PrivateCache` and :class:`DirectoryBank` instances.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..coherence.directory import DirectoryBank
+from ..coherence.private_cache import LoadRequest, PrivateCache
+from ..common.errors import SimulationError
+from ..common.event_queue import EventQueue
+from ..common.params import CacheParams, NetworkParams
+from ..common.stats import StatsRegistry
+from ..common.types import CacheState, LineAddr
+from ..network.mesh import MeshNetwork
+from ..network.message import Message
+
+
+class BufferingNetwork(MeshNetwork):
+    """Collects sends into a pending pool instead of scheduling them."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.pending: List[Message] = []
+
+    def send(self, msg: Message) -> int:
+        if (msg.dst, msg.dst_port) not in self._endpoints:
+            raise SimulationError(f"no endpoint for {msg!r}")
+        self.pending.append(msg)
+        return self.events.now
+
+    def deliverable(self) -> List[int]:
+        """Indices of pending messages that may be delivered next.
+
+        Per-(src, dst, port) FIFO: only the *oldest* pending message of
+        each channel is deliverable (deterministic routing guarantees
+        same-pair ordering); across channels, any order is possible.
+        """
+        seen: set = set()
+        indices: List[int] = []
+        for idx, msg in enumerate(self.pending):
+            key = (msg.src, msg.dst, msg.dst_port)
+            if key not in seen:
+                seen.add(key)
+                indices.append(idx)
+        return indices
+
+    def deliver(self, index: int) -> None:
+        msg = self.pending.pop(index)
+        self._endpoints[(msg.dst, msg.dst_port)](msg)
+
+
+class VerifCore:
+    """A scripted core-side agent (deepcopy-safe: no closures).
+
+    Owns the lockdown set and the outcomes of its issued loads/writes.
+    """
+
+    def __init__(self, tile: int) -> None:
+        self.tile = tile
+        self.cache: Optional[PrivateCache] = None
+        self.lockdowns: set = set()
+        self.nacked: set = set()
+        self.load_results: List[Tuple[int, Tuple[int, int], bool]] = []
+        self.load_retries: int = 0
+        self.writes_granted: int = 0
+        self._next_load = 0
+
+    # --- cache hooks -------------------------------------------------------
+    def invalidation_hook(self, line: LineAddr) -> bool:
+        if line in self.lockdowns:
+            self.nacked.add(line)
+            return True
+        return False
+
+    def lockdown_query(self, line: LineAddr) -> bool:
+        return line in self.lockdowns
+
+    def eviction_hook(self, line: LineAddr) -> None:
+        return None
+
+    # --- LoadRequest callbacks (bound methods: deepcopy-safe) --------------
+    def _on_value(self, versioned, uncacheable: bool) -> None:
+        self.load_results.append((self._current_load, versioned, uncacheable))
+
+    def _on_retry(self, wait_for_sos: bool = True) -> None:
+        self.load_retries += 1
+
+    def _is_ordered(self) -> bool:
+        return True  # scripted loads act as the SoS load
+
+    def issue_load(self, byte_addr: int) -> None:
+        self._current_load = self._next_load
+        self._next_load += 1
+        request = LoadRequest(byte_addr=byte_addr,
+                              is_ordered=self._is_ordered,
+                              on_value=self._on_value,
+                              on_must_retry=self._on_retry)
+        self.cache.load(request)
+
+    def _on_granted(self) -> None:
+        self.writes_granted += 1
+
+    def request_write(self, line: LineAddr) -> None:
+        self.cache.request_write(line, self._on_granted)
+
+    def release_lockdown(self, line: LineAddr) -> None:
+        self.lockdowns.discard(line)
+        if line in self.nacked:
+            self.nacked.discard(line)
+            self.cache.send_deferred_ack(line)
+
+
+class VerifSystem:
+    """Protocol-only system (no pipelines) built for exploration."""
+
+    def __init__(self, num_tiles: int = 4, *, writers_block: bool = True,
+                 cache_params: Optional[CacheParams] = None) -> None:
+        self.events = EventQueue()
+        self.stats = StatsRegistry()
+        params = cache_params or CacheParams()
+        self.network = BufferingNetwork(
+            num_tiles, NetworkParams(model_contention=False), self.events,
+            self.stats)
+        self.dirs = [DirectoryBank(t, params, self.network, self.events,
+                                   self.stats, writers_block=writers_block)
+                     for t in range(num_tiles)]
+        self.caches = [PrivateCache(t, params, self.network, self.events,
+                                    self.stats, writers_block=writers_block)
+                       for t in range(num_tiles)]
+        self.cores = [VerifCore(t) for t in range(num_tiles)]
+        #: Scenario scratch space: lives on the system so it forks with
+        #: it at each exploration branch (use instead of closure state).
+        self.scratch: Dict[str, object] = {}
+        for core, cache in zip(self.cores, self.caches):
+            core.cache = cache
+            cache.invalidation_hook = core.invalidation_hook
+            cache.lockdown_query = core.lockdown_query
+            cache.eviction_hook = core.eviction_hook
+
+    def settle(self, limit: int = 100_000) -> None:
+        """Run all locally scheduled events (not network deliveries)."""
+        steps = 0
+        while not self.events.empty:
+            self.events.run_due()
+            if self.events.empty:
+                break
+            self.events.advance_to_next_event()
+            steps += 1
+            if steps > limit:
+                raise SimulationError("settle() did not converge")
+
+    def fingerprint(self) -> Tuple:
+        """Hashable summary of protocol-visible state."""
+        pend = tuple(sorted(
+            (m.msg_type.value, m.src, m.dst, m.dst_port, int(m.line),
+             tuple(sorted((k, str(v)) for k, v in m.payload.items()
+                          if k != "data")))
+            for m in self.network.pending))
+        caches = tuple(
+            tuple(sorted((int(line), entry.state.value)
+                         for line, entry in cache._lines.items()))
+            for cache in self.caches)
+        mshrs = tuple(
+            tuple(sorted((int(e.line), e.kind, e.acks_received,
+                          str(e.acks_expected), e.has_data)
+                         for e in cache.mshrs.entries()))
+            for cache in self.caches)
+        dirs = tuple(
+            tuple(sorted((int(line), entry.state.value, str(entry.owner),
+                          tuple(sorted(entry.sharers)), len(entry.queue),
+                          entry.deferred_expected)
+                         for line, entry in bank._array.items()))
+            for bank in self.dirs)
+        cores = tuple(
+            (tuple(sorted(int(l) for l in core.lockdowns)),
+             tuple(sorted(int(l) for l in core.nacked)),
+             len(core.load_results), core.writes_granted)
+            for core in self.cores)
+        return (pend, caches, mshrs, dirs, cores)
+
+
+@dataclass
+class ExplorationResult:
+    states_explored: int = 0
+    paths_completed: int = 0
+    deduplicated: int = 0
+    max_pending: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def explore(setup: Callable[[VerifSystem], None],
+            invariant: Callable[[VerifSystem], Optional[str]],
+            final_check: Callable[[VerifSystem], Optional[str]], *,
+            num_tiles: int = 4, writers_block: bool = True,
+            max_states: int = 20_000,
+            on_quiescent: Optional[Callable[[VerifSystem], None]] = None,
+            ) -> ExplorationResult:
+    """Explore every delivery order of the scenario built by *setup*.
+
+    ``invariant(system)`` runs at every explored state and returns an
+    error string (or None); ``final_check(system)`` runs on each fully
+    quiescent path end.  ``on_quiescent`` lets scenarios inject
+    follow-up operations when the network drains (e.g. release a
+    lockdown only after the invalidation arrived).
+    """
+    root = VerifSystem(num_tiles, writers_block=writers_block)
+    setup(root)
+    root.settle()
+    result = ExplorationResult()
+    seen = set()
+    stack: List[VerifSystem] = [root]
+    while stack and result.states_explored < max_states:
+        system = stack.pop()
+        fp = system.fingerprint()
+        if fp in seen:
+            result.deduplicated += 1
+            continue
+        seen.add(fp)
+        result.states_explored += 1
+        result.max_pending = max(result.max_pending,
+                                 len(system.network.pending))
+        problem = invariant(system)
+        if problem:
+            result.violations.append(problem)
+            continue
+        choices = system.network.deliverable()
+        if not choices:
+            if on_quiescent is not None:
+                before = system.fingerprint()
+                on_quiescent(system)
+                system.settle()
+                if system.network.pending or system.fingerprint() != before:
+                    stack.append(system)
+                    continue
+            problem = final_check(system)
+            if problem:
+                result.violations.append(problem)
+            result.paths_completed += 1
+            continue
+        for choice in choices:
+            child = copy.deepcopy(system)
+            child.network.deliver(choice)
+            child.settle()
+            stack.append(child)
+    return result

@@ -1,0 +1,78 @@
+"""Invariants and canned scenarios for protocol exploration."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.types import CacheState, DirState, LineAddr
+from .explorer import VerifSystem
+
+
+def swmr_invariant(system: VerifSystem) -> Optional[str]:
+    """Single-writer / multiple-reader over every line, every state."""
+    lines = set()
+    for cache in system.caches:
+        for line, __ in cache._lines.items():
+            lines.add(line)
+    for line in lines:
+        states = [cache.line_state(line) for cache in system.caches]
+        exclusive = [i for i, s in enumerate(states)
+                     if s in (CacheState.M, CacheState.E)]
+        others = [i for i, s in enumerate(states)
+                  if s is not CacheState.I]
+        if len(exclusive) > 1:
+            return f"SWMR violated on {line!r}: owners {exclusive}"
+        if exclusive and len(others) > 1:
+            return (f"SWMR violated on {line!r}: owner {exclusive[0]} "
+                    f"with other copies {others}")
+    return None
+
+
+def writersblock_blocks_writes(system: VerifSystem) -> Optional[str]:
+    """While a dir entry is in WRITERS_BLOCK, no cache other than the
+    pending writer may hold write permission.
+
+    The pending writer itself is exempt: once the deferred ack reaches
+    it, it installs M and only *then* unblocks the directory — so there
+    is a legal window where the writer owns the line while the entry is
+    still formally in WRITERS_BLOCK.  What must never happen is a
+    *different* cache gaining write permission past the block, or the
+    writer gaining it while deferred acks are still outstanding.
+    """
+    for bank in system.dirs:
+        for line, entry in bank._array.items():
+            if entry.state is not DirState.WRITERS_BLOCK:
+                continue
+            for cache in system.caches:
+                state = cache.line_state(line)
+                if state not in (CacheState.M, CacheState.E):
+                    continue
+                if cache.tile != entry.writer:
+                    return (f"{line!r} in WritersBlock but non-writer "
+                            f"cache {cache.tile} holds {state}")
+                if entry.deferred_expected:
+                    return (f"{line!r}: writer {cache.tile} holds {state} "
+                            f"with {entry.deferred_expected} deferred "
+                            f"acks outstanding")
+    return None
+
+
+def combined_invariant(system: VerifSystem) -> Optional[str]:
+    return swmr_invariant(system) or writersblock_blocks_writes(system)
+
+
+def no_residue(system: VerifSystem) -> Optional[str]:
+    """Path-end check: nothing in flight, nothing transient, no MSHRs."""
+    if system.network.pending:
+        return f"messages left in flight: {system.network.pending}"
+    for bank in system.dirs:
+        for line, entry in bank._array.items():
+            if not entry.is_stable() or entry.queue:
+                return f"dir residue on {line!r}: {entry!r}"
+        if bank._evicting:
+            return f"eviction buffer residue: {list(bank._evicting)}"
+    for cache in system.caches:
+        if cache.mshrs.entries():
+            return (f"cache {cache.tile} MSHR residue: "
+                    f"{cache.mshrs.entries()}")
+    return None

@@ -1,0 +1,40 @@
+"""Workload construction: trace DSL, synchronization, benchmark suites."""
+
+from . import parsec, splash
+from .characterize import WorkloadProfile, characterize
+from .generators import WorkloadKit
+from .kernels import ALL_KERNELS
+from .parsec import PARSEC_WORKLOADS
+from .splash import SPLASH_WORKLOADS
+from .synchronization import (
+    Barrier,
+    BarrierEpisode,
+    lock_acquire,
+    lock_release,
+    spin_until_set,
+)
+from .trace import AddressSpace, TraceBuilder, Workload, ZERO_REG
+
+#: All benchmark generators by name (SPLASH-3-like + PARSEC-like).
+ALL_WORKLOADS = {**SPLASH_WORKLOADS, **PARSEC_WORKLOADS}
+
+__all__ = [
+    "ALL_KERNELS",
+    "ALL_WORKLOADS",
+    "PARSEC_WORKLOADS",
+    "SPLASH_WORKLOADS",
+    "WorkloadKit",
+    "WorkloadProfile",
+    "characterize",
+    "parsec",
+    "splash",
+    "Barrier",
+    "BarrierEpisode",
+    "lock_acquire",
+    "lock_release",
+    "spin_until_set",
+    "AddressSpace",
+    "TraceBuilder",
+    "Workload",
+    "ZERO_REG",
+]

@@ -1,0 +1,93 @@
+"""Static workload characterization.
+
+Downstream users tuning workloads want to know the instruction mix and
+sharing structure *before* burning simulation time; these helpers
+summarize a :class:`Workload` analytically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..common.types import InstrType
+from .trace import Workload
+
+
+@dataclass
+class WorkloadProfile:
+    """Static mix and sharing summary of one workload."""
+
+    name: str
+    num_threads: int
+    total_instructions: int
+    mix: Dict[str, float]  # itype -> fraction of static instructions
+    static_loads: int
+    static_stores: int
+    static_atomics: int
+    static_branches: int
+    #: Lines referenced by >1 thread / all referenced lines.
+    shared_line_fraction: float
+    #: Lines with static accesses from both a reader and a writer thread
+    #: where the threads differ (invalidation traffic candidates).
+    rw_shared_lines: int
+    distinct_lines: int
+
+    def summary(self) -> str:
+        mix = ", ".join(f"{k}={v:.0%}" for k, v in sorted(self.mix.items()))
+        return (f"{self.name}: {self.num_threads} threads, "
+                f"{self.total_instructions} static instrs ({mix}); "
+                f"{self.distinct_lines} lines, "
+                f"{self.shared_line_fraction:.0%} shared, "
+                f"{self.rw_shared_lines} read-write shared")
+
+
+def characterize(workload: Workload, *, line_bytes: int = 64) -> WorkloadProfile:
+    """Compute a :class:`WorkloadProfile` from static traces.
+
+    Dynamic behaviour (spin iterations, squashes) is not captured —
+    this is the *static* shape, cheap enough to call in a loop.
+    """
+    counts: Counter = Counter()
+    readers: Dict[int, Set[int]] = {}
+    writers: Dict[int, Set[int]] = {}
+    total = 0
+    for tid, trace in enumerate(workload.traces):
+        for instr in trace:
+            total += 1
+            counts[instr.itype] += 1
+            if instr.is_mem and instr.addr is not None:
+                line = instr.addr // line_bytes
+                if instr.itype is InstrType.LOAD:
+                    readers.setdefault(line, set()).add(tid)
+                elif instr.itype is InstrType.STORE:
+                    writers.setdefault(line, set()).add(tid)
+                else:  # atomic: both
+                    readers.setdefault(line, set()).add(tid)
+                    writers.setdefault(line, set()).add(tid)
+    lines = set(readers) | set(writers)
+    shared = {
+        line for line in lines
+        if len(readers.get(line, set()) | writers.get(line, set())) > 1
+    }
+    rw_shared = sum(
+        1 for line in lines
+        if writers.get(line)
+        and len(readers.get(line, set()) | writers.get(line, set())) > 1
+    )
+    mix = {itype.value: counts[itype] / max(total, 1) for itype in InstrType
+           if counts[itype]}
+    return WorkloadProfile(
+        name=workload.name,
+        num_threads=workload.num_threads,
+        total_instructions=total,
+        mix=mix,
+        static_loads=counts[InstrType.LOAD],
+        static_stores=counts[InstrType.STORE],
+        static_atomics=counts[InstrType.ATOMIC],
+        static_branches=counts[InstrType.BRANCH],
+        shared_line_fraction=len(shared) / max(len(lines), 1),
+        rw_shared_lines=rw_shared,
+        distinct_lines=len(lines),
+    )

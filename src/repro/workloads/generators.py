@@ -1,0 +1,135 @@
+"""Shared building blocks for the synthetic SPLASH/PARSEC-like workloads.
+
+Each benchmark-named generator composes these blocks with its own mix:
+partitioned array sweeps (private locality), boundary/neighbour sharing
+(stencils), all-to-all exchange phases (transpose-style), lock-protected
+updates, atomic reductions, and read-mostly shared tables.  The blocks
+are what create the paper-relevant behaviour: private hits under shared
+misses reorder loads, and concurrent writers to recently-read lines make
+invalidations land on M-speculative loads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from .synchronization import Barrier, lock_acquire, lock_release
+from .trace import AddressSpace, TraceBuilder, Workload
+
+
+class WorkloadKit:
+    """SPMD workload under construction: one builder per thread."""
+
+    def __init__(self, name: str, num_threads: int, *, seed: int = 1234,
+                 line_bytes: int = 64) -> None:
+        self.name = name
+        self.num_threads = num_threads
+        self.space = AddressSpace(line_bytes)
+        self.builders = [TraceBuilder() for __ in range(num_threads)]
+        self.rngs = [random.Random(seed * 1_000_003 + tid)
+                     for tid in range(num_threads)]
+        self._barrier = Barrier(self.space, f"{name}.bar", num_threads)
+
+    def barrier_all(self) -> None:
+        """Emit one barrier episode into every thread."""
+        episode = self._barrier.next_episode()
+        for builder in self.builders:
+            episode.emit(builder)
+
+    def finish(self, description: str = "", **metadata) -> Workload:
+        return Workload(
+            name=self.name,
+            traces=[builder.build() for builder in self.builders],
+            space=self.space,
+            description=description,
+            metadata=metadata,
+        )
+
+
+# ------------------------------------------------------------------ blocks
+def mixed_accesses(kit: WorkloadKit, tid: int, addrs: Sequence[int], *,
+                   ops: int, store_frac: float = 0.3,
+                   compute_max: int = 4, computes: int = 2,
+                   sequential: bool = False) -> None:
+    """Loads/stores over *addrs* with interspersed independent compute.
+
+    ``sequential`` walks the addresses in order (streaming locality);
+    otherwise accesses are uniform-random over *addrs*.  ``computes``
+    independent ALU ops follow each access, giving the commit stage
+    retirable work behind outstanding misses (the ILP that out-of-order
+    commit converts into performance).
+    """
+    t = kit.builders[tid]
+    rng = kit.rngs[tid]
+    for i in range(ops):
+        addr = addrs[i % len(addrs)] if sequential else rng.choice(addrs)
+        if rng.random() < store_frac:
+            t.store(addr, rng.randrange(1, 1 << 16))
+        else:
+            t.load(t.reg(), addr)
+        for __ in range(computes):
+            if compute_max:
+                t.compute(latency=rng.randrange(1, compute_max + 1))
+
+
+def dependent_chase(kit: WorkloadKit, tid: int, addrs: Sequence[int], *,
+                    hops: int, compute_latency: int = 3) -> None:
+    """Pointer-chase-like dependent loads (serialized misses).
+
+    Each load's address depends on the previous load's value via a
+    compute, so the loads cannot overlap — classic latency-bound phase.
+    """
+    t = kit.builders[tid]
+    rng = kit.rngs[tid]
+    prev: Optional[int] = None
+    for __ in range(hops):
+        addr = rng.choice(addrs)
+        reg = t.reg()
+        if prev is None:
+            t.load(reg, addr)
+        else:
+            # The next load's address becomes resolvable only once the
+            # previous load's value arrives (gate: imm=0 offset).
+            gate = t.reg()
+            t.gate(gate, srcs=(prev,), latency=compute_latency)
+            t.load(reg, addr, addr_reg=gate)
+        prev = reg
+
+
+def locked_update(kit: WorkloadKit, tid: int, lock_addr: int,
+                  protected: Sequence[int], *, updates: int = 2) -> None:
+    """Acquire a spin lock, read-modify-write protected variables."""
+    t = kit.builders[tid]
+    rng = kit.rngs[tid]
+    lock_acquire(t, lock_addr)
+    for __ in range(updates):
+        addr = rng.choice(protected)
+        r_old = t.reg()
+        r_new = t.reg()
+        t.load(r_old, addr)
+        t.addi(r_new, r_old, 1)
+        t.store(addr, value_reg=r_new)
+    lock_release(t, lock_addr)
+
+
+def atomic_reduce(kit: WorkloadKit, tid: int, counter_addr: int, *,
+                  times: int = 1) -> None:
+    """Atomic fetch-and-add into a shared accumulator."""
+    t = kit.builders[tid]
+    for __ in range(times):
+        t.faa(t.reg(), counter_addr, 1)
+
+
+def partition(addrs: Sequence[int], tid: int, num_threads: int) -> List[int]:
+    """The contiguous slice of *addrs* owned by thread *tid*."""
+    n = len(addrs)
+    lo = tid * n // num_threads
+    hi = (tid + 1) * n // num_threads
+    return list(addrs[lo:hi]) or [addrs[tid % n]]
+
+
+def neighbour_partition(addrs: Sequence[int], tid: int, num_threads: int,
+                        offset: int = 1) -> List[int]:
+    """A neighbouring thread's partition (stencil boundary exchange)."""
+    return partition(addrs, (tid + offset) % num_threads, num_threads)

@@ -1,0 +1,185 @@
+"""Verified parallel kernels.
+
+Unlike the synthetic benchmark generators (which mimic sharing patterns),
+these kernels compute *checkable results* through the simulated memory
+system: lock-protected reductions, atomic histograms, producer-consumer
+pipelines, and token-passing sum chains.  Their verifiers assert the
+functional outcome, so a consistency bug that survives the TSO checker
+would still surface as a wrong answer — and they double as end-to-end
+determinism probes across commit modes.
+
+Each builder returns ``(Workload, verifier)`` where
+``verifier(system, result)`` raises AssertionError on a wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .synchronization import lock_acquire, lock_release, spin_until_set
+from .trace import AddressSpace, TraceBuilder, Workload
+
+Verifier = Callable[[object, object], None]
+
+
+def _final_value(result, addr: int) -> int:
+    """Last value written to *addr* in coherence order (0 if never)."""
+    log = result.log
+    co = log.coherence_order.get(addr, [])
+    return log.value_of(co[-1]) if co else 0
+
+
+def locked_sum(num_threads: int = 4, per_thread: int = 6,
+               increment: int = 3) -> Tuple[Workload, Verifier]:
+    """Each thread adds ``increment`` to a shared total ``per_thread``
+    times under a spin lock.  Expected total: n * per_thread * inc."""
+    space = AddressSpace()
+    lock = space.new_var("lock")
+    total = space.new_var("total")
+    traces = []
+    for __ in range(num_threads):
+        t = TraceBuilder()
+        for __i in range(per_thread):
+            lock_acquire(t, lock)
+            old = t.reg()
+            new = t.reg()
+            t.load(old, total)
+            t.addi(new, old, increment)
+            t.store(total, value_reg=new)
+            lock_release(t, lock)
+        traces.append(t.build())
+    expected = num_threads * per_thread * increment
+
+    def verify(system, result):
+        assert _final_value(result, total) == expected, (
+            f"locked sum: {_final_value(result, total)} != {expected}")
+
+    workload = Workload(name="kernel-locked-sum", traces=traces, space=space,
+                        description="lock-protected shared accumulator")
+    return workload, verify
+
+
+def atomic_histogram(num_threads: int = 4,
+                     buckets: int = 4,
+                     per_thread: int = 8) -> Tuple[Workload, Verifier]:
+    """Threads scatter fetch-and-adds over shared buckets; the bucket
+    totals must equal the (deterministic) scatter pattern."""
+    space = AddressSpace()
+    bucket_addrs = space.new_array("bucket", buckets)
+    counts = [0] * buckets
+    traces = []
+    for tid in range(num_threads):
+        t = TraceBuilder()
+        for i in range(per_thread):
+            which = (tid * 3 + i * 5) % buckets
+            counts[which] += 1
+            t.faa(t.reg(), bucket_addrs[which], 1)
+        traces.append(t.build())
+
+    def verify(system, result):
+        for which, addr in enumerate(bucket_addrs):
+            got = _final_value(result, addr)
+            assert got == counts[which], (
+                f"bucket {which}: {got} != {counts[which]}")
+
+    workload = Workload(name="kernel-histogram", traces=traces, space=space,
+                        description="atomic scatter histogram")
+    return workload, verify
+
+
+def pipeline_sum(stages: int = 3, items: int = 5) -> Tuple[Workload, Verifier]:
+    """A chain of threads: stage 0 produces 1..items; each later stage
+    consumes its predecessor's stream (flag/data), adds 10, re-publishes.
+    The sink total is sum(1..items) + items * 10 * (stages - 1)."""
+    space = AddressSpace()
+    slots = [space.new_array(f"s{stage}", items)
+             for stage in range(stages)]
+    flags = [space.new_array(f"f{stage}", items)
+             for stage in range(stages)]
+    traces = []
+    for stage in range(stages):
+        t = TraceBuilder()
+        acc = t.reg()
+        t.mov(acc, 0)
+        for i in range(items):
+            if stage == 0:
+                t.store(slots[0][i], i + 1)
+                t.store(flags[0][i], 1)
+            else:
+                spin_until_set(t, flags[stage - 1][i], poll_delay=4)
+                value = t.reg()
+                t.load(value, slots[stage - 1][i])
+                bumped = t.reg()
+                t.addi(bumped, value, 10)
+                t.store(slots[stage][i], value_reg=bumped)
+                t.store(flags[stage][i], 1)
+                if stage == stages - 1:
+                    next_acc = t.reg()
+                    t.addi(next_acc, acc, 0)  # keep acc chain alive
+                    acc = next_acc
+        traces.append(t.build())
+    expected_last = [i + 1 + 10 * (stages - 1) for i in range(items)]
+
+    def verify(system, result):
+        for i in range(items):
+            got = _final_value(result, slots[stages - 1][i])
+            assert got == expected_last[i], (
+                f"pipeline item {i}: {got} != {expected_last[i]}")
+
+    workload = Workload(name="kernel-pipeline", traces=traces, space=space,
+                        description="flag/data pipeline with per-stage +10")
+    return workload, verify
+
+
+def running_sum_chain(num_threads: int = 4,
+                      per_thread: int = 5) -> Tuple[Workload, Verifier]:
+    """A token-passing chain: thread ``i`` waits for thread ``i-1``'s
+    flag, loads the running sum, adds its own (build-time) contribution
+    through real register arithmetic, publishes, and flags the next
+    thread.  The final sum is fully determined — and the values flow
+    through loads, so a stale read anywhere corrupts the answer."""
+    space = AddressSpace()
+    token = space.new_array("token", num_threads)
+    running = space.new_array("running", num_threads)
+    contributions = [
+        sum(((tid * 7 + i * 13) % 97) + 1 for i in range(per_thread))
+        for tid in range(num_threads)
+    ]
+    traces = []
+    for tid in range(num_threads):
+        t = TraceBuilder()
+        if tid > 0:
+            spin_until_set(t, token[tid - 1], poll_delay=4)
+            prev = t.reg()
+            t.load(prev, running[tid - 1])
+        else:
+            prev = t.reg()
+            t.mov(prev, 0)
+        acc = prev
+        # Accumulate the contribution in per_thread register steps so
+        # the dataflow is a real dependence chain, not one constant.
+        for i in range(per_thread):
+            nxt = t.reg()
+            t.addi(nxt, acc, ((tid * 7 + i * 13) % 97) + 1)
+            acc = nxt
+        t.store(running[tid], value_reg=acc)
+        t.store(token[tid], 1)
+        traces.append(t.build())
+    expected = sum(contributions)
+
+    def verify(system, result):
+        got = _final_value(result, running[num_threads - 1])
+        assert got == expected, f"running sum: {got} != {expected}"
+
+    workload = Workload(name="kernel-running-sum", traces=traces,
+                        space=space,
+                        description="token-passing running sum chain")
+    return workload, verify
+
+
+ALL_KERNELS: Dict[str, Callable[[], Tuple[Workload, Verifier]]] = {
+    "locked-sum": locked_sum,
+    "histogram": atomic_histogram,
+    "pipeline": pipeline_sum,
+    "running-sum": running_sum_chain,
+}

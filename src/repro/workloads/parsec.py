@@ -1,0 +1,252 @@
+"""PARSEC-3.0-like synthetic workloads.
+
+As with :mod:`repro.workloads.splash`, each generator reproduces its
+namesake's *sharing pattern*:
+
+=============  =======================================================
+blackscholes   read-mostly option table, private compute, own results
+bodytrack      barrier phases over a shared model + deep miss chains
+canneal        random two-element swaps behind fine-grained locks
+dedup          pipeline stages through lock-protected shared queues
+ferret         read-mostly database chase + pipeline queue
+fluidanimate   stencil cells with per-cell locks and false sharing
+freqmine       deep read-mostly FP-tree chases (most tear-off reads)
+streamcluster  hot shared centres table with frequent writes (most
+               blocked writes in the paper)
+swaptions      almost fully private Monte-Carlo paths
+vips           partitioned image sweep + boundary reads
+x264           producer-consumer rows through flags (flag/data races)
+=============  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .generators import (
+    WorkloadKit,
+    atomic_reduce,
+    dependent_chase,
+    locked_update,
+    mixed_accesses,
+    neighbour_partition,
+    partition,
+)
+from .synchronization import spin_until_set
+from .trace import Workload
+
+
+def _scaled(base: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(base * scale)))
+
+
+def blackscholes(num_threads: int = 16, scale: float = 1.0,
+                 seed: int = 31) -> Workload:
+    kit = WorkloadKit("blackscholes", num_threads, seed=seed)
+    options = kit.space.new_array("options", 96, stride=32)
+    results = kit.space.new_array("results", num_threads * 2, stride=16)
+    for tid in range(num_threads):
+        for __ in range(2):
+            mixed_accesses(kit, tid, options, ops=_scaled(40, scale),
+                           store_frac=0.0, compute_max=6)
+            mixed_accesses(kit, tid, partition(results, tid, num_threads),
+                           ops=_scaled(24, scale), store_frac=0.8,
+                           sequential=True)
+    kit.barrier_all()
+    return kit.finish("Blackscholes-like: read-mostly table, private results")
+
+
+def bodytrack(num_threads: int = 16, scale: float = 1.0,
+              seed: int = 32) -> Workload:
+    kit = WorkloadKit("bodytrack", num_threads, seed=seed)
+    model = kit.space.new_array("model", 128)
+    particles = kit.space.new_array("particles", num_threads * 6, stride=16)
+    counter = kit.space.new_var("pt_counter")
+    for __ in range(2):
+        for tid in range(num_threads):
+            atomic_reduce(kit, tid, counter)
+            # Deep dependent miss chains: the ROB-head-blocking pattern
+            # out-of-order commit helps most (paper: bodytrack +41.9%).
+            dependent_chase(kit, tid, model, hops=_scaled(10, scale),
+                            compute_latency=4)
+            mixed_accesses(kit, tid, model, ops=_scaled(30, scale),
+                           store_frac=0.02)
+            mixed_accesses(kit, tid, partition(particles, tid, num_threads),
+                           ops=_scaled(40, scale), store_frac=0.5)
+        kit.barrier_all()
+    return kit.finish("Bodytrack-like: barrier phases + deep miss chains")
+
+
+def canneal(num_threads: int = 16, scale: float = 1.0,
+            seed: int = 33) -> Workload:
+    kit = WorkloadKit("canneal", num_threads, seed=seed)
+    elements = kit.space.new_array("elements", 128, stride=32)
+    locks = kit.space.new_array("elem_locks", 12)
+    for tid in range(num_threads):
+        for __ in range(_scaled(8, scale)):
+            rng = kit.rngs[tid]
+            a = rng.randrange(len(elements))
+            b = rng.randrange(len(elements))
+            locked_update(kit, tid, locks[a % len(locks)],
+                          [elements[a], elements[b]], updates=2)
+            mixed_accesses(kit, tid, elements, ops=8, store_frac=0.0)
+    kit.barrier_all()
+    return kit.finish("Canneal-like: random swap pairs behind element locks")
+
+
+def dedup(num_threads: int = 16, scale: float = 1.0, seed: int = 34) -> Workload:
+    kit = WorkloadKit("dedup", num_threads, seed=seed)
+    queues = kit.space.new_array("queues", 8, stride=32)
+    qlocks = kit.space.new_array("qlocks", 4)
+    hashes = kit.space.new_array("hashes", 96, stride=16)
+    for tid in range(num_threads):
+        stage = tid % 3
+        for __ in range(2):
+            locked_update(kit, tid, qlocks[stage % len(qlocks)],
+                          partition(queues, stage, 3), updates=2)
+            mixed_accesses(kit, tid, hashes, ops=_scaled(40, scale),
+                           store_frac=0.3 if stage == 1 else 0.05)
+    kit.barrier_all()
+    return kit.finish("Dedup-like: staged pipeline through locked queues")
+
+
+def ferret(num_threads: int = 16, scale: float = 1.0, seed: int = 35) -> Workload:
+    kit = WorkloadKit("ferret", num_threads, seed=seed)
+    database = kit.space.new_array("database", 160)
+    queue_lock = kit.space.new_var("fq_lock")
+    queue = kit.space.new_array("fqueue", 4, stride=16)
+    for tid in range(num_threads):
+        for __ in range(2):
+            locked_update(kit, tid, queue_lock, queue, updates=1)
+            dependent_chase(kit, tid, database, hops=_scaled(6, scale))
+            mixed_accesses(kit, tid, database, ops=_scaled(40, scale),
+                           store_frac=0.0)
+    kit.barrier_all()
+    return kit.finish("Ferret-like: similarity-search chase + pipeline queue")
+
+
+def fluidanimate(num_threads: int = 16, scale: float = 1.0,
+                 seed: int = 36) -> Workload:
+    kit = WorkloadKit("fluidanimate", num_threads, seed=seed)
+    cells = kit.space.new_array("cells", num_threads * 8, stride=16)
+    locks = kit.space.new_array("cell_locks", num_threads)
+    for __ in range(2):
+        for tid in range(num_threads):
+            mixed_accesses(kit, tid, partition(cells, tid, num_threads),
+                           ops=_scaled(50, scale), store_frac=0.5,
+                           sequential=True)
+            locked_update(kit, tid, locks[(tid + 1) % num_threads],
+                          neighbour_partition(cells, tid, num_threads)[:2],
+                          updates=2)
+        kit.barrier_all()
+    return kit.finish("Fluidanimate-like: stencil + per-cell neighbour locks")
+
+
+def freqmine(num_threads: int = 16, scale: float = 1.0,
+             seed: int = 37) -> Workload:
+    kit = WorkloadKit("freqmine", num_threads, seed=seed)
+    fp_tree = kit.space.new_array("fp_tree", 160)
+    counts = kit.space.new_array("counts", 48, stride=16)
+    results = kit.space.new_array("fm_results", num_threads * 2, stride=16)
+    for tid in range(num_threads):
+        for __ in range(2):
+            mixed_accesses(kit, tid, fp_tree, ops=_scaled(40, scale),
+                           store_frac=0.02)
+            dependent_chase(kit, tid, fp_tree, hops=_scaled(8, scale),
+                            compute_latency=2)
+            # Occasional writers invalidate recently chased nodes, which
+            # is what drives tear-off reads (paper: freqmine worst case).
+            mixed_accesses(kit, tid, counts, ops=_scaled(8, scale),
+                           store_frac=0.25)
+            mixed_accesses(kit, tid, partition(results, tid, num_threads),
+                           ops=_scaled(10, scale), store_frac=0.7,
+                           sequential=True)
+    kit.barrier_all()
+    return kit.finish("Freqmine-like: deep FP-tree chases + count updates")
+
+
+def streamcluster(num_threads: int = 16, scale: float = 1.0,
+                  seed: int = 38) -> Workload:
+    kit = WorkloadKit("streamcluster", num_threads, seed=seed)
+    centres = kit.space.new_array("centres", 48, stride=16)
+    points = kit.space.new_array("points", num_threads * 2, stride=32)
+    cost = kit.space.new_var("total_cost")
+    for __ in range(2):
+        for tid in range(num_threads):
+            # Every thread reads the hot centres table...
+            mixed_accesses(kit, tid, centres, ops=_scaled(40, scale),
+                           store_frac=0.0, compute_max=2)
+            mixed_accesses(kit, tid, partition(points, tid, num_threads),
+                           ops=_scaled(30, scale), store_frac=0.4,
+                           sequential=True)
+            # ...and frequently writes it (centre updates): these writes
+            # land on other cores' just-read lines — the paper's worst
+            # case for blocked writes.
+            mixed_accesses(kit, tid, centres, ops=_scaled(3, scale),
+                           store_frac=1.0, compute_max=0)
+            atomic_reduce(kit, tid, cost)
+        kit.barrier_all()
+    return kit.finish("Streamcluster-like: hot shared centres, frequent writes")
+
+
+def swaptions(num_threads: int = 16, scale: float = 1.0,
+              seed: int = 39) -> Workload:
+    kit = WorkloadKit("swaptions", num_threads, seed=seed)
+    paths = kit.space.new_array("paths", num_threads * 8, stride=16)
+    for tid in range(num_threads):
+        for __ in range(3):
+            mixed_accesses(kit, tid, partition(paths, tid, num_threads),
+                           ops=_scaled(50, scale), store_frac=0.5,
+                           sequential=True, compute_max=6)
+    kit.barrier_all()
+    return kit.finish("Swaptions-like: private Monte-Carlo paths")
+
+
+def vips(num_threads: int = 16, scale: float = 1.0, seed: int = 40) -> Workload:
+    kit = WorkloadKit("vips", num_threads, seed=seed)
+    image = kit.space.new_array("image", num_threads * 8, stride=32)
+    for __ in range(2):
+        for tid in range(num_threads):
+            mixed_accesses(kit, tid, partition(image, tid, num_threads),
+                           ops=_scaled(50, scale), store_frac=0.5,
+                           sequential=True)
+            mixed_accesses(kit, tid,
+                           neighbour_partition(image, tid, num_threads)[:3],
+                           ops=_scaled(12, scale), store_frac=0.0)
+        kit.barrier_all()
+    return kit.finish("Vips-like: partitioned image sweep + boundary reads")
+
+
+def x264(num_threads: int = 16, scale: float = 1.0, seed: int = 41) -> Workload:
+    kit = WorkloadKit("x264", num_threads, seed=seed)
+    rows = kit.space.new_array("rows", num_threads * 4, stride=32)
+    flags = kit.space.new_array("row_flags", num_threads)
+    for tid in range(num_threads):
+        t = kit.builders[tid]
+        if tid > 0:
+            # Wait for the previous row (flag/data message passing).
+            spin_until_set(t, flags[tid - 1])
+            mixed_accesses(kit, tid,
+                           partition(rows, tid - 1, num_threads),
+                           ops=_scaled(16, scale), store_frac=0.0)
+        mixed_accesses(kit, tid, partition(rows, tid, num_threads),
+                       ops=_scaled(40, scale), store_frac=0.6,
+                       sequential=True)
+        t.store(flags[tid], 1)
+    kit.barrier_all()
+    return kit.finish("X264-like: row producer-consumer through flags")
+
+
+PARSEC_WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "blackscholes": blackscholes,
+    "bodytrack": bodytrack,
+    "canneal": canneal,
+    "dedup": dedup,
+    "ferret": ferret,
+    "fluidanimate": fluidanimate,
+    "freqmine": freqmine,
+    "streamcluster": streamcluster,
+    "swaptions": swaptions,
+    "vips": vips,
+    "x264": x264,
+}

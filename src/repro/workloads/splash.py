@@ -1,0 +1,305 @@
+"""SPLASH-3-like synthetic workloads.
+
+Each generator mimics the *sharing pattern* of its namesake (that is
+what the paper's figures are sensitive to), not its arithmetic:
+
+================  ====================================================
+barnes            read-mostly tree walks + striped-lock body updates
+cholesky          producer-consumer column blocks behind locks
+fft               local butterflies + all-to-all transpose phases
+fmm               tree walks + neighbour cell exchange
+lu_cb             broadcast pivot block, contiguous-block updates
+lu_ncb            same with packed (false-sharing) blocks
+ocean_cp          nearest-neighbour stencil, line-aligned partitions
+ocean_ncp         stencil with packed partitions (false sharing)
+radiosity         lock-protected task queue + random patch updates
+radix             private histograms, atomic merge, all-to-all scatter
+raytrace          read-mostly scene chase + task counter
+volrend           read-mostly octree + task queue
+water_nsquared    all-pairs reads + striped-lock accumulations
+water_spatial     spatial cells, neighbour reads
+================  ====================================================
+
+All generators accept ``num_threads``, a ``scale`` multiplier on phase
+sizes, and a ``seed``.  Phase sizes are tuned so the commit policy is a
+binding constraint (enough independent work behind misses), which is
+the regime the paper's Figure 10 evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .generators import (
+    WorkloadKit,
+    atomic_reduce,
+    dependent_chase,
+    locked_update,
+    mixed_accesses,
+    neighbour_partition,
+    partition,
+)
+from .trace import Workload
+
+
+def _scaled(base: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(base * scale)))
+
+
+def barnes(num_threads: int = 16, scale: float = 1.0, seed: int = 11) -> Workload:
+    kit = WorkloadKit("barnes", num_threads, seed=seed)
+    tree = kit.space.new_array("tree", 160)
+    bodies = kit.space.new_array("bodies", num_threads * 8, stride=32)
+    locks = kit.space.new_array("body_locks", 8)
+    for __ in range(2):
+        for tid in range(num_threads):
+            mixed_accesses(kit, tid, tree, ops=_scaled(40, scale),
+                           store_frac=0.01)
+            dependent_chase(kit, tid, tree, hops=_scaled(6, scale))
+            mixed_accesses(kit, tid, partition(bodies, tid, num_threads),
+                           ops=_scaled(40, scale), store_frac=0.4,
+                           sequential=True)
+            locked_update(kit, tid, locks[tid % len(locks)],
+                          partition(bodies, (tid + 1) % num_threads,
+                                    num_threads), updates=1)
+        kit.barrier_all()
+    return kit.finish("Barnes-Hut-like: tree walks + striped-lock body updates")
+
+
+def cholesky(num_threads: int = 16, scale: float = 1.0, seed: int = 12) -> Workload:
+    kit = WorkloadKit("cholesky", num_threads, seed=seed)
+    blocks = kit.space.new_array("col_blocks", num_threads * 8)
+    locks = kit.space.new_array("col_locks", num_threads)
+    for step in range(2):
+        for tid in range(num_threads):
+            mine = partition(blocks, tid, num_threads)
+            mixed_accesses(kit, tid, mine, ops=_scaled(60, scale),
+                           store_frac=0.4, sequential=True)
+            mixed_accesses(kit, tid,
+                           neighbour_partition(blocks, tid, num_threads),
+                           ops=_scaled(20, scale), store_frac=0.0)
+            locked_update(kit, tid, locks[(tid + step) % len(locks)],
+                          partition(blocks, (tid + 1) % num_threads,
+                                    num_threads)[:2], updates=1)
+        kit.barrier_all()
+    return kit.finish("Cholesky-like: column blocks behind per-column locks")
+
+
+def fft(num_threads: int = 16, scale: float = 1.0, seed: int = 13) -> Workload:
+    kit = WorkloadKit("fft", num_threads, seed=seed)
+    data = kit.space.new_array("data", num_threads * 8, stride=32)
+    for phase in range(2):
+        for tid in range(num_threads):
+            # Local butterflies over the thread's own partition.
+            mixed_accesses(kit, tid, partition(data, tid, num_threads),
+                           ops=_scaled(60, scale), store_frac=0.45,
+                           sequential=True)
+        kit.barrier_all()
+        for tid in range(num_threads):
+            # Transpose: read blocks written by every other thread.
+            remote = partition(data, (tid + phase + 1) % num_threads,
+                               num_threads)
+            mixed_accesses(kit, tid, remote, ops=_scaled(40, scale),
+                           store_frac=0.05)
+        kit.barrier_all()
+    return kit.finish("FFT-like: butterfly phases + all-to-all transpose")
+
+
+def fmm(num_threads: int = 16, scale: float = 1.0, seed: int = 14) -> Workload:
+    kit = WorkloadKit("fmm", num_threads, seed=seed)
+    tree = kit.space.new_array("fmm_tree", 96)
+    cells = kit.space.new_array("cells", num_threads * 6, stride=32)
+    for __ in range(2):
+        for tid in range(num_threads):
+            mixed_accesses(kit, tid, tree, ops=_scaled(30, scale),
+                           store_frac=0.02)
+            dependent_chase(kit, tid, tree, hops=_scaled(6, scale))
+            mixed_accesses(kit, tid, partition(cells, tid, num_threads),
+                           ops=_scaled(40, scale), store_frac=0.4)
+            mixed_accesses(kit, tid,
+                           neighbour_partition(cells, tid, num_threads),
+                           ops=_scaled(20, scale), store_frac=0.0)
+        kit.barrier_all()
+    return kit.finish("FMM-like: tree walks + neighbour cell exchange")
+
+
+def _lu(name: str, stride: int, num_threads: int, scale: float,
+        seed: int) -> Workload:
+    kit = WorkloadKit(name, num_threads, seed=seed)
+    blocks = kit.space.new_array("blocks", num_threads * 8, stride=stride)
+    pivot = kit.space.new_array("pivot", 8, stride=stride)
+    for step in range(2):
+        owner = step % num_threads
+        for tid in range(num_threads):
+            if tid == owner:
+                # Factor the pivot block (write it).
+                mixed_accesses(kit, tid, pivot, ops=_scaled(24, scale),
+                               store_frac=0.7, sequential=True)
+        kit.barrier_all()
+        for tid in range(num_threads):
+            if tid != owner:
+                # Everyone reads the pivot block (broadcast read)...
+                mixed_accesses(kit, tid, pivot, ops=_scaled(16, scale),
+                               store_frac=0.0)
+            # ...and updates its own blocks.
+            mixed_accesses(kit, tid, partition(blocks, tid, num_threads),
+                           ops=_scaled(60, scale), store_frac=0.45,
+                           sequential=True)
+        kit.barrier_all()
+    return kit.finish("LU-like: pivot broadcast + partitioned updates")
+
+
+def lu_cb(num_threads: int = 16, scale: float = 1.0, seed: int = 15) -> Workload:
+    return _lu("lu_cb", 64, num_threads, scale, seed)
+
+
+def lu_ncb(num_threads: int = 16, scale: float = 1.0, seed: int = 16) -> Workload:
+    # Non-contiguous blocks: packed lines create false sharing.
+    return _lu("lu_ncb", 16, num_threads, scale, seed)
+
+
+def _ocean(name: str, stride: int, num_threads: int, scale: float,
+           seed: int) -> Workload:
+    kit = WorkloadKit(name, num_threads, seed=seed)
+    grid = kit.space.new_array("grid", num_threads * 10, stride=stride)
+    for __ in range(2):
+        for tid in range(num_threads):
+            mine = partition(grid, tid, num_threads)
+            mixed_accesses(kit, tid, mine, ops=_scaled(60, scale),
+                           store_frac=0.45, sequential=True)
+            # Boundary exchange: read both neighbours' edges.
+            for off in (1, num_threads - 1):
+                edge = neighbour_partition(grid, tid, num_threads, off)[:3]
+                mixed_accesses(kit, tid, edge, ops=_scaled(12, scale),
+                               store_frac=0.0)
+        kit.barrier_all()
+    return kit.finish("Ocean-like: red-black stencil with boundary reads")
+
+
+def ocean_cp(num_threads: int = 16, scale: float = 1.0, seed: int = 17) -> Workload:
+    return _ocean("ocean_cp", 64, num_threads, scale, seed)
+
+
+def ocean_ncp(num_threads: int = 16, scale: float = 1.0, seed: int = 18) -> Workload:
+    # Non-contiguous partitions: packed boundaries false-share.
+    return _ocean("ocean_ncp", 16, num_threads, scale, seed)
+
+
+def radiosity(num_threads: int = 16, scale: float = 1.0, seed: int = 19) -> Workload:
+    kit = WorkloadKit("radiosity", num_threads, seed=seed)
+    patches = kit.space.new_array("patches", 128, stride=32)
+    queue_locks = kit.space.new_array("queue_locks", 4)
+    queue_heads = kit.space.new_array("queue_heads", 4)
+    for __ in range(2):
+        for tid in range(num_threads):
+            q = tid % 4
+            locked_update(kit, tid, queue_locks[q], [queue_heads[q]],
+                          updates=1)
+            mixed_accesses(kit, tid, patches, ops=_scaled(60, scale),
+                           store_frac=0.15)
+        kit.barrier_all()
+    return kit.finish("Radiosity-like: task queues + random patch updates")
+
+
+def radix(num_threads: int = 16, scale: float = 1.0, seed: int = 20) -> Workload:
+    kit = WorkloadKit("radix", num_threads, seed=seed)
+    keys = kit.space.new_array("keys", num_threads * 8, stride=16)
+    histogram = kit.space.new_var("histogram")
+    for __ in range(2):
+        for tid in range(num_threads):
+            # Count: stream own keys (private).
+            mixed_accesses(kit, tid, partition(keys, tid, num_threads),
+                           ops=_scaled(40, scale), store_frac=0.1,
+                           sequential=True)
+            # Merge: atomic adds into the shared histogram.
+            atomic_reduce(kit, tid, histogram, times=2)
+        kit.barrier_all()
+        for tid in range(num_threads):
+            # Permute: scatter writes into other threads' partitions.
+            target = partition(keys, (tid + 3) % num_threads, num_threads)
+            mixed_accesses(kit, tid, target, ops=_scaled(30, scale),
+                           store_frac=0.7)
+        kit.barrier_all()
+    return kit.finish("Radix-like: histogram + all-to-all permutation scatter")
+
+
+def raytrace(num_threads: int = 16, scale: float = 1.0, seed: int = 21) -> Workload:
+    kit = WorkloadKit("raytrace", num_threads, seed=seed)
+    scene = kit.space.new_array("scene", 192)
+    counter = kit.space.new_var("ray_counter")
+    for tid in range(num_threads):
+        for __ in range(2):
+            atomic_reduce(kit, tid, counter)
+            mixed_accesses(kit, tid, scene, ops=_scaled(50, scale),
+                           store_frac=0.0)
+            dependent_chase(kit, tid, scene, hops=_scaled(8, scale))
+    kit.barrier_all()
+    return kit.finish("Raytrace-like: read-mostly scene + atomic work counter")
+
+
+def volrend(num_threads: int = 16, scale: float = 1.0, seed: int = 22) -> Workload:
+    kit = WorkloadKit("volrend", num_threads, seed=seed)
+    octree = kit.space.new_array("octree", 128)
+    image = kit.space.new_array("image", num_threads * 4, stride=16)
+    counter = kit.space.new_var("tile_counter")
+    for tid in range(num_threads):
+        atomic_reduce(kit, tid, counter)
+        mixed_accesses(kit, tid, octree, ops=_scaled(40, scale),
+                       store_frac=0.02)
+        dependent_chase(kit, tid, octree, hops=_scaled(6, scale))
+        mixed_accesses(kit, tid, partition(image, tid, num_threads),
+                       ops=_scaled(40, scale), store_frac=0.6,
+                       sequential=True)
+    kit.barrier_all()
+    return kit.finish("Volrend-like: octree reads + packed image writes")
+
+
+def water_nsquared(num_threads: int = 16, scale: float = 1.0,
+                   seed: int = 23) -> Workload:
+    kit = WorkloadKit("water_nsquared", num_threads, seed=seed)
+    molecules = kit.space.new_array("molecules", num_threads * 6, stride=32)
+    locks = kit.space.new_array("mol_locks", 8)
+    for __ in range(2):
+        for tid in range(num_threads):
+            # All-pairs: read everyone's molecules.
+            mixed_accesses(kit, tid, molecules, ops=_scaled(60, scale),
+                           store_frac=0.02)
+            locked_update(kit, tid, locks[tid % len(locks)],
+                          partition(molecules, tid, num_threads)[:3],
+                          updates=2)
+        kit.barrier_all()
+    return kit.finish("Water-nsquared-like: all-pairs reads + locked updates")
+
+
+def water_spatial(num_threads: int = 16, scale: float = 1.0,
+                  seed: int = 24) -> Workload:
+    kit = WorkloadKit("water_spatial", num_threads, seed=seed)
+    cells = kit.space.new_array("cells", num_threads * 8, stride=32)
+    for __ in range(2):
+        for tid in range(num_threads):
+            mixed_accesses(kit, tid, partition(cells, tid, num_threads),
+                           ops=_scaled(50, scale), store_frac=0.4,
+                           sequential=True)
+            mixed_accesses(kit, tid,
+                           neighbour_partition(cells, tid, num_threads),
+                           ops=_scaled(16, scale), store_frac=0.05)
+        kit.barrier_all()
+    return kit.finish("Water-spatial-like: cell partitions + neighbour reads")
+
+
+SPLASH_WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "barnes": barnes,
+    "cholesky": cholesky,
+    "fft": fft,
+    "fmm": fmm,
+    "lu_cb": lu_cb,
+    "lu_ncb": lu_ncb,
+    "ocean_cp": ocean_cp,
+    "ocean_ncp": ocean_ncp,
+    "radiosity": radiosity,
+    "radix": radix,
+    "raytrace": raytrace,
+    "volrend": volrend,
+    "water_nsquared": water_nsquared,
+    "water_spatial": water_spatial,
+}

@@ -1,0 +1,86 @@
+"""Synchronization idioms built from trace primitives.
+
+Locks are test-and-test-and-set spin locks; barriers are sense-reversing
+(one fresh counter+flag pair per episode, so traces stay straight-line).
+Spin back-edges are statically predicted taken: staying in the loop is
+free of mispredicts and the single exit pays one squash, matching how
+loop predictors behave.
+"""
+
+from __future__ import annotations
+
+from .trace import AddressSpace, TraceBuilder
+
+
+def lock_acquire(t: TraceBuilder, lock_addr: int) -> None:
+    """Test-and-test-and-set acquire."""
+    r_read = t.reg()
+    r_got = t.reg()
+    retry = t.here
+    t.load(r_read, lock_addr)
+    # While held (non-zero), spin on the cached copy.
+    t.bnez(r_read, retry, predict_taken=False)
+    t.tas(r_got, lock_addr)
+    t.bnez(r_got, retry, predict_taken=False)
+
+
+def lock_release(t: TraceBuilder, lock_addr: int) -> None:
+    t.store(lock_addr, 0)
+
+
+def spin_until_set(t: TraceBuilder, flag_addr: int, expected: int = 1,
+                   poll_delay: int = 8) -> None:
+    """Spin until ``*flag == expected`` (expected must be non-zero).
+
+    ``poll_delay`` inserts compute latency into the loop body so the spin
+    polls every ~poll_delay cycles instead of saturating the pipeline.
+    """
+    r_flag = t.reg()
+    r_slow = t.reg()
+    r_cmp = t.reg()
+    spin = t.here
+    t.load(r_flag, flag_addr)
+    t.compute(r_slow, srcs=(r_flag,), latency=poll_delay)
+    t.xori(r_cmp, r_slow, expected)
+    t.bnez(r_cmp, spin, predict_taken=True)
+
+
+class Barrier:
+    """Allocates one counter+flag pair per episode."""
+
+    def __init__(self, space: AddressSpace, name: str, num_threads: int) -> None:
+        self.space = space
+        self.name = name
+        self.num_threads = num_threads
+        self._episode = 0
+
+    def next_episode(self) -> "BarrierEpisode":
+        episode = BarrierEpisode(
+            count_addr=self.space.new_var(f"{self.name}.count{self._episode}"),
+            flag_addr=self.space.new_var(f"{self.name}.flag{self._episode}"),
+            num_threads=self.num_threads,
+        )
+        self._episode += 1
+        return episode
+
+
+class BarrierEpisode:
+    """One use of the barrier: every thread calls :meth:`emit` once."""
+
+    def __init__(self, count_addr: int, flag_addr: int, num_threads: int) -> None:
+        self.count_addr = count_addr
+        self.flag_addr = flag_addr
+        self.num_threads = num_threads
+
+    def emit(self, t: TraceBuilder) -> None:
+        r_old = t.reg()
+        r_last = t.reg()
+        t.faa(r_old, self.count_addr, 1)
+        t.xori(r_last, r_old, self.num_threads - 1)
+        branch = t.bnez(r_last, 0, predict_taken=True)  # not last -> wait
+        t.store(self.flag_addr, 1)  # last arrival releases everyone
+        skip = t.jump(0)
+        wait = t.here
+        t.fix_target(branch, wait)
+        spin_until_set(t, self.flag_addr)
+        t.fix_target(skip, t.here)

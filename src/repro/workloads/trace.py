@@ -1,0 +1,200 @@
+"""Trace-program construction: a tiny assembler for core traces.
+
+:class:`TraceBuilder` builds one core's instruction list; register 0 is
+reserved and always holds zero (used for unconditional jumps).
+:class:`AddressSpace` hands out variable addresses, by default one cache
+line apart; packing two variables into one line models false sharing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..common.errors import ConfigError
+from ..common.types import InstrType
+from ..core.instruction import Instruction
+
+ZERO_REG = 0
+
+
+class AddressSpace:
+    """Allocates byte addresses for named shared variables."""
+
+    def __init__(self, line_bytes: int = 64, base: int = 0x1000) -> None:
+        self.line_bytes = line_bytes
+        self._next_line = base // line_bytes
+        self.vars: Dict[str, int] = {}
+
+    def new_var(self, name: str, *, share_line_with: Optional[str] = None,
+                offset: int = 0) -> int:
+        """Allocate *name*; ``share_line_with`` packs it into another
+        variable's cache line (false sharing)."""
+        if name in self.vars:
+            raise ConfigError(f"variable {name!r} already allocated")
+        if share_line_with is not None:
+            base_line = self.vars[share_line_with] // self.line_bytes
+            addr = base_line * self.line_bytes + offset
+        else:
+            addr = self._next_line * self.line_bytes
+            self._next_line += 1
+        self.vars[name] = addr
+        return addr
+
+    def new_array(self, name: str, count: int, *,
+                  stride: Optional[int] = None) -> List[int]:
+        """Allocate *count* elements.
+
+        With the default stride (one line) each element gets its own
+        cache line; a smaller stride packs elements into shared lines,
+        which is how array workloads get spatial locality (and false
+        sharing at partition boundaries).
+        """
+        stride = stride or self.line_bytes
+        if stride >= self.line_bytes:
+            return [self.new_var(f"{name}[{i}]") for i in range(count)]
+        per_line = self.line_bytes // stride
+        addrs: List[int] = []
+        base = 0
+        for i in range(count):
+            if i % per_line == 0:
+                base = self.new_var(f"{name}@{i}")
+            addrs.append(base + (i % per_line) * stride)
+        return addrs
+
+    def __getitem__(self, name: str) -> int:
+        return self.vars[name]
+
+
+class TraceBuilder:
+    """Assembles one core's trace; every method returns the new index."""
+
+    def __init__(self) -> None:
+        self._instrs: List[Instruction] = []
+        self._next_reg = 1  # register 0 is the constant zero
+
+    # ------------------------------------------------------------- registers
+    def reg(self) -> int:
+        """Allocate a fresh register."""
+        reg = self._next_reg
+        self._next_reg += 1
+        return reg
+
+    # ---------------------------------------------------------------- labels
+    @property
+    def here(self) -> int:
+        """Index of the next instruction to be appended."""
+        return len(self._instrs)
+
+    def fix_target(self, branch_idx: int, target: int) -> None:
+        """Patch a forward branch's target."""
+        instr = self._instrs[branch_idx]
+        if instr.itype is not InstrType.BRANCH:
+            raise ConfigError(f"instruction {branch_idx} is not a branch")
+        self._instrs[branch_idx] = dataclasses.replace(instr, target=target)
+
+    # ----------------------------------------------------------- primitives
+    def _append(self, instr: Instruction) -> int:
+        self._instrs.append(instr)
+        return len(self._instrs) - 1
+
+    def load(self, dst: int, addr: Optional[int] = None, *,
+             addr_reg: Optional[int] = None, latency: int = 1) -> int:
+        return self._append(Instruction(InstrType.LOAD, dst=dst, addr=addr,
+                                        addr_reg=addr_reg, latency=latency))
+
+    def store(self, addr: Optional[int] = None, value: int = 0, *,
+              value_reg: Optional[int] = None,
+              addr_reg: Optional[int] = None, latency: int = 1) -> int:
+        return self._append(Instruction(InstrType.STORE, addr=addr, imm=value,
+                                        value_reg=value_reg, addr_reg=addr_reg,
+                                        latency=latency))
+
+    def mov(self, dst: int, imm: int) -> int:
+        return self._append(Instruction(InstrType.ALU, dst=dst, op="mov",
+                                        imm=imm))
+
+    def addi(self, dst: int, src: int, imm: int = 0, *, latency: int = 1) -> int:
+        return self._append(Instruction(InstrType.ALU, dst=dst, srcs=(src,),
+                                        op="addi", imm=imm, latency=latency))
+
+    def xori(self, dst: int, src: int, imm: int) -> int:
+        return self._append(Instruction(InstrType.ALU, dst=dst, srcs=(src,),
+                                        op="xori", imm=imm))
+
+    def compute(self, dst: Optional[int] = None, srcs: tuple = (), *,
+                latency: int = 1, imm: int = 0) -> int:
+        """Latency-only work carrying optional register dependences.
+
+        With sources, the result passes src0's value through (a slow
+        copy); without sources it produces ``imm``.
+        """
+        return self._append(Instruction(InstrType.ALU, dst=dst, srcs=srcs,
+                                        op="compute", imm=imm, latency=latency))
+
+    def gate(self, dst: int, srcs: tuple, *, latency: int = 1,
+             imm: int = 0) -> int:
+        """Produce ``imm`` only after *srcs* are ready (timing dependency
+        without value coupling — e.g. unresolved load addresses)."""
+        return self._append(Instruction(InstrType.ALU, dst=dst, srcs=srcs,
+                                        op="gate", imm=imm, latency=latency))
+
+    def beqz(self, src: int, target: int, *, predict_taken: bool = False,
+             latency: int = 1) -> int:
+        return self._append(Instruction(InstrType.BRANCH, srcs=(src,),
+                                        op="beqz", target=target,
+                                        predict_taken=predict_taken,
+                                        latency=latency))
+
+    def bnez(self, src: int, target: int, *, predict_taken: bool = False,
+             latency: int = 1) -> int:
+        return self._append(Instruction(InstrType.BRANCH, srcs=(src,),
+                                        op="bnez", target=target,
+                                        predict_taken=predict_taken,
+                                        latency=latency))
+
+    def jump(self, target: int) -> int:
+        """Unconditional jump (always-taken branch on the zero register)."""
+        return self.beqz(ZERO_REG, target, predict_taken=True)
+
+    def tas(self, dst: int, addr: int) -> int:
+        """Atomic test-and-set: dst = old value; memory = 1."""
+        return self._append(Instruction(InstrType.ATOMIC, dst=dst, addr=addr,
+                                        op="tas"))
+
+    def faa(self, dst: int, addr: int, imm: int = 1) -> int:
+        """Atomic fetch-and-add: dst = old value; memory += imm."""
+        return self._append(Instruction(InstrType.ATOMIC, dst=dst, addr=addr,
+                                        op="faa", imm=imm))
+
+    def nop(self) -> int:
+        return self._append(Instruction(InstrType.NOP))
+
+    def build(self) -> List[Instruction]:
+        for idx, instr in enumerate(self._instrs):
+            if instr.itype is InstrType.BRANCH:
+                if not 0 <= instr.target <= len(self._instrs):
+                    raise ConfigError(
+                        f"branch at {idx} targets {instr.target}, "
+                        f"outside 0..{len(self._instrs)}"
+                    )
+        return list(self._instrs)
+
+
+@dataclass
+class Workload:
+    """A named multi-core program plus its address map."""
+
+    name: str
+    traces: List[List[Instruction]]
+    space: Optional[AddressSpace] = None
+    description: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.traces)
+
+    def total_instructions(self) -> int:
+        return sum(len(trace) for trace in self.traces)

@@ -1,0 +1,127 @@
+"""Protocol-level harness: caches + directory + mesh, no cores.
+
+Tests drive PrivateCache methods directly and control the lockdown
+hooks, so every protocol transition can be exercised deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import pytest
+
+from repro.coherence.directory import DirectoryBank
+from repro.coherence.private_cache import LoadRequest, PrivateCache
+from repro.common.event_queue import EventQueue
+from repro.common.params import CacheParams, NetworkParams
+from repro.common.stats import StatsRegistry
+from repro.common.types import LineAddr
+from repro.network.mesh import MeshNetwork
+
+
+class ProtocolHarness:
+    def __init__(self, num_tiles: int = 4, *, writers_block: bool = True,
+                 cache_params: Optional[CacheParams] = None) -> None:
+        self.events = EventQueue()
+        self.stats = StatsRegistry()
+        self.params = cache_params or CacheParams()
+        self.network = MeshNetwork(num_tiles, NetworkParams(), self.events,
+                                   self.stats)
+        self.dirs: List[DirectoryBank] = [
+            DirectoryBank(t, self.params, self.network, self.events,
+                          self.stats, writers_block=writers_block)
+            for t in range(num_tiles)
+        ]
+        self.caches: List[PrivateCache] = [
+            PrivateCache(t, self.params, self.network, self.events,
+                         self.stats, writers_block=writers_block)
+            for t in range(num_tiles)
+        ]
+        #: Per-tile lines currently "in lockdown" (simulating the core).
+        self.lockdowns: List[Set[LineAddr]] = [set() for __ in range(num_tiles)]
+        #: Per-tile log of invalidated lines.
+        self.invalidations: List[List[LineAddr]] = [[] for __ in range(num_tiles)]
+        #: (tile, line) pairs whose invalidation was Nacked ("seen" bits).
+        self.nacked: Set[tuple] = set()
+        for tile, cache in enumerate(self.caches):
+            cache.invalidation_hook = self._hook(tile)
+            cache.lockdown_query = (
+                lambda line, t=tile: line in self.lockdowns[t])
+
+    def _hook(self, tile: int):
+        def hook(line: LineAddr) -> bool:
+            self.invalidations[tile].append(line)
+            if line in self.lockdowns[tile]:
+                self.nacked.add((tile, line))
+                return True
+            return False
+        return hook
+
+    def release_lockdown(self, tile: int, line: LineAddr) -> None:
+        """Lift the lockdown; send the deferred ack if it was "seen"."""
+        self.lockdowns[tile].discard(line)
+        if (tile, line) in self.nacked:
+            self.nacked.remove((tile, line))
+            self.caches[tile].send_deferred_ack(line)
+
+    # ------------------------------------------------------------ operations
+    def run(self, cycles: int = 2000) -> None:
+        for __ in range(cycles):
+            self.events.run_due()
+            if self.events.empty:
+                return
+            self.events.advance()
+
+    def read(self, tile: int, byte_addr: int, *, sos: bool = False,
+             ordered: bool = True):
+        """Issue a load; returns a dict updated when data arrives."""
+        out = {"value": None, "uncacheable": None, "retries": 0}
+        request = LoadRequest(
+            byte_addr=byte_addr,
+            is_ordered=lambda: ordered,
+            on_value=lambda vv, unc: out.update(value=vv, uncacheable=unc),
+            on_must_retry=lambda wait=True: out.update(retries=out["retries"] + 1),
+        )
+        status = self.caches[tile].load(request, sos_bypass=sos)
+        out["status"] = status
+        return out
+
+    def read_blocking(self, tile: int, byte_addr: int, **kwargs):
+        out = self.read(tile, byte_addr, **kwargs)
+        self.run()
+        return out
+
+    def acquire_write(self, tile: int, byte_addr: int):
+        """Request write permission; returns dict with 'granted' flag."""
+        line = LineAddr(byte_addr // self.params.line_bytes)
+        out = {"granted": False}
+        self.caches[tile].request_write(
+            line, lambda: out.update(granted=True))
+        return out
+
+    def write_blocking(self, tile: int, byte_addr: int, version: int,
+                       value: int) -> None:
+        """Acquire permission, wait, and perform the store."""
+        out = self.acquire_write(tile, byte_addr)
+        self.run()
+        line = LineAddr(byte_addr // self.params.line_bytes)
+        from repro.common.types import CacheState
+        assert self.caches[tile].line_state(line) is CacheState.M, out
+        self.caches[tile].perform_store(byte_addr, version, value)
+
+    def line(self, byte_addr: int) -> LineAddr:
+        return LineAddr(byte_addr // self.params.line_bytes)
+
+    def home_dir(self, byte_addr: int) -> DirectoryBank:
+        return self.dirs[int(self.line(byte_addr)) % len(self.dirs)]
+
+
+@pytest.fixture
+def harness():
+    return ProtocolHarness()
+
+
+@pytest.fixture
+def base_harness():
+    """Harness with WritersBlock disabled (base MESI protocol)."""
+    return ProtocolHarness(writers_block=False)

@@ -1,0 +1,114 @@
+"""Base MESI directory protocol: reads, writes, invalidations, writebacks."""
+
+from repro.common.types import CacheState, DirState
+
+
+def test_cold_read_grants_exclusive(base_harness):
+    h = base_harness
+    out = h.read_blocking(0, 0x1000)
+    assert out["value"] == (0, 0)
+    assert not out["uncacheable"]
+    line = h.line(0x1000)
+    assert h.caches[0].line_state(line) is CacheState.E
+    entry = h.home_dir(0x1000).entry(line)
+    assert entry.state is DirState.M
+    assert entry.owner == 0
+
+
+def test_second_reader_makes_both_sharers(base_harness):
+    h = base_harness
+    h.read_blocking(0, 0x1000)
+    out = h.read_blocking(1, 0x1000)
+    assert out["value"] == (0, 0)
+    line = h.line(0x1000)
+    assert h.caches[0].line_state(line) is CacheState.S
+    assert h.caches[1].line_state(line) is CacheState.S
+    entry = h.home_dir(0x1000).entry(line)
+    assert entry.state is DirState.S
+    assert entry.sharers == {0, 1}
+
+
+def test_write_invalidates_sharers_and_transfers_value(base_harness):
+    h = base_harness
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(1, 0x1000)
+    h.write_blocking(2, 0x1000, version=1, value=42)
+    h.run()
+    line = h.line(0x1000)
+    assert h.caches[0].line_state(line) is CacheState.I
+    assert h.caches[1].line_state(line) is CacheState.I
+    assert h.caches[2].line_state(line) is CacheState.M
+    assert line in h.invalidations[0]
+    assert line in h.invalidations[1]
+    # A later reader sees the new value via a 3-hop read.
+    out = h.read_blocking(3, 0x1000)
+    assert out["value"] == (1, 42)
+
+
+def test_read_after_write_downgrades_owner(base_harness):
+    h = base_harness
+    h.write_blocking(0, 0x1000, version=1, value=7)
+    out = h.read_blocking(1, 0x1000)
+    assert out["value"] == (1, 7)
+    line = h.line(0x1000)
+    assert h.caches[0].line_state(line) is CacheState.S
+    entry = h.home_dir(0x1000).entry(line)
+    assert entry.state is DirState.S
+    assert entry.sharers == {0, 1}
+
+
+def test_upgrade_from_shared(base_harness):
+    h = base_harness
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(1, 0x1000)
+    # Core 1 upgrades: invalidates core 0, keeps its data.
+    h.write_blocking(1, 0x1000, version=1, value=9)
+    line = h.line(0x1000)
+    assert h.caches[1].line_state(line) is CacheState.M
+    assert h.caches[0].line_state(line) is CacheState.I
+
+
+def test_silent_store_upgrade_from_exclusive(base_harness):
+    h = base_harness
+    h.read_blocking(0, 0x1000)  # E state
+    out = h.acquire_write(0, 0x1000)
+    assert out["granted"]  # no transaction needed: silent E->M
+    line = h.line(0x1000)
+    assert h.caches[0].line_state(line) is CacheState.M
+
+
+def test_writer_to_writer_transfer(base_harness):
+    h = base_harness
+    h.write_blocking(0, 0x1000, version=1, value=1)
+    h.write_blocking(1, 0x1000, version=2, value=2)
+    out = h.read_blocking(2, 0x1000)
+    assert out["value"] == (2, 2)
+
+
+def test_write_to_word_preserves_other_words(base_harness):
+    h = base_harness
+    h.write_blocking(0, 0x1000, version=1, value=1)
+    h.write_blocking(1, 0x1008, version=2, value=2)  # same line, +8
+    assert h.read_blocking(2, 0x1000)["value"] == (1, 1)
+    assert h.read_blocking(2, 0x1008)["value"] == (2, 2)
+
+
+def test_read_piggybacks_on_outstanding_read(base_harness):
+    h = base_harness
+    first = h.read(0, 0x1000)
+    second = h.read(0, 0x1008)  # same line, while miss outstanding
+    assert second["status"] == "miss"
+    h.run()
+    assert first["value"] == (0, 0)
+    assert second["value"] == (0, 0)
+    assert h.stats.value("dir.requests") == 1  # one GetS total
+
+
+def test_load_piggybacks_on_write_mshr(base_harness):
+    h = base_harness
+    grant = h.acquire_write(0, 0x1000)
+    load = h.read(0, 0x1000)
+    assert load["status"] == "miss"
+    h.run()
+    assert grant["granted"]
+    assert load["value"] == (0, 0)

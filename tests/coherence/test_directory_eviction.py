@@ -1,0 +1,133 @@
+"""Directory/LLC evictions and the §3.5.1 safe-passage rules.
+
+These tests shrink the LLC to one set x two ways per bank so directory
+entries actually get evicted, and verify: recall invalidations, the
+eviction buffer parking WritersBlock victims, and the uncacheable
+fallback when the eviction buffer is exhausted.
+"""
+
+import pytest
+
+from repro.common.params import CacheParams
+from repro.common.types import CacheState, DirState
+
+from .conftest import ProtocolHarness
+
+TINY_LLC = CacheParams(llc_sets_per_bank=1, llc_ways=2, dir_eviction_buffer=2)
+
+
+@pytest.fixture
+def tiny():
+    return ProtocolHarness(num_tiles=4, writers_block=True,
+                           cache_params=TINY_LLC)
+
+
+def bank0_addr(i):
+    """i-th distinct line homed at bank 0 (4 tiles: line % 4 == 0)."""
+    return (4 * i) * 64
+
+
+def test_recall_invalidates_sharers(tiny):
+    h = tiny
+    # Fill bank 0's single set (2 ways) and force an eviction.
+    h.read_blocking(1, bank0_addr(0))
+    h.read_blocking(1, bank0_addr(1))
+    h.read_blocking(1, bank0_addr(2))  # evicts the LRU entry
+    assert h.stats.value("dir.llc_evictions") == 1
+    # The recall invalidated the sharer's copy.
+    states = [h.caches[1].line_state(h.line(bank0_addr(i))) for i in range(3)]
+    assert states.count(CacheState.I) == 1
+    # Evicted line is re-fetchable with correct (initial) data.
+    evicted = states.index(CacheState.I)
+    out = h.read_blocking(2, bank0_addr(evicted))
+    assert out["value"] == (0, 0)
+
+
+def test_recall_preserves_dirty_data_via_memory(tiny):
+    h = tiny
+    h.write_blocking(1, bank0_addr(0), version=1, value=11)
+    h.run()
+    h.read_blocking(1, bank0_addr(1))
+    h.read_blocking(1, bank0_addr(2))  # evict one of them
+    h.run()
+    # Whichever was evicted, its data must survive in memory.
+    out = h.read_blocking(2, bank0_addr(0))
+    assert out["value"] == (1, 11)
+
+
+def test_eviction_of_locked_line_parks_in_eviction_buffer(tiny):
+    """Paper §3.5.1: the WritersBlock-bound victim moves aside into the
+    eviction buffer so the fill proceeds immediately."""
+    h = tiny
+    addr = bank0_addr(0)
+    h.read_blocking(1, addr)
+    h.lockdowns[1].add(h.line(addr))
+    # Two more fills: the locked line's recall Nacks, parking it.
+    h.read_blocking(2, bank0_addr(1))
+    h.read_blocking(2, bank0_addr(2))
+    h.run()
+    bank = h.dirs[0]
+    assert bank.evicting_entry(h.line(addr)) is not None
+    # The new fills both completed as cacheable reads (no deadlock).
+    assert h.caches[2].line_state(h.line(bank0_addr(1))) is not CacheState.I
+    assert h.caches[2].line_state(h.line(bank0_addr(2))) is not CacheState.I
+    # Releasing the lockdown completes the parked eviction.
+    h.release_lockdown(1, h.line(addr))
+    h.run()
+    assert bank.evicting_entry(h.line(addr)) is None
+
+
+def test_read_of_parked_line_serves_uncacheable(tiny):
+    h = tiny
+    addr = bank0_addr(0)
+    h.write_blocking(1, addr, version=1, value=33)
+    h.run()
+    h.lockdowns[1].add(h.line(addr))
+    h.read_blocking(2, bank0_addr(1))
+    h.read_blocking(2, bank0_addr(2))  # forces addr's entry out
+    h.run()
+    assert h.dirs[0].evicting_entry(h.line(addr)) is not None
+    # A read for the mid-eviction line gets tear-off data (old value).
+    out = h.read_blocking(3, addr)
+    assert out["value"] == (1, 33)
+    assert out["uncacheable"] is True
+    h.release_lockdown(1, h.line(addr))
+    h.run()
+
+
+def test_write_to_parked_line_waits_for_eviction(tiny):
+    h = tiny
+    addr = bank0_addr(0)
+    h.read_blocking(1, addr)
+    h.lockdowns[1].add(h.line(addr))
+    h.read_blocking(2, bank0_addr(1))
+    h.read_blocking(2, bank0_addr(2))
+    h.run()
+    grant = h.acquire_write(3, addr)
+    h.run()
+    assert not grant["granted"]  # waits behind the parked eviction
+    h.release_lockdown(1, h.line(addr))
+    h.run()
+    assert grant["granted"]
+
+
+def test_eviction_buffer_exhaustion_falls_back_to_uncacheable(tiny):
+    """When no directory entry can be claimed, reads become uncacheable
+    transactions straight from memory (paper §3.5.1 last resort)."""
+    h = tiny
+    # Park two locked lines (fills the 2-entry eviction buffer) while
+    # both ways hold further locked lines.
+    for i in range(4):
+        h.read_blocking(1, bank0_addr(i))
+        h.lockdowns[1].add(h.line(bank0_addr(i)))
+    h.run()
+    assert len(h.dirs[0]._evicting) == 2
+    # Now every way is locked and the buffer is full: a fresh read
+    # cannot allocate anywhere -> uncacheable service from memory.
+    out = h.read_blocking(2, bank0_addr(7))
+    assert out["value"] == (0, 0)
+    assert out["uncacheable"] is True
+    assert h.stats.value("dir.uncacheable_due_to_eviction") >= 1
+    for i in range(4):
+        h.release_lockdown(1, h.line(bank0_addr(i)))
+    h.run()

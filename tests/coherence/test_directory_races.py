@@ -1,0 +1,139 @@
+"""Directory race handling: writebacks vs forwards, stale puts, queues."""
+
+from repro.common.types import CacheState, DirState, LineAddr, MsgType
+from repro.network.message import Message
+
+from .conftest import ProtocolHarness
+
+
+def test_read_queued_behind_busy_write_is_served_after(harness):
+    h = harness
+    h.read_blocking(0, 0x1000)
+    # Start a write and immediately a read from a third core, without
+    # letting the network drain in between.
+    grant = h.acquire_write(1, 0x1000)
+    read = h.read(2, 0x1000)
+    h.run()
+    assert grant["granted"]
+    assert read["value"] is not None
+
+
+def test_two_concurrent_writers_serialize(harness):
+    h = harness
+    h.read_blocking(3, 0x1000)  # someone to invalidate
+    g1 = h.acquire_write(0, 0x1000)
+    g2 = h.acquire_write(1, 0x1000)
+    h.run()
+    assert g1["granted"] and g2["granted"]
+    entry = h.home_dir(0x1000).entry(h.line(0x1000))
+    assert entry.state is DirState.M
+    assert entry.owner in (0, 1)
+
+
+def test_writeback_races_forwarded_read(harness):
+    """Owner evicts (PutM in flight) while a read is forwarded to it:
+    the owner serves from its writeback buffer."""
+    h = harness
+    from repro.common.params import CacheParams
+
+    small = ProtocolHarness(num_tiles=4, writers_block=True,
+                            cache_params=CacheParams(l2_sets=1, l2_ways=2,
+                                                     l1_sets=1, l1_ways=2))
+    small.write_blocking(0, 0x1000, version=1, value=5)
+    small.run()
+    # Force core 0 to evict the dirty line by filling its only set,
+    # while core 1's read races with the writeback.
+    read = small.read(1, 0x1000)
+    small.read(0, 0x1040)
+    small.read(0, 0x1080)
+    small.run()
+    assert read["value"] == (1, 5)
+
+
+def test_stale_putm_gets_wbacked(harness):
+    """A PutM from a core that is no longer owner is acknowledged and
+    ignored (the data already moved via the forward)."""
+    h = harness
+    h.write_blocking(0, 0x1000, version=1, value=9)
+    line = h.line(0x1000)
+    h.run()
+    # Move ownership to core 1 through a real write.
+    h.write_blocking(1, 0x1000, version=2, value=10)
+    h.run()
+    # Now core 0 (no longer owner) sends a stale PutM by hand.
+    from repro.mem.line_data import LineData
+
+    stale = LineData()
+    stale.write(0, 1, 9)
+    wb = h.caches[0].mshrs.allocate(line, "writeback")
+    wb.data = stale
+    h.caches[0]._send(MsgType.PUTM, h.caches[0].home_of(line), "llc", line,
+                      data=stale)
+    h.run()
+    assert h.caches[0].mshrs.get(line) is None  # WbAck freed the MSHR
+    entry = h.home_dir(0x1000).entry(line)
+    assert entry.owner == 1
+    out = h.read_blocking(2, 0x1000)
+    assert out["value"] == (2, 10)  # stale data did not clobber
+
+
+def test_puts_removes_sharer(base_harness):
+    h = base_harness
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(1, 0x1000)
+    line = h.line(0x1000)
+    h.caches[0]._send(MsgType.PUTS, h.caches[0].home_of(line), "llc", line)
+    h.run()
+    entry = h.home_dir(0x1000).entry(line)
+    assert 0 not in entry.sharers
+    assert 1 in entry.sharers
+
+
+def test_reader_rerequest_after_silent_eviction(harness):
+    """Dir thinks we share the line; a repeat GetS must still work."""
+    h = harness
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(1, 0x1000)
+    h.caches[0]._drop_line(h.line(0x1000))  # silent eviction
+    out = h.read_blocking(0, 0x1000)  # re-request as a "sharer"
+    assert out["value"] == (0, 0)
+    assert h.caches[0].line_state(h.line(0x1000)) is not CacheState.I
+
+
+def test_interleaved_lines_use_distinct_banks(harness):
+    h = harness
+    assert h.home_dir(0x1000) is not h.home_dir(0x1040)
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(0, 0x1040)
+    assert h.home_dir(0x1000).entry(h.line(0x1000)) is not None
+    assert h.home_dir(0x1040).entry(h.line(0x1040)) is not None
+
+
+def test_puts_emptied_sharer_list_grants_consistent_exclusive():
+    """Regression: with non-silent evictions, PutS can empty an S
+    entry's sharer list; the next read must be granted exclusively in a
+    way the DIRECTORY and the CACHE agree on (the dir once recorded an
+    owner while the cache installed S — a later FwdGetS then found no
+    owner)."""
+    from repro.common.params import CacheParams
+    from repro.common.types import DirState
+
+    h = ProtocolHarness(
+        num_tiles=4, writers_block=True,
+        cache_params=CacheParams(silent_shared_evictions=False))
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(1, 0x1000)  # S with sharers {0, 1}
+    line = h.line(0x1000)
+    for tile in (0, 1):
+        h.caches[tile]._evict(line)  # non-silent: PutS removes sharers
+    h.run()
+    entry = h.home_dir(0x1000).entry(line)
+    assert entry.state is DirState.S and not entry.sharers
+    # Fresh read: must end exclusive at BOTH the cache and the dir.
+    out = h.read_blocking(2, 0x1000)
+    assert out["value"] == (0, 0)
+    assert h.caches[2].line_state(line) in (CacheState.E, CacheState.M)
+    assert entry.state is DirState.M and entry.owner == 2
+    # And a forwarded read afterwards works (this used to crash).
+    out2 = h.read_blocking(3, 0x1000)
+    assert out2["value"] == (0, 0)

@@ -1,0 +1,136 @@
+"""Private cache controller specifics: writebacks, races, residency."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.params import CacheParams
+from repro.common.types import CacheState, LineAddr
+
+from .conftest import ProtocolHarness
+
+SMALL_PRIVATE = CacheParams(l2_sets=1, l2_ways=2, l1_sets=1, l1_ways=2)
+
+
+@pytest.fixture
+def small():
+    """Two-way private caches: easy to force evictions."""
+    return ProtocolHarness(num_tiles=4, writers_block=True,
+                           cache_params=SMALL_PRIVATE)
+
+
+def fill_line(h, tile, addr, value=None, version=1):
+    if value is None:
+        h.read_blocking(tile, addr)
+    else:
+        h.write_blocking(tile, addr, version, value)
+        h.run()
+
+
+def test_dirty_eviction_writes_back(small):
+    h = small
+    fill_line(h, 0, 0x1000, value=9)  # M
+    # Two more lines in the same (only) set force the dirty line out.
+    fill_line(h, 0, 0x1040)
+    fill_line(h, 0, 0x1080)
+    h.run()
+    assert h.caches[0].line_state(h.line(0x1000)) is CacheState.I
+    assert h.stats.value("cache.writebacks") == 1
+    # The dirty data survives and is served to another core.
+    out = h.read_blocking(1, 0x1000)
+    assert out["value"] == (1, 9)
+
+
+def test_clean_shared_eviction_is_silent_by_default(small):
+    h = small
+    fill_line(h, 0, 0x1000)
+    fill_line(h, 1, 0x1000)  # both sharers now (S state at core 0)
+    fill_line(h, 0, 0x1040)
+    fill_line(h, 0, 0x1080)
+    h.run()
+    # Directory still believes core 0 shares the line (silent eviction).
+    entry = h.home_dir(0x1000).entry(h.line(0x1000))
+    assert 0 in entry.sharers
+    # The eventual invalidation still reaches core 0 and is answered.
+    grant = h.acquire_write(2, 0x1000)
+    h.run()
+    assert grant["granted"]
+    assert h.line(0x1000) in h.invalidations[0]
+
+
+def test_eviction_skips_locked_lines(small):
+    """Paper §3.8: never evict a line under lockdown — the replacement
+    picks another way."""
+    h = small
+    fill_line(h, 0, 0x1000)
+    h.lockdowns[0].add(h.line(0x1000))
+    fill_line(h, 0, 0x1040)
+    fill_line(h, 0, 0x1080)  # would evict LRU 0x1000, but it is locked
+    h.run()
+    assert h.caches[0].line_state(h.line(0x1000)) is not CacheState.I
+    h.lockdowns[0].clear()
+
+
+def test_all_ways_locked_skips_caching_the_fill(small):
+    h = small
+    fill_line(h, 0, 0x1000)
+    fill_line(h, 0, 0x1040)
+    h.lockdowns[0].add(h.line(0x1000))
+    h.lockdowns[0].add(h.line(0x1040))
+    out = h.read_blocking(0, 0x1080)  # nowhere to install
+    assert out["value"] == (0, 0)  # value still delivered
+    assert h.caches[0].line_state(h.line(0x1080)) is CacheState.I
+    h.lockdowns[0].clear()
+
+
+def test_perform_store_requires_m_state(harness):
+    h = harness
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(1, 0x1000)  # S state at core 0 now
+    with pytest.raises(ProtocolError):
+        h.caches[0].perform_store(0x1000, 1, 5)
+
+
+def test_write_request_chains_behind_outstanding_read(harness):
+    h = harness
+    read = h.read(0, 0x1000)
+    grant = h.acquire_write(0, 0x1000)
+    h.run()
+    assert read["value"] is not None
+    assert grant["granted"]
+    assert h.caches[0].line_state(h.line(0x1000)) is CacheState.M
+
+
+def test_two_grants_piggyback_one_write_mshr(harness):
+    h = harness
+    h.read_blocking(1, 0x1000)  # make core 0's write a real transaction
+    g1 = h.acquire_write(0, 0x1000)
+    g2 = h.acquire_write(0, 0x1008)  # same line
+    h.run()
+    assert g1["granted"] and g2["granted"]
+    assert h.stats.value("dir.requests") == 2  # one GetS + one GetX
+
+
+def test_atomic_rmw_on_owned_line(harness):
+    h = harness
+    h.write_blocking(0, 0x1000, version=1, value=5)
+    old = h.caches[0].perform_atomic(0x1000, 2, 6)
+    assert old == (1, 5)
+    out = h.read_blocking(1, 0x1000)
+    assert out["value"] == (2, 6)
+
+
+def test_tearoff_data_never_installed(harness):
+    h = harness
+    h.read_blocking(0, 0x1000)
+    h.lockdowns[0].add(h.line(0x1000))
+    h.acquire_write(1, 0x1000)
+    h.run()
+    out = h.read_blocking(2, 0x1000)
+    assert out["uncacheable"] is True
+    # A second read misses again (the tear-off was use-once).
+    before = h.stats.value("dir.uncacheable_reads")
+    out2 = h.read_blocking(2, 0x1000)
+    assert out2["uncacheable"] is True
+    assert h.stats.value("dir.uncacheable_reads") == before + 1
+    h.release_lockdown(0, h.line(0x1000))
+    h.run()

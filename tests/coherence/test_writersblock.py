@@ -1,0 +1,197 @@
+"""WritersBlock protocol: Nacks, blocked writes, tear-off reads,
+deferred acks (paper §3.3, §3.4, Figures 3 and 4)."""
+
+from repro.common.types import CacheState, DirState
+
+
+def setup_lockdown_on_sharer(h, addr=0x1000, sharer=0):
+    """Sharer caches the line and holds a lockdown on it."""
+    h.read_blocking(sharer, addr)
+    h.lockdowns[sharer].add(h.line(addr))
+
+
+def test_invalidation_hitting_lockdown_blocks_the_write(harness):
+    h = harness
+    setup_lockdown_on_sharer(h)
+    line = h.line(0x1000)
+    grant = h.acquire_write(1, 0x1000)
+    h.run()
+    # The write must NOT have been granted: the Nack put the directory
+    # into WritersBlock and the ack is deferred.
+    assert not grant["granted"]
+    entry = h.home_dir(0x1000).entry(line)
+    assert entry.state is DirState.WRITERS_BLOCK
+    assert h.stats.value("cache.nacks_sent") == 1
+    assert h.stats.value("dir.writersblock_entered") == 1
+    # Releasing the lockdown sends the deferred ack via the directory.
+    h.release_lockdown(0, line)
+    h.run()
+    assert grant["granted"]
+    assert entry.state is DirState.M
+    assert entry.owner == 1
+
+
+def test_write_without_lockdown_is_unchanged(harness):
+    h = harness
+    h.read_blocking(0, 0x1000)  # sharer, no lockdown
+    grant = h.acquire_write(1, 0x1000)
+    h.run()
+    assert grant["granted"]
+    assert h.stats.value("cache.nacks_sent") == 0
+    assert h.stats.value("dir.writersblock_entered") == 0
+
+
+def test_reads_during_writersblock_get_uncacheable_tearoff(harness):
+    h = harness
+    h.write_blocking(3, 0x1000, version=1, value=5)  # old value = 5
+    h.read_blocking(0, 0x1000)
+    h.lockdowns[0].add(h.line(0x1000))
+    grant = h.acquire_write(1, 0x1000)
+    h.run()
+    assert not grant["granted"]
+    # A new reader catches the write midway: it must see the OLD value,
+    # as an uncacheable use-once copy (paper Figure 4).
+    out = h.read_blocking(2, 0x1000)
+    assert out["value"] == (1, 5)
+    assert out["uncacheable"] is True
+    assert h.caches[2].line_state(h.line(0x1000)) is CacheState.I
+    assert h.stats.value("dir.uncacheable_reads") == 1
+    # The tear-off reader is NOT registered: no new invalidation needed.
+    h.release_lockdown(0, h.line(0x1000))
+    h.run()
+    assert grant["granted"]
+
+
+def test_unordered_load_cannot_use_tearoff(harness):
+    h = harness
+    setup_lockdown_on_sharer(h)
+    grant = h.acquire_write(1, 0x1000)
+    h.run()
+    out = h.read_blocking(2, 0x1000, ordered=False)
+    assert out["value"] is None  # not performed
+    assert out["retries"] == 1  # must retry once it becomes the SoS
+    assert h.stats.value("cache.tearoffs_unusable") == 1
+
+
+def test_owner_nack_parks_data_at_directory(harness):
+    """Paper Fig 3.B step 3: invalidating an E/M copy under lockdown
+    sends Nack+Data to the directory and Data to the writer, so
+    tear-off readers have somewhere to read from."""
+    h = harness
+    h.write_blocking(0, 0x1000, version=1, value=77)  # core 0 owns in M
+    h.lockdowns[0].add(h.line(0x1000))
+    grant = h.acquire_write(1, 0x1000)
+    h.run()
+    assert not grant["granted"]
+    entry = h.home_dir(0x1000).entry(h.line(0x1000))
+    assert entry.state is DirState.WRITERS_BLOCK
+    # The directory can serve the parked (old) data to readers.
+    out = h.read_blocking(2, 0x1000)
+    assert out["value"] == (1, 77)
+    assert out["uncacheable"] is True
+    h.release_lockdown(0, h.line(0x1000))
+    h.run()
+    assert grant["granted"]
+
+
+def test_second_writer_queues_behind_writersblock(harness):
+    h = harness
+    setup_lockdown_on_sharer(h)
+    first = h.acquire_write(1, 0x1000)
+    h.run()
+    second = h.acquire_write(2, 0x1000)
+    h.run()
+    assert not first["granted"]
+    assert not second["granted"]
+    assert h.stats.value("dir.writes_blocked") >= 1
+    h.release_lockdown(0, h.line(0x1000))
+    h.run()
+    assert first["granted"]
+    assert second["granted"]
+    # Final owner is the second writer (FIFO service order).
+    entry = h.home_dir(0x1000).entry(h.line(0x1000))
+    assert entry.owner == 2
+
+
+def test_blocked_hint_reaches_the_writer(harness):
+    h = harness
+    setup_lockdown_on_sharer(h)
+    h.acquire_write(1, 0x1000)
+    h.run()
+    assert h.caches[1].write_blocked(h.line(0x1000))
+
+
+def test_multiple_lockdowns_all_must_release(harness):
+    h = harness
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(2, 0x1000)
+    h.lockdowns[0].add(h.line(0x1000))
+    h.lockdowns[2].add(h.line(0x1000))
+    grant = h.acquire_write(1, 0x1000)
+    h.run()
+    assert not grant["granted"]
+    h.release_lockdown(0, h.line(0x1000))
+    h.run()
+    assert not grant["granted"]  # core 2 still holds a lockdown
+    h.release_lockdown(2, h.line(0x1000))
+    h.run()
+    assert grant["granted"]
+
+
+def test_mixed_lockdown_and_plain_sharers(harness):
+    h = harness
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(2, 0x1000)
+    h.read_blocking(3, 0x1000)
+    h.lockdowns[2].add(h.line(0x1000))
+    grant = h.acquire_write(1, 0x1000)
+    h.run()
+    # Cores 0 and 3 acked straight to the writer; core 2 Nacked.
+    assert not grant["granted"]
+    h.release_lockdown(2, h.line(0x1000))
+    h.run()
+    assert grant["granted"]
+
+
+def test_silent_eviction_invalidation_still_queried(harness):
+    """Paper §3.8: with silent evictions an invalidation may find no
+    cached line, but it must still query the LQ/LDT for lockdowns."""
+    h = harness
+    h.read_blocking(0, 0x1000)
+    h.read_blocking(3, 0x1000)  # line now Shared at core 0
+    # Silently drop the shared line but keep the (exported) lockdown.
+    h.caches[0]._drop_line(h.line(0x1000))
+    h.lockdowns[0].add(h.line(0x1000))
+    grant = h.acquire_write(1, 0x1000)
+    h.run()
+    assert not grant["granted"]  # Nack despite no cached copy
+    h.release_lockdown(0, h.line(0x1000))
+    h.run()
+    assert grant["granted"]
+
+
+def test_sos_bypass_read_gets_tearoff_from_owner(harness):
+    """An uncacheable (SoS bypass) read forwarded to an M owner returns
+    a use-once snapshot without disturbing ownership."""
+    h = harness
+    h.write_blocking(0, 0x1000, version=1, value=3)
+    out = h.read_blocking(1, 0x1000, sos=True, ordered=True)
+    assert out["value"] == (1, 3)
+    assert out["uncacheable"] is True
+    assert h.caches[0].line_state(h.line(0x1000)) is CacheState.M
+    entry = h.home_dir(0x1000).entry(h.line(0x1000))
+    assert entry.owner == 0  # untouched
+
+
+def test_writersblock_duration_recorded(harness):
+    h = harness
+    setup_lockdown_on_sharer(h)
+    grant = h.acquire_write(1, 0x1000)
+    h.run()
+    assert not grant["granted"]
+    h.release_lockdown(0, h.line(0x1000))
+    h.run()
+    assert grant["granted"]
+    hist = h.stats.histogram_summaries().get("dir.writersblock_duration")
+    assert hist is not None and hist["total"] == 1
+    assert hist["mean"] > 0

@@ -1,0 +1,92 @@
+"""EventQueue: ordering, determinism, same-cycle drain."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.common.event_queue import EventQueue
+
+
+def test_schedule_and_run_due_fires_in_fifo_order():
+    q = EventQueue()
+    order = []
+    q.schedule(0, lambda: order.append("a"))
+    q.schedule(0, lambda: order.append("b"))
+    q.schedule(0, lambda: order.append("c"))
+    assert q.run_due() == 3
+    assert order == ["a", "b", "c"]
+
+
+def test_future_events_do_not_fire_early():
+    q = EventQueue()
+    fired = []
+    q.schedule(2, lambda: fired.append(1))
+    assert q.run_due() == 0
+    q.advance()
+    assert q.run_due() == 0
+    q.advance()
+    assert q.run_due() == 1
+    assert fired == [1]
+
+
+def test_same_cycle_cascade_drains_fully():
+    q = EventQueue()
+    order = []
+
+    def first():
+        order.append("first")
+        q.schedule(0, lambda: order.append("nested"))
+
+    q.schedule(0, first)
+    q.run_due()
+    assert order == ["first", "nested"]
+
+
+def test_negative_delay_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_cycle():
+    q = EventQueue()
+    fired = []
+    q.advance()
+    q.advance()
+    q.schedule_at(5, lambda: fired.append(q.now))
+    q.advance_to_next_event()
+    assert q.now == 5
+    q.run_due()
+    assert fired == [5]
+
+
+def test_next_cycle_and_empty():
+    q = EventQueue()
+    assert q.empty
+    with pytest.raises(SimulationError):
+        q.next_cycle()
+    q.schedule(3, lambda: None)
+    assert q.next_cycle() == 3
+    assert len(q) == 1
+
+
+def test_advance_to_next_event_noop_when_due_now():
+    q = EventQueue()
+    q.schedule(0, lambda: None)
+    q.advance_to_next_event()
+    assert q.now == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                max_size=40))
+def test_events_fire_in_nondecreasing_cycle_order(delays):
+    q = EventQueue()
+    fired = []
+    for delay in delays:
+        q.schedule(delay, lambda d=delay: fired.append(q.now))
+    while not q.empty:
+        q.run_due()
+        if not q.empty:
+            q.advance_to_next_event()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

@@ -1,0 +1,102 @@
+"""Configuration presets and validation (paper Table 6)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    CORE_CLASSES,
+    CacheParams,
+    CoreParams,
+    SystemParams,
+    mesh_side,
+    table6_system,
+)
+from repro.common.types import CommitMode
+
+
+def test_table6_core_classes_match_paper():
+    slm = CORE_CLASSES["SLM"]
+    assert (slm.iq_entries, slm.rob_entries, slm.lq_entries,
+            slm.sq_entries) == (16, 32, 10, 16)
+    nhm = CORE_CLASSES["NHM"]
+    assert (nhm.iq_entries, nhm.rob_entries, nhm.lq_entries,
+            nhm.sq_entries) == (32, 128, 48, 36)
+    hsw = CORE_CLASSES["HSW"]
+    assert (hsw.iq_entries, hsw.rob_entries, hsw.lq_entries,
+            hsw.sq_entries) == (60, 192, 72, 42)
+    for core in CORE_CLASSES.values():
+        assert core.issue_width == 4
+        assert core.commit_width == 4
+        assert core.ldt_entries == 32
+
+
+def test_table6_memory_parameters_match_paper():
+    cache = CacheParams()
+    assert cache.line_bytes == 64
+    assert cache.l1_sets * cache.l1_ways * cache.line_bytes == 32 * 1024
+    assert cache.l2_sets * cache.l2_ways * cache.line_bytes == 128 * 1024
+    assert (cache.llc_sets_per_bank * cache.llc_ways * cache.line_bytes
+            == 1024 * 1024)
+    assert cache.l1_hit_cycles == 4
+    assert cache.l2_hit_cycles == 12
+    assert cache.llc_hit_cycles == 35
+    assert cache.memory_cycles == 160
+
+
+def test_default_system_is_16_core_mesh():
+    params = table6_system("SLM")
+    assert params.num_cores == 16
+    assert params.network.switch_cycles == 6
+    params.validate()
+
+
+def test_unknown_core_class_rejected():
+    with pytest.raises(ConfigError):
+        table6_system("XEON")
+
+
+def test_non_square_core_count_rejected():
+    params = table6_system("SLM")
+    with pytest.raises(ConfigError):
+        SystemParams(num_cores=6, core=params.core).validate()
+
+
+def test_ooo_wb_commit_requires_writers_block():
+    with pytest.raises(ConfigError):
+        SystemParams(num_cores=4, commit_mode=CommitMode.OOO_WB,
+                     writers_block=False).validate()
+
+
+def test_with_commit_enables_writers_block_for_wb_mode():
+    params = table6_system("SLM", num_cores=4)
+    wb = params.with_commit(CommitMode.OOO_WB)
+    assert wb.writers_block
+    assert wb.commit_mode is CommitMode.OOO_WB
+    ooo = params.with_commit(CommitMode.OOO)
+    assert not ooo.writers_block
+
+
+def test_table6_system_ooo_wb_shortcut():
+    params = table6_system("NHM", commit_mode=CommitMode.OOO_WB)
+    assert params.writers_block
+    params.validate()
+
+
+def test_core_params_validation():
+    with pytest.raises(ConfigError):
+        CoreParams(lq_entries=64, rob_entries=32).validate()
+    with pytest.raises(ConfigError):
+        CoreParams(issue_width=0).validate()
+
+
+def test_cache_params_validation():
+    with pytest.raises(ConfigError):
+        CacheParams(line_bytes=48).validate()
+    with pytest.raises(ConfigError):
+        CacheParams(mshr_entries=2, mshr_reserved_for_sos=2).validate()
+
+
+def test_mesh_side():
+    assert mesh_side(16) == 4
+    assert mesh_side(4) == 2
+    assert mesh_side(1) == 1

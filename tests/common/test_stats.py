@@ -1,0 +1,52 @@
+"""Counters, histograms, and the registry."""
+
+from repro.common.stats import Counter, Histogram, StatsRegistry
+
+
+def test_counter_accumulates():
+    c = Counter("x")
+    c.add()
+    c.add(5)
+    assert c.value == 6
+
+
+def test_histogram_stats():
+    h = Histogram("lat")
+    h.record(4)
+    h.record(4)
+    h.record(10)
+    assert h.total == 3
+    assert h.max == 10
+    assert abs(h.mean - 6.0) < 1e-9
+
+
+def test_empty_histogram():
+    h = Histogram("e")
+    assert h.total == 0
+    assert h.mean == 0.0
+    assert h.max == 0
+
+
+def test_registry_deduplicates_by_name():
+    reg = StatsRegistry()
+    a = reg.counter("net.msgs")
+    b = reg.counter("net.msgs")
+    assert a is b
+    a.add(3)
+    assert reg.value("net.msgs") == 3
+    assert reg.value("missing") == 0
+    assert reg.value("missing", default=7) == 7
+
+
+def test_registry_as_dict_sorted():
+    reg = StatsRegistry()
+    reg.counter("b").add(2)
+    reg.counter("a").add(1)
+    assert list(reg.as_dict()) == ["a", "b"]
+    assert reg.as_dict() == {"a": 1, "b": 2}
+
+
+def test_histogram_registry():
+    reg = StatsRegistry()
+    h = reg.histogram("lat")
+    assert reg.histogram("lat") is h

@@ -1,0 +1,49 @@
+"""Enums, message sizing, line address mapping."""
+
+import pytest
+
+from repro.common.types import (
+    CTRL_MSG_FLITS,
+    DATA_MSG_FLITS,
+    LineAddr,
+    MsgType,
+    flits_for,
+    line_of,
+)
+
+
+def test_data_messages_are_five_flits():
+    # Paper Table 6: data messages 5 flits, control 1 flit.
+    assert DATA_MSG_FLITS == 5
+    assert CTRL_MSG_FLITS == 1
+    for msg_type in (MsgType.DATA, MsgType.DATA_EXCL, MsgType.DATA_UNCACHEABLE,
+                     MsgType.PUTM, MsgType.NACK_DATA, MsgType.ACK_DATA,
+                     MsgType.COPYBACK):
+        assert flits_for(msg_type) == 5, msg_type
+
+
+def test_control_messages_are_one_flit():
+    for msg_type in (MsgType.GETS, MsgType.GETX, MsgType.UPGRADE, MsgType.INV,
+                     MsgType.ACK, MsgType.NACK, MsgType.UNBLOCK,
+                     MsgType.DEFERRED_ACK, MsgType.BLOCKED_HINT, MsgType.PERM,
+                     MsgType.FWD_GETS, MsgType.FWD_GETX, MsgType.WB_ACK):
+        assert flits_for(msg_type) == 1, msg_type
+
+
+def test_line_of_maps_bytes_to_lines():
+    assert line_of(0, 64) == LineAddr(0)
+    assert line_of(63, 64) == LineAddr(0)
+    assert line_of(64, 64) == LineAddr(1)
+    assert line_of(0x1008, 64) == LineAddr(0x40)
+
+
+def test_line_addr_hashable_and_comparable():
+    assert LineAddr(5) == LineAddr(5)
+    assert LineAddr(5) != LineAddr(6)
+    assert len({LineAddr(5), LineAddr(5), LineAddr(6)}) == 2
+    assert int(LineAddr(9)) == 9
+
+
+def test_negative_line_addr_rejected():
+    with pytest.raises(ValueError):
+        LineAddr(-1)

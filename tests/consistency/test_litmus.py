@@ -1,0 +1,93 @@
+"""Litmus tests on the full simulator + Table 2 enumeration."""
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.consistency.litmus import (
+    SimpleOp,
+    atomic_mutex_test,
+    corr_test,
+    enumerate_interleavings,
+    iriw_test,
+    legal_tso_outcomes,
+    message_passing_test,
+    run_litmus,
+    standard_suite,
+    store_buffer_test,
+    sweep_litmus,
+    table1_test,
+    table3_test,
+)
+
+PROTECTED_MODES = [CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB]
+
+
+def params_for(test, mode):
+    cores = 16 if len(test.threads) > 4 else 4
+    return table6_system("SLM", num_cores=cores, commit_mode=mode)
+
+
+@pytest.mark.parametrize("mode", PROTECTED_MODES)
+@pytest.mark.parametrize("test", standard_suite(), ids=lambda t: t.name)
+def test_litmus_suite_clean_under_protected_modes(test, mode):
+    for outcome in sweep_litmus(test, params_for(test, mode),
+                                delays=((0, 0), (0, 60), (60, 0))):
+        assert not outcome.forbidden_hit, outcome.registers
+        assert outcome.checker_violation is None
+
+
+def test_table1_forbidden_outcome_reachable_without_protection():
+    test = table1_test()
+    params = params_for(test, CommitMode.OOO_UNSAFE)
+    hit = False
+    for d0 in (0, 20, 40):
+        for d1 in (0, 30, 60, 90):
+            outcome = run_litmus(test, params, extra_delays=(d0, d1))
+            if outcome.forbidden_hit:
+                hit = True
+                assert outcome.checker_violation is not None
+                break
+        if hit:
+            break
+    assert hit, "Table 1 race never fired in the unsafe ablation"
+
+
+def test_message_passing_values():
+    outcome = run_litmus(message_passing_test(),
+                         params_for(message_passing_test(),
+                                    CommitMode.OOO_WB))
+    assert outcome.registers["rf"] == 1
+    assert outcome.registers["rd"] == 42
+
+
+def test_atomics_serialize():
+    outcome = run_litmus(atomic_mutex_test(),
+                         params_for(atomic_mutex_test(), CommitMode.OOO_WB))
+    assert sorted(outcome.registers.values()) == [0, 1]
+
+
+# ------------------------------------------------------- Table 2 (analytic)
+READER = [SimpleOp(0, "ld", "y"), SimpleOp(0, "ld", "x")]
+WRITER = [SimpleOp(1, "st", "x"), SimpleOp(1, "st", "y")]
+
+
+def test_table2_has_six_interleavings():
+    # C(4,2) = 6 interleavings of two 2-op threads.
+    assert len(enumerate_interleavings([READER, WRITER])) == 6
+
+
+def test_table2_legal_outcomes_match_paper():
+    outcomes = legal_tso_outcomes([READER, WRITER])
+    as_pairs = {(o["t0:ld y"], o["t0:ld x"]) for o in outcomes}
+    # Paper Table 2: {old,old}, {old,new}, {new,new} — and NOT {new,old}.
+    assert as_pairs == {("old", "old"), ("old", "new"), ("new", "new")}
+
+
+def test_table2_swapped_loads_reach_the_illegal_outcome():
+    # Swapping the loads (the reordering) makes {new, old} reachable —
+    # exactly what must be hidden from other cores.
+    swapped = [SimpleOp(0, "ld", "x"), SimpleOp(0, "ld", "y")]
+    outcomes = legal_tso_outcomes([swapped, WRITER])
+    as_pairs = {(o["t0:ld y"], o["t0:ld x"]) for o in outcomes}
+    assert ("new", "old") in as_pairs

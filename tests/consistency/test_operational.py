@@ -1,0 +1,194 @@
+"""The operational x86-TSO reference model, and its agreement with the
+axiomatic checker."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.execution import ExecutionLog
+from repro.consistency.operational import (
+    TOp,
+    enumerate_outcomes,
+    ld,
+    outcome_reachable,
+    rmw,
+    st as t_st,
+)
+from repro.consistency.tso_checker import check_tso
+from repro.common.errors import TSOViolationError
+
+
+def test_store_buffering_00_reachable():
+    threads = [
+        [t_st("x", 1), ld("y", "r0")],
+        [t_st("y", 1), ld("x", "r1")],
+    ]
+    assert outcome_reachable(threads, {"t0:r0": 0, "t1:r1": 0})
+    assert outcome_reachable(threads, {"t0:r0": 1, "t1:r1": 1})
+
+
+def test_load_load_reordering_unreachable():
+    # Paper Table 1: {ra==1, rb==0} must not be reachable.
+    threads = [
+        [ld("y", "ra"), ld("x", "rb")],
+        [t_st("x", 1), t_st("y", 1)],
+    ]
+    assert not outcome_reachable(threads, {"t0:ra": 1, "t0:rb": 0})
+    for combo in ({"t0:ra": 0, "t0:rb": 0}, {"t0:ra": 0, "t0:rb": 1},
+                  {"t0:ra": 1, "t0:rb": 1}):
+        assert outcome_reachable(threads, combo)
+
+
+def test_load_buffering_unreachable():
+    threads = [
+        [ld("x", "r0"), t_st("y", 1)],
+        [ld("y", "r1"), t_st("x", 1)],
+    ]
+    assert not outcome_reachable(threads, {"t0:r0": 1, "t1:r1": 1})
+
+
+def test_message_passing_violation_unreachable():
+    threads = [
+        [t_st("d", 42), t_st("f", 1)],
+        [ld("f", "rf"), ld("d", "rd")],
+    ]
+    assert not outcome_reachable(threads, {"t1:rf": 1, "t1:rd": 0})
+    assert outcome_reachable(threads, {"t1:rf": 1, "t1:rd": 42})
+
+
+def test_forwarding_own_store_early():
+    # n6-style: a thread sees its own buffered store before others do.
+    threads = [
+        [t_st("x", 1), ld("x", "r0"), ld("y", "r1")],
+        [t_st("y", 1), ld("y", "r2"), ld("x", "r3")],
+    ]
+    assert outcome_reachable(
+        threads, {"t0:r0": 1, "t0:r1": 0, "t1:r2": 1, "t1:r3": 0})
+
+
+def test_rmw_serialization():
+    threads = [
+        [rmw("c", "r0", 1)],
+        [rmw("c", "r1", 2)],
+    ]
+    outcomes = {frozenset(o) for o in enumerate_outcomes(threads)}
+    vals = {(dict(o)["t0:r0"], dict(o)["t1:r1"]) for o in outcomes}
+    # One RMW reads 0, the other reads the first one's write.
+    assert vals == {(0, 1), (2, 0)}
+
+
+def test_rmw_acts_as_fence():
+    # SB shape with RMWs in the middle is NOT allowed to read 0,0.
+    threads = [
+        [t_st("x", 1), rmw("z", "ra", 1), ld("y", "r0")],
+        [t_st("y", 1), rmw("w", "rb", 1), ld("x", "r1")],
+    ]
+    assert not outcome_reachable(threads, {"t0:r0": 0, "t1:r1": 0})
+
+
+def test_iriw_unreachable():
+    threads = [
+        [t_st("x", 1)],
+        [t_st("y", 1)],
+        [ld("x", "r0"), ld("y", "r1")],
+        [ld("y", "r2"), ld("x", "r3")],
+    ]
+    assert not outcome_reachable(
+        threads, {"t2:r0": 1, "t2:r1": 0, "t3:r2": 1, "t3:r3": 0})
+
+
+# --------------------------------------------------- checker cross-validation
+def _log_for(threads, reads, co_orders):
+    """Build an ExecutionLog for given read-from choices + co orders."""
+    log = ExecutionLog()
+    versions = {}
+    for tid, ops in enumerate(threads):
+        for idx, op in enumerate(ops):
+            if op.kind in ("st", "rmw"):
+                versions[(tid, idx)] = log.new_version(
+                    tid, idx, _addr(op.loc), op.value)
+    for loc, order in co_orders.items():
+        for key in order:
+            log.store_performed(versions[key])
+    for tid, ops in enumerate(threads):
+        for idx, op in enumerate(ops):
+            if op.kind == "st":
+                log.record_store(tid, idx, _addr(op.loc),
+                                 versions[(tid, idx)], cycle=idx)
+            elif op.kind == "ld":
+                src = reads[(tid, idx)]
+                version = 0 if src is None else versions[src]
+                log.record_load(tid, idx, _addr(op.loc), version, cycle=idx)
+            else:
+                src = reads[(tid, idx)]
+                version = 0 if src is None else versions[src]
+                log.record_atomic(tid, idx, _addr(op.loc), version,
+                                  versions[(tid, idx)], cycle=idx)
+    return log
+
+
+def _addr(loc: str) -> int:
+    return 0x1000 + (ord(loc[0]) - ord("a")) * 0x40
+
+
+@pytest.mark.parametrize("shape,forbidden", [
+    # (threads, forbidden read-from assignment for the reader loads)
+    (
+        [[ld("y", "ra"), ld("x", "rb")],
+         [t_st("x", 1), t_st("y", 1)]],
+        {(0, 0): (1, 1), (0, 1): None},  # ld y -> new, ld x -> initial
+    ),
+    (
+        [[t_st("d", 42), t_st("f", 1)],
+         [ld("f", "rf"), ld("d", "rd")]],
+        {(1, 0): (0, 1), (1, 1): None},
+    ),
+])
+def test_axiomatic_checker_rejects_operationally_unreachable(shape, forbidden):
+    """Executions the operational model cannot reach must be rejected by
+    the axiomatic checker under EVERY per-location coherence order."""
+    threads = shape
+    writers = {}
+    for tid, ops in enumerate(threads):
+        for idx, op in enumerate(ops):
+            if op.kind in ("st", "rmw"):
+                writers.setdefault(op.loc, []).append((tid, idx))
+    any_accepted = False
+    orders_per_loc = [
+        list(itertools.permutations(keys)) for keys in writers.values()
+    ]
+    for combo in itertools.product(*orders_per_loc):
+        co_orders = dict(zip(writers.keys(), combo))
+        log = _log_for(threads, forbidden, co_orders)
+        try:
+            check_tso(log)
+            any_accepted = True
+        except TSOViolationError:
+            pass
+    assert not any_accepted
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 1), st.sampled_from(["ld", "st"]),
+              st.sampled_from(["x", "y"])),
+    min_size=2, max_size=6))
+def test_sc_interleavings_always_operationally_reachable(ops):
+    """Any SC interleaving outcome must be reachable operationally (SC
+    is a subset of TSO)."""
+    threads = [[], []]
+    memory = {}
+    regs = {}
+    counters = {0: 0, 1: 0}
+    for tid, kind, loc in ops:
+        idx = counters[tid]
+        counters[tid] += 1
+        if kind == "st":
+            threads[tid].append(t_st(loc, tid * 100 + idx + 1))
+            memory[loc] = tid * 100 + idx + 1
+        else:
+            reg = f"r{idx}"
+            threads[tid].append(ld(loc, reg))
+            regs[f"t{tid}:{reg}"] = memory.get(loc, 0)
+    assert outcome_reachable(threads, regs)

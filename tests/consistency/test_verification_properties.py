@@ -1,0 +1,74 @@
+"""Unit tests for the verification properties and VerifSystem plumbing."""
+
+from repro.common.types import CacheState, LineAddr
+from repro.verification import (
+    VerifSystem,
+    no_residue,
+    swmr_invariant,
+    writersblock_blocks_writes,
+)
+
+LINE = LineAddr(0x40)
+ADDR = 0x1000
+
+
+def settled_read(system, tile=0):
+    system.cores[tile].issue_load(ADDR)
+    system.settle()
+    while system.network.pending:
+        system.network.deliver(0)
+        system.settle()
+
+
+def test_clean_system_has_no_violations():
+    system = VerifSystem()
+    settled_read(system)
+    assert swmr_invariant(system) is None
+    assert writersblock_blocks_writes(system) is None
+    assert no_residue(system) is None
+    assert system.cores[0].load_results == [(0, (0, 0), False)]
+
+
+def test_swmr_detects_forged_double_owner():
+    system = VerifSystem()
+    settled_read(system, tile=0)
+    # Forge a second exclusive copy at tile 1.
+    from repro.mem.line_data import LineData
+    from repro.coherence.private_cache import PrivateLine
+
+    system.caches[1]._lines.insert(
+        LINE, PrivateLine(state=CacheState.M, data=LineData()))
+    problem = swmr_invariant(system)
+    assert problem and "SWMR" in problem
+
+
+def test_no_residue_flags_pending_messages():
+    system = VerifSystem()
+    system.cores[0].issue_load(ADDR)
+    system.settle()
+    assert system.network.pending  # the GetS is parked
+    assert no_residue(system) is not None
+
+
+def test_fingerprint_changes_with_state():
+    system = VerifSystem()
+    before = system.fingerprint()
+    system.cores[0].issue_load(ADDR)
+    system.settle()
+    assert system.fingerprint() != before
+
+
+def test_deliverable_respects_channel_fifo():
+    system = VerifSystem()
+    # Two loads from the same tile to the same bank: only the older
+    # message of that channel is deliverable.
+    system.cores[0].issue_load(ADDR)
+    system.cores[0].issue_load(ADDR + 0x100)  # line 0x44: same bank 0
+    system.settle()
+    same_channel = [m for m in system.network.pending
+                    if (m.src, m.dst, m.dst_port) == (0, 0, "llc")]
+    assert len(same_channel) == 2
+    choices = system.network.deliverable()
+    chosen = [system.network.pending[i] for i in choices]
+    assert sum(1 for m in chosen
+               if (m.src, m.dst, m.dst_port) == (0, 0, "llc")) == 1

@@ -1,0 +1,61 @@
+"""Lockdown Table (paper §4.2, Figure 7)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import LineAddr
+from repro.core.ldt import LockdownTable
+
+
+def test_allocate_release_roundtrip():
+    ldt = LockdownTable(4)
+    entry = ldt.allocate(LineAddr(7))
+    assert len(ldt) == 1
+    assert ldt.get(entry.index) is entry
+    released = ldt.release(entry.index)
+    assert released is entry
+    assert len(ldt) == 0
+
+
+def test_capacity_enforced():
+    ldt = LockdownTable(2)
+    ldt.allocate(LineAddr(0))
+    ldt.allocate(LineAddr(1))
+    assert ldt.full
+    with pytest.raises(SimulationError):
+        ldt.allocate(LineAddr(2))
+
+
+def test_multiple_lockdowns_same_line_allowed():
+    # Paper §4.2: "the LDT allows multiple lockdowns for the same cache
+    # line address (one per load)."
+    ldt = LockdownTable(4)
+    a = ldt.allocate(LineAddr(5))
+    b = ldt.allocate(LineAddr(5))
+    assert a.index != b.index
+    assert len(ldt.entries_on_line(LineAddr(5))) == 2
+    assert ldt.has_line(LineAddr(5))
+    ldt.release(a.index)
+    assert ldt.has_line(LineAddr(5))
+    ldt.release(b.index)
+    assert not ldt.has_line(LineAddr(5))
+
+
+def test_seen_bit_carried():
+    ldt = LockdownTable(2)
+    entry = ldt.allocate(LineAddr(3), seen=True)
+    assert entry.seen
+
+
+def test_release_unknown_index_rejected():
+    ldt = LockdownTable(2)
+    with pytest.raises(SimulationError):
+        ldt.release(99)
+
+
+def test_indices_not_reused_within_session():
+    ldt = LockdownTable(2)
+    a = ldt.allocate(LineAddr(0))
+    ldt.release(a.index)
+    b = ldt.allocate(LineAddr(0))
+    assert b.index != a.index

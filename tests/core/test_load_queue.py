@@ -1,0 +1,106 @@
+"""Load queue: SoS, ordered, M-speculative classification (Tables 4/5)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import InstrType, LineAddr
+from repro.core.instruction import DynInstr, Instruction
+from repro.core.load_queue import LoadQueue
+
+
+def load_dyn(seq):
+    return DynInstr(instr=Instruction(InstrType.LOAD, dst=1, addr=0),
+                    trace_idx=seq, seq=seq)
+
+
+def make_lq(n=4, lines=()):
+    lq = LoadQueue(8)
+    entries = []
+    for i in range(n):
+        entry = lq.allocate(load_dyn(i))
+        entry.line = LineAddr(lines[i] if i < len(lines) else i)
+        entries.append(entry)
+    return lq, entries
+
+
+def test_sos_is_oldest_nonperformed():
+    lq, entries = make_lq()
+    assert lq.first_nonperformed() is entries[0]
+    entries[0].performed = True
+    assert lq.first_nonperformed() is entries[1]
+    assert lq.is_sos(entries[1])
+    assert not lq.is_sos(entries[2])
+
+
+def test_all_performed_has_no_sos():
+    lq, entries = make_lq(2)
+    for e in entries:
+        e.performed = True
+    assert lq.first_nonperformed() is None
+
+
+def test_ordered_means_all_older_performed():
+    lq, entries = make_lq(3)
+    entries[0].performed = True
+    # entry1 (unperformed) is ordered: everything older is performed.
+    assert lq.is_ordered(entries[1])
+    assert not lq.is_ordered(entries[2])
+
+
+def test_mspeculative_is_performed_but_unordered():
+    # Paper Table 4: performed + unordered = M-speculative (lockdown).
+    lq, entries = make_lq(3)
+    entries[2].performed = True  # younger load performed under older miss
+    assert lq.is_mspeculative(entries[2])
+    assert not lq.is_mspeculative(entries[0])  # not performed
+    entries[0].performed = True
+    entries[1].performed = True
+    assert not lq.is_mspeculative(entries[2])  # now ordered
+
+
+def test_forwarded_loads_are_mspeculative_too():
+    """A forwarded value can go stale once the forwarding store drains
+    (fuzzer-found); forwarded loads need lockdown protection as well."""
+    lq, entries = make_lq(2)
+    entries[1].performed = True
+    entries[1].forwarded = True
+    assert lq.is_mspeculative(entries[1])
+    assert lq.mspeculative_on_line(entries[1].line) == [entries[1]]
+
+
+def test_mspeculative_on_line_filters_by_line():
+    lq, entries = make_lq(4, lines=(0, 7, 7, 7))
+    entries[1].performed = True
+    entries[2].performed = True
+    hits = lq.mspeculative_on_line(LineAddr(7))
+    assert hits == [entries[1], entries[2]]
+    assert lq.mspeculative_on_line(LineAddr(9)) == []
+    assert lq.has_lockdown_on(LineAddr(7))
+    assert not lq.has_lockdown_on(LineAddr(0))
+
+
+def test_nearest_older_nonperformed():
+    lq, entries = make_lq(4)
+    entries[1].performed = True
+    assert lq.nearest_older_nonperformed(entries[3]) is entries[2]
+    assert lq.nearest_older_nonperformed(entries[1]) is entries[0]
+    assert lq.nearest_older_nonperformed(entries[0]) is None
+
+
+def test_remove_and_capacity():
+    lq = LoadQueue(2)
+    e0 = lq.allocate(load_dyn(0))
+    lq.allocate(load_dyn(1))
+    assert lq.full
+    with pytest.raises(SimulationError):
+        lq.allocate(load_dyn(2))
+    lq.remove(e0)
+    assert not lq.full
+
+
+def test_entry_for():
+    lq = LoadQueue(2)
+    d = load_dyn(0)
+    entry = lq.allocate(d)
+    assert lq.entry_for(d) is entry
+    assert lq.entry_for(load_dyn(1)) is None

@@ -1,0 +1,165 @@
+"""Lockdown lifecycle: Nacks, deferred acks, LDT export (paper §3.2, §4.2)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
+from repro.common.types import InstrType, LineAddr
+from repro.core.instruction import DynInstr, Instruction
+from repro.core.ldt import LockdownTable
+from repro.core.load_queue import LoadQueue
+from repro.core.lockdowns import LockdownUnit
+
+
+class Harness:
+    def __init__(self, n_loads=4, lines=(0, 1, 1, 1), ldt_size=8):
+        self.acks = []
+        self.stats = StatsRegistry()
+        self.lq = LoadQueue(8)
+        self.ldt = LockdownTable(ldt_size)
+        self.unit = LockdownUnit(self.lq, self.ldt, self.acks.append,
+                                 self.stats)
+        self.entries = []
+        for i in range(n_loads):
+            dyn = DynInstr(instr=Instruction(InstrType.LOAD, dst=1, addr=0),
+                           trace_idx=i, seq=i)
+            entry = self.lq.allocate(dyn)
+            entry.line = LineAddr(lines[i])
+            dyn.lq_entry = entry
+            self.entries.append(entry)
+
+    def perform(self, idx):
+        self.entries[idx].performed = True
+        self.unit.sweep_ordered()
+
+
+def test_no_lockdown_means_plain_ack():
+    h = Harness()
+    assert h.unit.on_invalidation(LineAddr(1)) is False
+    assert not h.unit.line_pending_inv(LineAddr(1))
+
+
+def test_mspec_load_nacks_and_defers_ack_until_ordered():
+    h = Harness()
+    h.perform(1)  # load 1 performed under load 0's miss: M-speculative
+    assert h.unit.on_invalidation(LineAddr(1)) is True
+    assert h.entries[1].seen
+    assert h.unit.line_pending_inv(LineAddr(1))
+    assert h.acks == []
+    h.perform(0)  # load 1 becomes ordered -> lockdown lifts -> ack
+    assert h.acks == [LineAddr(1)]
+    assert not h.unit.line_pending_inv(LineAddr(1))
+
+
+def test_ack_waits_for_last_lockdown_on_line():
+    # Two M-speculative loads on the same line: ack only when the
+    # youngest (i.e. all of them) becomes ordered.
+    h = Harness()
+    h.perform(1)
+    h.perform(2)
+    assert h.unit.on_invalidation(LineAddr(1)) is True
+    assert h.entries[1].seen and h.entries[2].seen
+    h.perform(3)  # new perform after the inv: no new lockdown for it
+    assert h.acks == []
+    h.perform(0)  # everyone ordered now
+    assert h.acks == [LineAddr(1)]
+
+
+def test_squash_ends_lockdown_and_releases_ack():
+    h = Harness()
+    h.perform(1)
+    assert h.unit.on_invalidation(LineAddr(1))
+    h.unit.on_squash(h.entries[1])
+    h.lq.remove(h.entries[1])
+    assert h.acks == [LineAddr(1)]
+
+
+def test_squash_of_one_holder_keeps_waiting_for_others():
+    h = Harness()
+    h.perform(1)
+    h.perform(2)
+    assert h.unit.on_invalidation(LineAddr(1))
+    h.unit.on_squash(h.entries[2])
+    h.lq.remove(h.entries[2])
+    assert h.acks == []  # entry 1 still holds the lockdown
+    h.perform(0)
+    assert h.acks == [LineAddr(1)]
+
+
+def test_export_to_ldt_transfers_seen_and_guards():
+    h = Harness()
+    h.perform(1)
+    assert h.unit.on_invalidation(LineAddr(1))
+    assert h.unit.export_on_commit(h.entries[1])
+    h.lq.remove(h.entries[1])
+    assert len(h.ldt) == 1
+    assert h.ldt.entries()[0].seen
+    # Guard responsibility went to the nearest older non-performed load.
+    assert h.entries[0].guards == {h.ldt.entries()[0].index}
+    assert h.acks == []
+    h.perform(0)  # guard performs & ordered: releases the LDT lockdown
+    assert h.acks == [LineAddr(1)]
+    assert len(h.ldt) == 0
+
+
+def test_export_fails_when_ldt_full():
+    h = Harness(ldt_size=0)
+    h.perform(1)
+    assert h.unit.export_on_commit(h.entries[1]) is False
+
+
+def test_export_of_ordered_load_rejected():
+    h = Harness()
+    h.perform(0)
+    h.perform(1)  # ordered now
+    with pytest.raises(SimulationError):
+        h.unit.export_on_commit(h.entries[1])
+
+
+def test_guard_chain_passes_to_next_older_nonperformed():
+    # Figure 7's chain: committed loads pile their LDT indices on the
+    # first older non-performed load; when it commits too, the set moves.
+    h = Harness(lines=(0, 1, 2, 3))
+    h.perform(2)
+    h.perform(3)
+    assert h.unit.export_on_commit(h.entries[3])
+    h.lq.remove(h.entries[3])
+    assert h.entries[1].guards  # guard = load 1 (oldest non-performed < 3)
+    h.perform(1)
+    # Load 1 performed but NOT ordered (load 0 missing): guards stay.
+    assert h.entries[1].guards
+    assert h.unit.export_on_commit(h.entries[1])  # load 1 commits M-spec
+    h.lq.remove(h.entries[1])
+    # Its own lockdown plus the inherited ones moved to load 0.
+    assert len(h.entries[0].guards) == 2
+    h.perform(0)
+    assert len(h.ldt) == 0
+
+
+def test_invalidation_hits_ldt_entries():
+    h = Harness()
+    h.perform(1)
+    assert h.unit.export_on_commit(h.entries[1])
+    h.lq.remove(h.entries[1])
+    assert h.unit.on_invalidation(LineAddr(1)) is True  # lockdown in LDT
+    assert h.acks == []
+    h.perform(0)
+    assert h.acks == [LineAddr(1)]
+
+
+def test_double_invalidation_same_line_rejected():
+    h = Harness()
+    h.perform(1)
+    h.unit.on_invalidation(LineAddr(1))
+    with pytest.raises(SimulationError):
+        h.unit.on_invalidation(LineAddr(1))
+
+
+def test_has_lockdown_queries_both_structures():
+    h = Harness()
+    assert not h.unit.has_lockdown(LineAddr(1))
+    h.perform(1)
+    assert h.unit.has_lockdown(LineAddr(1))
+    h.unit.export_on_commit(h.entries[1])
+    h.lq.remove(h.entries[1])
+    assert h.unit.has_lockdown(LineAddr(1))  # now via the LDT

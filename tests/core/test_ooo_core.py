@@ -1,0 +1,185 @@
+"""Core pipeline behaviours on small directed programs."""
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.sim.system import MulticoreSystem
+from repro.workloads.trace import AddressSpace, TraceBuilder
+
+
+def run_one(trace, mode=CommitMode.IN_ORDER, num_cores=4, core_params=None):
+    params = table6_system("SLM", num_cores=num_cores, commit_mode=mode)
+    system = MulticoreSystem(params)
+    system.load_program([trace])
+    result = system.run()
+    return system, result
+
+
+def test_alu_dataflow_computes_values():
+    t = TraceBuilder()
+    a, b, c = t.reg(), t.reg(), t.reg()
+    t.mov(a, 5)
+    t.addi(b, a, 3)
+    t.xori(c, b, 0xF)
+    system, __ = run_one(t.build())
+    assert system.cores[0].reg_values[a] == 5
+    assert system.cores[0].reg_values[b] == 8
+    assert system.cores[0].reg_values[c] == 8 ^ 0xF
+
+
+def test_branch_taken_skips_instructions():
+    t = TraceBuilder()
+    r, out = t.reg(), t.reg()
+    t.mov(out, 1)
+    t.mov(r, 0)
+    branch = t.beqz(r, 0, predict_taken=False)  # taken: r == 0
+    t.mov(out, 99)  # must be skipped
+    t.fix_target(branch, t.here)
+    t.addi(out, out, 10)
+    system, result = run_one(t.build())
+    assert system.cores[0].reg_values[out] == 11
+    # Mispredicted (predicted not-taken, actually taken): one squash.
+    assert result.counter("core.branch_mispredicts") == 1
+
+
+def test_correctly_predicted_branch_costs_no_squash():
+    t = TraceBuilder()
+    r, out = t.reg(), t.reg()
+    t.mov(out, 1)
+    t.mov(r, 0)
+    branch = t.beqz(r, 0, predict_taken=True)
+    t.mov(out, 99)
+    t.fix_target(branch, t.here)
+    system, result = run_one(t.build())
+    assert system.cores[0].reg_values[out] == 1
+    assert result.counter("core.branch_mispredicts") == 0
+
+
+def test_loop_executes_dynamic_iterations():
+    t = TraceBuilder()
+    counter, done = t.reg(), t.reg()
+    t.mov(counter, 0)
+    top = t.here
+    t.addi(counter, counter, 1)
+    t.xori(done, counter, 5)  # zero when counter == 5
+    t.bnez(done, top, predict_taken=True)
+    system, result = run_one(t.build())
+    assert system.cores[0].reg_values[counter] == 5
+
+
+def test_store_to_load_forwarding_same_address():
+    space = AddressSpace()
+    x = space.new_var("x")
+    t = TraceBuilder()
+    r = t.reg()
+    t.store(x, 42)
+    t.load(r, x)  # must forward from the SQ/SB, not miss to memory
+    system, result = run_one(t.build())
+    assert system.cores[0].reg_values[r] == 42
+    load_event = next(e for e in result.log.events if e.kind == "ld")
+    assert load_event.forwarded
+
+
+def test_no_forwarding_across_different_bytes():
+    space = AddressSpace()
+    x = space.new_var("x")
+    t = TraceBuilder()
+    r = t.reg()
+    t.store(x, 42)
+    t.load(r, x + 4)  # same line, different byte: no forwarding
+    system, result = run_one(t.build())
+    assert system.cores[0].reg_values[r] == 0
+    load_event = next(e for e in result.log.events if e.kind == "ld")
+    assert not load_event.forwarded
+
+
+def test_load_waits_for_unresolved_older_store_value():
+    """Exact-address match with a value not yet ready: the load waits
+    and then forwards (it must not read the stale memory value)."""
+    space = AddressSpace()
+    x = space.new_var("x")
+    t = TraceBuilder()
+    slow = t.reg()
+    t.gate(slow, srcs=(), latency=80, imm=7)
+    t.store(x, value_reg=slow)
+    r = t.reg()
+    t.load(r, x)
+    system, __ = run_one(t.build())
+    assert system.cores[0].reg_values[r] == 7
+
+
+def test_atomic_tas_and_faa_semantics():
+    space = AddressSpace()
+    lock = space.new_var("lock")
+    count = space.new_var("count")
+    t = TraceBuilder()
+    r1, r2, r3 = t.reg(), t.reg(), t.reg()
+    t.tas(r1, lock)  # old 0, writes 1
+    t.tas(r2, lock)  # old 1
+    t.faa(r3, count, 5)  # old 0, writes 5
+    system, __ = run_one(t.build())
+    regs = system.cores[0].reg_values
+    assert (regs[r1], regs[r2], regs[r3]) == (0, 1, 0)
+
+
+def test_loads_do_not_issue_past_unperformed_atomic():
+    """Paper §3.7: no load younger than an uncompleted atomic may
+    perform (it could otherwise become an unlockdownable M-spec load)."""
+    space = AddressSpace()
+    lock = space.new_var("lock")
+    x = space.new_var("x")
+    t = TraceBuilder()
+    r_at, r_ld = t.reg(), t.reg()
+    t.tas(r_at, lock)
+    t.load(r_ld, x)
+    system, result = run_one(t.build(), mode=CommitMode.OOO_WB)
+    at_event = next(e for e in result.log.events if e.kind == "at")
+    ld_event = next(e for e in result.log.events if e.kind == "ld")
+    assert ld_event.cycle > at_event.cycle
+
+
+def test_dispatch_stall_accounting():
+    space = AddressSpace()
+    x = space.new_var("x")
+    t = TraceBuilder()
+    t.load(t.reg(), x)  # ~200-cycle cold miss at the head
+    for __ in range(60):
+        t.compute(latency=1)
+    system, result = run_one(t.build())
+    # In-order commit: the miss blocks the head; the 32-entry ROB fills.
+    assert result.counter("core0.stall_rob") > 50
+
+
+def test_consistency_squash_reexecutes_load():
+    """Squash-mode core: invalidation hits the M-spec load, which then
+    re-executes and reads the NEW value."""
+    space = AddressSpace()
+    x = space.new_var("x")
+    y = space.new_var("y")
+    t0 = TraceBuilder()
+    warm = t0.reg()
+    t0.load(warm, x)
+    gate = t0.reg()
+    t0.gate(gate, srcs=(warm,), latency=300)
+    ra = t0.reg()
+    t0.load(ra, y, addr_reg=gate)
+    rb = t0.reg()
+    t0.load(rb, x)  # hit -> M-speculative -> squashed by the inv
+    t1 = TraceBuilder()
+    t1.compute(latency=60)
+    t1.store(x, 1)
+    t1.store(y, 1)
+    params = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO)
+    system = MulticoreSystem(params)
+    system.load_program([t0.build(), t1.build()])
+    result = system.run()
+    assert result.counter("core.consistency_squashes") >= 1
+    assert system.cores[0].reg_values[rb] == 1  # re-read the new value
+
+
+def test_core_snapshot_is_informative():
+    t = TraceBuilder()
+    t.nop()
+    system, __ = run_one(t.build())
+    assert "core0" in system.cores[0].snapshot()

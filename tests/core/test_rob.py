@@ -1,0 +1,79 @@
+"""Collapsible reorder buffer."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import InstrType
+from repro.core.instruction import DynInstr, Instruction
+
+
+def dyn(seq):
+    return DynInstr(instr=Instruction(InstrType.NOP), trace_idx=seq, seq=seq)
+
+
+def make_rob(capacity=4):
+    from repro.core.rob import ReorderBuffer
+    return ReorderBuffer(capacity)
+
+
+def test_push_and_head():
+    rob = make_rob()
+    a, b = dyn(0), dyn(1)
+    rob.push(a)
+    rob.push(b)
+    assert rob.head() is a
+    assert len(rob) == 2
+
+
+def test_overflow_rejected():
+    rob = make_rob(capacity=1)
+    rob.push(dyn(0))
+    assert rob.full
+    with pytest.raises(SimulationError):
+        rob.push(dyn(1))
+
+
+def test_commit_from_middle_collapses():
+    rob = make_rob()
+    a, b, c = dyn(0), dyn(1), dyn(2)
+    for d in (a, b, c):
+        rob.push(d)
+    rob.commit(b)
+    assert list(rob) == [a, c]
+    assert rob[1] is c  # gap closed; program order by position
+
+
+def test_squash_younger_than():
+    rob = make_rob()
+    items = [dyn(i) for i in range(4)]
+    for d in items:
+        rob.push(d)
+    squashed = rob.squash_younger_than(items[1])
+    assert squashed == items[2:]
+    assert list(rob) == items[:2]
+
+
+def test_squash_younger_than_none_flushes_all():
+    rob = make_rob()
+    items = [dyn(i) for i in range(3)]
+    for d in items:
+        rob.push(d)
+    assert rob.squash_younger_than(None) == items
+    assert rob.empty
+
+
+def test_squash_from_includes_target():
+    rob = make_rob()
+    items = [dyn(i) for i in range(3)]
+    for d in items:
+        rob.push(d)
+    squashed = rob.squash_from(items[1])
+    assert squashed == items[1:]
+    assert list(rob) == items[:1]
+
+
+def test_squash_unknown_entry_rejected():
+    rob = make_rob()
+    rob.push(dyn(0))
+    with pytest.raises(SimulationError):
+        rob.squash_younger_than(dyn(9))

@@ -1,0 +1,79 @@
+"""Store queue: resolution tracking and forwarding search."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import InstrType
+from repro.core.instruction import DynInstr, Instruction
+from repro.core.store_queue import StoreQueue
+
+
+def store_dyn(seq):
+    return DynInstr(instr=Instruction(InstrType.STORE, addr=0),
+                    trace_idx=seq, seq=seq)
+
+
+def test_allocate_and_resolve():
+    sq = StoreQueue(4)
+    entry = sq.allocate(store_dyn(0))
+    assert not entry.resolved
+    assert not entry.value_ready
+    entry.addr = 64
+    entry.value = 5
+    entry.version = 1
+    assert entry.resolved and entry.value_ready
+
+
+def test_unresolved_older_than():
+    sq = StoreQueue(4)
+    e0 = sq.allocate(store_dyn(0))
+    e2 = sq.allocate(store_dyn(2))
+    assert sq.unresolved_older_than(5)
+    e0.addr = 8
+    assert sq.unresolved_older_than(5)  # e2 still unresolved
+    e2.addr = 16
+    assert not sq.unresolved_older_than(5)
+    assert not sq.unresolved_older_than(1)  # e2 is younger than seq 1
+
+
+def test_forward_for_youngest_older_match():
+    sq = StoreQueue(4)
+    e0 = sq.allocate(store_dyn(0))
+    e1 = sq.allocate(store_dyn(1))
+    e2 = sq.allocate(store_dyn(5))
+    e0.addr = 8
+    e1.addr = 8
+    e2.addr = 8
+    # Load at seq 3: candidates are seq 0 and 1; youngest is 1.
+    assert sq.forward_for(8, load_seq=3) is e1
+    assert sq.forward_for(16, load_seq=3) is None
+    # Load at seq 0: no older stores at all.
+    assert sq.forward_for(8, load_seq=0) is None
+
+
+def test_forward_returns_entry_even_without_value():
+    sq = StoreQueue(2)
+    entry = sq.allocate(store_dyn(0))
+    entry.addr = 8
+    found = sq.forward_for(8, load_seq=1)
+    assert found is entry
+    assert not found.value_ready  # the load must wait for the value
+
+
+def test_capacity():
+    sq = StoreQueue(1)
+    sq.allocate(store_dyn(0))
+    assert sq.full
+    with pytest.raises(SimulationError):
+        sq.allocate(store_dyn(1))
+
+
+def test_remove_and_oldest():
+    sq = StoreQueue(4)
+    e0 = sq.allocate(store_dyn(0))
+    e1 = sq.allocate(store_dyn(1))
+    assert sq.oldest() is e0
+    sq.remove(e0)
+    assert sq.oldest() is e1
+    assert sq.entry_for(e0.dyn) is None
+    assert sq.entry_for(e1.dyn) is e1

@@ -1,0 +1,68 @@
+"""End-to-end smoke over the benchmark suite (small scale).
+
+Every workload must complete under OoO+WritersBlock with a TSO-clean
+execution and zero consistency squashes; runs must be bit-reproducible;
+and the squash-mode baseline must produce the same lock-protected
+results.
+"""
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.sim.runner import run_workload
+from repro.workloads import ALL_WORKLOADS
+
+SMOKE_SET = ("fft", "radix", "streamcluster", "freqmine", "x264", "canneal")
+
+
+@pytest.mark.parametrize("name", SMOKE_SET)
+def test_workload_completes_tso_clean_under_wb(name):
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    workload = ALL_WORKLOADS[name](num_threads=4, scale=0.25)
+    result = run_workload(workload, params)  # checks TSO internally
+    assert result.consistency_squashes == 0
+    assert result.committed > 0
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("name", ("fft", "streamcluster"))
+def test_runs_are_reproducible(name):
+    params = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO_WB)
+    results = [
+        run_workload(ALL_WORKLOADS[name](num_threads=4, scale=0.25), params)
+        for __ in range(2)
+    ]
+    assert results[0].cycles == results[1].cycles
+    assert results[0].stats == results[1].stats
+
+
+def test_wb_never_slower_than_inorder_by_much():
+    """Sanity bound: the WB mode may trade squashes for store delays but
+    must stay within a tight envelope of the in-order baseline."""
+    for name in ("fft", "freqmine"):
+        workload_factory = ALL_WORKLOADS[name]
+        base = run_workload(
+            workload_factory(num_threads=4, scale=0.25),
+            table6_system("SLM", num_cores=4,
+                          commit_mode=CommitMode.IN_ORDER))
+        wb = run_workload(
+            workload_factory(num_threads=4, scale=0.25),
+            table6_system("SLM", num_cores=4,
+                          commit_mode=CommitMode.OOO_WB))
+        assert wb.cycles < base.cycles * 1.10
+
+
+def test_nhm_class_runs_clean():
+    params = table6_system("NHM", num_cores=4, commit_mode=CommitMode.OOO_WB)
+    result = run_workload(
+        ALL_WORKLOADS["bodytrack"](num_threads=4, scale=0.25), params)
+    assert result.consistency_squashes == 0
+
+
+def test_hsw_class_runs_clean():
+    params = table6_system("HSW", num_cores=4, commit_mode=CommitMode.OOO_WB)
+    result = run_workload(
+        ALL_WORKLOADS["streamcluster"](num_threads=4, scale=0.25), params)
+    assert result.consistency_squashes == 0

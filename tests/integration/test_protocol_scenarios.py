@@ -1,0 +1,150 @@
+"""Paper Figures 1-3 as end-to-end scenarios on real cores.
+
+The running example: core 0 executes ``ld ra,y ; ld rb,x`` where the
+older load's address resolves late and the younger hits a cached copy;
+core 1 executes ``st x,1 ; st y,1``.  TSO forbids {ra==new, rb==old}.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.consistency.tso_checker import check_tso
+from repro.common.errors import TSOViolationError
+from repro.sim.system import MulticoreSystem
+from repro.workloads.trace import AddressSpace, TraceBuilder
+
+
+def racing_program(resolve_delay, writer_delay):
+    space = AddressSpace()
+    x = space.new_var("x")
+    y = space.new_var("y")
+    t0 = TraceBuilder()
+    warm = t0.reg()
+    t0.load(warm, x)  # cache x (the "old" copy)
+    gate = t0.reg()
+    t0.gate(gate, srcs=(warm,), latency=resolve_delay)
+    ra = t0.reg()
+    t0.load(ra, y, addr_reg=gate)  # older load, unresolved address
+    rb = t0.reg()
+    t0.load(rb, x)  # younger load: hits, M-speculative
+    t1 = TraceBuilder()
+    t1.compute(latency=writer_delay)
+    t1.store(x, 1)
+    t1.store(y, 1)
+    return [t0.build(), t1.build()], (x, y)
+
+
+DELAYS = [(d0, d1) for d0 in (120, 200, 300) for d1 in (30, 60, 100)]
+
+
+def run_mode(mode, resolve_delay, writer_delay):
+    traces, __ = racing_program(resolve_delay, writer_delay)
+    params = table6_system("SLM", num_cores=4, commit_mode=mode)
+    system = MulticoreSystem(params)
+    system.load_program(traces)
+    result = system.run()
+    regs = system.cores[0].reg_values
+    return system, result, regs
+
+
+def outcome(system, result):
+    """(ra, rb) as old/new value observations."""
+    ld_events = [e for e in result.log.events
+                 if e.core == 0 and e.kind == "ld"]
+    by_addr = {}
+    for event in ld_events:
+        by_addr.setdefault(event.addr, []).append(event)
+    return ld_events
+
+
+@pytest.mark.parametrize("mode", [CommitMode.IN_ORDER, CommitMode.OOO,
+                                  CommitMode.OOO_WB])
+def test_racing_loads_never_violate_tso(mode):
+    for resolve_delay, writer_delay in DELAYS:
+        system, result, regs = run_mode(mode, resolve_delay, writer_delay)
+        check_tso(result.log)  # raises on violation
+
+
+def test_unsafe_mode_produces_the_forbidden_outcome():
+    """The ablation proves the race is real: without any protection some
+    timing yields {ra==new, rb==old}, caught by the checker."""
+    caught = False
+    for resolve_delay, writer_delay in DELAYS:
+        traces, __ = racing_program(resolve_delay, writer_delay)
+        params = table6_system("SLM", num_cores=4,
+                               commit_mode=CommitMode.OOO_UNSAFE)
+        system = MulticoreSystem(params)
+        system.load_program(traces)
+        result = system.run()
+        try:
+            check_tso(result.log)
+        except TSOViolationError:
+            caught = True
+            break
+    assert caught, "expected at least one timing to violate TSO"
+
+
+def test_wb_blocks_the_store_instead_of_squashing():
+    """Figure 1.B: under WritersBlock the invalidation is Nacked and the
+    store waits; no consistency squash happens and ld y reads old y."""
+    found = False
+    for resolve_delay, writer_delay in DELAYS:
+        system, result, regs = run_mode(CommitMode.OOO_WB, resolve_delay,
+                                        writer_delay)
+        assert result.counter("core.consistency_squashes") == 0
+        if result.counter("dir.writersblock_entered") >= 1:
+            found = True
+            # The old value was read by BOTH loads: the lockdown delayed
+            # st x, and therefore (transitively) st y.
+            loads = [e for e in result.log.events
+                     if e.core == 0 and e.kind == "ld"]
+            assert all(e.version_read == 0 for e in loads)
+    assert found, "no timing produced a blocked write"
+
+
+def test_baseline_squashes_instead():
+    """Figure 2.A: the squash-and-re-execute baseline pays a squash for
+    the same race (in at least one timing) and stays TSO-correct."""
+    squashes = 0
+    for resolve_delay, writer_delay in DELAYS:
+        system, result, regs = run_mode(CommitMode.OOO, resolve_delay,
+                                        writer_delay)
+        squashes += result.counter("core.consistency_squashes")
+        assert result.counter("dir.writersblock_entered") == 0
+    assert squashes >= 1
+
+
+def test_three_core_transitive_delay():
+    """Paper Table 3: st x and st y on different cores, ordered by a
+    spin on x.  Delaying st x transitively delays st y; ld y must read
+    the old value whenever the reordering was hidden."""
+    space = AddressSpace()
+    x = space.new_var("x")
+    y = space.new_var("y")
+    t0 = TraceBuilder()
+    warm = t0.reg()
+    t0.load(warm, x)
+    gate = t0.reg()
+    t0.gate(gate, srcs=(warm,), latency=250)
+    ra = t0.reg()
+    t0.load(ra, y, addr_reg=gate)
+    rb = t0.reg()
+    t0.load(rb, x)
+    t1 = TraceBuilder()
+    t1.compute(latency=60)
+    t1.store(x, 1)
+    t2 = TraceBuilder()
+    rc = t2.reg()
+    spin = t2.here
+    t2.load(rc, x)
+    t2.beqz(rc, spin, predict_taken=True)
+    t2.store(y, 1)
+    params = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO_WB)
+    system = MulticoreSystem(params)
+    system.load_program([t0.build(), t1.build(), t2.build()])
+    result = system.run()
+    check_tso(result.log)
+    assert result.counter("core.consistency_squashes") == 0

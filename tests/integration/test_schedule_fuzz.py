@@ -1,0 +1,112 @@
+"""Schedule fuzzing: perturb message timing, check protocol invariants.
+
+The mesh is replaced by a jittered variant that adds a random (seeded)
+delay to every message — the network stays unordered but explores far
+more interleavings than the deterministic latency model.  After each
+run we check TSO *and* the structural coherence invariants.  This is
+the closest thing to model-checking the real protocol implementation.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.coherence.invariants import check_coherence
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.consistency.tso_checker import check_tso
+from repro.network.mesh import MeshNetwork
+from repro.sim.system import MulticoreSystem
+from repro.workloads.trace import AddressSpace, TraceBuilder
+
+
+class JitterMesh(MeshNetwork):
+    """Adds 0..jitter cycles of random extra latency per message.
+
+    Same-(src, dst) FIFO order is preserved — deterministic X-Y routing
+    guarantees it on the real mesh and the protocol may rely on it (e.g.
+    a Nack must reach the directory before the later DeferredAck from
+    the same cache).  Cross-pair orderings are fully scrambled, which is
+    the unordered-network property under test.
+    """
+
+    def __init__(self, *args, seed=0, jitter=40, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._rng = random.Random(seed)
+        self._jitter = jitter
+        self._last_arrival = {}
+
+    def _arrival_cycle(self, msg):
+        arrival = (super()._arrival_cycle(msg)
+                   + self._rng.randrange(self._jitter + 1))
+        key = (msg.src, msg.dst, msg.dst_port)
+        arrival = max(arrival, self._last_arrival.get(key, 0) + 1)
+        self._last_arrival[key] = arrival
+        return arrival
+
+
+def jittered_system(params, seed):
+    system = MulticoreSystem(params)
+    # Swap in the jittered mesh and re-register all endpoints.
+    jmesh = JitterMesh(params.num_cores, params.network, system.events,
+                       system.stats, seed=seed, jitter=40)
+    jmesh._endpoints = system.network._endpoints
+    system.network = jmesh
+    for cache in system.caches:
+        cache.network = jmesh
+    for bank in system.directories:
+        bank.network = jmesh
+    return system
+
+
+def contended_program(seed):
+    rng = random.Random(seed)
+    space = AddressSpace()
+    hot = [space.new_var("h0"), space.new_var("h1")]
+    hot.append(hot[0] + 8)  # false sharing with h0
+    counter = space.new_var("counter")
+    traces = []
+    for tid in range(4):
+        t = TraceBuilder()
+        for i in range(14):
+            pick = rng.random()
+            addr = hot[rng.randrange(len(hot))]
+            if pick < 0.4:
+                t.load(t.reg(), addr)
+            elif pick < 0.7:
+                t.store(addr, rng.randrange(1, 50))
+            elif pick < 0.8:
+                t.faa(t.reg(), counter, 1)
+            elif pick < 0.9:
+                gate = t.reg()
+                t.gate(gate, srcs=(), latency=rng.randrange(5, 60))
+                t.load(t.reg(), addr, addr_reg=gate)
+            else:
+                t.compute(latency=rng.randrange(1, 6))
+        traces.append(t.build())
+    return traces
+
+
+@pytest.mark.parametrize("mode", [CommitMode.IN_ORDER, CommitMode.OOO,
+                                  CommitMode.OOO_WB])
+@pytest.mark.parametrize("seed", range(6))
+def test_jittered_schedules_stay_coherent(mode, seed):
+    params = table6_system("SLM", num_cores=4, commit_mode=mode)
+    system = jittered_system(params, seed)
+    system.load_program(contended_program(seed * 17 + 3))
+    result = system.run()
+    check_tso(result.log)
+    check_coherence(system)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_jittered_ecl_cores_stay_coherent(seed):
+    params = table6_system("SLM", num_cores=4)
+    params = dataclasses.replace(params, core_type="inorder-ecl",
+                                 writers_block=True)
+    system = jittered_system(params, seed)
+    system.load_program(contended_program(seed * 31 + 7))
+    result = system.run()
+    check_tso(result.log)
+    check_coherence(system)

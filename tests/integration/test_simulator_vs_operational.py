@@ -1,0 +1,145 @@
+"""Simulator outcomes ⊆ operational x86-TSO outcomes.
+
+For straight-line litmus shapes we can express in both worlds, every
+register valuation the cycle-level simulator produces (any commit mode,
+any timing offset) must be reachable in the operational reference
+machine.  This ties the microarchitectural model to the architectural
+specification end to end.
+"""
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.consistency.operational import ld as o_ld
+from repro.consistency.operational import outcome_reachable, rmw as o_rmw
+from repro.consistency.operational import st as o_st
+from repro.sim.system import MulticoreSystem
+from repro.workloads.trace import AddressSpace, TraceBuilder
+
+# Each shape: list of threads; thread = list of ("ld", loc, name) /
+# ("st", loc, value) / ("at", loc, name) abstract operations.
+SHAPES = {
+    "sb": [
+        [("st", "x", 1), ("ld", "y", "r0")],
+        [("st", "y", 1), ("ld", "x", "r1")],
+    ],
+    "mp": [
+        [("st", "d", 42), ("st", "f", 1)],
+        [("ld", "f", "rf"), ("ld", "d", "rd")],
+    ],
+    "table1": [
+        [("ld", "y", "ra"), ("ld", "x", "rb")],
+        [("st", "x", 1), ("st", "y", 1)],
+    ],
+    "lb": [
+        [("ld", "x", "r0"), ("st", "y", 1)],
+        [("ld", "y", "r1"), ("st", "x", 1)],
+    ],
+    "n6": [
+        [("st", "x", 1), ("ld", "x", "r0"), ("ld", "y", "r1")],
+        [("st", "y", 1), ("ld", "y", "r2"), ("ld", "x", "r3")],
+    ],
+    "rmw-pair": [
+        [("at", "c", "r0")],
+        [("at", "c", "r1")],
+    ],
+}
+
+MODES = [CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB]
+DELAYS = [(0, 0), (0, 50), (50, 0), (25, 75)]
+
+
+def to_operational(shape):
+    threads = []
+    for ops in shape:
+        thread = []
+        for op in ops:
+            if op[0] == "ld":
+                thread.append(o_ld(op[1], op[2]))
+            elif op[0] == "st":
+                thread.append(o_st(op[1], op[2]))
+            else:
+                thread.append(o_rmw(op[1], op[2], 1))
+        threads.append(thread)
+    return threads
+
+
+def run_on_simulator(shape, mode, delays):
+    space = AddressSpace()
+    addr = {}
+    out_regs = []
+    traces = []
+    for tid, ops in enumerate(shape):
+        t = TraceBuilder()
+        if tid < len(delays) and delays[tid]:
+            t.compute(latency=delays[tid])
+        for op in ops:
+            loc = op[1]
+            if loc not in addr:
+                addr[loc] = space.new_var(loc)
+            if op[0] == "ld":
+                reg = t.reg()
+                t.load(reg, addr[loc])
+                out_regs.append((tid, reg, f"t{tid}:{op[2]}"))
+            elif op[0] == "st":
+                t.store(addr[loc], op[2])
+            else:
+                reg = t.reg()
+                t.faa(reg, addr[loc], 1)
+                out_regs.append((tid, reg, f"t{tid}:{op[2]}"))
+        traces.append(t.build())
+    params = table6_system("SLM", num_cores=4, commit_mode=mode)
+    system = MulticoreSystem(params)
+    system.load_program(traces)
+    system.run()
+    return {name: system.cores[tid].reg_values.get(reg, 0)
+            for tid, reg, name in out_regs}
+
+
+@pytest.mark.parametrize("name", sorted(SHAPES))
+@pytest.mark.parametrize("mode", MODES)
+def test_simulator_outcomes_operationally_reachable(name, mode):
+    shape = SHAPES[name]
+    reference = to_operational(shape)
+    for delays in DELAYS:
+        observed = run_on_simulator(shape, mode, delays)
+        assert outcome_reachable(reference, observed), (
+            f"{name} under {mode.value} with delays {delays} produced "
+            f"{observed}, which x86-TSO cannot reach")
+
+
+def test_unsafe_mode_produces_unreachable_outcome():
+    """And the ablation produces outcomes the reference machine CANNOT
+    reach — closing the loop on both directions."""
+    shape = [
+        [("ld", "x", "warm"), ("ld", "y", "ra"), ("ld", "x", "rb")],
+        [("st", "x", 1), ("st", "y", 1)],
+    ]
+    reference = to_operational(shape)
+    # Build the adversarial timing directly (unresolved address on ld y).
+    space = AddressSpace()
+    x = space.new_var("x")
+    y = space.new_var("y")
+    t0 = TraceBuilder()
+    warm = t0.reg()
+    t0.load(warm, x)
+    gate = t0.reg()
+    t0.gate(gate, srcs=(warm,), latency=400)
+    ra = t0.reg()
+    t0.load(ra, y, addr_reg=gate)
+    rb = t0.reg()
+    t0.load(rb, x)
+    t1 = TraceBuilder()
+    t1.compute(latency=40)
+    t1.store(x, 1)
+    t1.store(y, 1)
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_UNSAFE)
+    system = MulticoreSystem(params)
+    system.load_program([t0.build(), t1.build()])
+    system.run()
+    regs = system.cores[0].reg_values
+    observed = {"t0:warm": regs[warm], "t0:ra": regs[ra], "t0:rb": regs[rb]}
+    assert observed["t0:ra"] == 1 and observed["t0:rb"] == 0
+    assert not outcome_reachable(reference, observed)

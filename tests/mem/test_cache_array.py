@@ -1,0 +1,105 @@
+"""Set-associative array: LRU, victims, capacity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.types import LineAddr
+from repro.mem.cache_array import CacheArray, PresenceLRU
+
+
+def test_insert_and_lookup():
+    arr = CacheArray(sets=2, ways=2)
+    arr.insert(LineAddr(0), "a")
+    assert arr.lookup(LineAddr(0)) == "a"
+    assert arr.lookup(LineAddr(2)) is None
+    assert LineAddr(0) in arr
+
+
+def test_lru_victim_is_least_recently_used():
+    arr = CacheArray(sets=1, ways=2)
+    arr.insert(LineAddr(0), "a")
+    arr.insert(LineAddr(1), "b")
+    arr.lookup(LineAddr(0))  # touch 0: 1 becomes LRU
+    victim = arr.victim_for(LineAddr(2))
+    assert victim == (LineAddr(1), "b")
+
+
+def test_lookup_without_touch_keeps_lru():
+    arr = CacheArray(sets=1, ways=2)
+    arr.insert(LineAddr(0), "a")
+    arr.insert(LineAddr(1), "b")
+    arr.lookup(LineAddr(0), touch=False)
+    victim = arr.victim_for(LineAddr(2))
+    assert victim == (LineAddr(0), "a")
+
+
+def test_no_victim_needed_when_space_or_present():
+    arr = CacheArray(sets=1, ways=2)
+    arr.insert(LineAddr(0), "a")
+    assert arr.victim_for(LineAddr(1)) is None
+    arr.insert(LineAddr(1), "b")
+    assert arr.victim_for(LineAddr(0)) is None  # already resident
+
+
+def test_insert_into_full_set_rejected():
+    arr = CacheArray(sets=1, ways=1)
+    arr.insert(LineAddr(0), "a")
+    with pytest.raises(ConfigError):
+        arr.insert(LineAddr(1), "b")
+
+
+def test_replace_existing_line_allowed_when_full():
+    arr = CacheArray(sets=1, ways=1)
+    arr.insert(LineAddr(0), "a")
+    arr.insert(LineAddr(0), "a2")
+    assert arr.lookup(LineAddr(0)) == "a2"
+
+
+def test_remove():
+    arr = CacheArray(sets=1, ways=1)
+    arr.insert(LineAddr(0), "a")
+    assert arr.remove(LineAddr(0)) == "a"
+    assert arr.remove(LineAddr(0)) is None
+    assert arr.occupancy() == 0
+
+
+def test_set_indexing_by_modulo():
+    arr = CacheArray(sets=2, ways=1)
+    arr.insert(LineAddr(0), "even")
+    arr.insert(LineAddr(1), "odd")  # different set: no conflict
+    assert arr.lookup(LineAddr(0)) == "even"
+    assert arr.lookup(LineAddr(1)) == "odd"
+
+
+def test_invalid_geometry():
+    with pytest.raises(ConfigError):
+        CacheArray(sets=0, ways=1)
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=100))
+def test_occupancy_never_exceeds_capacity(addresses):
+    arr = CacheArray(sets=4, ways=2)
+    for addr in addresses:
+        line = LineAddr(addr)
+        victim = arr.victim_for(line)
+        if victim is not None:
+            arr.remove(victim[0])
+        arr.insert(line, addr)
+    assert arr.occupancy() <= 8
+    per_set = {}
+    for line, __ in arr.items():
+        per_set.setdefault(int(line) % 4, []).append(line)
+    assert all(len(lines) <= 2 for lines in per_set.values())
+
+
+def test_presence_lru_evicts_silently():
+    l1 = PresenceLRU(sets=1, ways=2)
+    l1.touch(LineAddr(0))
+    l1.touch(LineAddr(1))
+    l1.touch(LineAddr(2))  # evicts 0
+    assert LineAddr(0) not in l1
+    assert LineAddr(1) in l1
+    assert LineAddr(2) in l1
+    l1.drop(LineAddr(1))
+    assert LineAddr(1) not in l1

@@ -1,0 +1,43 @@
+"""Versioned line data: reads, writes, snapshot isolation."""
+
+from repro.mem.line_data import INITIAL, LineData
+
+
+def test_initial_value_for_unwritten_offsets():
+    data = LineData()
+    assert data.read(0) == INITIAL == (0, 0)
+    assert data.read(63) == (0, 0)
+
+
+def test_write_then_read():
+    data = LineData()
+    data.write(8, version=3, value=99)
+    assert data.read(8) == (3, 99)
+    assert data.read(9) == (0, 0)  # byte-granular
+
+
+def test_copy_is_a_snapshot():
+    data = LineData()
+    data.write(0, 1, 10)
+    snapshot = data.copy()
+    data.write(0, 2, 20)
+    assert snapshot.read(0) == (1, 10)
+    assert data.read(0) == (2, 20)
+    snapshot.write(4, 5, 50)
+    assert data.read(4) == (0, 0)
+
+
+def test_merge_from_adopts_contents():
+    a = LineData()
+    a.write(0, 1, 10)
+    b = LineData()
+    b.write(4, 2, 20)
+    a.merge_from(b)
+    assert a.read(0) == (0, 0)  # fully replaced
+    assert a.read(4) == (2, 20)
+
+
+def test_repr_is_compact():
+    data = LineData()
+    data.write(4, 7, 42)
+    assert "+4=v7:42" in repr(data)

@@ -1,0 +1,68 @@
+"""MSHR file: capacity, SoS reservation, bypass coexistence."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.types import LineAddr
+from repro.mem.mshr import MSHRFile
+
+
+def test_allocate_and_get():
+    mshrs = MSHRFile(entries=4, reserved_for_sos=1)
+    entry = mshrs.allocate(LineAddr(1), "read")
+    assert mshrs.get(LineAddr(1)) is entry
+    assert mshrs.get(LineAddr(2)) is None
+
+
+def test_regular_allocations_leave_sos_reserve():
+    mshrs = MSHRFile(entries=3, reserved_for_sos=1)
+    mshrs.allocate(LineAddr(1), "read")
+    mshrs.allocate(LineAddr(2), "write")
+    # Regular quota (2) exhausted; SoS quota still open.
+    assert not mshrs.can_allocate()
+    assert mshrs.can_allocate(sos=True)
+    with pytest.raises(SimulationError):
+        mshrs.allocate(LineAddr(3), "read")
+    bypass = mshrs.allocate(LineAddr(3), "read", sos_bypass=True)
+    assert bypass.is_sos_bypass
+    assert not mshrs.can_allocate(sos=True)
+
+
+def test_bypass_coexists_with_same_line_write():
+    """Paper §3.5.2: an SoS load abandons its piggyback on a blocked
+    write and launches a fresh read for the SAME line."""
+    mshrs = MSHRFile(entries=4, reserved_for_sos=1)
+    write = mshrs.allocate(LineAddr(7), "write")
+    bypass = mshrs.allocate(LineAddr(7), "read", sos_bypass=True)
+    assert mshrs.get(LineAddr(7)) is write  # primary lookup = the write
+    assert bypass in mshrs.entries()
+    mshrs.free(bypass)
+    assert mshrs.get(LineAddr(7)) is write
+
+
+def test_duplicate_primary_entry_rejected():
+    mshrs = MSHRFile(entries=4, reserved_for_sos=1)
+    mshrs.allocate(LineAddr(1), "read")
+    with pytest.raises(SimulationError):
+        mshrs.allocate(LineAddr(1), "write")
+
+
+def test_free_unknown_entry_rejected():
+    mshrs = MSHRFile(entries=4, reserved_for_sos=1)
+    entry = mshrs.allocate(LineAddr(1), "read")
+    mshrs.free(entry)
+    with pytest.raises(SimulationError):
+        mshrs.free(entry)
+
+
+def test_reservation_must_leave_regular_space():
+    with pytest.raises(ConfigError):
+        MSHRFile(entries=2, reserved_for_sos=2)
+
+
+def test_free_restores_capacity():
+    mshrs = MSHRFile(entries=2, reserved_for_sos=1)
+    entry = mshrs.allocate(LineAddr(1), "read")
+    assert not mshrs.can_allocate()
+    mshrs.free(entry)
+    assert mshrs.can_allocate()

@@ -1,0 +1,63 @@
+"""FIFO store buffer: order, capacity, forwarding."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import LineAddr
+from repro.mem.store_buffer import SBEntry, StoreBuffer
+
+
+def entry(addr, version, value=0, seq=0):
+    return SBEntry(byte_addr=addr, line=LineAddr(addr // 64),
+                   offset=addr % 64, version=version, value=value, seq=seq)
+
+
+def test_fifo_order():
+    sb = StoreBuffer(4)
+    sb.push(entry(0, 1))
+    sb.push(entry(64, 2))
+    assert sb.head().version == 1
+    assert sb.pop_head().version == 1
+    assert sb.head().version == 2
+
+
+def test_capacity():
+    sb = StoreBuffer(1)
+    sb.push(entry(0, 1))
+    assert sb.full
+    with pytest.raises(SimulationError):
+        sb.push(entry(4, 2))
+
+
+def test_pop_empty_rejected():
+    sb = StoreBuffer(1)
+    with pytest.raises(SimulationError):
+        sb.pop_head()
+    assert sb.head() is None
+    assert sb.empty
+
+
+def test_forward_youngest_exact_match():
+    sb = StoreBuffer(4)
+    sb.push(entry(8, 1, value=10))
+    sb.push(entry(8, 2, value=20))
+    sb.push(entry(16, 3, value=30))
+    fwd = sb.forward(8)
+    assert fwd.version == 2  # youngest matching store
+    assert sb.forward(24) is None
+    assert sb.forward(9) is None  # exact byte-address match only
+
+
+def test_has_line():
+    sb = StoreBuffer(4)
+    sb.push(entry(70, 1))
+    assert sb.has_line(LineAddr(1))
+    assert not sb.has_line(LineAddr(0))
+
+
+def test_iteration_in_fifo_order():
+    sb = StoreBuffer(4)
+    for version in (1, 2, 3):
+        sb.push(entry(version * 64, version))
+    assert [e.version for e in sb] == [1, 2, 3]
+    assert len(sb) == 3

@@ -1,0 +1,27 @@
+"""Message construction and flit sizing."""
+
+from repro.common.types import LineAddr, MsgType
+from repro.network.message import Message
+
+
+def test_flits_follow_type():
+    data = Message(MsgType.DATA, 0, 1, "cache", LineAddr(0))
+    ctrl = Message(MsgType.ACK, 0, 1, "cache", LineAddr(0))
+    assert data.flits == 5
+    assert ctrl.flits == 1
+
+
+def test_ids_unique_and_payload_accessors():
+    a = Message(MsgType.GETS, 0, 1, "llc", LineAddr(0))
+    b = Message(MsgType.GETS, 0, 1, "llc", LineAddr(0))
+    assert a.msg_id != b.msg_id
+    fwd = Message(MsgType.FWD_GETX, 0, 1, "cache", LineAddr(0),
+                  {"requester": 3})
+    assert fwd.requester == 3
+    assert a.requester is None
+
+
+def test_repr_mentions_route_and_type():
+    msg = Message(MsgType.INV, 2, 7, "cache", LineAddr(0x40))
+    text = repr(msg)
+    assert "Inv" in text and "2->7" in text

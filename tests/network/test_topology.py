@@ -1,0 +1,67 @@
+"""2D mesh geometry and X-Y routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.network.topology import MeshTopology
+
+
+def test_coords_row_major():
+    mesh = MeshTopology(16)
+    assert mesh.coords(0) == (0, 0)
+    assert mesh.coords(3) == (3, 0)
+    assert mesh.coords(4) == (0, 1)
+    assert mesh.coords(15) == (3, 3)
+
+
+def test_non_square_rejected():
+    with pytest.raises(ConfigError):
+        MeshTopology(6)
+
+
+def test_out_of_range_tile_rejected():
+    mesh = MeshTopology(4)
+    with pytest.raises(ConfigError):
+        mesh.coords(4)
+
+
+def test_hops_manhattan():
+    mesh = MeshTopology(16)
+    assert mesh.hops(0, 0) == 0
+    assert mesh.hops(0, 3) == 3
+    assert mesh.hops(0, 15) == 6
+    assert mesh.hops(5, 6) == 1
+
+
+def test_route_is_x_then_y():
+    mesh = MeshTopology(16)
+    route = mesh.route(0, 15)
+    # X first: 0->1->2->3, then Y: 3->7->11->15.
+    assert route == [(0, 1), (1, 2), (2, 3), (3, 7), (7, 11), (11, 15)]
+
+
+def test_route_empty_for_self():
+    mesh = MeshTopology(16)
+    assert mesh.route(7, 7) == []
+
+
+@given(st.integers(0, 15), st.integers(0, 15))
+def test_route_length_equals_hops_and_links_adjacent(src, dst):
+    mesh = MeshTopology(16)
+    route = mesh.route(src, dst)
+    assert len(route) == mesh.hops(src, dst)
+    at = src
+    for a, b in route:
+        assert a == at
+        assert mesh.hops(a, b) == 1
+        at = b
+    if route:
+        assert route[-1][1] == dst
+
+
+@given(st.integers(0, 15), st.integers(0, 15))
+def test_same_pair_routes_identically(src, dst):
+    # Determinism: X-Y routing gives one fixed path per pair.
+    mesh = MeshTopology(16)
+    assert mesh.route(src, dst) == mesh.route(src, dst)

@@ -1,0 +1,75 @@
+"""Analysis helpers: tables, geomean, experiment drivers (smoke)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    DEFAULT_BENCHES,
+    fig8_table,
+    fig8_writersblock_rates,
+    fig9_overheads,
+    fig9_table,
+    fig10_headline,
+    fig10_ooo_commit,
+    fig10_stall_table,
+    fig10_time_table,
+    make_workload,
+    table6_text,
+)
+from repro.analysis.tables import format_table, geometric_mean
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [("a", 1.5), ("long-name", 22)],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert lines[2].startswith("-")
+    assert "1.500" in text
+
+
+def test_geometric_mean():
+    assert geometric_mean([]) == 0.0
+    assert abs(geometric_mean([2.0, 8.0]) - 4.0) < 1e-9
+    assert abs(geometric_mean([1.0, 1.0, 1.0]) - 1.0) < 1e-9
+
+
+def test_default_benches_exist():
+    from repro.workloads import ALL_WORKLOADS
+    for name in DEFAULT_BENCHES:
+        assert name in ALL_WORKLOADS
+
+
+def test_make_workload_unknown_name():
+    with pytest.raises(KeyError):
+        make_workload("not-a-benchmark", 4, 1.0)
+
+
+def test_table6_text_contains_classes():
+    text = table6_text()
+    for token in ("SLM", "NHM", "HSW", "192", "72"):
+        assert token in text
+
+
+def test_fig_drivers_smoke():
+    """Tiny end-to-end pass through all three figure drivers."""
+    benches = ("swaptions",)
+    rows8 = fig8_writersblock_rates(benches, core_classes=("SLM",),
+                                    num_cores=4, scale=0.2)
+    assert len(rows8) == 1
+    assert "blocked/kstore" in fig8_table(rows8)
+
+    rows9 = fig9_overheads(benches, num_cores=4, scale=0.2)
+    assert rows9[0].time_ratio > 0
+    assert "geomean" in fig9_table(rows9)
+
+    rows10 = fig10_ooo_commit(benches, num_cores=4, scale=0.2)
+    assert "in-order" in fig10_time_table(rows10)
+    assert "SQ-full" in fig10_stall_table(rows10)
+    headline = fig10_headline(rows10)
+    assert set(headline) == {
+        "avg_improvement_over_inorder_pct",
+        "max_improvement_over_inorder_pct",
+        "avg_improvement_over_ooo_pct",
+        "max_improvement_over_ooo_pct",
+    }

@@ -1,0 +1,33 @@
+"""ASCII chart rendering."""
+
+from repro.analysis.charts import grouped_chart, hbar_chart
+
+
+def test_hbar_scales_to_peak():
+    chart = hbar_chart([("a", 1.0), ("b", 2.0)], width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+    assert "2.000" in lines[1]
+
+
+def test_hbar_reference_marker():
+    chart = hbar_chart([("x", 0.5)], width=10, reference=1.0, title="T")
+    assert chart.splitlines()[0] == "T"
+    assert "|" in chart or "+" in chart
+
+
+def test_hbar_empty():
+    assert hbar_chart([], title="nothing") == "nothing"
+
+
+def test_labels_aligned():
+    chart = hbar_chart([("short", 1.0), ("a-longer-label", 1.0)])
+    lines = chart.splitlines()
+    assert lines[0].index("#") == lines[1].index("#")
+
+
+def test_grouped_chart():
+    chart = grouped_chart({"g1": [("a", 1.0)], "g2": [("b", 2.0)]},
+                          title="all")
+    assert "[g1]" in chart and "[g2]" in chart and chart.startswith("all")

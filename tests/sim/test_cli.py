@@ -1,0 +1,63 @@
+"""CLI commands (invoked in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "streamcluster" in out
+    assert "ooo-wb" in out
+
+
+def test_run_small(capsys):
+    code = main(["run", "swaptions", "--cores", "4", "--scale", "0.2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "swaptions" in out
+    assert "blocked writes/kstore" in out
+
+
+def test_run_in_order_mode(capsys):
+    code = main(["run", "swaptions", "--cores", "4", "--scale", "0.2",
+                 "--mode", "in-order"])
+    assert code == 0
+
+
+def test_compare(capsys):
+    code = main(["compare", "swaptions", "--cores", "4", "--scale", "0.2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "in-order" in out and "ooo+WB" in out
+
+
+def test_litmus_single(capsys):
+    code = main(["litmus", "store-buffering"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "store-buffering" in out and "ok" in out
+
+
+def test_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("->") >= 6
+
+
+def test_table6(capsys):
+    assert main(["table6"]) == 0
+    assert "HSW" in capsys.readouterr().out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "doom"])
+
+
+def test_fig8_tiny(capsys):
+    code = main(["fig8", "--benches", "swaptions", "--cores", "4",
+                 "--scale", "0.2"])
+    assert code == 0
+    assert "blocked/kstore" in capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""Runner entry points and results arithmetic."""
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.sim.runner import compare_commit_modes, run_traces, run_workload
+from repro.sim.results import SimResult
+from repro.workloads import ALL_WORKLOADS
+from repro.workloads.trace import AddressSpace, TraceBuilder
+
+
+def tiny_traces():
+    space = AddressSpace()
+    x = space.new_var("x")
+    t0 = TraceBuilder()
+    t0.store(x, 1)
+    t1 = TraceBuilder()
+    t1.load(t1.reg(), x)
+    return [t0.build(), t1.build()]
+
+
+def test_run_traces_default_params():
+    result = run_traces(tiny_traces())
+    assert result.params.num_cores == 16
+    assert result.committed == 2
+
+
+def test_run_workload_runs_generator_output():
+    workload = ALL_WORKLOADS["swaptions"](num_threads=4, scale=0.2)
+    params = table6_system("SLM", num_cores=4)
+    result = run_workload(workload, params)
+    assert result.committed > 0
+
+
+def test_compare_commit_modes_runs_each_mode():
+    workload = ALL_WORKLOADS["swaptions"](num_threads=4, scale=0.2)
+    base = table6_system("SLM", num_cores=4)
+    results = compare_commit_modes(
+        workload, base, [CommitMode.IN_ORDER, CommitMode.OOO_WB])
+    assert set(results) == {CommitMode.IN_ORDER, CommitMode.OOO_WB}
+    assert results[CommitMode.OOO_WB].params.writers_block
+
+
+def test_result_metrics():
+    result = run_traces(tiny_traces())
+    assert result.counter("missing", 5) == 5
+    assert result.writes_blocked_per_kilostore == 0.0
+    assert result.uncacheable_per_kiloload == 0.0
+    assert 0.0 <= result.stall_fraction("rob") <= 1.0
+    assert "cycles=" in result.summary()
+
+
+def test_speedup_over():
+    fast = run_traces(tiny_traces())
+    slow = run_traces(tiny_traces())
+    slow_copy = SimResult(params=slow.params, cycles=slow.cycles * 2,
+                          stats=slow.stats, log=slow.log)
+    assert fast.speedup_over(slow_copy) > 1.0
+
+
+def test_to_dict_and_save_json(tmp_path):
+    import json
+
+    result = run_traces(tiny_traces())
+    snapshot = result.to_dict()
+    assert snapshot["cycles"] == result.cycles
+    assert snapshot["metrics"]["committed"] == result.committed
+    assert snapshot["params"]["commit_mode"] == "in-order"
+    path = tmp_path / "result.json"
+    result.save_json(path)
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(snapshot))

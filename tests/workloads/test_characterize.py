@@ -1,0 +1,77 @@
+"""Static workload characterization."""
+
+from repro.workloads import ALL_WORKLOADS
+from repro.workloads.characterize import characterize
+from repro.workloads.trace import AddressSpace, TraceBuilder, Workload
+
+
+def make_workload(traces, name="test"):
+    return Workload(name=name, traces=traces)
+
+
+def test_mix_and_counts():
+    space = AddressSpace()
+    x = space.new_var("x")
+    t = TraceBuilder()
+    t.load(t.reg(), x)
+    t.store(x, 1)
+    t.compute()
+    t.faa(t.reg(), x, 1)
+    profile = characterize(make_workload([t.build()]))
+    assert profile.total_instructions == 4
+    assert profile.static_loads == 1
+    assert profile.static_stores == 1
+    assert profile.static_atomics == 1
+    assert abs(sum(profile.mix.values()) - 1.0) < 1e-9
+
+
+def test_private_lines_not_shared():
+    space = AddressSpace()
+    a = space.new_var("a")
+    b = space.new_var("b")
+    t0 = TraceBuilder()
+    t0.load(t0.reg(), a)
+    t1 = TraceBuilder()
+    t1.load(t1.reg(), b)
+    profile = characterize(make_workload([t0.build(), t1.build()]))
+    assert profile.shared_line_fraction == 0.0
+    assert profile.rw_shared_lines == 0
+    assert profile.distinct_lines == 2
+
+
+def test_reader_writer_sharing_detected():
+    space = AddressSpace()
+    x = space.new_var("x")
+    t0 = TraceBuilder()
+    t0.load(t0.reg(), x)
+    t1 = TraceBuilder()
+    t1.store(x, 1)
+    profile = characterize(make_workload([t0.build(), t1.build()]))
+    assert profile.shared_line_fraction == 1.0
+    assert profile.rw_shared_lines == 1
+
+
+def test_read_only_sharing_is_not_rw():
+    space = AddressSpace()
+    x = space.new_var("x")
+    traces = []
+    for __ in range(2):
+        t = TraceBuilder()
+        t.load(t.reg(), x)
+        traces.append(t.build())
+    profile = characterize(make_workload(traces))
+    assert profile.shared_line_fraction == 1.0
+    assert profile.rw_shared_lines == 0
+
+
+def test_benchmark_suite_profiles_sensible():
+    for name in ("streamcluster", "swaptions", "fft"):
+        workload = ALL_WORKLOADS[name](num_threads=4, scale=0.3)
+        profile = characterize(workload)
+        assert profile.total_instructions > 0
+        assert 0.0 <= profile.shared_line_fraction <= 1.0
+        assert name in profile.summary()
+    # swaptions is (nearly) share-free; streamcluster is write-shared.
+    swap = characterize(ALL_WORKLOADS["swaptions"](num_threads=4, scale=0.3))
+    sc = characterize(ALL_WORKLOADS["streamcluster"](num_threads=4, scale=0.3))
+    assert sc.rw_shared_lines > swap.rw_shared_lines

@@ -1,0 +1,46 @@
+"""Verified kernels: functional results through the memory system."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.sim.system import MulticoreSystem
+from repro.workloads.kernels import ALL_KERNELS
+
+MODES = [CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB]
+
+
+def run_kernel(builder, mode=CommitMode.OOO_WB, core_type="ooo"):
+    workload, verify = builder()
+    params = table6_system("SLM", num_cores=4, commit_mode=mode)
+    if core_type != "ooo":
+        params = dataclasses.replace(
+            params, core_type=core_type,
+            writers_block=core_type == "inorder-ecl",
+            commit_mode=CommitMode.IN_ORDER)
+    system = MulticoreSystem(params)
+    system.load_program(workload.traces)
+    result = system.run()
+    verify(system, result)
+    return result
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+@pytest.mark.parametrize("mode", MODES)
+def test_kernel_correct_under_all_commit_modes(name, mode):
+    run_kernel(ALL_KERNELS[name], mode=mode)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+@pytest.mark.parametrize("core_type", ["inorder", "inorder-ecl"])
+def test_kernel_correct_on_inorder_cores(name, core_type):
+    run_kernel(ALL_KERNELS[name], core_type=core_type)
+
+
+def test_locked_sum_value_flows_through_loads():
+    result = run_kernel(ALL_KERNELS["locked-sum"])
+    # 4 threads x 6 increments: 24 RMW-style critical sections.
+    stores = [e for e in result.log.events if e.kind == "st"]
+    assert len(stores) >= 24

@@ -1,0 +1,93 @@
+"""Trace builder and address space."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import InstrType
+from repro.workloads.trace import AddressSpace, TraceBuilder, ZERO_REG
+
+
+def test_address_space_one_var_per_line():
+    space = AddressSpace(line_bytes=64)
+    x = space.new_var("x")
+    y = space.new_var("y")
+    assert x // 64 != y // 64
+    assert space["x"] == x
+
+
+def test_address_space_false_sharing():
+    space = AddressSpace(line_bytes=64)
+    x = space.new_var("x")
+    x2 = space.new_var("x2", share_line_with="x", offset=8)
+    assert x2 // 64 == x // 64
+    assert x2 == x + 8
+
+
+def test_duplicate_var_rejected():
+    space = AddressSpace()
+    space.new_var("x")
+    with pytest.raises(ConfigError):
+        space.new_var("x")
+
+
+def test_new_array_line_per_element():
+    space = AddressSpace(line_bytes=64)
+    addrs = space.new_array("a", 4)
+    assert len({a // 64 for a in addrs}) == 4
+
+
+def test_new_array_packed_elements_share_lines():
+    space = AddressSpace(line_bytes=64)
+    addrs = space.new_array("a", 8, stride=16)
+    lines = [a // 64 for a in addrs]
+    assert len(set(lines)) == 2  # 4 elements per line
+    assert lines[0] == lines[3] != lines[4]
+
+
+def test_builder_emits_in_order_with_fresh_regs():
+    t = TraceBuilder()
+    r1 = t.reg()
+    r2 = t.reg()
+    assert r1 != r2 != ZERO_REG
+    t.load(r1, 0x100)
+    t.store(0x140, 7)
+    t.addi(r2, r1, 1)
+    trace = t.build()
+    assert [i.itype for i in trace] == [InstrType.LOAD, InstrType.STORE,
+                                        InstrType.ALU]
+
+
+def test_branch_fixup():
+    t = TraceBuilder()
+    r = t.reg()
+    t.mov(r, 0)
+    branch = t.bnez(r, 0)
+    t.nop()
+    t.fix_target(branch, t.here)
+    trace = t.build()
+    assert trace[branch].target == 3
+
+
+def test_fix_target_on_non_branch_rejected():
+    t = TraceBuilder()
+    idx = t.nop()
+    with pytest.raises(ConfigError):
+        t.fix_target(idx, 0)
+
+
+def test_build_validates_targets():
+    t = TraceBuilder()
+    r = t.reg()
+    t.mov(r, 1)
+    t.bnez(r, 99)
+    with pytest.raises(ConfigError):
+        t.build()
+
+
+def test_jump_is_always_taken_branch_on_zero_reg():
+    t = TraceBuilder()
+    idx = t.jump(0)
+    instr = t.build()[idx]
+    assert instr.itype is InstrType.BRANCH
+    assert instr.srcs == (ZERO_REG,)
+    assert instr.predict_taken
