@@ -6,8 +6,14 @@ Commands
 ``run WORKLOAD``         simulate one workload, print the summary
 ``compare WORKLOAD``     commit-mode comparison (Figure 10 style)
 ``litmus [NAME]``        run the litmus suite (or one test) on the simulator
+``trace WORKLOAD``       observed run; export spans as a Chrome trace
+``profile WORKLOAD``     wall-clock profile of the simulator itself
 ``fig8`` / ``fig9`` / ``fig10``   regenerate a paper figure
 ``table2`` / ``table6``           regenerate a paper table
+
+``trace`` and ``profile`` also accept the directed scenarios in
+``repro.obs.scenarios`` (e.g. ``mp``), which force WritersBlock
+episodes deterministically.
 """
 
 from __future__ import annotations
@@ -19,10 +25,24 @@ from typing import List, Optional
 from .analysis import experiments
 from .common.params import CORE_CLASSES, table6_system
 from .common.types import CommitMode
-from .sim.runner import run_workload
+from .obs.export import write_chrome_trace, write_events_jsonl
+from .obs.profile import profiled_run
+from .obs.scenarios import TRACE_SCENARIOS, scenario_traces
+from .sim.runner import run_observed, run_workload
+from .sim.system import MulticoreSystem
 from .workloads import ALL_WORKLOADS
 
 MODES = {mode.value: mode for mode in CommitMode}
+
+#: ``trace`` / ``profile`` accept workloads *and* directed scenarios.
+TRACEABLE = sorted(set(ALL_WORKLOADS) | set(TRACE_SCENARIOS))
+
+
+def _resolve_traces(name: str, cores: int, scale: float):
+    """Per-core traces for a workload name or a directed scenario."""
+    if name in TRACE_SCENARIOS:
+        return scenario_traces(name)
+    return ALL_WORKLOADS[name](num_threads=cores, scale=scale).traces
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -56,6 +76,22 @@ def build_parser() -> argparse.ArgumentParser:
     lit_p = sub.add_parser("litmus", help="run litmus tests")
     lit_p.add_argument("name", nargs="?", help="one test (default: all)")
     lit_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+
+    trace_p = sub.add_parser(
+        "trace", help="observed run; export spans as a Chrome trace")
+    trace_p.add_argument("workload", choices=TRACEABLE)
+    trace_p.add_argument("--out", default="trace.json",
+                         help="Chrome trace output path (default trace.json)")
+    trace_p.add_argument("--events-out", default=None,
+                         help="also dump the raw event stream as JSONL")
+    trace_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    _add_common(trace_p)
+
+    prof_p = sub.add_parser(
+        "profile", help="wall-clock profile of the simulator itself")
+    prof_p.add_argument("workload", choices=TRACEABLE)
+    prof_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    _add_common(prof_p)
 
     for fig in ("fig8", "fig9", "fig10"):
         fig_p = sub.add_parser(fig, help=f"regenerate paper {fig}")
@@ -120,6 +156,49 @@ def cmd_litmus(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_trace(args) -> int:
+    import time
+
+    mode = MODES[args.mode]
+    params = table6_system(args.core_class, num_cores=args.cores,
+                           commit_mode=mode)
+    traces = _resolve_traces(args.workload, args.cores, args.scale)
+    result, events = run_observed(
+        traces, params, check=mode is not CommitMode.OOO_UNSAFE)
+    written = write_chrome_trace(result.spans, args.out, metadata={
+        "workload": args.workload, "mode": mode.value,
+        "cores": args.cores, "core_class": args.core_class,
+        "cycles": result.cycles,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    })
+    print(f"{args.workload} ({mode.value}): {result.cycles} cycles, "
+          f"{len(events)} events, {written} spans -> {args.out}")
+    for cat, summary in sorted(result.span_summaries.items()):
+        print(f"  {cat:14s} n={summary['count']:<6d} "
+              f"mean={summary['mean']:8.1f} p50={summary['p50']:6.0f} "
+              f"p99={summary['p99']:6.0f} max={summary['max']:6.0f}")
+    if args.events_out:
+        count = write_events_jsonl(events, args.events_out)
+        print(f"  {count} events -> {args.events_out}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    mode = MODES[args.mode]
+    params = table6_system(args.core_class, num_cores=args.cores,
+                           commit_mode=mode)
+    traces = _resolve_traces(args.workload, args.cores, args.scale)
+    system = MulticoreSystem(params)
+    system.load_program(traces)
+    result, report = profiled_run(system)
+    wall = report.wall_seconds
+    print(f"{args.workload} ({mode.value}): {result.cycles} simulated cycles "
+          f"in {wall:.3f}s host time "
+          f"({result.cycles / max(wall, 1e-9):,.0f} cycles/s)")
+    print(report.render())
+    return 0
+
+
 def cmd_fig8(args) -> int:
     rows = experiments.fig8_writersblock_rates(
         args.benches, num_cores=args.cores, scale=args.scale)
@@ -171,6 +250,8 @@ COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "litmus": cmd_litmus,
+    "trace": cmd_trace,
+    "profile": cmd_profile,
     "fig8": cmd_fig8,
     "fig9": cmd_fig9,
     "fig10": cmd_fig10,

@@ -35,6 +35,7 @@ from ..mem.cache_array import CacheArray
 from ..mem.line_data import LineData
 from ..network.mesh import MeshNetwork
 from ..network.message import Message
+from ..obs.events import EventBus, Kind
 
 
 @dataclass
@@ -88,11 +89,13 @@ class DirectoryBank:
 
     def __init__(self, tile: int, params: CacheParams, network: MeshNetwork,
                  events: EventQueue, stats: StatsRegistry, *,
-                 writers_block: bool) -> None:
+                 writers_block: bool,
+                 bus: Optional[EventBus] = None) -> None:
         self.tile = tile
         self.params = params
         self.network = network
         self.events = events
+        self.bus = bus if bus is not None else EventBus(events)
         self.writers_block_enabled = writers_block
         self._array: CacheArray[DirEntry] = CacheArray(
             params.llc_sets_per_bank, params.llc_ways
@@ -167,6 +170,7 @@ class DirectoryBank:
                     self._serve_tearoff(msg, evict_entry.data)
                 else:
                     self._pending_allocs.append(msg)
+                    self._note_write_blocked(msg.line, msg.src)
                     self._send(MsgType.BLOCKED_HINT, msg.src, msg.line)
                 return
             entry = self._try_allocate(msg.line)
@@ -179,6 +183,7 @@ class DirectoryBank:
             else:
                 entry.queue.append(msg)
                 self._stat_writes_blocked.add()
+                self._note_write_blocked(msg.line, msg.src)
                 self._send(MsgType.BLOCKED_HINT, msg.src, msg.line)
             return
         if not entry.is_stable():
@@ -287,8 +292,18 @@ class DirectoryBank:
     def _serve_tearoff(self, msg: Message, data: LineData) -> None:
         """Reply with a use-once uncacheable copy (paper §3.4 Option 2)."""
         self._stat_tearoffs.add()
+        bus = self.bus
+        if bus.active:
+            bus.emit(Kind.DIR_TEAROFF, self.tile, line=int(msg.line),
+                     requester=msg.src)
         self._send(MsgType.DATA_UNCACHEABLE, msg.src, msg.line,
                    self.params.llc_hit_cycles, data=data.copy())
+
+    def _note_write_blocked(self, line: LineAddr, src: int) -> None:
+        bus = self.bus
+        if bus.active:
+            bus.emit(Kind.DIR_WRITE_BLOCKED, self.tile, line=int(line),
+                     src=src)
 
     # ----------------------------------------------------------- allocation
     def _try_allocate(self, line: LineAddr) -> Optional[DirEntry]:
@@ -452,7 +467,12 @@ class DirectoryBank:
         entry.state = DirState.WRITERS_BLOCK
         entry.wb_entered_cycle = self.events.now
         self._stat_wb_entered.add()
+        bus = self.bus
+        if bus.active:
+            bus.emit(Kind.WB_BEGIN, self.tile, line=int(entry.line),
+                     writer=entry.writer)
         if entry.writer is not None:
+            self._note_write_blocked(entry.line, entry.writer)
             self._send(MsgType.BLOCKED_HINT, entry.writer, entry.line)
         # Reads must never wait behind a blocked write: serve any queued
         # reads uncacheable now, and hint queued writers.
@@ -463,6 +483,7 @@ class DirectoryBank:
                 self._serve_tearoff(queued, entry.data)
             else:
                 self._stat_writes_blocked.add()
+                self._note_write_blocked(queued.line, queued.src)
                 self._send(MsgType.BLOCKED_HINT, queued.src, queued.line)
                 remaining.append(queued)
         entry.queue = remaining
@@ -511,8 +532,12 @@ class DirectoryBank:
             if entry.wb_entered_cycle >= 0:
                 # Paper footnote 2: the write delay is bounded by the
                 # lockdown lifetime; record the observed distribution.
-                self._hist_wb_duration.record(
-                    self.events.now - entry.wb_entered_cycle)
+                duration = self.events.now - entry.wb_entered_cycle
+                self._hist_wb_duration.record(duration)
+                bus = self.bus
+                if bus.active:
+                    bus.emit(Kind.WB_END, self.tile, line=int(entry.line),
+                             duration=duration)
                 entry.wb_entered_cycle = -1
             entry.state = DirState.M
             entry.owner = entry.writer

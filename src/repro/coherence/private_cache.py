@@ -35,6 +35,7 @@ from ..mem.line_data import LineData, VersionedValue
 from ..mem.mshr import MSHREntry, MSHRFile
 from ..network.mesh import MeshNetwork
 from ..network.message import Message
+from ..obs.events import EventBus, Kind
 
 
 @dataclass
@@ -69,15 +70,18 @@ class PrivateCache:
 
     def __init__(self, tile: int, params: CacheParams, network: MeshNetwork,
                  events: EventQueue, stats: StatsRegistry, *,
-                 writers_block: bool) -> None:
+                 writers_block: bool,
+                 bus: Optional[EventBus] = None) -> None:
         self.tile = tile
         self.params = params
         self.network = network
         self.events = events
+        self.bus = bus if bus is not None else EventBus(events)
         self.writers_block_enabled = writers_block
         self._lines: CacheArray[PrivateLine] = CacheArray(params.l2_sets, params.l2_ways)
         self._l1 = PresenceLRU(params.l1_sets, params.l1_ways)
         self.mshrs = MSHRFile(params.mshr_entries, params.mshr_reserved_for_sos)
+        self.mshrs.observer = self._mshr_event
         # Core hooks, wired by the core model after construction.
         self.invalidation_hook: Callable[[LineAddr], bool] = lambda line: False
         self.lockdown_query: Callable[[LineAddr], bool] = lambda line: False
@@ -94,6 +98,19 @@ class PrivateCache:
         network.register(tile, "cache", self.handle_message)
 
     # ------------------------------------------------------------------ util
+    def _mshr_event(self, action: str, entry: MSHREntry) -> None:
+        """MSHRFile observer: surface occupancy begin/end on the bus."""
+        bus = self.bus
+        if not bus.active:
+            return
+        if action == "alloc":
+            bus.emit(Kind.MSHR_ALLOC, self.tile, uid=entry.uid,
+                     line=int(entry.line), kind=entry.kind,
+                     sos=entry.is_sos_bypass)
+        else:
+            bus.emit(Kind.MSHR_FREE, self.tile, uid=entry.uid,
+                     line=int(entry.line), kind=entry.kind)
+
     def home_of(self, line: LineAddr) -> int:
         return int(line) % self.network.topology.num_tiles
 

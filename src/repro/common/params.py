@@ -151,6 +151,28 @@ class SystemParams:
                        writers_block=mode is CommitMode.OOO_WB or self.writers_block)
 
 
+def system_params_from_dict(payload: dict) -> SystemParams:
+    """Rebuild a :class:`SystemParams` from ``dataclasses.asdict`` output.
+
+    Inverse of the serialization done by ``SimResult.to_dict`` (which
+    stores ``commit_mode`` as its string value).  Unknown keys raise,
+    so stale JSON surfaces loudly instead of silently dropping fields.
+    """
+    payload = dict(payload)
+    mode = payload.pop("commit_mode")
+    if not isinstance(mode, CommitMode):
+        mode = CommitMode(mode)
+    params = SystemParams(
+        core=CoreParams(**payload.pop("core")),
+        cache=CacheParams(**payload.pop("cache")),
+        network=NetworkParams(**payload.pop("network")),
+        commit_mode=mode,
+        **payload,
+    )
+    params.validate()
+    return params
+
+
 def mesh_side(num_cores: int) -> int:
     """Side length of the square mesh that holds *num_cores* nodes."""
     side = int(round(num_cores ** 0.5))

@@ -54,6 +54,30 @@ class Histogram:
     def max(self) -> int:
         return max(self.buckets) if self.buckets else 0
 
+    @property
+    def min(self) -> int:
+        return min(self.buckets) if self.buckets else 0
+
+    def percentile(self, p: float) -> int:
+        """Smallest recorded value covering at least *p* percent of samples.
+
+        Uses the nearest-rank definition on the bucketed distribution:
+        ``percentile(50)`` is the median, ``percentile(100)`` the max.
+        Returns 0 for an empty histogram.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        total = self.total
+        if total == 0:
+            return 0
+        rank = max(1, -(-total * p // 100))  # ceil(total * p / 100)
+        seen = 0
+        for value in sorted(self.buckets):
+            seen += self.buckets[value]
+            if seen >= rank:
+                return value
+        return self.max
+
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.total}, mean={self.mean:.2f})"
 
@@ -91,8 +115,10 @@ class StatsRegistry:
         return {name: value for name, value in self.counters()}
 
     def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
-        """{name: {total, mean, max}} for every histogram."""
+        """{name: {total, mean, min, max, p50, p99}} for every histogram."""
         return {
-            name: {"total": h.total, "mean": h.mean, "max": h.max}
+            name: {"total": h.total, "mean": h.mean, "min": h.min,
+                   "max": h.max, "p50": h.percentile(50),
+                   "p99": h.percentile(99)}
             for name, h in sorted(self._histograms.items())
         }

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..common.types import CommitMode, InstrType
+from ..obs.events import Kind
 
 
 @dataclass
@@ -63,8 +64,14 @@ class CommitUnit:
     def run(self, core) -> int:
         """Commit up to ``commit_width`` instructions; returns the count."""
         if self.mode is CommitMode.IN_ORDER:
-            return self._run_in_order(core)
-        return self._run_ooo(core)
+            committed = self._run_in_order(core)
+        else:
+            committed = self._run_ooo(core)
+        if committed:
+            bus = core.bus
+            if bus.active:
+                bus.emit(Kind.COMMIT_WINDOW, core.core_id, count=committed)
+        return committed
 
     def _run_in_order(self, core) -> int:
         committed = 0

@@ -32,6 +32,7 @@ from ..common.types import CacheState, InstrType, LineAddr, line_of
 from ..coherence.private_cache import LoadRequest, PrivateCache
 from ..consistency.execution import ExecutionLog
 from ..mem.store_buffer import SBEntry, StoreBuffer
+from ..obs.events import EventBus, Kind
 from .instruction import DynInstr, Instruction
 from .ldt import LockdownTable
 from .load_queue import LoadQueue, LQEntry
@@ -45,20 +46,22 @@ class InOrderCore:
     def __init__(self, core_id: int, params: SystemParams,
                  cache: PrivateCache, events: EventQueue,
                  stats: StatsRegistry, log: ExecutionLog, *,
-                 ecl: bool) -> None:
+                 ecl: bool, bus: Optional[EventBus] = None) -> None:
         self.core_id = core_id
         self.params = params
         self.cache = cache
         self.events = events
         self.log = log
         self.ecl = ecl
+        self.bus = bus if bus is not None else EventBus(events)
         cp = params.core
         self.lq = LoadQueue(cp.lq_entries)
         self.sq = StoreQueue(cp.sq_entries)
         self.sb = StoreBuffer(cp.sb_entries)
         self.ldt = LockdownTable(cp.ldt_entries)
         self.lockdowns = LockdownUnit(self.lq, self.ldt,
-                                      cache.send_deferred_ack, stats)
+                                      cache.send_deferred_ack, stats,
+                                      bus=self.bus, tile=core_id)
         #: In-flight (issued, unretired) instructions in program order.
         self.window: List[DynInstr] = []
         self.window_size = max(cp.iq_entries, 8)
@@ -256,11 +259,13 @@ class InOrderCore:
         fwd = self.sq.forward_for(dyn.resolved_addr, dyn.seq)
         if fwd is not None:
             if fwd.value_ready:
+                self._emit_load_issue(entry)
                 self._perform_load(entry, fwd.version, fwd.value,
                                    forwarded=True)
             return
         sb_entry = self.sb.forward(dyn.resolved_addr, dyn.seq)
         if sb_entry is not None:
+            self._emit_load_issue(entry)
             self._perform_load(entry, sb_entry.version, sb_entry.value,
                                forwarded=True)
             return
@@ -276,6 +281,15 @@ class InOrderCore:
             dyn.retry_when_ordered = False
             if sos_bypass:
                 dyn.bypass_launched = True
+            self._emit_load_issue(entry)
+
+    def _emit_load_issue(self, entry: LQEntry) -> None:
+        bus = self.bus
+        if bus.active:
+            dyn = entry.dyn
+            bus.emit(Kind.LOAD_ISSUE, self.core_id, uid=dyn.uid, seq=dyn.seq,
+                     line=int(entry.line) if entry.line is not None else -1,
+                     addr=dyn.resolved_addr)
 
     def _make_request(self, entry: LQEntry) -> LoadRequest:
         dyn = entry.dyn
@@ -319,6 +333,14 @@ class InOrderCore:
             # The load retired early (ECL): complete the architectural
             # write now that the value is bound.
             self.reg_values[dyn.instr.dst] = value
+        bus = self.bus
+        if bus.active:
+            line = int(entry.line) if entry.line is not None else -1
+            bus.emit(Kind.LOAD_PERFORM, self.core_id, uid=dyn.uid, line=line,
+                     forwarded=forwarded, uncacheable=uncacheable)
+            if not self.lq.is_ordered(entry):
+                bus.emit(Kind.LOCKDOWN_BEGIN, self.core_id, uid=dyn.uid,
+                         line=line)
         self.lockdowns.sweep_ordered()
         self._purge_completed_loads()
 
@@ -334,6 +356,10 @@ class InOrderCore:
                 return
             dyn = head.dyn
             self.lq.remove(head)
+            bus = self.bus
+            if bus.active:
+                bus.emit(Kind.LOAD_COMMIT, self.core_id, uid=dyn.uid,
+                         line=int(head.line) if head.line is not None else -1)
             self.log.record_load(self.core_id, dyn.seq, dyn.resolved_addr,
                                  dyn.version_read, dyn.performed_cycle,
                                  forwarded=dyn.forwarded_load,

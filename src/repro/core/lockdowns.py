@@ -15,11 +15,12 @@ This unit owns the interaction the paper's §3.2 and §4.2 describe:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from ..common.errors import SimulationError
 from ..common.stats import StatsRegistry
 from ..common.types import LineAddr
+from ..obs.events import NULL_BUS, EventBus, Kind
 from .ldt import LockdownTable
 from .load_queue import LoadQueue, LQEntry
 
@@ -31,9 +32,12 @@ class LockdownUnit:
 
     def __init__(self, lq: LoadQueue, ldt: LockdownTable,
                  send_deferred_ack: Callable[[LineAddr], None],
-                 stats: StatsRegistry) -> None:
+                 stats: StatsRegistry, *,
+                 bus: Optional[EventBus] = None, tile: int = 0) -> None:
         self.lq = lq
         self.ldt = ldt
+        self.tile = tile
+        self.bus = bus if bus is not None else NULL_BUS
         self._send_deferred_ack = send_deferred_ack
         self._pending: Dict[LineAddr, Set[HolderKey]] = {}
         self._stat_lockdown_hits = stats.counter("core.lockdown_invalidations")
@@ -73,6 +77,10 @@ class LockdownUnit:
             ldt_entry.seen = True
             keys.add(("ldt", ldt_entry.index))
         self._pending[line] = keys
+        bus = self.bus
+        if bus.active:
+            bus.emit(Kind.INV_NACKED, self.tile, line=int(line),
+                     holders=len(keys))
         return True
 
     def _release_holder(self, line: LineAddr, key: HolderKey) -> None:
@@ -83,6 +91,9 @@ class LockdownUnit:
         if not holders:
             del self._pending[line]
             self._stat_deferred.add()
+            bus = self.bus
+            if bus.active:
+                bus.emit(Kind.DEFERRED_ACK, self.tile, line=int(line))
             self._send_deferred_ack(line)
 
     # ------------------------------------------------------------ lifecycle
@@ -92,11 +103,16 @@ class LockdownUnit:
         Called whenever ordering may have advanced (a load performed,
         a commit or squash removed LQ entries).
         """
+        bus = self.bus
         for entry in self.lq:
             if not entry.performed:
                 break
             if not entry.ordered_done:
                 entry.ordered_done = True
+                if bus.active:
+                    bus.emit(Kind.LOAD_ORDERED, self.tile, uid=entry.dyn.uid,
+                             line=int(entry.line) if entry.line is not None
+                             else -1)
                 self._lift(entry)
 
     def _lift(self, entry: LQEntry) -> None:
@@ -109,6 +125,10 @@ class LockdownUnit:
 
     def _release_ldt(self, index: int) -> None:
         ldt_entry = self.ldt.release(index)
+        bus = self.bus
+        if bus.active:
+            bus.emit(Kind.LDT_RELEASE, self.tile, index=index,
+                     line=int(ldt_entry.line))
         if ldt_entry.seen:
             self._release_holder(ldt_entry.line, ("ldt", index))
 
@@ -139,6 +159,10 @@ class LockdownUnit:
             raise SimulationError(f"exporting an ordered load: {entry!r}")
         ldt_entry = self.ldt.allocate(entry.line, seen=entry.seen)
         self._stat_exports.add()
+        bus = self.bus
+        if bus.active:
+            bus.emit(Kind.LOCKDOWN_EXPORT, self.tile, uid=entry.dyn.uid,
+                     line=int(entry.line), index=ldt_entry.index)
         if entry.seen:
             holders = self._pending.get(entry.line)
             if holders is None:

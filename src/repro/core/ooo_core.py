@@ -29,6 +29,7 @@ from ..common.types import CacheState, CommitMode, InstrType, LineAddr, line_of
 from ..coherence.private_cache import LoadRequest, PrivateCache
 from ..consistency.execution import ExecutionLog
 from ..mem.store_buffer import SBEntry, StoreBuffer
+from ..obs.events import EventBus, Kind
 from .commit import CommitUnit
 from .instruction import DynInstr, Instruction
 from .ldt import LockdownTable
@@ -43,11 +44,13 @@ class OoOCore:
 
     def __init__(self, core_id: int, params: SystemParams, cache: PrivateCache,
                  events: EventQueue, stats: StatsRegistry,
-                 log: ExecutionLog) -> None:
+                 log: ExecutionLog, *,
+                 bus: Optional[EventBus] = None) -> None:
         self.core_id = core_id
         self.params = params
         self.cache = cache
         self.events = events
+        self.bus = bus if bus is not None else EventBus(events)
         self.log = log
         self.mode = params.commit_mode
         cp = params.core
@@ -58,7 +61,8 @@ class OoOCore:
         self.sb = StoreBuffer(cp.sb_entries)
         self.ldt = LockdownTable(cp.ldt_entries)
         self.lockdowns = LockdownUnit(self.lq, self.ldt,
-                                      cache.send_deferred_ack, stats)
+                                      cache.send_deferred_ack, stats,
+                                      bus=self.bus, tile=core_id)
         self.commit_unit = CommitUnit(self.mode)
 
         self.trace: List[Instruction] = []
@@ -327,10 +331,12 @@ class OoOCore:
         if fwd is not None:
             if not fwd.value_ready:
                 return False  # wait for the store's value
+            self._emit_load_issue(entry)
             self._perform_load(entry, fwd.version, fwd.value, forwarded=True)
             return True
         sb_entry = self.sb.forward(dyn.resolved_addr, dyn.seq)
         if sb_entry is not None:
+            self._emit_load_issue(entry)
             self._perform_load(entry, sb_entry.version, sb_entry.value,
                                forwarded=True)
             return True
@@ -347,6 +353,7 @@ class OoOCore:
             return False
         dyn.mem_inflight = True
         dyn.retry_when_ordered = False
+        self._emit_load_issue(entry)
         if sos_bypass:
             dyn.bypass_launched = True
         return True
@@ -375,6 +382,13 @@ class OoOCore:
         return LoadRequest(byte_addr=dyn.resolved_addr, is_ordered=is_ordered,
                            on_value=on_value, on_must_retry=on_must_retry)
 
+    def _emit_load_issue(self, entry: LQEntry) -> None:
+        bus = self.bus
+        if bus.active:
+            dyn = entry.dyn
+            bus.emit(Kind.LOAD_ISSUE, self.core_id, uid=dyn.uid, seq=dyn.seq,
+                     line=int(entry.line), addr=dyn.resolved_addr)
+
     def _perform_load(self, entry: LQEntry, version: int, value: int, *,
                       forwarded: bool = False, uncacheable: bool = False) -> None:
         dyn = entry.dyn
@@ -388,6 +402,16 @@ class OoOCore:
         dyn.forwarded_load = forwarded
         dyn.performed_cycle = self.events.now
         self._stat_loads.add()
+        bus = self.bus
+        if bus.active:
+            bus.emit(Kind.LOAD_PERFORM, self.core_id, uid=dyn.uid,
+                     line=int(entry.line), forwarded=forwarded,
+                     uncacheable=uncacheable)
+            if not self.lq.is_ordered(entry):
+                # Performed past an older non-performed load: this is the
+                # start of an M-speculative lockdown window (paper §3.2).
+                bus.emit(Kind.LOCKDOWN_BEGIN, self.core_id, uid=dyn.uid,
+                         line=int(entry.line))
         self.lockdowns.sweep_ordered()
 
     def _older_unperformed_atomic(self, seq: int) -> bool:
@@ -465,6 +489,11 @@ class OoOCore:
                 if not self.lockdowns.export_on_commit(entry):
                     raise SimulationError("commit of M-spec load with full LDT")
             self.lq.remove(entry)
+            bus = self.bus
+            if bus.active:
+                bus.emit(Kind.LOAD_COMMIT, self.core_id, uid=dyn.uid,
+                         line=int(entry.line) if entry.line is not None
+                         else -1)
             # Loads are logged at commit so squashed (re-executed) loads
             # never pollute the consistency checker's event set.
             self.log.record_load(self.core_id, dyn.seq, dyn.resolved_addr,
@@ -490,11 +519,16 @@ class OoOCore:
     def _squash(self, squashed: List[DynInstr]) -> None:
         if not squashed:
             return
+        bus = self.bus
         for dyn in squashed:  # oldest first: heirs for guards survive
             dyn.squashed = True
             if dyn.itype is InstrType.LOAD:
                 entry = dyn.lq_entry
                 if entry is not None:
+                    if bus.active:
+                        bus.emit(Kind.LOAD_SQUASH, self.core_id, uid=dyn.uid,
+                                 line=int(entry.line) if entry.line is not None
+                                 else -1)
                     self.lockdowns.on_squash(entry)
                     self.lq.remove(entry)
                     dyn.lq_entry = None

@@ -14,7 +14,7 @@ write and launches a fresh (uncacheable) read.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..common.errors import ConfigError, SimulationError
 from ..common.types import LineAddr
@@ -27,6 +27,8 @@ class MSHREntry:
     line: LineAddr
     kind: str  # "read" | "write" | "writeback"
     is_sos_bypass: bool = False
+    #: Monotonic per-file id (distinguishes occupancy episodes of one line).
+    uid: int = 0
     #: Load instructions piggybacked on this transaction.
     waiting_loads: List[Any] = field(default_factory=list)
     #: Set when the directory hints that this write is in WritersBlock.
@@ -73,6 +75,10 @@ class MSHRFile:
         self.reserved = reserved_for_sos
         self._by_line: Dict[LineAddr, MSHREntry] = {}
         self._bypass: List[MSHREntry] = []
+        self._next_uid = 0
+        #: Optional ``observer(action, entry)`` hook ("alloc" | "free"),
+        #: wired by the owning cache to the observability bus.
+        self.observer: Optional[Callable[[str, MSHREntry], None]] = None
 
     # -- capacity ----------------------------------------------------------
     def _in_use(self) -> int:
@@ -88,13 +94,17 @@ class MSHRFile:
         """Allocate a new entry; raises if capacity (for this kind) is gone."""
         if not self.can_allocate(sos=sos_bypass):
             raise SimulationError("MSHR file full")
-        entry = MSHREntry(line=line, kind=kind, is_sos_bypass=sos_bypass)
+        self._next_uid += 1
+        entry = MSHREntry(line=line, kind=kind, is_sos_bypass=sos_bypass,
+                          uid=self._next_uid)
         if sos_bypass:
             self._bypass.append(entry)
         else:
             if line in self._by_line:
                 raise SimulationError(f"duplicate MSHR for {line!r}")
             self._by_line[line] = entry
+        if self.observer is not None:
+            self.observer("alloc", entry)
         return entry
 
     def get(self, line: LineAddr) -> Optional[MSHREntry]:
@@ -109,6 +119,8 @@ class MSHRFile:
             if current is not entry:
                 raise SimulationError(f"freeing unknown MSHR {entry!r}")
             del self._by_line[entry.line]
+        if self.observer is not None:
+            self.observer("free", entry)
 
     def entries(self) -> List[MSHREntry]:
         return list(self._by_line.values()) + list(self._bypass)

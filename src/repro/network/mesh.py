@@ -14,12 +14,13 @@ pair of endpoints stay ordered (as X-Y routing guarantees).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..common.errors import ConfigError, SimulationError
 from ..common.event_queue import EventQueue
 from ..common.params import NetworkParams
 from ..common.stats import StatsRegistry
+from ..obs.events import EventBus, Kind
 from .message import Message
 from .topology import Link, MeshTopology
 
@@ -30,10 +31,12 @@ class MeshNetwork:
     """Delivers :class:`Message` objects between registered endpoints."""
 
     def __init__(self, num_tiles: int, params: NetworkParams,
-                 events: EventQueue, stats: StatsRegistry) -> None:
+                 events: EventQueue, stats: StatsRegistry, *,
+                 bus: Optional[EventBus] = None) -> None:
         self.topology = MeshTopology(num_tiles)
         self.params = params
         self.events = events
+        self.bus = bus if bus is not None else EventBus(events)
         self._endpoints: Dict[Tuple[int, str], Endpoint] = {}
         self._link_free: Dict[Link, int] = {}
         self._msgs = stats.counter("network.messages")
@@ -48,6 +51,14 @@ class MeshNetwork:
             raise ConfigError(f"endpoint {key} registered twice")
         self._endpoints[key] = handler
 
+    def rewrap_endpoint(self, tile: int, port: str,
+                        wrap: Callable[[Endpoint], Endpoint]) -> None:
+        """Replace a registered handler with ``wrap(handler)`` (profiling)."""
+        key = (tile, port)
+        if key not in self._endpoints:
+            raise ConfigError(f"no endpoint {key} to rewrap")
+        self._endpoints[key] = wrap(self._endpoints[key])
+
     def send(self, msg: Message) -> int:
         """Inject *msg*; returns the cycle at which it will be delivered."""
         handler = self._endpoints.get((msg.dst, msg.dst_port))
@@ -57,6 +68,11 @@ class MeshNetwork:
         self._flits.add(msg.flits)
         arrival = self._arrival_cycle(msg)
         self.events.schedule_at(arrival, lambda: handler(msg))
+        bus = self.bus
+        if bus.active:
+            bus.emit(Kind.NET_SEND, msg.src, msg_type=msg.msg_type.value,
+                     dst=msg.dst, dst_port=msg.dst_port, line=int(msg.line),
+                     arrival=arrival, flits=msg.flits)
         return arrival
 
     def _arrival_cycle(self, msg: Message) -> int:

@@ -1,0 +1,53 @@
+"""Structured observability: event bus, span tracking, export, profiling.
+
+The simulator's layers (core, coherence, network) emit typed,
+cycle-stamped :class:`Event` records onto a shared :class:`EventBus`.
+Emission is guarded by a plain ``bus.active`` attribute check, so a run
+with no subscribers pays (nearly) nothing.  Consumers layer on top:
+
+* :class:`SpanTracker` folds begin/end events into *spans* — WritersBlock
+  episodes, lockdown windows, MSHR occupancy, load lifetimes — and feeds
+  duration histograms into the :class:`~repro.common.stats.StatsRegistry`;
+* :class:`EventRecorder` keeps the raw event stream (JSONL-exportable);
+* :mod:`repro.obs.export` writes Chrome ``trace_event`` JSON viewable in
+  Perfetto / ``chrome://tracing``, one track group per tile;
+* :mod:`repro.obs.profile` times each simulator component in host
+  wall-clock terms (``repro profile``).
+
+See ``docs/observability.md`` for the event taxonomy and span model.
+"""
+
+from .events import Event, EventBus, EventRecorder, Kind, Subscription
+from .export import (
+    load_chrome_trace,
+    read_events_jsonl,
+    spans_to_trace_events,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from .export import trace_spans
+from .profile import ProfileReport, Profiler, profile_system, profiled_run
+from .scenarios import TRACE_SCENARIOS, scenario_traces
+from .spans import Span, SpanTracker
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventRecorder",
+    "Kind",
+    "Subscription",
+    "Span",
+    "SpanTracker",
+    "ProfileReport",
+    "Profiler",
+    "profile_system",
+    "profiled_run",
+    "trace_spans",
+    "TRACE_SCENARIOS",
+    "scenario_traces",
+    "spans_to_trace_events",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "write_events_jsonl",
+    "read_events_jsonl",
+]

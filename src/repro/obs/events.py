@@ -1,0 +1,148 @@
+"""The event bus: typed, cycle-stamped events with near-zero-cost gating.
+
+Every simulator component holds a reference to the system-wide
+:class:`EventBus` and brackets each emission with::
+
+    bus = self._bus
+    if bus.active:
+        bus.emit(Kind.WB_BEGIN, self.tile, line=int(line), writer=writer)
+
+``active`` is a plain attribute kept in sync with the subscriber list,
+so a run without observers pays one attribute load per would-be event
+and never builds an :class:`Event` object.  Subscribers may filter by
+kind; delivery is synchronous and in subscription order, which keeps
+runs deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..common.errors import SimulationError
+
+
+class Kind:
+    """Event taxonomy (``layer.what``).  See docs/observability.md."""
+
+    # Core / load lifecycle
+    LOAD_ISSUE = "load.issue"        # uid, seq, line, addr
+    LOAD_PERFORM = "load.perform"    # uid, line, forwarded, uncacheable
+    LOAD_ORDERED = "load.ordered"    # uid, line
+    LOAD_COMMIT = "load.commit"      # uid, line
+    LOAD_SQUASH = "load.squash"      # uid, line
+    # Lockdown windows (paper §3.2 / §4.2)
+    LOCKDOWN_BEGIN = "lockdown.begin"    # uid, line
+    LOCKDOWN_EXPORT = "lockdown.export"  # uid, line, index (LQ -> LDT)
+    LDT_RELEASE = "ldt.release"          # index, line
+    INV_NACKED = "inv.nacked"            # line, holders
+    DEFERRED_ACK = "deferred.ack"        # line
+    # Directory / WritersBlock episodes (paper §3.3)
+    WB_BEGIN = "wb.begin"            # line, writer
+    WB_END = "wb.end"                # line, duration
+    DIR_TEAROFF = "dir.tearoff"      # line, requester
+    DIR_WRITE_BLOCKED = "dir.write_blocked"  # line, src
+    # Private cache / MSHR occupancy
+    MSHR_ALLOC = "mshr.alloc"        # uid, line, kind, sos
+    MSHR_FREE = "mshr.free"          # uid, line, kind
+    # Commit stage
+    COMMIT_WINDOW = "commit.window"  # count (instructions retired this cycle)
+    # Network
+    NET_SEND = "net.send"  # msg_type, src, dst, dst_port, line, arrival, flits
+
+    @classmethod
+    def all(cls) -> List[str]:
+        return [value for name, value in vars(cls).items()
+                if not name.startswith("_") and isinstance(value, str)]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observability event (immutable, JSON-friendly payload)."""
+
+    cycle: int
+    kind: str
+    tile: int
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"cycle": self.cycle, "kind": self.kind, "tile": self.tile,
+                "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Event":
+        return cls(cycle=int(payload["cycle"]), kind=str(payload["kind"]),
+                   tile=int(payload["tile"]),
+                   args=dict(payload.get("args", {})))
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; detach-order safe."""
+
+    __slots__ = ("handler", "kinds", "_bus")
+
+    def __init__(self, bus: "EventBus", handler: Callable[[Event], None],
+                 kinds: Optional[frozenset]) -> None:
+        self._bus = bus
+        self.handler = handler
+        self.kinds = kinds
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """Synchronous pub/sub hub stamped by the simulation clock."""
+
+    __slots__ = ("_events", "_subs", "active")
+
+    def __init__(self, events) -> None:
+        self._events = events  # EventQueue: supplies the cycle stamp
+        self._subs: List[Subscription] = []
+        self.active = False
+
+    def subscribe(self, handler: Callable[[Event], None], *,
+                  kinds: Optional[Iterable[str]] = None) -> Subscription:
+        """Deliver every event (or only *kinds*) to *handler*."""
+        sub = Subscription(self, handler,
+                           frozenset(kinds) if kinds is not None else None)
+        self._subs.append(sub)
+        self.active = True
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove *sub*; safe to call in any order with other detaches."""
+        if sub not in self._subs:
+            raise SimulationError("unsubscribing an unknown subscription")
+        self._subs.remove(sub)
+        self.active = bool(self._subs)
+
+    def emit(self, kind: str, tile: int, /, **args) -> None:
+        """Build and deliver one event (call only when ``active``).
+
+        ``kind`` and ``tile`` are positional-only so payload keys may
+        reuse those names (e.g. an MSHR entry's ``kind=read``).
+        """
+        event = Event(self._events.now, kind, tile, args)
+        for sub in self._subs:
+            if sub.kinds is None or kind in sub.kinds:
+                sub.handler(event)
+
+
+#: Shared inert bus for components constructed without one and without a
+#: clock to build their own.  Never subscribe to it: its events would be
+#: stamped from a missing clock (and every unwired component would share
+#: your subscriber).
+NULL_BUS = EventBus(None)
+
+
+class EventRecorder:
+    """Subscriber that keeps the raw event stream (for JSONL export)."""
+
+    def __init__(self, bus: EventBus, *,
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        self.events: List[Event] = []
+        self._sub = bus.subscribe(self.events.append, kinds=kinds)
+
+    def close(self) -> None:
+        self._sub.close()

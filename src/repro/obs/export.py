@@ -1,0 +1,112 @@
+"""Export the event stream and spans to portable formats.
+
+Two formats:
+
+* **JSONL** — one event per line, lossless round trip through
+  :func:`write_events_jsonl` / :func:`read_events_jsonl`.
+* **Chrome trace_event JSON** — ``{"traceEvents": [...]}`` with complete
+  ("X") events for spans and metadata ("M") events naming the tracks.
+  Viewable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+  Each tile is one process (``pid``), and within a tile each span
+  category gets its own thread (``tid``) so WritersBlock episodes,
+  lockdown windows, MSHR occupancy and load lifetimes stack into
+  separate tracks.  Timestamps are simulated cycles (1 cycle = 1 "us").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .events import Event
+from .spans import Span
+
+PathLike = Union[str, os.PathLike]
+
+#: Stable per-tile track (tid) assignment for span categories.
+TRACKS = {"load": 0, "lockdown": 1, "mshr": 2, "writersblock": 3}
+
+
+# ----------------------------------------------------------------- JSONL
+def write_events_jsonl(events: Iterable[Event], path: PathLike) -> int:
+    """Dump *events* one-per-line; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_events_jsonl(path: PathLike) -> List[Event]:
+    events: List[Event] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+    return events
+
+
+# ---------------------------------------------------------- Chrome trace
+def spans_to_trace_events(spans: Sequence[Span]) -> List[Dict]:
+    """Convert spans to trace_event dicts (one process per tile)."""
+    out: List[Dict] = []
+    tiles = sorted({span.tile for span in spans})
+    for tile in tiles:
+        out.append({"name": "process_name", "ph": "M", "pid": tile, "tid": 0,
+                    "args": {"name": f"tile{tile}"}})
+        for cat, tid in sorted(TRACKS.items(), key=lambda item: item[1]):
+            out.append({"name": "thread_name", "ph": "M", "pid": tile,
+                        "tid": tid, "args": {"name": cat}})
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        out.append({
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start,
+            "dur": max(end - span.start, 0),
+            "pid": span.tile,
+            "tid": TRACKS.get(span.cat, len(TRACKS)),
+            "args": dict(span.args),
+        })
+    return out
+
+
+def write_chrome_trace(spans: Sequence[Span], path: PathLike, *,
+                       metadata: Optional[Dict] = None) -> int:
+    """Write a Chrome trace JSON file; returns the span-event count."""
+    trace_events = spans_to_trace_events(spans)
+    payload = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    return sum(1 for event in trace_events if event["ph"] == "X")
+
+
+def load_chrome_trace(path: PathLike) -> Dict:
+    """Parse a Chrome trace file back into its JSON payload."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if "traceEvents" not in payload:
+        raise ValueError(f"{path}: not a Chrome trace_event file")
+    return payload
+
+
+def trace_spans(payload: Dict) -> List[Span]:
+    """Reconstruct :class:`Span` objects from a loaded Chrome trace."""
+    spans: List[Span] = []
+    for event in payload["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        spans.append(Span(
+            cat=event.get("cat", ""), name=event["name"],
+            tile=int(event["pid"]), start=int(event["ts"]),
+            end=int(event["ts"]) + int(event["dur"]),
+            args=dict(event.get("args", {}))))
+    return spans

@@ -1,0 +1,122 @@
+"""Host-side wall-clock profiler for the simulator itself.
+
+Instruments one :class:`~repro.sim.system.MulticoreSystem` by wrapping
+component boundaries — ``core.tick``, ``PrivateCache.handle_message``,
+``DirectoryBank.handle_message``, ``MeshNetwork.send`` and the event
+queue's ``run_due`` — and attributes **exclusive** time to each via an
+enter/exit stack (a child's time is subtracted from its caller), so the
+shares answer "where do host cycles actually go" without double
+counting.  This is the tool the ROADMAP's perf work needs: before
+optimising a layer, measure it (``repro profile WORKLOAD``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+
+class Profiler:
+    """Exclusive wall-clock accumulator keyed by component name."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.totals: Dict[str, float] = defaultdict(float)
+        self.calls: Dict[str, int] = defaultdict(int)
+        self._clock = clock
+        self._stack: List[List] = []  # [name, start, child_time]
+
+    def wrap(self, name: str, fn: Callable) -> Callable:
+        """Return *fn* instrumented to attribute its exclusive time."""
+
+        def instrumented(*args, **kwargs):
+            self._enter(name)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._exit()
+
+        instrumented.__wrapped__ = fn
+        return instrumented
+
+    def _enter(self, name: str) -> None:
+        self._stack.append([name, self._clock(), 0.0])
+
+    def _exit(self) -> None:
+        name, start, child = self._stack.pop()
+        elapsed = self._clock() - start
+        self.totals[name] += elapsed - child
+        self.calls[name] += 1
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+
+class ProfileReport:
+    """Per-component shares of one profiled run."""
+
+    def __init__(self, wall_seconds: float, totals: Dict[str, float],
+                 calls: Optional[Dict[str, int]] = None) -> None:
+        self.wall_seconds = wall_seconds
+        self.totals = dict(totals)
+        self.calls = dict(calls or {})
+        attributed = sum(self.totals.values())
+        self.totals["other"] = max(wall_seconds - attributed, 0.0)
+
+    def shares(self) -> Dict[str, float]:
+        """{component: fraction of wall time}, summing to ~1."""
+        wall = max(self.wall_seconds, 1e-12)
+        return {name: seconds / wall
+                for name, seconds in sorted(self.totals.items())}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "components": {name: seconds
+                           for name, seconds in sorted(self.totals.items())},
+            "calls": {name: count for name, count in sorted(self.calls.items())},
+        }
+
+    def render(self) -> str:
+        rows = sorted(self.totals.items(), key=lambda item: -item[1])
+        lines = [f"{'component':16s} {'seconds':>10s} {'share':>7s} {'calls':>12s}"]
+        for name, seconds in rows:
+            share = seconds / max(self.wall_seconds, 1e-12)
+            calls = self.calls.get(name)
+            lines.append(f"{name:16s} {seconds:10.4f} {share:6.1%} "
+                         f"{calls if calls is not None else '-':>12}")
+        lines.append(f"{'total wall':16s} {self.wall_seconds:10.4f} {1:6.1%}")
+        return "\n".join(lines)
+
+
+def profile_system(system, profiler: Optional[Profiler] = None) -> Profiler:
+    """Instrument *system* in place; returns the profiler to read later."""
+    prof = profiler or Profiler()
+    for core in system.cores:
+        core.tick = prof.wrap("core", core.tick)
+    # The mesh holds the registered message handlers (not the component
+    # attributes), so instrument the endpoints it will actually call.
+    for cache in system.caches:
+        system.network.rewrap_endpoint(
+            cache.tile, "cache",
+            lambda handler: prof.wrap("private_cache", handler))
+    for bank in system.directories:
+        system.network.rewrap_endpoint(
+            bank.tile, "llc", lambda handler: prof.wrap("directory", handler))
+    system.network.send = prof.wrap("network", system.network.send)
+    system.events.run_due = prof.wrap("event_dispatch", system.events.run_due)
+    return prof
+
+
+def profiled_run(system):
+    """Run *system* under instrumentation; returns (result, report).
+
+    The report is also attached to ``result.profile`` (a plain dict) so
+    it survives ``SimResult.to_json()``.
+    """
+    prof = profile_system(system)
+    start = time.perf_counter()
+    result = system.run()
+    wall = time.perf_counter() - start
+    report = ProfileReport(wall, prof.totals, prof.calls)
+    result.profile = report.as_dict()
+    return result, report

@@ -1,0 +1,88 @@
+"""Directed trace scenarios for ``repro trace`` and observability tests.
+
+The benchmark workloads only *sometimes* produce the episodes the
+observability layer exists to show (a WritersBlock needs an invalidation
+to land on a lockdown).  These small directed programs force them
+deterministically, so ``repro trace mp --out trace.json`` always yields
+WritersBlock, lockdown, and load-lifetime spans.
+
+Each scenario is ``name -> builder()`` returning per-core traces for
+:meth:`~repro.sim.system.MulticoreSystem.load_program`; they need
+``OOO_WB`` commit mode to exercise lockdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.instruction import Instruction
+from ..workloads.trace import AddressSpace, TraceBuilder
+
+Traces = List[List[Instruction]]
+
+
+def mp_nack() -> Traces:
+    """Message-passing shape with a forced Nack -> WritersBlock episode.
+
+    Core 0 (reader) warms ``data`` into its cache, then issues a load of
+    ``flag`` whose address resolves only after a long gate; the younger
+    re-load of ``data`` performs early from the cache, M-speculatively,
+    taking a lockdown.  Core 1 (writer) stores ``data`` while that
+    lockdown is live: the invalidation is Nacked, the home bank enters
+    WritersBlock, and the write completes only after the reader's slow
+    load performs and the lockdown lifts (exactly one episode).
+    """
+    space = AddressSpace()
+    data = space.new_var("data")
+    flag = space.new_var("flag")
+    reader = TraceBuilder()
+    warm = reader.reg()
+    reader.load(warm, data)
+    gate = reader.reg()
+    reader.gate(gate, srcs=(warm,), latency=300)
+    reader.load(reader.reg(), flag, addr_reg=gate)
+    reader.load(reader.reg(), data)
+    writer = TraceBuilder()
+    writer.compute(latency=60)
+    writer.store(data, 42)
+    writer.store(flag, 1)
+    return [reader.build(), writer.build()]
+
+
+def sos_bypass() -> Traces:
+    """Blocked write + SoS load on the same line: forces tear-off reads.
+
+    Core 0 holds a lockdown on ``x`` (as in :func:`mp_nack`) while core 1
+    writes it; core 2's loads of ``x`` during the WritersBlock window are
+    served uncacheable tear-offs (paper §3.4), visible as ``dir.tearoff``
+    events alongside the WritersBlock span.
+    """
+    space = AddressSpace()
+    x = space.new_var("x")
+    y = space.new_var("y")
+    reader = TraceBuilder()
+    warm = reader.reg()
+    reader.load(warm, x)
+    gate = reader.reg()
+    reader.gate(gate, srcs=(warm,), latency=400)
+    reader.load(reader.reg(), y, addr_reg=gate)
+    reader.load(reader.reg(), x)
+    writer = TraceBuilder()
+    writer.compute(latency=60)
+    writer.store(x, 1)
+    bystander = TraceBuilder()
+    bystander.compute(latency=150)
+    bystander.load(bystander.reg(), x)
+    bystander.load(bystander.reg(), x)
+    return [reader.build(), writer.build(), bystander.build()]
+
+
+TRACE_SCENARIOS: Dict[str, Tuple] = {
+    "mp": (mp_nack, "message passing with a forced Nack/WritersBlock"),
+    "sos": (sos_bypass, "WritersBlock window with SoS tear-off reads"),
+}
+
+
+def scenario_traces(name: str) -> Traces:
+    builder, __ = TRACE_SCENARIOS[name]
+    return builder()

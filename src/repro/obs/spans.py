@@ -1,0 +1,202 @@
+"""Fold begin/end events into spans (episodes with a start and end cycle).
+
+The paper's headline evidence is episodic — how long a WritersBlock
+entry blocks writers (Fig. 8, footnote 2), how long lockdowns live, how
+long a load takes from issue to commit — so the tracker reconstructs
+four span categories from the bus:
+
+``writersblock``
+    one span per WritersBlock episode at a directory bank, keyed by
+    (bank tile, line): ``wb.begin`` → ``wb.end``.
+``lockdown``
+    one span per lockdown window, keyed by the load's dyn uid:
+    ``lockdown.begin`` (the load performed M-speculatively) →
+    ``load.ordered`` / ``load.squash``, or — after ``lockdown.export``
+    re-keys the window to an LDT index — ``ldt.release``.
+``mshr``
+    MSHR occupancy, keyed by the entry uid: ``mshr.alloc`` → ``mshr.free``.
+``load``
+    load lifetime, keyed by dyn uid: first ``load.issue`` → ``load.commit``
+    (or ``load.squash``), with perform/ordered cycles noted in ``args``.
+
+Closed spans feed duration histograms (``obs.<category>_cycles``) into
+the shared :class:`~repro.common.stats.StatsRegistry` so SimResult
+surfaces p50/p99 without any extra plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.stats import StatsRegistry
+from .events import Event, EventBus, Kind
+
+
+@dataclass
+class Span:
+    """One reconstructed episode."""
+
+    cat: str
+    name: str
+    tile: int
+    start: int
+    end: Optional[int] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> int:
+        return 0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"cat": self.cat, "name": self.name, "tile": self.tile,
+                "start": self.start, "end": self.end, "args": dict(self.args)}
+
+    def __repr__(self) -> str:
+        end = self.end if self.end is not None else "..."
+        return f"<Span {self.cat} {self.name!r} tile{self.tile} [{self.start}, {end})>"
+
+
+#: Kinds the tracker subscribes to (everything span-relevant).
+_TRACKED_KINDS = (
+    Kind.WB_BEGIN, Kind.WB_END,
+    Kind.LOCKDOWN_BEGIN, Kind.LOCKDOWN_EXPORT, Kind.LDT_RELEASE,
+    Kind.LOAD_ISSUE, Kind.LOAD_PERFORM, Kind.LOAD_ORDERED,
+    Kind.LOAD_COMMIT, Kind.LOAD_SQUASH,
+    Kind.MSHR_ALLOC, Kind.MSHR_FREE,
+)
+
+
+class SpanTracker:
+    """Bus subscriber that reconstructs spans from the event stream."""
+
+    def __init__(self, bus: EventBus,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        self.spans: List[Span] = []
+        self._stats = stats
+        self._open_wb: Dict[Tuple[int, int], Span] = {}       # (tile, line)
+        self._open_lockdowns: Dict[Tuple[int, int], Span] = {}  # (tile, uid)
+        self._exported: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._open_mshr: Dict[Tuple[int, int], Span] = {}     # (tile, uid)
+        self._open_loads: Dict[Tuple[int, int], Span] = {}    # (tile, uid)
+        self._sub = bus.subscribe(self._on_event, kinds=_TRACKED_KINDS)
+
+    def close(self) -> None:
+        self._sub.close()
+
+    # -------------------------------------------------------------- dispatch
+    def _on_event(self, event: Event) -> None:
+        kind, args = event.kind, event.args
+        if kind == Kind.WB_BEGIN:
+            self._begin(self._open_wb, (event.tile, args["line"]), Span(
+                cat="writersblock", name=f"WritersBlock L{args['line']:#x}",
+                tile=event.tile, start=event.cycle,
+                args={"line": args["line"], "writer": args.get("writer")}))
+        elif kind == Kind.WB_END:
+            self._end(self._open_wb, (event.tile, args["line"]), event.cycle)
+        elif kind == Kind.LOCKDOWN_BEGIN:
+            self._begin(self._open_lockdowns, (event.tile, args["uid"]), Span(
+                cat="lockdown", name=f"lockdown L{args['line']:#x}",
+                tile=event.tile, start=event.cycle,
+                args={"line": args["line"], "uid": args["uid"]}))
+        elif kind == Kind.LOCKDOWN_EXPORT:
+            span = self._open_lockdowns.get((event.tile, args["uid"]))
+            if span is not None:
+                span.args["exported_cycle"] = event.cycle
+                span.args["ldt_index"] = args["index"]
+                self._exported[(event.tile, args["index"])] = (
+                    event.tile, args["uid"])
+        elif kind == Kind.LDT_RELEASE:
+            owner = self._exported.pop((event.tile, args["index"]), None)
+            if owner is not None:
+                self._end(self._open_lockdowns, owner, event.cycle)
+        elif kind == Kind.LOAD_ISSUE:
+            key = (event.tile, args["uid"])
+            if key not in self._open_loads:  # replays keep the first issue
+                self._begin(self._open_loads, key, Span(
+                    cat="load", name=f"load L{args['line']:#x}",
+                    tile=event.tile, start=event.cycle,
+                    args={"line": args["line"], "uid": args["uid"],
+                          "seq": args.get("seq")}))
+        elif kind == Kind.LOAD_PERFORM:
+            span = self._open_loads.get((event.tile, args["uid"]))
+            if span is not None:
+                span.args["perform_cycle"] = event.cycle
+                if args.get("forwarded"):
+                    span.args["forwarded"] = True
+                if args.get("uncacheable"):
+                    span.args["uncacheable"] = True
+        elif kind == Kind.LOAD_ORDERED:
+            span = self._open_loads.get((event.tile, args["uid"]))
+            if span is not None:
+                span.args["ordered_cycle"] = event.cycle
+            self._end(self._open_lockdowns, (event.tile, args["uid"]),
+                      event.cycle)
+        elif kind == Kind.LOAD_COMMIT:
+            self._end(self._open_loads, (event.tile, args["uid"]), event.cycle)
+        elif kind == Kind.LOAD_SQUASH:
+            key = (event.tile, args["uid"])
+            self._end(self._open_lockdowns, key, event.cycle, squashed=True)
+            self._end(self._open_loads, key, event.cycle, squashed=True)
+        elif kind == Kind.MSHR_ALLOC:
+            self._begin(self._open_mshr, (event.tile, args["uid"]), Span(
+                cat="mshr", name=f"mshr {args['kind']} L{args['line']:#x}",
+                tile=event.tile, start=event.cycle,
+                args={"line": args["line"], "kind": args["kind"],
+                      "sos": bool(args.get("sos"))}))
+        elif kind == Kind.MSHR_FREE:
+            self._end(self._open_mshr, (event.tile, args["uid"]), event.cycle)
+
+    # ------------------------------------------------------------- mechanics
+    def _begin(self, table: Dict, key, span: Span) -> None:
+        table[key] = span
+        self.spans.append(span)
+
+    def _end(self, table: Dict, key, cycle: int, *,
+             squashed: bool = False) -> None:
+        span = table.pop(key, None)
+        if span is None:
+            return
+        span.end = cycle
+        if squashed:
+            span.args["squashed"] = True
+        if self._stats is not None:
+            self._stats.histogram(f"obs.{span.cat}_cycles").record(
+                span.duration)
+
+    # --------------------------------------------------------------- queries
+    def finish(self, now: int) -> None:
+        """Close every still-open span at *now* (end of run)."""
+        for table in (self._open_wb, self._open_lockdowns,
+                      self._open_mshr, self._open_loads):
+            for key in list(table):
+                span = table.pop(key)
+                span.end = now
+                span.args["unfinished"] = True
+        self._exported.clear()
+
+    def by_cat(self, cat: str) -> List[Span]:
+        return [span for span in self.spans if span.cat == cat]
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """{category: {count, mean, max, p50, p99}} over closed spans."""
+        out: Dict[str, Dict[str, float]] = {}
+        for cat in sorted({span.cat for span in self.spans}):
+            durations = sorted(span.duration for span in self.by_cat(cat)
+                               if span.end is not None)
+            if not durations:
+                continue
+            n = len(durations)
+            out[cat] = {
+                "count": n,
+                "mean": sum(durations) / n,
+                "min": durations[0],
+                "max": durations[-1],
+                "p50": durations[max(0, -(-n * 50 // 100) - 1)],
+                "p99": durations[max(0, -(-n * 99 // 100) - 1)],
+            }
+        return out

@@ -7,7 +7,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..common.params import SystemParams
+from ..common.params import SystemParams, system_params_from_dict
 from ..consistency.execution import ExecutionLog
 
 
@@ -20,8 +20,17 @@ class SimResult:
     stats: Dict[str, int]
     log: ExecutionLog
     per_core_cycles: List[int] = field(default_factory=list)
-    #: {histogram name: {total, mean, max}} (e.g. WritersBlock durations).
+    #: {histogram name: {total, mean, min, max, p50, p99}}
+    #: (e.g. WritersBlock durations).
     histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Observability spans (``repro.obs.spans.Span``), populated when the
+    #: run was observed with a SpanTracker; empty otherwise.
+    spans: List = field(default_factory=list)
+    #: {span category: {count, mean, min, max, p50, p99}} duration summary.
+    span_summaries: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Host wall-clock profile ({wall_seconds, components, calls}) when the
+    #: run was made through ``repro.obs.profile.profiled_run``.
+    profile: Optional[Dict] = None
 
     # ----------------------------------------------------------- raw counters
     def counter(self, name: str, default: int = 0) -> int:
@@ -98,8 +107,10 @@ class SimResult:
     def to_dict(self) -> Dict:
         """JSON-serializable snapshot (stats + headline metrics).
 
-        The execution log is not included (it can be huge); persist the
-        numbers a benchmark or paper table needs.
+        The execution log and raw span objects are not included (they can
+        be huge); persist the numbers a benchmark or paper table needs.
+        Span durations survive as ``span_summaries``; the full spans go
+        to a Chrome trace via ``repro.obs.export`` instead.
         """
         params = dataclasses.asdict(self.params)
         params["commit_mode"] = self.params.commit_mode.value
@@ -124,11 +135,36 @@ class SimResult:
                 "writersblock_max_duration": self.writersblock_max_duration,
             },
             "histograms": dict(self.histograms),
+            "span_summaries": dict(self.span_summaries),
+            "profile": self.profile,
         }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimResult":
+        """Rebuild a result from :meth:`to_json` output.
+
+        The execution log and raw spans are not serialized, so the
+        reconstructed result carries an empty log and no span objects —
+        everything in :meth:`to_dict` round-trips exactly.
+        """
+        payload = json.loads(text)
+        return cls(
+            params=system_params_from_dict(payload["params"]),
+            cycles=payload["cycles"],
+            stats=dict(payload["stats"]),
+            log=ExecutionLog(False),
+            per_core_cycles=list(payload["per_core_cycles"]),
+            histograms=dict(payload.get("histograms", {})),
+            span_summaries=dict(payload.get("span_summaries", {})),
+            profile=payload.get("profile"),
+        )
 
     def save_json(self, path) -> None:
         with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write(self.to_json())
 
     def summary(self) -> str:
         return (

@@ -2,23 +2,30 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..common.params import SystemParams, table6_system
 from ..common.types import CommitMode
 from ..consistency.tso_checker import check_tso
 from ..core.instruction import Instruction
+from ..obs.events import Event, EventRecorder
 from .results import SimResult
 from .system import MulticoreSystem
 
 
 def run_traces(traces: Sequence[List[Instruction]],
                params: Optional[SystemParams] = None, *,
-               check: bool = True) -> SimResult:
-    """Run raw per-core traces; optionally verify TSO afterwards."""
+               check: bool = True, observe: bool = False) -> SimResult:
+    """Run raw per-core traces; optionally verify TSO afterwards.
+
+    With ``observe=True`` a span tracker rides along and the result
+    carries ``spans`` / ``span_summaries``.
+    """
     if params is None:
         params = table6_system("SLM")
     system = MulticoreSystem(params)
+    if observe:
+        system.observe()
     system.load_program(traces)
     result = system.run()
     if check and params.record_execution:
@@ -26,10 +33,33 @@ def run_traces(traces: Sequence[List[Instruction]],
     return result
 
 
+def run_observed(traces: Sequence[List[Instruction]],
+                 params: Optional[SystemParams] = None, *,
+                 check: bool = True,
+                 kinds: Optional[Iterable[str]] = None
+                 ) -> Tuple[SimResult, List[Event]]:
+    """Run with span tracking *and* raw event recording.
+
+    Returns ``(result, events)`` — the result has spans attached (for
+    the Chrome-trace exporter), the raw events suit the JSONL dump.
+    *kinds* narrows what the recorder keeps (default: everything).
+    """
+    if params is None:
+        params = table6_system("SLM")
+    system = MulticoreSystem(params)
+    system.observe()
+    recorder = EventRecorder(system.bus, kinds=kinds)
+    system.load_program(traces)
+    result = system.run()
+    if check and params.record_execution:
+        check_tso(result.log)
+    return result, recorder.events
+
+
 def run_workload(workload, params: Optional[SystemParams] = None, *,
-                 check: bool = True) -> SimResult:
+                 check: bool = True, observe: bool = False) -> SimResult:
     """Run a :class:`repro.workloads.trace.Workload`."""
-    return run_traces(workload.traces, params, check=check)
+    return run_traces(workload.traces, params, check=check, observe=observe)
 
 
 def compare_commit_modes(workload, base_params: SystemParams,

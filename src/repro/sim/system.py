@@ -24,6 +24,8 @@ from ..core.inorder_core import InOrderCore
 from ..core.instruction import Instruction
 from ..core.ooo_core import OoOCore
 from ..network.mesh import MeshNetwork
+from ..obs.events import EventBus
+from ..obs.spans import SpanTracker
 from .results import SimResult
 
 
@@ -36,16 +38,22 @@ class MulticoreSystem:
         self.events = EventQueue()
         self.stats = StatsRegistry()
         self.log = ExecutionLog(params.record_execution)
+        #: System-wide observability bus; inert (near-zero cost) until
+        #: something subscribes — e.g. :meth:`observe` or a ProtocolTracer.
+        self.bus = EventBus(self.events)
+        self.tracker: Optional[SpanTracker] = None
         self.network = MeshNetwork(params.num_cores, params.network,
-                                   self.events, self.stats)
+                                   self.events, self.stats, bus=self.bus)
         self.directories: List[DirectoryBank] = [
             DirectoryBank(tile, params.cache, self.network, self.events,
-                          self.stats, writers_block=params.writers_block)
+                          self.stats, writers_block=params.writers_block,
+                          bus=self.bus)
             for tile in range(params.num_cores)
         ]
         self.caches: List[PrivateCache] = [
             PrivateCache(tile, params.cache, self.network, self.events,
-                         self.stats, writers_block=params.writers_block)
+                         self.stats, writers_block=params.writers_block,
+                         bus=self.bus)
             for tile in range(params.num_cores)
         ]
         self.cores: List = [self._build_core(tile)
@@ -54,10 +62,21 @@ class MulticoreSystem:
     def _build_core(self, tile: int):
         if self.params.core_type == "ooo":
             return OoOCore(tile, self.params, self.caches[tile], self.events,
-                           self.stats, self.log)
+                           self.stats, self.log, bus=self.bus)
         return InOrderCore(tile, self.params, self.caches[tile], self.events,
                            self.stats, self.log,
-                           ecl=self.params.core_type == "inorder-ecl")
+                           ecl=self.params.core_type == "inorder-ecl",
+                           bus=self.bus)
+
+    def observe(self) -> SpanTracker:
+        """Attach (once) and return a span tracker for this system's run.
+
+        Call before :meth:`run`; the resulting spans and per-category
+        summaries land on the returned :class:`SimResult`.
+        """
+        if self.tracker is None:
+            self.tracker = SpanTracker(self.bus, self.stats)
+        return self.tracker
 
     def load_program(self, traces: Sequence[List[Instruction]]) -> None:
         """Assign per-core traces (shorter list leaves extra cores idle)."""
@@ -109,6 +128,12 @@ class MulticoreSystem:
 
     def _result(self) -> SimResult:
         done_cycles = [core.done_cycle or 0 for core in self.cores]
+        spans: List = []
+        span_summaries = {}
+        if self.tracker is not None:
+            self.tracker.finish(self.events.now)
+            spans = self.tracker.spans
+            span_summaries = self.tracker.summaries()
         return SimResult(
             params=self.params,
             cycles=max(done_cycles) if done_cycles else self.events.now,
@@ -116,4 +141,6 @@ class MulticoreSystem:
             log=self.log,
             per_core_cycles=done_cycles,
             histograms=self.stats.histogram_summaries(),
+            spans=spans,
+            span_summaries=span_summaries,
         )

@@ -6,12 +6,16 @@ records and/or live-printed lines.  Used by the examples and by
 protocol tests that assert on transaction *sequences* rather than just
 end states.
 
+The tracer is a subscriber on the system's observability bus (the mesh
+emits one ``net.send`` event per message), so any number of tracers can
+stack on one system and detach in any order — nothing is monkeypatched.
+
 Example::
 
     system = MulticoreSystem(params)
-    tracer = ProtocolTracer(system, types={"Inv", "Nack", "DeferredAck"})
-    system.load_program(traces)
-    system.run()
+    with ProtocolTracer(system, types={"Inv", "Nack", "DeferredAck"}) as tracer:
+        system.load_program(traces)
+        system.run()
     assert tracer.sequence("Inv", "Nack", "DeferredAck")
 """
 
@@ -21,7 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Set
 
 from ..common.types import LineAddr
-from ..network.message import Message
+from ..obs.events import Event, Kind
 
 
 @dataclass(frozen=True)
@@ -43,7 +47,7 @@ class TraceRecord:
 
 
 class ProtocolTracer:
-    """Wraps a system's network ``send`` to capture messages."""
+    """Subscribes to the system bus's ``net.send`` events."""
 
     def __init__(self, system, *, types: Optional[Iterable[str]] = None,
                  lines: Optional[Iterable[LineAddr]] = None,
@@ -55,28 +59,34 @@ class ProtocolTracer:
             {int(line) for line in lines} if lines else None)
         self._live = live
         self._sink = sink
-        self._system = system
-        self._original_send = system.network.send
-        system.network.send = self._traced_send
+        self._sub = system.network.bus.subscribe(self._on_event,
+                                                 kinds=(Kind.NET_SEND,))
 
     def detach(self) -> None:
-        """Restore the original network send."""
-        self._system.network.send = self._original_send
+        """Stop capturing; idempotent and safe in any stacking order."""
+        if self._sub is not None:
+            self._sub.close()
+            self._sub = None
 
-    def _traced_send(self, msg: Message) -> int:
-        arrival = self._original_send(msg)
-        if self._types is not None and msg.msg_type.value not in self._types:
-            return arrival
-        if self._lines is not None and int(msg.line) not in self._lines:
-            return arrival
+    def __enter__(self) -> "ProtocolTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    def _on_event(self, event: Event) -> None:
+        args = event.args
+        if self._types is not None and args["msg_type"] not in self._types:
+            return
+        if self._lines is not None and args["line"] not in self._lines:
+            return
         record = TraceRecord(
-            cycle=self._system.events.now, msg_type=msg.msg_type.value,
-            src=msg.src, dst=msg.dst, dst_port=msg.dst_port,
-            line=int(msg.line), arrival=arrival)
+            cycle=event.cycle, msg_type=args["msg_type"],
+            src=event.tile, dst=args["dst"], dst_port=args["dst_port"],
+            line=args["line"], arrival=args["arrival"])
         self.records.append(record)
         if self._live:
             self._sink(str(record))
-        return arrival
 
     # ---------------------------------------------------------------- query
     def count(self, msg_type: str) -> int:

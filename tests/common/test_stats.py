@@ -25,6 +25,45 @@ def test_empty_histogram():
     assert h.total == 0
     assert h.mean == 0.0
     assert h.max == 0
+    assert h.min == 0
+    assert h.percentile(50) == 0
+
+
+def test_histogram_min():
+    h = Histogram("lat")
+    h.record(7)
+    h.record(3)
+    assert h.min == 3
+
+
+def test_percentile_nearest_rank():
+    h = Histogram("lat")
+    for value in range(1, 101):  # 1..100, one each
+        h.record(value)
+    assert h.percentile(0) == 1
+    assert h.percentile(50) == 50
+    assert h.percentile(99) == 99
+    assert h.percentile(100) == 100
+
+
+def test_percentile_weighted_buckets():
+    h = Histogram("lat")
+    h.record(10, count=98)
+    h.record(1000, count=2)
+    assert h.percentile(50) == 10
+    assert h.percentile(98) == 10
+    assert h.percentile(99) == 1000
+
+
+def test_percentile_rejects_out_of_range():
+    import pytest
+
+    h = Histogram("lat")
+    h.record(1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
 
 
 def test_registry_deduplicates_by_name():
@@ -50,3 +89,13 @@ def test_histogram_registry():
     reg = StatsRegistry()
     h = reg.histogram("lat")
     assert reg.histogram("lat") is h
+
+
+def test_histogram_summaries_include_percentiles():
+    reg = StatsRegistry()
+    h = reg.histogram("lat")
+    h.record(1)
+    h.record(3)
+    summary = reg.histogram_summaries()["lat"]
+    assert summary == {"total": 2, "mean": 2.0, "min": 1, "max": 3,
+                       "p50": 1, "p99": 3}

@@ -1,0 +1,98 @@
+"""EventBus: subscription lifecycle, filtering, zero-cost gating."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.event_queue import EventQueue
+from repro.obs.events import Event, EventBus, EventRecorder, Kind
+
+
+def make_bus():
+    events = EventQueue()
+    return events, EventBus(events)
+
+
+def test_inactive_until_subscribed():
+    __, bus = make_bus()
+    assert not bus.active
+    sub = bus.subscribe(lambda e: None)
+    assert bus.active
+    sub.close()
+    assert not bus.active
+
+
+def test_emit_stamps_cycle_and_payload():
+    events, bus = make_bus()
+    seen = []
+    bus.subscribe(seen.append)
+    events.schedule(5, lambda: bus.emit(Kind.WB_BEGIN, 2, line=64, writer=1))
+    while not events.empty:
+        events.advance_to_next_event()
+        events.run_due()
+    assert seen == [Event(cycle=5, kind="wb.begin", tile=2,
+                          args={"line": 64, "writer": 1})]
+
+
+def test_kind_filter():
+    __, bus = make_bus()
+    all_events, only_wb = [], []
+    bus.subscribe(all_events.append)
+    bus.subscribe(only_wb.append, kinds=(Kind.WB_BEGIN,))
+    bus.emit(Kind.WB_BEGIN, 0, line=0)
+    bus.emit(Kind.NET_SEND, 0, msg_type="Inv")
+    assert len(all_events) == 2
+    assert [e.kind for e in only_wb] == ["wb.begin"]
+
+
+def test_detach_any_order():
+    __, bus = make_bus()
+    first = bus.subscribe(lambda e: None)
+    second = bus.subscribe(lambda e: None)
+    third = bus.subscribe(lambda e: None)
+    second.close()  # middle first
+    third.close()
+    assert bus.active  # first still attached
+    first.close()
+    assert not bus.active
+
+
+def test_double_unsubscribe_raises():
+    __, bus = make_bus()
+    sub = bus.subscribe(lambda e: None)
+    sub.close()
+    with pytest.raises(SimulationError):
+        bus.unsubscribe(sub)
+
+
+def test_payload_may_reuse_kind_and_tile_keys():
+    __, bus = make_bus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.emit(Kind.MSHR_ALLOC, 3, kind="read", tile=7)
+    assert seen[0].kind == "mshr.alloc"
+    assert seen[0].tile == 3
+    assert seen[0].args == {"kind": "read", "tile": 7}
+
+
+def test_recorder_keeps_stream_and_detaches():
+    __, bus = make_bus()
+    recorder = EventRecorder(bus, kinds=(Kind.WB_BEGIN, Kind.WB_END))
+    bus.emit(Kind.WB_BEGIN, 0, line=64)
+    bus.emit(Kind.NET_SEND, 0, msg_type="Inv")
+    bus.emit(Kind.WB_END, 0, line=64, duration=10)
+    recorder.close()
+    bus_was_active = bus.active
+    assert [e.kind for e in recorder.events] == ["wb.begin", "wb.end"]
+    assert not bus_was_active
+
+
+def test_event_dict_round_trip():
+    event = Event(cycle=9, kind="load.issue", tile=1,
+                  args={"uid": 4, "line": 128})
+    assert Event.from_dict(event.to_dict()) == event
+
+
+def test_kind_all_lists_taxonomy():
+    kinds = Kind.all()
+    assert "wb.begin" in kinds and "net.send" in kinds
+    assert len(kinds) == len(set(kinds))

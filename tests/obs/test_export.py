@@ -1,0 +1,75 @@
+"""Exporter round trips: JSONL events and Chrome trace_event JSON."""
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.obs.export import (
+    TRACKS,
+    load_chrome_trace,
+    read_events_jsonl,
+    trace_spans,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.scenarios import scenario_traces
+from repro.sim.runner import run_observed
+
+
+def observed_mp():
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    return run_observed(scenario_traces("mp"), params)
+
+
+def test_jsonl_round_trip(tmp_path):
+    result, events = observed_mp()
+    path = tmp_path / "events.jsonl"
+    assert write_events_jsonl(events, path) == len(events) > 0
+    assert read_events_jsonl(path) == events
+
+
+def test_chrome_trace_round_trip(tmp_path):
+    result, __ = observed_mp()
+    path = tmp_path / "trace.json"
+    written = write_chrome_trace(result.spans, path,
+                                 metadata={"workload": "mp"})
+    assert written == len(result.spans)
+    payload = load_chrome_trace(path)
+    assert payload["otherData"]["workload"] == "mp"
+    back = trace_spans(payload)
+    assert len(back) == len(result.spans)
+    originals = {(s.cat, s.name, s.tile, s.start, s.end)
+                 for s in result.spans}
+    assert {(s.cat, s.name, s.tile, s.start, s.end)
+            for s in back} == originals
+
+
+def test_chrome_trace_names_tile_tracks(tmp_path):
+    result, __ = observed_mp()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(result.spans, path)
+    payload = load_chrome_trace(path)
+    meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    tiles = {s.tile for s in result.spans}
+    process_names = {e["pid"]: e["args"]["name"] for e in meta
+                     if e["name"] == "process_name"}
+    assert process_names == {tile: f"tile{tile}" for tile in tiles}
+    # Every tile gets one named thread per span category.
+    for tile in tiles:
+        threads = {e["tid"]: e["args"]["name"] for e in meta
+                   if e["name"] == "thread_name" and e["pid"] == tile}
+        assert threads == {tid: cat for cat, tid in TRACKS.items()}
+    # Span events land on their category's track.
+    for event in payload["traceEvents"]:
+        if event["ph"] == "X":
+            assert event["tid"] == TRACKS[event["cat"]]
+
+
+def test_load_chrome_trace_rejects_non_trace(tmp_path):
+    import json
+
+    import pytest
+
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"nope": 1}))
+    with pytest.raises(ValueError):
+        load_chrome_trace(path)

@@ -1,0 +1,64 @@
+"""Host-side profiler: exclusive attribution and system instrumentation."""
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.obs.profile import ProfileReport, Profiler, profiled_run
+from repro.obs.scenarios import scenario_traces
+from repro.sim.system import MulticoreSystem
+
+
+def test_exclusive_attribution_with_fake_clock():
+    ticks = [0.0]
+
+    def clock():
+        return ticks[0]
+
+    prof = Profiler(clock=clock)
+
+    def inner():
+        ticks[0] += 1.0
+
+    def outer():
+        ticks[0] += 2.0
+        wrapped_inner()
+        ticks[0] += 3.0
+
+    wrapped_inner = prof.wrap("inner", inner)
+    prof.wrap("outer", outer)()
+    # outer: 6 total, minus inner's 1 -> 5 exclusive.
+    assert prof.totals["inner"] == 1.0
+    assert prof.totals["outer"] == 5.0
+    assert prof.calls == {"inner": 1, "outer": 1}
+
+
+def test_report_shares_and_other():
+    report = ProfileReport(10.0, {"core": 6.0, "network": 2.0},
+                           {"core": 3, "network": 4})
+    shares = report.shares()
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+    assert report.totals["other"] == 2.0
+    rendered = report.render()
+    assert "core" in rendered and "total wall" in rendered
+    payload = report.as_dict()
+    assert payload["wall_seconds"] == 10.0
+    assert payload["components"]["core"] == 6.0
+    assert payload["calls"] == {"core": 3, "network": 4}
+
+
+def test_profiled_run_attributes_components():
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    system = MulticoreSystem(params)
+    system.load_program(scenario_traces("mp"))
+    result, report = profiled_run(system)
+    assert result.cycles > 0
+    for component in ("core", "private_cache", "directory", "network",
+                      "event_dispatch"):
+        assert report.calls[component] > 0, component
+    # The report also survives on the result as a plain dict.
+    assert result.profile["wall_seconds"] == report.wall_seconds
+    assert set(result.profile["components"]) >= {"core", "network", "other"}
+    # Instrumentation must not distort the simulation itself.
+    plain = MulticoreSystem(params)
+    plain.load_program(scenario_traces("mp"))
+    assert plain.run().cycles == result.cycles

@@ -1,0 +1,80 @@
+"""Span reconstruction on the directed ``mp`` scenario.
+
+The scenario forces exactly one Nacked invalidation, so the span layer
+and the pre-existing directory counters must agree exactly — the span
+view is a retelling of the same episode, not a separate estimate.
+"""
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.obs.events import Kind
+from repro.obs.scenarios import scenario_traces
+from repro.sim.runner import run_observed
+
+
+def observed_mp():
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    return run_observed(scenario_traces("mp"), params)
+
+
+def test_exactly_one_writersblock_span_matching_counters():
+    result, events = observed_mp()
+    wb_spans = [s for s in result.spans if s.cat == "writersblock"]
+    assert len(wb_spans) == 1
+    assert result.counter("dir.writersblock_entered") == 1
+    span = wb_spans[0]
+    assert not span.open
+    hist = result.histograms["dir.writersblock_duration"]
+    assert hist["total"] == 1
+    assert span.duration == hist["max"] == hist["min"]
+    # The directory's own wb.end event carries the same duration.
+    ends = [e for e in events if e.kind == Kind.WB_END]
+    assert len(ends) == 1
+    assert ends[0].args["duration"] == span.duration
+
+
+def test_lockdown_span_brackets_the_writersblock():
+    result, events = observed_mp()
+    lockdowns = [s for s in result.spans if s.cat == "lockdown"]
+    assert len(lockdowns) == 1
+    span = lockdowns[0]
+    assert not span.open and span.duration > 0
+    # The Nack lands while the lockdown is live.
+    nacks = [e for e in events if e.kind == Kind.INV_NACKED]
+    assert len(nacks) == 1
+    assert span.start <= nacks[0].cycle <= span.end
+    # ...and the deferred ack goes out when the lockdown lifts.
+    acks = [e for e in events if e.kind == Kind.DEFERRED_ACK]
+    assert len(acks) == 1
+    assert acks[0].cycle == span.end
+
+
+def test_load_lifetimes_closed_and_annotated():
+    result, __ = observed_mp()
+    loads = [s for s in result.spans if s.cat == "load"]
+    assert loads
+    for span in loads:
+        assert not span.open
+        assert "perform_cycle" in span.args
+        assert span.start <= span.args["perform_cycle"] <= span.end
+
+
+def test_span_summaries_on_result():
+    result, __ = observed_mp()
+    summary = result.span_summaries["writersblock"]
+    assert summary["count"] == 1
+    assert summary["min"] == summary["max"] == summary["p50"] == summary["p99"]
+    # Span durations also feed obs.* histograms in the registry.
+    assert result.histograms["obs.writersblock_cycles"]["total"] == 1
+
+
+def test_unobserved_run_has_no_spans():
+    from repro.sim.runner import run_traces
+
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    result = run_traces(scenario_traces("mp"), params)
+    assert result.spans == []
+    assert result.span_summaries == {}
+    assert "obs.writersblock_cycles" not in result.histograms

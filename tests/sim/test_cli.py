@@ -56,6 +56,39 @@ def test_unknown_workload_rejected():
         main(["run", "doom"])
 
 
+def test_trace_scenario(capsys, tmp_path):
+    from repro.obs.export import load_chrome_trace
+
+    out = tmp_path / "trace.json"
+    events_out = tmp_path / "events.jsonl"
+    code = main(["trace", "mp", "--out", str(out),
+                 "--events-out", str(events_out), "--cores", "4"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "writersblock" in printed and "lockdown" in printed
+    payload = load_chrome_trace(out)
+    cats = {e["cat"] for e in payload["traceEvents"] if e["ph"] == "X"}
+    assert {"writersblock", "lockdown", "load"} <= cats
+    assert payload["otherData"]["workload"] == "mp"
+    assert events_out.read_text().strip()
+
+
+def test_trace_workload(capsys, tmp_path):
+    out = tmp_path / "trace.json"
+    code = main(["trace", "swaptions", "--out", str(out), "--cores", "4",
+                 "--scale", "0.2"])
+    assert code == 0
+    assert out.exists()
+
+
+def test_profile_scenario(capsys):
+    code = main(["profile", "mp", "--cores", "4"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "component" in printed and "total wall" in printed
+    assert "core" in printed
+
+
 def test_fig8_tiny(capsys):
     code = main(["fig8", "--benches", "swaptions", "--cores", "4",
                  "--scale", "0.2"])

@@ -67,7 +67,31 @@ def test_to_dict_and_save_json(tmp_path):
     assert snapshot["cycles"] == result.cycles
     assert snapshot["metrics"]["committed"] == result.committed
     assert snapshot["params"]["commit_mode"] == "in-order"
+    assert "histograms" in snapshot and "span_summaries" in snapshot
     path = tmp_path / "result.json"
     result.save_json(path)
     loaded = json.loads(path.read_text())
     assert loaded == json.loads(json.dumps(snapshot))
+
+
+def test_json_round_trip():
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    result = run_traces(tiny_traces(), params, observe=True)
+    back = SimResult.from_json(result.to_json())
+    assert back.to_dict() == result.to_dict()
+    assert back.params == result.params
+    assert back.cycles == result.cycles
+    assert back.histograms == result.histograms
+    assert back.span_summaries == result.span_summaries
+
+
+def test_observed_run_collects_spans():
+    from repro.sim.runner import run_observed
+
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    result, events = run_observed(tiny_traces(), params)
+    assert events  # at least the protocol messages show up
+    assert any(span.cat == "load" for span in result.spans)
+    assert "load" in result.span_summaries

@@ -86,6 +86,41 @@ def test_detach_stops_capture():
     assert tracer.records == []
 
 
+def test_detach_is_idempotent():
+    params = table6_system("SLM", num_cores=4)
+    system = MulticoreSystem(params)
+    tracer = ProtocolTracer(system)
+    tracer.detach()
+    tracer.detach()  # second detach must be a no-op, not an error
+
+
+def test_stacked_tracers_detach_in_any_order():
+    params = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO_WB)
+    system = MulticoreSystem(params)
+    everything = ProtocolTracer(system)
+    only_inv = ProtocolTracer(system, types={"Inv"})
+    # Detaching the *earlier*-attached tracer must not disturb the later
+    # one (the failure mode of the old send-wrapping implementation).
+    everything.detach()
+    traces, __ = build_race()
+    system.load_program(traces)
+    system.run()
+    assert everything.records == []
+    assert only_inv.records
+    assert all(r.msg_type == "Inv" for r in only_inv.records)
+
+
+def test_context_manager_detaches_on_exit():
+    params = table6_system("SLM", num_cores=4)
+    system = MulticoreSystem(params)
+    traces, __ = build_race()
+    system.load_program(traces)
+    with ProtocolTracer(system) as tracer:
+        system.run()
+    assert tracer.records
+    assert not system.network.bus.active
+
+
 def test_sequence_respects_order():
     params = table6_system("SLM", num_cores=4)
     system = MulticoreSystem(params)
