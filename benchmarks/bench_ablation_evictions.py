@@ -4,57 +4,24 @@ The paper chose silent evictions of shared lines for its baseline
 (9.6% lower traffic).  This ablation re-runs a subset of workloads with
 both policies and reports the traffic ratio, plus the consistency-squash
 count difference for the squash-based baseline (non-silent evictions add
-eviction-time squashes, §3.8).
+eviction-time squashes, §3.8).  Driver:
+``repro.exp.drivers.ablation_evictions_driver``.
 """
 
-import dataclasses
+from repro.analysis.tables import geometric_mean
+from repro.exp.drivers import ablation_evictions_driver
 
-from repro.common.params import CacheParams
-
-from repro.analysis.experiments import make_workload
-from repro.analysis.tables import format_table, geometric_mean
-from repro.common.params import table6_system
-from repro.common.types import CommitMode
-from repro.sim.runner import run_workload
-
-from .conftest import core_count, workload_scale
-
-BENCHES = ("fft", "ocean_ncp", "streamcluster", "barnes")
+from .conftest import worker_count
 
 
-def run_ablation():
-    rows = []
-    for bench in BENCHES:
-        results = {}
-        for silent in (True, False):
-            params = table6_system("SLM", num_cores=core_count(),
-                                   commit_mode=CommitMode.OOO)
-            # Shrink the private hierarchy so capacity evictions of
-            # shared lines actually happen (the full-size 128KB L2
-            # never evicts under these working sets).
-            cache = dataclasses.replace(params.cache,
-                                        l1_sets=4, l1_ways=4,
-                                        l2_sets=8, l2_ways=4,
-                                        silent_shared_evictions=silent)
-            params = dataclasses.replace(params, cache=cache)
-            results[silent] = run_workload(
-                make_workload(bench, core_count(), workload_scale()), params)
-        ratio = (results[True].network_flit_hops
-                 / max(results[False].network_flit_hops, 1))
-        rows.append((bench, ratio,
-                     results[True].consistency_squashes,
-                     results[False].consistency_squashes))
-    table = format_table(
-        ["workload", "traffic silent/non-silent",
-         "squashes (silent)", "squashes (non-silent)"],
-        rows, title="Ablation §3.8: shared-line eviction policy")
-    geo = geometric_mean([r[1] for r in rows])
+def bench_ablation_eviction_policy(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(ablation_evictions_driver,
+                                args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds,
+                 worker_count())
     # Silent evictions save traffic (paper: ~9.6% less): the ratio
     # silent/non-silent must be below 1.
+    geo = geometric_mean([r["traffic_silent_over_nonsilent"]
+                          for r in report.rows])
     assert geo < 1.0, geo
-    return table
-
-
-def bench_ablation_eviction_policy(benchmark, report):
-    text = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    report("ablation_evictions", text)

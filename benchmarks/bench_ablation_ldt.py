@@ -4,55 +4,25 @@
 rare case we reach this limit, we stop committing M-speculative loads
 out-of-order."  This ablation sweeps the LDT size and shows the paper's
 choice is comfortably past the knee: a tiny LDT throttles OoO commit of
-reordered loads, while 32 behaves like an unbounded table.
+reordered loads, while 32 behaves like an unbounded table (driver:
+``repro.exp.drivers.ablation_ldt_driver``).
 """
 
-import dataclasses
+from repro.exp.drivers import LDT_BENCHES, ablation_ldt_driver
 
-from repro.analysis.experiments import make_workload
-from repro.analysis.tables import format_table
-from repro.common.params import table6_system
-from repro.common.types import CommitMode
-from repro.sim.runner import run_workload
-
-from .conftest import core_count, workload_scale
-
-BENCHES = ("freqmine", "streamcluster")
-LDT_SIZES = (1, 2, 8, 32, 128)
+from .conftest import worker_count
 
 
-def run_sweep():
-    rows = []
-    for bench in BENCHES:
-        cycles_by_size = {}
-        exports_by_size = {}
-        for size in LDT_SIZES:
-            params = table6_system("SLM", num_cores=core_count(),
-                                   commit_mode=CommitMode.OOO_WB)
-            core = dataclasses.replace(params.core, ldt_entries=size)
-            params = dataclasses.replace(params, core=core)
-            result = run_workload(
-                make_workload(bench, core_count(), workload_scale()), params)
-            cycles_by_size[size] = result.cycles
-            exports_by_size[size] = result.counter("core.ldt_exports")
-        for size in LDT_SIZES:
-            rows.append((bench, size, cycles_by_size[size],
-                         exports_by_size[size],
-                         cycles_by_size[size] / cycles_by_size[32]))
-    table = format_table(
-        ["workload", "LDT entries", "cycles", "lockdown exports",
-         "time vs LDT=32"],
-        rows, title="Ablation §4.2: LDT capacity sweep")
+def bench_ablation_ldt_capacity(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(ablation_ldt_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds,
+                 worker_count())
     # 32 entries must perform within noise of an effectively unbounded
     # table (the paper's claim that 32 suffices).  The tolerance covers
     # deterministic-but-chaotic timing shifts: a different LDT size can
     # reorder lock acquisitions and shift barrier waits by a few percent.
-    for bench in BENCHES:
-        sized = {r[1]: r[2] for r in rows if r[0] == bench}
+    for bench in LDT_BENCHES:
+        sized = {r["ldt_entries"]: r["cycles"] for r in report.rows
+                 if r["workload"] == bench}
         assert sized[32] <= sized[128] * 1.06, (bench, sized)
-    return table
-
-
-def bench_ablation_ldt_capacity(benchmark, report):
-    text = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    report("ablation_ldt", text)

@@ -4,55 +4,25 @@ DESIGN.md models per-link flit serialization (one flit per cycle per
 directed link).  This ablation quantifies how much that choice matters
 versus a contention-free mesh, for both the base protocol and
 WritersBlock — confirming WritersBlock's overhead conclusion does not
-hinge on the contention model.
+hinge on the contention model.  Driver:
+``repro.exp.drivers.ablation_network_driver``.
 """
 
-import dataclasses
+from repro.analysis.tables import geometric_mean
+from repro.exp.drivers import ablation_network_driver
 
-from repro.analysis.experiments import make_workload
-from repro.analysis.tables import format_table, geometric_mean
-from repro.common.params import NetworkParams, table6_system
-from repro.common.types import CommitMode
-from repro.sim.runner import run_workload
-
-from .conftest import core_count, workload_scale
-
-BENCHES = ("fft", "streamcluster", "radix")
+from .conftest import worker_count
 
 
-def run_sweep():
-    rows = []
-    ratios = []
-    for bench in BENCHES:
-        cycles = {}
-        for contention in (True, False):
-            for wb in (False, True):
-                params = table6_system(
-                    "SLM", num_cores=core_count(),
-                    commit_mode=CommitMode.OOO_WB if wb else CommitMode.OOO)
-                params = dataclasses.replace(
-                    params,
-                    network=NetworkParams(model_contention=contention))
-                result = run_workload(
-                    make_workload(bench, core_count(), workload_scale()),
-                    params)
-                cycles[(contention, wb)] = result.cycles
-        slowdown = cycles[(True, True)] / cycles[(False, True)]
-        wb_effect_contended = cycles[(True, True)] / cycles[(True, False)]
-        wb_effect_free = cycles[(False, True)] / cycles[(False, False)]
-        ratios.append((wb_effect_contended, wb_effect_free))
-        rows.append((bench, slowdown, wb_effect_contended, wb_effect_free))
-    table = format_table(
-        ["workload", "contention slowdown",
-         "WB/OoO (contended)", "WB/OoO (contention-free)"],
-        rows, title="Ablation: mesh link-contention model")
+def bench_ablation_network_contention(benchmark, config, engine,
+                                      bench_report):
+    report = benchmark.pedantic(ablation_network_driver,
+                                args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds,
+                 worker_count())
     # The WB-vs-OoO conclusion must agree across contention models.
-    contended = geometric_mean([a for a, __ in ratios])
-    free = geometric_mean([b for __, b in ratios])
+    contended = geometric_mean([r["wb_over_ooo_contended"]
+                                for r in report.rows])
+    free = geometric_mean([r["wb_over_ooo_free"] for r in report.rows])
     assert abs(contended - free) < 0.05, (contended, free)
-    return table
-
-
-def bench_ablation_network_contention(benchmark, report):
-    text = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    report("ablation_network", text)

@@ -4,38 +4,21 @@ Runs the paper's Table 1 race across a timing grid in all four commit
 modes.  The protected modes never violate TSO; the OOO_UNSAFE ablation
 does — which simultaneously demonstrates (i) the race is real in this
 simulator, and (ii) the axiomatic checker that certifies the other
-results has teeth.
+results has teeth.  Driver: ``repro.exp.drivers.ablation_unsafe_driver``.
 """
 
-from repro.common.params import table6_system
-from repro.common.types import CommitMode
-from repro.consistency.litmus import run_litmus, table1_test
+from repro.exp.drivers import ablation_unsafe_driver
 
-DELAY_GRID = [(d0, d1) for d0 in (0, 20, 40) for d1 in (0, 30, 60, 90)]
+from .conftest import worker_count
 
 
-def run_ablation():
-    test = table1_test()
-    lines = []
-    violation_counts = {}
-    for mode in (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB,
-                 CommitMode.OOO_UNSAFE):
-        params = table6_system("SLM", num_cores=4, commit_mode=mode)
-        violations = 0
-        forbidden = 0
-        for delays in DELAY_GRID:
-            outcome = run_litmus(test, params, extra_delays=delays)
-            violations += outcome.checker_violation is not None
-            forbidden += outcome.forbidden_hit
-        violation_counts[mode] = violations
-        lines.append(f"{mode.value:10s} forbidden={forbidden:2d}/"
-                     f"{len(DELAY_GRID)} checker_violations={violations:2d}")
-    for mode in (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB):
-        assert violation_counts[mode] == 0, mode
-    assert violation_counts[CommitMode.OOO_UNSAFE] > 0
-    return "\n".join(lines)
-
-
-def bench_ablation_unsafe_commit(benchmark, report):
-    text = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    report("ablation_unsafe", text)
+def bench_ablation_unsafe_commit(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(ablation_unsafe_driver,
+                                args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds
+                 if report.engine_run else 0.0, worker_count())
+    violations = {r["mode"]: r["checker_violations"] for r in report.rows}
+    for mode in ("in-order", "ooo", "ooo-wb"):
+        assert violations[mode] == 0, (mode, violations)
+    assert violations["ooo-unsafe"] > 0, violations

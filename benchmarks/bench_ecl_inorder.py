@@ -4,45 +4,21 @@ The paper motivates non-speculative load-load reordering for stall-on-use
 in-order cores (DEC Alpha EV5-style Early Commit of Loads) that have *no*
 squash capability.  Without WritersBlock such a core must serialize load
 binding ("wait for it"); with it, loads bind and retire out of order.
-This benchmark quantifies that gap on the workload suite.
+This benchmark quantifies that gap on the workload suite (driver:
+``repro.exp.drivers.ecl_inorder_driver``).
 """
 
-import dataclasses
+from repro.analysis.tables import geometric_mean
+from repro.exp.drivers import ecl_inorder_driver
 
-from repro.analysis.experiments import make_workload
-from repro.analysis.tables import format_table, geometric_mean
-from repro.common.params import table6_system
-from repro.sim.runner import run_workload
-
-from .conftest import core_count, workload_scale
-
-BENCHES = ("fft", "barnes", "freqmine", "streamcluster", "swaptions")
+from .conftest import worker_count
 
 
-def run_comparison():
-    rows = []
-    speedups = []
-    for bench in BENCHES:
-        cycles = {}
-        for core_type, wb in (("inorder", False), ("inorder-ecl", True)):
-            params = table6_system("SLM", num_cores=core_count())
-            params = dataclasses.replace(params, core_type=core_type,
-                                         writers_block=wb)
-            result = run_workload(
-                make_workload(bench, core_count(), workload_scale()), params)
-            cycles[core_type] = result.cycles
-        speedup = cycles["inorder"] / cycles["inorder-ecl"]
-        speedups.append(speedup)
-        rows.append((bench, cycles["inorder"], cycles["inorder-ecl"],
-                     speedup))
-    table = format_table(
-        ["workload", "blocking in-order", "ECL + WritersBlock", "speedup"],
-        rows, title="§1 use case: Early Commit of Loads on in-order cores")
+def bench_ecl_inorder_cores(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(ecl_inorder_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds,
+                 worker_count())
     # ECL must be a clear win — the whole point of irrevocable binding.
+    speedups = [r["speedup"] for r in report.rows]
     assert geometric_mean(speedups) > 1.2, speedups
-    return table
-
-
-def bench_ecl_inorder_cores(benchmark, report):
-    text = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
-    report("ecl_inorder", text)

@@ -3,45 +3,29 @@
 Paper claims (shapes, not absolute numbers): OoO+WB is fastest, plain
 safe OoO commit sits between it and in-order commit; the stall breakdown
 shifts away from ROB-full under OoO commit; and WB further drains the
-LQ by committing M-speculative loads early.
+LQ by committing M-speculative loads early.  Regenerated through the
+experiment engine (``repro.exp``).
 """
 
-from repro.analysis.experiments import (
-    fig10_headline,
-    fig10_ooo_commit,
-    fig10_stall_table,
-    fig10_time_table,
-)
 from repro.analysis.tables import geometric_mean
-from repro.common.types import CommitMode
+from repro.exp.drivers import fig10_driver
 
-from .conftest import core_count, selected_workloads, workload_scale
+from .conftest import worker_count
 
 
-def bench_fig10_commit_modes(benchmark, report):
-    rows = benchmark.pedantic(
-        fig10_ooo_commit,
-        kwargs=dict(benches=selected_workloads(), num_cores=core_count(),
-                    scale=workload_scale()),
-        rounds=1, iterations=1,
-    )
-    headline = fig10_headline(rows)
-    summary = "\n\n".join([
-        fig10_time_table(rows),
-        fig10_stall_table(rows),
-        "Headline (§5.2): "
-        f"OoO+WB over in-order: avg {headline['avg_improvement_over_inorder_pct']:.1f}% "
-        f"(max {headline['max_improvement_over_inorder_pct']:.1f}%); "
-        f"over safe OoO: avg {headline['avg_improvement_over_ooo_pct']:.1f}% "
-        f"(max {headline['max_improvement_over_ooo_pct']:.1f}%)",
-    ])
-    report("fig10_ooo_commit", summary)
+def bench_fig10_commit_modes(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(fig10_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds,
+                 worker_count())
+    rows = [r for r in report.rows if "workload" in r]
+    headline = next(r["headline"] for r in report.rows if "headline" in r)
     # Shape assertions:
-    wb_geo = geometric_mean([r.norm_time(CommitMode.OOO_WB) for r in rows])
-    ooo_geo = geometric_mean([r.norm_time(CommitMode.OOO) for r in rows])
+    wb_geo = geometric_mean([r["norm_time"]["ooo-wb"] for r in rows])
+    ooo_geo = geometric_mean([r["norm_time"]["ooo"] for r in rows])
     assert wb_geo < 1.0, f"OoO+WB must beat in-order on average ({wb_geo})"
     assert wb_geo <= ooo_geo + 0.005, (wb_geo, ooo_geo)
     assert headline["max_improvement_over_inorder_pct"] > 5.0
     # WB eliminates consistency squashes entirely.
     for row in rows:
-        assert row.results[CommitMode.OOO_WB].consistency_squashes == 0
+        assert row["consistency_squashes"]["ooo-wb"] == 0

@@ -3,39 +3,40 @@
 Paper claims: blocked write requests and uncacheable data responses are
 *rare* — well under ~1 per kilo-store / kilo-load on average, growing
 with LQ size (SLM < NHM < HSW), with streamcluster/freqmine the worst
-cases.  This benchmark regenerates both panels.
+cases.  This benchmark regenerates both panels through the experiment
+engine (``repro.exp``) and asserts the paper's shape claims on the
+machine-readable rows.
 """
 
-from repro.analysis.experiments import fig8_table, fig8_writersblock_rates
+from repro.exp.drivers import fig8_driver
 
-from .conftest import core_count, selected_workloads, workload_scale
+from .conftest import worker_count
 
 
-def bench_fig8_rates(benchmark, report):
-    rows = benchmark.pedantic(
-        fig8_writersblock_rates,
-        kwargs=dict(benches=selected_workloads(), num_cores=core_count(),
-                    scale=workload_scale()),
-        rounds=1, iterations=1,
-    )
-    report("fig8_writersblock_rates", fig8_table(rows))
+def bench_fig8_rates(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(fig8_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds,
+                 worker_count())
     # Shape assertions (paper §5.1).  Absolute rates are higher than the
     # paper's (the synthetic kernels compress sharing activity into far
     # fewer instructions — see EXPERIMENTS.md) but the qualitative
     # claims must hold:
+    rows = report.rows
     by_bench = {}
     for row in rows:
-        by_bench.setdefault(row.workload, []).append(row)
+        by_bench.setdefault(row["workload"], []).append(row)
     # (i) private/partitioned benchmarks see (almost) no events at all;
     for quiet in ("fft", "lu_ncb", "radix", "swaptions"):
         if quiet in by_bench:
             for row in by_bench[quiet]:
-                assert row.blocked_per_kstore < 2.0, row
-                assert row.uncacheable_per_kload < 2.0, row
+                assert row["blocked_per_kstore"] < 2.0, row
+                assert row["uncacheable_per_kload"] < 2.0, row
     # (ii) the paper's named worst cases are the worst cases here too;
-    peak_blocked = max(rows, key=lambda r: r.blocked_per_kstore).workload
-    peak_unc = max(rows, key=lambda r: r.uncacheable_per_kload).workload
-    assert peak_blocked in ("streamcluster", "freqmine", "bodytrack"), peak_blocked
-    assert peak_unc in ("streamcluster", "freqmine"), peak_unc
-    # (iii) every run stayed TSO-clean (run_workload checks internally,
-    #       so reaching this point is itself the assertion).
+    peak_blocked = max(rows, key=lambda r: r["blocked_per_kstore"])
+    peak_unc = max(rows, key=lambda r: r["uncacheable_per_kload"])
+    assert peak_blocked["workload"] in ("streamcluster", "freqmine",
+                                        "bodytrack"), peak_blocked
+    assert peak_unc["workload"] in ("streamcluster", "freqmine"), peak_unc
+    # (iii) every run stayed TSO-clean (cells run with check=True, so
+    #       reaching this point is itself the assertion).

@@ -2,25 +2,23 @@
 
 Paper claims: enabling the WritersBlock protocol (without changing the
 commit policy) has *imperceptible* execution-time and network-traffic
-overhead versus the base directory protocol.
+overhead versus the base directory protocol.  Regenerated through the
+experiment engine (``repro.exp``).
 """
 
-from repro.analysis.experiments import fig9_overheads, fig9_table
 from repro.analysis.tables import geometric_mean
+from repro.exp.drivers import fig9_driver
 
-from .conftest import core_count, selected_workloads, workload_scale
+from .conftest import worker_count
 
 
-def bench_fig9_overheads(benchmark, report):
-    rows = benchmark.pedantic(
-        fig9_overheads,
-        kwargs=dict(benches=selected_workloads(), num_cores=core_count(),
-                    scale=workload_scale()),
-        rounds=1, iterations=1,
-    )
-    report("fig9_overheads", fig9_table(rows))
-    time_geo = geometric_mean([r.time_ratio for r in rows])
-    traffic_geo = geometric_mean([r.traffic_ratio for r in rows])
+def bench_fig9_overheads(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(fig9_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds,
+                 worker_count())
+    time_geo = geometric_mean([r["time_ratio"] for r in report.rows])
+    traffic_geo = geometric_mean([r["traffic_ratio"] for r in report.rows])
     # "no perceptible difference": within a few percent on average.
     assert 0.95 < time_geo < 1.05, time_geo
     assert 0.95 < traffic_geo < 1.05, traffic_geo

@@ -2,48 +2,19 @@
 WritersBlock may be sensitive to the depth of the load queue").
 
 Sweeps the LQ size at fixed ROB on a contended benchmark and reports
-WB's advantage over in-order commit per size.  The expected shape: with
-a tiny LQ the in-order core is LQ-bound and WB's early load commit buys
+WB's advantage over in-order commit per size (driver:
+``repro.exp.drivers.sweep_lq_driver``).  The expected shape: with a
+tiny LQ the in-order core is LQ-bound and WB's early load commit buys
 the most; very large LQs dilute the advantage.
 """
 
-import dataclasses
+from repro.exp.drivers import sweep_lq_driver
 
-from repro.analysis.experiments import make_workload
-from repro.analysis.tables import format_table
-from repro.common.params import table6_system
-from repro.common.types import CommitMode
-from repro.sim.runner import run_workload
-
-from .conftest import core_count, workload_scale
-
-LQ_SIZES = (6, 10, 16, 24, 48)
-BENCH = "streamcluster"
+from .conftest import worker_count
 
 
-def run_sweep():
-    rows = []
-    for lq in LQ_SIZES:
-        cycles = {}
-        for mode in (CommitMode.IN_ORDER, CommitMode.OOO_WB):
-            params = table6_system("NHM", num_cores=core_count(),
-                                   commit_mode=mode)
-            core = dataclasses.replace(params.core, lq_entries=lq)
-            params = dataclasses.replace(params, core=core)
-            result = run_workload(
-                make_workload(BENCH, core_count(), workload_scale()), params)
-            cycles[mode] = result.cycles
-        advantage = 100.0 * (cycles[CommitMode.IN_ORDER]
-                             - cycles[CommitMode.OOO_WB]) \
-            / cycles[CommitMode.IN_ORDER]
-        rows.append((lq, cycles[CommitMode.IN_ORDER],
-                     cycles[CommitMode.OOO_WB], advantage))
-    table = format_table(
-        ["LQ entries", "in-order cycles", "OoO+WB cycles", "WB advantage %"],
-        rows, title=f"LQ-depth sensitivity ({BENCH}, NHM-class ROB)")
-    return table
-
-
-def bench_sweep_lq_depth(benchmark, report):
-    text = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    report("sweep_lq", text)
+def bench_sweep_lq_depth(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(sweep_lq_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds,
+                 worker_count())

@@ -3,35 +3,21 @@
 Regenerates the paper's forbidden-outcome claims: under every protected
 commit mode (in-order, safe OoO, OoO+WritersBlock) the forbidden
 register outcomes never appear and the axiomatic checker stays clean —
-across a grid of timing offsets.
+across a grid of timing offsets.  Driver:
+``repro.exp.drivers.table1_driver``.
 """
 
-from repro.common.params import table6_system
-from repro.common.types import CommitMode
-from repro.consistency.litmus import standard_suite, sweep_litmus
+from repro.exp.drivers import table1_driver
 
-from .conftest import write_report
-
-MODES = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB)
-DELAYS = ((0, 0), (0, 40), (40, 0), (0, 80), (20, 60))
+from .conftest import worker_count
 
 
-def run_suite():
-    lines = []
-    for test in standard_suite():
-        cores = 16 if len(test.threads) > 4 else 4
-        for mode in MODES:
-            params = table6_system("SLM", num_cores=cores, commit_mode=mode)
-            outcomes = sweep_litmus(test, params, delays=DELAYS)
-            assert not any(o.forbidden_hit for o in outcomes), test.name
-            assert all(o.checker_violation is None for o in outcomes), test.name
-            sample = outcomes[0].registers
-            lines.append(f"{test.name:24s} {mode.value:9s} "
-                         f"clean over {len(outcomes)} timings; "
-                         f"e.g. {sample}")
-    return "\n".join(lines)
-
-
-def bench_table1_litmus_suite(benchmark, report):
-    text = benchmark.pedantic(run_suite, rounds=1, iterations=1)
-    report("table1_table3_litmus", text)
+def bench_table1_litmus_suite(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(table1_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds
+                 if report.engine_run else 0.0, worker_count())
+    assert report.rows, "litmus suite produced no rows"
+    for row in report.rows:
+        assert row["forbidden"] == 0, row
+        assert row["checker_violations"] == 0, row

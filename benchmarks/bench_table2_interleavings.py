@@ -3,34 +3,19 @@
 Regenerates the paper's enumeration: six interleavings, five legal,
 yielding exactly the outcome set {old,old}, {old,new}, {new,new} for
 (ld y, ld x) — the sixth combination {new, old} is the illegal one that
-WritersBlock must hide.
+WritersBlock must hide.  Driver: ``repro.exp.drivers.table2_driver``.
 """
 
-from repro.consistency.litmus import (
-    SimpleOp,
-    enumerate_interleavings,
-    legal_tso_outcomes,
-)
+from repro.exp.drivers import table2_driver
 
-READER = [SimpleOp(0, "ld", "y"), SimpleOp(0, "ld", "x")]
-WRITER = [SimpleOp(1, "st", "x"), SimpleOp(1, "st", "y")]
+from .conftest import worker_count
 
 
-def run_enumeration():
-    interleavings = enumerate_interleavings([READER, WRITER])
-    outcomes = legal_tso_outcomes([READER, WRITER])
-    lines = [f"{len(interleavings)} interleavings, "
-             f"{len(outcomes)} distinct outcomes:"]
-    for i, (order, loads) in enumerate(interleavings, start=1):
-        ops = " -> ".join(f"t{op.thread}:{op.kind} {op.var}" for op in order)
-        lines.append(f"({i}) {ops}   loads={loads}")
-    pairs = sorted({(o['t0:ld y'], o['t0:ld x']) for o in outcomes})
-    lines.append(f"legal (ld y, ld x) outcomes: {pairs}")
+def bench_table2_interleavings(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(table2_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds
+                 if report.engine_run else 0.0, worker_count())
+    pairs = [tuple(p) for p in report.rows[-1]["legal_outcomes"]]
     assert pairs == [("new", "new"), ("old", "new"), ("old", "old")]
     assert ("new", "old") not in pairs  # the illegal interleaving (6)
-    return "\n".join(lines)
-
-
-def bench_table2_interleavings(benchmark, report):
-    text = benchmark.pedantic(run_enumeration, rounds=1, iterations=1)
-    report("table2_interleavings", text)

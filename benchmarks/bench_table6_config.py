@@ -3,15 +3,21 @@
 Regenerates the configuration table and asserts the exact paper values
 (issue width 4; IQ/ROB/LQ/SQ sizes per class; 32KB L1 / 128KB L2 / 1MB
 LLC bank; 4/12/35-cycle hits; 160-cycle memory; 6-cycle switches; 5/1
-flit messages).
+flit messages).  Driver: ``repro.exp.drivers.table6_driver``.
 """
 
-from repro.analysis.experiments import table6_text
 from repro.common.params import CORE_CLASSES, CacheParams, NetworkParams
 from repro.common.types import CTRL_MSG_FLITS, DATA_MSG_FLITS
+from repro.exp.drivers import table6_driver
+
+from .conftest import worker_count
 
 
-def validate_and_render():
+def bench_table6_configuration(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(table6_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds
+                 if report.engine_run else 0.0, worker_count())
     slm, nhm, hsw = (CORE_CLASSES[k] for k in ("SLM", "NHM", "HSW"))
     assert (slm.rob_entries, nhm.rob_entries, hsw.rob_entries) == (32, 128, 192)
     assert (slm.lq_entries, nhm.lq_entries, hsw.lq_entries) == (10, 48, 72)
@@ -23,9 +29,5 @@ def validate_and_render():
     assert cache.memory_cycles == 160
     assert NetworkParams().switch_cycles == 6
     assert (DATA_MSG_FLITS, CTRL_MSG_FLITS) == (5, 1)
-    return table6_text()
-
-
-def bench_table6_configuration(benchmark, report):
-    text = benchmark.pedantic(validate_and_render, rounds=1, iterations=1)
-    report("table6_config", text)
+    by_class = {r["class"]: r for r in report.rows}
+    assert by_class["SLM"]["ldt"] == 32

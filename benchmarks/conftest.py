@@ -1,31 +1,37 @@
 """Shared benchmark configuration.
 
-Environment knobs (all optional):
+The drivers themselves live in ``repro.exp.drivers`` (one
+implementation serves ``pytest benchmarks/``, ``repro bench``, and CI);
+these fixtures configure them and keep the historical environment
+knobs:
 
-``REPRO_BENCH_SCALE``   workload scale multiplier (default 1.0)
+``REPRO_BENCH_SCALE``   workload scale multiplier (default 2.0)
 ``REPRO_BENCH_CORES``   core count (default 16; must be a square)
 ``REPRO_BENCH_SET``     comma-separated workload names (default: the
-                        representative subset below)
+                        representative subset in
+                        ``repro.exp.bench.DEFAULT_BENCH_SET``)
+``REPRO_BENCH_WORKERS`` engine worker processes (default 1 = serial)
 
 Each figure benchmark writes its regenerated table to
-``benchmarks/out/<name>.txt`` in addition to stdout, so EXPERIMENTS.md
-can be refreshed from the files.
+``benchmarks/out/<name>.txt`` plus machine-readable
+``BENCH_<name>.json``, so EXPERIMENTS.md can be refreshed from the
+files.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
 import pytest
 
-#: Representative subset: covers every sharing-pattern family while
-#: keeping the full `pytest benchmarks/` run to minutes.  Override with
-#: REPRO_BENCH_SET=all for the complete suite.
-DEFAULT_SET = (
-    "fft", "lu_ncb", "ocean_ncp", "radix", "barnes",
-    "bodytrack", "freqmine", "streamcluster", "swaptions",
-)
+from repro.exp.bench import DEFAULT_BENCH_SET, bench_payload
+from repro.exp.drivers import BenchConfig
+from repro.exp.engine import ExperimentEngine
+
+#: Backwards-compatible alias (pre-engine conftest exposed this name).
+DEFAULT_SET = DEFAULT_BENCH_SET
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -38,6 +44,10 @@ def core_count() -> int:
     return int(os.environ.get("REPRO_BENCH_CORES", "16"))
 
 
+def worker_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
 def selected_workloads():
     names = os.environ.get("REPRO_BENCH_SET")
     if not names:
@@ -48,6 +58,21 @@ def selected_workloads():
     return tuple(name.strip() for name in names.split(","))
 
 
+def bench_config() -> BenchConfig:
+    return BenchConfig(benches=selected_workloads(), cores=core_count(),
+                       scale=workload_scale())
+
+
+@pytest.fixture()
+def engine():
+    return ExperimentEngine(worker_count())
+
+
+@pytest.fixture()
+def config():
+    return bench_config()
+
+
 def write_report(name: str, text: str) -> None:
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
@@ -55,6 +80,20 @@ def write_report(name: str, text: str) -> None:
     print(text)
 
 
+def write_bench_report(report, cfg, wall_seconds: float,
+                       workers: int) -> None:
+    """Persist a driver's text table and its BENCH_<name>.json."""
+    write_report(report.txt_name, report.text)
+    payload = bench_payload(report, cfg, wall_seconds, workers)
+    (OUT_DIR / f"BENCH_{report.name}.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
 @pytest.fixture(scope="session")
 def report():
     return write_report
+
+
+@pytest.fixture()
+def bench_report():
+    return write_bench_report

@@ -3,17 +3,26 @@
 Every driver returns structured row data *and* can render itself as a
 text table, so the ``benchmarks/`` harness and the examples share one
 implementation.  The drivers are deterministic for a given seed.
+
+Each figure comes in two halves — ``figN_cells`` builds the
+(workload x configuration) grid, ``figN_assemble`` turns the engine's
+results back into rows — and a convenience wrapper (``figN_...``) that
+runs the grid through an :class:`~repro.exp.engine.ExperimentEngine`
+(serially unless one with workers/cache is passed in).  Row data is
+byte-identical whether the cells ran serially, in a worker pool, or
+came from the result cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..common.params import CORE_CLASSES, SystemParams, table6_system
 from ..common.types import CommitMode
+from ..exp.cells import Cell
+from ..exp.engine import ExperimentEngine
 from ..sim.results import SimResult
-from ..sim.runner import run_workload
 from ..workloads import ALL_WORKLOADS
 from .tables import format_table, geometric_mean
 
@@ -36,6 +45,10 @@ def make_workload(name: str, num_threads: int, scale: float):
     return generator(num_threads=num_threads, scale=scale)
 
 
+def _engine(engine: Optional[ExperimentEngine]) -> ExperimentEngine:
+    return engine if engine is not None else ExperimentEngine()
+
+
 # ------------------------------------------------------------------ Figure 8
 @dataclass
 class Fig8Row:
@@ -46,24 +59,44 @@ class Fig8Row:
     wb_mean_duration: float = 0.0
 
 
-def fig8_writersblock_rates(benches: Sequence[str] = DEFAULT_BENCHES, *,
-                            core_classes: Sequence[str] = ("SLM", "NHM", "HSW"),
-                            num_cores: int = 16, scale: float = 0.5,
-                            check: bool = True) -> List[Fig8Row]:
-    """Figure 8: blocked writes /kstore and uncacheable reads /kload,
-    under OoO commit + WritersBlock, across core classes."""
-    rows: List[Fig8Row] = []
+def fig8_cells(benches: Sequence[str] = DEFAULT_BENCHES, *,
+               core_classes: Sequence[str] = ("SLM", "NHM", "HSW"),
+               num_cores: int = 16, scale: float = 0.5,
+               check: bool = True) -> List[Cell]:
+    cells: List[Cell] = []
     for bench in benches:
         for core_class in core_classes:
             params = table6_system(core_class, num_cores=num_cores,
                                    commit_mode=CommitMode.OOO_WB)
-            result = run_workload(make_workload(bench, num_cores, scale),
-                                  params, check=check)
-            rows.append(Fig8Row(bench, core_class,
-                                result.writes_blocked_per_kilostore,
-                                result.uncacheable_per_kiloload,
-                                result.writersblock_mean_duration))
+            cells.append(Cell(key=f"fig8/{bench}/{core_class}",
+                              workload=bench, num_threads=num_cores,
+                              scale=scale, params=params, check=check))
+    return cells
+
+
+def fig8_assemble(cells: Sequence[Cell],
+                  results: Mapping[str, SimResult]) -> List[Fig8Row]:
+    rows: List[Fig8Row] = []
+    for cell in cells:
+        result = results[cell.key]
+        rows.append(Fig8Row(cell.workload, cell.params.core.name,
+                            result.writes_blocked_per_kilostore,
+                            result.uncacheable_per_kiloload,
+                            result.writersblock_mean_duration))
     return rows
+
+
+def fig8_writersblock_rates(benches: Sequence[str] = DEFAULT_BENCHES, *,
+                            core_classes: Sequence[str] = ("SLM", "NHM", "HSW"),
+                            num_cores: int = 16, scale: float = 0.5,
+                            check: bool = True,
+                            engine: Optional[ExperimentEngine] = None
+                            ) -> List[Fig8Row]:
+    """Figure 8: blocked writes /kstore and uncacheable reads /kload,
+    under OoO commit + WritersBlock, across core classes."""
+    cells = fig8_cells(benches, core_classes=core_classes,
+                       num_cores=num_cores, scale=scale, check=check)
+    return fig8_assemble(cells, _engine(engine).run(cells).results())
 
 
 def fig8_table(rows: Sequence[Fig8Row]) -> str:
@@ -84,30 +117,49 @@ class Fig9Row:
     traffic_ratio: float  # WB / base network flit-hops
 
 
-def fig9_overheads(benches: Sequence[str] = DEFAULT_BENCHES, *,
-                   core_class: str = "SLM", num_cores: int = 16,
-                   scale: float = 0.5, check: bool = True) -> List[Fig9Row]:
-    """Figure 9: WritersBlock protocol overhead vs the base directory
-    protocol, both with in-order commit (should be ~1.0)."""
+def fig9_cells(benches: Sequence[str] = DEFAULT_BENCHES, *,
+               core_class: str = "SLM", num_cores: int = 16,
+               scale: float = 0.5, check: bool = True) -> List[Cell]:
+    cells: List[Cell] = []
+    for bench in benches:
+        for variant, wb in (("base", False), ("wb", True)):
+            params = table6_system(core_class, num_cores=num_cores,
+                                   commit_mode=CommitMode.IN_ORDER,
+                                   writers_block=wb)
+            cells.append(Cell(key=f"fig9/{bench}/{variant}",
+                              workload=bench, num_threads=num_cores,
+                              scale=scale, params=params, check=check))
+    return cells
+
+
+def fig9_assemble(cells: Sequence[Cell],
+                  results: Mapping[str, SimResult]) -> List[Fig9Row]:
+    benches = []
+    for cell in cells:
+        if cell.workload not in benches:
+            benches.append(cell.workload)
     rows: List[Fig9Row] = []
     for bench in benches:
-        base = run_workload(
-            make_workload(bench, num_cores, scale),
-            table6_system(core_class, num_cores=num_cores,
-                          commit_mode=CommitMode.IN_ORDER),
-            check=check)
-        with_wb = run_workload(
-            make_workload(bench, num_cores, scale),
-            table6_system(core_class, num_cores=num_cores,
-                          commit_mode=CommitMode.IN_ORDER,
-                          writers_block=True),
-            check=check)
+        base = results[f"fig9/{bench}/base"]
+        with_wb = results[f"fig9/{bench}/wb"]
         rows.append(Fig9Row(
             bench,
             with_wb.cycles / max(base.cycles, 1),
             with_wb.network_flit_hops / max(base.network_flit_hops, 1),
         ))
     return rows
+
+
+def fig9_overheads(benches: Sequence[str] = DEFAULT_BENCHES, *,
+                   core_class: str = "SLM", num_cores: int = 16,
+                   scale: float = 0.5, check: bool = True,
+                   engine: Optional[ExperimentEngine] = None
+                   ) -> List[Fig9Row]:
+    """Figure 9: WritersBlock protocol overhead vs the base directory
+    protocol, both with in-order commit (should be ~1.0)."""
+    cells = fig9_cells(benches, core_class=core_class, num_cores=num_cores,
+                       scale=scale, check=check)
+    return fig9_assemble(cells, _engine(engine).run(cells).results())
 
 
 def fig9_table(rows: Sequence[Fig9Row]) -> str:
@@ -141,21 +193,45 @@ class Fig10Row:
 FIG10_MODES = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB)
 
 
-def fig10_ooo_commit(benches: Sequence[str] = DEFAULT_BENCHES, *,
-                     core_class: str = "SLM", num_cores: int = 16,
-                     scale: float = 0.5, check: bool = True) -> List[Fig10Row]:
-    """Figure 10: stall breakdown and normalized execution time for
-    in-order commit, safe OoO commit, and OoO commit + WritersBlock."""
+def fig10_cells(benches: Sequence[str] = DEFAULT_BENCHES, *,
+                core_class: str = "SLM", num_cores: int = 16,
+                scale: float = 0.5, check: bool = True) -> List[Cell]:
+    cells: List[Cell] = []
+    for bench in benches:
+        for mode in FIG10_MODES:
+            params = table6_system(core_class, num_cores=num_cores,
+                                   commit_mode=mode)
+            cells.append(Cell(key=f"fig10/{bench}/{mode.value}",
+                              workload=bench, num_threads=num_cores,
+                              scale=scale, params=params, check=check))
+    return cells
+
+
+def fig10_assemble(cells: Sequence[Cell],
+                   results: Mapping[str, SimResult]) -> List[Fig10Row]:
+    benches = []
+    for cell in cells:
+        if cell.workload not in benches:
+            benches.append(cell.workload)
     rows: List[Fig10Row] = []
     for bench in benches:
         row = Fig10Row(bench)
         for mode in FIG10_MODES:
-            params = table6_system(core_class, num_cores=num_cores,
-                                   commit_mode=mode)
-            row.results[mode] = run_workload(
-                make_workload(bench, num_cores, scale), params, check=check)
+            row.results[mode] = results[f"fig10/{bench}/{mode.value}"]
         rows.append(row)
     return rows
+
+
+def fig10_ooo_commit(benches: Sequence[str] = DEFAULT_BENCHES, *,
+                     core_class: str = "SLM", num_cores: int = 16,
+                     scale: float = 0.5, check: bool = True,
+                     engine: Optional[ExperimentEngine] = None
+                     ) -> List[Fig10Row]:
+    """Figure 10: stall breakdown and normalized execution time for
+    in-order commit, safe OoO commit, and OoO commit + WritersBlock."""
+    cells = fig10_cells(benches, core_class=core_class, num_cores=num_cores,
+                        scale=scale, check=check)
+    return fig10_assemble(cells, _engine(engine).run(cells).results())
 
 
 def fig10_time_table(rows: Sequence[Fig10Row]) -> str:

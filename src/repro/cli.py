@@ -10,6 +10,10 @@ Commands
 ``profile WORKLOAD``     wall-clock profile of the simulator itself
 ``fig8`` / ``fig9`` / ``fig10``   regenerate a paper figure
 ``table2`` / ``table6``           regenerate a paper table
+``bench``                regenerate every figure/table through the
+                         parallel experiment engine; writes the text
+                         tables plus machine-readable ``BENCH_*.json``
+                         to ``benchmarks/out/``
 
 ``trace`` and ``profile`` also accept the directed scenarios in
 ``repro.obs.scenarios`` (e.g. ``mp``), which force WritersBlock
@@ -101,6 +105,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table2", help="regenerate paper Table 2")
     sub.add_parser("table6", help="regenerate paper Table 6")
+
+    bench_p = sub.add_parser(
+        "bench", help="regenerate all figures/tables via the experiment "
+                      "engine (text tables + BENCH_*.json)")
+    bench_p.add_argument("--only", default=None,
+                         help="comma-separated driver names "
+                              "(default: all; see --list-drivers)")
+    bench_p.add_argument("--list-drivers", action="store_true",
+                         help="list driver names and exit")
+    bench_p.add_argument("--workers", type=int, default=1,
+                         help="worker processes (<=1 runs serially)")
+    bench_p.add_argument("--timeout", type=float, default=600.0,
+                         help="per-cell timeout in pool mode, seconds")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="smoke configuration: 4 workloads, 4 cores, "
+                              "scale 0.25, output under out/quick/")
+    bench_p.add_argument("--benches", nargs="*", default=None,
+                         help="workload subset for fig8/fig9/fig10")
+    bench_p.add_argument("--cores", type=int, default=16)
+    bench_p.add_argument("--scale", type=float, default=2.0)
+    bench_p.add_argument("--out-dir", default=None,
+                         help="output directory "
+                              "(default benchmarks/out, or "
+                              "benchmarks/out/quick with --quick)")
+    bench_p.add_argument("--no-cache", action="store_true",
+                         help="disable the content-addressed result cache")
+    bench_p.add_argument("--cache-dir", default=None,
+                         help="result cache directory "
+                              "(default $REPRO_CACHE_DIR or .repro-cache)")
     return parser
 
 
@@ -245,6 +278,45 @@ def cmd_table6(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import os
+
+    from .exp.bench import (DEFAULT_BENCH_SET, QUICK_BENCH_SET, QUICK_CORES,
+                            QUICK_SCALE, run_bench)
+    from .exp.drivers import DRIVERS, BenchConfig
+
+    if args.list_drivers:
+        for name in DRIVERS:
+            print(name)
+        return 0
+    names = (args.only.split(",") if args.only else list(DRIVERS))
+    names = [n.strip() for n in names if n.strip()]
+    if args.quick:
+        cfg = BenchConfig(
+            benches=tuple(args.benches) if args.benches else QUICK_BENCH_SET,
+            cores=QUICK_CORES if args.cores == 16 else args.cores,
+            scale=QUICK_SCALE if args.scale == 2.0 else args.scale)
+        out_dir = args.out_dir or "benchmarks/out/quick"
+    else:
+        cfg = BenchConfig(
+            benches=tuple(args.benches) if args.benches is not None
+            else DEFAULT_BENCH_SET,
+            cores=args.cores, scale=args.scale)
+        out_dir = args.out_dir or "benchmarks/out"
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR", ".repro-cache")
+    runs = run_bench(names, cfg, out_dir, workers=args.workers,
+                     timeout=args.timeout, cache_dir=cache_dir, echo=print)
+    total_wall = sum(r.wall_seconds for r in runs)
+    executed = sum(r.report.engine_run.executed_seconds
+                   for r in runs if r.report.engine_run)
+    print(f"\n{len(runs)} drivers in {total_wall:.1f}s wall "
+          f"({executed:.1f}s serial-equivalent) -> {out_dir}")
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -257,6 +329,7 @@ COMMANDS = {
     "fig10": cmd_fig10,
     "table2": cmd_table2,
     "table6": cmd_table6,
+    "bench": cmd_bench,
 }
 
 

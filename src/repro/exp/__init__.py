@@ -1,0 +1,24 @@
+"""Parallel experiment engine: grids, workers, and result caching.
+
+``Cell`` names one point of a (workload x SystemParams) grid;
+``ExperimentEngine`` fans a list of cells out over multiprocessing
+workers (with per-run timeout, retry, and graceful degradation to
+serial); ``ResultCache`` makes unchanged cells free on re-runs by
+content-addressing ``SimResult`` payloads; ``drivers``/``bench`` wire
+every paper figure/table through the engine and emit machine-readable
+``BENCH_<name>.json`` next to the text tables.
+"""
+
+from .cache import ResultCache, code_version
+from .cells import Cell
+from .engine import CellOutcome, EngineRun, ExperimentEngine, execute_cell
+
+__all__ = [
+    "Cell",
+    "CellOutcome",
+    "EngineRun",
+    "ExperimentEngine",
+    "ResultCache",
+    "code_version",
+    "execute_cell",
+]

@@ -1,0 +1,140 @@
+"""``repro bench``: drive every figure/table through the engine.
+
+Writes, per driver, the text table ``benchmarks/out/<txt_name>.txt``
+(byte-identical to what the pytest benchmark harness produces) and a
+machine-readable ``BENCH_<name>.json`` alongside it:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "name": "fig10",
+      "config": {"benches": [...], "cores": 16, "scale": 2.0},
+      "rows": [...],
+      "totals": {"cells": 27, "simulated_cycles": 123, "rows": 10},
+      "wall_clock_seconds": 12.3,
+      "executed_seconds": 45.6,
+      "speedup_vs_serial": 3.7,
+      "engine": {"workers": 4, "sources": {"cache": 0, "pool": 27,
+                 "serial": 0}, "timeouts": 0, "retried": 0,
+                 "degraded": false},
+      "cache": {"hits": 0, "misses": 27, "hit_rate": 0.0},
+      "code_version": "sha256..."
+    }
+
+``executed_seconds`` is the serial-equivalent cost (cache hits count
+their originally recorded execution time), so ``speedup_vs_serial``
+stays honest for both pooled and warm-cache runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .cache import ResultCache, code_version
+from .drivers import DRIVERS, BenchConfig, BenchReport
+from .engine import ExperimentEngine
+
+#: Representative subset: covers every sharing-pattern family while
+#: keeping a full run to minutes (``benchmarks/conftest`` re-exports
+#: this; override with REPRO_BENCH_SET / ``--benches``).
+DEFAULT_BENCH_SET = (
+    "fft", "lu_ncb", "ocean_ncp", "radix", "barnes",
+    "bodytrack", "freqmine", "streamcluster", "swaptions",
+)
+
+#: ``--quick`` smoke configuration: one workload per family, small
+#: scale, 4 cores — minutes of serial-equivalent work, not hours.
+QUICK_BENCH_SET = ("fft", "radix", "streamcluster", "swaptions")
+QUICK_CORES = 4
+QUICK_SCALE = 0.25
+
+
+@dataclass
+class BenchRun:
+    report: BenchReport
+    wall_seconds: float
+    json_path: pathlib.Path
+    txt_path: Optional[pathlib.Path]
+
+
+def bench_payload(report: BenchReport, cfg: BenchConfig,
+                  wall_seconds: float, workers: int) -> Dict:
+    run = report.engine_run
+    payload: Dict = {
+        "schema": "repro-bench/1",
+        "name": report.name,
+        "config": {
+            "benches": list(cfg.benches) if cfg.benches else
+                       list(DEFAULT_BENCH_SET),
+            "cores": cfg.cores,
+            "scale": cfg.scale,
+            "workers": workers,
+        },
+        "rows": report.rows,
+        "totals": report.totals,
+        "wall_clock_seconds": round(wall_seconds, 3),
+        "executed_seconds":
+            round(run.executed_seconds, 3) if run else None,
+        "speedup_vs_serial":
+            (round(run.speedup_vs_serial, 2)
+             if run and run.speedup_vs_serial else None),
+        "engine": ({
+            "workers": run.workers,
+            "sources": run.source_counts(),
+            "timeouts": run.timeouts,
+            "retried": run.retried,
+            "degraded": run.degraded,
+        } if run else None),
+        "cache": ({"hits": run.cache_hits, "misses": run.cache_misses,
+                   "hit_rate": (run.cache_hits
+                                / max(run.cache_hits + run.cache_misses, 1))}
+                  if run else None),
+        "code_version": code_version(),
+    }
+    return payload
+
+
+def run_bench(names: Sequence[str], cfg: BenchConfig, out_dir, *,
+              workers: int = 0, timeout: float = 600.0,
+              cache_dir=None, write_txt: bool = True,
+              echo=None) -> List[BenchRun]:
+    """Run the named drivers (all of them by default) and persist
+    text tables + ``BENCH_<name>.json`` into *out_dir*."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    unknown = [n for n in names if n not in DRIVERS]
+    if unknown:
+        raise KeyError(f"unknown bench drivers {unknown}; "
+                       f"choose from {sorted(DRIVERS)}")
+    runs: List[BenchRun] = []
+    for name in names:
+        engine = ExperimentEngine(workers, timeout=timeout, cache=cache)
+        start = time.perf_counter()
+        report = DRIVERS[name](cfg, engine)
+        wall = time.perf_counter() - start
+        txt_path = None
+        if write_txt:
+            txt_path = out / f"{report.txt_name}.txt"
+            txt_path.write_text(report.text + "\n")
+        json_path = out / f"BENCH_{report.name}.json"
+        payload = bench_payload(report, cfg, wall, workers)
+        json_path.write_text(json.dumps(payload, indent=1, sort_keys=True)
+                             + "\n")
+        runs.append(BenchRun(report, wall, json_path, txt_path))
+        if echo:
+            stats = report.engine_run.stats() if report.engine_run else {}
+            sources = stats.get("sources", {})
+            echo(f"{name:20s} {wall:7.2f}s  "
+                 f"cells={report.totals.get('cells', 0):3d}  "
+                 f"cache={sources.get('cache', 0)}  "
+                 f"pool={sources.get('pool', 0)}  "
+                 f"serial={sources.get('serial', 0)}"
+                 + (f"  speedup={stats['speedup_vs_serial']:.1f}x"
+                    if stats.get("speedup_vs_serial") else ""))
+    return runs

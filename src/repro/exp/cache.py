@@ -1,0 +1,118 @@
+"""Content-addressed result cache for experiment cells.
+
+A cache entry is keyed by the SHA-256 of (cell spec, code version):
+the cell spec pins workload + parameters, and the code version — a
+hash over every ``repro`` source file — conservatively invalidates the
+whole cache when *any* simulator code changes.  Entries store the
+``SimResult.to_dict`` payload plus the wall-clock the original
+execution cost, so warm re-runs are free *and* can still report an
+honest serial-equivalent time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.results import SimResult
+from .cells import Cell
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """SHA-256 over the contents of every ``repro`` source file.
+
+    Computed once per process.  Any edit anywhere in the package busts
+    the cache — coarse, but guarantees a stale simulator can never
+    masquerade as fresh results.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+@dataclass
+class CachedResult:
+    result: SimResult
+    exec_seconds: float
+
+
+class ResultCache:
+    """Directory of ``<sha256>.json`` entries; misses cost nothing."""
+
+    def __init__(self, root, *, version: Optional[str] = None) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.version = version or code_version()
+        self.hits = 0
+        self.misses = 0
+        self.invalid = 0
+        self.stores = 0
+
+    def key_for(self, cell: Cell) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.version.encode())
+        digest.update(b"\0")
+        digest.update(cell.spec_json().encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def load(self, cell: Cell) -> Optional[CachedResult]:
+        path = self._path(self.key_for(cell))
+        try:
+            payload = json.loads(path.read_text())
+            result = SimResult.from_dict(payload["result"])
+            entry = CachedResult(result,
+                                 float(payload.get("exec_seconds", 0.0)))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupted / stale-schema entry: treat as a miss and let the
+            # fresh store overwrite it.
+            self.invalid += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, cell: Cell, result: SimResult,
+              exec_seconds: float) -> None:
+        payload = {
+            "schema": "repro-cache/1",
+            "code_version": self.version,
+            "cell": cell.spec(),
+            "exec_seconds": exec_seconds,
+            "result": result.to_dict(),
+        }
+        path = self._path(self.key_for(cell))
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+        self.stores += 1
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalid": self.invalid,
+            "stores": self.stores,
+            "hit_rate": self.hits / total if total else 0.0,
+        }

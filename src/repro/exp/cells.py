@@ -1,0 +1,88 @@
+"""Grid cells: one named, hashable point of an experiment sweep.
+
+A cell pins everything that determines a simulation's outcome: the
+workload (by registry name, or as explicit per-core traces), the thread
+count and scale fed to the generator, and the full ``SystemParams``
+(which includes the commit mode).  ``spec()`` renders that as a
+canonical JSON-serializable dict — the unit the result cache hashes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..common.params import SystemParams
+from ..core.instruction import Instruction
+
+
+def params_spec(params: SystemParams) -> Dict:
+    """``SystemParams`` as a plain dict (same encoding as
+    ``SimResult.to_dict``: the commit mode becomes its string value)."""
+    payload = dataclasses.asdict(params)
+    payload["commit_mode"] = params.commit_mode.value
+    return payload
+
+
+def _traces_fingerprint(traces) -> str:
+    """Stable content hash of explicit per-core traces."""
+    digest = hashlib.sha256()
+    for trace in traces:
+        for instr in trace:
+            digest.update(repr(dataclasses.astuple(instr)).encode())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of a (workload x configuration) grid.
+
+    ``workload`` names a generator in ``repro.workloads.ALL_WORKLOADS``
+    built with (``num_threads``, ``scale``); alternatively ``traces``
+    carries an explicit program (then ``workload`` is just a label and
+    the cache keys on the trace contents instead).
+    """
+
+    key: str
+    workload: str
+    num_threads: int
+    scale: float
+    params: SystemParams
+    check: bool = True
+    traces: Optional[Tuple[Tuple[Instruction, ...], ...]] = None
+
+    @staticmethod
+    def from_traces(key: str, label: str, traces, params: SystemParams, *,
+                    check: bool = True) -> "Cell":
+        frozen = tuple(tuple(trace) for trace in traces)
+        return Cell(key=key, workload=label, num_threads=len(frozen),
+                    scale=0.0, params=params, check=check, traces=frozen)
+
+    def spec(self) -> Dict:
+        """Canonical description of everything that determines the
+        result (the cache-key payload; excludes the display ``key``)."""
+        spec: Dict = {
+            "workload": self.workload,
+            "num_threads": self.num_threads,
+            "scale": self.scale,
+            "check": self.check,
+            "params": params_spec(self.params),
+        }
+        if self.traces is not None:
+            spec["traces_sha256"] = _traces_fingerprint(self.traces)
+        return spec
+
+    def spec_json(self) -> str:
+        return json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+
+
+def cell_keys(cells) -> List[str]:
+    keys = [cell.key for cell in cells]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        raise ValueError(f"duplicate cell keys: {dupes}")
+    return keys

@@ -1,0 +1,485 @@
+"""Engine-driven drivers for every paper figure/table.
+
+Each driver builds its (workload x configuration) grid, resolves it
+through the :class:`~repro.exp.engine.ExperimentEngine` it is handed
+(cells it doesn't need the engine for — pure enumeration or litmus
+sweeps — run inline), and returns a :class:`BenchReport`: the text
+table (identical to what ``pytest benchmarks/`` historically wrote to
+``benchmarks/out/<name>.txt``) plus machine-readable row dicts for
+``BENCH_<name>.json``.
+
+Shape *assertions* (the paper claims) stay in ``benchmarks/bench_*.py``
+— drivers only generate, so ``repro bench --quick`` can run reduced
+configurations without tripping full-scale expectations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import experiments
+from ..analysis.tables import format_table
+from ..common.params import NetworkParams, table6_system
+from ..common.types import CommitMode
+from .cells import Cell
+from .engine import EngineRun, ExperimentEngine
+
+
+@dataclass
+class BenchConfig:
+    """Knobs shared by all drivers (mirrors ``benchmarks/conftest``)."""
+
+    benches: Tuple[str, ...] = ()
+    cores: int = 16
+    scale: float = 2.0
+
+    def bench_list(self, default: Sequence[str]) -> Tuple[str, ...]:
+        return tuple(self.benches) if self.benches else tuple(default)
+
+
+@dataclass
+class BenchReport:
+    """One driver's output: human table + machine rows + run stats."""
+
+    name: str
+    txt_name: str
+    text: str
+    rows: List[Dict] = field(default_factory=list)
+    totals: Dict = field(default_factory=dict)
+    engine_run: Optional[EngineRun] = None
+
+    def finish_totals(self) -> None:
+        if self.engine_run is not None:
+            results = self.engine_run.results()
+            self.totals.setdefault("cells", len(results))
+            self.totals.setdefault(
+                "simulated_cycles",
+                sum(r.cycles for r in results.values()))
+        self.totals.setdefault("rows", len(self.rows))
+
+
+def _grid_report(name: str, txt_name: str, cfg: BenchConfig,
+                 engine: ExperimentEngine, cells: List[Cell],
+                 assemble) -> BenchReport:
+    run = engine.run(cells)
+    text, rows = assemble(cells, run.results())
+    report = BenchReport(name=name, txt_name=txt_name, text=text,
+                         rows=rows, engine_run=run)
+    report.finish_totals()
+    return report
+
+
+# ------------------------------------------------------------------ Figure 8
+def fig8_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
+    cells = experiments.fig8_cells(
+        cfg.bench_list(experiments.DEFAULT_BENCHES),
+        num_cores=cfg.cores, scale=cfg.scale)
+
+    def assemble(cells, results):
+        rows = experiments.fig8_assemble(cells, results)
+        return experiments.fig8_table(rows), [dataclasses.asdict(r)
+                                              for r in rows]
+
+    return _grid_report("fig8", "fig8_writersblock_rates", cfg, engine,
+                        cells, assemble)
+
+
+# ------------------------------------------------------------------ Figure 9
+def fig9_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
+    cells = experiments.fig9_cells(
+        cfg.bench_list(experiments.DEFAULT_BENCHES),
+        num_cores=cfg.cores, scale=cfg.scale)
+
+    def assemble(cells, results):
+        rows = experiments.fig9_assemble(cells, results)
+        return experiments.fig9_table(rows), [dataclasses.asdict(r)
+                                              for r in rows]
+
+    return _grid_report("fig9", "fig9_overheads", cfg, engine, cells,
+                        assemble)
+
+
+# ----------------------------------------------------------------- Figure 10
+def fig10_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
+    cells = experiments.fig10_cells(
+        cfg.bench_list(experiments.DEFAULT_BENCHES),
+        num_cores=cfg.cores, scale=cfg.scale)
+
+    def assemble(cells, results):
+        rows = experiments.fig10_assemble(cells, results)
+        headline = experiments.fig10_headline(rows)
+        text = "\n\n".join([
+            experiments.fig10_time_table(rows),
+            experiments.fig10_stall_table(rows),
+            "Headline (§5.2): "
+            f"OoO+WB over in-order: avg "
+            f"{headline['avg_improvement_over_inorder_pct']:.1f}% "
+            f"(max {headline['max_improvement_over_inorder_pct']:.1f}%); "
+            f"over safe OoO: avg "
+            f"{headline['avg_improvement_over_ooo_pct']:.1f}% "
+            f"(max {headline['max_improvement_over_ooo_pct']:.1f}%)",
+        ])
+        row_dicts = []
+        for row in rows:
+            row_dicts.append({
+                "workload": row.workload,
+                "cycles": {m.value: row.results[m].cycles
+                           for m in experiments.FIG10_MODES},
+                "norm_time": {m.value: row.norm_time(m)
+                              for m in experiments.FIG10_MODES},
+                "stalls": {m.value: {reason: row.results[m].stall_fraction(reason)
+                                     for reason in ("sq", "lq", "rob", "other")}
+                           for m in experiments.FIG10_MODES},
+                "consistency_squashes": {
+                    m.value: row.results[m].consistency_squashes
+                    for m in experiments.FIG10_MODES},
+            })
+        row_dicts.append({"headline": headline})
+        return text, row_dicts
+
+    return _grid_report("fig10", "fig10_ooo_commit", cfg, engine, cells,
+                        assemble)
+
+
+# --------------------------------------------------------- Tables 1 and 3
+def table1_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
+    """Litmus sweeps are sub-second cells; they run inline."""
+    from ..consistency.litmus import standard_suite, sweep_litmus
+
+    modes = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB)
+    delays = ((0, 0), (0, 40), (40, 0), (0, 80), (20, 60))
+    lines = []
+    rows = []
+    for test in standard_suite():
+        cores = 16 if len(test.threads) > 4 else 4
+        for mode in modes:
+            params = table6_system("SLM", num_cores=cores, commit_mode=mode)
+            outcomes = sweep_litmus(test, params, delays=delays)
+            forbidden = sum(o.forbidden_hit for o in outcomes)
+            violations = sum(o.checker_violation is not None
+                             for o in outcomes)
+            sample = outcomes[0].registers
+            lines.append(f"{test.name:24s} {mode.value:9s} "
+                         f"clean over {len(outcomes)} timings; "
+                         f"e.g. {sample}")
+            rows.append({"test": test.name, "mode": mode.value,
+                         "timings": len(outcomes), "forbidden": forbidden,
+                         "checker_violations": violations,
+                         "sample_registers": dict(sample)})
+    report = BenchReport(name="table1", txt_name="table1_table3_litmus",
+                         text="\n".join(lines), rows=rows)
+    report.finish_totals()
+    return report
+
+
+# ------------------------------------------------------------------- Table 2
+def table2_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
+    from ..consistency.litmus import (SimpleOp, enumerate_interleavings,
+                                      legal_tso_outcomes)
+
+    reader = [SimpleOp(0, "ld", "y"), SimpleOp(0, "ld", "x")]
+    writer = [SimpleOp(1, "st", "x"), SimpleOp(1, "st", "y")]
+    interleavings = enumerate_interleavings([reader, writer])
+    outcomes = legal_tso_outcomes([reader, writer])
+    lines = [f"{len(interleavings)} interleavings, "
+             f"{len(outcomes)} distinct outcomes:"]
+    rows = []
+    for i, (order, loads) in enumerate(interleavings, start=1):
+        ops = " -> ".join(f"t{op.thread}:{op.kind} {op.var}" for op in order)
+        lines.append(f"({i}) {ops}   loads={loads}")
+        rows.append({"interleaving": i, "order": ops, "loads": dict(loads)})
+    pairs = sorted({(o["t0:ld y"], o["t0:ld x"]) for o in outcomes})
+    lines.append(f"legal (ld y, ld x) outcomes: {pairs}")
+    rows.append({"legal_outcomes": [list(p) for p in pairs]})
+    report = BenchReport(name="table2", txt_name="table2_interleavings",
+                         text="\n".join(lines), rows=rows)
+    report.finish_totals()
+    return report
+
+
+# ------------------------------------------------------------------- Table 6
+def table6_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
+    from ..common.params import CORE_CLASSES
+
+    rows = []
+    for name, core in CORE_CLASSES.items():
+        rows.append({"class": name, "issue_width": core.issue_width,
+                     "iq": core.iq_entries, "rob": core.rob_entries,
+                     "lq": core.lq_entries, "sq": core.sq_entries,
+                     "sb": core.sb_entries, "ldt": core.ldt_entries})
+    report = BenchReport(name="table6", txt_name="table6_config",
+                         text=experiments.table6_text(), rows=rows)
+    report.finish_totals()
+    return report
+
+
+# ------------------------------------------------------------ LQ-depth sweep
+SWEEP_LQ_SIZES = (6, 10, 16, 24, 48)
+SWEEP_LQ_BENCH = "streamcluster"
+
+
+def sweep_lq_driver(cfg: BenchConfig, engine: ExperimentEngine
+                    ) -> BenchReport:
+    modes = (CommitMode.IN_ORDER, CommitMode.OOO_WB)
+    cells = []
+    for lq in SWEEP_LQ_SIZES:
+        for mode in modes:
+            params = table6_system("NHM", num_cores=cfg.cores,
+                                   commit_mode=mode)
+            core = dataclasses.replace(params.core, lq_entries=lq)
+            params = dataclasses.replace(params, core=core)
+            cells.append(Cell(key=f"sweep_lq/{lq}/{mode.value}",
+                              workload=SWEEP_LQ_BENCH,
+                              num_threads=cfg.cores, scale=cfg.scale,
+                              params=params))
+
+    def assemble(cells, results):
+        table_rows = []
+        rows = []
+        for lq in SWEEP_LQ_SIZES:
+            inorder = results[f"sweep_lq/{lq}/{CommitMode.IN_ORDER.value}"]
+            wb = results[f"sweep_lq/{lq}/{CommitMode.OOO_WB.value}"]
+            advantage = (100.0 * (inorder.cycles - wb.cycles)
+                         / inorder.cycles)
+            table_rows.append((lq, inorder.cycles, wb.cycles, advantage))
+            rows.append({"lq_entries": lq, "inorder_cycles": inorder.cycles,
+                         "ooo_wb_cycles": wb.cycles,
+                         "wb_advantage_pct": advantage})
+        text = format_table(
+            ["LQ entries", "in-order cycles", "OoO+WB cycles",
+             "WB advantage %"],
+            table_rows,
+            title=f"LQ-depth sensitivity ({SWEEP_LQ_BENCH}, NHM-class ROB)")
+        return text, rows
+
+    return _grid_report("sweep_lq", "sweep_lq", cfg, engine, cells,
+                        assemble)
+
+
+# ------------------------------------------------------------ ECL in-order
+ECL_BENCHES = ("fft", "barnes", "freqmine", "streamcluster", "swaptions")
+
+
+def ecl_inorder_driver(cfg: BenchConfig, engine: ExperimentEngine
+                       ) -> BenchReport:
+    variants = (("inorder", False), ("inorder-ecl", True))
+    cells = []
+    for bench in ECL_BENCHES:
+        for core_type, wb in variants:
+            params = table6_system("SLM", num_cores=cfg.cores)
+            params = dataclasses.replace(params, core_type=core_type,
+                                         writers_block=wb)
+            cells.append(Cell(key=f"ecl/{bench}/{core_type}",
+                              workload=bench, num_threads=cfg.cores,
+                              scale=cfg.scale, params=params))
+
+    def assemble(cells, results):
+        table_rows = []
+        rows = []
+        for bench in ECL_BENCHES:
+            inorder = results[f"ecl/{bench}/inorder"]
+            ecl = results[f"ecl/{bench}/inorder-ecl"]
+            speedup = inorder.cycles / ecl.cycles
+            table_rows.append((bench, inorder.cycles, ecl.cycles, speedup))
+            rows.append({"workload": bench,
+                         "inorder_cycles": inorder.cycles,
+                         "ecl_cycles": ecl.cycles, "speedup": speedup})
+        text = format_table(
+            ["workload", "blocking in-order", "ECL + WritersBlock",
+             "speedup"],
+            table_rows,
+            title="§1 use case: Early Commit of Loads on in-order cores")
+        return text, rows
+
+    return _grid_report("ecl_inorder", "ecl_inorder", cfg, engine, cells,
+                        assemble)
+
+
+# --------------------------------------------------------- LDT capacity
+LDT_BENCHES = ("freqmine", "streamcluster")
+LDT_SIZES = (1, 2, 8, 32, 128)
+
+
+def ablation_ldt_driver(cfg: BenchConfig, engine: ExperimentEngine
+                        ) -> BenchReport:
+    cells = []
+    for bench in LDT_BENCHES:
+        for size in LDT_SIZES:
+            params = table6_system("SLM", num_cores=cfg.cores,
+                                   commit_mode=CommitMode.OOO_WB)
+            core = dataclasses.replace(params.core, ldt_entries=size)
+            params = dataclasses.replace(params, core=core)
+            cells.append(Cell(key=f"ldt/{bench}/{size}", workload=bench,
+                              num_threads=cfg.cores, scale=cfg.scale,
+                              params=params))
+
+    def assemble(cells, results):
+        table_rows = []
+        rows = []
+        for bench in LDT_BENCHES:
+            by_size = {size: results[f"ldt/{bench}/{size}"]
+                       for size in LDT_SIZES}
+            for size in LDT_SIZES:
+                result = by_size[size]
+                ratio = result.cycles / by_size[32].cycles
+                exports = result.counter("core.ldt_exports")
+                table_rows.append((bench, size, result.cycles, exports,
+                                   ratio))
+                rows.append({"workload": bench, "ldt_entries": size,
+                             "cycles": result.cycles,
+                             "ldt_exports": exports,
+                             "time_vs_ldt32": ratio})
+        text = format_table(
+            ["workload", "LDT entries", "cycles", "lockdown exports",
+             "time vs LDT=32"],
+            table_rows, title="Ablation §4.2: LDT capacity sweep")
+        return text, rows
+
+    return _grid_report("ablation_ldt", "ablation_ldt", cfg, engine, cells,
+                        assemble)
+
+
+# --------------------------------------------------- eviction policy
+EVICTION_BENCHES = ("fft", "ocean_ncp", "streamcluster", "barnes")
+
+
+def ablation_evictions_driver(cfg: BenchConfig, engine: ExperimentEngine
+                              ) -> BenchReport:
+    cells = []
+    for bench in EVICTION_BENCHES:
+        for silent in (True, False):
+            params = table6_system("SLM", num_cores=cfg.cores,
+                                   commit_mode=CommitMode.OOO)
+            # Shrink the private hierarchy so capacity evictions of
+            # shared lines actually happen (the full-size 128KB L2
+            # never evicts under these working sets).
+            cache = dataclasses.replace(params.cache,
+                                        l1_sets=4, l1_ways=4,
+                                        l2_sets=8, l2_ways=4,
+                                        silent_shared_evictions=silent)
+            params = dataclasses.replace(params, cache=cache)
+            variant = "silent" if silent else "nonsilent"
+            cells.append(Cell(key=f"evict/{bench}/{variant}",
+                              workload=bench, num_threads=cfg.cores,
+                              scale=cfg.scale, params=params))
+
+    def assemble(cells, results):
+        table_rows = []
+        rows = []
+        for bench in EVICTION_BENCHES:
+            silent = results[f"evict/{bench}/silent"]
+            loud = results[f"evict/{bench}/nonsilent"]
+            ratio = (silent.network_flit_hops
+                     / max(loud.network_flit_hops, 1))
+            table_rows.append((bench, ratio, silent.consistency_squashes,
+                               loud.consistency_squashes))
+            rows.append({"workload": bench,
+                         "traffic_silent_over_nonsilent": ratio,
+                         "squashes_silent": silent.consistency_squashes,
+                         "squashes_nonsilent": loud.consistency_squashes})
+        text = format_table(
+            ["workload", "traffic silent/non-silent",
+             "squashes (silent)", "squashes (non-silent)"],
+            table_rows, title="Ablation §3.8: shared-line eviction policy")
+        return text, rows
+
+    return _grid_report("ablation_evictions", "ablation_evictions", cfg,
+                        engine, cells, assemble)
+
+
+# ---------------------------------------------------- network contention
+NETWORK_BENCHES = ("fft", "streamcluster", "radix")
+
+
+def ablation_network_driver(cfg: BenchConfig, engine: ExperimentEngine
+                            ) -> BenchReport:
+    cells = []
+    for bench in NETWORK_BENCHES:
+        for contention in (True, False):
+            for wb in (False, True):
+                params = table6_system(
+                    "SLM", num_cores=cfg.cores,
+                    commit_mode=CommitMode.OOO_WB if wb else CommitMode.OOO)
+                params = dataclasses.replace(
+                    params,
+                    network=NetworkParams(model_contention=contention))
+                variant = (f"{'contended' if contention else 'free'}/"
+                           f"{'wb' if wb else 'ooo'}")
+                cells.append(Cell(key=f"net/{bench}/{variant}",
+                                  workload=bench, num_threads=cfg.cores,
+                                  scale=cfg.scale, params=params))
+
+    def assemble(cells, results):
+        table_rows = []
+        rows = []
+        for bench in NETWORK_BENCHES:
+            cycles = {(contention, wb):
+                      results[f"net/{bench}/"
+                              f"{'contended' if contention else 'free'}/"
+                              f"{'wb' if wb else 'ooo'}"].cycles
+                      for contention in (True, False)
+                      for wb in (False, True)}
+            slowdown = cycles[(True, True)] / cycles[(False, True)]
+            wb_contended = cycles[(True, True)] / cycles[(True, False)]
+            wb_free = cycles[(False, True)] / cycles[(False, False)]
+            table_rows.append((bench, slowdown, wb_contended, wb_free))
+            rows.append({"workload": bench,
+                         "contention_slowdown": slowdown,
+                         "wb_over_ooo_contended": wb_contended,
+                         "wb_over_ooo_free": wb_free})
+        text = format_table(
+            ["workload", "contention slowdown",
+             "WB/OoO (contended)", "WB/OoO (contention-free)"],
+            table_rows, title="Ablation: mesh link-contention model")
+        return text, rows
+
+    return _grid_report("ablation_network", "ablation_network", cfg, engine,
+                        cells, assemble)
+
+
+# ------------------------------------------------------- unsafe commit
+def ablation_unsafe_driver(cfg: BenchConfig, engine: ExperimentEngine
+                           ) -> BenchReport:
+    from ..consistency.litmus import run_litmus, table1_test
+
+    delay_grid = [(d0, d1) for d0 in (0, 20, 40) for d1 in (0, 30, 60, 90)]
+    test = table1_test()
+    lines = []
+    rows = []
+    for mode in (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB,
+                 CommitMode.OOO_UNSAFE):
+        params = table6_system("SLM", num_cores=4, commit_mode=mode)
+        violations = 0
+        forbidden = 0
+        for delays in delay_grid:
+            outcome = run_litmus(test, params, extra_delays=delays)
+            violations += outcome.checker_violation is not None
+            forbidden += outcome.forbidden_hit
+        lines.append(f"{mode.value:10s} forbidden={forbidden:2d}/"
+                     f"{len(delay_grid)} checker_violations={violations:2d}")
+        rows.append({"mode": mode.value, "forbidden": forbidden,
+                     "timings": len(delay_grid),
+                     "checker_violations": violations})
+    report = BenchReport(name="ablation_unsafe", txt_name="ablation_unsafe",
+                         text="\n".join(lines), rows=rows)
+    report.finish_totals()
+    return report
+
+
+#: Driver registry in canonical (report) order.
+DRIVERS: Dict[str, Callable[[BenchConfig, ExperimentEngine], BenchReport]] = {
+    "fig8": fig8_driver,
+    "fig9": fig9_driver,
+    "fig10": fig10_driver,
+    "table1": table1_driver,
+    "table2": table2_driver,
+    "table6": table6_driver,
+    "sweep_lq": sweep_lq_driver,
+    "ecl_inorder": ecl_inorder_driver,
+    "ablation_ldt": ablation_ldt_driver,
+    "ablation_evictions": ablation_evictions_driver,
+    "ablation_network": ablation_network_driver,
+    "ablation_unsafe": ablation_unsafe_driver,
+}

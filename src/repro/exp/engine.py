@@ -1,0 +1,243 @@
+"""The parallel experiment engine.
+
+``ExperimentEngine.run(cells)`` resolves every cell of a grid to a
+``SimResult``, in this order of preference:
+
+1. **cache** — a ``ResultCache`` hit (free);
+2. **pool** — a ``multiprocessing`` worker (``workers > 1``), guarded
+   by a per-run timeout; timed-out or crashed cells are retried;
+3. **serial** — in-process execution, which is also the graceful
+   degradation path whenever a pool cannot be created (or keeps
+   failing) and the default for ``workers <= 1``.
+
+Determinism: every result — whichever path produced it — is normalized
+through the ``SimResult.to_json`` round-trip before it is returned, so
+a cell run in a worker, serially, or replayed from cache yields
+byte-identical row data for a given seed.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.results import SimResult
+from ..sim.runner import run_traces, run_workload
+from .cache import ResultCache
+from .cells import Cell, cell_keys
+
+
+def execute_cell(cell: Cell) -> SimResult:
+    """Run one cell's simulation (live, un-normalized result)."""
+    if cell.traces is not None:
+        traces = [list(trace) for trace in cell.traces]
+        return run_traces(traces, cell.params, check=cell.check)
+    from ..workloads import ALL_WORKLOADS
+
+    workload = ALL_WORKLOADS[cell.workload](num_threads=cell.num_threads,
+                                            scale=cell.scale)
+    return run_workload(workload, cell.params, check=cell.check)
+
+
+def _worker_run(cell: Cell):
+    """Pool entry point: ship the normalized payload, not the object
+    (the execution log can be huge and must not affect determinism),
+    plus the worker-side execution time — queue wait must not count
+    toward serial-equivalent cost."""
+    t0 = time.perf_counter()
+    payload = execute_cell(cell).to_json()
+    return payload, time.perf_counter() - t0
+
+
+def _normalized(payload: str) -> SimResult:
+    return SimResult.from_dict(json.loads(payload))
+
+
+@dataclass
+class CellOutcome:
+    """How one cell was resolved."""
+
+    cell: Cell
+    result: SimResult
+    source: str  # "cache" | "pool" | "serial"
+    #: Wall-clock the execution cost.  For cache hits this is the
+    #: recorded cost of the *original* execution, so serial-equivalent
+    #: time stays meaningful on warm runs.
+    exec_seconds: float
+    attempts: int
+
+
+@dataclass
+class EngineRun:
+    """One ``ExperimentEngine.run`` invocation: outcomes + statistics."""
+
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    timeouts: int = 0
+    retried: int = 0
+    degraded: bool = False
+
+    def results(self) -> Dict[str, SimResult]:
+        return {o.cell.key: o.result for o in self.outcomes}
+
+    @property
+    def executed_seconds(self) -> float:
+        """Serial-equivalent cost: sum of per-cell execution times
+        (cache hits contribute their originally recorded cost)."""
+        return sum(o.exec_seconds for o in self.outcomes)
+
+    @property
+    def speedup_vs_serial(self) -> Optional[float]:
+        if self.wall_seconds <= 0:
+            return None
+        return self.executed_seconds / self.wall_seconds
+
+    def source_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {"cache": 0, "pool": 0, "serial": 0}
+        for outcome in self.outcomes:
+            counts[outcome.source] = counts.get(outcome.source, 0) + 1
+        return counts
+
+    def stats(self) -> dict:
+        return {
+            "cells": len(self.outcomes),
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "executed_seconds": self.executed_seconds,
+            "speedup_vs_serial": self.speedup_vs_serial,
+            "sources": self.source_counts(),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "timeouts": self.timeouts,
+            "retried": self.retried,
+            "degraded": self.degraded,
+        }
+
+
+class ExperimentEngine:
+    """Fans experiment cells out over workers, with caching on top.
+
+    ``workers <= 1`` runs serially (no processes).  ``timeout`` bounds
+    each pooled run; a cell that times out or whose worker dies is
+    retried — up to ``retries`` times in a fresh attempt, then once
+    more serially in-process, which is also where deterministic
+    simulator errors surface with a clean traceback.
+    """
+
+    def __init__(self, workers: int = 0, *, timeout: float = 600.0,
+                 retries: int = 1, cache: Optional[ResultCache] = None
+                 ) -> None:
+        self.workers = max(int(workers), 0)
+        self.timeout = timeout
+        self.retries = max(int(retries), 0)
+        self.cache = cache
+
+    # --------------------------------------------------------------- public
+    def run(self, cells: Sequence[Cell]) -> EngineRun:
+        cell_keys(cells)  # reject duplicate keys up front
+        start = time.perf_counter()
+        run = EngineRun(workers=self.workers)
+        resolved: Dict[str, CellOutcome] = {}
+
+        pending: List[Cell] = []
+        for cell in cells:
+            hit = self.cache.load(cell) if self.cache else None
+            if hit is not None:
+                resolved[cell.key] = CellOutcome(
+                    cell, hit.result, "cache", hit.exec_seconds, 0)
+                run.cache_hits += 1
+            else:
+                pending.append(cell)
+                if self.cache:
+                    run.cache_misses += 1
+
+        attempts = {cell.key: 0 for cell in pending}
+        for round_no in range(self.retries + 1):
+            if not pending:
+                break
+            if round_no > 0:
+                run.retried += len(pending)
+            if self.workers > 1 and len(pending) > 1:
+                pending = self._run_pool(pending, attempts, resolved, run)
+            else:
+                pending = self._run_serial(pending, attempts, resolved, run)
+        if pending:  # last resort: serial, so errors raise with context
+            run.retried += len(pending)
+            leftover = self._run_serial(pending, attempts, resolved, run)
+            assert not leftover
+
+        run.outcomes = [resolved[cell.key] for cell in cells]
+        run.wall_seconds = time.perf_counter() - start
+        return run
+
+    # -------------------------------------------------------------- internal
+    def _record(self, run: EngineRun, resolved, cell: Cell, payload: str,
+                source: str, exec_seconds: float, attempts: int) -> None:
+        result = _normalized(payload)
+        resolved[cell.key] = CellOutcome(cell, result, source, exec_seconds,
+                                         attempts)
+        if self.cache:
+            self.cache.store(cell, result, exec_seconds)
+
+    def _run_serial(self, cells: List[Cell], attempts, resolved,
+                    run: EngineRun) -> List[Cell]:
+        for cell in cells:
+            attempts[cell.key] += 1
+            t0 = time.perf_counter()
+            payload = execute_cell(cell).to_json()
+            self._record(run, resolved, cell, payload, "serial",
+                         time.perf_counter() - t0, attempts[cell.key])
+        return []
+
+    def _run_pool(self, cells: List[Cell], attempts, resolved,
+                  run: EngineRun) -> List[Cell]:
+        """One pool round; returns the cells that still need a run."""
+        leftover: List[Cell] = []
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(cells)))
+        except (OSError, ImportError, ValueError):
+            run.degraded = True
+            return cells
+        futures = {}
+        broken = False
+        try:
+            for cell in cells:
+                attempts[cell.key] += 1
+                futures[pool.submit(_worker_run, cell)] = cell
+            for future, cell in futures.items():
+                try:
+                    payload, exec_seconds = future.result(
+                        timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    run.timeouts += 1
+                    future.cancel()
+                    leftover.append(cell)
+                    continue
+                except concurrent.futures.process.BrokenProcessPool:
+                    broken = True
+                    break
+                except KeyboardInterrupt:
+                    raise
+                except Exception:
+                    # Deterministic simulation error: the serial retry
+                    # re-raises it with a clean traceback.
+                    leftover.append(cell)
+                    continue
+                self._record(run, resolved, cell, payload, "pool",
+                             exec_seconds, attempts[cell.key])
+        finally:
+            # Don't block on stragglers we already gave up on (their
+            # watchdog-bounded simulations finish on their own).
+            pool.shutdown(wait=not (leftover or broken),
+                          cancel_futures=True)
+        if broken:
+            run.degraded = True
+            done = set(resolved)
+            leftover = [c for c in cells if c.key not in done]
+        return leftover

@@ -150,7 +150,12 @@ class SimResult:
         reconstructed result carries an empty log and no span objects —
         everything in :meth:`to_dict` round-trips exactly.
         """
-        payload = json.loads(text)
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output (the experiment
+        engine's normalization/caching unit)."""
         return cls(
             params=system_params_from_dict(payload["params"]),
             cycles=payload["cycles"],

@@ -64,10 +64,27 @@ def run_workload(workload, params: Optional[SystemParams] = None, *,
 
 def compare_commit_modes(workload, base_params: SystemParams,
                          modes: Iterable[CommitMode], *,
-                         check: bool = True) -> Dict[CommitMode, SimResult]:
-    """Run *workload* once per commit mode (paper Figure 10 setup)."""
-    results: Dict[CommitMode, SimResult] = {}
-    for mode in modes:
-        params = base_params.with_commit(mode)
-        results[mode] = run_workload(workload, params, check=check)
-    return results
+                         check: bool = True,
+                         engine=None) -> Dict[CommitMode, SimResult]:
+    """Run *workload* once per commit mode (paper Figure 10 setup).
+
+    Routed through the experiment engine (serial unless an
+    :class:`~repro.exp.engine.ExperimentEngine` with workers and/or a
+    cache is passed), shipping the workload's explicit traces so custom
+    programs work too.  Mode results are engine-normalized: byte-stable
+    across serial, pooled, and cache-replay execution.
+    """
+    from ..exp.cells import Cell
+    from ..exp.engine import ExperimentEngine
+
+    modes = list(modes)
+    cells = [
+        Cell.from_traces(f"compare/{workload.name}/{mode.value}",
+                         workload.name, workload.traces,
+                         base_params.with_commit(mode), check=check)
+        for mode in modes
+    ]
+    engine = engine if engine is not None else ExperimentEngine()
+    results = engine.run(cells).results()
+    return {mode: results[f"compare/{workload.name}/{mode.value}"]
+            for mode in modes}

@@ -133,3 +133,45 @@ def neighbour_partition(addrs: Sequence[int], tid: int, num_threads: int,
                         offset: int = 1) -> List[int]:
     """A neighbouring thread's partition (stencil boundary exchange)."""
     return partition(addrs, (tid + offset) % num_threads, num_threads)
+
+
+# ------------------------------------------------- differential fuzzing
+def random_shared_program(seed: int, *, num_threads: int = 2,
+                          max_ops: int = 5, num_locations: int = 3,
+                          p_store: float = 0.4, p_atomic: float = 0.15):
+    """Small racy straight-line program over a few shared locations.
+
+    Returns abstract ``(kind, loc, payload)`` tuples — ``("ld", loc,
+    reg)``, ``("st", loc, value)``, or ``("tas", loc, reg)`` — so the
+    same program can be lowered onto the cycle-level simulator *and*
+    onto the operational x86-TSO reference machine
+    (:mod:`repro.consistency.operational`).  ``tas`` is the one atomic
+    both worlds model identically (old value into ``reg``, memory
+    becomes 1); store values are globally unique and never 1, so every
+    load observation discriminates exactly one writer.
+
+    Deterministic in *seed*: the differential fuzz battery
+    (``tests/integration/test_differential_fuzz.py``) replays failures
+    by seed alone.
+    """
+    rng = random.Random(0xD1FF ^ (seed * 2_654_435_761))
+    locs = [f"v{i}" for i in range(num_locations)]
+    value = 2  # stores write 2, 3, ... (1 is reserved for tas)
+    reg = 0
+    threads = []
+    for __ in range(num_threads):
+        ops = []
+        for __ in range(rng.randint(1, max_ops)):
+            loc = rng.choice(locs)
+            roll = rng.random()
+            if roll < p_atomic:
+                ops.append(("tas", loc, f"r{reg}"))
+                reg += 1
+            elif roll < p_atomic + p_store:
+                ops.append(("st", loc, value))
+                value += 1
+            else:
+                ops.append(("ld", loc, f"r{reg}"))
+                reg += 1
+        threads.append(ops)
+    return threads

@@ -1,0 +1,20 @@
+"""Suite-wide pytest options.
+
+``--slow`` widens the randomized batteries (differential fuzz, liveness
+pressure sweeps) beyond their tier-1 budgets; ``REPRO_FUZZ_COUNT``
+overrides the differential-fuzz program count directly (CI uses a
+reduced battery).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow", action="store_true", default=False,
+        help="run the extended randomized batteries (many more seeds)")
+
+
+@pytest.fixture
+def slow(request):
+    return request.config.getoption("--slow")

@@ -1,0 +1,63 @@
+"""``run_bench``: files written, payload schema, cache behaviour."""
+
+import json
+
+import pytest
+
+from repro.exp.bench import (QUICK_BENCH_SET, QUICK_CORES, QUICK_SCALE,
+                             run_bench)
+from repro.exp.drivers import DRIVERS, BenchConfig
+
+QUICK_CFG = BenchConfig(benches=QUICK_BENCH_SET, cores=QUICK_CORES,
+                        scale=QUICK_SCALE)
+
+
+def test_unknown_driver_rejected(tmp_path):
+    with pytest.raises(KeyError, match="unknown bench drivers"):
+        run_bench(["no_such_driver"], QUICK_CFG, tmp_path)
+
+
+def test_writes_txt_and_json(tmp_path):
+    runs = run_bench(["table2", "table6"], QUICK_CFG, tmp_path)
+    assert [(r.report.name) for r in runs] == ["table2", "table6"]
+    for run in runs:
+        assert run.txt_path.exists()
+        assert run.txt_path.read_text().rstrip("\n") == run.report.text
+        payload = json.loads(run.json_path.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["name"] == run.report.name
+        assert payload["rows"] == run.report.rows
+        assert payload["config"]["cores"] == QUICK_CORES
+        assert payload["totals"]["rows"] == len(run.report.rows)
+        assert len(payload["code_version"]) == 64
+
+
+def test_engine_driver_payload_has_run_stats(tmp_path):
+    cfg = BenchConfig(benches=("fft",), cores=4, scale=0.1)
+    (run,) = run_bench(["fig9"], cfg, tmp_path)
+    payload = json.loads(run.json_path.read_text())
+    assert payload["engine"]["sources"]["serial"] == 2  # base + wb
+    assert payload["executed_seconds"] > 0
+    assert payload["totals"]["cells"] == 2
+    assert payload["totals"]["simulated_cycles"] > 0
+
+
+def test_cache_round_trip_is_byte_identical(tmp_path):
+    cfg = BenchConfig(benches=("fft",), cores=4, scale=0.1)
+    out1, out2 = tmp_path / "o1", tmp_path / "o2"
+    cache = tmp_path / "cache"
+    (cold,) = run_bench(["fig9"], cfg, out1, cache_dir=cache)
+    (warm,) = run_bench(["fig9"], cfg, out2, cache_dir=cache)
+    assert warm.txt_path.read_text() == cold.txt_path.read_text()
+    warm_payload = json.loads(warm.json_path.read_text())
+    assert warm_payload["cache"]["hits"] == 2
+    assert warm_payload["rows"] == json.loads(
+        cold.json_path.read_text())["rows"]
+
+
+def test_every_driver_is_registered():
+    assert set(DRIVERS) == {
+        "fig8", "fig9", "fig10", "table1", "table2", "table6",
+        "sweep_lq", "ecl_inorder", "ablation_ldt", "ablation_evictions",
+        "ablation_network", "ablation_unsafe",
+    }

@@ -1,0 +1,96 @@
+"""ResultCache: content addressing, round-trips, invalidation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.exp.cache import ResultCache, code_version
+from repro.exp.cells import Cell
+from repro.exp.engine import execute_cell
+
+
+def small_cell(key="c", workload="fft", scale=0.1, cores=4,
+               mode=CommitMode.OOO_WB):
+    params = table6_system("SLM", num_cores=cores, commit_mode=mode)
+    return Cell(key=key, workload=workload, num_threads=cores, scale=scale,
+                params=params)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache", version="test-version")
+
+
+def test_round_trip_is_byte_identical(cache):
+    cell = small_cell()
+    live = execute_cell(cell)
+    cache.store(cell, live, exec_seconds=1.25)
+    hit = cache.load(cell)
+    assert hit is not None
+    assert hit.exec_seconds == 1.25
+    assert hit.result.to_json() == live.to_json()
+
+
+def test_miss_costs_nothing_and_counts(cache):
+    assert cache.load(small_cell()) is None
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["hits"] == 0
+
+
+def test_key_sensitivity(cache):
+    base = small_cell()
+    assert cache.key_for(base) == cache.key_for(small_cell())
+    # Any outcome-relevant field must change the key; the display key
+    # must not (it's presentation, not content).
+    assert cache.key_for(base) != cache.key_for(small_cell(scale=0.2))
+    assert cache.key_for(base) != cache.key_for(small_cell(workload="radix"))
+    assert cache.key_for(base) != cache.key_for(
+        small_cell(mode=CommitMode.IN_ORDER))
+    assert cache.key_for(base) == cache.key_for(small_cell(key="renamed"))
+
+
+def test_params_change_keys(cache):
+    base = small_cell()
+    tweaked_params = dataclasses.replace(
+        base.params, cache=dataclasses.replace(base.params.cache,
+                                               mshr_entries=8))
+    tweaked = dataclasses.replace(base, params=tweaked_params)
+    assert cache.key_for(base) != cache.key_for(tweaked)
+
+
+def test_code_version_invalidates(tmp_path):
+    cell = small_cell()
+    old = ResultCache(tmp_path / "c", version="v-old")
+    new = ResultCache(tmp_path / "c", version="v-new")
+    assert old.key_for(cell) != new.key_for(cell)
+    old.store(cell, execute_cell(cell), exec_seconds=0.5)
+    assert new.load(cell) is None  # different key -> miss, not staleness
+
+
+def test_corrupted_entry_is_a_miss(cache):
+    cell = small_cell()
+    cache.store(cell, execute_cell(cell), exec_seconds=0.5)
+    path = cache._path(cache.key_for(cell))
+    path.write_text("{ not json")
+    assert cache.load(cell) is None
+    assert cache.stats()["invalid"] == 1
+    # A fresh store repairs it.
+    cache.store(cell, execute_cell(cell), exec_seconds=0.5)
+    assert cache.load(cell) is not None
+
+
+def test_entry_schema_on_disk(cache):
+    cell = small_cell()
+    cache.store(cell, execute_cell(cell), exec_seconds=0.5)
+    payload = json.loads(cache._path(cache.key_for(cell)).read_text())
+    assert payload["schema"] == "repro-cache/1"
+    assert payload["code_version"] == "test-version"
+    assert payload["cell"]["workload"] == "fft"
+
+
+def test_real_code_version_is_stable():
+    assert code_version() == code_version()
+    assert len(code_version()) == 64

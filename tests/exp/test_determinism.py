@@ -1,0 +1,54 @@
+"""Determinism: serial, worker-pool, and cache-replay runs are
+byte-identical.
+
+One workload per sharing-pattern family (streaming/transpose: fft;
+stencil: ocean_ncp; lock-heavy: streamcluster; read-mostly private:
+swaptions), each resolved three ways through the engine.  The
+``SimResult.to_json`` payload — every stat, every derived row — must
+match byte for byte, which is what lets the cache and the pool
+substitute for serial execution without changing any committed table.
+"""
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.exp.cache import ResultCache
+from repro.exp.cells import Cell
+from repro.exp.engine import ExperimentEngine
+
+FAMILY_WORKLOADS = ("fft", "ocean_ncp", "streamcluster", "swaptions")
+
+
+def cell_for(name):
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    return Cell(key=name, workload=name, num_threads=4, scale=0.25,
+                params=params)
+
+
+@pytest.mark.parametrize("name", FAMILY_WORKLOADS)
+def test_serial_pool_cache_byte_identical(name, tmp_path):
+    cell = cell_for(name)
+    serial = ExperimentEngine(workers=0).run([cell])
+    baseline = serial.results()[name].to_json()
+
+    pooled = ExperimentEngine(workers=2, timeout=300.0).run([cell])
+    assert pooled.results()[name].to_json() == baseline
+
+    cache = ResultCache(tmp_path, version="pinned")
+    cold = ExperimentEngine(cache=cache).run([cell])
+    assert cold.results()[name].to_json() == baseline
+    replay = ExperimentEngine(cache=cache).run([cell])
+    assert replay.source_counts()["cache"] == 1
+    assert replay.results()[name].to_json() == baseline
+
+
+def test_same_seed_same_workload_object():
+    """The generator layer itself is deterministic (the engine relies
+    on regenerating workloads inside workers)."""
+    from repro.workloads import ALL_WORKLOADS
+
+    a = ALL_WORKLOADS["fft"](num_threads=4, scale=0.25)
+    b = ALL_WORKLOADS["fft"](num_threads=4, scale=0.25)
+    assert a.traces == b.traces

@@ -1,0 +1,156 @@
+"""ExperimentEngine: serial/pool/cache resolution, retries, degradation."""
+
+import concurrent.futures
+
+import pytest
+
+from repro.common.types import CommitMode
+from repro.exp.cache import ResultCache
+from repro.exp.cells import Cell
+from repro.exp.engine import ExperimentEngine, execute_cell
+from repro.workloads.trace import AddressSpace, TraceBuilder
+
+from ..exp.test_cache import small_cell
+
+
+def trace_cell(key="t", delay=0):
+    space = AddressSpace()
+    x = space.new_var("x")
+    t0 = TraceBuilder()
+    if delay:
+        t0.compute(latency=delay)
+    t0.store(x, 1)
+    t1 = TraceBuilder()
+    t1.load(t1.reg(), x)
+    params = small_cell().params
+    return Cell.from_traces(key, "two-core-racer",
+                            [t0.build(), t1.build()], params)
+
+
+def test_serial_run_matches_direct_execution():
+    cell = small_cell()
+    run = ExperimentEngine(workers=0).run([cell])
+    assert run.results()[cell.key].to_json() == execute_cell(cell).to_json()
+    assert run.source_counts() == {"cache": 0, "pool": 0, "serial": 1}
+
+
+def test_trace_cells_run_and_differ_by_timing():
+    cells = [trace_cell("a", delay=0), trace_cell("b", delay=400)]
+    run = ExperimentEngine().run(cells)
+    results = run.results()
+    assert results["a"].cycles != results["b"].cycles
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(ValueError, match="duplicate cell keys"):
+        ExperimentEngine().run([small_cell(), small_cell()])
+
+
+def test_cache_first_then_serial(tmp_path):
+    cache = ResultCache(tmp_path, version="v")
+    engine = ExperimentEngine(cache=cache)
+    cell = small_cell()
+    cold = engine.run([cell])
+    assert cold.source_counts()["serial"] == 1
+    assert cold.cache_misses == 1
+    warm = engine.run([cell])
+    assert warm.source_counts() == {"cache": 1, "pool": 0, "serial": 0}
+    assert warm.cache_hits == 1
+    assert (warm.results()[cell.key].to_json()
+            == cold.results()[cell.key].to_json())
+    # The cache hit reports the original execution cost.
+    assert warm.executed_seconds == pytest.approx(cold.executed_seconds)
+
+
+def test_pool_run_resolves_all_cells():
+    cells = [small_cell(key="a"),
+             small_cell(key="b", mode=CommitMode.IN_ORDER)]
+    run = ExperimentEngine(workers=2, timeout=300.0).run(cells)
+    assert set(run.results()) == {"a", "b"}
+    # Whatever path executed them, the data is normalized identically.
+    serial = ExperimentEngine().run(cells)
+    for key in ("a", "b"):
+        assert (run.results()[key].to_json()
+                == serial.results()[key].to_json())
+
+
+def test_timeout_falls_back_to_serial(monkeypatch):
+    """A pool whose futures always time out must still resolve every
+    cell — serially, after the retry rounds."""
+
+    class StuckFuture:
+        def result(self, timeout=None):
+            raise concurrent.futures.TimeoutError()
+
+        def cancel(self):
+            return False
+
+    class StuckPool:
+        def __init__(self, max_workers=None):
+            pass
+
+        def submit(self, fn, *args):
+            return StuckFuture()
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            pass
+
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                        StuckPool)
+    cells = [trace_cell("a"), trace_cell("b", delay=30)]
+    run = ExperimentEngine(workers=2, timeout=0.01, retries=1).run(cells)
+    assert set(run.results()) == {"a", "b"}
+    assert run.timeouts >= 2
+    assert run.source_counts()["serial"] == 2
+    assert run.retried >= 2
+
+
+def test_pool_creation_failure_degrades_to_serial(monkeypatch):
+    def broken_pool(*args, **kwargs):
+        raise OSError("no fork for you")
+
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                        broken_pool)
+    cells = [trace_cell("a"), trace_cell("b", delay=30)]
+    run = ExperimentEngine(workers=4).run(cells)
+    assert run.degraded
+    assert run.source_counts()["serial"] == 2
+
+
+def test_worker_exception_retries_serially_with_context(monkeypatch):
+    """A cell that raises in the pool re-raises serially (clean
+    traceback), not as a swallowed pool error."""
+
+    class FailingFuture:
+        def result(self, timeout=None):
+            raise RuntimeError("worker blew up")
+
+        def cancel(self):
+            return False
+
+    class FailingPool:
+        def __init__(self, max_workers=None):
+            pass
+
+        def submit(self, fn, *args):
+            return FailingFuture()
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            pass
+
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                        FailingPool)
+    cells = [trace_cell("a"), trace_cell("b", delay=30)]
+    run = ExperimentEngine(workers=2, retries=0).run(cells)
+    # The serial fallback executed the real simulation fine.
+    assert set(run.results()) == {"a", "b"}
+    assert run.source_counts()["serial"] == 2
+
+
+def test_stats_shape():
+    run = ExperimentEngine().run([trace_cell("a")])
+    stats = run.stats()
+    assert stats["cells"] == 1
+    assert stats["sources"]["serial"] == 1
+    assert stats["wall_seconds"] > 0
+    assert stats["speedup_vs_serial"] is not None

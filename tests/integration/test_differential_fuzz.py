@@ -1,0 +1,118 @@
+"""Differential fuzzing: simulator outcomes ⊆ operational x86-TSO.
+
+``random_shared_program`` draws small racy programs (2-3 threads, a
+handful of loads/stores/test-and-sets over 3 shared locations); each is
+lowered both onto the cycle-level simulator (across commit modes and
+timing skews) and onto the operational reference machine of
+:mod:`repro.consistency.operational`.  Every register valuation the
+simulator commits must be reachable by the reference — otherwise the
+microarchitecture leaked a non-TSO reordering.
+
+Unlike the Hypothesis battery in ``test_random_programs.py`` (which
+checks the *axiomatic* witness of one execution), this compares against
+the enumerated *architectural* outcome set, so it would catch a bug
+where simulator and checker share a wrong assumption.
+
+Battery size: ~200 programs tier-1 (seconds), scaled up under
+``--slow``; ``REPRO_FUZZ_COUNT`` overrides (CI smoke uses 40).
+Failures replay by seed alone.
+"""
+
+import os
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.consistency.operational import ld as o_ld
+from repro.consistency.operational import outcome_reachable
+from repro.consistency.operational import rmw as o_rmw
+from repro.consistency.operational import st as o_st
+from repro.sim.system import MulticoreSystem
+from repro.workloads.generators import random_shared_program
+from repro.workloads.trace import AddressSpace, TraceBuilder
+
+MODES = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB)
+DELAY_MENU = ((0, 0, 0), (0, 40, 0), (40, 0, 20), (15, 0, 55))
+
+
+def default_count():
+    return int(os.environ.get("REPRO_FUZZ_COUNT", "200"))
+
+
+def to_operational(program):
+    lowered = []
+    for ops in program:
+        thread = []
+        for kind, loc, payload in ops:
+            if kind == "ld":
+                thread.append(o_ld(loc, payload))
+            elif kind == "st":
+                thread.append(o_st(loc, payload))
+            else:  # tas: old value into reg, memory becomes 1
+                thread.append(o_rmw(loc, payload, 1))
+        lowered.append(thread)
+    return lowered
+
+
+def run_on_simulator(program, mode, delays):
+    space = AddressSpace()
+    addr = {}
+    out_regs = []
+    traces = []
+    for tid, ops in enumerate(program):
+        t = TraceBuilder()
+        if delays[tid % len(delays)]:
+            t.compute(latency=delays[tid % len(delays)])
+        for kind, loc, payload in ops:
+            if loc not in addr:
+                addr[loc] = space.new_var(loc)
+            if kind == "ld":
+                reg = t.reg()
+                t.load(reg, addr[loc])
+                out_regs.append((tid, reg, f"t{tid}:{payload}"))
+            elif kind == "st":
+                t.store(addr[loc], payload)
+            else:
+                reg = t.reg()
+                t.tas(reg, addr[loc])
+                out_regs.append((tid, reg, f"t{tid}:{payload}"))
+        traces.append(t.build())
+    params = table6_system("SLM", num_cores=4, commit_mode=mode)
+    system = MulticoreSystem(params)
+    system.load_program(traces)
+    system.run()
+    return {name: system.cores[tid].reg_values.get(reg, 0)
+            for tid, reg, name in out_regs}
+
+
+def check_seed(seed):
+    """One fuzz case: a program, checked across modes and skews."""
+    num_threads = 2 + seed % 2
+    program = random_shared_program(seed, num_threads=num_threads)
+    reference = to_operational(program)
+    mode = MODES[seed % len(MODES)]
+    delays = DELAY_MENU[(seed // len(MODES)) % len(DELAY_MENU)]
+    observed = run_on_simulator(program, mode, delays)
+    assert outcome_reachable(reference, observed), (
+        f"seed {seed}: {program} under {mode.value} delays {delays} "
+        f"produced {observed}, which x86-TSO cannot reach")
+
+
+BATCHES = 8
+
+
+@pytest.mark.parametrize("batch", range(BATCHES))
+def test_differential_fuzz_battery(batch, slow):
+    """Seeded battery, split into batches so failures localize."""
+    count = default_count() * (10 if slow else 1)
+    lo = batch * count // BATCHES
+    hi = (batch + 1) * count // BATCHES
+    for seed in range(lo, hi):
+        check_seed(seed)
+
+
+def test_known_racy_seed_is_admissible():
+    """Pin one seed whose program races on a single line (regression
+    anchor: its shape exercises tas + store + load on one location)."""
+    check_seed(7)

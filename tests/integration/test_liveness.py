@@ -1,0 +1,144 @@
+"""Timeout-guarded liveness: WritersBlock shapes must terminate.
+
+The simulator has its own cycle watchdog (``DeadlockError``), but a
+scheduling bug could also hang the *host* — an event loop that stops
+making simulated progress, or a retry storm that never advances the
+clock.  These tests wrap the paper's three risky shapes in a wall-clock
+``SIGALRM`` guard so either failure mode surfaces as a crisp test
+failure in bounded time:
+
+1. an SoS load forced into WritersBlock (the Figure 5.B shape) still
+   completes via the §3.5.2 uncacheable bypass;
+2. a directory eviction landing on a WritersBlock entry (tiny LLC)
+   still completes via the §3.5.1 eviction-buffer passage;
+3. the same contended sharing under near-zero MSHR capacity (2 entries,
+   1 reserved for SoS) completes — back-pressure may stall, never wedge.
+"""
+
+import dataclasses
+import signal
+from contextlib import contextmanager
+
+import pytest
+
+from repro.common.params import CacheParams, table6_system
+from repro.common.types import CommitMode
+from repro.sim.system import MulticoreSystem
+from repro.workloads.trace import AddressSpace, TraceBuilder
+
+from .test_deadlock_scenarios import mshr_deadlock_program
+
+
+@contextmanager
+def time_limit(seconds):
+    """Fail (don't hang) if the body exceeds *seconds* of wall clock.
+
+    SIGALRM-based because pytest-timeout isn't a dependency; this only
+    needs to work on the POSIX CI runners.
+    """
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"liveness guard tripped after {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_system(traces, params):
+    system = MulticoreSystem(params)
+    system.load_program(traces)
+    return system, system.run()
+
+
+def contended_sharing_program(num_writers=3):
+    """One reader chasing two lines that *num_writers* cores keep
+    storing to — every read is likely to meet a locked-down line."""
+    space = AddressSpace()
+    x = space.new_var("x")
+    y = space.new_var("y")
+    reader = TraceBuilder()
+    for __ in range(6):
+        reader.load(reader.reg(), x)
+        reader.load(reader.reg(), y)
+    traces = [reader.build()]
+    for w in range(num_writers):
+        t = TraceBuilder()
+        t.compute(latency=10 + 17 * w)
+        for i in range(4):
+            t.store(x, 10 * (w + 1) + i)
+            t.store(y, 100 * (w + 1) + i)
+        traces.append(t.build())
+    return traces
+
+
+def test_sos_load_completes_under_forced_writersblock():
+    params = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO_WB)
+    with time_limit(60):
+        __, result = run_system(mshr_deadlock_program(), params)
+    # The shape actually exercised the risky path — and resolved it.
+    assert result.counter("dir.writersblock_entered") >= 1
+    assert result.counter("dir.uncacheable_reads") >= 1
+
+
+def test_eviction_of_locked_line_completes():
+    """Tiny LLC: a capacity eviction recalls a line a core holds in
+    lockdown.  The recall is Nacked, the entry parks in the eviction
+    buffer (§3.5.1), a writer queues behind it — and everything still
+    drains once the lockdown lifts."""
+    params = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO_WB)
+    params = dataclasses.replace(
+        params, cache=dataclasses.replace(
+            params.cache, llc_sets_per_bank=1, llc_ways=2,
+            dir_eviction_buffer=2))
+    space = AddressSpace()
+    x = space.new_var("x")  # line 0: home bank 0
+    z = space.new_var("z")
+    # Core 0: SoS load of z (address resolves late) with a younger load
+    # of x that hits — committing it locks line x down for ~400 cycles.
+    t0 = TraceBuilder()
+    warm = t0.reg()
+    t0.load(warm, x)
+    gate = t0.reg()
+    t0.gate(gate, srcs=(warm,), latency=400)
+    t0.load(t0.reg(), z, addr_reg=gate)
+    t0.load(t0.reg(), x)
+    # Core 1: streams two more bank-0 lines into the 1-set x 2-way bank
+    # while the lockdown holds, evicting x's directory entry.  The
+    # address gate keeps the streams from racing x's initial fetch.
+    t1 = TraceBuilder()
+    wait1 = t1.reg()
+    t1.gate(wait1, srcs=(), latency=260)
+    for i in (4, 8):  # line % 4 == 0 -> home bank 0
+        t1.load(t1.reg(), i * 64, addr_reg=wait1)
+    # Core 2: writes x mid-eviction; must wait, then complete.
+    t2 = TraceBuilder()
+    slow_val = t2.reg()
+    t2.gate(slow_val, srcs=(), latency=320, imm=9)
+    t2.store(x, value_reg=slow_val)
+    with time_limit(60):
+        __, result = run_system([t0.build(), t1.build(), t2.build()],
+                                params)
+    assert result.counter("dir.llc_evictions") >= 1
+    assert result.counter("cache.nacks_sent") >= 1
+    assert result.counter("core.consistency_squashes") == 0
+
+
+@pytest.mark.parametrize("mode", [CommitMode.OOO_WB, CommitMode.OOO])
+def test_full_mshr_pressure_completes(mode):
+    """Two MSHRs (one reserved for SoS) under the contended-sharing
+    storm: misses queue, the system throttles, nothing wedges."""
+    params = table6_system("SLM", num_cores=4, commit_mode=mode)
+    params = dataclasses.replace(
+        params, cache=dataclasses.replace(
+            params.cache, mshr_entries=2, mshr_reserved_for_sos=1))
+    with time_limit(60):
+        __, result = run_system(contended_sharing_program(), params)
+    assert result.cycles > 0
+    if mode is CommitMode.OOO_WB:
+        # WB hides invalidations instead of squashing.
+        assert result.counter("core.consistency_squashes") == 0

@@ -94,3 +94,34 @@ def test_fig8_tiny(capsys):
                  "--scale", "0.2"])
     assert code == 0
     assert "blocked/kstore" in capsys.readouterr().out
+
+def test_bench_list_drivers(capsys):
+    assert main(["bench", "--list-drivers"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out and "ablation_unsafe" in out
+
+
+def test_bench_smoke(capsys, tmp_path):
+    """A tiny engine-driven bench run writes the table and its
+    machine-readable BENCH json."""
+    import json
+
+    code = main(["bench", "--only", "fig9", "--benches", "fft",
+                 "--cores", "4", "--scale", "0.1",
+                 "--out-dir", str(tmp_path),
+                 "--cache-dir", str(tmp_path / "cache")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out and "drivers in" in out
+    payload = json.loads((tmp_path / "BENCH_fig9.json").read_text())
+    assert payload["schema"] == "repro-bench/1"
+    assert payload["rows"]
+    assert (tmp_path / "fig9_overheads.txt").exists()
+    # Second run is served from the cache.
+    assert main(["bench", "--only", "fig9", "--benches", "fft",
+                 "--cores", "4", "--scale", "0.1",
+                 "--out-dir", str(tmp_path),
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    warm = json.loads((tmp_path / "BENCH_fig9.json").read_text())
+    assert warm["cache"]["hits"] == 2
+    assert warm["rows"] == payload["rows"]
