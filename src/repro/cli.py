@@ -14,6 +14,10 @@ Commands
                          parallel experiment engine; writes the text
                          tables plus machine-readable ``BENCH_*.json``
                          to ``benchmarks/out/``
+``perf``                 single-run throughput microbenchmarks (litmus
+                         battery, directed mp/sos scenarios, fuzz
+                         replay); writes ``BENCH_perf.json`` and
+                         compares against the committed baseline
 
 ``trace`` and ``profile`` also accept the directed scenarios in
 ``repro.obs.scenarios`` (e.g. ``mp``), which force WritersBlock
@@ -134,6 +138,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--cache-dir", default=None,
                          help="result cache directory "
                               "(default $REPRO_CACHE_DIR or .repro-cache)")
+
+    perf_p = sub.add_parser(
+        "perf", help="single-run throughput microbenchmarks "
+                     "(writes BENCH_perf.json + baseline comparison)")
+    perf_p.add_argument("--groups", default=None,
+                        help="comma-separated benchmark groups "
+                             "(default: litmus,mp,sos,fuzz)")
+    perf_p.add_argument("--reps", type=int, default=3,
+                        help="timed repetitions per group (default 3)")
+    perf_p.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup repetitions (default 1)")
+    perf_p.add_argument("--out", default="benchmarks/out/BENCH_perf.json",
+                        help="output payload path "
+                             "(default benchmarks/out/BENCH_perf.json)")
+    perf_p.add_argument("--baseline", default="benchmarks/perf_baseline.json",
+                        help="baseline payload to compare against "
+                             "(default benchmarks/perf_baseline.json; "
+                             "skipped if missing)")
+    perf_p.add_argument("--write-baseline", action="store_true",
+                        help="also overwrite the baseline file with this "
+                             "run's numbers (documented refresh flow)")
     return parser
 
 
@@ -317,6 +342,48 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    import json
+    import pathlib
+
+    from .perf.harness import (DEFAULT_GROUPS, load_baseline, perf_payload,
+                               run_perf_suite)
+
+    groups = ([g.strip() for g in args.groups.split(",") if g.strip()]
+              if args.groups else list(DEFAULT_GROUPS))
+    print(f"repro perf: {len(groups)} groups, reps={args.reps} "
+          f"(+{args.warmup} warmup)")
+    results = run_perf_suite(groups, reps=args.reps, warmup=args.warmup,
+                             echo=print)
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    payload = perf_payload(results, reps=args.reps, warmup=args.warmup,
+                           baseline=baseline, baseline_path=args.baseline)
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    out.write_text(text)
+    suite = payload["suite"]
+    print(f"suite: {suite['runs']} runs in {suite['wall_seconds']}s "
+          f"({suite['sims_per_sec_geomean']} sims/s geomean) -> {out}")
+    if baseline is not None:
+        cmp = payload["comparison"]
+        per_group = " ".join(f"{g}={s}x" for g, s in
+                             sorted(cmp["sims_per_sec_speedup"].items()))
+        print(f"vs baseline ({cmp['baseline_code_version'][:12]}...): "
+              f"{cmp['overall_speedup']}x overall  [{per_group}]")
+    elif args.baseline:
+        print(f"no baseline at {args.baseline}; comparison skipped")
+    if args.write_baseline:
+        base_out = pathlib.Path(args.baseline)
+        base_payload = dict(payload)
+        base_payload.pop("comparison", None)
+        base_out.parent.mkdir(parents=True, exist_ok=True)
+        base_out.write_text(json.dumps(base_payload, indent=1,
+                                       sort_keys=True) + "\n")
+        print(f"baseline refreshed -> {base_out}")
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -330,6 +397,7 @@ COMMANDS = {
     "table2": cmd_table2,
     "table6": cmd_table6,
     "bench": cmd_bench,
+    "perf": cmd_perf,
 }
 
 

@@ -1,11 +1,12 @@
 """Directory MESI coherence with the WritersBlock extension."""
 
 from .directory import DirectoryBank, DirEntry, EvictingEntry
-from .invariants import check_coherence
+from .invariants import check_coherence, check_quiescent
 from .private_cache import LoadRequest, PrivateCache, PrivateLine
 
 __all__ = [
     "check_coherence",
+    "check_quiescent",
     "DirectoryBank",
     "DirEntry",
     "EvictingEntry",

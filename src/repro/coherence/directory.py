@@ -38,7 +38,7 @@ from ..network.message import Message
 from ..obs.events import EventBus, Kind
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class DirEntry:
     """One directory/LLC entry (line granularity)."""
 
@@ -70,7 +70,7 @@ class DirEntry:
         )
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class EvictingEntry:
     """A directory entry parked in the eviction buffer (paper §3.5.1)."""
 
@@ -113,6 +113,22 @@ class DirectoryBank:
         self._stat_uncacheable_evict = s.counter("dir.uncacheable_due_to_eviction")
         self._stat_requests = s.counter("dir.requests")
         self._hist_wb_duration = s.histogram("dir.writersblock_duration")
+        # Message dispatch, built once (a per-delivery dict is hot-path
+        # allocation churn).
+        self._dispatch = {
+            MsgType.GETS: self._on_request,
+            MsgType.GETX: self._on_request,
+            MsgType.UPGRADE: self._on_request,
+            MsgType.PUTM: self._on_putm,
+            MsgType.PUTS: self._on_puts,
+            MsgType.NACK: self._on_nack,
+            MsgType.NACK_DATA: self._on_nack,
+            MsgType.ACK: self._on_ack,
+            MsgType.ACK_DATA: self._on_ack,
+            MsgType.COPYBACK: self._on_copyback,
+            MsgType.UNBLOCK: self._on_unblock,
+            MsgType.DEFERRED_ACK: self._on_deferred_ack,
+        }
         network.register(tile, "llc", self.handle_message)
 
     # ------------------------------------------------------------------ util
@@ -129,7 +145,8 @@ class DirectoryBank:
         """
         if delay is None:
             delay = self.params.llc_hit_cycles
-        msg = Message(msg_type, self.tile, dst, "cache", line, payload)
+        msg = self.network.acquire_message(msg_type, self.tile, dst, "cache",
+                                           line, payload)
         self.events.schedule(delay, lambda: self.network.send(msg))
 
     def _memory_data(self, line: LineAddr) -> LineData:
@@ -139,20 +156,7 @@ class DirectoryBank:
 
     # --------------------------------------------------------------- receive
     def handle_message(self, msg: Message) -> None:
-        handler = {
-            MsgType.GETS: self._on_request,
-            MsgType.GETX: self._on_request,
-            MsgType.UPGRADE: self._on_request,
-            MsgType.PUTM: self._on_putm,
-            MsgType.PUTS: self._on_puts,
-            MsgType.NACK: self._on_nack,
-            MsgType.NACK_DATA: self._on_nack,
-            MsgType.ACK: self._on_ack,
-            MsgType.ACK_DATA: self._on_ack,
-            MsgType.COPYBACK: self._on_copyback,
-            MsgType.UNBLOCK: self._on_unblock,
-            MsgType.DEFERRED_ACK: self._on_deferred_ack,
-        }.get(msg.msg_type)
+        handler = self._dispatch.get(msg.msg_type)
         if handler is None:
             raise ProtocolError(f"directory {self.tile}: unexpected {msg!r}")
         handler(msg)
@@ -169,6 +173,7 @@ class DirectoryBank:
                 if msg.msg_type is MsgType.GETS:
                     self._serve_tearoff(msg, evict_entry.data)
                 else:
+                    msg.parked = True
                     self._pending_allocs.append(msg)
                     self._note_write_blocked(msg.line, msg.src)
                     self._send(MsgType.BLOCKED_HINT, msg.src, msg.line)
@@ -181,18 +186,21 @@ class DirectoryBank:
             if msg.msg_type is MsgType.GETS:
                 self._serve_tearoff(msg, entry.data)
             else:
+                msg.parked = True
                 entry.queue.append(msg)
                 self._stat_writes_blocked.add()
                 self._note_write_blocked(msg.line, msg.src)
                 self._send(MsgType.BLOCKED_HINT, msg.src, msg.line)
             return
         if not entry.is_stable():
+            msg.parked = True
             entry.queue.append(msg)
             return
         self._process_request(entry, msg)
 
     def _process_request(self, entry: DirEntry, msg: Message) -> None:
         if entry.fetching:
+            msg.parked = True
             entry.queue.append(msg)
             return
         if msg.msg_type is MsgType.GETS:
@@ -331,9 +339,9 @@ class DirectoryBank:
 
     def _find_stable_victim(self, line: LineAddr) -> Optional[DirEntry]:
         """Pick any stable, queue-free entry in *line*'s set (LRU first)."""
-        target_set = int(line) % self.params.llc_sets_per_bank
+        target_set = line.value % self.params.llc_sets_per_bank
         for cand_line, cand in self._array.items():
-            if int(cand_line) % self.params.llc_sets_per_bank != target_set:
+            if cand_line.value % self.params.llc_sets_per_bank != target_set:
                 continue
             if cand.is_stable() and not cand.queue:
                 return cand
@@ -380,6 +388,7 @@ class DirectoryBank:
                 data=data.copy(),
             )
         else:
+            msg.parked = True
             self._pending_allocs.append(msg)
 
     def _schedule_retry(self) -> None:
@@ -397,8 +406,12 @@ class DirectoryBank:
     def _retry_pending(self) -> None:
         self._retry_scheduled = False
         pending, self._pending_allocs = self._pending_allocs, []
+        release = self.network.pool.release
         for msg in pending:
+            msg.parked = False
             self._on_request(msg)
+            if not msg.parked:
+                release(msg)
 
     # ------------------------------------------------------------- responses
     def _on_putm(self, msg: Message) -> None:
@@ -480,12 +493,14 @@ class DirectoryBank:
         while entry.queue:
             queued = entry.queue.popleft()
             if queued.msg_type is MsgType.GETS:
+                queued.parked = False
                 self._serve_tearoff(queued, entry.data)
+                self.network.pool.release(queued)
             else:
                 self._stat_writes_blocked.add()
                 self._note_write_blocked(queued.line, queued.src)
                 self._send(MsgType.BLOCKED_HINT, queued.src, queued.line)
-                remaining.append(queued)
+                remaining.append(queued)  # stays parked
         entry.queue = remaining
 
     def _on_ack(self, msg: Message) -> None:
@@ -592,12 +607,16 @@ class DirectoryBank:
     # ----------------------------------------------------------------- queue
     def _drain_queue(self, entry: DirEntry) -> None:
         """Replay queued requests in arrival order while the line is stable."""
+        release = self.network.pool.release
         while entry.queue and entry.is_stable() and not entry.fetching:
             msg = entry.queue.popleft()
             if entry.state is DirState.WRITERS_BLOCK:  # pragma: no cover
                 entry.queue.appendleft(msg)
                 return
+            msg.parked = False
             self._process_request(entry, msg)
+            if not msg.parked:
+                release(msg)
         self._schedule_retry()
 
     # --------------------------------------------------------------- inspect

@@ -97,3 +97,32 @@ def check_coherence(system) -> None:
     if problems:
         raise ProtocolError("coherence invariants violated:\n"
                             + "\n".join(problems))
+
+
+def check_quiescent(system) -> None:
+    """Full quiescence gate: coherence invariants plus drained machinery.
+
+    On top of :func:`check_coherence`, verifies that the run actually
+    wound down: the event queue holds no pending callbacks, and every
+    message acquired from the mesh's pool was released exactly once
+    (``outstanding == 0``) — a leak means some handler parked a message
+    and never replayed it; a negative count means a double release.
+
+    Only meaningful for systems driven through the normal run loop: the
+    model-checking explorer's BufferingNetwork delivers messages without
+    returning them to the pool, so it must keep using
+    :func:`check_coherence` directly.
+    """
+    check_coherence(system)
+    problems: List[str] = []
+    pending = len(system.events)
+    if pending:
+        problems.append(
+            f"event queue not drained: {pending} callbacks still scheduled")
+    pool = getattr(system.network, "pool", None)
+    if pool is not None and pool.outstanding:
+        problems.append(
+            f"message pool not drained: outstanding={pool.outstanding} "
+            "(acquired but never released)")
+    if problems:
+        raise ProtocolError("system not quiescent:\n" + "\n".join(problems))

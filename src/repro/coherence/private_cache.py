@@ -38,7 +38,7 @@ from ..network.message import Message
 from ..obs.events import EventBus, Kind
 
 
-@dataclass
+@dataclass(slots=True)
 class PrivateLine:
     """A line resident in the private hierarchy."""
 
@@ -46,7 +46,7 @@ class PrivateLine:
     data: LineData
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class LoadRequest:
     """A load instruction's view of the cache interface.
 
@@ -95,6 +95,22 @@ class PrivateCache:
         self._stat_nacks = stats.counter("cache.nacks_sent")
         self._stat_invs = stats.counter("cache.invalidations_received")
         self._stat_writebacks = stats.counter("cache.writebacks")
+        self._num_tiles = network.topology.num_tiles
+        # Message dispatch, built once (a per-delivery dict is hot-path
+        # allocation churn).
+        self._dispatch = {
+            MsgType.DATA: self._on_data,
+            MsgType.DATA_EXCL: self._on_data,
+            MsgType.PERM: self._on_perm,
+            MsgType.DATA_UNCACHEABLE: self._on_data_uncacheable,
+            MsgType.ACK: self._on_ack,
+            MsgType.ACK_DATA: self._on_ack_data,
+            MsgType.INV: self._on_inv,
+            MsgType.FWD_GETS: self._on_fwd_gets,
+            MsgType.FWD_GETX: self._on_fwd_getx,
+            MsgType.WB_ACK: self._on_wb_ack,
+            MsgType.BLOCKED_HINT: self._on_blocked_hint,
+        }
         network.register(tile, "cache", self.handle_message)
 
     # ------------------------------------------------------------------ util
@@ -112,11 +128,13 @@ class PrivateCache:
                      line=int(entry.line), kind=entry.kind)
 
     def home_of(self, line: LineAddr) -> int:
-        return int(line) % self.network.topology.num_tiles
+        return line.value % self._num_tiles
 
     def _send(self, msg_type: MsgType, dst: int, port: str, line: LineAddr,
               **payload) -> None:
-        self.network.send(Message(msg_type, self.tile, dst, port, line, payload))
+        network = self.network
+        network.send(network.acquire_message(
+            msg_type, self.tile, dst, port, line, payload))
 
     def line_state(self, line: LineAddr) -> CacheState:
         entry = self._lines.lookup(line, touch=False)
@@ -262,19 +280,7 @@ class PrivateCache:
 
     # ---------------------------------------------------------- msg handling
     def handle_message(self, msg: Message) -> None:
-        handler = {
-            MsgType.DATA: self._on_data,
-            MsgType.DATA_EXCL: self._on_data,
-            MsgType.PERM: self._on_perm,
-            MsgType.DATA_UNCACHEABLE: self._on_data_uncacheable,
-            MsgType.ACK: self._on_ack,
-            MsgType.ACK_DATA: self._on_ack_data,
-            MsgType.INV: self._on_inv,
-            MsgType.FWD_GETS: self._on_fwd_gets,
-            MsgType.FWD_GETX: self._on_fwd_getx,
-            MsgType.WB_ACK: self._on_wb_ack,
-            MsgType.BLOCKED_HINT: self._on_blocked_hint,
-        }.get(msg.msg_type)
+        handler = self._dispatch.get(msg.msg_type)
         if handler is None:
             raise ProtocolError(f"cache {self.tile}: unexpected {msg!r}")
         handler(msg)
@@ -528,9 +534,9 @@ class PrivateCache:
         # LRU victim is locked down or busy (paper §3.8: never squash on
         # eviction; we keep locked lines resident instead).  Try the other
         # ways in LRU order.
-        target_set = int(line) % self.params.l2_sets
+        target_set = line.value % self.params.l2_sets
         for cand_line, __ in self._lines.items():
-            if int(cand_line) % self.params.l2_sets != target_set:
+            if cand_line.value % self.params.l2_sets != target_set:
                 continue
             if not self.lockdown_query(cand_line) and not self._busy(cand_line):
                 return cand_line

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 
 class InstrType(enum.Enum):
@@ -118,28 +117,65 @@ def flits_for(msg_type: MsgType) -> int:
     return DATA_MSG_FLITS if msg_type in _DATA_BEARING else CTRL_MSG_FLITS
 
 
-@dataclass(frozen=True)
 class LineAddr:
     """A cache-line-aligned address.
 
     The simulator operates on line granularity for coherence but keeps
     byte addresses on instructions so that false sharing (two variables
     in one line) is representable, as the paper's footnote 4 requires.
+
+    Line addresses are the hottest dictionary keys in the simulator
+    (cache sets, MSHR files, directory arrays), so this is a slotted
+    value object with its hash computed once at construction; the
+    :func:`line_of` intern table additionally makes repeated lookups of
+    the same line hit CPython's identity fast path.  Instances are
+    immutable by convention — nothing may rebind ``value``.
     """
 
-    value: int
+    __slots__ = ("value", "_hash")
 
-    def __post_init__(self) -> None:
-        if self.value < 0:
-            raise ValueError(f"negative line address: {self.value}")
+    def __init__(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative line address: {value}")
+        self.value = value
+        self._hash = hash(value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is LineAddr:
+            return self.value == other.value
+        return NotImplemented
 
     def __int__(self) -> int:
         return self.value
+
+    # Immutable value object: copies are the object itself (this also
+    # keeps the explorer's whole-system deepcopies cheap).
+    def __copy__(self) -> "LineAddr":
+        return self
+
+    def __deepcopy__(self, memo) -> "LineAddr":
+        return self
+
+    def __reduce__(self):
+        return (LineAddr, (self.value,))
 
     def __repr__(self) -> str:  # compact in protocol traces
         return f"L{self.value:#x}"
 
 
+#: Intern table for :func:`line_of`: programs touch a small set of lines
+#: millions of times, so decomposing a byte address resolves to the one
+#: canonical LineAddr per line (bounded by the touched working set).
+_line_intern: dict = {}
+
+
 def line_of(byte_addr: int, line_bytes: int) -> LineAddr:
-    """Map a byte address to its cache line address."""
-    return LineAddr(byte_addr // line_bytes)
+    """Map a byte address to its (interned) cache line address."""
+    value = byte_addr // line_bytes
+    line = _line_intern.get(value)
+    if line is None:
+        line = _line_intern[value] = LineAddr(value)
+    return line

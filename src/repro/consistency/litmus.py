@@ -128,6 +128,19 @@ def _build_traces(test: LitmusTest, space: AddressSpace,
     return traces, out_regs
 
 
+def litmus_traces(test: LitmusTest, space: AddressSpace,
+                  extra_delays: Sequence[int] = ()):
+    """Compile *test* to per-core traces.
+
+    Public wrapper used by the perf corpus and the golden-determinism
+    pins, which need the raw traces (to run through ``run_traces`` and
+    digest the full :class:`~repro.sim.results.SimResult`) rather than
+    the register-outcome view of :func:`run_litmus`.
+    Returns ``(traces, out_regs)`` like :func:`_build_traces`.
+    """
+    return _build_traces(test, space, extra_delays)
+
+
 def run_litmus(test: LitmusTest, params: Optional[SystemParams] = None, *,
                extra_delays: Sequence[int] = ()) -> LitmusOutcome:
     """Run one timing instance of *test*; check registers and TSO."""

@@ -17,27 +17,31 @@ export — it demonstrably violates TSO and exists to validate the checker.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..common.types import CommitMode, InstrType
 from ..obs.events import Kind
 
 
-@dataclass
 class ScanState:
     """Facts about the instructions older than the current scan point."""
 
-    war_ok: bool = True  # all older instructions issued (WAR proxy)
-    branch_ok: bool = True  # no older unresolved branch
-    stores_resolved: bool = True  # no older store with unknown address
-    older_loads_performed: bool = True  # condition 6 ingredient
-    older_store_uncommitted: bool = False  # SQ->SB FIFO order
+    __slots__ = ("war_ok", "branch_ok", "stores_resolved",
+                 "older_loads_performed", "older_store_uncommitted")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.war_ok = True  # all older instructions issued (WAR proxy)
+        self.branch_ok = True  # no older unresolved branch
+        self.stores_resolved = True  # no older store with unknown address
+        self.older_loads_performed = True  # condition 6 ingredient
+        self.older_store_uncommitted = False  # SQ->SB FIFO order
 
     def absorb(self, core, dyn) -> None:
         """Update the facts after skipping (not committing) *dyn*."""
         if not dyn.issued:
             self.war_ok = False
-        itype = dyn.itype
+        itype = dyn.instr.itype
         if itype is InstrType.BRANCH and not dyn.executed:
             self.branch_ok = False
         if itype is InstrType.STORE:
@@ -58,15 +62,25 @@ class ScanState:
 class CommitUnit:
     """Per-core commit stage; drives the core's structures directly."""
 
-    def __init__(self, mode: CommitMode) -> None:
+    __slots__ = ("mode", "width", "_state", "_impl", "_squash_mode",
+                 "_unsafe", "_wb")
+
+    def __init__(self, mode: CommitMode, width: int = 4) -> None:
         self.mode = mode
+        self.width = width
+        # One reusable scan state per core: the commit stage runs every
+        # cycle, and allocating a fresh state each time showed up in
+        # profiles.  reset() at the top of each scan keeps it correct.
+        self._state = ScanState()
+        self._impl = (self._run_in_order if mode is CommitMode.IN_ORDER
+                      else self._run_ooo)
+        self._squash_mode = mode is CommitMode.OOO
+        self._unsafe = mode is CommitMode.OOO_UNSAFE
+        self._wb = mode is CommitMode.OOO_WB
 
     def run(self, core) -> int:
         """Commit up to ``commit_width`` instructions; returns the count."""
-        if self.mode is CommitMode.IN_ORDER:
-            committed = self._run_in_order(core)
-        else:
-            committed = self._run_ooo(core)
+        committed = self._impl(core)
         if committed:
             bus = core.bus
             if bus.active:
@@ -75,8 +89,9 @@ class CommitUnit:
 
     def _run_in_order(self, core) -> int:
         committed = 0
-        width = core.params.core.commit_width
-        state = ScanState()
+        width = self.width
+        state = self._state
+        state.reset()
         while committed < width and not core.rob.empty:
             head = core.rob.head()
             if not self._eligible(core, head, state):
@@ -87,13 +102,17 @@ class CommitUnit:
 
     def _run_ooo(self, core) -> int:
         committed = 0
-        width = core.params.core.commit_width
-        state = ScanState()
+        width = self.width
+        state = self._state
+        state.reset()
+        eligible = self._eligible
+        do_commit = core.do_commit
+        entries = core.rob._entries
         idx = 0
-        while idx < len(core.rob) and committed < width:
-            dyn = core.rob[idx]
-            if self._eligible(core, dyn, state):
-                core.do_commit(dyn)
+        while idx < len(entries) and committed < width:
+            dyn = entries[idx]
+            if eligible(core, dyn, state):
+                do_commit(dyn)
                 committed += 1
                 # The collapsible ROB closed the gap; same idx is next.
             else:
@@ -110,9 +129,10 @@ class CommitUnit:
 
     # ------------------------------------------------------------ predicate
     def _eligible(self, core, dyn, state: ScanState) -> bool:
-        if not (state.war_ok and state.branch_ok and state.stores_resolved):
-            return False
-        itype = dyn.itype
+        # Callers guarantee conditions 2-4 still hold when this runs: both
+        # scan loops stop as soon as war_ok/branch_ok/stores_resolved go
+        # false, so there is no need to re-check them per instruction.
+        itype = dyn.instr.itype
         if itype in (InstrType.ALU, InstrType.NOP, InstrType.BRANCH):
             if not dyn.executed:
                 return False
@@ -123,7 +143,7 @@ class CommitUnit:
             # WritersBlock removes exactly this restriction (loads are
             # never consistency-squashed), which is where most of its
             # commit benefit comes from.  OOO_UNSAFE ignores the hazard.
-            if self.mode is CommitMode.OOO:
+            if self._squash_mode:
                 return state.older_loads_performed
             return True
         if itype is InstrType.ATOMIC:
@@ -140,9 +160,9 @@ class CommitUnit:
             if state.older_loads_performed:
                 return True
             # The load is M-speculative: condition 6 normally blocks it.
-            if self.mode is CommitMode.OOO_UNSAFE:
+            if self._unsafe:
                 return True
-            if self.mode is CommitMode.OOO_WB:
+            if self._wb:
                 # Forwarded loads export a lockdown too (their value can
                 # go stale once the forwarding store drains).
                 return not core.ldt.full

@@ -28,7 +28,7 @@ ATOMIC_OPS = ("tas", "faa")
 BRANCH_OPS = ("beqz", "bnez")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One static trace entry.
 
@@ -74,7 +74,7 @@ class Instruction:
 _dyn_uids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class DynInstr:
     """A dynamic instance of a trace instruction."""
 

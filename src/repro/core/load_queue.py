@@ -23,7 +23,7 @@ from ..common.types import LineAddr
 from .instruction import DynInstr
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class LQEntry:
     """One in-flight load."""
 

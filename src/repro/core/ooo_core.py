@@ -60,10 +60,18 @@ class OoOCore:
         self.sq = StoreQueue(cp.sq_entries)
         self.sb = StoreBuffer(cp.sb_entries)
         self.ldt = LockdownTable(cp.ldt_entries)
+        # Hot-loop copies of run-invariant parameters: the tick path runs
+        # every cycle and chained params lookups dominate it otherwise.
+        self._issue_width = cp.issue_width
+        self._iq_cap = cp.iq_entries
+        self._line_bytes = params.cache.line_bytes
+        self._sos_bypass = not params.disable_sos_bypass
+        self._trace_len = 0
         self.lockdowns = LockdownUnit(self.lq, self.ldt,
                                       cache.send_deferred_ack, stats,
                                       bus=self.bus, tile=core_id)
-        self.commit_unit = CommitUnit(self.mode)
+        self.commit_unit = CommitUnit(self.mode, cp.commit_width)
+        self._commit_run = self.commit_unit.run
 
         self.trace: List[Instruction] = []
         self.pc = 0
@@ -100,6 +108,7 @@ class OoOCore:
     # ----------------------------------------------------------------- setup
     def load_trace(self, trace: List[Instruction]) -> None:
         self.trace = trace
+        self._trace_len = len(trace)
         self.pc = 0
         self.done = not trace
 
@@ -107,43 +116,58 @@ class OoOCore:
     def tick(self) -> None:
         if self.done:
             return
-        self._stat_cycles.add()
-        committed = self.commit_unit.run(self)
-        if committed == 0:
+        self._stat_cycles.value += 1
+        if self._commit_run(self) == 0:
             self._account_stall()
-        self._issue()
-        self._memory_stage()
-        self._sb_drain()
-        self._dispatch()
-        self._check_done()
+        # Guard each stage inline: an empty structure costs one attribute
+        # load instead of a method call.
+        if self.iq:
+            self._issue()
+        if self.lq._entries or self._pending_atomics:
+            self._memory_stage()
+        if self.sb._entries:
+            self._sb_drain()
+        if self.pc < self._trace_len:
+            self._dispatch()
+        elif not self.rob._entries and not self.sb._entries:
+            self.done = True
+            self.done_cycle = self.events.now
 
     def _account_stall(self) -> None:
-        if self.sq.full:
+        sq = self.sq
+        if len(sq._entries) >= sq.capacity:
             reason = "sq"
-        elif self.lq.full:
-            reason = "lq"
-        elif self.rob.full:
-            reason = "rob"
         else:
-            reason = "other"
-        self._stat_stalls[reason].add()
-        self._agg_stalls[reason].add()
+            lq = self.lq
+            if len(lq._entries) >= lq.capacity:
+                reason = "lq"
+            else:
+                rob = self.rob
+                reason = "rob" if len(rob._entries) >= rob.capacity else "other"
+        self._stat_stalls[reason].value += 1
+        self._agg_stalls[reason].value += 1
 
     # -------------------------------------------------------------- dispatch
     def _dispatch(self) -> None:
-        width = self.params.core.issue_width
+        # The stall window and clock cannot change mid-dispatch, so one
+        # up-front check covers the whole group.
+        if self.pc >= self._trace_len or self.events.now < self.fetch_stall_until:
+            return
+        width = self._issue_width
+        iq_cap = self._iq_cap
+        trace = self.trace
+        trace_len = self._trace_len
         dispatched = 0
         while dispatched < width:
-            if self.events.now < self.fetch_stall_until:
+            if self.pc >= trace_len:
                 break
-            if self.pc >= len(self.trace):
+            instr = trace[self.pc]
+            if self.rob.full or len(self.iq) >= iq_cap:
                 break
-            instr = self.trace[self.pc]
-            if self.rob.full or len(self.iq) >= self.params.core.iq_entries:
+            itype = instr.itype
+            if itype is InstrType.LOAD and self.lq.full:
                 break
-            if instr.itype is InstrType.LOAD and self.lq.full:
-                break
-            if instr.itype is InstrType.STORE and self.sq.full:
+            if itype is InstrType.STORE and self.sq.full:
                 break
             self._dispatch_one(instr)
             dispatched += 1
@@ -198,17 +222,24 @@ class OoOCore:
 
     # ----------------------------------------------------------------- issue
     def _issue(self) -> None:
-        width = self.params.core.issue_width
+        iq = self.iq
+        if not iq:
+            return
+        width = self._issue_width
         issued = 0
         idx = 0
-        while idx < len(self.iq) and issued < width:
-            dyn = self.iq[idx]
-            if dyn.sources_ready():
-                self.iq.pop(idx)
+        while idx < len(iq) and issued < width:
+            dyn = iq[idx]
+            # Inlined dyn.sources_ready(): this scan runs for every IQ
+            # entry every cycle.
+            for producer in dyn.producers:
+                if producer is not None and not producer.executed:
+                    idx += 1
+                    break
+            else:
+                del iq[idx]
                 self._start_execution(dyn)
                 issued += 1
-            else:
-                idx += 1
 
     def _start_execution(self, dyn: DynInstr) -> None:
         dyn.issued = True
@@ -222,7 +253,7 @@ class OoOCore:
         elif itype is InstrType.LOAD:
             self._resolve_address(dyn)
             dyn.lq_entry.line = line_of(dyn.resolved_addr,
-                                        self.params.cache.line_bytes)
+                                        self._line_bytes)
         elif itype is InstrType.STORE:
             self.events.schedule(dyn.instr.latency,
                                  lambda: self._execute_store(dyn))
@@ -286,15 +317,20 @@ class OoOCore:
         dyn.executed = True
         # Prefetch write permission as early as the address is known
         # (paper §3.1.2); failure to get an MSHR just skips the prefetch.
-        line = line_of(entry.addr, self.params.cache.line_bytes)
+        line = line_of(entry.addr, self._line_bytes)
         if self.cache.line_state(line) not in (CacheState.M, CacheState.E):
             self.cache.request_write(line, _noop)
 
     # ---------------------------------------------------------- memory stage
     def _memory_stage(self) -> None:
-        if len(self.lq):
-            budget = self.params.core.issue_width
-            for entry in list(self.lq):
+        entries = self.lq._entries
+        if entries:
+            budget = self._issue_width
+            for entry in entries[:]:
+                # Inlined _try_load early-outs: most LQ entries are
+                # already performed (or unissued) on any given cycle.
+                if entry.performed or not entry.dyn.issued:
+                    continue
                 if budget == 0:
                     break
                 if self._try_load(entry):
@@ -307,12 +343,14 @@ class OoOCore:
         if entry.performed or not dyn.issued:
             return False
         line = entry.line
+        lq = self.lq
         if dyn.mem_inflight:
             # Already accessing; if we are the SoS load piggybacked on a
             # write that the directory hinted is blocked, launch a fresh
             # uncacheable read on a (possibly reserved) MSHR (§3.5.2).
-            if (not self.params.disable_sos_bypass
-                    and self.lq.is_sos(entry) and not dyn.used_tearoff
+            if (self._sos_bypass
+                    and lq.first_nonperformed() is entry
+                    and not dyn.used_tearoff
                     and not dyn.bypass_launched
                     and self.cache.write_blocked(line)):
                 request = self._make_request(entry)
@@ -320,7 +358,10 @@ class OoOCore:
                     dyn.bypass_launched = True
                     return True
             return False
-        if dyn.retry_when_ordered and not self.lq.is_sos(entry):
+        # One SoS scan covers every check below: nothing in between can
+        # perform another load of this queue.
+        is_sos = lq.first_nonperformed() is entry
+        if dyn.retry_when_ordered and not is_sos:
             return False
         if self.sq.unresolved_older_than(dyn.seq):
             return False
@@ -342,11 +383,10 @@ class OoOCore:
             return True
         # §3.4 optimization: don't issue unordered loads for a line whose
         # lockdown has already been seen by an invalidation.
-        if self.lockdowns.line_pending_inv(line) and not self.lq.is_sos(entry):
+        if not is_sos and self.lockdowns.line_pending_inv(line):
             return False
         request = self._make_request(entry)
-        sos_bypass = (not self.params.disable_sos_bypass
-                      and self.lq.is_sos(entry)
+        sos_bypass = (self._sos_bypass and is_sos
                       and self.cache.write_blocked(line))
         result = self.cache.load(request, sos_bypass=sos_bypass)
         if result == "retry":
@@ -428,7 +468,7 @@ class OoOCore:
         dyn = head
         if dyn.performed or not dyn.issued or not self.sb.empty:
             return
-        line = line_of(dyn.resolved_addr, self.params.cache.line_bytes)
+        line = line_of(dyn.resolved_addr, self._line_bytes)
         state = self.cache.line_state(line)
         if state is CacheState.E:
             self.cache.request_write(line, _noop)  # silent E->M
@@ -440,7 +480,7 @@ class OoOCore:
 
     def _perform_atomic(self, dyn: DynInstr, line: LineAddr) -> None:
         addr = dyn.resolved_addr
-        offset = addr % self.params.cache.line_bytes
+        offset = addr % self._line_bytes
         line_entry = self.cache.line_entry(line)
         old_version, old_value = line_entry.data.read(offset)
         new_value = 1 if dyn.instr.op == "tas" else old_value + dyn.instr.imm
@@ -502,9 +542,9 @@ class OoOCore:
                                  uncacheable=dyn.used_tearoff)
         elif itype is InstrType.STORE:
             sq_entry = dyn.sq_entry
-            line = line_of(sq_entry.addr, self.params.cache.line_bytes)
+            line = line_of(sq_entry.addr, self._line_bytes)
             self.sb.push(SBEntry(byte_addr=sq_entry.addr, line=line,
-                                 offset=sq_entry.addr % self.params.cache.line_bytes,
+                                 offset=sq_entry.addr % self._line_bytes,
                                  version=sq_entry.version,
                                  value=sq_entry.value, seq=dyn.seq))
             self.sq.remove(sq_entry)
@@ -584,12 +624,6 @@ class OoOCore:
         if self.mode is not CommitMode.OOO_WB:
             return False
         return self.lockdowns.has_lockdown(line)
-
-    # ------------------------------------------------------------------ done
-    def _check_done(self) -> None:
-        if self.pc >= len(self.trace) and self.rob.empty and self.sb.empty:
-            self.done = True
-            self.done_cycle = self.events.now
 
     def snapshot(self) -> str:
         """One-line diagnostic used in deadlock reports."""

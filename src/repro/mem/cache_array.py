@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
 
 from ..common.errors import ConfigError
 from ..common.types import LineAddr
@@ -19,18 +19,26 @@ class CacheArray(Generic[T]):
     set reports the LRU victim, which the controller must evict first.
     """
 
+    __slots__ = ("sets", "ways", "_sets")
+
     def __init__(self, sets: int, ways: int) -> None:
         if sets <= 0 or ways <= 0:
             raise ConfigError("cache sets and ways must be positive")
         self.sets = sets
         self.ways = ways
-        # One OrderedDict per set; order = LRU (front) .. MRU (back).
-        self._sets: List["OrderedDict[LineAddr, T]"] = [
-            OrderedDict() for __ in range(sets)
-        ]
+        # One OrderedDict per *touched* set, keyed by set index; order
+        # within a set = LRU (front) .. MRU (back).  Sets materialise
+        # lazily: short simulations touch a handful of sets, and building
+        # thousands of empty OrderedDicts up front dominated system
+        # construction time.
+        self._sets: Dict[int, "OrderedDict[LineAddr, T]"] = {}
 
     def _set_for(self, line: LineAddr) -> "OrderedDict[LineAddr, T]":
-        return self._sets[int(line) % self.sets]
+        idx = line.value % self.sets
+        entries = self._sets.get(idx)
+        if entries is None:
+            entries = self._sets[idx] = OrderedDict()
+        return entries
 
     def lookup(self, line: LineAddr, *, touch: bool = True) -> Optional[T]:
         """Return the entry for *line*, updating LRU unless ``touch=False``."""
@@ -69,11 +77,14 @@ class CacheArray(Generic[T]):
         return self._set_for(line).pop(line, None)
 
     def items(self) -> Iterator[Tuple[LineAddr, T]]:
-        for entries in self._sets:
-            yield from entries.items()
+        # Set-index order, matching the eager layout: victim searches
+        # that fall back to a whole-array scan must not depend on which
+        # set happened to be touched first.
+        for idx in sorted(self._sets):
+            yield from self._sets[idx].items()
 
     def occupancy(self) -> int:
-        return sum(len(entries) for entries in self._sets)
+        return sum(len(entries) for entries in self._sets.values())
 
 
 class PresenceLRU:
@@ -83,6 +94,8 @@ class PresenceLRU:
     this structure only decides whether an access pays the L1 or the L2
     hit latency (DESIGN.md decision 2).
     """
+
+    __slots__ = ("_tags",)
 
     def __init__(self, sets: int, ways: int) -> None:
         self._tags: CacheArray[bool] = CacheArray(sets, ways)

@@ -22,7 +22,7 @@ VersionedValue = Tuple[int, int]
 INITIAL: VersionedValue = (0, 0)
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class LineData:
     """Contents of one cache line: byte offset -> (version, value).
 

@@ -20,7 +20,7 @@ from ..common.errors import ConfigError, SimulationError
 from ..common.types import LineAddr
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class MSHREntry:
     """One outstanding transaction."""
 

@@ -20,8 +20,9 @@ from ..common.errors import ConfigError, SimulationError
 from ..common.event_queue import EventQueue
 from ..common.params import NetworkParams
 from ..common.stats import StatsRegistry
+from ..common.types import LineAddr, MsgType, flits_for
 from ..obs.events import EventBus, Kind
-from .message import Message
+from .message import Message, MessagePool
 from .topology import Link, MeshTopology
 
 Endpoint = Callable[[Message], None]
@@ -37,6 +38,8 @@ class MeshNetwork:
         self.params = params
         self.events = events
         self.bus = bus if bus is not None else EventBus(events)
+        #: Recycler for the Message objects controllers send through us.
+        self.pool = MessagePool()
         self._endpoints: Dict[Tuple[int, str], Endpoint] = {}
         self._link_free: Dict[Link, int] = {}
         self._msgs = stats.counter("network.messages")
@@ -59,36 +62,55 @@ class MeshNetwork:
             raise ConfigError(f"no endpoint {key} to rewrap")
         self._endpoints[key] = wrap(self._endpoints[key])
 
+    def acquire_message(self, msg_type: MsgType, src: int, dst: int,
+                        dst_port: str, line: LineAddr,
+                        payload: Optional[Dict] = None) -> Message:
+        """Build a pooled :class:`Message` (recycled after consumption)."""
+        return self.pool.acquire(msg_type, src, dst, dst_port, line,
+                                 {} if payload is None else payload)
+
     def send(self, msg: Message) -> int:
         """Inject *msg*; returns the cycle at which it will be delivered."""
         handler = self._endpoints.get((msg.dst, msg.dst_port))
         if handler is None:
             raise SimulationError(f"no endpoint at tile {msg.dst} port {msg.dst_port!r}")
+        flits = flits_for(msg.msg_type)
         self._msgs.add()
-        self._flits.add(msg.flits)
+        self._flits.add(flits)
         arrival = self._arrival_cycle(msg)
-        self.events.schedule_at(arrival, lambda: handler(msg))
+        self.events.schedule_at(arrival, lambda: self._deliver(handler, msg))
         bus = self.bus
         if bus.active:
             bus.emit(Kind.NET_SEND, msg.src, msg_type=msg.msg_type.value,
-                     dst=msg.dst, dst_port=msg.dst_port, line=int(msg.line),
-                     arrival=arrival, flits=msg.flits)
+                     dst=msg.dst, dst_port=msg.dst_port, line=msg.line.value,
+                     arrival=arrival, flits=flits)
         return arrival
+
+    def _deliver(self, handler: Endpoint, msg: Message) -> None:
+        """Hand *msg* to its endpoint, then recycle it unless the handler
+        parked it for later replay (blocking-directory queues)."""
+        handler(msg)
+        if not msg.parked:
+            self.pool.release(msg)
 
     def _arrival_cycle(self, msg: Message) -> int:
         now = self.events.now
         route = self.topology.route(msg.src, msg.dst)
         if not route:  # local (same-tile) delivery
             return now + 1
-        self._flit_hops.add(msg.flits * len(route))
+        flits = flits_for(msg.msg_type)
+        self._flit_hops.add(flits * len(route))
         arrival = now
+        model_contention = self.params.model_contention
+        switch_cycles = self.params.switch_cycles
+        link_free = self._link_free
         for link in route:
-            if self.params.model_contention:
-                free = self._link_free.get(link, 0)
+            if model_contention:
+                free = link_free.get(link, 0)
                 start = max(arrival, free)
                 self._queue_cycles.add(start - arrival)
-                self._link_free[link] = start + msg.flits
+                link_free[link] = start + flits
             else:
                 start = arrival
-            arrival = start + self.params.switch_cycles
+            arrival = start + switch_cycles
         return arrival

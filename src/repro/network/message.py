@@ -1,17 +1,25 @@
-"""Coherence messages carried by the on-chip network."""
+"""Coherence messages carried by the on-chip network.
+
+Messages are the highest-churn objects in the simulator — every
+coherence transaction allocates several — so :class:`Message` is a
+slotted plain class and the mesh recycles instances through a
+:class:`MessagePool`.  A message acquired from the pool is released
+back automatically once its destination handler consumes it; handlers
+that need to *keep* a message beyond their own activation (the blocking
+directory parks requests for later replay) set ``parked`` before
+returning and the releasing frame leaves it alone.
+"""
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..common.types import LineAddr, MsgType, flits_for
 
 _msg_ids = itertools.count()
 
 
-@dataclass
 class Message:
     """One point-to-point message between a cache controller and a
     directory bank (or between two caches, for 3-hop transactions).
@@ -21,13 +29,23 @@ class Message:
     ``ack_count`` (number of invalidation acks the writer must collect).
     """
 
-    msg_type: MsgType
-    src: int  # source tile id
-    dst: int  # destination tile id
-    dst_port: str  # "cache" or "llc"
-    line: LineAddr
-    payload: Dict[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("msg_type", "src", "dst", "dst_port", "line", "payload",
+                 "msg_id", "parked", "pooled")
+
+    def __init__(self, msg_type: MsgType, src: int, dst: int, dst_port: str,
+                 line: LineAddr, payload: Optional[Dict[str, Any]] = None,
+                 msg_id: Optional[int] = None) -> None:
+        self.msg_type = msg_type
+        self.src = src
+        self.dst = dst
+        self.dst_port = dst_port
+        self.line = line
+        self.payload = {} if payload is None else payload
+        self.msg_id = next(_msg_ids) if msg_id is None else msg_id
+        #: A handler stored this message for later replay (do not recycle).
+        self.parked = False
+        #: This instance came from a MessagePool (recycle on release).
+        self.pooled = False
 
     @property
     def flits(self) -> int:
@@ -43,3 +61,52 @@ class Message:
             f"<{self.msg_type.value} #{self.msg_id} {self.src}->{self.dst}"
             f":{self.dst_port} {self.line!r}{extra}>"
         )
+
+
+class MessagePool:
+    """Free-list recycler for :class:`Message` objects.
+
+    ``outstanding`` counts acquired-but-not-released messages; at
+    quiescence it must be zero for a normally-driven system (the
+    drained-pool invariant checked by
+    :func:`repro.coherence.invariants.check_quiescent`).  Releasing a
+    message that did not come from a pool is a no-op, so directly
+    constructed messages (tests, tools) stay outside the accounting.
+    """
+
+    __slots__ = ("_free", "outstanding")
+
+    def __init__(self) -> None:
+        self._free: List[Message] = []
+        self.outstanding = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, msg_type: MsgType, src: int, dst: int, dst_port: str,
+                line: LineAddr, payload: Dict[str, Any]) -> Message:
+        self.outstanding += 1
+        free = self._free
+        if free:
+            msg = free.pop()
+            msg.msg_type = msg_type
+            msg.src = src
+            msg.dst = dst
+            msg.dst_port = dst_port
+            msg.line = line
+            msg.payload = payload
+            msg.msg_id = next(_msg_ids)
+            msg.parked = False
+        else:
+            msg = Message(msg_type, src, dst, dst_port, line, payload)
+        msg.pooled = True
+        return msg
+
+    def release(self, msg: Message) -> None:
+        """Recycle *msg*; no-op for messages not acquired from a pool."""
+        if not msg.pooled:
+            return
+        msg.pooled = False
+        msg.payload = None  # type: ignore[assignment]  # drop data refs
+        self.outstanding -= 1
+        self._free.append(msg)

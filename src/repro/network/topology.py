@@ -24,6 +24,9 @@ class MeshTopology:
             raise ConfigError(f"mesh requires a square tile count, got {num_tiles}")
         self.num_tiles = num_tiles
         self.side = side
+        # Routes are static per (src, dst) pair; memoize them — the mesh
+        # asks for one on every single message.
+        self._route_cache: dict = {}
 
     def coords(self, tile: int) -> Tuple[int, int]:
         """(x, y) coordinates of *tile*."""
@@ -41,7 +44,19 @@ class MeshTopology:
         return abs(sx - dx) + abs(sy - dy)
 
     def route(self, src: int, dst: int) -> List[Link]:
-        """Directed links on the X-then-Y route from *src* to *dst*."""
+        """Directed links on the X-then-Y route from *src* to *dst*.
+
+        The returned list is cached and shared — callers must not
+        mutate it.
+        """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        route = self._compute_route(src, dst)
+        self._route_cache[(src, dst)] = route
+        return route
+
+    def _compute_route(self, src: int, dst: int) -> List[Link]:
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
         links: List[Link] = []

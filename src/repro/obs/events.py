@@ -56,7 +56,7 @@ class Kind:
                 if not name.startswith("_") and isinstance(value, str)]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One observability event (immutable, JSON-friendly payload)."""
 

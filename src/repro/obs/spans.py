@@ -33,7 +33,7 @@ from ..common.stats import StatsRegistry
 from .events import Event, EventBus, Kind
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class Span:
     """One reconstructed episode."""
 

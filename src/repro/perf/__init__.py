@@ -1,0 +1,29 @@
+"""Single-run performance: microbenchmark corpus, harness, baselines.
+
+``repro perf`` runs the corpus in :mod:`repro.perf.corpus` through the
+harness in :mod:`repro.perf.harness`, writing a machine-readable
+``BENCH_perf.json`` (sims/sec, simulated cycles/sec, allocation peak)
+plus a comparison against the committed baseline.  The same corpus
+feeds the golden-determinism pins (``tests/sim/test_goldens.py``), so
+"fast" and "behaviorally identical" are checked on the same programs.
+"""
+
+from .corpus import (GOLDEN_FUZZ_SEEDS, PerfCase, fuzz_cases, golden_cases,
+                     litmus_cases, scenario_cases)
+from .harness import (BENCH_SCHEMA, PerfResult, compare_payloads,
+                      load_baseline, perf_payload, run_perf_suite)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "GOLDEN_FUZZ_SEEDS",
+    "PerfCase",
+    "PerfResult",
+    "compare_payloads",
+    "fuzz_cases",
+    "golden_cases",
+    "litmus_cases",
+    "load_baseline",
+    "perf_payload",
+    "run_perf_suite",
+    "scenario_cases",
+]

@@ -1,0 +1,126 @@
+"""Deterministic program corpus shared by `repro perf` and the goldens.
+
+Every case is a fully deterministic ``(name, traces, params)`` triple:
+the perf harness times them, and the golden-determinism test digests
+their ``SimResult.to_json`` output.  Sharing one corpus means the
+throughput we optimize and the behavior we pin are measured on the same
+programs — a perf refactor cannot speed up one set while silently
+changing the other.
+
+Groups:
+
+``litmus``
+    the full standard litmus suite (paper Tables 1/3 + classic TSO
+    shapes), each on its usual core count under ``ooo-wb``;
+``mp`` / ``sos``
+    the directed WritersBlock scenarios from :mod:`repro.obs.scenarios`
+    (forced Nack episode; SoS tear-off reads during a blocked write);
+``fuzz``
+    seeded racy programs from
+    :func:`repro.workloads.generators.random_shared_program`, lowered
+    exactly like the differential-fuzz battery (commit mode and start
+    skews rotate with the seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..common.params import SystemParams, table6_system
+from ..common.types import CommitMode
+from ..consistency.litmus import litmus_traces, standard_suite
+from ..core.instruction import Instruction
+from ..obs.scenarios import mp_nack, sos_bypass
+from ..workloads.generators import random_shared_program
+from ..workloads.trace import AddressSpace, TraceBuilder
+
+#: Commit-mode / start-skew rotation for fuzz cases — mirrors
+#: tests/integration/test_differential_fuzz.py so a perf number on the
+#: fuzz group reflects the same mix the battery actually runs.
+FUZZ_MODES = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB)
+FUZZ_DELAYS = ((0, 0, 0), (0, 40, 0), (40, 0, 20), (15, 0, 55))
+
+#: The fixed fuzz seeds pinned by the golden-determinism test.
+GOLDEN_FUZZ_SEEDS: Tuple[int, ...] = tuple(range(25))
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One deterministic simulation: a name, traces, and parameters."""
+
+    name: str
+    traces: Tuple[Tuple[Instruction, ...], ...]
+    params: SystemParams
+
+    def trace_lists(self) -> List[List[Instruction]]:
+        return [list(trace) for trace in self.traces]
+
+
+def _case(name: str, traces, params: SystemParams) -> PerfCase:
+    return PerfCase(name=name,
+                    traces=tuple(tuple(trace) for trace in traces),
+                    params=params)
+
+
+def litmus_cases() -> List[PerfCase]:
+    cases = []
+    for test in standard_suite():
+        cores = 16 if len(test.threads) > 4 else 4
+        params = table6_system("SLM", num_cores=cores,
+                               commit_mode=CommitMode.OOO_WB)
+        space = AddressSpace(params.cache.line_bytes)
+        traces, __ = litmus_traces(test, space)
+        cases.append(_case(f"litmus/{test.name}", traces, params))
+    return cases
+
+
+def scenario_cases() -> List[PerfCase]:
+    params = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO_WB)
+    return [
+        _case("scenario/mp", mp_nack(), params),
+        _case("scenario/sos", sos_bypass(), params),
+    ]
+
+
+def _lower_fuzz_program(program, delays: Sequence[int]):
+    """Lower an abstract fuzz program to simulator traces (same shape
+    as the differential-fuzz battery's lowering, minus result capture)."""
+    space = AddressSpace()
+    addr = {}
+    traces = []
+    for tid, ops in enumerate(program):
+        t = TraceBuilder()
+        if delays[tid % len(delays)]:
+            t.compute(latency=delays[tid % len(delays)])
+        for kind, loc, payload in ops:
+            if loc not in addr:
+                addr[loc] = space.new_var(loc)
+            if kind == "ld":
+                t.load(t.reg(), addr[loc])
+            elif kind == "st":
+                t.store(addr[loc], payload)
+            else:  # tas
+                t.tas(t.reg(), addr[loc])
+        traces.append(t.build())
+    return traces
+
+
+def fuzz_case(seed: int) -> PerfCase:
+    """The deterministic fuzz case for *seed* (mode/skew rotate with it)."""
+    num_threads = 2 + seed % 2
+    program = random_shared_program(seed, num_threads=num_threads)
+    mode = FUZZ_MODES[seed % len(FUZZ_MODES)]
+    delays = FUZZ_DELAYS[(seed // len(FUZZ_MODES)) % len(FUZZ_DELAYS)]
+    params = table6_system("SLM", num_cores=4, commit_mode=mode)
+    return _case(f"fuzz/{seed:04d}", _lower_fuzz_program(program, delays),
+                 params)
+
+
+def fuzz_cases(seeds: Sequence[int] = GOLDEN_FUZZ_SEEDS) -> List[PerfCase]:
+    return [fuzz_case(seed) for seed in seeds]
+
+
+def golden_cases() -> List[PerfCase]:
+    """The determinism-pinned set: litmus + scenarios + 25 fuzz seeds."""
+    return litmus_cases() + scenario_cases() + fuzz_cases(GOLDEN_FUZZ_SEEDS)

@@ -1,0 +1,50 @@
+"""Golden determinism digests over the perf corpus.
+
+Each golden case is run to completion and its full ``SimResult`` JSON
+(parameters, final cycle count, every counter and histogram) is hashed
+with sha256.  The digests are committed in ``tests/goldens/`` and
+asserted by ``tests/sim/test_goldens.py``: any change to cycle-level
+behavior — however small — flips a digest.  This is the safety net
+under hot-path refactors: an optimization that is truly mechanical
+leaves every digest byte-identical.
+
+Regenerate after a *deliberate* behavior change with::
+
+    PYTHONPATH=src python -m pytest tests/sim/test_goldens.py --update-goldens
+
+and review the resulting diff of ``tests/goldens/determinism.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Dict, Iterable, Optional
+
+from ..sim.system import MulticoreSystem
+from .corpus import PerfCase, golden_cases
+
+
+def digest_case(case: PerfCase) -> str:
+    """sha256 over the case's complete ``SimResult.to_json`` output."""
+    system = MulticoreSystem(case.params)
+    system.load_program(case.trace_lists())
+    result = system.run()
+    return hashlib.sha256(result.to_json().encode("utf-8")).hexdigest()
+
+
+def current_digests(cases: Optional[Iterable[PerfCase]] = None
+                    ) -> Dict[str, str]:
+    """Digest every golden case (or the given subset), keyed by name."""
+    return {case.name: digest_case(case)
+            for case in (golden_cases() if cases is None else cases)}
+
+
+def load_digests(path) -> Dict[str, str]:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def save_digests(path, digests: Dict[str, str]) -> None:
+    text = json.dumps(digests, indent=1, sort_keys=True) + "\n"
+    pathlib.Path(path).write_text(text)

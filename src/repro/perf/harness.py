@@ -1,0 +1,207 @@
+"""Microbenchmark harness behind ``repro perf``.
+
+Times the corpus groups (litmus battery, directed mp/sos scenarios,
+fuzz-program replay) end to end — system construction included, since
+that is what every experiment-engine cell pays — and reports:
+
+* ``sims_per_sec``: completed simulations per second of host time (the
+  headline number the perf-regression test gates on);
+* ``sim_cycles_per_sec``: simulated cycles retired per host second;
+* ``alloc_peak_kb``: peak ``tracemalloc`` memory of one instrumented
+  rep (the allocation-pressure signal — message pooling and
+  ``__slots__`` push it down).
+
+Output is a machine-readable payload (``BENCH_perf.json``, schema
+``repro-perf/1``) with an embedded comparison against a baseline
+payload, usually the committed ``benchmarks/perf_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.system import MulticoreSystem
+from .corpus import (GOLDEN_FUZZ_SEEDS, PerfCase, fuzz_cases, litmus_cases,
+                     scenario_cases)
+
+BENCH_SCHEMA = "repro-perf/1"
+
+#: Default benchmark groups, in report order.
+DEFAULT_GROUPS = ("litmus", "mp", "sos", "fuzz")
+
+#: Fuzz seeds replayed by the perf harness (first 16 of the golden set:
+#: enough program diversity without dominating the suite runtime).
+PERF_FUZZ_SEEDS = GOLDEN_FUZZ_SEEDS[:16]
+
+
+def _group_cases(group: str) -> List[PerfCase]:
+    if group == "litmus":
+        return litmus_cases()
+    if group == "mp":
+        return [case for case in scenario_cases()
+                if case.name == "scenario/mp"]
+    if group == "sos":
+        return [case for case in scenario_cases()
+                if case.name == "scenario/sos"]
+    if group == "fuzz":
+        return fuzz_cases(PERF_FUZZ_SEEDS)
+    raise KeyError(f"unknown perf group {group!r}; "
+                   f"choose from {sorted(DEFAULT_GROUPS)}")
+
+
+def run_case(case: PerfCase) -> int:
+    """Build and run one corpus case; returns simulated cycles."""
+    system = MulticoreSystem(case.params)
+    system.load_program(case.trace_lists())
+    return system.run().cycles
+
+
+@dataclass
+class PerfResult:
+    """Measured numbers for one benchmark group."""
+
+    group: str
+    cases: int
+    reps: int
+    wall_seconds: float
+    sim_cycles: int  # per rep (deterministic, so identical every rep)
+    alloc_peak_kb: float
+
+    @property
+    def runs(self) -> int:
+        return self.cases * self.reps
+
+    @property
+    def sims_per_sec(self) -> float:
+        return self.runs / max(self.wall_seconds, 1e-9)
+
+    @property
+    def sim_cycles_per_sec(self) -> float:
+        return self.sim_cycles * self.reps / max(self.wall_seconds, 1e-9)
+
+    def to_dict(self) -> Dict:
+        return {
+            "cases": self.cases,
+            "reps": self.reps,
+            "runs": self.runs,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "sim_cycles": self.sim_cycles,
+            "sims_per_sec": round(self.sims_per_sec, 2),
+            "sim_cycles_per_sec": round(self.sim_cycles_per_sec, 1),
+            "alloc_peak_kb": round(self.alloc_peak_kb, 1),
+        }
+
+
+def run_group(group: str, *, reps: int = 3, warmup: int = 1,
+              echo: Optional[Callable[[str], None]] = None) -> PerfResult:
+    """Benchmark one corpus group: warmup, timed reps, one traced rep."""
+    cases = _group_cases(group)
+    for __ in range(warmup):
+        for case in cases:
+            run_case(case)
+    start = time.perf_counter()
+    sim_cycles = 0
+    for rep in range(reps):
+        sim_cycles = sum(run_case(case) for case in cases)
+    wall = time.perf_counter() - start
+    tracemalloc.start()
+    for case in cases:
+        run_case(case)
+    __, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    result = PerfResult(group=group, cases=len(cases), reps=reps,
+                        wall_seconds=wall, sim_cycles=sim_cycles,
+                        alloc_peak_kb=peak / 1024.0)
+    if echo:
+        echo(f"  {group:8s} {result.runs:4d} runs in {wall:6.2f}s  "
+             f"{result.sims_per_sec:8.2f} sims/s  "
+             f"{result.sim_cycles_per_sec:12,.0f} cyc/s  "
+             f"peak {result.alloc_peak_kb:8.0f} KiB")
+    return result
+
+
+def run_perf_suite(groups: Sequence[str] = DEFAULT_GROUPS, *,
+                   reps: int = 3, warmup: int = 1,
+                   echo: Optional[Callable[[str], None]] = None
+                   ) -> List[PerfResult]:
+    return [run_group(group, reps=reps, warmup=warmup, echo=echo)
+            for group in groups]
+
+
+def _geomean(values: Sequence[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def perf_payload(results: Sequence[PerfResult], *,
+                 reps: int, warmup: int,
+                 baseline: Optional[Dict] = None,
+                 baseline_path: Optional[str] = None) -> Dict:
+    """Assemble the ``BENCH_perf.json`` payload (schema repro-perf/1)."""
+    from ..exp.cache import code_version
+
+    payload: Dict = {
+        "schema": BENCH_SCHEMA,
+        "name": "perf",
+        "config": {"groups": [r.group for r in results],
+                   "reps": reps, "warmup": warmup},
+        "benchmarks": {r.group: r.to_dict() for r in results},
+        "suite": {
+            "wall_seconds": round(sum(r.wall_seconds for r in results), 3),
+            "runs": sum(r.runs for r in results),
+            "sims_per_sec_geomean":
+                round(_geomean([r.sims_per_sec for r in results]), 2),
+        },
+        "code_version": code_version(),
+    }
+    if baseline is not None:
+        payload["comparison"] = compare_payloads(payload, baseline,
+                                                 baseline_path=baseline_path)
+    return payload
+
+
+def compare_payloads(current: Dict, baseline: Dict, *,
+                     baseline_path: Optional[str] = None) -> Dict:
+    """Per-group and overall speedup of *current* over *baseline*.
+
+    Speedups are sims/sec ratios (>1 means the current code is faster);
+    the allocation ratio is peak-KiB current/baseline (<1 means leaner).
+    """
+    speedups: Dict[str, float] = {}
+    alloc_ratio: Dict[str, float] = {}
+    for group, bench in current.get("benchmarks", {}).items():
+        base = baseline.get("benchmarks", {}).get(group)
+        if not base or not base.get("sims_per_sec"):
+            continue
+        speedups[group] = round(bench["sims_per_sec"]
+                                / base["sims_per_sec"], 3)
+        if base.get("alloc_peak_kb"):
+            alloc_ratio[group] = round(bench["alloc_peak_kb"]
+                                       / base["alloc_peak_kb"], 3)
+    return {
+        "baseline_path": baseline_path,
+        "baseline_code_version": baseline.get("code_version"),
+        "sims_per_sec_speedup": speedups,
+        "overall_speedup": round(_geomean(list(speedups.values())), 3),
+        "alloc_peak_ratio": alloc_ratio,
+    }
+
+
+def load_baseline(path) -> Optional[Dict]:
+    """Read a baseline payload; None if the file does not exist."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        return None
+    payload = json.loads(p.read_text())
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{p}: not a {BENCH_SCHEMA} payload "
+                         f"(schema={payload.get('schema')!r})")
+    return payload

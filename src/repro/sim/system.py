@@ -97,20 +97,25 @@ class MulticoreSystem:
         last_progress_cycle = self.events.now
         watchdog = self.params.watchdog_cycles
         max_cycles = self.params.max_cycles
-        cores = self.cores
         events = self.events
+        # Cores leave this list permanently once done (idle cores with an
+        # empty trace never enter it), so the per-cycle loop only visits
+        # cores that can still make progress.
+        running = [core for core in self.cores if not core.done]
         while True:
             events.run_due()
-            active = False
-            for core in cores:
-                if not core.done:
-                    core.tick()
-                    active = True
-            if not active:
+            if not running:
                 if events.empty:
                     break
                 events.advance_to_next_event()
                 continue
+            finished = False
+            for core in running:
+                core.tick()
+                if core.done:
+                    finished = True
+            if finished:
+                running = [core for core in running if not core.done]
             if commit_counter.value != last_commits:
                 last_commits = commit_counter.value
                 last_progress_cycle = events.now

@@ -120,6 +120,19 @@ class VerifCore:
                               on_must_retry=self._on_retry)
         self.cache.load(request)
 
+    def issue_sos_load(self, byte_addr: int) -> None:
+        """Issue a load with the SoS bypass: launch a fresh uncacheable
+        read instead of piggybacking on a blocked same-line write MSHR
+        (paper §3.5.2 — what a real core does for its SoS load once the
+        directory hints the write is blocked)."""
+        self._current_load = self._next_load
+        self._next_load += 1
+        request = LoadRequest(byte_addr=byte_addr,
+                              is_ordered=self._is_ordered,
+                              on_value=self._on_value,
+                              on_must_retry=self._on_retry)
+        self.cache.load(request, sos_bypass=True)
+
     def _on_granted(self) -> None:
         self.writes_granted += 1
 

@@ -3,7 +3,9 @@
 ``--slow`` widens the randomized batteries (differential fuzz, liveness
 pressure sweeps) beyond their tier-1 budgets; ``REPRO_FUZZ_COUNT``
 overrides the differential-fuzz program count directly (CI uses a
-reduced battery).
+reduced battery).  ``--update-goldens`` regenerates the determinism
+digests in ``tests/goldens/`` instead of asserting against them — use
+it only after a deliberate behavior change, and review the diff.
 """
 
 import pytest
@@ -13,8 +15,16 @@ def pytest_addoption(parser):
     parser.addoption(
         "--slow", action="store_true", default=False,
         help="run the extended randomized batteries (many more seeds)")
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/ digests from current behavior")
 
 
 @pytest.fixture
 def slow(request):
     return request.config.getoption("--slow")
+
+
+@pytest.fixture
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")

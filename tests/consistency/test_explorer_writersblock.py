@@ -1,0 +1,155 @@
+"""Exploration of the two WritersBlock corner paths the paper leans on.
+
+Both scenarios drive the *production* protocol objects through every
+network delivery order (see :mod:`repro.verification.explorer`):
+
+* a deferred Ack must route through the directory's WritersBlock entry
+  after the lockdown lifts — in every interleaving the block dissolves,
+  the waiting write is granted, and nothing is left in flight;
+* an SoS load whose own write to the line is blocked must bypass the
+  blocked-write MSHR with a fresh uncacheable read and get its value
+  *while the block still holds*.
+"""
+
+from repro.common.types import DirState, LineAddr
+from repro.verification import combined_invariant, explore, no_residue
+
+LINE = LineAddr(0x40)
+ADDR = 0x1000
+
+
+def _home_entry(system, line=LINE):
+    bank = system.dirs[int(line) % len(system.dirs)]
+    return bank.entry(line)
+
+
+def test_deferred_ack_routes_through_writersblock_entry():
+    """Reader locks the line down; a writer blocks; a third core's read
+    tears off uncacheable data mid-block; the lockdown lift's deferred
+    Ack must reach the WritersBlock entry and release the writer — in
+    every delivery order."""
+
+    def setup(system):
+        system.cores[0].issue_load(ADDR)
+
+    def on_quiescent(system):
+        core0, core1, core2 = system.cores[0], system.cores[1], system.cores[2]
+        scratch = system.scratch
+        if not scratch.get("locked") and core0.load_results:
+            scratch["locked"] = True
+            core0.lockdowns.add(LINE)
+            return
+        if scratch.get("locked") and not scratch.get("write"):
+            scratch["write"] = True
+            core1.request_write(LINE)
+            return
+        # The Nack has landed (quiescent + nacked set), so the entry is
+        # in WritersBlock: a read now must be served by tear-off.
+        if LINE in core0.nacked and not scratch.get("tearoff"):
+            scratch["tearoff"] = True
+            core2.issue_load(ADDR)
+            return
+        # Only lift the lockdown after the tear-off read completed, so
+        # the deferred Ack demonstrably traverses a live block.
+        if scratch.get("tearoff") and core2.load_results \
+                and LINE in core0.lockdowns:
+            core0.release_lockdown(LINE)
+
+    def invariant(system):
+        problem = combined_invariant(system)
+        if problem:
+            return problem
+        if LINE in system.cores[0].lockdowns \
+                and system.cores[1].writes_granted:
+            return "write granted while the lockdown still held"
+        return None
+
+    def final_check(system):
+        residue = no_residue(system)
+        if residue:
+            return residue
+        if not system.cores[1].writes_granted:
+            return "blocked write never granted after the deferred ack"
+        core2 = system.cores[2]
+        if not core2.load_results:
+            return "tear-off read never completed"
+        uncacheable = [unc for __, __, unc in core2.load_results]
+        if True not in uncacheable:
+            return ("mid-block read was not served uncacheably: "
+                    f"{core2.load_results}")
+        entry = _home_entry(system)
+        if entry is not None and entry.state is DirState.WRITERS_BLOCK:
+            return "WritersBlock entry never dissolved"
+        return None
+
+    result = explore(setup, invariant, final_check,
+                     on_quiescent=on_quiescent)
+    assert result.ok, result.violations
+    assert result.paths_completed >= 1
+
+
+def test_sos_load_bypasses_blocked_write_mshr():
+    """The writer core itself has an SoS load to the blocked line: it
+    must launch a fresh uncacheable read past its own blocked-write
+    MSHR and perform while the write is still waiting."""
+
+    def setup(system):
+        system.cores[0].issue_load(ADDR)
+
+    def on_quiescent(system):
+        core0, core1 = system.cores[0], system.cores[1]
+        scratch = system.scratch
+        if not scratch.get("locked") and core0.load_results:
+            scratch["locked"] = True
+            core0.lockdowns.add(LINE)
+            return
+        if scratch.get("locked") and not scratch.get("write"):
+            scratch["write"] = True
+            core1.request_write(LINE)
+            return
+        # The BLOCKED_HINT arrived: core1's write MSHR is marked
+        # blocked, which is exactly when a real core launches the SoS
+        # bypass instead of piggybacking on the write.
+        if not scratch.get("bypass") and core1.cache.write_blocked(LINE):
+            scratch["bypass"] = True
+            core1.issue_sos_load(ADDR)
+            return
+        # Lift the lockdown only after the bypass read performed, so
+        # its completion provably did not wait for the block.
+        if scratch.get("bypass") and core1.load_results \
+                and LINE in core0.lockdowns:
+            core0.release_lockdown(LINE)
+
+    def invariant(system):
+        problem = combined_invariant(system)
+        if problem:
+            return problem
+        core0, core1 = system.cores[0], system.cores[1]
+        if LINE in core0.lockdowns and core1.writes_granted:
+            return "write granted while the lockdown still held"
+        # A completed bypass read while the block holds must be the
+        # uncacheable tear-off, never a cacheable fill.
+        if LINE in core0.lockdowns:
+            for __, __, uncacheable in core1.load_results:
+                if not uncacheable:
+                    return ("SoS bypass load filled cacheably while "
+                            "the write was blocked")
+        return None
+
+    def final_check(system):
+        residue = no_residue(system)
+        if residue:
+            return residue
+        core1 = system.cores[1]
+        if not core1.load_results:
+            return "SoS bypass load never completed"
+        if True not in [unc for __, __, unc in core1.load_results]:
+            return f"bypass was not uncacheable: {core1.load_results}"
+        if not core1.writes_granted:
+            return "blocked write never granted"
+        return None
+
+    result = explore(setup, invariant, final_check,
+                     on_quiescent=on_quiescent)
+    assert result.ok, result.violations
+    assert result.paths_completed >= 1

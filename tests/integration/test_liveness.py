@@ -21,6 +21,7 @@ from contextlib import contextmanager
 
 import pytest
 
+from repro.coherence.invariants import check_quiescent
 from repro.common.params import CacheParams, table6_system
 from repro.common.types import CommitMode
 from repro.sim.system import MulticoreSystem
@@ -52,7 +53,11 @@ def time_limit(seconds):
 def run_system(traces, params):
     system = MulticoreSystem(params)
     system.load_program(traces)
-    return system, system.run()
+    result = system.run()
+    # Liveness means *fully* wound down: coherence invariants hold, the
+    # event queue is empty, and every pooled message was released.
+    check_quiescent(system)
+    return system, result
 
 
 def contended_sharing_program(num_writers=3):

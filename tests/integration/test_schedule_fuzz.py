@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from repro.coherence.invariants import check_coherence
+from repro.coherence.invariants import check_quiescent
 from repro.common.params import table6_system
 from repro.common.types import CommitMode
 from repro.consistency.tso_checker import check_tso
@@ -97,7 +97,7 @@ def test_jittered_schedules_stay_coherent(mode, seed):
     system.load_program(contended_program(seed * 17 + 3))
     result = system.run()
     check_tso(result.log)
-    check_coherence(system)
+    check_quiescent(system)
 
 
 @pytest.mark.parametrize("seed", range(4))
@@ -109,4 +109,4 @@ def test_jittered_ecl_cores_stay_coherent(seed):
     system.load_program(contended_program(seed * 31 + 7))
     result = system.run()
     check_tso(result.log)
-    check_coherence(system)
+    check_quiescent(system)

@@ -1,0 +1,108 @@
+"""Performance regression gates.
+
+Two kinds of check:
+
+* **Throughput**: measure a corpus group with the ``repro perf`` harness
+  and compare sims/sec against the committed ``BENCH_perf.json``.  The
+  tier-1 bound is deliberately generous (CI machines differ wildly from
+  the machine that produced the reference); ``--slow`` runs a longer
+  measurement with a tight bound, which is the one that catches real
+  same-machine regressions.
+* **Allocation discipline**: with no observers subscribed, a run must
+  construct zero ``Event`` and zero ``Span`` objects — the observability
+  layer's zero-cost contract.  Enforced by replacing both constructors
+  with booby traps.
+
+The committed artifact itself is also sanity-checked: it must record the
+hot-path overhaul's headline speedup over the pre-overhaul baseline.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.perf.corpus import scenario_cases
+from repro.perf.harness import (BENCH_SCHEMA, DEFAULT_GROUPS, load_baseline,
+                                run_case, run_group)
+from repro.sim.system import MulticoreSystem
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+COMMITTED_BENCH = REPO_ROOT / "benchmarks" / "out" / "BENCH_perf.json"
+COMMITTED_BASELINE = REPO_ROOT / "benchmarks" / "perf_baseline.json"
+
+#: Tier-1 tolerance: catastrophic-regression net only.
+LOOSE_FLOOR = 0.15
+#: --slow tolerance: meaningful on the machine that committed the bench.
+TIGHT_FLOOR = 0.5
+
+
+def _committed():
+    payload = load_baseline(COMMITTED_BENCH)
+    if payload is None:
+        pytest.fail(f"{COMMITTED_BENCH} is missing; run "
+                    "`repro perf` and commit the result")
+    return payload
+
+
+def test_committed_bench_is_valid():
+    payload = _committed()
+    assert payload["schema"] == BENCH_SCHEMA
+    for group in DEFAULT_GROUPS:
+        bench = payload["benchmarks"][group]
+        assert bench["sims_per_sec"] > 0
+        assert bench["alloc_peak_kb"] > 0
+
+
+def test_committed_bench_records_overhaul_speedup():
+    """The committed artifact must embed the comparison against the
+    pre-overhaul baseline and show the >=2x litmus speedup the hot-path
+    work claims.  This is a static check of the committed file, so it is
+    deterministic on any machine."""
+    payload = _committed()
+    comparison = payload.get("comparison")
+    assert comparison, "BENCH_perf.json lacks a baseline comparison"
+    assert COMMITTED_BASELINE.exists()
+    assert comparison["sims_per_sec_speedup"]["litmus"] >= 2.0
+
+
+def test_throughput_within_tolerance_of_committed(slow):
+    reference = _committed()["benchmarks"]
+    if slow:
+        group, reps, warmup, floor = "litmus", 3, 1, TIGHT_FLOOR
+    else:
+        group, reps, warmup, floor = "mp", 2, 1, LOOSE_FLOOR
+    result = run_group(group, reps=reps, warmup=warmup)
+    committed = reference[group]["sims_per_sec"]
+    assert result.sims_per_sec >= committed * floor, (
+        f"{group}: {result.sims_per_sec:.1f} sims/s is below "
+        f"{floor:.0%} of the committed {committed:.1f} sims/s")
+
+
+class _Forbidden:
+    """Stand-in constructor that fails the test if ever invoked."""
+
+    def __init__(self, name):
+        self._name = name
+
+    def __call__(self, *args, **kwargs):
+        raise AssertionError(
+            f"{self._name} constructed during an observer-free run")
+
+
+def test_unobserved_run_allocates_no_events_or_spans(monkeypatch):
+    monkeypatch.setattr("repro.obs.events.Event", _Forbidden("Event"))
+    monkeypatch.setattr("repro.obs.spans.Span", _Forbidden("Span"))
+    for case in scenario_cases():
+        run_case(case)  # would raise if any emit built an Event
+
+
+def test_forbidden_constructors_do_trip_when_observed(monkeypatch):
+    """Positive control: the booby traps actually guard the code path."""
+    monkeypatch.setattr("repro.obs.events.Event", _Forbidden("Event"))
+    case = scenario_cases()[0]
+    system = MulticoreSystem(case.params)
+    system.observe()
+    system.load_program(case.trace_lists())
+    with pytest.raises(AssertionError, match="observer-free"):
+        system.run()

@@ -1,0 +1,74 @@
+"""Golden determinism pins over the shared perf corpus.
+
+The committed digests in ``tests/goldens/determinism.json`` are sha256
+hashes of each golden case's complete ``SimResult.to_json`` output —
+the litmus battery, the directed WritersBlock scenarios, and 25 fixed
+fuzz seeds.  Any change to cycle-level behavior flips at least one
+digest, so a hot-path refactor that claims to be mechanical must leave
+this test green without touching the goldens file.
+
+After a *deliberate* behavior change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/sim/test_goldens.py --update-goldens
+
+and review the diff of the goldens file before committing it.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.perf.corpus import golden_cases
+from repro.perf.goldens import current_digests, load_digests, save_digests
+
+GOLDEN_PATH = (pathlib.Path(__file__).resolve().parents[1]
+               / "goldens" / "determinism.json")
+
+
+def test_goldens_file_is_committed():
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; generate with --update-goldens")
+
+
+def test_golden_case_names_match_corpus(update_goldens):
+    if update_goldens:
+        pytest.skip("goldens being regenerated")
+    committed = load_digests(GOLDEN_PATH)
+    expected = [case.name for case in golden_cases()]
+    assert sorted(committed) == sorted(expected), (
+        "golden corpus changed; regenerate with --update-goldens")
+
+
+def test_golden_digests(update_goldens):
+    digests = current_digests()
+    if update_goldens:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        save_digests(GOLDEN_PATH, digests)
+        pytest.skip(f"goldens rewritten -> {GOLDEN_PATH}")
+    committed = load_digests(GOLDEN_PATH)
+    mismatched = sorted(name for name in digests
+                        if committed.get(name) != digests[name])
+    assert not mismatched, (
+        "simulation behavior diverged from committed goldens for: "
+        + ", ".join(mismatched)
+        + " — if the change is intentional, rerun with --update-goldens "
+        "and review the diff of tests/goldens/determinism.json")
+
+
+def test_digests_are_stable_within_process():
+    """Two back-to-back runs of the same case must digest identically —
+    catches accidental global-state leakage (e.g. id()-keyed output or
+    shared mutable defaults) before it can masquerade as nondeterminism
+    between golden regenerations."""
+    case = golden_cases()[0]
+    first = current_digests([case])
+    second = current_digests([case])
+    assert first == second
+
+
+def test_goldens_file_is_canonical_json():
+    committed = load_digests(GOLDEN_PATH)
+    canonical = json.dumps(committed, indent=1, sort_keys=True) + "\n"
+    assert GOLDEN_PATH.read_text() == canonical, (
+        "goldens file not in canonical form; rewrite with --update-goldens")
