@@ -39,3 +39,29 @@ def grouped_chart(groups: Dict[str, Sequence[Tuple[str, float]]], *,
     for name, items in groups.items():
         blocks.append(hbar_chart(items, width=width, title=f"[{name}]"))
     return "\n\n".join(blocks)
+
+
+def tree_chart(entries: Sequence[Tuple[int, str, float]], *,
+               width: int = 36, title: str = "", unit: str = "") -> str:
+    """Indented bar chart for ranked trees (blame trees).
+
+    ``entries`` are ``(depth, label, value)`` rows in display order;
+    child rows (depth > 0) are drawn with a tree connector and their
+    bars share the root rows' scale.
+    """
+    if not entries:
+        return title
+    peak = max(max(value for __, __, value in entries), 1e-12)
+    labels = [("  " * depth + ("└ " if depth else "") + label)
+              for depth, label, __ in entries]
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, (__, ___, value) in zip(labels, entries):
+        filled = round(value / peak * width)
+        bar = "#" * filled
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"{label.ljust(label_width)}  {bar.ljust(width)} "
+                     f"{value:g}{suffix}")
+    return "\n".join(lines)

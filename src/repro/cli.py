@@ -8,6 +8,11 @@ Commands
 ``litmus [NAME]``        run the litmus suite (or one test) on the simulator
 ``trace WORKLOAD``       observed run; export spans as a Chrome trace
 ``profile WORKLOAD``     wall-clock profile of the simulator itself
+``blame TARGET``         causal stall attribution: blame tree, stall
+                         budgets, critical path (live run or an
+                         exported ``.jsonl`` trace)
+``trace-diff A [B]``     align two runs by instruction identity and
+                         report causal/stall-budget divergence
 ``fig8`` / ``fig9`` / ``fig10``   regenerate a paper figure
 ``table2`` / ``table6``           regenerate a paper table
 ``bench``                regenerate every figure/table through the
@@ -19,9 +24,10 @@ Commands
                          replay); writes ``BENCH_perf.json`` and
                          compares against the committed baseline
 
-``trace`` and ``profile`` also accept the directed scenarios in
-``repro.obs.scenarios`` (e.g. ``mp``), which force WritersBlock
-episodes deterministically.
+``trace``, ``profile``, ``blame`` and ``trace-diff`` also accept the
+directed scenarios in ``repro.obs.scenarios`` (e.g. ``mp``), which
+force WritersBlock episodes deterministically.  File outputs accept
+``-`` for stdout (informational chatter then goes to stderr).
 """
 
 from __future__ import annotations
@@ -33,7 +39,8 @@ from typing import List, Optional
 from .analysis import experiments
 from .common.params import CORE_CLASSES, table6_system
 from .common.types import CommitMode
-from .obs.export import write_chrome_trace, write_events_jsonl
+from .obs.export import (read_trace_jsonl, write_chrome_trace,
+                         write_events_jsonl)
 from .obs.profile import profiled_run
 from .obs.scenarios import TRACE_SCENARIOS, scenario_traces
 from .sim.runner import run_observed, run_workload
@@ -89,9 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="observed run; export spans as a Chrome trace")
     trace_p.add_argument("workload", choices=TRACEABLE)
     trace_p.add_argument("--out", default="trace.json",
-                         help="Chrome trace output path (default trace.json)")
+                         help="Chrome trace output path "
+                              "(default trace.json; '-' for stdout)")
     trace_p.add_argument("--events-out", default=None,
-                         help="also dump the raw event stream as JSONL")
+                         help="also dump the raw event stream as JSONL "
+                              "('-' for stdout)")
     trace_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
     _add_common(trace_p)
 
@@ -99,7 +108,43 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="wall-clock profile of the simulator itself")
     prof_p.add_argument("workload", choices=TRACEABLE)
     prof_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    prof_p.add_argument("--json", default=None,
+                        help="write the profile payload as JSON "
+                             "('-' for stdout)")
     _add_common(prof_p)
+
+    blame_p = sub.add_parser(
+        "blame", help="causal stall attribution: blame tree, stall "
+                      "budgets, critical path")
+    blame_p.add_argument("target",
+                         help="workload/scenario name to run observed, "
+                              "or an exported .jsonl event trace")
+    blame_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    blame_p.add_argument("--top", type=int, default=10,
+                         help="rows per report section (default 10)")
+    blame_p.add_argument("--json", default=None,
+                         help="write the repro-blame/1 payload as JSON "
+                              "('-' for stdout)")
+    _add_common(blame_p)
+
+    diff_p = sub.add_parser(
+        "trace-diff", help="align two runs by instruction identity and "
+                           "report causal/stall-budget divergence")
+    diff_p.add_argument("a", help="workload/scenario name or .jsonl trace")
+    diff_p.add_argument("b", nargs="?", default=None,
+                        help="second trace (default: re-run A under "
+                             "--vs-mode)")
+    diff_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb",
+                        help="commit mode for side A (default ooo-wb)")
+    diff_p.add_argument("--vs-mode", choices=sorted(MODES), default="ooo",
+                        help="commit mode for side B when it is run live "
+                             "(default ooo: the squash-based ablation)")
+    diff_p.add_argument("--top", type=int, default=10,
+                        help="diverging loads to list (default 10)")
+    diff_p.add_argument("--json", default=None,
+                        help="write the repro-diff/1 payload as JSON "
+                             "('-' for stdout)")
+    _add_common(diff_p)
 
     for fig in ("fig8", "fig9", "fig10"):
         fig_p = sub.add_parser(fig, help=f"regenerate paper {fig}")
@@ -214,34 +259,48 @@ def cmd_litmus(args) -> int:
     return 1 if failures else 0
 
 
+def _say_for(*outputs):
+    """print() twin that avoids corrupting a stdout data stream: when
+    any requested output path is ``-``, chatter moves to stderr."""
+    if any(str(out) == "-" for out in outputs if out):
+        return lambda *a, **kw: print(*a, file=sys.stderr, **kw)
+    return print
+
+
 def cmd_trace(args) -> int:
     import time
 
+    say = _say_for(args.out, args.events_out)
     mode = MODES[args.mode]
     params = table6_system(args.core_class, num_cores=args.cores,
                            commit_mode=mode)
     traces = _resolve_traces(args.workload, args.cores, args.scale)
     result, events = run_observed(
         traces, params, check=mode is not CommitMode.OOO_UNSAFE)
-    written = write_chrome_trace(result.spans, args.out, metadata={
+    meta = {
         "workload": args.workload, "mode": mode.value,
         "cores": args.cores, "core_class": args.core_class,
         "cycles": result.cycles,
-        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    written = write_chrome_trace(result.spans, args.out, metadata={
+        **meta, "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
     })
-    print(f"{args.workload} ({mode.value}): {result.cycles} cycles, "
-          f"{len(events)} events, {written} spans -> {args.out}")
+    say(f"{args.workload} ({mode.value}): {result.cycles} cycles, "
+        f"{len(events)} events, {written} spans -> {args.out}")
     for cat, summary in sorted(result.span_summaries.items()):
-        print(f"  {cat:14s} n={summary['count']:<6d} "
-              f"mean={summary['mean']:8.1f} p50={summary['p50']:6.0f} "
-              f"p99={summary['p99']:6.0f} max={summary['max']:6.0f}")
+        say(f"  {cat:14s} n={summary['count']:<6d} "
+            f"mean={summary['mean']:8.1f} p50={summary['p50']:6.0f} "
+            f"p99={summary['p99']:6.0f} max={summary['max']:6.0f}")
     if args.events_out:
-        count = write_events_jsonl(events, args.events_out)
-        print(f"  {count} events -> {args.events_out}")
+        count = write_events_jsonl(events, args.events_out, meta=meta)
+        say(f"  {count} events -> {args.events_out}")
     return 0
 
 
 def cmd_profile(args) -> int:
+    import json
+
+    say = _say_for(args.json)
     mode = MODES[args.mode]
     params = table6_system(args.core_class, num_cores=args.cores,
                            commit_mode=mode)
@@ -250,10 +309,98 @@ def cmd_profile(args) -> int:
     system.load_program(traces)
     result, report = profiled_run(system)
     wall = report.wall_seconds
-    print(f"{args.workload} ({mode.value}): {result.cycles} simulated cycles "
-          f"in {wall:.3f}s host time "
-          f"({result.cycles / max(wall, 1e-9):,.0f} cycles/s)")
-    print(report.render())
+    say(f"{args.workload} ({mode.value}): {result.cycles} simulated cycles "
+        f"in {wall:.3f}s host time "
+        f"({result.cycles / max(wall, 1e-9):,.0f} cycles/s)")
+    say(report.render())
+    if args.json:
+        from .obs.export import open_output
+
+        with open_output(args.json) as handle:
+            json.dump(report.as_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        say(f"profile payload -> {args.json}")
+    return 0
+
+
+def _blame_side(name_or_path: str, mode: CommitMode, args):
+    """Events + cycle count for a CLI target: a ``.jsonl`` trace file
+    loads offline, anything else runs live under *mode*."""
+    import os
+
+    from .obs.causal import CausalGraph
+
+    if os.path.exists(name_or_path) and name_or_path not in TRACEABLE:
+        header, events = read_trace_jsonl(name_or_path)
+        meta = header.get("meta", {})
+        cycles = int(meta.get("cycles") or
+                     max((e.cycle for e in events), default=0))
+        label = str(meta.get("workload", name_or_path))
+        if meta.get("mode"):
+            label = f"{label} ({meta['mode']})"
+        return events, cycles, label, meta
+    if name_or_path not in TRACEABLE:
+        raise SystemExit(f"repro: {name_or_path!r} is neither a trace file "
+                         f"nor a workload/scenario (choose from "
+                         f"{', '.join(TRACEABLE)})")
+    params = table6_system(args.core_class, num_cores=args.cores,
+                           commit_mode=mode)
+    traces = _resolve_traces(name_or_path, args.cores, args.scale)
+    result, events = run_observed(
+        traces, params, check=mode is not CommitMode.OOO_UNSAFE)
+    return (events, result.cycles, f"{name_or_path} ({mode.value})",
+            {"workload": name_or_path, "mode": mode.value})
+
+
+def cmd_blame(args) -> int:
+    import json
+
+    from .obs.blame import build_blame, render_blame
+    from .obs.causal import CausalGraph
+
+    say = _say_for(args.json)
+    events, cycles, label, meta = _blame_side(args.target,
+                                              MODES[args.mode], args)
+    graph = CausalGraph.from_events(events)
+    payload = build_blame(graph, cycles=cycles, meta=meta)
+    say(f"{label}: {cycles} cycles, {len(events)} events, "
+        f"{payload['graph']['episodes']} WritersBlock episode(s)")
+    say("")
+    say(render_blame(payload, top=args.top))
+    if args.json:
+        from .obs.export import open_output
+
+        with open_output(args.json) as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        say(f"\nblame payload -> {args.json}")
+    return 0
+
+
+def cmd_trace_diff(args) -> int:
+    import json
+
+    from .obs.diff import diff_traces, render_diff
+
+    say = _say_for(args.json)
+    events_a, cycles_a, label_a, __ = _blame_side(args.a,
+                                                  MODES[args.mode], args)
+    target_b = args.b if args.b is not None else args.a
+    events_b, cycles_b, label_b, __ = _blame_side(target_b,
+                                                  MODES[args.vs_mode], args)
+    if label_a == label_b:
+        label_a, label_b = f"a:{label_a}", f"b:{label_b}"
+    payload = diff_traces(events_a, events_b,
+                          cycles=(cycles_a, cycles_b),
+                          labels=(label_a, label_b), top=args.top)
+    say(render_diff(payload, top=args.top))
+    if args.json:
+        from .obs.export import open_output
+
+        with open_output(args.json) as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        say(f"\ndiff payload -> {args.json}")
     return 0
 
 
@@ -391,6 +538,8 @@ COMMANDS = {
     "litmus": cmd_litmus,
     "trace": cmd_trace,
     "profile": cmd_profile,
+    "blame": cmd_blame,
+    "trace-diff": cmd_trace_diff,
     "fig8": cmd_fig8,
     "fig9": cmd_fig9,
     "fig10": cmd_fig10,

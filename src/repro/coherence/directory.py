@@ -175,7 +175,7 @@ class DirectoryBank:
                 else:
                     msg.parked = True
                     self._pending_allocs.append(msg)
-                    self._note_write_blocked(msg.line, msg.src)
+                    self._note_write_blocked(msg.line, msg.src, "evicting")
                     self._send(MsgType.BLOCKED_HINT, msg.src, msg.line)
                 return
             entry = self._try_allocate(msg.line)
@@ -189,7 +189,7 @@ class DirectoryBank:
                 msg.parked = True
                 entry.queue.append(msg)
                 self._stat_writes_blocked.add()
-                self._note_write_blocked(msg.line, msg.src)
+                self._note_write_blocked(msg.line, msg.src, "writersblock")
                 self._send(MsgType.BLOCKED_HINT, msg.src, msg.line)
             return
         if not entry.is_stable():
@@ -307,11 +307,12 @@ class DirectoryBank:
         self._send(MsgType.DATA_UNCACHEABLE, msg.src, msg.line,
                    self.params.llc_hit_cycles, data=data.copy())
 
-    def _note_write_blocked(self, line: LineAddr, src: int) -> None:
+    def _note_write_blocked(self, line: LineAddr, src: int,
+                            cause: str) -> None:
         bus = self.bus
         if bus.active:
             bus.emit(Kind.DIR_WRITE_BLOCKED, self.tile, line=int(line),
-                     src=src)
+                     src=src, cause=cause)
 
     # ----------------------------------------------------------- allocation
     def _try_allocate(self, line: LineAddr) -> Optional[DirEntry]:
@@ -390,6 +391,7 @@ class DirectoryBank:
         else:
             msg.parked = True
             self._pending_allocs.append(msg)
+            self._note_write_blocked(msg.line, msg.src, "alloc")
 
     def _schedule_retry(self) -> None:
         """Replay requests parked by a failed allocation.
@@ -485,7 +487,7 @@ class DirectoryBank:
             bus.emit(Kind.WB_BEGIN, self.tile, line=int(entry.line),
                      writer=entry.writer)
         if entry.writer is not None:
-            self._note_write_blocked(entry.line, entry.writer)
+            self._note_write_blocked(entry.line, entry.writer, "writersblock")
             self._send(MsgType.BLOCKED_HINT, entry.writer, entry.line)
         # Reads must never wait behind a blocked write: serve any queued
         # reads uncacheable now, and hint queued writers.
@@ -498,7 +500,8 @@ class DirectoryBank:
                 self.network.pool.release(queued)
             else:
                 self._stat_writes_blocked.add()
-                self._note_write_blocked(queued.line, queued.src)
+                self._note_write_blocked(queued.line, queued.src,
+                                         "writersblock")
                 self._send(MsgType.BLOCKED_HINT, queued.src, queued.line)
                 remaining.append(queued)  # stays parked
         entry.queue = remaining
@@ -552,7 +555,7 @@ class DirectoryBank:
                 bus = self.bus
                 if bus.active:
                     bus.emit(Kind.WB_END, self.tile, line=int(entry.line),
-                             duration=duration)
+                             duration=duration, writer=entry.writer)
                 entry.wb_entered_cycle = -1
             entry.state = DirState.M
             entry.owner = entry.writer

@@ -80,7 +80,8 @@ class LockdownUnit:
         bus = self.bus
         if bus.active:
             bus.emit(Kind.INV_NACKED, self.tile, line=int(line),
-                     holders=len(keys))
+                     holders=len(keys), lq=len(lq_holders),
+                     ldt=len(ldt_holders))
         return True
 
     def _release_holder(self, line: LineAddr, key: HolderKey) -> None:
@@ -93,7 +94,8 @@ class LockdownUnit:
             self._stat_deferred.add()
             bus = self.bus
             if bus.active:
-                bus.emit(Kind.DEFERRED_ACK, self.tile, line=int(line))
+                bus.emit(Kind.DEFERRED_ACK, self.tile, line=int(line),
+                         via_kind=key[0], via_id=key[1])
             self._send_deferred_ack(line)
 
     # ------------------------------------------------------------ lifecycle

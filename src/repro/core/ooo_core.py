@@ -19,7 +19,7 @@ Consistency enforcement is the configurable part (paper §4/§5):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..common.errors import SimulationError
 from ..common.event_queue import EventQueue
@@ -146,6 +146,68 @@ class OoOCore:
                 reason = "rob" if len(rob._entries) >= rob.capacity else "other"
         self._stat_stalls[reason].value += 1
         self._agg_stalls[reason].value += 1
+        bus = self.bus
+        if bus.active:
+            cause, line = self._stall_cause()
+            bus.emit(Kind.COMMIT_STALL, self.core_id, reason=reason,
+                     cause=cause, line=line)
+
+    def _stall_cause(self) -> Tuple[str, int]:
+        """Classify why the ROB head (or draining SB) cannot make
+        progress this cycle.  Observability-only: called when the commit
+        stage retired nothing and the bus has subscribers, so cost does
+        not matter and the classification may probe cache/lockdown state
+        freely.  The blame layer maps these hints onto the stall
+        taxonomy (docs/observability.md)."""
+        head = self.rob.head()
+        if head is None:
+            # ROB empty: the core is draining its store buffer (or idle).
+            sb_head = self.sb.head()
+            if sb_head is not None:
+                return self._store_cause(sb_head.line)
+            return "none", -1
+        itype = head.itype
+        if itype is InstrType.LOAD:
+            entry = head.lq_entry
+            line = int(entry.line) if entry.line is not None else -1
+            if head.performed:
+                # Performed M-spec load held back: OOO_WB needs LDT room.
+                if self.ldt.full:
+                    return "ldt_full", line
+                return "exec", line
+            if head.mem_inflight:
+                return "load_inflight", line
+            if entry.line is not None:
+                if self.lockdowns.line_pending_inv(entry.line):
+                    return "lockdown_pending", line
+                if not self.cache.mshrs.can_allocate():
+                    return "mshr_full", line
+            return "exec", line
+        if itype is InstrType.STORE:
+            if not head.executed:
+                return "exec", -1
+            if self.sb.full:
+                sb_head = self.sb.head()
+                if sb_head is not None:
+                    return self._store_cause(sb_head.line)
+            return "exec", -1
+        if itype is InstrType.ATOMIC:
+            if head.resolved_addr is None:
+                return "exec", -1
+            line = line_of(head.resolved_addr, self._line_bytes)
+            return self._store_cause(line)
+        return "exec", -1
+
+    def _store_cause(self, line: LineAddr) -> Tuple[str, int]:
+        """Why is a store (or atomic) to *line* not globally performed?"""
+        cache = self.cache
+        if cache.write_blocked(line):
+            return "write_blocked", int(line)
+        if cache.has_write_mshr(line):
+            return "store_inflight", int(line)
+        if not cache.mshrs.can_allocate():
+            return "mshr_full", int(line)
+        return "exec", int(line)
 
     # -------------------------------------------------------------- dispatch
     def _dispatch(self) -> None:

@@ -54,13 +54,17 @@ class Cell:
     params: SystemParams
     check: bool = True
     traces: Optional[Tuple[Tuple[Instruction, ...], ...]] = None
+    #: Run with the causal observer attached; the result then carries a
+    #: ``repro-blame/1`` stall-attribution payload (``result.blame``).
+    observe: bool = False
 
     @staticmethod
     def from_traces(key: str, label: str, traces, params: SystemParams, *,
-                    check: bool = True) -> "Cell":
+                    check: bool = True, observe: bool = False) -> "Cell":
         frozen = tuple(tuple(trace) for trace in traces)
         return Cell(key=key, workload=label, num_threads=len(frozen),
-                    scale=0.0, params=params, check=check, traces=frozen)
+                    scale=0.0, params=params, check=check, traces=frozen,
+                    observe=observe)
 
     def spec(self) -> Dict:
         """Canonical description of everything that determines the
@@ -70,6 +74,7 @@ class Cell:
             "num_threads": self.num_threads,
             "scale": self.scale,
             "check": self.check,
+            "observe": self.observe,
             "params": params_spec(self.params),
         }
         if self.traces is not None:

@@ -439,6 +439,97 @@ def ablation_network_driver(cfg: BenchConfig, engine: ExperimentEngine
                         cells, assemble)
 
 
+# ------------------------------------------------------- stall blame
+#: Directed scenarios are tiny and need exact core counts, so the blame
+#: grid ignores ``cfg.cores``/``cfg.scale`` — quick and full runs agree.
+BLAME_SCENARIOS = ("mp", "sos")
+BLAME_MODES = (CommitMode.OOO, CommitMode.OOO_WB)
+
+
+def blame_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
+    """Causal stall attribution grid: scenarios x (ablated, WritersBlock).
+
+    Every cell runs observed (``Cell.observe``), so its result carries a
+    ``repro-blame/1`` payload; the report aggregates the per-cause stall
+    budgets and the WritersBlock-on vs. ablated deltas per scenario.
+    """
+    from ..obs.scenarios import scenario_traces
+
+    cells = []
+    for scenario in BLAME_SCENARIOS:
+        for mode in BLAME_MODES:
+            params = table6_system("SLM", num_cores=4, commit_mode=mode)
+            cells.append(Cell.from_traces(
+                f"blame/{scenario}/{mode.value}", scenario,
+                scenario_traces(scenario), params, observe=True))
+
+    def assemble(cells, results):
+        table_rows = []
+        rows = []
+        cause_totals: Dict[str, int] = {}
+        for scenario in BLAME_SCENARIOS:
+            per_mode = {}
+            for mode in BLAME_MODES:
+                result = results[f"blame/{scenario}/{mode.value}"]
+                blame = result.blame or {}
+                ws = blame.get("write_stalls", {})
+                cs = blame.get("commit_stalls", {})
+                causes = {name: entry["cycles"]
+                          for name, entry in ws.get("causes", {}).items()}
+                for name, count in causes.items():
+                    cause_totals[name] = cause_totals.get(name, 0) + count
+                tree = blame.get("blame_tree", [])
+                top = tree[0]["cause"] if tree else "-"
+                per_mode[mode] = {"cycles": result.cycles,
+                                  "write": ws.get("total_cycles", 0),
+                                  "commit": cs.get("total_cycles", 0)}
+                table_rows.append((
+                    scenario, mode.value, result.cycles,
+                    ws.get("total_cycles", 0),
+                    f"{ws.get('coverage', 1.0):.0%}",
+                    cs.get("total_cycles", 0),
+                    f"{cs.get('coverage', 1.0):.0%}", top))
+                rows.append({"scenario": scenario, "mode": mode.value,
+                             "cycles": result.cycles,
+                             "write_stalls": ws, "commit_stalls": cs,
+                             "top_blame": top,
+                             "write_stall_causes": causes})
+            wb = per_mode[CommitMode.OOO_WB]
+            ablated = per_mode[CommitMode.OOO]
+            rows.append({"scenario": scenario, "mode": "delta",
+                         "cycles_delta": wb["cycles"] - ablated["cycles"],
+                         "write_stall_delta": wb["write"] - ablated["write"],
+                         "commit_stall_delta":
+                             wb["commit"] - ablated["commit"]})
+        text_parts = [format_table(
+            ["scenario", "mode", "cycles", "write stalls", "attributed",
+             "commit stalls", "attributed", "top blame"],
+            table_rows,
+            title="Causal stall attribution (directed scenarios)")]
+        if cause_totals:
+            from ..analysis.charts import hbar_chart
+            text_parts.append(hbar_chart(
+                sorted(cause_totals.items(), key=lambda kv: -kv[1]),
+                title="write-stall cycles by root cause (all cells)",
+                unit=" cyc"))
+        return "\n\n".join(text_parts), rows
+
+    report = _grid_report("blame", "blame_stalls", cfg, engine, cells,
+                          assemble)
+    report.totals["write_stall_cause_cycles"] = {
+        name: count for name, count in sorted(
+            (report.rows and _cause_totals(report.rows) or {}).items())}
+    return report
+
+
+def _cause_totals(rows: List[Dict]) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for row in rows:
+        for name, count in row.get("write_stall_causes", {}).items():
+            totals[name] = totals.get(name, 0) + count
+    return totals
+
+
 # ------------------------------------------------------- unsafe commit
 def ablation_unsafe_driver(cfg: BenchConfig, engine: ExperimentEngine
                            ) -> BenchReport:
@@ -482,4 +573,5 @@ DRIVERS: Dict[str, Callable[[BenchConfig, ExperimentEngine], BenchReport]] = {
     "ablation_evictions": ablation_evictions_driver,
     "ablation_network": ablation_network_driver,
     "ablation_unsafe": ablation_unsafe_driver,
+    "blame": blame_driver,
 }

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..sim.results import SimResult
-from ..sim.runner import run_traces, run_workload
+from ..sim.runner import run_blamed, run_traces, run_workload
 from .cache import ResultCache
 from .cells import Cell, cell_keys
 
@@ -34,12 +34,16 @@ def execute_cell(cell: Cell) -> SimResult:
     """Run one cell's simulation (live, un-normalized result)."""
     if cell.traces is not None:
         traces = [list(trace) for trace in cell.traces]
-        return run_traces(traces, cell.params, check=cell.check)
-    from ..workloads import ALL_WORKLOADS
+    else:
+        from ..workloads import ALL_WORKLOADS
 
-    workload = ALL_WORKLOADS[cell.workload](num_threads=cell.num_threads,
-                                            scale=cell.scale)
-    return run_workload(workload, cell.params, check=cell.check)
+        workload = ALL_WORKLOADS[cell.workload](num_threads=cell.num_threads,
+                                                scale=cell.scale)
+        traces = workload.traces
+    if cell.observe:
+        result, __ = run_blamed(traces, cell.params, check=cell.check)
+        return result
+    return run_traces(traces, cell.params, check=cell.check)
 
 
 def _worker_run(cell: Cell):

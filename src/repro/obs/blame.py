@@ -1,0 +1,216 @@
+"""Stall attribution over the causal graph: blame trees + critical path.
+
+Two budgets are accounted:
+
+* **Write stalls** — for every write parked by the directory
+  (``dir.write_blocked``), the cycles until its line's WritersBlock
+  episode ended.  Each blocked interval is split at the episode's last
+  deferred Ack: cycles spent waiting for lockdowns to lift are blamed
+  on ``writersblock.deferred_ack`` (sub-divided by whether the gating
+  holder sat in the LQ or the LDT), the protocol tail from Ack to the
+  writer's Unblock on ``writersblock.unblock``.  Writes parked behind
+  an eviction or a full directory (``cause`` = ``evicting``/``alloc``)
+  are counted under ``dir_eviction`` (their release is not separately
+  instrumented, so only the event count is attributed).
+* **Commit stalls** — one ``commit.stall`` event per core per cycle in
+  which the commit stage retired nothing.  The core's cause hint maps
+  onto the stall taxonomy: ``writersblock`` (head store's line blocked
+  at the directory), ``lockdown`` (LDT full, or the head load's line
+  under a Nacked invalidation), ``mshr`` (MSHR file full), ``network``
+  (a miss in flight), ``other`` (execution / frontend).
+
+Payloads use schema ``repro-blame/1`` and are engine-safe: plain JSON
+types, no per-process identifiers, keys sorted by the serializer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from .causal import CausalGraph
+
+BLAME_SCHEMA = "repro-blame/1"
+
+#: Root causes of the write-stall budget.
+WB_DEFER = "writersblock.deferred_ack"
+WB_UNBLOCK = "writersblock.unblock"
+DIR_EVICTION = "dir_eviction"
+
+#: Core cause hints (``commit.stall`` args) -> stall taxonomy buckets.
+COMMIT_CAUSE_MAP = {
+    "write_blocked": "writersblock",
+    "lockdown_pending": "lockdown",
+    "ldt_full": "lockdown",
+    "mshr_full": "mshr",
+    "load_inflight": "network",
+    "store_inflight": "network",
+    "exec": "other",
+    "none": "other",
+}
+
+
+def build_blame(graph: CausalGraph, *, cycles: int = 0,
+                meta: Optional[Dict] = None) -> Dict:
+    """Attribute every accounted stall cycle; returns the blame payload."""
+    write_stalls = _write_stalls(graph)
+    commit_stalls = _commit_stalls(graph)
+    payload: Dict[str, object] = {
+        "schema": BLAME_SCHEMA,
+        "cycles": int(cycles),
+        "graph": {"nodes": len(graph.nodes), "edges": len(graph.edges),
+                  "episodes": len(graph.episodes)},
+        "write_stalls": write_stalls,
+        "commit_stalls": commit_stalls,
+        "blame_tree": _blame_tree(graph, write_stalls),
+        "critical_path": graph.critical_path(),
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+# ------------------------------------------------------------ write stalls
+def _write_stalls(graph: CausalGraph) -> Dict:
+    causes: Dict[str, Dict[str, int]] = defaultdict(
+        lambda: {"cycles": 0, "events": 0})
+    total = 0
+    unattributed = 0
+    for episode in graph.episodes:
+        last_ack = max((graph.nodes[d].cycle for d in episode.defers),
+                       default=None)
+        for blocked_idx in episode.blocked:
+            start = graph.nodes[blocked_idx].cycle
+            if episode.end_cycle is None:
+                # Run ended mid-episode; nothing to attribute safely.
+                unattributed += 1
+                continue
+            stalled = episode.end_cycle - start
+            total += stalled
+            if last_ack is None:
+                causes[WB_UNBLOCK]["cycles"] += stalled
+                causes[WB_UNBLOCK]["events"] += 1
+                continue
+            defer_part = max(min(last_ack, episode.end_cycle) - start, 0)
+            causes[WB_DEFER]["cycles"] += defer_part
+            causes[WB_DEFER]["events"] += 1
+            causes[WB_UNBLOCK]["cycles"] += stalled - defer_part
+            causes[WB_UNBLOCK]["events"] += 1
+    # Eviction-/allocation-parked writes: nodes outside any episode.
+    for idx, event in enumerate(graph.nodes):
+        if event.kind == "dir.write_blocked" and \
+                event.args.get("cause") in ("evicting", "alloc"):
+            causes[DIR_EVICTION]["events"] += 1
+    attributed = sum(entry["cycles"] for entry in causes.values())
+    return {
+        "total_cycles": total,
+        "attributed_cycles": attributed,
+        "coverage": round(attributed / total, 4) if total else 1.0,
+        "unattributed_events": unattributed,
+        "causes": {name: dict(entry) for name, entry in
+                   sorted(causes.items())},
+    }
+
+
+def _defer_kind(graph: CausalGraph, episode) -> str:
+    """LQ or LDT: where did the lockdown gating the last Ack live?"""
+    if not episode.defers:
+        return "lq"
+    last = max(episode.defers, key=lambda d: graph.nodes[d].cycle)
+    return str(graph.nodes[last].args.get("via_kind", "lq"))
+
+
+# ----------------------------------------------------------- commit stalls
+def _commit_stalls(graph: CausalGraph) -> Dict:
+    causes: Dict[str, int] = defaultdict(int)
+    reasons: Dict[str, int] = defaultdict(int)
+    for idx in graph.stalls:
+        args = graph.nodes[idx].args
+        causes[COMMIT_CAUSE_MAP.get(str(args.get("cause")), "other")] += 1
+        reasons[str(args.get("reason", "other"))] += 1
+    total = len(graph.stalls)
+    attributed = total - causes.get("other", 0)
+    return {
+        "total_cycles": total,
+        "attributed_cycles": attributed,
+        "coverage": round(attributed / total, 4) if total else 1.0,
+        "causes": dict(sorted(causes.items())),
+        "reasons": dict(sorted(reasons.items())),
+    }
+
+
+# -------------------------------------------------------------- blame tree
+def _blame_tree(graph: CausalGraph, write_stalls: Dict) -> List[Dict]:
+    """Ranked tree: root cause -> per-line children, by stalled cycles."""
+    per_line: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    for episode in graph.episodes:
+        if episode.end_cycle is None:
+            continue
+        last_ack = max((graph.nodes[d].cycle for d in episode.defers),
+                       default=None)
+        kind = _defer_kind(graph, episode)
+        for blocked_idx in episode.blocked:
+            start = graph.nodes[blocked_idx].cycle
+            stalled = episode.end_cycle - start
+            if last_ack is None:
+                per_line[WB_UNBLOCK][episode.line] += stalled
+                continue
+            defer_part = max(min(last_ack, episode.end_cycle) - start, 0)
+            per_line[f"{WB_DEFER}.{kind}"][episode.line] += defer_part
+            per_line[WB_UNBLOCK][episode.line] += stalled - defer_part
+    tree: List[Dict] = []
+    for cause, lines in per_line.items():
+        children = [{"line": line, "cycles": count}
+                    for line, count in sorted(lines.items(),
+                                              key=lambda kv: (-kv[1], kv[0]))]
+        tree.append({
+            "cause": cause,
+            "cycles": sum(lines.values()),
+            "events": len(lines),
+            "children": children,
+        })
+    tree.sort(key=lambda node: (-node["cycles"], node["cause"]))
+    return tree
+
+
+# --------------------------------------------------------------- rendering
+def render_blame(payload: Dict, *, top: int = 10, width: int = 72) -> str:
+    """ASCII report: blame tree, stall budgets, critical path."""
+    from ..analysis.charts import tree_chart
+    from ..analysis.tables import format_table
+
+    lines: List[str] = []
+    tree = payload["blame_tree"]
+    if tree:
+        entries = []
+        for node in tree[:top]:
+            entries.append((0, node["cause"], node["cycles"]))
+            for child in node["children"][:3]:
+                entries.append((1, f"line {child['line']:#x}",
+                                child["cycles"]))
+        lines.append(tree_chart(entries, title="write-stall blame tree",
+                                unit="cyc"))
+    ws, cs = payload["write_stalls"], payload["commit_stalls"]
+    rows = [["write", str(ws["total_cycles"]), str(ws["attributed_cycles"]),
+             f"{ws['coverage']:.1%}"],
+            ["commit", str(cs["total_cycles"]), str(cs["attributed_cycles"]),
+             f"{cs['coverage']:.1%}"]]
+    lines.append(format_table(["budget", "stall cycles", "attributed",
+                               "coverage"], rows, title="stall budgets"))
+    cause_rows = [[name, str(count)]
+                  for name, count in cs["causes"].items()]
+    if cause_rows:
+        lines.append(format_table(["commit-stall cause", "cycles"],
+                                  cause_rows))
+    path = payload["critical_path"]
+    if path:
+        hops = [[str(hop["cycle"]), hop["kind"], str(hop["tile"]),
+                 (f"{hop['line']:#x}" if hop["line"] not in (-1, None)
+                  else "-"),
+                 hop["via"] or "-", f"+{hop['dcycles']}"]
+                for hop in path[-top:]]
+        lines.append(format_table(
+            ["cycle", "event", "tile", "line", "via", "wait"], hops,
+            title=f"critical path ({len(path)} hops, "
+                  f"showing last {min(top, len(path))})"))
+    return "\n\n".join(lines)

@@ -1,0 +1,359 @@
+"""Causal dependency graph over the observability event stream.
+
+Reconstructs *who waits for whom* from the raw event stream — live as a
+bus subscriber (:class:`CausalObserver`) or offline from an exported
+JSONL trace (:meth:`CausalGraph.from_events`).  Both paths build the
+same graph: nodes are events, edges are happens-because relations.
+
+Edge types (see docs/observability.md for the full causal model):
+
+* ``chain``   — lifecycle steps of one entity (load issue → perform →
+  ordered/commit, wb.begin → wb.end, mshr.alloc → mshr.free,
+  lockdown.begin → lockdown.export → ldt.release).
+* ``nack``    — an open lockdown caused an invalidation Nack
+  (lockdown.begin/export → inv.nacked on the same (tile, line)).
+* ``enter``   — the Nack drove the home bank into WritersBlock
+  (inv.nacked → wb.begin on the same line).
+* ``block``   — a write parked behind the episode (wb.begin →
+  dir.write_blocked).
+* ``tearoff`` — a read during the episode was served a use-once copy
+  (wb.begin → dir.tearoff).
+* ``release`` — the event that lifted the last lockdown produced the
+  deferred Ack (load.ordered / load.squash / ldt.release →
+  deferred.ack, resolved through the Ack's ``via_kind``/``via_id``).
+* ``defer``   — the deferred Ack let the episode end (deferred.ack →
+  wb.end on the same line).
+* ``bind``    — the memory response that performed a load (mshr.alloc
+  or dir.tearoff → load.perform).
+
+The write-stall story the paper tells is therefore a literal path:
+load.perform → lockdown.begin → inv.nacked → wb.begin →
+dir.write_blocked, resolved by load.ordered → deferred.ack → wb.end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .events import Event, EventBus, Kind
+
+#: Event kinds the causal graph consumes (everything except the
+#: high-volume ``net.send`` and per-cycle ``commit.window`` feeds).
+CAUSAL_KINDS = (
+    Kind.LOAD_ISSUE, Kind.LOAD_PERFORM, Kind.LOAD_ORDERED,
+    Kind.LOAD_COMMIT, Kind.LOAD_SQUASH,
+    Kind.LOCKDOWN_BEGIN, Kind.LOCKDOWN_EXPORT, Kind.LDT_RELEASE,
+    Kind.INV_NACKED, Kind.DEFERRED_ACK,
+    Kind.WB_BEGIN, Kind.WB_END, Kind.DIR_TEAROFF, Kind.DIR_WRITE_BLOCKED,
+    Kind.MSHR_ALLOC, Kind.MSHR_FREE,
+    Kind.COMMIT_STALL,
+)
+
+
+class EdgeType:
+    CHAIN = "chain"
+    NACK = "nack"
+    ENTER = "enter"
+    BLOCK = "block"
+    TEAROFF = "tearoff"
+    RELEASE = "release"
+    DEFER = "defer"
+    BIND = "bind"
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """Directed causal edge between two node (event) indices."""
+
+    src: int
+    dst: int
+    etype: str
+
+
+@dataclass(slots=True)
+class WBEpisode:
+    """One WritersBlock window at a directory bank, with its cast."""
+
+    tile: int
+    line: int
+    begin: int                    # wb.begin node index
+    begin_cycle: int
+    end: Optional[int] = None     # wb.end node index (None if unfinished)
+    end_cycle: Optional[int] = None
+    nack: Optional[int] = None    # the inv.nacked that caused entry
+    blocked: Tuple = ()           # dir.write_blocked node indices
+    tearoffs: Tuple = ()          # dir.tearoff node indices
+    defers: Tuple = ()            # deferred.ack node indices
+
+    def __post_init__(self) -> None:
+        self.blocked = list(self.blocked)
+        self.tearoffs = list(self.tearoffs)
+        self.defers = list(self.defers)
+
+
+class CausalGraph:
+    """Incrementally-built causal DAG over an event stream.
+
+    Feed events in stream order through :meth:`add`; edges always point
+    from an earlier node to the node being added, so ``edges`` is sorted
+    by destination — the property the critical-path pass relies on.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: List[Event] = []
+        self.edges: List[Edge] = []
+        self.episodes: List[WBEpisode] = []
+        self.stalls: List[int] = []  # commit.stall node indices
+        # --- builder state (mirrors the simulator's own bookkeeping) ---
+        self._load_nodes: Dict[Tuple[int, int], int] = {}    # (tile,uid)
+        self._load_release: Dict[Tuple[int, int], int] = {}  # lift events
+        self._holder_nodes: Dict[Tuple[int, str, int], int] = {}
+        self._holder_lines: Dict[Tuple[int, str, int], int] = {}
+        self._line_holders: Dict[Tuple[int, int], Set] = {}
+        self._open_mshr: Dict[Tuple[int, int, str], int] = {}
+        self._last_fill: Dict[Tuple[int, int], int] = {}  # feeds bind edges
+        self._open_wb: Dict[Tuple[int, int], WBEpisode] = {}
+        self._last_nack: Dict[int, int] = {}  # line -> inv.nacked node
+
+    # ------------------------------------------------------------ building
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "CausalGraph":
+        graph = cls()
+        for event in events:
+            graph.add(event)
+        return graph
+
+    def add(self, event: Event) -> None:
+        kind = event.kind
+        handler = _HANDLERS.get(kind)
+        if handler is None:
+            return  # uninteresting kind (net.send, commit.window, ...)
+        idx = len(self.nodes)
+        self.nodes.append(event)
+        handler(self, idx, event)
+
+    def _edge(self, src: Optional[int], dst: int, etype: str) -> None:
+        if src is not None:
+            self.edges.append(Edge(src, dst, etype))
+
+    # Handlers: one per kind, named _on_<snake>.  Each links the new
+    # node backwards into the graph and updates builder state.
+    def _on_load_issue(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        key = (tile, args["uid"])
+        self._load_nodes[key] = idx
+        # A miss allocates its MSHR before load.issue is emitted, so the
+        # open read MSHR on this line is this load's fill dependency.
+        mshr = self._open_mshr.get((tile, args["line"], "read"))
+        self._edge(mshr, idx, EdgeType.BIND)
+
+    def _on_load_perform(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        key = (tile, args["uid"])
+        self._edge(self._load_nodes.get(key), idx, EdgeType.CHAIN)
+        self._load_nodes[key] = idx
+        if args.get("uncacheable"):
+            # SoS bypass: the perform was fed by a tear-off reply.
+            self._edge(self._last_fill.get((tile, args["line"])), idx,
+                       EdgeType.BIND)
+
+    def _on_lockdown_begin(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        self._edge(self._load_nodes.get((tile, args["uid"])), idx,
+                   EdgeType.CHAIN)
+        self._set_holder((tile, "lq", args["uid"]), args["line"], idx)
+
+    def _on_lockdown_export(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        old = (tile, "lq", args["uid"])
+        self._edge(self._holder_nodes.get(old), idx, EdgeType.CHAIN)
+        self._clear_holder(old)
+        self._set_holder((tile, "ldt", args["index"]), args["line"], idx)
+
+    def _on_ldt_release(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        key = (tile, "ldt", args["index"])
+        self._edge(self._holder_nodes.get(key), idx, EdgeType.CHAIN)
+        self._clear_holder(key)
+        self._load_release[(tile, ("ldt", args["index"]))] = idx
+
+    def _on_load_ordered(self, idx: int, event: Event) -> None:
+        self._close_load(idx, event, squashed=False)
+
+    def _on_load_squash(self, idx: int, event: Event) -> None:
+        self._close_load(idx, event, squashed=True)
+
+    def _close_load(self, idx: int, event: Event, *, squashed: bool) -> None:
+        tile, args = event.tile, event.args
+        key = (tile, args["uid"])
+        self._edge(self._load_nodes.get(key), idx, EdgeType.CHAIN)
+        self._load_nodes[key] = idx
+        self._clear_holder((tile, "lq", args["uid"]))
+        self._load_release[(tile, ("lq", args["uid"]))] = idx
+
+    def _on_load_commit(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        key = (tile, args["uid"])
+        self._edge(self._load_nodes.get(key), idx, EdgeType.CHAIN)
+        self._load_nodes[key] = idx
+
+    def _on_inv_nacked(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        line = args["line"]
+        for holder_key in sorted(self._line_holders.get((tile, line), ())):
+            self._edge(self._holder_nodes.get((tile,) + holder_key), idx,
+                       EdgeType.NACK)
+        self._last_nack[line] = idx
+
+    def _on_wb_begin(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        line = args["line"]
+        episode = WBEpisode(tile=tile, line=line, begin=idx,
+                            begin_cycle=event.cycle,
+                            nack=self._last_nack.get(line))
+        self._edge(episode.nack, idx, EdgeType.ENTER)
+        self._open_wb[(tile, line)] = episode
+        self.episodes.append(episode)
+
+    def _on_dir_write_blocked(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        episode = self._open_wb.get((tile, args["line"]))
+        if episode is not None and args.get("cause") == "writersblock":
+            episode.blocked.append(idx)
+            self._edge(episode.begin, idx, EdgeType.BLOCK)
+
+    def _on_dir_tearoff(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        self._last_fill[(args["requester"], args["line"])] = idx
+        episode = self._open_wb.get((tile, args["line"]))
+        if episode is not None:
+            episode.tearoffs.append(idx)
+            self._edge(episode.begin, idx, EdgeType.TEAROFF)
+
+    def _on_deferred_ack(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        via = (args["via_kind"], args["via_id"])
+        self._edge(self._load_release.get((tile, via)), idx,
+                   EdgeType.RELEASE)
+        for episode in self._open_wb.values():
+            if episode.line == args["line"]:
+                episode.defers.append(idx)
+
+    def _on_wb_end(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        episode = self._open_wb.pop((tile, args["line"]), None)
+        if episode is None:
+            return
+        episode.end = idx
+        episode.end_cycle = event.cycle
+        self._edge(episode.begin, idx, EdgeType.CHAIN)
+        for defer in episode.defers:
+            self._edge(defer, idx, EdgeType.DEFER)
+
+    def _on_mshr_alloc(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        self._open_mshr[(tile, args["line"], args["kind"])] = idx
+
+    def _on_mshr_free(self, idx: int, event: Event) -> None:
+        tile, args = event.tile, event.args
+        key = (tile, args["line"], args["kind"])
+        self._edge(self._open_mshr.pop(key, None), idx, EdgeType.CHAIN)
+        if args["kind"] == "read":
+            self._last_fill[(tile, args["line"])] = idx
+
+    def _on_commit_stall(self, idx: int, event: Event) -> None:
+        self.stalls.append(idx)
+
+    # ------------------------------------------------------- holder helpers
+    def _set_holder(self, key, line: int, idx: int) -> None:
+        self._holder_nodes[key] = idx
+        self._holder_lines[key] = line
+        self._line_holders.setdefault((key[0], line), set()).add(key[1:])
+
+    def _clear_holder(self, key) -> None:
+        self._holder_nodes.pop(key, None)
+        line = self._holder_lines.pop(key, None)
+        if line is not None:
+            holders = self._line_holders.get((key[0], line))
+            if holders is not None:
+                holders.discard(key[1:])
+                if not holders:
+                    del self._line_holders[(key[0], line)]
+
+    # -------------------------------------------------------------- queries
+    def signature(self) -> List[Tuple]:
+        """Order-stable structural fingerprint (for round-trip checks)."""
+        nodes = [(e.cycle, e.kind, e.tile) for e in self.nodes]
+        edges = [(e.src, e.dst, e.etype) for e in self.edges]
+        return [tuple(nodes), tuple(edges)]
+
+    def critical_path(self) -> List[Dict]:
+        """Longest causal chain by elapsed cycles.
+
+        Classic longest-path DP over the DAG: edges are already sorted
+        by destination (see :meth:`add`), so a single forward sweep
+        relaxes every edge in a valid topological order.  Edge weight is
+        the cycle gap between its endpoints (negative gaps — e.g. a
+        release recorded after the ack it explains — contribute zero).
+        Returns the path as hop dicts, earliest first.
+        """
+        n = len(self.nodes)
+        if n == 0:
+            return []
+        dist = [0] * n
+        back: List[Optional[Edge]] = [None] * n
+        cycles = [event.cycle for event in self.nodes]
+        for edge in self.edges:
+            weight = max(cycles[edge.dst] - cycles[edge.src], 0)
+            if dist[edge.src] + weight > dist[edge.dst]:
+                dist[edge.dst] = dist[edge.src] + weight
+                back[edge.dst] = edge
+        tail = max(range(n), key=lambda i: (dist[i], -i))
+        path: List[Dict] = []
+        idx: Optional[int] = tail
+        while idx is not None:
+            edge = back[idx]
+            event = self.nodes[idx]
+            path.append({
+                "cycle": event.cycle, "kind": event.kind,
+                "tile": event.tile, "line": event.args.get("line", -1),
+                "via": edge.etype if edge else None,
+                "dcycles": (event.cycle - self.nodes[edge.src].cycle
+                            if edge else 0),
+            })
+            idx = edge.src if edge else None
+        path.reverse()
+        return path
+
+
+_HANDLERS = {
+    Kind.LOAD_ISSUE: CausalGraph._on_load_issue,
+    Kind.LOAD_PERFORM: CausalGraph._on_load_perform,
+    Kind.LOAD_ORDERED: CausalGraph._on_load_ordered,
+    Kind.LOAD_COMMIT: CausalGraph._on_load_commit,
+    Kind.LOAD_SQUASH: CausalGraph._on_load_squash,
+    Kind.LOCKDOWN_BEGIN: CausalGraph._on_lockdown_begin,
+    Kind.LOCKDOWN_EXPORT: CausalGraph._on_lockdown_export,
+    Kind.LDT_RELEASE: CausalGraph._on_ldt_release,
+    Kind.INV_NACKED: CausalGraph._on_inv_nacked,
+    Kind.DEFERRED_ACK: CausalGraph._on_deferred_ack,
+    Kind.WB_BEGIN: CausalGraph._on_wb_begin,
+    Kind.WB_END: CausalGraph._on_wb_end,
+    Kind.DIR_TEAROFF: CausalGraph._on_dir_tearoff,
+    Kind.DIR_WRITE_BLOCKED: CausalGraph._on_dir_write_blocked,
+    Kind.MSHR_ALLOC: CausalGraph._on_mshr_alloc,
+    Kind.MSHR_FREE: CausalGraph._on_mshr_free,
+    Kind.COMMIT_STALL: CausalGraph._on_commit_stall,
+}
+
+
+class CausalObserver:
+    """Live bus subscriber building a :class:`CausalGraph` as a run goes."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self.graph = CausalGraph()
+        self._sub = bus.subscribe(self.graph.add, kinds=CAUSAL_KINDS)
+
+    def close(self) -> None:
+        self._sub.close()

@@ -1,0 +1,203 @@
+"""Cross-run trace diffing: align two runs, report causal divergence.
+
+Loads are aligned by **instruction identity** ``(tile, seq)`` — the
+per-core program-order sequence number — never by ``uid`` (uids come
+from a process-global counter and are not stable across runs).  On top
+of the alignment the diff reports:
+
+* total-cycle and per-budget stall deltas (from each run's blame
+  payload),
+* causal-structure divergence: per-edge-type counts, WritersBlock
+  episode counts/durations, squash counts,
+* the loads whose perform latency diverged the most.
+
+Payload schema: ``repro-diff/1``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .blame import build_blame
+from .causal import CausalGraph
+from .events import Event, Kind
+
+DIFF_SCHEMA = "repro-diff/1"
+
+
+def _load_latencies(events: Sequence[Event]) -> Dict[Tuple[int, int], Dict]:
+    """Per (tile, seq): issue/perform cycles of the *surviving* attempt.
+
+    A squashed load re-issues with a fresh uid but the same seq; later
+    attempts overwrite earlier ones, so the surviving execution wins.
+    """
+    seq_of: Dict[Tuple[int, int], int] = {}  # (tile, uid) -> seq
+    loads: Dict[Tuple[int, int], Dict] = {}
+    for event in events:
+        if event.kind == Kind.LOAD_ISSUE:
+            key = (event.tile, event.args["seq"])
+            seq_of[(event.tile, event.args["uid"])] = event.args["seq"]
+            loads[key] = {"issue": event.cycle, "perform": None,
+                          "line": event.args["line"]}
+        elif event.kind == Kind.LOAD_PERFORM:
+            seq = seq_of.get((event.tile, event.args["uid"]))
+            if seq is not None:
+                entry = loads.get((event.tile, seq))
+                if entry is not None:
+                    entry["perform"] = event.cycle
+    return loads
+
+
+def _edge_counts(graph: CausalGraph) -> Dict[str, int]:
+    counts: Dict[str, int] = defaultdict(int)
+    for edge in graph.edges:
+        counts[edge.etype] += 1
+    return dict(sorted(counts.items()))
+
+
+def _kind_counts(events: Sequence[Event]) -> Dict[str, int]:
+    counts: Dict[str, int] = defaultdict(int)
+    for event in events:
+        counts[event.kind] += 1
+    return dict(sorted(counts.items()))
+
+
+def _side_summary(label: str, events: Sequence[Event], cycles: int) -> Dict:
+    graph = CausalGraph.from_events(events)
+    blame = build_blame(graph, cycles=cycles)
+    durations = [ep.end_cycle - ep.begin_cycle for ep in graph.episodes
+                 if ep.end_cycle is not None]
+    return {
+        "label": label,
+        "cycles": cycles,
+        "events": len(events),
+        "edge_counts": _edge_counts(graph),
+        "kind_counts": _kind_counts(events),
+        "wb_episodes": len(graph.episodes),
+        "wb_cycles": sum(durations),
+        "write_stalls": blame["write_stalls"],
+        "commit_stalls": blame["commit_stalls"],
+    }
+
+
+def diff_traces(events_a: Sequence[Event], events_b: Sequence[Event], *,
+                cycles: Tuple[int, int],
+                labels: Tuple[str, str] = ("a", "b"),
+                top: int = 10) -> Dict:
+    """Structural + stall-budget diff of two event streams."""
+    side_a = _side_summary(labels[0], events_a, cycles[0])
+    side_b = _side_summary(labels[1], events_b, cycles[1])
+
+    def _delta(path: List[str]) -> int:
+        va, vb = side_a, side_b
+        for key in path:
+            va, vb = va[key], vb[key]
+        return vb - va
+
+    loads_a = _load_latencies(events_a)
+    loads_b = _load_latencies(events_b)
+    shared = sorted(set(loads_a) & set(loads_b))
+    diverging: List[Dict] = []
+    for key in shared:
+        la, lb = loads_a[key], loads_b[key]
+        if la["perform"] is None or lb["perform"] is None:
+            continue
+        lat_a = la["perform"] - la["issue"]
+        lat_b = lb["perform"] - lb["issue"]
+        if lat_a != lat_b:
+            diverging.append({"tile": key[0], "seq": key[1],
+                              "line": la["line"],
+                              "latency_a": lat_a, "latency_b": lat_b,
+                              "delta": lat_b - lat_a})
+    diverging.sort(key=lambda d: (-abs(d["delta"]), d["tile"], d["seq"]))
+
+    causes = sorted(set(side_a["write_stalls"]["causes"])
+                    | set(side_b["write_stalls"]["causes"]))
+    stall_deltas = {
+        "cycles": _delta(["cycles"]),
+        "write_stall_cycles": _delta(["write_stalls", "total_cycles"]),
+        "commit_stall_cycles": _delta(["commit_stalls", "total_cycles"]),
+        "wb_cycles": _delta(["wb_cycles"]),
+        "write_stall_causes": {
+            name: (side_b["write_stalls"]["causes"].get(
+                       name, {"cycles": 0})["cycles"]
+                   - side_a["write_stalls"]["causes"].get(
+                       name, {"cycles": 0})["cycles"])
+            for name in causes},
+        "commit_stall_causes": {
+            name: (side_b["commit_stalls"]["causes"].get(name, 0)
+                   - side_a["commit_stalls"]["causes"].get(name, 0))
+            for name in sorted(set(side_a["commit_stalls"]["causes"])
+                               | set(side_b["commit_stalls"]["causes"]))},
+    }
+    return {
+        "schema": DIFF_SCHEMA,
+        "a": side_a,
+        "b": side_b,
+        "stall_deltas": stall_deltas,
+        "aligned_loads": len(shared),
+        "diverging_loads": diverging[:top],
+        "diverging_load_count": len(diverging),
+    }
+
+
+def render_diff(payload: Dict, *, top: int = 10) -> str:
+    """ASCII report of a trace diff."""
+    from ..analysis.tables import format_table
+
+    side_a, side_b = payload["a"], payload["b"]
+    la, lb = side_a["label"], side_b["label"]
+    deltas = payload["stall_deltas"]
+    lines: List[str] = []
+
+    def _fmt(value: int) -> str:
+        return f"{value:+d}" if value else "0"
+
+    rows = [
+        ["cycles", str(side_a["cycles"]), str(side_b["cycles"]),
+         _fmt(deltas["cycles"])],
+        ["write-stall cycles", str(side_a["write_stalls"]["total_cycles"]),
+         str(side_b["write_stalls"]["total_cycles"]),
+         _fmt(deltas["write_stall_cycles"])],
+        ["commit-stall cycles", str(side_a["commit_stalls"]["total_cycles"]),
+         str(side_b["commit_stalls"]["total_cycles"]),
+         _fmt(deltas["commit_stall_cycles"])],
+        ["WritersBlock episodes", str(side_a["wb_episodes"]),
+         str(side_b["wb_episodes"]),
+         _fmt(side_b["wb_episodes"] - side_a["wb_episodes"])],
+        ["WritersBlock cycles", str(side_a["wb_cycles"]),
+         str(side_b["wb_cycles"]), _fmt(deltas["wb_cycles"])],
+    ]
+    lines.append(format_table(["stall budget", la, lb, "delta"], rows,
+                              title=f"trace diff: {la} vs {lb}"))
+
+    cause_rows = [[name, _fmt(delta)] for name, delta in
+                  {**deltas["write_stall_causes"],
+                   **deltas["commit_stall_causes"]}.items() if delta]
+    if cause_rows:
+        lines.append(format_table(["root cause", f"delta ({lb} - {la})"],
+                                  cause_rows, title="stall-budget deltas"))
+
+    structural = []
+    for kind in sorted(set(side_a["kind_counts"])
+                       | set(side_b["kind_counts"])):
+        ca = side_a["kind_counts"].get(kind, 0)
+        cb = side_b["kind_counts"].get(kind, 0)
+        if ca != cb:
+            structural.append([kind, str(ca), str(cb), _fmt(cb - ca)])
+    if structural:
+        lines.append(format_table(["event kind", la, lb, "delta"],
+                                  structural, title="causal-structure "
+                                  "divergence (event counts)"))
+
+    if payload["diverging_loads"]:
+        rows = [[f"core{d['tile']}", str(d["seq"]), f"{d['line']:#x}",
+                 str(d["latency_a"]), str(d["latency_b"]), _fmt(d["delta"])]
+                for d in payload["diverging_loads"][:top]]
+        lines.append(format_table(
+            ["core", "seq", "line", f"{la} lat", f"{lb} lat", "delta"],
+            rows, title=f"top diverging loads "
+                        f"({payload['diverging_load_count']} total, "
+                        f"{payload['aligned_loads']} aligned)"))
+    return "\n\n".join(lines)

@@ -35,18 +35,19 @@ class Kind:
     LOCKDOWN_BEGIN = "lockdown.begin"    # uid, line
     LOCKDOWN_EXPORT = "lockdown.export"  # uid, line, index (LQ -> LDT)
     LDT_RELEASE = "ldt.release"          # index, line
-    INV_NACKED = "inv.nacked"            # line, holders
-    DEFERRED_ACK = "deferred.ack"        # line
+    INV_NACKED = "inv.nacked"            # line, holders, lq, ldt
+    DEFERRED_ACK = "deferred.ack"        # line, via_kind, via_id
     # Directory / WritersBlock episodes (paper §3.3)
     WB_BEGIN = "wb.begin"            # line, writer
-    WB_END = "wb.end"                # line, duration
+    WB_END = "wb.end"                # line, duration, writer
     DIR_TEAROFF = "dir.tearoff"      # line, requester
-    DIR_WRITE_BLOCKED = "dir.write_blocked"  # line, src
+    DIR_WRITE_BLOCKED = "dir.write_blocked"  # line, src, cause
     # Private cache / MSHR occupancy
     MSHR_ALLOC = "mshr.alloc"        # uid, line, kind, sos
     MSHR_FREE = "mshr.free"          # uid, line, kind
     # Commit stage
     COMMIT_WINDOW = "commit.window"  # count (instructions retired this cycle)
+    COMMIT_STALL = "commit.stall"    # reason, cause, line (one per stalled cycle)
     # Network
     NET_SEND = "net.send"  # msg_type, src, dst, dst_port, line, arrival, flits
 

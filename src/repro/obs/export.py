@@ -2,8 +2,11 @@
 
 Two formats:
 
-* **JSONL** — one event per line, lossless round trip through
-  :func:`write_events_jsonl` / :func:`read_events_jsonl`.
+* **JSONL** — a ``{"schema": "repro-trace/1", ...}`` header line, then
+  one event per line; lossless round trip through
+  :func:`write_events_jsonl` / :func:`read_events_jsonl`.  Loading a
+  trace without the header (or with an unknown version) fails loudly so
+  offline causal analysis never runs on a stale format.
 * **Chrome trace_event JSON** — ``{"traceEvents": [...]}`` with complete
   ("X") events for spans and metadata ("M") events naming the tracks.
   Viewable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
@@ -15,37 +18,89 @@ Two formats:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+import sys
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .events import Event
 from .spans import Span
 
 PathLike = Union[str, os.PathLike]
 
+#: JSONL trace format version (the first record of every trace file).
+TRACE_SCHEMA = "repro-trace/1"
+
 #: Stable per-tile track (tid) assignment for span categories.
 TRACKS = {"load": 0, "lockdown": 1, "mshr": 2, "writersblock": 3}
 
 
+@contextlib.contextmanager
+def open_output(path: PathLike) -> Iterator:
+    """Open *path* for writing; ``-`` streams to stdout (left open)."""
+    if str(path) == "-":
+        yield sys.stdout
+        sys.stdout.flush()
+    else:
+        with open(path, "w") as handle:
+            yield handle
+
+
 # ----------------------------------------------------------------- JSONL
-def write_events_jsonl(events: Iterable[Event], path: PathLike) -> int:
-    """Dump *events* one-per-line; returns the number written."""
+def write_events_jsonl(events: Iterable[Event], path: PathLike, *,
+                       meta: Optional[Dict] = None) -> int:
+    """Dump a header record then *events* one-per-line.
+
+    Returns the number of events written (the header is not counted).
+    ``path`` may be ``-`` to stream to stdout.
+    """
+    header: Dict[str, object] = {"schema": TRACE_SCHEMA}
+    if meta:
+        header["meta"] = dict(meta)
     count = 0
-    with open(path, "w") as handle:
+    with open_output(path) as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
         for event in events:
             handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
             count += 1
     return count
 
 
-def read_events_jsonl(path: PathLike) -> List[Event]:
+def read_trace_jsonl(path: PathLike) -> Tuple[Dict, List[Event]]:
+    """Load a JSONL trace; returns ``(header, events)``.
+
+    Raises :class:`ValueError` when the header record is missing or
+    declares a version this reader does not understand.
+    """
     events: List[Event] = []
+    header: Optional[Dict] = None
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(Event.from_dict(json.loads(line)))
+            if not line:
+                continue
+            record = json.loads(line)
+            if header is None:
+                if not isinstance(record, dict) or "schema" not in record:
+                    raise ValueError(
+                        f"{path}: missing {TRACE_SCHEMA!r} header record "
+                        "(re-export the trace with this version of repro)")
+                if record["schema"] != TRACE_SCHEMA:
+                    raise ValueError(
+                        f"{path}: unknown trace schema {record['schema']!r} "
+                        f"(this reader understands {TRACE_SCHEMA!r})")
+                header = record
+                continue
+            events.append(Event.from_dict(record))
+    if header is None:
+        raise ValueError(f"{path}: empty trace file (no header record)")
+    return header, events
+
+
+def read_events_jsonl(path: PathLike) -> List[Event]:
+    """Load just the events of a JSONL trace (header validated)."""
+    __, events = read_trace_jsonl(path)
     return events
 
 
@@ -84,8 +139,9 @@ def write_chrome_trace(spans: Sequence[Span], path: PathLike, *,
         "displayTimeUnit": "ms",
         "otherData": dict(metadata or {}),
     }
-    with open(path, "w") as handle:
+    with open_output(path) as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
     return sum(1 for event in trace_events if event["ph"] == "X")
 
 

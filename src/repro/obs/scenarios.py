@@ -71,8 +71,12 @@ def sos_bypass() -> Traces:
     writer.compute(latency=60)
     writer.store(x, 1)
     bystander = TraceBuilder()
-    bystander.compute(latency=150)
-    bystander.load(bystander.reg(), x)
+    # Gate the address so the loads cannot issue until the WritersBlock
+    # window is open (an ungated load issues at cycle 1, long before the
+    # writer's Nacked invalidation, and would just be a plain miss).
+    pace = bystander.reg()
+    bystander.gate(pace, srcs=(), latency=350)
+    bystander.load(bystander.reg(), x, addr_reg=pace)
     bystander.load(bystander.reg(), x)
     return [reader.build(), writer.build(), bystander.build()]
 

@@ -55,9 +55,19 @@ def _group_cases(group: str) -> List[PerfCase]:
                    f"choose from {sorted(DEFAULT_GROUPS)}")
 
 
-def run_case(case: PerfCase) -> int:
-    """Build and run one corpus case; returns simulated cycles."""
+def run_case(case: PerfCase, *, observe: bool = False) -> int:
+    """Build and run one corpus case; returns simulated cycles.
+
+    ``observe=True`` attaches the span tracker and the causal-graph
+    subscriber — the configuration the observability-overhead
+    regression test prices against the bus-off default.
+    """
     system = MulticoreSystem(case.params)
+    if observe:
+        from ..obs.causal import CausalObserver
+
+        system.observe()
+        CausalObserver(system.bus)
     system.load_program(case.trace_lists())
     return system.run().cycles
 
@@ -99,20 +109,21 @@ class PerfResult:
 
 
 def run_group(group: str, *, reps: int = 3, warmup: int = 1,
+              observe: bool = False,
               echo: Optional[Callable[[str], None]] = None) -> PerfResult:
     """Benchmark one corpus group: warmup, timed reps, one traced rep."""
     cases = _group_cases(group)
     for __ in range(warmup):
         for case in cases:
-            run_case(case)
+            run_case(case, observe=observe)
     start = time.perf_counter()
     sim_cycles = 0
     for rep in range(reps):
-        sim_cycles = sum(run_case(case) for case in cases)
+        sim_cycles = sum(run_case(case, observe=observe) for case in cases)
     wall = time.perf_counter() - start
     tracemalloc.start()
     for case in cases:
-        run_case(case)
+        run_case(case, observe=observe)
     __, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     result = PerfResult(group=group, cases=len(cases), reps=reps,

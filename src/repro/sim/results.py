@@ -31,6 +31,9 @@ class SimResult:
     #: Host wall-clock profile ({wall_seconds, components, calls}) when the
     #: run was made through ``repro.obs.profile.profiled_run``.
     profile: Optional[Dict] = None
+    #: Causal stall attribution (schema ``repro-blame/1``), populated by
+    #: ``repro.sim.runner.run_blamed`` / observed engine cells.
+    blame: Optional[Dict] = None
 
     # ----------------------------------------------------------- raw counters
     def counter(self, name: str, default: int = 0) -> int:
@@ -114,7 +117,7 @@ class SimResult:
         """
         params = dataclasses.asdict(self.params)
         params["commit_mode"] = self.params.commit_mode.value
-        return {
+        payload = {
             "params": params,
             "cycles": self.cycles,
             "per_core_cycles": list(self.per_core_cycles),
@@ -138,6 +141,11 @@ class SimResult:
             "span_summaries": dict(self.span_summaries),
             "profile": self.profile,
         }
+        if self.blame is not None:
+            # Only observed runs carry a blame payload; omitting the key
+            # otherwise keeps unobserved digests (goldens) unchanged.
+            payload["blame"] = self.blame
+        return payload
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=1, sort_keys=True)
@@ -165,6 +173,7 @@ class SimResult:
             histograms=dict(payload.get("histograms", {})),
             span_summaries=dict(payload.get("span_summaries", {})),
             profile=payload.get("profile"),
+            blame=payload.get("blame"),
         )
 
     def save_json(self, path) -> None:

@@ -56,6 +56,31 @@ def run_observed(traces: Sequence[List[Instruction]],
     return result, recorder.events
 
 
+def run_blamed(traces: Sequence[List[Instruction]],
+               params: Optional[SystemParams] = None, *,
+               check: bool = True):
+    """Run with the causal observer; attach stall attribution.
+
+    Returns ``(result, graph)``; the result carries the blame payload
+    (``result.blame``, schema ``repro-blame/1``) through serialization,
+    so engine-routed cells keep it across pool and cache replays.
+    """
+    from ..obs.blame import build_blame
+    from ..obs.causal import CausalObserver
+
+    if params is None:
+        params = table6_system("SLM")
+    system = MulticoreSystem(params)
+    system.observe()
+    observer = CausalObserver(system.bus)
+    system.load_program(traces)
+    result = system.run()
+    if check and params.record_execution:
+        check_tso(result.log)
+    result.blame = build_blame(observer.graph, cycles=result.cycles)
+    return result, observer.graph
+
+
 def run_workload(workload, params: Optional[SystemParams] = None, *,
                  check: bool = True, observe: bool = False) -> SimResult:
     """Run a :class:`repro.workloads.trace.Workload`."""

@@ -55,9 +55,36 @@ def test_cache_round_trip_is_byte_identical(tmp_path):
         cold.json_path.read_text())["rows"]
 
 
+def test_blame_driver_payload_schema(tmp_path):
+    (run,) = run_bench(["blame"], QUICK_CFG, tmp_path)
+    payload = json.loads(run.json_path.read_text())
+    assert payload["schema"] == "repro-bench/1"
+    assert payload["name"] == "blame"
+    data_rows = [r for r in payload["rows"] if r["mode"] != "delta"]
+    delta_rows = [r for r in payload["rows"] if r["mode"] == "delta"]
+    assert {r["scenario"] for r in data_rows} == {"mp", "sos"}
+    assert {r["mode"] for r in data_rows} == {"ooo", "ooo-wb"}
+    for row in data_rows:
+        assert row["cycles"] > 0
+        assert row["write_stalls"]["coverage"] >= 0.95
+        assert row["commit_stalls"]["total_cycles"] >= 0
+    # mp under WritersBlock must blame the deferred-Ack chain on top.
+    (mp_wb,) = [r for r in data_rows
+                if r["scenario"] == "mp" and r["mode"] == "ooo-wb"]
+    assert mp_wb["top_blame"].startswith("writersblock.deferred_ack")
+    # One delta row per scenario, with the WB-vs-ablated stall budget.
+    assert {r["scenario"] for r in delta_rows} == {"mp", "sos"}
+    for row in delta_rows:
+        assert {"cycles_delta", "write_stall_delta",
+                "commit_stall_delta"} <= set(row)
+    totals = payload["totals"]["write_stall_cause_cycles"]
+    assert any(name.startswith("writersblock.deferred_ack")
+               for name in totals)
+
+
 def test_every_driver_is_registered():
     assert set(DRIVERS) == {
         "fig8", "fig9", "fig10", "table1", "table2", "table6",
         "sweep_lq", "ecl_inorder", "ablation_ldt", "ablation_evictions",
-        "ablation_network", "ablation_unsafe",
+        "ablation_network", "ablation_unsafe", "blame",
     }

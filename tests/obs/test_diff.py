@@ -1,0 +1,65 @@
+"""Trace diffing: alignment by instruction identity, stall deltas."""
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.obs.diff import DIFF_SCHEMA, diff_traces, render_diff
+from repro.obs.scenarios import scenario_traces
+from repro.sim.runner import run_observed
+
+
+def _observed(mode):
+    params = table6_system("SLM", num_cores=4, commit_mode=mode)
+    return run_observed(scenario_traces("mp"), params)
+
+
+@pytest.fixture(scope="module")
+def mp_diff():
+    result_wb, events_wb = _observed(CommitMode.OOO_WB)
+    result_ooo, events_ooo = _observed(CommitMode.OOO)
+    return diff_traces(events_wb, events_ooo,
+                       cycles=(result_wb.cycles, result_ooo.cycles),
+                       labels=("ooo-wb", "ooo"))
+
+
+def test_diff_schema_and_sides(mp_diff):
+    assert mp_diff["schema"] == DIFF_SCHEMA
+    assert mp_diff["a"]["label"] == "ooo-wb"
+    assert mp_diff["b"]["label"] == "ooo"
+    assert mp_diff["a"]["events"] > 0 and mp_diff["b"]["events"] > 0
+
+
+def test_diff_reports_stall_budget_delta(mp_diff):
+    deltas = mp_diff["stall_deltas"]
+    # Ablating WritersBlock removes the deferred-Ack write stalls: the
+    # write-stall budget must shrink (a negative wb-minus-ablated delta
+    # would read positive here since ooo-wb is side a).
+    assert deltas["write_stall_cycles"] < 0
+    assert deltas["wb_cycles"] < 0
+    assert mp_diff["b"]["wb_episodes"] < mp_diff["a"]["wb_episodes"]
+    assert deltas["write_stall_causes"]["writersblock.deferred_ack"] < 0
+
+
+def test_diff_aligns_loads_by_identity(mp_diff):
+    assert mp_diff["aligned_loads"] > 0
+    for entry in mp_diff["diverging_loads"]:
+        assert entry["delta"] == entry["latency_b"] - entry["latency_a"]
+    assert len(mp_diff["diverging_loads"]) <= mp_diff["diverging_load_count"]
+
+
+def test_diff_of_identical_runs_is_null(tmp_path):
+    result, events = _observed(CommitMode.OOO_WB)
+    payload = diff_traces(events, events,
+                          cycles=(result.cycles, result.cycles))
+    deltas = payload["stall_deltas"]
+    assert deltas["cycles"] == 0
+    assert deltas["write_stall_cycles"] == 0
+    assert all(v == 0 for v in deltas["write_stall_causes"].values())
+    assert payload["diverging_load_count"] == 0
+
+
+def test_render_diff_is_printable(mp_diff):
+    text = render_diff(mp_diff)
+    assert "trace diff: ooo-wb vs ooo" in text
+    assert "stall budget" in text

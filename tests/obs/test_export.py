@@ -1,11 +1,17 @@
 """Exporter round trips: JSONL events and Chrome trace_event JSON."""
 
+import json
+
+import pytest
+
 from repro.common.params import table6_system
 from repro.common.types import CommitMode
 from repro.obs.export import (
+    TRACE_SCHEMA,
     TRACKS,
     load_chrome_trace,
     read_events_jsonl,
+    read_trace_jsonl,
     trace_spans,
     write_chrome_trace,
     write_events_jsonl,
@@ -25,6 +31,50 @@ def test_jsonl_round_trip(tmp_path):
     path = tmp_path / "events.jsonl"
     assert write_events_jsonl(events, path) == len(events) > 0
     assert read_events_jsonl(path) == events
+
+
+def test_jsonl_header_and_meta_round_trip(tmp_path):
+    __, events = observed_mp()
+    path = tmp_path / "events.jsonl"
+    write_events_jsonl(events, path, meta={"workload": "mp", "cores": 4})
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first["schema"] == TRACE_SCHEMA
+    header, back = read_trace_jsonl(path)
+    assert header["meta"] == {"workload": "mp", "cores": 4}
+    assert back == events
+
+
+def test_jsonl_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(json.dumps({"schema": "repro-trace/99"}) + "\n")
+    with pytest.raises(ValueError, match="unknown trace schema"):
+        read_trace_jsonl(path)
+
+
+def test_jsonl_rejects_missing_header(tmp_path):
+    __, events = observed_mp()
+    path = tmp_path / "headerless.jsonl"
+    with open(path, "w") as handle:
+        for event in events[:3]:
+            handle.write(json.dumps(event.to_dict()) + "\n")
+    with pytest.raises(ValueError, match="missing"):
+        read_trace_jsonl(path)
+
+
+def test_jsonl_rejects_empty_file(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty trace file"):
+        read_trace_jsonl(empty)
+
+
+def test_jsonl_streams_to_stdout(capsys):
+    __, events = observed_mp()
+    count = write_events_jsonl(events[:5], "-")
+    assert count == 5
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 6  # header + 5 events
+    assert json.loads(lines[0])["schema"] == TRACE_SCHEMA
 
 
 def test_chrome_trace_round_trip(tmp_path):

@@ -89,6 +89,68 @@ def test_profile_scenario(capsys):
     assert "core" in printed
 
 
+def test_blame_scenario(capsys, tmp_path):
+    import json
+
+    json_out = tmp_path / "blame.json"
+    code = main(["blame", "mp", "--cores", "4", "--json", str(json_out)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "write-stall blame tree" in printed
+    assert "critical path" in printed
+    payload = json.loads(json_out.read_text())
+    assert payload["schema"] == "repro-blame/1"
+    assert payload["write_stalls"]["coverage"] >= 0.95
+    assert payload["blame_tree"][0]["cause"].startswith(
+        "writersblock.deferred_ack")
+
+
+def test_blame_offline_from_exported_trace(capsys, tmp_path):
+    """`repro blame` replays an exported JSONL trace without a live run."""
+    events_out = tmp_path / "mp_events.jsonl"
+    assert main(["trace", "mp", "--out", str(tmp_path / "t.json"),
+                 "--events-out", str(events_out), "--cores", "4"]) == 0
+    capsys.readouterr()
+    assert main(["blame", str(events_out)]) == 0
+    printed = capsys.readouterr().out
+    assert "write-stall blame tree" in printed
+
+
+def test_blame_json_to_stdout(capsys):
+    import json
+
+    assert main(["blame", "mp", "--cores", "4", "--json", "-"]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["schema"] == "repro-blame/1"
+
+
+def test_trace_events_to_stdout(capsys):
+    import json
+
+    assert main(["trace", "mp", "--cores", "4", "--out", "/dev/null",
+                 "--events-out", "-"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    header = json.loads(lines[0])
+    assert header["schema"] == "repro-trace/1"
+    assert header["meta"]["workload"] == "mp"
+    assert all(json.loads(line) for line in lines[1:])
+
+
+def test_trace_diff_modes(capsys):
+    code = main(["trace-diff", "mp", "--mode", "ooo-wb",
+                 "--vs-mode", "ooo", "--cores", "4"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "trace diff" in printed
+    assert "stall budget" in printed
+
+
+def test_blame_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        main(["blame", "no-such-thing"])
+
+
 def test_fig8_tiny(capsys):
     code = main(["fig8", "--benches", "swaptions", "--cores", "4",
                  "--scale", "0.2"])
