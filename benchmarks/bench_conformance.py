@@ -1,0 +1,29 @@
+"""TSO conformance corpus through the three-way differential checker.
+
+Runs the committed herd-style litmus corpus (``tests/conformance/
+corpus/``) against the simulator, the operational x86-TSO machine, and
+the axiomatic enumerator — demanding sim ⊆ operational ⊆ axiomatic on
+every test — then the POR-reduced exhaustive explorer over the 4-tile
+``mp``/``sos`` protocol scenarios (deadlock freedom and
+SoS-never-blocked on every reachable state).  Driver:
+``repro.exp.drivers.conformance_driver``.
+"""
+
+from repro.exp.drivers import conformance_driver
+
+from .conftest import worker_count
+
+
+def bench_conformance(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(conformance_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds
+                 if report.engine_run else 0.0, worker_count())
+    assert report.rows, "conformance produced no rows"
+    assert report.totals["violations"] == 0, report.totals
+    assert report.totals["ok"], report.totals
+    for row in report.rows:
+        if "exploration" in row:
+            assert row["ok"], row
+        else:
+            assert row["violations"] == 0, row

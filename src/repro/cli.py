@@ -19,15 +19,22 @@ Commands
                          parallel experiment engine; writes the text
                          tables plus machine-readable ``BENCH_*.json``
                          to ``benchmarks/out/``
+``conform``              TSO conformance: run the litmus corpus through
+                         the three-way differential checker (simulator
+                         ⊆ operational x86-TSO ⊆ axiomatic) plus the
+                         POR-reduced protocol explorer; ``--replay``
+                         re-executes an exported forbidden-outcome
+                         witness with causal blame
 ``perf``                 single-run throughput microbenchmarks (litmus
                          battery, directed mp/sos scenarios, fuzz
                          replay); writes ``BENCH_perf.json`` and
                          compares against the committed baseline
 
 ``trace``, ``profile``, ``blame`` and ``trace-diff`` also accept the
-directed scenarios in ``repro.obs.scenarios`` (e.g. ``mp``), which
-force WritersBlock episodes deterministically.  File outputs accept
-``-`` for stdout (informational chatter then goes to stderr).
+directed scenarios in ``repro.obs.scenarios`` (e.g. ``mp``) and
+conformance-corpus tests via ``litmus:<NAME>`` (e.g.
+``litmus:MP+po+slow``).  File outputs accept ``-`` for stdout
+(informational chatter then goes to stderr).
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ from .common.types import CommitMode
 from .obs.export import (read_trace_jsonl, write_chrome_trace,
                          write_events_jsonl)
 from .obs.profile import profiled_run
-from .obs.scenarios import TRACE_SCENARIOS, scenario_traces
+from .obs.scenarios import TRACE_SCENARIOS, is_litmus_target, scenario_traces
 from .sim.runner import run_observed, run_workload
 from .sim.system import MulticoreSystem
 from .workloads import ALL_WORKLOADS
@@ -54,10 +61,22 @@ TRACEABLE = sorted(set(ALL_WORKLOADS) | set(TRACE_SCENARIOS))
 
 
 def _resolve_traces(name: str, cores: int, scale: float):
-    """Per-core traces for a workload name or a directed scenario."""
-    if name in TRACE_SCENARIOS:
-        return scenario_traces(name)
+    """Per-core traces for a workload name, a directed scenario, or a
+    conformance-corpus test (``litmus:<NAME>``)."""
+    if name in TRACE_SCENARIOS or is_litmus_target(name):
+        try:
+            return scenario_traces(name)
+        except KeyError as exc:
+            raise SystemExit(f"repro: {exc.args[0]}")
     return ALL_WORKLOADS[name](num_threads=cores, scale=scale).traces
+
+
+def _traceable(value: str) -> str:
+    """argparse type for trace/profile targets (allows litmus:<NAME>)."""
+    if value in TRACEABLE or is_litmus_target(value):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"choose from {', '.join(TRACEABLE)} or litmus:<NAME>")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -94,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_p = sub.add_parser(
         "trace", help="observed run; export spans as a Chrome trace")
-    trace_p.add_argument("workload", choices=TRACEABLE)
+    trace_p.add_argument("workload", type=_traceable, metavar="WORKLOAD")
     trace_p.add_argument("--out", default="trace.json",
                          help="Chrome trace output path "
                               "(default trace.json; '-' for stdout)")
@@ -106,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     prof_p = sub.add_parser(
         "profile", help="wall-clock profile of the simulator itself")
-    prof_p.add_argument("workload", choices=TRACEABLE)
+    prof_p.add_argument("workload", type=_traceable, metavar="WORKLOAD")
     prof_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
     prof_p.add_argument("--json", default=None,
                         help="write the profile payload as JSON "
@@ -183,6 +202,48 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--cache-dir", default=None,
                          help="result cache directory "
                               "(default $REPRO_CACHE_DIR or .repro-cache)")
+
+    conf_p = sub.add_parser(
+        "conform", help="TSO conformance: three-way differential check "
+                        "of the litmus corpus (sim ⊆ operational ⊆ "
+                        "axiomatic) + exhaustive protocol exploration")
+    conf_p.add_argument("--only", default=None,
+                        help="comma-separated test names or families "
+                             "(default: whole corpus)")
+    conf_p.add_argument("--full", action="store_true",
+                        help="run the full corpus (default: the tier-1 "
+                             "slice; REPRO_CONFORM_FULL=1 also forces "
+                             "full)")
+    conf_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    conf_p.add_argument("--core-class", choices=sorted(CORE_CLASSES),
+                        default="SLM")
+    conf_p.add_argument("--seed", type=int, default=0,
+                        help="seed for the schedule perturbations "
+                             "(default 0, the pinned BENCH seed)")
+    conf_p.add_argument("--perturb", type=int, default=2,
+                        help="random delay tuples per test beyond the "
+                             "deterministic grid (default 2)")
+    conf_p.add_argument("--no-explore", action="store_true",
+                        help="skip the POR protocol exploration")
+    conf_p.add_argument("--no-por", action="store_true",
+                        help="explore without sleep-set reduction")
+    conf_p.add_argument("--witness-dir", default=None,
+                        help="directory for forbidden-outcome witness "
+                             "JSONs (default: none written)")
+    conf_p.add_argument("--replay", default=None, metavar="WITNESS",
+                        help="replay an exported witness JSON and print "
+                             "outcome + causal blame; other flags are "
+                             "ignored")
+    conf_p.add_argument("--regen", action="store_true",
+                        help="regenerate tests/conformance/corpus/ from "
+                             "the shape generator and exit")
+    conf_p.add_argument("--corpus-dir", default=None,
+                        help="corpus directory override "
+                             "(default tests/conformance/corpus or "
+                             "$REPRO_CORPUS_DIR)")
+    conf_p.add_argument("--json", default=None,
+                        help="write the repro-conformance/1 payload as "
+                             "JSON ('-' for stdout)")
 
     perf_p = sub.add_parser(
         "perf", help="single-run throughput microbenchmarks "
@@ -339,10 +400,10 @@ def _blame_side(name_or_path: str, mode: CommitMode, args):
         if meta.get("mode"):
             label = f"{label} ({meta['mode']})"
         return events, cycles, label, meta
-    if name_or_path not in TRACEABLE:
+    if name_or_path not in TRACEABLE and not is_litmus_target(name_or_path):
         raise SystemExit(f"repro: {name_or_path!r} is neither a trace file "
-                         f"nor a workload/scenario (choose from "
-                         f"{', '.join(TRACEABLE)})")
+                         f"nor a workload/scenario/litmus: target (choose "
+                         f"from {', '.join(TRACEABLE)} or litmus:<NAME>)")
     params = table6_system(args.core_class, num_cores=args.cores,
                            commit_mode=mode)
     traces = _resolve_traces(name_or_path, args.cores, args.scale)
@@ -489,6 +550,98 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_conform(args) -> int:
+    import pathlib
+
+    from .conform.runner import (full_requested, load_corpus,
+                                 run_conformance, tier1_slice)
+
+    if args.replay:
+        from .conform.witness import replay_witness
+
+        report = replay_witness(args.replay)
+        blame = report.get("blame") or {}
+        print(f"witness: {report['test']} [{report['kind']}] "
+              f"mode={report['mode']} cores={report['num_cores']}")
+        print(f"  recorded: {report['recorded']}")
+        print(f"  replayed: {report['registers']}")
+        print(f"  match={report['match']} "
+              f"forbidden_hit={report['forbidden_hit']} "
+              f"checker_violation={bool(report['checker_violation'])} "
+              f"cycles={report['cycles']}")
+        for step in blame.get("top") or []:
+            print(f"  blame: {step}")
+        if args.json:
+            _dump_json(report, args.json)
+        return 0 if report["match"] else 1
+
+    if args.regen:
+        from .conform.generator import write_corpus
+
+        target = pathlib.Path(args.corpus_dir or "tests/conformance/corpus")
+        written = write_corpus(target)
+        print(f"wrote {len(written)} litmus tests -> {target}")
+        return 0
+
+    corpus_path = pathlib.Path(args.corpus_dir) if args.corpus_dir else None
+    tests = load_corpus(corpus_path)
+    sliced = False
+    if not args.full and not full_requested():
+        tests = tier1_slice(tests)
+        sliced = True
+    if args.only:
+        wanted = {part.strip() for part in args.only.split(",") if part.strip()}
+        tests = [t for t in load_corpus(corpus_path)
+                 if t.name in wanted or t.family in wanted]
+        sliced = False
+        if not tests:
+            raise SystemExit(f"repro: no corpus test or family matches "
+                             f"{sorted(wanted)}")
+    witness_dir = pathlib.Path(args.witness_dir) if args.witness_dir else None
+    label = "slice" if sliced else "full"
+    print(f"repro conform: {len(tests)} tests ({label}), "
+          f"mode={args.mode} core-class={args.core_class} "
+          f"perturb={args.perturb} seed={args.seed}")
+    result = run_conformance(
+        tests, mode=MODES[args.mode], core_class=args.core_class,
+        perturb=args.perturb, seed=args.seed, witness_dir=witness_dir,
+        explore=not args.no_explore, por=not args.no_por)
+    for row in result.family_rows():
+        print(f"  {row['family']:<8} tests={row['tests']:>3} "
+              f"sim-outcomes={row['sim_outcomes']:>4} "
+              f"operational={row['operational']:>4} "
+              f"axiomatic={row['axiomatic']:>4} "
+              f"violations={row['violations']}")
+    for name in sorted(result.explorations):
+        info = result.explorations[name]
+        print(f"  explore/{name:<5} states={info['states']} "
+              f"dedup={info['deduplicated']} slept={info['sleep_pruned']} "
+              f"ok={info['ok']}")
+    verdict = "OK" if result.ok else "VIOLATIONS"
+    print(f"{verdict}: {len(result.reports)} tests, "
+          f"{len(result.violations)} violations")
+    for violation in result.violations:
+        print(f"  {violation.kind}: {violation.test}: {violation.detail}")
+    if witness_dir is not None and result.violations:
+        print(f"witnesses -> {witness_dir}")
+    if args.json:
+        _dump_json(result.to_payload(), args.json)
+    return 0 if result.ok else 1
+
+
+def _dump_json(payload, dest: str) -> None:
+    import json
+    import pathlib
+
+    text = json.dumps(payload, indent=1, sort_keys=True, default=str) + "\n"
+    if dest == "-":
+        sys.stdout.write(text)
+    else:
+        path = pathlib.Path(dest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+
 def cmd_perf(args) -> int:
     import json
     import pathlib
@@ -546,6 +699,7 @@ COMMANDS = {
     "table2": cmd_table2,
     "table6": cmd_table6,
     "bench": cmd_bench,
+    "conform": cmd_conform,
     "perf": cmd_perf,
 }
 

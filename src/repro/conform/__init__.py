@@ -1,0 +1,26 @@
+"""TSO conformance subsystem.
+
+A herd7-style litmus corpus plus a three-way differential checker that
+pins the whole stack to x86-TSO:
+
+* :mod:`model` — the shared litmus IR (:class:`COp` /
+  :class:`ConformTest`) with adapters onto the full simulator
+  (:mod:`repro.consistency.litmus`), the operational x86-TSO abstract
+  machine (:mod:`repro.consistency.operational`) and the axiomatic
+  enumeration (:func:`repro.consistency.litmus.legal_tso_outcomes`);
+* :mod:`litmus_format` — the ``.litmus`` text parser and writer;
+* :mod:`generator` — the diy-style shape generator behind the committed
+  corpus under ``tests/conformance/corpus/``;
+* :mod:`differential` — per-test three-way checking
+  (sim ⊆ operational ⊆ axiomatic) plus expectation checks;
+* :mod:`witness` — replayable forbidden-outcome witnesses with causal
+  blame traces;
+* :mod:`runner` — corpus loading, tier-1 slicing and batch runs (the
+  engine driver and ``repro conform`` sit on top of this).
+"""
+
+from .model import COp, ConformTest, cld, cld_dep, cld_slow, cmf, cst  # noqa: F401
+from .litmus_format import parse_litmus, write_litmus  # noqa: F401
+from .generator import generate_corpus  # noqa: F401
+from .differential import check_test  # noqa: F401
+from .runner import load_corpus, run_conformance, tier1_slice  # noqa: F401

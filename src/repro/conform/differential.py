@@ -1,0 +1,165 @@
+"""Three-way differential checking: sim ⊆ operational ⊆ axiomatic.
+
+For one :class:`~repro.conform.model.ConformTest` the checker
+
+1. enumerates the operational x86-TSO machine and the axiomatic
+   store-buffer relaxation and asserts every operational outcome is
+   axiomatically legal (``operational ⊆ axiomatic``);
+2. cross-checks the hand-encoded expectation: an expect-``forbidden``
+   test must have *no* operationally reachable ``exists`` clause, an
+   expect-``allowed`` test must have at least one;
+3. runs the full simulator across a deterministic grid of per-thread
+   start offsets (plus seeded random perturbations) and asserts every
+   observed valuation is operationally reachable (``sim ⊆
+   operational``), no forbidden outcome fires, and the axiomatic TSO
+   checker that rides along every run stays silent.
+
+Any violation carries a replayable witness payload
+(:mod:`repro.conform.witness`): the full litmus text, commit mode and
+the exact delay schedule, enough to re-run the execution and attach a
+causal-blame trace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..common.params import SystemParams, table6_system
+from ..common.types import CommitMode
+from ..consistency.litmus import perturbation_delays, run_litmus
+from .model import (ConformTest, Outcome, axiomatic_outcomes,
+                    exists_reachable, operational_outcomes, outcome_matches,
+                    to_litmus)
+from .witness import witness_payload
+
+DEFAULT_CORE = "SLM"
+
+
+@dataclass
+class Violation:
+    """One conformance failure, with an optional replayable witness."""
+
+    kind: str  # "sim-not-operational" | "operational-not-axiomatic"
+    #          | "forbidden-outcome" | "checker-violation"
+    #          | "expectation-mismatch"
+    test: str
+    detail: str
+    witness: Optional[Dict] = None
+
+
+@dataclass
+class TestReport:
+    """The outcome of checking one test."""
+
+    name: str
+    family: str
+    expect: str
+    sim_runs: int = 0
+    sim_outcomes: List[Dict[str, int]] = field(default_factory=list)
+    operational_count: int = 0
+    axiomatic_count: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def conform_params(test: ConformTest, *,
+                   core_class: str = DEFAULT_CORE,
+                   mode: CommitMode = CommitMode.OOO_WB) -> SystemParams:
+    cores = 4 if len(test.threads) <= 4 else 16
+    return table6_system(core_class, num_cores=cores, commit_mode=mode)
+
+
+def default_delays(num_threads: int) -> List[Tuple[int, ...]]:
+    """The deterministic offset grid: all-synchronous plus one run with
+    each single thread held back (the classic race windows)."""
+    grid: List[Tuple[int, ...]] = [tuple(0 for __ in range(num_threads))]
+    for tid in range(num_threads):
+        grid.append(tuple(40 if t == tid else 0
+                          for t in range(num_threads)))
+    return grid
+
+
+def check_test(test: ConformTest, *,
+               params: Optional[SystemParams] = None,
+               mode: CommitMode = CommitMode.OOO_WB,
+               core_class: str = DEFAULT_CORE,
+               delays: Optional[Sequence[Sequence[int]]] = None,
+               perturb: int = 2, seed: int = 0) -> TestReport:
+    """Run the full three-way differential check on one test."""
+    report = TestReport(name=test.name, family=test.family,
+                        expect=test.expect)
+    op_set = operational_outcomes(test)
+    ax_set = axiomatic_outcomes(test)
+    report.operational_count = len(op_set)
+    report.axiomatic_count = len(ax_set)
+
+    for outcome in sorted(op_set - ax_set,
+                          key=lambda o: tuple(sorted(o))):
+        report.violations.append(Violation(
+            kind="operational-not-axiomatic", test=test.name,
+            detail=f"operationally reachable but axiomatically illegal: "
+                   f"{dict(sorted(outcome))}"))
+
+    if test.expect == "forbidden" and exists_reachable(op_set, test.exists):
+        report.violations.append(Violation(
+            kind="expectation-mismatch", test=test.name,
+            detail="expect: forbidden, but an exists clause is "
+                   "operationally reachable"))
+    elif test.expect == "allowed" and not exists_reachable(op_set,
+                                                           test.exists):
+        report.violations.append(Violation(
+            kind="expectation-mismatch", test=test.name,
+            detail="expect: allowed, but no exists clause is "
+                   "operationally reachable"))
+
+    if params is None:
+        params = conform_params(test, core_class=core_class, mode=mode)
+    litmus = to_litmus(test)
+    keys = test.load_keys()
+    combos = ([tuple(combo) for combo in delays] if delays is not None
+              else default_delays(len(test.threads)))
+    if perturb:
+        combos = combos + perturbation_delays(litmus, perturb,
+                                              random.Random(seed))
+    seen_sim: Set[Outcome] = set()
+    for combo in combos:
+        outcome = run_litmus(litmus, params, extra_delays=combo)
+        report.sim_runs += 1
+        regs = {key: outcome.registers.get(key, 0) for key in keys}
+        fingerprint: Outcome = frozenset(regs.items())
+        if fingerprint not in seen_sim:
+            seen_sim.add(fingerprint)
+            report.sim_outcomes.append(regs)
+
+        def _witness(kind: str, detail: str) -> Dict:
+            return witness_payload(test, kind=kind, detail=detail,
+                                   mode=mode, core_class=core_class,
+                                   num_cores=params.num_cores,
+                                   extra_delays=combo, registers=regs)
+
+        if fingerprint not in op_set:
+            detail = (f"simulated outcome {regs} not operationally "
+                      f"reachable (delays={combo})")
+            report.violations.append(Violation(
+                kind="sim-not-operational", test=test.name, detail=detail,
+                witness=_witness("sim-not-operational", detail)))
+        if outcome.forbidden_hit:
+            hit = next((clause for clause in test.exists
+                        if outcome_matches(fingerprint, clause)), {})
+            detail = (f"forbidden outcome {hit} observed on the simulator "
+                      f"(delays={combo})")
+            report.violations.append(Violation(
+                kind="forbidden-outcome", test=test.name, detail=detail,
+                witness=_witness("forbidden-outcome", detail)))
+        if outcome.checker_violation:
+            detail = (f"axiomatic TSO checker rejected the execution "
+                      f"(delays={combo}): {outcome.checker_violation}")
+            report.violations.append(Violation(
+                kind="checker-violation", test=test.name, detail=detail,
+                witness=_witness("checker-violation", detail)))
+    return report

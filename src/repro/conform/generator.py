@@ -1,0 +1,318 @@
+"""diy-style litmus shape generator.
+
+Each family is a fixed skeleton of loads/stores over 2-4 threads with
+*gap decorations*: every interesting program-order gap between two
+accesses of one thread gets one variant from
+
+* ``po``   — nothing between them (plain program order),
+* ``mf``   — an MFENCE between them,
+* ``dep``  — the younger load's address depends on the older load
+  (only offered for load→load gaps), and
+* ``slow`` — the *older* load's address resolves late (only for
+  load→load gaps; the paper's dangerous case, where an OoO core wants
+  to perform the younger load first).
+
+``dep`` and ``slow`` never change TSO legality — they are timing
+variants the differential checker uses to probe the microarchitecture —
+so the hand-encoded expectation of each family depends only on which
+gaps carry fences.  The full cross product over the six base shapes and
+their 3- and 4-thread extensions yields the committed 164-test corpus.
+
+Expectations are *hand-derived* from the axiomatic model (and
+double-checked against the operational machine by the test suite):
+
+===========  ==========================================================
+family       ``exists`` clause forbidden under x86-TSO iff ...
+===========  ==========================================================
+mp           always (R→R and W→W both preserved)
+sb, sb3,     every thread's store→load gap carries ``mf`` (the store
+sb4          buffer is the one TSO relaxation)
+lb, lb3,     always (load→store never reorders)
+lb4
+corr, corr3  always (per-location coherence)
+wrc          always (W→R causality is transitive through cores)
+iriw         always (stores hit a single memory order)
+isa2, isa24  always (chained message passing)
+rwc          the writer-reader thread's store→load gap carries ``mf``
+===========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .model import COp, ConformTest, cld, cmf, cst
+
+_REGS = ("EAX", "EBX", "ECX", "EDX", "ESI", "EDI")
+
+LD_GAPS = ("po", "mf", "dep", "slow")  # load -> load gaps
+ST_GAPS = ("po", "mf")  # gaps ending (or starting) at a store
+
+
+def _reads(tid: int, variables: Sequence[str], gaps: Sequence[str]
+           ) -> Tuple[List[COp], List[str]]:
+    """A reader thread: loads of *variables* with decorated gaps.
+
+    ``gaps[i]`` decorates the gap between load ``i`` and load ``i+1``.
+    Returns (ops, load keys in order).
+    """
+    assert len(gaps) == len(variables) - 1
+    ops: List[COp] = []
+    keys: List[str] = []
+    for index, var in enumerate(variables):
+        dep = ""
+        if index > 0:
+            gap = gaps[index - 1]
+            if gap == "mf":
+                ops.append(cmf())
+            elif gap == "dep":
+                dep = "dep"
+            elif gap == "slow":
+                # decorate the *older* load: rewrite it in place
+                older = ops[-1]
+                ops[-1] = COp("ld", older.var, reg=older.reg, dep="slow")
+        ops.append(cld(var, _REGS[index], dep=dep))
+        keys.append(f"{tid}:{_REGS[index]}")
+    return ops, keys
+
+
+def _writes(variables: Sequence[str], gaps: Sequence[str]) -> List[COp]:
+    assert len(gaps) == len(variables) - 1
+    ops: List[COp] = [cst(variables[0], 1)]
+    for var, gap in zip(variables[1:], gaps):
+        if gap == "mf":
+            ops.append(cmf())
+        ops.append(cst(var, 1))
+    return ops
+
+
+def _name(family: str, gaps: Sequence[str]) -> str:
+    return family.upper() + "+" + "+".join(gaps)
+
+
+def _product(choices: Sequence[Sequence[str]]) -> Iterable[Tuple[str, ...]]:
+    if not choices:
+        yield ()
+        return
+    for head in choices[0]:
+        for tail in _product(choices[1:]):
+            yield (head,) + tail
+
+
+# ------------------------------------------------------------- families
+def _mp() -> List[ConformTest]:
+    tests = []
+    for w, r in _product([ST_GAPS, LD_GAPS]):
+        reads, keys = _reads(1, ["y", "x"], [r])
+        tests.append(ConformTest(
+            name=_name("mp", (w, r)),
+            threads=[_writes(["x", "y"], [w]), reads],
+            exists=[{keys[0]: 1, keys[1]: 0}],
+            expect="forbidden", family="mp",
+            description="message passing: flag read 1 but data stale"))
+    return tests
+
+
+def _sb_ring(family: str, variables: Sequence[str]) -> List[ConformTest]:
+    """SB and its 3/4-thread rings: Pi does W v_i ; R v_{i+1}."""
+    n = len(variables)
+    tests = []
+    for gaps in _product([ST_GAPS] * n):
+        threads = []
+        clause: Dict[str, int] = {}
+        for tid in range(n):
+            ops: List[COp] = [cst(variables[tid], 1)]
+            if gaps[tid] == "mf":
+                ops.append(cmf())
+            ops.append(cld(variables[(tid + 1) % n], _REGS[0]))
+            threads.append(ops)
+            clause[f"{tid}:{_REGS[0]}"] = 0
+        expect = "forbidden" if all(g == "mf" for g in gaps) else "allowed"
+        tests.append(ConformTest(
+            name=_name(family, gaps), threads=threads, exists=[clause],
+            expect=expect, family=family,
+            description="store-buffering ring: every load reads 0"))
+    return tests
+
+
+def _lb_ring(family: str, variables: Sequence[str]) -> List[ConformTest]:
+    """LB rings: Pi does R v_i ; W v_{i+1}; all-1 forbidden (ld→st)."""
+    n = len(variables)
+    tests = []
+    for gaps in _product([ST_GAPS] * n):
+        threads = []
+        clause: Dict[str, int] = {}
+        for tid in range(n):
+            ops = [cld(variables[tid], _REGS[0])]
+            if gaps[tid] == "mf":
+                ops.append(cmf())
+            ops.append(cst(variables[(tid + 1) % n], 1))
+            threads.append(ops)
+            clause[f"{tid}:{_REGS[0]}"] = 1
+        tests.append(ConformTest(
+            name=_name(family, gaps), threads=threads, exists=[clause],
+            expect="forbidden", family=family,
+            description="load-buffering ring: every load sees the later "
+                        "store"))
+    return tests
+
+
+def _corr() -> List[ConformTest]:
+    tests = []
+    for (r,) in _product([LD_GAPS]):
+        reads, keys = _reads(0, ["x", "x"], [r])
+        tests.append(ConformTest(
+            name=_name("corr", (r,)),
+            threads=[reads, [cst("x", 1)]],
+            exists=[{keys[0]: 1, keys[1]: 0}],
+            expect="forbidden", family="corr",
+            description="coherence: same-location reads go backwards"))
+    return tests
+
+
+def _corr3() -> List[ConformTest]:
+    tests = []
+    for gaps in _product([LD_GAPS, LD_GAPS]):
+        reads, keys = _reads(0, ["x", "x", "x"], list(gaps))
+        tests.append(ConformTest(
+            name=_name("corr3", gaps),
+            threads=[reads, [cst("x", 1)]],
+            exists=[{keys[1]: 1, keys[2]: 0}],
+            expect="forbidden", family="corr3",
+            description="coherence: three same-location reads, middle "
+                        "pair goes backwards"))
+    return tests
+
+
+def _wrc() -> List[ConformTest]:
+    tests = []
+    for g1, g2 in _product([ST_GAPS, LD_GAPS]):
+        middle: List[COp] = [cld("x", _REGS[0])]
+        if g1 == "mf":
+            middle.append(cmf())
+        middle.append(cst("y", 1))
+        reads, keys = _reads(2, ["y", "x"], [g2])
+        tests.append(ConformTest(
+            name=_name("wrc", (g1, g2)),
+            threads=[[cst("x", 1)], middle, reads],
+            exists=[{f"1:{_REGS[0]}": 1, keys[0]: 1, keys[1]: 0}],
+            expect="forbidden", family="wrc",
+            description="write-read causality through a middleman core"))
+    return tests
+
+
+def _iriw() -> List[ConformTest]:
+    tests = []
+    for g2, g3 in _product([LD_GAPS, LD_GAPS]):
+        r2, k2 = _reads(2, ["x", "y"], [g2])
+        r3, k3 = _reads(3, ["y", "x"], [g3])
+        tests.append(ConformTest(
+            name=_name("iriw", (g2, g3)),
+            threads=[[cst("x", 1)], [cst("y", 1)], r2, r3],
+            exists=[{k2[0]: 1, k2[1]: 0, k3[0]: 1, k3[1]: 0}],
+            expect="forbidden", family="iriw",
+            description="independent readers disagree on the write order"))
+    return tests
+
+
+def _isa2() -> List[ConformTest]:
+    tests = []
+    for g0, g1, g2 in _product([ST_GAPS, ST_GAPS, LD_GAPS]):
+        middle: List[COp] = [cld("y", _REGS[0])]
+        if g1 == "mf":
+            middle.append(cmf())
+        middle.append(cst("z", 1))
+        reads, keys = _reads(2, ["z", "x"], [g2])
+        tests.append(ConformTest(
+            name=_name("isa2", (g0, g1, g2)),
+            threads=[_writes(["x", "y"], [g0]), middle, reads],
+            exists=[{f"1:{_REGS[0]}": 1, keys[0]: 1, keys[1]: 0}],
+            expect="forbidden", family="isa2",
+            description="two-hop message passing (ISA2)"))
+    return tests
+
+
+def _isa24() -> List[ConformTest]:
+    tests = []
+    for g0, g1, g2, g3 in _product([ST_GAPS, ST_GAPS, ST_GAPS, LD_GAPS]):
+        hop1: List[COp] = [cld("y", _REGS[0])]
+        if g1 == "mf":
+            hop1.append(cmf())
+        hop1.append(cst("z", 1))
+        hop2: List[COp] = [cld("z", _REGS[0])]
+        if g2 == "mf":
+            hop2.append(cmf())
+        hop2.append(cst("w", 1))
+        reads, keys = _reads(3, ["w", "x"], [g3])
+        tests.append(ConformTest(
+            name=_name("isa24", (g0, g1, g2, g3)),
+            threads=[_writes(["x", "y"], [g0]), hop1, hop2, reads],
+            exists=[{f"1:{_REGS[0]}": 1, f"2:{_REGS[0]}": 1,
+                     keys[0]: 1, keys[1]: 0}],
+            expect="forbidden", family="isa24",
+            description="three-hop message passing (ISA2 on 4 cores)"))
+    return tests
+
+
+def _rwc() -> List[ConformTest]:
+    tests = []
+    for g1, g2 in _product([LD_GAPS, ST_GAPS]):
+        reads, keys = _reads(1, ["x", "y"], [g1])
+        writer: List[COp] = [cst("y", 1)]
+        if g2 == "mf":
+            writer.append(cmf())
+        writer.append(cld("x", _REGS[0]))
+        expect = "forbidden" if g2 == "mf" else "allowed"
+        tests.append(ConformTest(
+            name=_name("rwc", (g1, g2)),
+            threads=[[cst("x", 1)], reads, writer],
+            exists=[{keys[0]: 1, keys[1]: 0, f"2:{_REGS[0]}": 0}],
+            expect=expect, family="rwc",
+            description="read-to-write causality: store buffer may hide "
+                        "P2's write unless fenced"))
+    return tests
+
+
+FAMILIES = ("mp", "sb", "lb", "corr", "corr3", "wrc", "iriw",
+            "isa2", "isa24", "sb3", "sb4", "lb3", "lb4", "rwc")
+
+
+def generate_corpus() -> List[ConformTest]:
+    """The full committed corpus: 164 tests across 14 families."""
+    tests: List[ConformTest] = []
+    tests += _mp()
+    tests += _sb_ring("sb", ["x", "y"])
+    tests += _lb_ring("lb", ["x", "y"])
+    tests += _corr()
+    tests += _corr3()
+    tests += _wrc()
+    tests += _iriw()
+    tests += _isa2()
+    tests += _isa24()
+    tests += _sb_ring("sb3", ["x", "y", "z"])
+    tests += _sb_ring("sb4", ["x", "y", "z", "w"])
+    tests += _lb_ring("lb3", ["x", "y", "z"])
+    tests += _lb_ring("lb4", ["x", "y", "z", "w"])
+    tests += _rwc()
+    names = set()
+    for test in tests:
+        test.validate()
+        if test.name in names:
+            raise AssertionError(f"duplicate test name {test.name}")
+        names.add(test.name)
+    return tests
+
+
+def write_corpus(directory) -> List[str]:
+    """Write every generated test as ``<name>.litmus``; returns names."""
+    from pathlib import Path
+
+    from .litmus_format import write_litmus
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = []
+    for test in generate_corpus():
+        (directory / f"{test.name}.litmus").write_text(write_litmus(test))
+        names.append(test.name)
+    return names

@@ -1,0 +1,211 @@
+"""Parser and writer for herd7-style ``.litmus`` text.
+
+The on-disk format mirrors herd's x86 dialect closely enough to be
+eyeballed against the literature:
+
+.. code-block:: none
+
+    X86 MP+mf+dep
+    "message passing, fenced writer, dependent reader"
+    (* family: mp *)
+    (* expect: forbidden *)
+    { x=0; y=0; }
+     P0          | P1          ;
+     MOV [x],$1  | MOV EAX,[y] ;
+     MFENCE      | MOVDEP EBX,[x] ;
+    exists (1:EAX=1 /\\ 1:EBX=0)
+
+Instructions: ``MOV [var],$n`` (store), ``MOV REG,[var]`` (load),
+``MOVDEP REG,[var]`` (address-dependent load), ``MOVSLOW REG,[var]``
+(late-resolving address) and ``MFENCE``.  The two ``MOV*`` variants are
+our timing extension over herd — herd expresses dependencies through
+register arithmetic, which the trace ISA lowers the same way.
+
+The final condition is ``exists`` over ``tid:REG=value`` atoms joined
+with ``/\\`` inside clauses and ``\\/`` between parenthesised clauses.
+Comments ``(* family: ... *)`` and ``(* expect: forbidden|allowed *)``
+carry corpus metadata; unknown ``(* ... *)`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .model import COp, ConformTest
+
+_INIT_RE = re.compile(r"^\{(.*)\}$")
+_COMMENT_RE = re.compile(r"^\(\*\s*(.*?)\s*\*\)$")
+_STORE_RE = re.compile(r"^MOV\s+\[(\w+)\]\s*,\s*\$(-?\d+)$")
+_LOAD_RE = re.compile(r"^(MOV|MOVDEP|MOVSLOW)\s+(\w+)\s*,\s*\[(\w+)\]$")
+_ATOM_RE = re.compile(r"^(\d+)\s*:\s*(\w+)\s*=\s*(-?\d+)$")
+
+_LOAD_DEP = {"MOV": "", "MOVDEP": "dep", "MOVSLOW": "slow"}
+_DEP_MNEMONIC = {"": "MOV", "dep": "MOVDEP", "slow": "MOVSLOW"}
+
+
+class LitmusParseError(ValueError):
+    pass
+
+
+def _parse_instruction(text: str) -> Optional[COp]:
+    text = text.strip()
+    if not text:
+        return None
+    if text == "MFENCE":
+        return COp("mf")
+    match = _STORE_RE.match(text)
+    if match:
+        return COp("st", match.group(1), value=int(match.group(2)))
+    match = _LOAD_RE.match(text)
+    if match:
+        return COp("ld", match.group(3), reg=match.group(2),
+                   dep=_LOAD_DEP[match.group(1)])
+    raise LitmusParseError(f"unparseable instruction {text!r}")
+
+
+def _parse_exists(text: str) -> List[Dict[str, int]]:
+    body = text[len("exists"):].strip()
+    if body.startswith("(") and body.endswith(")"):
+        body = body[1:-1].strip()
+    clauses: List[Dict[str, int]] = []
+    for clause_text in body.split("\\/"):
+        clause_text = clause_text.strip()
+        if clause_text.startswith("(") and clause_text.endswith(")"):
+            clause_text = clause_text[1:-1].strip()
+        clause: Dict[str, int] = {}
+        for atom_text in clause_text.split("/\\"):
+            match = _ATOM_RE.match(atom_text.strip())
+            if not match:
+                raise LitmusParseError(
+                    f"unparseable exists atom {atom_text.strip()!r}")
+            clause[f"{match.group(1)}:{match.group(2)}"] = int(match.group(3))
+        clauses.append(clause)
+    return clauses
+
+
+def parse_litmus(text: str) -> ConformTest:
+    """Parse one ``.litmus`` document into a :class:`ConformTest`."""
+    lines = [line.rstrip() for line in text.splitlines()]
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        raise LitmusParseError("empty litmus file")
+    header = lines.pop(0).split(None, 1)
+    if header[0] != "X86" or len(header) != 2:
+        raise LitmusParseError("first line must be 'X86 <name>'")
+    name = header[1].strip()
+    description = ""
+    family = ""
+    expect = ""
+    init: Dict[str, int] = {}
+    table: List[List[str]] = []
+    exists: List[Dict[str, int]] = []
+    for line in lines:
+        stripped = line.strip()
+        if stripped.startswith('"') and stripped.endswith('"'):
+            description = stripped[1:-1]
+            continue
+        comment = _COMMENT_RE.match(stripped)
+        if comment:
+            body = comment.group(1)
+            if body.startswith("family:"):
+                family = body[len("family:"):].strip()
+            elif body.startswith("expect:"):
+                expect = body[len("expect:"):].strip()
+                if expect not in ("forbidden", "allowed"):
+                    raise LitmusParseError(
+                        f"expect must be forbidden/allowed, got {expect!r}")
+            continue
+        match = _INIT_RE.match(stripped)
+        if match:
+            for item in match.group(1).split(";"):
+                item = item.strip()
+                if not item:
+                    continue
+                var, __, value = item.partition("=")
+                init[var.strip()] = int(value.strip())
+            continue
+        if stripped.startswith("exists"):
+            exists = _parse_exists(stripped)
+            continue
+        if "|" in stripped or stripped.endswith(";"):
+            row = stripped.rstrip(";").split("|")
+            table.append([cell.strip() for cell in row])
+            continue
+        raise LitmusParseError(f"unparseable line {stripped!r}")
+    if not table:
+        raise LitmusParseError(f"{name}: no thread table")
+    header_row = table.pop(0)
+    for index, label in enumerate(header_row):
+        if label != f"P{index}":
+            raise LitmusParseError(
+                f"{name}: thread header must be P0 | P1 | ..., got "
+                f"{header_row!r}")
+    threads: List[List[COp]] = [[] for __ in header_row]
+    for row in table:
+        if len(row) > len(threads):
+            raise LitmusParseError(f"{name}: row wider than header: {row!r}")
+        for tid, cell in enumerate(row):
+            op = _parse_instruction(cell)
+            if op is not None:
+                threads[tid].append(op)
+    for var, value in init.items():
+        if value != 0:
+            raise LitmusParseError(
+                f"{name}: non-zero initial value {var}={value} unsupported")
+    test = ConformTest(name=name, threads=threads, exists=exists,
+                       expect=expect, family=family, description=description)
+    test.validate()
+    return test
+
+
+def _format_instruction(op: COp) -> str:
+    if op.kind == "mf":
+        return "MFENCE"
+    if op.kind == "st":
+        return f"MOV [{op.var}],${op.value}"
+    return f"{_DEP_MNEMONIC[op.dep]} {op.reg},[{op.var}]"
+
+
+def _format_exists(exists: List[Dict[str, int]]) -> str:
+    clauses = []
+    for clause in exists:
+        atoms = " /\\ ".join(f"{key}={value}"
+                             for key, value in clause.items())
+        clauses.append(atoms if len(exists) == 1 else f"({atoms})")
+    return "exists (" + " \\/ ".join(clauses) + ")"
+
+
+def write_litmus(test: ConformTest) -> str:
+    """Render a :class:`ConformTest` back to ``.litmus`` text.
+
+    ``parse_litmus(write_litmus(t))`` is the identity on every corpus
+    test (golden-checked), so witnesses can embed the full test text.
+    """
+    lines = [f"X86 {test.name}"]
+    if test.description:
+        lines.append(f'"{test.description}"')
+    if test.family:
+        lines.append(f"(* family: {test.family} *)")
+    if test.expect:
+        lines.append(f"(* expect: {test.expect} *)")
+    lines.append("{ " + " ".join(f"{var}=0;" for var in test.all_vars())
+                 + " }")
+    cells = [[_format_instruction(op) for op in thread]
+             for thread in test.threads]
+    rows = max(len(column) for column in cells)
+    for column in cells:
+        column.extend("" for __ in range(rows - len(column)))
+    headers = [f"P{tid}" for tid in range(len(cells))]
+    widths = [max(len(headers[tid]), *(len(cell) for cell in cells[tid]))
+              for tid in range(len(cells))]
+    lines.append(
+        " " + " | ".join(headers[tid].ljust(widths[tid])
+                         for tid in range(len(cells))).rstrip() + " ;")
+    for row in range(rows):
+        lines.append(
+            " " + " | ".join(cells[tid][row].ljust(widths[tid])
+                             for tid in range(len(cells))).rstrip() + " ;")
+    if test.exists:
+        lines.append(_format_exists(test.exists))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,256 @@
+"""The conformance litmus IR and its three backend adapters.
+
+A :class:`ConformTest` is one litmus test in a tiny x86-flavoured
+vocabulary — plain/dependent/slow loads, constant stores, MFENCE — with
+its interesting final-state valuation (``exists``) and the hand-encoded
+TSO expectation (``forbidden`` / ``allowed``).  The same test lowers to
+all three oracles:
+
+* :func:`to_litmus` — the full microarchitectural simulator via
+  :class:`repro.consistency.litmus.LitmusTest`;
+* :func:`to_operational` — the Owens/Sarkar/Sewell abstract machine in
+  :mod:`repro.consistency.operational`;
+* :func:`to_axiomatic` — the store-buffer-relaxation enumeration in
+  :func:`repro.consistency.litmus.legal_tso_outcomes`.
+
+Outcomes from every backend are normalised to the same shape: a mapping
+from ``"{tid}:{REG}"`` to the integer the load observed, so inclusion
+(sim ⊆ operational ⊆ axiomatic) is a set comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..consistency import litmus as lit
+from ..consistency import operational as opmodel
+from ..consistency.litmus import LitmusTest, SimpleOp, legal_tso_outcomes
+
+#: Address-resolution delay for ``slow`` loads; long enough that a
+#: younger independent load would perform first on an OoO core.
+SLOW_DELAY = 240
+
+Outcome = FrozenSet[Tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class COp:
+    """One conformance op.
+
+    ``kind`` is ``"ld"`` / ``"st"`` / ``"mf"``.  Loads carry ``var``,
+    the destination ``reg`` (unique per thread) and a ``dep`` flavour:
+    ``""`` (plain), ``"dep"`` (address depends on the previous load) or
+    ``"slow"`` (address resolves late).  Stores carry ``var``/``value``.
+    Dep/slow only shape the microarchitectural timing — the operational
+    and axiomatic backends treat them as plain loads, which is the point:
+    timing variants must not change the reachable-outcome set.
+    """
+
+    kind: str  # "ld" | "st" | "mf"
+    var: str = ""
+    value: int = 0
+    reg: str = ""
+    dep: str = ""  # "" | "dep" | "slow"
+
+
+def cld(var: str, reg: str, dep: str = "") -> COp:
+    return COp("ld", var, reg=reg, dep=dep)
+
+
+def cld_dep(var: str, reg: str) -> COp:
+    return COp("ld", var, reg=reg, dep="dep")
+
+
+def cld_slow(var: str, reg: str) -> COp:
+    return COp("ld", var, reg=reg, dep="slow")
+
+
+def cst(var: str, value: int) -> COp:
+    return COp("st", var, value=value)
+
+
+def cmf() -> COp:
+    return COp("mf")
+
+
+@dataclass
+class ConformTest:
+    """A named conformance test.
+
+    ``exists`` is a disjunction of conjunctions over final load values
+    (herd's ``exists (... /\\ ...) \\/ (...)``); ``expect`` states
+    whether any ``exists`` clause is reachable under x86-TSO
+    (``"forbidden"`` / ``"allowed"``; ``""`` = unstated, expectation
+    checks are skipped).
+    """
+
+    name: str
+    threads: List[List[COp]]
+    exists: List[Dict[str, int]] = field(default_factory=list)
+    expect: str = ""  # "forbidden" | "allowed" | ""
+    family: str = ""
+    description: str = ""
+
+    def all_vars(self) -> List[str]:
+        seen: List[str] = []
+        for thread in self.threads:
+            for op in thread:
+                if op.var and op.var not in seen:
+                    seen.append(op.var)
+        return seen
+
+    def load_keys(self) -> List[str]:
+        return [f"{tid}:{op.reg}"
+                for tid, thread in enumerate(self.threads)
+                for op in thread if op.kind == "ld"]
+
+    def validate(self) -> None:
+        for tid, thread in enumerate(self.threads):
+            regs: Set[str] = set()
+            prev_was_load = False
+            for op in thread:
+                if op.kind == "ld":
+                    if not op.reg:
+                        raise ValueError(f"{self.name}: load without reg "
+                                         f"in thread {tid}")
+                    if op.reg in regs:
+                        raise ValueError(f"{self.name}: duplicate reg "
+                                         f"{op.reg!r} in thread {tid}")
+                    regs.add(op.reg)
+                    if op.dep == "dep" and not prev_was_load:
+                        raise ValueError(
+                            f"{self.name}: dep load with no preceding "
+                            f"load in thread {tid}")
+                    prev_was_load = True
+                elif op.kind in ("st", "mf"):
+                    if op.kind == "mf":
+                        prev_was_load = False
+                else:
+                    raise ValueError(f"{self.name}: bad op kind "
+                                     f"{op.kind!r}")
+        keys = set(self.load_keys())
+        for clause in self.exists:
+            for key in clause:
+                if key not in keys:
+                    raise ValueError(f"{self.name}: exists references "
+                                     f"unknown register {key!r}")
+
+
+# ------------------------------------------------------------- adapters
+def to_litmus(test: ConformTest) -> LitmusTest:
+    """Lower to the simulator-facing :class:`LitmusTest`.
+
+    ``forbidden`` is populated only for expect-forbidden tests, so
+    :func:`repro.consistency.litmus.run_litmus` flags a hit directly.
+    """
+    threads: List[List[lit.Op]] = []
+    for tid, ops in enumerate(test.threads):
+        thread: List[lit.Op] = []
+        for op in ops:
+            if op.kind == "st":
+                thread.append(lit.st(op.var, op.value))
+            elif op.kind == "mf":
+                thread.append(lit.fence())
+            elif op.dep == "dep":
+                thread.append(lit.ld_dep(op.var, f"{tid}:{op.reg}"))
+            elif op.dep == "slow":
+                thread.append(lit.ld_slow(op.var, f"{tid}:{op.reg}",
+                                          delay=SLOW_DELAY))
+            else:
+                thread.append(lit.ld(op.var, f"{tid}:{op.reg}"))
+        threads.append(thread)
+    forbidden = ([dict(clause) for clause in test.exists]
+                 if test.expect == "forbidden" else [])
+    return LitmusTest(name=test.name, threads=threads, forbidden=forbidden,
+                      description=test.description or test.family)
+
+
+def to_operational(test: ConformTest) -> List[List[opmodel.TOp]]:
+    threads: List[List[opmodel.TOp]] = []
+    for ops in test.threads:
+        thread: List[opmodel.TOp] = []
+        for op in ops:
+            if op.kind == "st":
+                thread.append(opmodel.st(op.var, op.value))
+            elif op.kind == "mf":
+                thread.append(opmodel.mf())
+            else:
+                thread.append(opmodel.ld(op.var, op.reg))
+        threads.append(thread)
+    return threads
+
+
+def to_axiomatic(test: ConformTest) -> List[List[SimpleOp]]:
+    threads: List[List[SimpleOp]] = []
+    for tid, ops in enumerate(test.threads):
+        thread: List[SimpleOp] = []
+        for op in ops:
+            if op.kind == "st":
+                thread.append(SimpleOp(tid, "st", op.var))
+            elif op.kind == "mf":
+                thread.append(SimpleOp(tid, "mf"))
+            else:
+                thread.append(SimpleOp(tid, "ld", op.var,
+                                       out=f"{tid}:{op.reg}"))
+        threads.append(thread)
+    return threads
+
+
+# ------------------------------------------------------- outcome views
+def _store_values(test: ConformTest) -> Dict[str, int]:
+    values: Dict[str, int] = {}
+    for thread in test.threads:
+        for op in thread:
+            if op.kind == "st":
+                if op.var in values and values[op.var] != op.value:
+                    raise ValueError(
+                        f"{test.name}: axiomatic backend needs one store "
+                        f"value per variable; {op.var!r} has several")
+                values[op.var] = op.value
+    return values
+
+
+def operational_outcomes(test: ConformTest) -> Set[Outcome]:
+    """Reachable final load valuations under the abstract machine."""
+    keys = test.load_keys()
+    raw = opmodel.enumerate_outcomes(to_operational(test))
+    outcomes: Set[Outcome] = set()
+    for valuation in raw:
+        regs = dict(valuation)
+        outcomes.add(frozenset(
+            (key, regs.get(f"t{key.split(':', 1)[0]}:{key.split(':', 1)[1]}", 0))
+            for key in keys))
+    return outcomes
+
+
+def axiomatic_outcomes(test: ConformTest) -> Set[Outcome]:
+    """Reachable final load valuations under the axiomatic enumeration.
+
+    ``legal_tso_outcomes`` speaks old/new; translated to integers via
+    the (unique) store value per variable, 0 when old.
+    """
+    values = _store_values(test)
+    var_of: Dict[str, str] = {}
+    for tid, thread in enumerate(test.threads):
+        for op in thread:
+            if op.kind == "ld":
+                var_of[f"{tid}:{op.reg}"] = op.var
+    keys = test.load_keys()
+    outcomes: Set[Outcome] = set()
+    for loads in legal_tso_outcomes(to_axiomatic(test)):
+        outcomes.add(frozenset(
+            (key, values.get(var_of[key], 0) if loads.get(key) == "new"
+             else 0)
+            for key in keys))
+    return outcomes
+
+
+def outcome_matches(outcome: Outcome, clause: Dict[str, int]) -> bool:
+    return set(clause.items()) <= set(outcome)
+
+
+def exists_reachable(outcomes: Set[Outcome],
+                     exists: Sequence[Dict[str, int]]) -> bool:
+    return any(outcome_matches(o, clause)
+               for o in outcomes for clause in exists)

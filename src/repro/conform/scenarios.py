@@ -1,0 +1,182 @@
+"""Exhaustive protocol exploration behind ``repro conform --explore``.
+
+Two full 4-tile scenarios, each run under every network delivery order
+(sleep-set POR, state-fingerprint memoization) with the combined
+coherence + WritersBlock + SoS-never-blocked invariant asserted on
+every reachable state and deadlock-freedom (all injected operations
+complete, no residue) on every path end:
+
+* ``mp`` — the paper's message-passing shape at protocol level: a
+  reader holds a lockdown on the data line while a writer races two
+  more sharers; the write must stay blocked until the deferred ack and
+  every interleaving must drain.
+* ``sos`` — the §3.5.2 deadlock-avoidance case: a write is
+  WritersBlock'd (blocked hint delivered), and the would-be SoS core
+  launches a bypass load that must complete — via an uncacheable
+  tear-off — while the write is *still* blocked, in every delivery
+  order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..common.types import CacheState, LineAddr
+from ..verification.explorer import ExplorationResult, VerifSystem, explore
+from ..verification.properties import conform_invariant, no_residue
+
+#: The MP data line and the flag line (distinct cache lines, distinct
+#: directory homes) — cross-line message traffic is what the sleep-set
+#: reduction prunes.
+LINE = LineAddr(0x40)
+ADDR = 0x1000
+FLAG_LINE = LineAddr(0x41)
+FLAG_ADDR = 0x1040
+
+
+def _final(expect_loads: int, expect_grants: int):
+    def check(system: VerifSystem) -> Optional[str]:
+        residue = no_residue(system)
+        if residue:
+            return residue
+        loads = sum(len(core.load_results) for core in system.cores)
+        grants = sum(core.writes_granted for core in system.cores)
+        if loads < expect_loads:
+            return f"deadlock: only {loads}/{expect_loads} loads completed"
+        if grants < expect_grants:
+            return f"deadlock: only {grants}/{expect_grants} writes granted"
+        return None
+    return check
+
+
+def explore_mp(*, por: bool = True,
+               max_states: int = 20_000) -> ExplorationResult:
+    """The paper's MP shape at protocol level (4 tiles, 2 lines).
+
+    The reader (core 0) holds a lockdown on the *data* line while the
+    writer (core 1) updates data and flag concurrently and bystanders
+    (cores 2, 3) share both lines.  The data write must stay blocked
+    until the deferred ack; the flag write is independent traffic — the
+    cross-line reordering the sleep sets prune.
+    """
+
+    def setup(system: VerifSystem) -> None:
+        system.cores[0].issue_load(ADDR)
+        system.cores[2].issue_load(FLAG_ADDR)
+        system.cores[3].issue_load(ADDR)
+
+    def on_quiescent(system: VerifSystem) -> None:
+        core0 = system.cores[0]
+        loads = sum(len(core.load_results) for core in system.cores)
+        if not system.scratch.get("locked") and loads == 3:
+            system.scratch["locked"] = True
+            core0.lockdowns.add(LINE)
+            system.cores[1].request_write(LINE)
+            system.cores[1].request_write(FLAG_LINE)
+            return
+        if LINE in core0.nacked:
+            core0.release_lockdown(LINE)
+
+    def invariant(system: VerifSystem) -> Optional[str]:
+        problem = conform_invariant(system)
+        if problem:
+            return problem
+        # While the lockdown holds, the *data* write must not be
+        # granted (the flag write is free to complete).
+        if LINE in system.cores[0].lockdowns and \
+                system.caches[1].line_state(LINE) is CacheState.M:
+            return "data line granted while the reader's lockdown holds"
+        return None
+
+    return explore(setup, invariant,
+                   _final(expect_loads=3, expect_grants=2),
+                   num_tiles=4, max_states=max_states, por=por,
+                   on_quiescent=on_quiescent)
+
+
+def _sos_invariant(system: VerifSystem) -> Optional[str]:
+    problem = conform_invariant(system)
+    if problem:
+        return problem
+    # Only the *data* line is guarded; the independent flag-line write
+    # may complete while the lockdown holds.
+    if LINE in system.cores[0].lockdowns and \
+            system.caches[1].line_state(LINE) is CacheState.M:
+        return "data write granted while the SoS holder's lockdown holds"
+    return None
+
+
+def explore_sos(*, por: bool = True,
+                max_states: int = 20_000) -> ExplorationResult:
+    """SoS bypass while the write is WritersBlock'd (4 tiles).
+
+    The SoS load (core 2) is issued only once the directory's blocked
+    hint reached the writer — the paper's trigger for abandoning the
+    piggyback — and the final check demands it completed even though
+    the write stays blocked until the lockdown is released.
+    """
+
+    def setup(system: VerifSystem) -> None:
+        system.cores[0].issue_load(ADDR)
+
+    def on_quiescent(system: VerifSystem) -> None:
+        core0, core1 = system.cores[0], system.cores[1]
+        core2, core3 = system.cores[2], system.cores[3]
+        if not system.scratch.get("locked") and core0.load_results:
+            system.scratch["locked"] = True
+            core0.lockdowns.add(LINE)
+            core1.request_write(LINE)
+            return
+        if not system.scratch.get("sos") and \
+                system.caches[1].write_blocked(LINE):
+            system.scratch["sos"] = True
+            core2.issue_sos_load(ADDR)
+            core3.issue_load(ADDR + 8)  # plain read of the blocked line
+            core1.request_write(FLAG_LINE)  # independent cross-line write
+            return
+        if system.scratch.get("sos") and not system.scratch.get("released") \
+                and core2.load_results:
+            # The SoS load completed while the write was still blocked —
+            # the uncacheable tear-off must have served it.
+            system.scratch["released"] = True
+            core0.release_lockdown(LINE)
+
+    def invariant(system: VerifSystem) -> Optional[str]:
+        problem = _sos_invariant(system)
+        if problem:
+            return problem
+        if system.scratch.get("released"):
+            sos_results = system.cores[2].load_results
+            if sos_results and not sos_results[0][2]:
+                return "SoS load was served a cacheable copy while the " \
+                       "line was WritersBlock'd (expected tear-off)"
+        return None
+
+    return explore(setup, invariant,
+                   _final(expect_loads=3, expect_grants=2),
+                   num_tiles=4, max_states=max_states, por=por,
+                   on_quiescent=on_quiescent)
+
+
+SCENARIOS: Dict[str, Callable[..., ExplorationResult]] = {
+    "mp": explore_mp,
+    "sos": explore_sos,
+}
+
+
+def run_explorations(*, por: bool = True,
+                     max_states: int = 20_000) -> Dict[str, Dict]:
+    """Run every scenario; returns JSON-ready stats per scenario."""
+    summary: Dict[str, Dict] = {}
+    for name in sorted(SCENARIOS):
+        result = SCENARIOS[name](por=por, max_states=max_states)
+        summary[name] = {
+            "ok": result.ok,
+            "states": result.states_explored,
+            "paths": result.paths_completed,
+            "deduplicated": result.deduplicated,
+            "sleep_pruned": result.sleep_pruned,
+            "max_pending": result.max_pending,
+            "violations": result.violations[:5],
+        }
+    return summary

@@ -1,0 +1,134 @@
+"""Replayable forbidden-outcome witnesses.
+
+A witness (schema ``repro-witness/1``) freezes everything needed to
+re-execute a failing conformance run: the full ``.litmus`` text, the
+commit mode / core class / core count, and the exact per-thread delay
+schedule.  :func:`replay_witness` re-runs it deterministically, checks
+the registers reproduce, and attaches a causal-blame trace
+(:mod:`repro.obs.blame`) so a forbidden outcome arrives with the chain
+of events that produced it, not just the final valuation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from ..common.types import CommitMode
+from ..common.params import table6_system
+from ..consistency.tso_checker import check_tso
+from ..common.errors import TSOViolationError
+from ..workloads.trace import AddressSpace
+
+WITNESS_SCHEMA = "repro-witness/1"
+
+
+def witness_payload(test, *, kind: str, detail: str, mode: CommitMode,
+                    core_class: str, num_cores: int,
+                    extra_delays: Sequence[int],
+                    registers: Dict[str, int]) -> Dict:
+    from .litmus_format import write_litmus
+
+    return {
+        "schema": WITNESS_SCHEMA,
+        "test": test.name,
+        "family": test.family,
+        "kind": kind,
+        "detail": detail,
+        "litmus": write_litmus(test),
+        "commit_mode": mode.value,
+        "core_class": core_class,
+        "num_cores": num_cores,
+        "extra_delays": list(extra_delays),
+        "registers": dict(sorted(registers.items())),
+    }
+
+
+def save_witness(payload: Dict, directory: Union[str, Path]) -> Path:
+    """Write the witness as ``<test>__<kind>[.N].json``; returns path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"{payload['test']}__{payload['kind']}"
+    path = directory / f"{stem}.json"
+    suffix = 0
+    while path.exists():
+        suffix += 1
+        path = directory / f"{stem}.{suffix}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_witness(path: Union[str, Path]) -> Dict:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != WITNESS_SCHEMA:
+        raise ValueError(f"{path}: not a {WITNESS_SCHEMA} payload "
+                         f"(schema={payload.get('schema')!r})")
+    return payload
+
+
+def replay_witness(payload: Union[Dict, str, Path], *,
+                   blame_top: int = 5) -> Dict:
+    """Re-execute a witness; returns the replay report.
+
+    The report carries ``match`` (did the registers reproduce byte for
+    byte), the replayed ``registers``, whether the axiomatic checker
+    still rejects the execution, and the causal ``blame`` payload
+    (schema ``repro-blame/1``) of the replayed run.
+    """
+    from ..consistency.litmus import litmus_traces
+    from ..obs.blame import build_blame
+    from ..obs.causal import CausalObserver
+    from ..sim.system import MulticoreSystem
+    from .litmus_format import parse_litmus
+    from .model import to_litmus
+
+    if not isinstance(payload, dict):
+        payload = load_witness(payload)
+    test = parse_litmus(payload["litmus"])
+    litmus = to_litmus(test)
+    params = table6_system(payload["core_class"],
+                           num_cores=int(payload["num_cores"]),
+                           commit_mode=CommitMode(payload["commit_mode"]))
+    space = AddressSpace(params.cache.line_bytes)
+    traces, out_regs = litmus_traces(test=litmus, space=space,
+                                    extra_delays=payload["extra_delays"])
+    system = MulticoreSystem(params)
+    system.observe()
+    observer = CausalObserver(system.bus)
+    system.load_program(traces)
+    result = system.run()
+    registers = {
+        name: system.cores[tid].reg_values.get(reg, 0)
+        for tid, reg, name in out_regs
+    }
+    keys = test.load_keys()
+    replayed = {key: registers.get(key, 0) for key in keys}
+    recorded = {key: int(value)
+                for key, value in payload["registers"].items()}
+    violation: Optional[str] = None
+    try:
+        check_tso(result.log)
+    except TSOViolationError as exc:
+        violation = str(exc)
+    blame = build_blame(observer.graph, cycles=result.cycles,
+                        meta={"witness": payload["test"],
+                              "kind": payload["kind"]})
+    blame["top"] = list(blame.get("critical_path") or [])[:blame_top]
+    forbidden_hit = any(
+        all(replayed.get(k) == v for k, v in clause.items())
+        for clause in test.exists) and test.expect == "forbidden"
+    return {
+        "schema": "repro-witness-replay/1",
+        "test": payload["test"],
+        "kind": payload["kind"],
+        "mode": payload["commit_mode"],
+        "num_cores": int(payload["num_cores"]),
+        "match": replayed == recorded,
+        "registers": replayed,
+        "recorded": recorded,
+        "forbidden_hit": forbidden_hit,
+        "checker_violation": violation,
+        "cycles": result.cycles,
+        "blame": blame,
+    }

@@ -16,8 +16,9 @@ TSO by the same axiomatic rules.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..common.params import SystemParams, table6_system
 from ..common.types import CommitMode
@@ -31,7 +32,7 @@ from ..common.errors import TSOViolationError
 class Op:
     """One litmus operation: ("ld", var, out_name) or ("st", var, value)."""
 
-    kind: str  # "ld" | "st" | "delay" | "ld_slow" | "spin" | "at"
+    kind: str  # "ld" | "st" | "delay" | "ld_slow" | "ld_dep" | "fence" | "spin" | "at"
     var: str = ""
     arg: int = 0
     out: str = ""  # register result name for loads
@@ -46,8 +47,32 @@ def ld_slow(var: str, out: str, delay: int = 150) -> Op:
     return Op("ld_slow", var, arg=delay, out=out)
 
 
+def ld_dep(var: str, out: str) -> Op:
+    """A load whose address carries a dependency on the previous load.
+
+    Compiles to a gate on the preceding load's result register feeding
+    the address, so the access cannot even *start* before the older
+    load performs (the paper's address-dependency timing case).  TSO
+    legality is unchanged — dependencies only constrain the
+    microarchitecture, which is exactly why the differential checker
+    wants them as variants.
+    """
+    return Op("ld_dep", var, out=out)
+
+
 def st(var: str, value: int) -> Op:
     return Op("st", var, arg=value)
+
+
+def fence() -> Op:
+    """A full fence (x86 MFENCE).
+
+    The trace ISA has no fence instruction; atomics are full fences
+    (they drain the store buffer and stall until globally performed),
+    so the fence compiles to a fetch-and-add on a private per-thread
+    scratch line that no other op touches.
+    """
+    return Op("fence")
 
 
 def delay(cycles: int) -> Op:
@@ -97,17 +122,36 @@ def _build_traces(test: LitmusTest, space: AddressSpace,
         t = TraceBuilder()
         if tid < len(extra_delays) and extra_delays[tid]:
             t.compute(latency=extra_delays[tid])
+        last_load_reg: Optional[int] = None
+        fence_addr: Optional[int] = None
         for op in thread:
             if op.kind == "ld":
                 reg = t.reg()
                 t.load(reg, addr[op.var])
                 out_regs.append((tid, reg, op.out))
+                last_load_reg = reg
             elif op.kind == "ld_slow":
                 base = t.reg()
                 t.compute(base, latency=op.arg)  # value 0: slow zero offset
                 reg = t.reg()
                 t.load(reg, addr[op.var], addr_reg=base)
                 out_regs.append((tid, reg, op.out))
+                last_load_reg = reg
+            elif op.kind == "ld_dep":
+                if last_load_reg is None:
+                    raise ValueError(
+                        f"ld_dep({op.var!r}) has no preceding load in "
+                        f"thread {tid} to depend on")
+                gate = t.reg()
+                t.gate(gate, (last_load_reg,))  # 0 only once dep performs
+                reg = t.reg()
+                t.load(reg, addr[op.var], addr_reg=gate)
+                out_regs.append((tid, reg, op.out))
+                last_load_reg = reg
+            elif op.kind == "fence":
+                if fence_addr is None:
+                    fence_addr = space.new_var(f"__fence_t{tid}")
+                t.faa(t.reg(), fence_addr)  # atomic == full fence
             elif op.kind == "st":
                 t.store(addr[op.var], op.arg)
             elif op.kind == "delay":
@@ -170,13 +214,37 @@ def run_litmus(test: LitmusTest, params: Optional[SystemParams] = None, *,
                          checker_violation=violation)
 
 
+def perturbation_delays(test: LitmusTest, count: int,
+                        rng: random.Random) -> List[Tuple[int, ...]]:
+    """*count* random per-thread start-offset tuples drawn from *rng*.
+
+    The caller owns the :class:`random.Random` instance (and therefore
+    the seed): nothing here touches module-global randomness, so a
+    pinned seed gives byte-stable sweep schedules in the BENCH drivers.
+    """
+    threads = len(test.threads)
+    return [tuple(rng.randrange(0, 121, 10) for __ in range(threads))
+            for __ in range(count)]
+
+
 def sweep_litmus(test: LitmusTest, params: Optional[SystemParams] = None, *,
                  delays: Sequence[Sequence[int]] = ((0, 0), (0, 40), (40, 0),
                                                     (0, 80), (80, 0),
                                                     (20, 60), (60, 20)),
+                 perturb: int = 0,
+                 rng: Optional[random.Random] = None,
                  ) -> List[LitmusOutcome]:
-    """Run *test* across a grid of per-thread start offsets."""
-    return [run_litmus(test, params, extra_delays=combo) for combo in delays]
+    """Run *test* across a grid of per-thread start offsets.
+
+    ``perturb`` appends that many random offset tuples generated from
+    *rng* (an explicit, caller-seeded :class:`random.Random`; default
+    ``random.Random(0)``) via :func:`perturbation_delays`.
+    """
+    combos = [tuple(combo) for combo in delays]
+    if perturb:
+        combos.extend(perturbation_delays(
+            test, perturb, rng if rng is not None else random.Random(0)))
+    return [run_litmus(test, params, extra_delays=combo) for combo in combos]
 
 
 # ----------------------------------------------------------- the test suite
@@ -325,11 +393,22 @@ def standard_suite() -> List[LitmusTest]:
 # ------------------------------------------------- Table 2: interleavings
 @dataclass(frozen=True)
 class SimpleOp:
-    """An abstract operation for interleaving enumeration."""
+    """An abstract operation for interleaving enumeration.
+
+    ``kind`` is ``"ld"``, ``"st"``, or ``"mf"`` (a full fence, which
+    carries no variable).  ``out`` optionally overrides the load-outcome
+    key (default ``"t{thread}:ld {var}"``) — the conformance corpus uses
+    register names so the same valuation keys work across the simulator,
+    the operational model, and this enumeration.
+    """
 
     thread: int
-    kind: str  # "ld" | "st"
-    var: str
+    kind: str  # "ld" | "st" | "mf"
+    var: str = ""
+    out: str = ""
+
+    def key(self) -> str:
+        return self.out or f"t{self.thread}:ld {self.var}"
 
 
 def enumerate_interleavings(threads: Sequence[Sequence[SimpleOp]]
@@ -338,49 +417,147 @@ def enumerate_interleavings(threads: Sequence[Sequence[SimpleOp]]
 
     Returns (interleaving, {load key -> "old"/"new"}) for each
     interleaving, executing stores in interleaving order (memory order)
-    and binding each load to the current value of its variable.
+    and binding each load to the current value of its variable.  This is
+    the *sequentially consistent* enumeration (paper Table 2); fences
+    are inert here.  :func:`legal_tso_outcomes` layers the TSO
+    store-buffer relaxation on top.
     """
     results = []
     lengths = [len(t) for t in threads]
     for order in _merge_orders(lengths):
         ops = tuple(threads[t][i] for t, i in order)
-        state: Dict[str, str] = {}
-        loads: Dict[str, str] = {}
-        counts: Dict[int, int] = {}
-        for op in ops:
-            counts[op.thread] = counts.get(op.thread, 0) + 1
-            if op.kind == "st":
-                state[op.var] = "new"
-            else:
-                key = f"t{op.thread}:ld {op.var}"
-                loads[key] = state.get(op.var, "old")
+        loads = _execute_interleaving(ops)
         results.append((ops, loads))
     return results
 
 
+def _execute_interleaving(ops: Sequence[SimpleOp]) -> Dict[str, str]:
+    state: Dict[str, str] = {}
+    loads: Dict[str, str] = {}
+    for op in ops:
+        if op.kind == "st":
+            state[op.var] = "new"
+        elif op.kind == "ld":
+            loads[op.key()] = state.get(op.var, "old")
+    return loads
+
+
 def legal_tso_outcomes(threads: Sequence[Sequence[SimpleOp]]
                        ) -> List[Dict[str, str]]:
-    """Distinct load-outcome combinations reachable by TSO interleavings."""
-    outcomes = []
-    for __, loads in enumerate_interleavings(threads):
-        if loads not in outcomes:
-            outcomes.append(loads)
+    """Distinct load-outcome combinations reachable under x86-TSO.
+
+    TSO relaxes exactly one program-order edge: an older *store* may
+    drain to memory after a younger *load* performs (FIFO store buffer),
+    with same-address forwarding.  Every TSO execution is therefore an
+    SC interleaving of per-thread *memory-order* sequences in which
+
+    * loads keep their relative program order,
+    * stores keep their relative program order,
+    * a load may move earlier past any program-order-earlier stores,
+      unless a fence (``mf``) sits between them, and
+    * a load hoisted past a same-variable store is *pinned* to that
+      store's value (store-to-load forwarding) instead of reading
+      memory.
+
+    :func:`_thread_relaxations` enumerates those per-thread sequences;
+    this function SC-merges every combination and collects the distinct
+    load valuations.  For threads with no store→load pairs (e.g. the
+    paper's Table 2 shape) this degenerates to the SC enumeration.
+    """
+    outcomes: List[Dict[str, str]] = []
+    seen = set()
+    relaxed_threads = [_thread_relaxations(t) for t in threads]
+    for combo in itertools.product(*relaxed_threads):
+        lengths = [len(t) for t in combo]
+        for order in _merge_orders(lengths):
+            state: Dict[str, str] = {}
+            loads: Dict[str, str] = {}
+            for t, i in order:
+                op, pinned = combo[t][i]
+                if op.kind == "st":
+                    state[op.var] = "new"
+                else:
+                    loads[op.key()] = (pinned if pinned is not None
+                                       else state.get(op.var, "old"))
+            fingerprint = tuple(sorted(loads.items()))
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                outcomes.append(loads)
     return outcomes
 
 
-def _merge_orders(lengths: Sequence[int]):
-    """All merges of ``lengths[i]`` items per thread, preserving order."""
-    symbols: List[int] = []
-    for thread, n in enumerate(lengths):
-        symbols.extend([thread] * n)
+def _thread_relaxations(ops: Sequence[SimpleOp]
+                        ) -> List[Tuple[Tuple[SimpleOp, Optional[str]], ...]]:
+    """All TSO-legal memory-order sequences for one thread.
+
+    Walks the program with a symbolic FIFO store buffer: at each step
+    either execute the next instruction (loads perform immediately,
+    forwarding from the youngest buffered same-variable store; stores
+    enter the buffer; a fence requires an empty buffer) or drain the
+    oldest buffered store.  The emitted sequence of (op, pinned_value)
+    pairs is the order the thread's accesses hit memory — exactly the
+    per-thread projection of a TSO execution.  Fences emit nothing.
+    """
+    results: List[Tuple[Tuple[SimpleOp, Optional[str]], ...]] = []
     seen = set()
-    for perm in itertools.permutations(symbols):
-        if perm in seen:
-            continue
-        seen.add(perm)
-        counters = [0] * len(lengths)
-        order = []
-        for thread in perm:
-            order.append((thread, counters[thread]))
-            counters[thread] += 1
-        yield tuple(order)
+
+    def walk(pc: int, buffer: Tuple[SimpleOp, ...],
+             emitted: Tuple[Tuple[SimpleOp, Optional[str]], ...]) -> None:
+        if pc == len(ops) and not buffer:
+            if emitted not in seen:
+                seen.add(emitted)
+                results.append(emitted)
+            return
+        if buffer:  # drain the oldest buffered store to memory
+            walk(pc, buffer[1:], emitted + ((buffer[0], None),))
+        if pc == len(ops):
+            return
+        op = ops[pc]
+        if op.kind == "st":
+            walk(pc + 1, buffer + (op,), emitted)
+        elif op.kind == "mf":
+            if not buffer:
+                walk(pc + 1, buffer, emitted)
+        elif op.kind == "ld":
+            pinned: Optional[str] = None
+            for buffered in reversed(buffer):
+                if buffered.var == op.var:
+                    pinned = "new"  # forwarded from own store buffer
+                    break
+            walk(pc + 1, buffer, emitted + ((op, pinned),))
+        else:
+            raise ValueError(f"unknown SimpleOp kind {op.kind!r}")
+
+    walk(0, (), ())
+    return results
+
+
+def _merge_orders(lengths: Sequence[int]) -> Iterator[Tuple[Tuple[int, int], ...]]:
+    """All merges of ``lengths[i]`` items per thread, preserving order.
+
+    Recursion over the residual-lengths state: at every step, append the
+    next unconsumed item of some thread.  Each distinct merge is built
+    exactly once — the multinomial ``(sum n_i)! / prod n_i!`` orders —
+    unlike the previous permutations-then-deduplicate pass, which
+    materialized all ``(sum n_i)!`` permutations first and made 4-thread
+    tests exponential-with-repeats.  Yield order is lexicographic in
+    thread index, matching the old implementation byte for byte.
+    """
+    total = sum(lengths)
+    counters = [0] * len(lengths)
+    order: List[Tuple[int, int]] = []
+
+    def rec() -> Iterator[Tuple[Tuple[int, int], ...]]:
+        if len(order) == total:
+            yield tuple(order)
+            return
+        for thread, n in enumerate(lengths):
+            if counters[thread] < n:
+                order.append((thread, counters[thread]))
+                counters[thread] += 1
+                yield from rec()
+                counters[thread] -= 1
+                order.pop()
+        return
+
+    yield from rec()

@@ -34,10 +34,11 @@ from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 @dataclass(frozen=True)
 class TOp:
     """One abstract operation: ('ld', loc, reg) / ('st', loc, value) /
-    ('rmw', loc, reg, value) — the rmw loads into reg then stores value."""
+    ('rmw', loc, reg, value) — the rmw loads into reg then stores value —
+    or ('mf',): an MFENCE, which blocks until the own buffer drains."""
 
-    kind: str  # "ld" | "st" | "rmw"
-    loc: str
+    kind: str  # "ld" | "st" | "rmw" | "mf"
+    loc: str = ""
     reg: str = ""
     value: int = 0
 
@@ -52,6 +53,10 @@ def st(loc: str, value: int) -> TOp:
 
 def rmw(loc: str, reg: str, value: int) -> TOp:
     return TOp("rmw", loc, reg=reg, value=value)
+
+
+def mf() -> TOp:
+    return TOp("mf")
 
 
 State = Tuple[
@@ -137,6 +142,10 @@ def _successors(threads, state: State) -> List[State]:
                 value = _read(memory, op.loc)
             new_regs = _set_reg(registers, f"t{tid}:{op.reg}", value)
             next_states.append((new_pcs, buffers, memory, new_regs))
+        elif op.kind == "mf":
+            if buffers[tid]:
+                continue  # MFENCE waits for the own buffer to drain
+            next_states.append((new_pcs, buffers, memory, registers))
         elif op.kind == "rmw":
             if buffers[tid]:
                 continue  # RMW requires a drained own buffer (fence)

@@ -144,8 +144,16 @@ def fig10_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
 
 
 # --------------------------------------------------------- Tables 1 and 3
+#: Pinned seed for the random schedule perturbations appended to every
+#: litmus sweep — byte-stable BENCH output by construction.
+TABLE1_SWEEP_SEED = 2017
+TABLE1_SWEEP_PERTURB = 2
+
+
 def table1_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
     """Litmus sweeps are sub-second cells; they run inline."""
+    import random
+
     from ..consistency.litmus import standard_suite, sweep_litmus
 
     modes = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB)
@@ -156,7 +164,9 @@ def table1_driver(cfg: BenchConfig, engine: ExperimentEngine) -> BenchReport:
         cores = 16 if len(test.threads) > 4 else 4
         for mode in modes:
             params = table6_system("SLM", num_cores=cores, commit_mode=mode)
-            outcomes = sweep_litmus(test, params, delays=delays)
+            outcomes = sweep_litmus(test, params, delays=delays,
+                                    perturb=TABLE1_SWEEP_PERTURB,
+                                    rng=random.Random(TABLE1_SWEEP_SEED))
             forbidden = sum(o.forbidden_hit for o in outcomes)
             violations = sum(o.checker_violation is not None
                              for o in outcomes)
@@ -559,6 +569,59 @@ def ablation_unsafe_driver(cfg: BenchConfig, engine: ExperimentEngine
     return report
 
 
+# ------------------------------------------------------- TSO conformance
+#: Pinned sweep seed / perturbation count for the conformance corpus.
+CONFORM_SEED = 0
+CONFORM_PERTURB = 2
+
+
+def conformance_driver(cfg: BenchConfig, engine: ExperimentEngine
+                       ) -> BenchReport:
+    """Three-way differential conformance over the committed corpus.
+
+    Sub-second cells, run inline (engine-independent, so the payload is
+    trivially byte-stable across serial/pooled/cache-replay).  Quick
+    configurations (``scale < 1``) run the deterministic tier-1 slice;
+    ``REPRO_CONFORM_FULL=1`` forces the full corpus.
+    """
+    from ..conform.runner import (full_requested, load_corpus,
+                                  run_conformance, tier1_slice)
+
+    tests = load_corpus()
+    sliced = cfg.scale < 1.0 and not full_requested()
+    if sliced:
+        tests = tier1_slice(tests)
+    result = run_conformance(tests, perturb=CONFORM_PERTURB,
+                             seed=CONFORM_SEED, explore=True)
+    lines = [f"{'family':8s} {'tests':>6s} {'sim-runs':>9s} "
+             f"{'sim-outs':>9s} {'oper':>6s} {'axiom':>6s} {'viol':>5s}"]
+    rows: List[Dict] = []
+    for row in result.family_rows():
+        lines.append(f"{row['family']:8s} {row['tests']:6d} "
+                     f"{row['sim_runs']:9d} {row['sim_outcomes']:9d} "
+                     f"{row['operational']:6d} {row['axiomatic']:6d} "
+                     f"{row['violations']:5d}")
+        rows.append(dict(row))
+    for name in sorted(result.explorations):
+        info = result.explorations[name]
+        lines.append(f"explore/{name:4s} states={info['states']:<6d} "
+                     f"paths={info['paths']:<4d} "
+                     f"sleep_pruned={info['sleep_pruned']:<6d} "
+                     f"ok={info['ok']}")
+        rows.append({"exploration": name, **info})
+    lines.append(f"{len(result.reports)} tests "
+                 f"({'tier-1 slice' if sliced else 'full corpus'}), "
+                 f"{len(result.violations)} violations")
+    report = BenchReport(name="conformance", txt_name="conformance",
+                         text="\n".join(lines), rows=rows)
+    report.totals["tests"] = len(result.reports)
+    report.totals["violations"] = len(result.violations)
+    report.totals["ok"] = result.ok
+    report.totals["sliced"] = sliced
+    report.finish_totals()
+    return report
+
+
 #: Driver registry in canonical (report) order.
 DRIVERS: Dict[str, Callable[[BenchConfig, ExperimentEngine], BenchReport]] = {
     "fig8": fig8_driver,
@@ -574,4 +637,5 @@ DRIVERS: Dict[str, Callable[[BenchConfig, ExperimentEngine], BenchReport]] = {
     "ablation_network": ablation_network_driver,
     "ablation_unsafe": ablation_unsafe_driver,
     "blame": blame_driver,
+    "conformance": conformance_driver,
 }

@@ -86,7 +86,39 @@ TRACE_SCENARIOS: Dict[str, Tuple] = {
     "sos": (sos_bypass, "WritersBlock window with SoS tear-off reads"),
 }
 
+#: Prefix that routes a trace/blame target to the conformance corpus:
+#: ``litmus:MP+po+slow`` observes that corpus test's compiled traces.
+LITMUS_PREFIX = "litmus:"
+
+
+def is_litmus_target(name: str) -> bool:
+    return name.startswith(LITMUS_PREFIX)
+
+
+def litmus_scenario_traces(name: str, *,
+                           extra_delays: Tuple[int, ...] = ()) -> Traces:
+    """Compile a conformance-corpus test (``litmus:<NAME>``) to traces.
+
+    Gives every corpus test the same observability surface as the
+    directed scenarios: ``repro trace litmus:MP+po+slow``,
+    ``repro blame litmus:IRIW+slow+slow`` etc. work out of the box.
+    """
+    from ..conform.model import to_litmus
+    from ..conform.runner import load_corpus
+    from ..consistency.litmus import litmus_traces
+
+    wanted = name[len(LITMUS_PREFIX):]
+    for test in load_corpus():
+        if test.name == wanted:
+            space = AddressSpace()
+            traces, __ = litmus_traces(to_litmus(test), space,
+                                       extra_delays=extra_delays)
+            return traces
+    raise KeyError(f"no corpus test named {wanted!r}")
+
 
 def scenario_traces(name: str) -> Traces:
+    if is_litmus_target(name):
+        return litmus_scenario_traces(name)
     builder, __ = TRACE_SCENARIOS[name]
     return builder()

@@ -9,7 +9,9 @@ from .explorer import (
 )
 from .properties import (
     combined_invariant,
+    conform_invariant,
     no_residue,
+    sos_never_blocked,
     swmr_invariant,
     writersblock_blocks_writes,
 )
@@ -21,7 +23,9 @@ __all__ = [
     "VerifSystem",
     "explore",
     "combined_invariant",
+    "conform_invariant",
     "no_residue",
+    "sos_never_blocked",
     "swmr_invariant",
     "writersblock_blocks_writes",
 ]

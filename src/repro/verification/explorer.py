@@ -71,6 +71,33 @@ class BufferingNetwork(MeshNetwork):
         msg = self.pending.pop(index)
         self._endpoints[(msg.dst, msg.dst_port)](msg)
 
+    @staticmethod
+    def delivery_key(msg: Message) -> Tuple:
+        """Transition identity for partial-order reduction.
+
+        Delivering a message only mutates the receiving controller and
+        appends fresh sends (whose channel carries the *sender's* tile
+        as src), so the tuple (type, channel, line) names the transition
+        stably across reorderings: the head of a (src, dst, port)
+        channel is untouched by deliveries on other channels.
+        """
+        return (msg.msg_type.value, msg.src, msg.dst, msg.dst_port,
+                int(msg.line))
+
+    @staticmethod
+    def independent(key_a: Tuple, key_b: Tuple) -> bool:
+        """May two deliveries commute (conservatively)?
+
+        Requires *both* different receiving endpoints (the mutated
+        controller state is disjoint) and different cache lines (so no
+        shared line/directory entry is involved).  Endpoint alone would
+        already commute for state, but staying line-disjoint keeps the
+        argument independent of any cross-line bookkeeping a controller
+        might add later.
+        """
+        return (key_a[2], key_a[3]) != (key_b[2], key_b[3]) and \
+            key_a[4] != key_b[4]
+
 
 class VerifCore:
     """A scripted core-side agent (deepcopy-safe: no closures).
@@ -220,6 +247,7 @@ class ExplorationResult:
     states_explored: int = 0
     paths_completed: int = 0
     deduplicated: int = 0
+    sleep_pruned: int = 0
     max_pending: int = 0
     violations: List[str] = field(default_factory=list)
 
@@ -232,7 +260,7 @@ def explore(setup: Callable[[VerifSystem], None],
             invariant: Callable[[VerifSystem], Optional[str]],
             final_check: Callable[[VerifSystem], Optional[str]], *,
             num_tiles: int = 4, writers_block: bool = True,
-            max_states: int = 20_000,
+            max_states: int = 20_000, por: bool = True,
             on_quiescent: Optional[Callable[[VerifSystem], None]] = None,
             ) -> ExplorationResult:
     """Explore every delivery order of the scenario built by *setup*.
@@ -242,20 +270,36 @@ def explore(setup: Callable[[VerifSystem], None],
     quiescent path end.  ``on_quiescent`` lets scenarios inject
     follow-up operations when the network drains (e.g. release a
     lockdown only after the invalidation arrived).
+
+    With ``por=True`` (the default) the search carries *sleep sets*
+    [Godefroid]: after exploring delivery ``t`` from a state, the
+    siblings explored later inherit ``t`` in their sleep set as long as
+    they are independent of it (different endpoint *and* different
+    line, :meth:`BufferingNetwork.independent`), so the commuted
+    ``t``-then-sibling order is never re-executed.  Both orders of an
+    independent pair reach the same state, and the pruned path's
+    intermediate states are exactly the states the explored path
+    visits, so the reachable *state set* — hence every invariant check
+    and every reachable deadlock — is preserved; only redundant
+    transitions are dropped.  State memoization keeps the smallest
+    sleep set seen per fingerprint: a revisit with a superset sleep set
+    is pruned outright, a revisit that would explore *more* (smaller
+    sleep) re-expands and records the intersection.
     """
     root = VerifSystem(num_tiles, writers_block=writers_block)
     setup(root)
     root.settle()
     result = ExplorationResult()
-    seen = set()
-    stack: List[VerifSystem] = [root]
+    seen: Dict[Tuple, frozenset] = {}
+    stack: List[Tuple[VerifSystem, frozenset]] = [(root, frozenset())]
     while stack and result.states_explored < max_states:
-        system = stack.pop()
+        system, sleep = stack.pop()
         fp = system.fingerprint()
-        if fp in seen:
+        recorded = seen.get(fp)
+        if recorded is not None and recorded <= sleep:
             result.deduplicated += 1
             continue
-        seen.add(fp)
+        seen[fp] = sleep if recorded is None else (recorded & sleep)
         result.states_explored += 1
         result.max_pending = max(result.max_pending,
                                  len(system.network.pending))
@@ -270,16 +314,36 @@ def explore(setup: Callable[[VerifSystem], None],
                 on_quiescent(system)
                 system.settle()
                 if system.network.pending or system.fingerprint() != before:
-                    stack.append(system)
+                    stack.append((system, frozenset()))
                     continue
             problem = final_check(system)
             if problem:
                 result.violations.append(problem)
             result.paths_completed += 1
             continue
-        for choice in choices:
+        keys = [BufferingNetwork.delivery_key(system.network.pending[i])
+                for i in choices]
+        if por:
+            awake = [(i, k) for i, k in zip(choices, keys)
+                     if k not in sleep]
+            result.sleep_pruned += len(choices) - len(awake)
+        else:
+            awake = list(zip(choices, keys))
+        if not awake:
+            # Every enabled delivery commutes into an already-explored
+            # sibling order; this state's continuations are covered.
+            continue
+        explored_here: List[Tuple] = []
+        for index, key in awake:
             child = copy.deepcopy(system)
-            child.network.deliver(choice)
+            child.network.deliver(index)
             child.settle()
-            stack.append(child)
+            if por:
+                child_sleep = frozenset(
+                    other for other in sleep.union(explored_here)
+                    if BufferingNetwork.independent(other, key))
+            else:
+                child_sleep = frozenset()
+            stack.append((child, child_sleep))
+            explored_here.append(key)
     return result

@@ -57,8 +57,56 @@ def writersblock_blocks_writes(system: VerifSystem) -> Optional[str]:
     return None
 
 
+def sos_never_blocked(system: VerifSystem) -> Optional[str]:
+    """The paper's deadlock-avoidance rule (§3.5.2): an SoS load is
+    never stuck behind a WritersBlock'd write.
+
+    The directory may block *writes* indefinitely (WritersBlock), and a
+    core only learns via the blocked hint — so the protocol's guarantee
+    is one of *capability*: whenever a write sits blocked with an
+    ordered (SoS) load parked on it, the cache must be able to tear
+    that load off onto a fresh uncacheable read **right now**.
+    Concretely, on every reachable state:
+
+    * for every blocked-hinted write MSHR with an ordered waiting
+      load, either an SoS-bypass MSHR for the line is already in
+      flight or the reserved-MSHR quota has a free slot
+      (``can_allocate(sos=True)`` — the paper's "at least one MSHR
+      always reserved for SoS loads");
+    * every SoS-bypass MSHR is an uncacheable read and is itself never
+      blocked-hinted (the directory services uncacheable reads even
+      while the line sits in WRITERS_BLOCK).
+    """
+    for cache in system.caches:
+        for entry in cache.mshrs.entries():
+            if entry.kind == "write" and entry.blocked_hint and any(
+                    request.is_ordered()
+                    for request in entry.waiting_loads):
+                bypass_inflight = any(
+                    other.is_sos_bypass and other.line == entry.line
+                    for other in cache.mshrs.entries())
+                if not bypass_inflight and \
+                        not cache.mshrs.can_allocate(sos=True):
+                    return (f"SoS load blocked: ordered load waits on "
+                            f"blocked write MSHR {entry!r} of cache "
+                            f"{cache.tile} and no SoS MSHR can launch")
+            if entry.is_sos_bypass:
+                if entry.kind != "read" or not entry.uncacheable:
+                    return (f"SoS bypass MSHR not an uncacheable read: "
+                            f"{entry!r} on cache {cache.tile}")
+                if entry.blocked_hint:
+                    return (f"SoS bypass MSHR blocked-hinted: {entry!r} "
+                            f"on cache {cache.tile}")
+    return None
+
+
 def combined_invariant(system: VerifSystem) -> Optional[str]:
     return swmr_invariant(system) or writersblock_blocks_writes(system)
+
+
+def conform_invariant(system: VerifSystem) -> Optional[str]:
+    """Everything the conformance explorer asserts on every state."""
+    return combined_invariant(system) or sos_never_blocked(system)
 
 
 def no_residue(system: VerifSystem) -> Optional[str]:

@@ -1,0 +1,1 @@
+"""TSO conformance subsystem tests (corpus, differential, witnesses)."""

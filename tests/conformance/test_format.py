@@ -1,0 +1,102 @@
+"""The herd-style ``.litmus`` parser/writer: round-trips and errors."""
+
+import pathlib
+
+import pytest
+
+from repro.conform import (ConformTest, cld, cld_slow, cmf, cst,
+                           parse_litmus, write_litmus)
+from repro.conform.generator import generate_corpus
+from repro.conform.litmus_format import LitmusParseError
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+
+
+def sample_test() -> ConformTest:
+    return ConformTest(
+        name="MP+po+slow",
+        threads=[
+            [cst("x", 1), cst("y", 1)],
+            [cld_slow("y", "EAX"), cld("x", "EBX")],
+        ],
+        exists=[{"1:EAX": 1, "1:EBX": 0}],
+        expect="forbidden",
+        family="mp",
+        description="message passing, slow older load",
+    )
+
+
+def test_writer_golden():
+    """The canonical writer output is pinned byte for byte."""
+    expected = (
+        'X86 MP+po+slow\n'
+        '"message passing, slow older load"\n'
+        '(* family: mp *)\n'
+        '(* expect: forbidden *)\n'
+        '{ x=0; y=0; }\n'
+        ' P0         | P1 ;\n'
+        ' MOV [x],$1 | MOVSLOW EAX,[y] ;\n'
+        ' MOV [y],$1 | MOV EBX,[x] ;\n'
+        'exists (1:EAX=1 /\\ 1:EBX=0)\n'
+    )
+    assert write_litmus(sample_test()) == expected
+
+
+def test_parse_inverts_write():
+    test = sample_test()
+    parsed = parse_litmus(write_litmus(test))
+    assert parsed == test
+
+
+def test_roundtrip_whole_generated_corpus():
+    for test in generate_corpus():
+        assert parse_litmus(write_litmus(test)) == test, test.name
+
+
+def test_committed_corpus_is_writer_canonical():
+    """Every committed file is byte-identical to the canonical writer
+    output of its own parse (no hand edits drifting from the format)."""
+    paths = sorted(CORPUS_DIR.glob("*.litmus"))
+    assert paths, "committed corpus is missing"
+    for path in paths:
+        text = path.read_text()
+        assert write_litmus(parse_litmus(text)) == text, path.name
+
+
+def test_mfence_and_dep_loads_roundtrip():
+    test = ConformTest(
+        name="SB+mf+mf",
+        threads=[
+            [cst("x", 1), cmf(), cld("y", "EAX")],
+            [cst("y", 1), cmf(), cld("x", "EAX")],
+        ],
+        exists=[{"0:EAX": 0, "1:EAX": 0}],
+        expect="forbidden",
+        family="sb",
+    )
+    text = write_litmus(test)
+    assert "MFENCE" in text
+    assert parse_litmus(text) == test
+
+
+def test_parse_rejects_bad_header():
+    with pytest.raises(LitmusParseError):
+        parse_litmus("PPC MP\n{ x=0; }\n P0 ;\n MOV [x],$1 ;\n")
+
+
+def test_parse_rejects_nonzero_init():
+    text = write_litmus(sample_test()).replace("x=0", "x=7")
+    with pytest.raises(LitmusParseError):
+        parse_litmus(text)
+
+
+def test_parse_rejects_unknown_instruction():
+    text = write_litmus(sample_test()).replace("MOV EBX,[x]", "XCHG EBX,[x]")
+    with pytest.raises(LitmusParseError):
+        parse_litmus(text)
+
+
+def test_parse_rejects_exists_on_unknown_register():
+    text = write_litmus(sample_test()).replace("1:EBX=0", "1:ECX=0")
+    with pytest.raises((LitmusParseError, ValueError)):
+        parse_litmus(text)

@@ -1,0 +1,87 @@
+"""The diy-style shape generator and the committed corpus."""
+
+import pathlib
+
+from repro.conform.generator import FAMILIES, generate_corpus
+from repro.conform.litmus_format import parse_litmus, write_litmus
+from repro.conform.model import operational_outcomes
+from repro.conform.runner import load_corpus
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+
+
+def by_name():
+    return {test.name: test for test in generate_corpus()}
+
+
+def test_corpus_size_and_uniqueness():
+    tests = generate_corpus()
+    assert len(tests) >= 150
+    names = [test.name for test in tests]
+    assert len(names) == len(set(names))
+
+
+def test_every_test_validates_and_has_expectation():
+    for test in generate_corpus():
+        test.validate()  # raises on malformed shapes
+        assert test.expect in ("forbidden", "allowed"), test.name
+        assert test.exists, test.name
+        assert 2 <= len(test.threads) <= 4, test.name
+
+
+def test_family_coverage():
+    families = {test.family for test in generate_corpus()}
+    for family in ("mp", "sb", "sb3", "sb4", "lb", "lb3", "lb4", "corr",
+                   "corr3", "wrc", "iriw", "isa2", "isa24", "rwc"):
+        assert family in families
+    assert len(FAMILIES) == len(families)
+
+
+def test_committed_corpus_matches_generator():
+    """tests/conformance/corpus/ is exactly the generator output."""
+    generated = by_name()
+    committed = {test.name: test for test in load_corpus(CORPUS_DIR)}
+    assert committed.keys() == generated.keys()
+    for name, test in generated.items():
+        assert committed[name] == test, name
+        path = CORPUS_DIR / f"{name}.litmus"
+        assert path.read_text() == write_litmus(test), name
+
+
+def test_store_load_fence_expectations():
+    """SB rings flip to forbidden only when *every* st->ld gap is
+    fenced; MP/LB/IRIW shapes are forbidden under plain po in TSO."""
+    tests = by_name()
+    assert tests["SB+mf+mf"].expect == "forbidden"
+    assert tests["SB+po+mf"].expect == "allowed"
+    assert tests["SB+mf+po"].expect == "allowed"
+    assert tests["SB+po+po"].expect == "allowed"
+    assert tests["MP+po+po"].expect == "forbidden"
+    assert tests["LB+po+po"].expect == "forbidden"
+    assert tests["IRIW+po+po"].expect == "forbidden"
+    assert tests["RWC+po+po"].expect == "allowed"
+    assert tests["RWC+po+mf"].expect == "forbidden"
+
+
+def test_dep_slow_variants_never_change_expectation():
+    """dep/slow decorate timing only; the TSO verdict must match the
+    plain-po variant of the same shape, family by family."""
+    tests = by_name()
+    for name, test in tests.items():
+        family, _, gaps = name.partition("+")
+        plain = "+".join("po" if g in ("dep", "slow") else g
+                         for g in gaps.split("+"))
+        base = tests[f"{family}+{plain}"]
+        assert test.expect == base.expect, name
+
+
+def test_dep_slow_variants_share_operational_outcomes():
+    """Spot-check: the operational machine sees dep/slow as plain
+    loads, so the reachable-outcome sets coincide exactly."""
+    tests = by_name()
+    for plain, variant in (("MP+po+po", "MP+po+slow"),
+                           ("MP+po+po", "MP+po+dep"),
+                           ("CORR3+po+po", "CORR3+po+slow"),
+                           ("IRIW+po+po", "IRIW+slow+po")):
+        assert (operational_outcomes(tests[plain])
+                == operational_outcomes(tests[variant])), variant

@@ -1,0 +1,90 @@
+"""Satellite: forbidden-outcome witness round-trip.
+
+A failing litmus run (unsafe commit mode) exports a witness JSON; the
+witness replays to the identical register outcome, reproduces the
+checker violation, and arrives with a causal blame trace — through the
+API and through ``repro conform --replay``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.types import CommitMode
+from repro.conform.differential import check_test
+from repro.conform.runner import load_corpus
+from repro.conform.witness import (WITNESS_SCHEMA, load_witness,
+                                   replay_witness, save_witness)
+
+
+@pytest.fixture(scope="module")
+def forbidden_witness():
+    """One forbidden-outcome witness from CORR3+po+slow under unsafe
+    commit (the reliable trigger for the paper's dangerous reorder)."""
+    test = next(t for t in load_corpus() if t.name == "CORR3+po+slow")
+    report = check_test(test, mode=CommitMode.OOO_UNSAFE, perturb=2, seed=0)
+    witnesses = [v.witness for v in report.violations
+                 if v.kind == "forbidden-outcome" and v.witness]
+    assert witnesses, "unsafe mode no longer trips CORR3+po+slow"
+    return witnesses[0]
+
+
+def test_witness_payload_shape(forbidden_witness):
+    payload = forbidden_witness
+    assert payload["schema"] == WITNESS_SCHEMA
+    assert payload["test"] == "CORR3+po+slow"
+    assert payload["commit_mode"] == "ooo-unsafe"
+    assert payload["litmus"].startswith("X86 CORR3+po+slow")
+    assert len(payload["extra_delays"]) == 2
+    assert payload["registers"]
+
+
+def test_save_load_replay_roundtrip(tmp_path, forbidden_witness):
+    path = save_witness(forbidden_witness, tmp_path)
+    assert path.name == "CORR3+po+slow__forbidden-outcome.json"
+    again = save_witness(forbidden_witness, tmp_path)
+    assert again.name == "CORR3+po+slow__forbidden-outcome.1.json"
+
+    loaded = load_witness(path)
+    assert loaded == forbidden_witness
+
+    report = replay_witness(path)
+    assert report["schema"] == "repro-witness-replay/1"
+    assert report["match"] is True
+    assert report["registers"] == {k: int(v) for k, v in
+                                   forbidden_witness["registers"].items()}
+    assert report["forbidden_hit"] is True
+    assert report["checker_violation"]
+    assert report["cycles"] > 0
+    blame = report["blame"]
+    assert blame["top"], "replay must attach a causal blame trace"
+    assert blame["graph"]["nodes"] > 0
+
+
+def test_load_witness_rejects_wrong_schema(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "something-else/9"}))
+    with pytest.raises(ValueError):
+        load_witness(bad)
+
+
+def test_cli_replay_exit_zero_on_match(tmp_path, forbidden_witness, capsys):
+    path = save_witness(forbidden_witness, tmp_path)
+    code = main(["conform", "--replay", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "match=True" in out
+    assert "forbidden_hit=True" in out
+    assert "blame:" in out
+
+
+def test_cli_replay_exit_one_on_mismatch(tmp_path, forbidden_witness,
+                                         capsys):
+    tampered = dict(forbidden_witness)
+    tampered["registers"] = {key: int(value) + 7 for key, value in
+                             forbidden_witness["registers"].items()}
+    path = save_witness(tampered, tmp_path)
+    code = main(["conform", "--replay", str(path)])
+    assert code == 1
+    assert "match=False" in capsys.readouterr().out

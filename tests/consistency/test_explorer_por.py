@@ -1,0 +1,108 @@
+"""Sleep-set partial-order reduction: soundness and effectiveness."""
+
+from repro.common.types import LineAddr
+from repro.conform.scenarios import explore_mp, explore_sos
+from repro.verification import (BufferingNetwork, combined_invariant,
+                                explore, no_residue)
+
+LINE_A = LineAddr(0x40)
+ADDR_A = 0x1000
+LINE_B = LineAddr(0x41)
+ADDR_B = 0x1040
+
+
+def _key(msg_type, src, dst, dst_port, line):
+    return (msg_type, src, dst, dst_port, int(line))
+
+
+def test_delivery_key_identity():
+    assert BufferingNetwork.independent(
+        _key("Data", 1, 0, "cache", LINE_A),
+        _key("Data", 1, 2, "cache", LINE_B))
+
+
+def test_independence_requires_distinct_endpoint_and_line():
+    base = _key("Data", 1, 0, "cache", LINE_A)
+    # Same endpoint, different line: not independent.
+    assert not BufferingNetwork.independent(
+        base, _key("Inv", 3, 0, "cache", LINE_B))
+    # Different endpoint, same line: not independent.
+    assert not BufferingNetwork.independent(
+        base, _key("Inv", 3, 2, "cache", LINE_A))
+    # Different port counts as a different endpoint.
+    assert BufferingNetwork.independent(
+        base, _key("GetS", 0, 0, "llc", LINE_B))
+
+
+def two_line_scenario(system):
+    """Cross-line traffic: loads of two lines from disjoint cores — the
+    deliveries commute, so sleep sets have something to prune."""
+    system.cores[0].issue_load(ADDR_A)
+    system.cores[1].issue_load(ADDR_B)
+    system.cores[2].issue_load(ADDR_A)
+    system.cores[3].issue_load(ADDR_B)
+
+
+def final_loads(expect):
+    def check(system):
+        residue = no_residue(system)
+        if residue:
+            return residue
+        loads = sum(len(core.load_results) for core in system.cores)
+        if loads < expect:
+            return f"only {loads}/{expect} loads completed"
+        return None
+    return check
+
+
+def test_por_prunes_and_stays_clean():
+    full = explore(two_line_scenario, combined_invariant, final_loads(4),
+                   por=False)
+    por = explore(two_line_scenario, combined_invariant, final_loads(4),
+                  por=True)
+    assert full.ok and por.ok
+    assert por.sleep_pruned > 0
+    assert por.states_explored + por.deduplicated <= \
+        full.states_explored + full.deduplicated
+    assert por.paths_completed >= 1
+
+
+def test_por_preserves_reachable_violations():
+    """A state-predicate violation reachable under the full search must
+    still be reported under POR (the reachable state set is preserved,
+    only redundant transitions are dropped)."""
+
+    def tripwire(system):
+        problem = combined_invariant(system)
+        if problem:
+            return problem
+        done = sum(len(core.load_results) for core in system.cores)
+        if done == 4:
+            return "tripwire: all four loads completed"
+        return None
+
+    full = explore(two_line_scenario, tripwire, final_loads(4), por=False)
+    por = explore(two_line_scenario, tripwire, final_loads(4), por=True)
+    assert set(full.violations) == set(por.violations)
+    assert "tripwire: all four loads completed" in set(por.violations)
+
+
+def test_conform_scenarios_clean_with_and_without_por():
+    """The 4-tile mp/sos protocol scenarios: deadlock-free and
+    SoS-never-blocked in every delivery order, reduced or not."""
+    for scenario in (explore_mp, explore_sos):
+        por = scenario(por=True)
+        full = scenario(por=False)
+        assert por.ok, (scenario.__name__, por.violations[:3])
+        assert full.ok, (scenario.__name__, full.violations[:3])
+        assert por.paths_completed >= 1
+        assert por.sleep_pruned > 0, scenario.__name__
+
+
+def test_explorer_counts_are_deterministic():
+    first = explore_sos(por=True)
+    second = explore_sos(por=True)
+    assert (first.states_explored, first.paths_completed,
+            first.deduplicated, first.sleep_pruned) == \
+        (second.states_explored, second.paths_completed,
+         second.deduplicated, second.sleep_pruned)

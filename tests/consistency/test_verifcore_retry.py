@@ -1,0 +1,162 @@
+"""Directed protocol sequences: load-retry paths and network FIFO.
+
+These drive a :class:`VerifSystem` by hand (deliver messages one by
+one) instead of exploring, to pin down the two retry flavours the core
+must handle:
+
+* ``on_must_retry(False)`` — a cache hit lost the line to an
+  invalidation inside the hit latency; the access replays immediately.
+* ``on_must_retry(True)`` — a tear-off (use-once, uncacheable) copy
+  arrived but the load was not the ordered SoS load; the core must
+  wait for the write to complete before retrying.
+"""
+
+from repro.common.types import CacheState, LineAddr, MsgType
+from repro.verification import VerifSystem
+
+LINE = LineAddr(0x40)
+ADDR = 0x1000
+LINE_B = LineAddr(0x44)
+ADDR_B = 0x1100
+
+
+def drain(system, limit=500):
+    """Deliver pending messages in FIFO order until the network is
+    empty (one fixed interleaving; no branching)."""
+    for __ in range(limit):
+        system.settle()
+        choices = system.network.deliverable()
+        if not choices:
+            return
+        system.network.deliver(choices[0])
+    raise AssertionError("network did not drain")
+
+
+def pending_index(system, msg_type, dst):
+    for idx, msg in enumerate(system.network.pending):
+        if msg.msg_type is msg_type and msg.dst == dst:
+            return idx
+    raise AssertionError(
+        f"no pending {msg_type} to {dst}: {system.network.pending}")
+
+
+def record_retries(core):
+    """Route the core's retry callback through a recorder capturing the
+    ``wait_for_sos`` argument."""
+    calls = []
+
+    def recorder(wait_for_sos=True):
+        calls.append(wait_for_sos)
+        core.load_retries += 1
+
+    core._on_retry = recorder
+    return calls
+
+
+def test_hit_that_loses_line_retries_without_sos_wait():
+    """Invalidation lands between hit-start and hit-finish: the load
+    must replay (``wait_for_sos=False``), not return the stale value."""
+    system = VerifSystem(4)
+    system.cores[0].issue_load(ADDR)
+    system.cores[2].issue_load(ADDR)
+    drain(system)  # line shared in cores 0 and 2
+    assert system.caches[0].line_state(LINE) is CacheState.S
+
+    system.cores[1].request_write(LINE)
+    system.settle()
+    system.network.deliver(pending_index(system, MsgType.GETX,
+                                         system.caches[1].home_of(LINE)))
+    system.settle()  # directory sent INVs to both sharers
+
+    calls = record_retries(system.cores[0])
+    system.cores[0].issue_load(ADDR)  # hit: finish event is now pending
+    system.network.deliver(pending_index(system, MsgType.INV, 0))
+    system.settle()  # hit completes against the invalidated line
+
+    assert calls == [False]
+    assert len(system.cores[0].load_results) == 1  # only the warm-up load
+    drain(system)
+    assert system.cores[1].writes_granted == 1
+    # The replayed access (a clean miss now) must still be serviceable.
+    system.cores[0].issue_load(ADDR)
+    drain(system)
+    assert len(system.cores[0].load_results) == 2
+
+
+def test_tearoff_to_unordered_load_retries_with_sos_wait():
+    """A tear-off copy reaches a core whose load is *not* the ordered
+    SoS load: the copy must not be consumed (``wait_for_sos=True``)."""
+    system = VerifSystem(4)
+    system.cores[0].issue_load(ADDR)
+    drain(system)
+    system.cores[0].lockdowns.add(LINE)
+    system.cores[1].request_write(LINE)
+    drain(system)  # Nacked invalidation: the directory is in WritersBlock
+    assert system.caches[1].write_blocked(LINE) or \
+        system.cores[1].writes_granted == 0
+
+    core2 = system.cores[2]
+    calls = record_retries(core2)
+    core2._is_ordered = lambda: False  # scripted: not the SoS load
+    core2.issue_load(ADDR)
+    drain(system)  # GetS -> WritersBlock'd home -> tear-off back
+
+    assert calls == [True]
+    assert core2.load_results == []
+    assert core2.load_retries == 1
+
+    # Release the lockdown; the blocked write completes and the
+    # replayed load can hit the new value cacheably.
+    system.cores[0].release_lockdown(LINE)
+    drain(system)
+    assert system.cores[1].writes_granted == 1
+    core2.issue_load(ADDR)
+    drain(system)
+    assert len(core2.load_results) == 1
+    assert core2.load_results[0][2] is False  # cacheable this time
+
+
+def test_tearoff_to_ordered_load_is_consumed_once():
+    """The ordered (SoS) load consumes the tear-off exactly once and is
+    marked uncacheable; the line is not installed."""
+    system = VerifSystem(4)
+    system.cores[0].issue_load(ADDR)
+    drain(system)
+    system.cores[0].lockdowns.add(LINE)
+    system.cores[1].request_write(LINE)
+    drain(system)
+
+    core2 = system.cores[2]
+    core2.issue_load(ADDR)  # scripted cores are ordered by default
+    drain(system)
+    assert len(core2.load_results) == 1
+    assert core2.load_results[0][2] is True  # served by the tear-off
+    assert system.caches[2].line_state(LINE) in (None, CacheState.I)
+
+    system.cores[0].release_lockdown(LINE)
+    drain(system)
+    assert system.cores[1].writes_granted == 1
+
+
+def test_buffering_network_is_fifo_per_channel():
+    """Two requests on the same (src, dst, port) channel: only the
+    older is deliverable, and delivery order follows issue order."""
+    system = VerifSystem(4)
+    # Two different lines with the same home bank -> same channel.
+    assert system.caches[0].home_of(LINE) == system.caches[0].home_of(LINE_B)
+    system.cores[0].issue_load(ADDR)
+    system.cores[0].issue_load(ADDR_B)
+    system.settle()
+    pending = system.network.pending
+    assert [m.msg_type for m in pending] == [MsgType.GETS, MsgType.GETS]
+    assert [int(m.line) for m in pending] == [int(LINE), int(LINE_B)]
+    # FIFO head only: the younger same-channel GetS is not deliverable.
+    assert system.network.deliverable() == [0]
+    system.network.deliver(0)
+    system.settle()
+    heads = [system.network.pending[i]
+             for i in system.network.deliverable()]
+    assert any(m.msg_type is MsgType.GETS and int(m.line) == int(LINE_B)
+               for m in heads)
+    drain(system)
+    assert len(system.cores[0].load_results) == 2

@@ -1,9 +1,11 @@
 """Unit tests for the verification properties and VerifSystem plumbing."""
 
+from repro.coherence.private_cache import LoadRequest
 from repro.common.types import CacheState, LineAddr
 from repro.verification import (
     VerifSystem,
     no_residue,
+    sos_never_blocked,
     swmr_invariant,
     writersblock_blocks_writes,
 )
@@ -56,6 +58,63 @@ def test_fingerprint_changes_with_state():
     system.cores[0].issue_load(ADDR)
     system.settle()
     assert system.fingerprint() != before
+
+
+def _ordered_request(byte_addr=ADDR, ordered=True):
+    return LoadRequest(byte_addr=byte_addr,
+                       is_ordered=lambda: ordered,
+                       on_value=lambda value, uncacheable: None,
+                       on_must_retry=lambda wait_for_sos=True: None)
+
+
+def test_sos_never_blocked_clean_on_fresh_and_hinted_states():
+    system = VerifSystem()
+    assert sos_never_blocked(system) is None
+    # A blocked-hinted write with an ordered waiting load is fine as
+    # long as the reserved quota can still launch the bypass.
+    mshrs = system.caches[0].mshrs
+    entry = mshrs.allocate(LINE, "write")
+    entry.blocked_hint = True
+    entry.waiting_loads.append(_ordered_request())
+    assert mshrs.can_allocate(sos=True)
+    assert sos_never_blocked(system) is None
+
+
+def test_sos_never_blocked_flags_exhausted_reservation():
+    """Blocked write + parked SoS load + no free (even reserved) MSHR:
+    the §3.5.2 capability is gone and the invariant must fire."""
+    system = VerifSystem()
+    mshrs = system.caches[0].mshrs
+    entry = mshrs.allocate(LINE, "write")
+    entry.blocked_hint = True
+    entry.waiting_loads.append(_ordered_request())
+    filler = LineAddr(int(LINE) + 1)
+    while mshrs.can_allocate():
+        mshrs.allocate(filler, "read")
+        filler = LineAddr(int(filler) + 1)
+    while mshrs.can_allocate(sos=True):
+        bypass = mshrs.allocate(filler, "read", sos_bypass=True)
+        bypass.uncacheable = True
+        filler = LineAddr(int(filler) + 1)
+    problem = sos_never_blocked(system)
+    assert problem and "SoS load blocked" in problem
+
+
+def test_sos_never_blocked_flags_malformed_bypass_entry():
+    """A bypass MSHR must be an uncacheable read and never be
+    blocked-hinted (the directory serves tear-offs during WritersBlock)."""
+    system = VerifSystem()
+    mshrs = system.caches[0].mshrs
+    entry = mshrs.allocate(LINE, "read", sos_bypass=True)
+    entry.uncacheable = True
+    assert sos_never_blocked(system) is None
+    entry.blocked_hint = True
+    problem = sos_never_blocked(system)
+    assert problem and "blocked-hinted" in problem
+    entry.blocked_hint = False
+    entry.uncacheable = False
+    problem = sos_never_blocked(system)
+    assert problem and "uncacheable" in problem
 
 
 def test_deliverable_respects_channel_fifo():

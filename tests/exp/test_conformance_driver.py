@@ -1,0 +1,50 @@
+"""The ``conformance`` bench driver: payload shape and byte-stability.
+
+The driver runs inline (engine-independent), so its text table and
+rows must be identical no matter which engine configuration carries it
+— the BENCH_conformance.json stability the roadmap demands across
+serial, pooled, and cache-replay runs.
+"""
+
+import json
+
+from repro.exp.bench import run_bench
+from repro.exp.drivers import DRIVERS, BenchConfig, conformance_driver
+from repro.exp.engine import ExperimentEngine
+
+QUICK_CFG = BenchConfig(benches=("fft",), cores=4, scale=0.25)
+
+
+def test_quick_scale_runs_the_tier1_slice():
+    report = conformance_driver(QUICK_CFG, ExperimentEngine(1))
+    assert report.name == "conformance"
+    assert report.totals["sliced"] is True
+    assert report.totals["ok"] is True
+    assert report.totals["violations"] == 0
+    assert 30 <= report.totals["tests"] < 100
+    families = {row["family"] for row in report.rows if "family" in row}
+    assert {"mp", "sb", "iriw", "corr3", "isa24"} <= families
+    explorations = [row for row in report.rows if "exploration" in row]
+    assert {row["exploration"] for row in explorations} == {"mp", "sos"}
+    for row in explorations:
+        assert row["ok"] is True
+        assert row["sleep_pruned"] > 0
+
+
+def test_driver_is_engine_independent_and_byte_stable():
+    serial = conformance_driver(QUICK_CFG, ExperimentEngine(1))
+    pooled = conformance_driver(QUICK_CFG, ExperimentEngine(2))
+    assert serial.text == pooled.text
+    assert serial.rows == pooled.rows
+    assert serial.totals == pooled.totals
+
+
+def test_bench_json_round_trip(tmp_path):
+    assert "conformance" in DRIVERS
+    (run,) = run_bench(["conformance"], QUICK_CFG, tmp_path)
+    payload = json.loads(run.json_path.read_text())
+    assert payload["schema"] == "repro-bench/1"
+    assert payload["name"] == "conformance"
+    assert payload["totals"]["violations"] == 0
+    assert payload["totals"]["ok"] is True
+    assert run.txt_path.read_text().rstrip("\n") == run.report.text

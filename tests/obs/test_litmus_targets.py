@@ -1,0 +1,34 @@
+"""``litmus:<NAME>`` targets: corpus tests on the observability surface."""
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.obs.scenarios import (is_litmus_target, litmus_scenario_traces,
+                                 scenario_traces)
+from repro.sim.runner import run_blamed
+
+
+def test_prefix_detection():
+    assert is_litmus_target("litmus:MP+po+slow")
+    assert not is_litmus_target("mp")
+    assert not is_litmus_target("MP+po+slow")
+
+
+def test_litmus_target_compiles_to_traces():
+    traces = scenario_traces("litmus:MP+po+slow")
+    assert len(traces) == 2  # MP: one writer, one reader
+    assert all(trace for trace in traces)
+
+
+def test_unknown_litmus_target_raises_keyerror():
+    with pytest.raises(KeyError, match=r"NO\+SUCH"):
+        litmus_scenario_traces("litmus:NO+SUCH+TEST")
+
+
+def test_litmus_target_runs_with_blame():
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    result, graph = run_blamed(scenario_traces("litmus:MP+po+slow"), params)
+    assert result.cycles > 0
+    assert len(graph.nodes) > 0
