@@ -1,0 +1,29 @@
+"""Telemetry grid: sampled utilization metrics + mesh-scaling probe.
+
+Runs the directed scenarios and the stratified litmus slice with the
+``repro-metrics/1`` sampler attached and condenses every stream into
+per-gauge occupancy/saturation rows, then probes throughput and
+saturation at growing tile counts.  The scaling probe's events/sec
+numbers are wall-clock and live only in ``BENCH_metrics.json`` — the
+text table carries the deterministic columns.  Driver:
+``repro.exp.drivers.metrics_driver``.
+"""
+
+from repro.exp.drivers import metrics_driver
+
+from .conftest import worker_count
+
+
+def bench_metrics_telemetry(benchmark, config, engine, bench_report):
+    report = benchmark.pedantic(metrics_driver, args=(config, engine),
+                                rounds=1, iterations=1)
+    bench_report(report, config, report.engine_run.wall_seconds,
+                 worker_count())
+    # Every sampled cell must have produced at least one sample, and
+    # the probe must report host throughput per point.  The probe only
+    # covers tile counts up to the configured core budget, so the quick
+    # 4-core configuration gets a single point.
+    assert all(row["samples"] >= 1 for row in report.rows)
+    probe = report.totals["scale_probe"]
+    assert len(probe) >= (2 if config.cores >= 8 else 1)
+    assert all(point["events_per_sec"] > 0 for point in probe)

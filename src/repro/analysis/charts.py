@@ -41,6 +41,36 @@ def grouped_chart(groups: Dict[str, Sequence[Tuple[str, float]]], *,
     return "\n\n".join(blocks)
 
 
+#: Intensity ramp for terminal heatmaps, dark to bright.
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def heatmap_chart(rows: Sequence[Sequence[float]], *,
+                  row_label: str = "tile", title: str = "",
+                  peak: Optional[float] = None) -> str:
+    """Terminal heatmap: one text row per series, one column per sample.
+
+    Each cell maps its value onto :data:`HEAT_RAMP` against *peak*
+    (default: the matrix maximum).  Returns just the title for an empty
+    matrix.
+    """
+    if not rows or not any(len(row) for row in rows):
+        return title
+    top = peak if peak is not None else max(max(row, default=0.0)
+                                            for row in rows)
+    top = max(top, 1e-12)
+    steps = len(HEAT_RAMP) - 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = len(f"{row_label}{len(rows) - 1}")
+    for index, row in enumerate(rows):
+        cells = "".join(
+            HEAT_RAMP[min(steps, round(value / top * steps))] for value in row)
+        lines.append(f"{f'{row_label}{index}'.ljust(label_width)} |{cells}|")
+    return "\n".join(lines)
+
+
 def tree_chart(entries: Sequence[Tuple[int, str, float]], *,
                width: int = 36, title: str = "", unit: str = "") -> str:
     """Indented bar chart for ranked trees (blame trees).

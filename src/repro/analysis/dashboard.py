@@ -1,0 +1,146 @@
+"""Self-contained HTML dashboard for ``repro-metrics/1`` telemetry.
+
+One static file, no external assets or scripts: inline CSS, inline SVG
+heatmaps (tile rows x sample columns, one panel per gauge), and the
+per-gauge summary table from :func:`repro.obs.metrics.summarize_metrics`.
+Output depends only on the payload (plus whatever ``meta`` the caller
+embeds), so regenerating a dashboard from the same stream is
+byte-stable.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.export import PathLike, open_output
+from ..obs.metrics import GAUGES, sample_cycles, summarize_metrics, tile_series
+
+#: Colour ramp stops (low -> high occupancy), dark blue to hot orange.
+_RAMP: Tuple[Tuple[int, int, int], ...] = (
+    (16, 28, 56),     # near-empty: deep blue
+    (38, 112, 138),   # light use: teal
+    (226, 183, 86),   # heavy use: amber
+    (222, 85, 49),    # saturated: red-orange
+)
+
+_CSS = """
+body { background: #101722; color: #d6dde8; margin: 24px;
+       font: 14px/1.5 system-ui, sans-serif; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 6px; color: #9fb4d0; }
+.sub { color: #7c8aa0; margin-bottom: 20px; }
+table { border-collapse: collapse; margin: 12px 0 4px; }
+th, td { padding: 3px 12px; text-align: right; border-bottom:
+         1px solid #223047; }
+th { color: #9fb4d0; font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+.hot { color: #de5531; font-weight: 600; }
+.panel { margin-bottom: 10px; }
+.desc { color: #7c8aa0; font-size: 12px; }
+svg { display: block; margin-top: 4px; }
+"""
+
+
+def _lerp(a: int, b: int, t: float) -> int:
+    return round(a + (b - a) * t)
+
+
+def heat_color(value: float, peak: float) -> str:
+    """Map ``value`` in [0, peak] onto the dashboard colour ramp."""
+    if peak <= 0:
+        return "#%02x%02x%02x" % _RAMP[0]
+    t = min(max(value / peak, 0.0), 1.0) * (len(_RAMP) - 1)
+    low = min(int(t), len(_RAMP) - 2)
+    frac = t - low
+    r, g, b = (_lerp(_RAMP[low][i], _RAMP[low + 1][i], frac)
+               for i in range(3))
+    return "#%02x%02x%02x" % (r, g, b)
+
+
+def heatmap_svg(rows: Sequence[Sequence[float]], *,
+                peak: Optional[float] = None, cell_h: int = 13) -> str:
+    """Inline SVG heatmap: one rect per (tile, sample) cell."""
+    tiles = len(rows)
+    samples = len(rows[0]) if tiles else 0
+    if not samples:
+        return "<svg width='0' height='0'></svg>"
+    cell_w = max(3, min(14, 880 // samples))
+    top = peak if peak is not None else max(max(row, default=0.0)
+                                            for row in rows)
+    label_w = 40
+    width = label_w + samples * cell_w
+    height = tiles * cell_h
+    parts: List[str] = [
+        f"<svg width='{width}' height='{height}' "
+        f"xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    for tile, row in enumerate(rows):
+        y = tile * cell_h
+        parts.append(
+            f"<text x='{label_w - 6}' y='{y + cell_h - 3}' fill='#7c8aa0' "
+            f"font-size='10' text-anchor='end'>t{tile}</text>")
+        for col, value in enumerate(row):
+            parts.append(
+                f"<rect x='{label_w + col * cell_w}' y='{y}' "
+                f"width='{cell_w - 1}' height='{cell_h - 1}' "
+                f"fill='{heat_color(value, top)}'/>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_dashboard(payload: Dict, *, title: str = "repro telemetry",
+                     meta: Optional[Dict] = None) -> str:
+    """The full dashboard as one HTML document string."""
+    summary = summarize_metrics(payload)
+    cycles = sample_cycles(payload)
+    head = (f"{payload['tiles']} tiles &middot; {len(cycles)} samples "
+            f"&middot; period {payload['period']} cycles &middot; "
+            f"{payload.get('cycles', 0)} cycles simulated")
+    if meta:
+        extras = " &middot; ".join(
+            f"{html.escape(str(k))}={html.escape(str(v))}"
+            for k, v in sorted(meta.items()))
+        head += f" &middot; {extras}"
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<div class='sub'>{head}</div>",
+        "<table><tr><th>gauge</th><th>capacity</th><th>mean</th>"
+        "<th>peak</th><th>saturation</th><th>hottest tile</th></tr>",
+    ]
+    for gauge, row in summary["gauges"].items():
+        cap = "&mdash;" if row["capacity"] is None else row["capacity"]
+        sat = row["saturation"]
+        sat_cell = (f"<td class='hot'>{sat:.1%}</td>" if sat >= 0.05
+                    else f"<td>{sat:.1%}</td>")
+        out.append(
+            f"<tr><td>{gauge}</td><td>{cap}</td><td>{row['mean']:.3f}</td>"
+            f"<td>{row['peak']:.3f}</td>{sat_cell}"
+            f"<td>t{row['hottest_tile']} ({row['hottest_mean']:.3f})</td>"
+            "</tr>")
+    out.append("</table>")
+    for gauge in payload["gauges"]:
+        rows = tile_series(payload, gauge)
+        cap = payload.get("capacities", {}).get(gauge)
+        out.append("<div class='panel'>")
+        out.append(f"<h2>{gauge}</h2>")
+        out.append(f"<div class='desc'>{html.escape(GAUGES.get(gauge, ''))}"
+                   + (f" &middot; scale 0..{cap}" if cap else "")
+                   + "</div>")
+        out.append(heatmap_svg(rows, peak=float(cap) if cap else None))
+        out.append("</div>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def write_dashboard(payload: Dict, path: PathLike, *,
+                    title: str = "repro telemetry",
+                    meta: Optional[Dict] = None) -> PathLike:
+    """Render and write the dashboard; returns *path*."""
+    with open_output(path) as handle:
+        handle.write(render_dashboard(payload, title=title, meta=meta))
+    return path

@@ -29,10 +29,19 @@ Commands
                          battery, directed mp/sos scenarios, fuzz
                          replay); writes ``BENCH_perf.json`` and
                          compares against the committed baseline
+``stats TARGET``         sampled run; per-tile utilization summary,
+                         ``repro-metrics/1`` JSONL stream, HTML
+                         heatmap dashboard.  ``--scale 4,8,16``
+                         switches to the mesh-scaling probe
+                         (events/sec + saturation vs tile count)
 
-``trace``, ``profile``, ``blame`` and ``trace-diff`` also accept the
-directed scenarios in ``repro.obs.scenarios`` (e.g. ``mp``) and
-conformance-corpus tests via ``litmus:<NAME>`` (e.g.
+``bench --trend OLD [NEW]`` diffs two generations of ``BENCH_*.json``
+artifacts (e.g. the committed goldens vs a fresh CI run) and prints
+per-metric regressions instead of running drivers.
+
+``trace``, ``profile``, ``blame``, ``trace-diff`` and ``stats`` also
+accept the directed scenarios in ``repro.obs.scenarios`` (e.g. ``mp``)
+and conformance-corpus tests via ``litmus:<NAME>`` (e.g.
 ``litmus:MP+po+slow``).  File outputs accept ``-`` for stdout
 (informational chatter then goes to stderr).
 """
@@ -202,6 +211,52 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--cache-dir", default=None,
                          help="result cache directory "
                               "(default $REPRO_CACHE_DIR or .repro-cache)")
+    bench_p.add_argument("--trend", nargs="+", default=None, metavar="DIR",
+                         help="diff BENCH_*.json generations instead of "
+                              "running drivers: OLD [NEW] directories "
+                              "(one directory compares it against the "
+                              "bench output dir)")
+    bench_p.add_argument("--trend-threshold", type=float, default=0.05,
+                         help="relative change below which noisy host "
+                              "(wall-clock) metrics are ignored "
+                              "(default 0.05)")
+
+    stats_p = sub.add_parser(
+        "stats", help="sampled run: per-tile utilization summary, "
+                      "repro-metrics/1 stream, HTML heatmap dashboard")
+    stats_p.add_argument("target", nargs="?", default=None,
+                         metavar="TARGET",
+                         help="workload, scenario (e.g. mp) or "
+                              "litmus:<NAME>; optional in --scale probe "
+                              "mode (then: probe workload, default "
+                              "fft)")
+    stats_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    stats_p.add_argument("--period", type=int, default=None,
+                         help="sampling period in simulated cycles "
+                              "(default 100)")
+    stats_p.add_argument("--json", default=None,
+                         help="write the per-gauge summary as JSON "
+                              "('-' for stdout)")
+    stats_p.add_argument("--out", default=None,
+                         help="write the repro-metrics/1 JSONL stream "
+                              "('-' for stdout)")
+    stats_p.add_argument("--html", default=None,
+                         help="write the self-contained HTML dashboard")
+    stats_p.add_argument("--heat", default=None, metavar="GAUGE",
+                         help="also print a terminal heatmap for one "
+                              "gauge (e.g. lq, mshr, link)")
+    stats_p.add_argument("--scale", default=None, metavar="N,N,...",
+                         help="mesh-scaling probe: comma-separated tile "
+                              "counts (e.g. 4,8,16); reports events/sec "
+                              "and per-gauge saturation per point")
+    stats_p.add_argument("--cores", type=int, default=16,
+                         help="core count for a single sampled run "
+                              "(default 16; ignored in --scale mode)")
+    stats_p.add_argument("--workload-scale", type=float, default=None,
+                         help="workload scale multiplier (default 1.0; "
+                              "probe mode defaults to 0.5)")
+    stats_p.add_argument("--core-class", choices=sorted(CORE_CLASSES),
+                         default="SLM", help="Table 6 core class")
 
     conf_p = sub.add_parser(
         "conform", help="TSO conformance: three-way differential check "
@@ -518,6 +573,23 @@ def cmd_bench(args) -> int:
                             QUICK_SCALE, run_bench)
     from .exp.drivers import DRIVERS, BenchConfig
 
+    if args.trend:
+        from .exp.trend import diff_generations, render_trend
+
+        if len(args.trend) > 2:
+            raise SystemExit("repro: --trend takes OLD [NEW] (at most two "
+                             "directories)")
+        old_dir = args.trend[0]
+        new_dir = (args.trend[1] if len(args.trend) == 2
+                   else args.out_dir or "benchmarks/out")
+        try:
+            payload = diff_generations(old_dir, new_dir,
+                                       threshold=args.trend_threshold)
+        except ValueError as exc:
+            raise SystemExit(f"repro: {exc}")
+        print(render_trend(payload))
+        return 0
+
     if args.list_drivers:
         for name in DRIVERS:
             print(name)
@@ -684,6 +756,98 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    from .analysis.charts import heatmap_chart
+    from .obs.metrics import (DEFAULT_PERIOD, GAUGE_KEYS, summarize_metrics,
+                              tile_series, write_metrics_jsonl)
+
+    say = _say_for(args.json, args.out)
+    period = DEFAULT_PERIOD if args.period is None else args.period
+
+    if args.scale:
+        # Mesh-scaling probe mode: one sampled run per tile count.
+        from .perf.scaling import (DEFAULT_WORKLOAD, run_scale_probe,
+                                   scaling_report)
+
+        if args.out or args.html:
+            raise SystemExit("repro: --scale probe mode supports --json "
+                             "only (no single stream to export)")
+        try:
+            tile_counts = tuple(int(part) for part in
+                                args.scale.split(",") if part.strip())
+        except ValueError:
+            raise SystemExit(f"repro: --scale wants comma-separated tile "
+                             f"counts, got {args.scale!r}")
+        if not tile_counts:
+            raise SystemExit("repro: --scale wants at least one tile count")
+        workload = args.target or DEFAULT_WORKLOAD
+        if workload not in ALL_WORKLOADS:
+            raise SystemExit(f"repro: probe mode needs a scalable workload "
+                             f"(choose from {', '.join(sorted(ALL_WORKLOADS))})")
+        wl_scale = 0.5 if args.workload_scale is None else args.workload_scale
+        say(f"repro stats --scale: {workload} at "
+            f"{', '.join(map(str, tile_counts))} tiles "
+            f"(scale {wl_scale}, period {period})")
+        points = run_scale_probe(tile_counts, workload=workload,
+                                 scale=wl_scale, core_class=args.core_class,
+                                 commit_mode=MODES[args.mode],
+                                 period=period, echo=say)
+        say("")
+        say(scaling_report(points))
+        if args.json:
+            _dump_json({"probe": points}, args.json)
+        return 0
+
+    if not args.target:
+        raise SystemExit("repro: stats needs a TARGET (workload, scenario "
+                         "or litmus:<NAME>) unless --scale is given")
+    mode = MODES[args.mode]
+    wl_scale = 1.0 if args.workload_scale is None else args.workload_scale
+    params = table6_system(args.core_class, num_cores=args.cores,
+                           commit_mode=mode)
+    traces = _resolve_traces(args.target, args.cores, wl_scale)
+    from .sim.runner import run_sampled
+
+    result = run_sampled(traces, params, period=period,
+                         check=mode is not CommitMode.OOO_UNSAFE)
+    payload = dict(result.telemetry)
+    payload["meta"] = {"workload": args.target, "mode": mode.value,
+                       "cores": args.cores, "core_class": args.core_class}
+    summary = summarize_metrics(payload)
+    say(f"{args.target} ({mode.value}): {result.cycles} cycles, "
+        f"{summary['samples']} samples @ period {period}")
+    say(f"  {'gauge':10s} {'cap':>5s} {'mean':>8s} {'peak':>8s} "
+        f"{'sat':>7s}  hottest")
+    for gauge in payload["gauges"]:
+        row = summary["gauges"][gauge]
+        cap = "-" if row["capacity"] is None else str(row["capacity"])
+        say(f"  {gauge:10s} {cap:>5s} {row['mean']:8.3f} "
+            f"{row['peak']:8.3f} {row['saturation']:6.1%}  "
+            f"t{row['hottest_tile']} ({row['hottest_mean']:.3f})")
+    if args.heat:
+        if args.heat not in GAUGE_KEYS:
+            raise SystemExit(f"repro: unknown gauge {args.heat!r} "
+                             f"(choose from {', '.join(GAUGE_KEYS)})")
+        cap = payload["capacities"].get(args.heat)
+        say("")
+        say(heatmap_chart(tile_series(payload, args.heat),
+                          title=f"[{args.heat}] per tile over time",
+                          peak=float(cap) if cap else None))
+    if args.json:
+        _dump_json(summary, args.json)
+    if args.out:
+        count = write_metrics_jsonl(payload, args.out)
+        say(f"  {count} samples -> {args.out}")
+    if args.html:
+        from .analysis.dashboard import write_dashboard
+
+        write_dashboard(payload, args.html,
+                        title=f"repro stats: {args.target}",
+                        meta=payload["meta"])
+        say(f"  dashboard -> {args.html}")
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -701,6 +865,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "conform": cmd_conform,
     "perf": cmd_perf,
+    "stats": cmd_stats,
 }
 
 

@@ -633,3 +633,20 @@ class DirectoryBank:
     def snapshot(self) -> str:
         busy = [repr(e) for __, e in self._array.items() if not e.is_stable()]
         return f"dir{self.tile}: busy={busy} evicting={list(self._evicting)}"
+
+    def gauges(self) -> Dict[str, int]:
+        """Instantaneous occupancy gauges for the metrics sampler.
+
+        Computed lazily by walking the (sparse) array — the protocol hot
+        path carries no extra bookkeeping.  ``dirq`` counts every parked
+        message (per-entry queues plus the allocation-stall queue),
+        ``wb`` the entries sitting in WritersBlock, ``evb`` the eviction
+        buffer.
+        """
+        dirq = len(self._pending_allocs)
+        wb = 0
+        for __, entry in self._array.items():
+            dirq += len(entry.queue)
+            if entry.state is DirState.WRITERS_BLOCK:
+                wb += 1
+        return {"dirq": dirq, "wb": wb, "evb": len(self._evicting)}

@@ -23,7 +23,7 @@ The core side plugs in two hooks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..common.errors import ProtocolError
 from ..common.event_queue import EventQueue
@@ -114,6 +114,10 @@ class PrivateCache:
         network.register(tile, "cache", self.handle_message)
 
     # ------------------------------------------------------------------ util
+    def gauges(self) -> Dict[str, int]:
+        """Instantaneous occupancy gauges for the metrics sampler."""
+        return {"mshr": self.mshrs.occupancy}
+
     def _mshr_event(self, action: str, entry: MSHREntry) -> None:
         """MSHRFile observer: surface occupancy begin/end on the bus."""
         bus = self.bus

@@ -17,6 +17,7 @@ from .params import (
     NetworkParams,
     SLM_CORE,
     SystemParams,
+    mesh_dims,
     mesh_side,
     table6_system,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "NetworkParams",
     "SLM_CORE",
     "SystemParams",
+    "mesh_dims",
     "mesh_side",
     "table6_system",
     "Counter",

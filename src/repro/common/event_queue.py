@@ -38,6 +38,9 @@ class EventQueue:
         self._buckets: Dict[int, List[EventFn]] = {}
         self._count = 0
         self.now = 0
+        #: Cumulative events fired over the queue's lifetime; the
+        #: scaling probe's events/sec throughput numerator.
+        self.fired_total = 0
 
     def schedule(self, delay: int, fn: EventFn) -> None:
         """Run *fn* after *delay* cycles (delay 0 = later this cycle)."""
@@ -84,6 +87,8 @@ class EventQueue:
             for fn in bucket:
                 fn()
             bucket = buckets.pop(now, None)
+        if fired:
+            self.fired_total += fired
         return fired
 
     def advance(self) -> None:

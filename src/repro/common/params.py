@@ -127,10 +127,15 @@ class SystemParams:
     def validate(self) -> None:
         if self.num_cores <= 0:
             raise ConfigError("num_cores must be positive")
-        side = mesh_side(self.num_cores)
-        if side * side != self.num_cores:
+        # Any positive count folds onto a width x height mesh (square
+        # counts keep the historical side x side layout); reject only
+        # the degenerate chains a prime count > 4 would produce, since
+        # an n x 1 "mesh" has none of the contention the model studies.
+        width, height = mesh_dims(self.num_cores)
+        if height == 1 and self.num_cores > 4:
             raise ConfigError(
-                f"num_cores must be a perfect square for the 2D mesh, got {self.num_cores}"
+                f"num_cores={self.num_cores} only factors as a "
+                f"{width}x1 chain; pick a count with a 2D factorization"
             )
         if self.commit_mode is CommitMode.OOO_WB and not self.writers_block:
             raise ConfigError("OOO_WB commit requires writers_block=True")
@@ -174,9 +179,26 @@ def system_params_from_dict(payload: dict) -> SystemParams:
 
 
 def mesh_side(num_cores: int) -> int:
-    """Side length of the square mesh that holds *num_cores* nodes."""
+    """Side length of the square mesh that holds *num_cores* nodes.
+
+    Historical helper from the square-only era; non-square counts are
+    handled by :func:`mesh_dims`.
+    """
     side = int(round(num_cores ** 0.5))
     return side
+
+
+def mesh_dims(num_tiles: int) -> "tuple[int, int]":
+    """Most nearly square ``(width, height)`` with ``width * height ==
+    num_tiles`` and ``width >= height``.  Square counts return
+    ``(side, side)``; primes degenerate to an ``(n, 1)`` chain."""
+    if num_tiles <= 0:
+        raise ConfigError(f"mesh requires a positive tile count, got {num_tiles}")
+    height = 1
+    for h in range(1, int(num_tiles ** 0.5) + 1):
+        if num_tiles % h == 0:
+            height = h
+    return num_tiles // height, height
 
 
 #: Paper Table 6 presets.  Issue/commit width 4 for all three classes.

@@ -51,12 +51,18 @@ class Histogram:
         return sum(v * c for v, c in self.buckets.items()) / total
 
     @property
-    def max(self) -> int:
-        return max(self.buckets) if self.buckets else 0
+    def max(self) -> "int | None":
+        """Largest recorded value, or ``None`` if nothing was recorded.
+
+        ``None`` (not 0) on empty: a histogram that genuinely recorded
+        a zero sample must be distinguishable from one never touched.
+        """
+        return max(self.buckets) if self.buckets else None
 
     @property
-    def min(self) -> int:
-        return min(self.buckets) if self.buckets else 0
+    def min(self) -> "int | None":
+        """Smallest recorded value, or ``None`` if nothing was recorded."""
+        return min(self.buckets) if self.buckets else None
 
     def percentile(self, p: float) -> int:
         """Smallest recorded value covering at least *p* percent of samples.
@@ -105,6 +111,10 @@ class StatsRegistry:
         for name in sorted(self._counters):
             yield name, self._counters[name].value
 
+    def histograms(self) -> Iterator[Tuple[str, Histogram]]:
+        for name in sorted(self._histograms):
+            yield name, self._histograms[name]
+
     def value(self, name: str, default: int = 0) -> int:
         """Current value of counter *name* (0 if never created)."""
         counter = self._counters.get(name)
@@ -115,10 +125,16 @@ class StatsRegistry:
         return {name: value for name, value in self.counters()}
 
     def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
-        """{name: {total, mean, min, max, p50, p99}} for every histogram."""
+        """{name: {total, mean, min, max, p50, p99}} per histogram.
+
+        Histograms that never recorded a sample are omitted entirely:
+        their ``min``/``max`` are ``None`` and a row of zeros would be
+        indistinguishable from a real all-zero distribution.
+        """
         return {
             name: {"total": h.total, "mean": h.mean, "min": h.min,
                    "max": h.max, "p50": h.percentile(50),
                    "p99": h.percentile(99)}
             for name, h in sorted(self._histograms.items())
+            if h.buckets
         }

@@ -98,6 +98,22 @@ class InOrderCore:
                 f"window={len(self.window)} head={head!r} lq={len(self.lq)} "
                 f"sb={len(self.sb)}")
 
+    def gauges(self) -> Dict[str, int]:
+        """Instantaneous occupancy gauges for the metrics sampler.
+
+        The in-flight window plays the ROB's role on this core, so it
+        reports under the same ``rob`` key — one gauge catalog covers
+        both core types.
+        """
+        return {
+            "rob": len(self.window),
+            "lq": len(self.lq),
+            "sq": len(self.sq),
+            "sb": len(self.sb),
+            "ldt": len(self.ldt),
+            "lockdowns": self.lq.active_lockdowns() + len(self.ldt),
+        }
+
     # ------------------------------------------------------------------ tick
     def tick(self) -> None:
         if self.done:

@@ -140,3 +140,19 @@ class LoadQueue:
 
     def has_lockdown_on(self, line: LineAddr) -> bool:
         return bool(self.mspeculative_on_line(line))
+
+    def active_lockdowns(self) -> int:
+        """How many entries currently hold a lockdown: performed past
+        the SoS load and not yet lifted by the ordered-sweep."""
+        first_np = self.first_nonperformed()
+        if first_np is None:
+            return 0
+        count = 0
+        past_first_np = False
+        for entry in self._entries:
+            if entry is first_np:
+                past_first_np = True
+                continue
+            if past_first_np and entry.performed and not entry.ordered_done:
+                count += 1
+        return count

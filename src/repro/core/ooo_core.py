@@ -695,6 +695,17 @@ class OoOCore:
                 f"sq={len(self.sq)} sb={len(self.sb)} iq={len(self.iq)} "
                 f"ldt={len(self.ldt)}")
 
+    def gauges(self) -> Dict[str, int]:
+        """Instantaneous occupancy gauges for the metrics sampler."""
+        return {
+            "rob": len(self.rob),
+            "lq": len(self.lq),
+            "sq": len(self.sq),
+            "sb": len(self.sb),
+            "ldt": len(self.ldt),
+            "lockdowns": self.lq.active_lockdowns() + len(self.ldt),
+        }
+
 
 def _noop() -> None:
     """Placeholder grant callback for polled write permission."""

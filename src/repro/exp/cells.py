@@ -57,14 +57,19 @@ class Cell:
     #: Run with the causal observer attached; the result then carries a
     #: ``repro-blame/1`` stall-attribution payload (``result.blame``).
     observe: bool = False
+    #: Sampling period (cycles) for the telemetry sampler; 0 disables.
+    #: Sampled cells carry a ``repro-metrics/1`` payload
+    #: (``result.telemetry``).
+    sample: int = 0
 
     @staticmethod
     def from_traces(key: str, label: str, traces, params: SystemParams, *,
-                    check: bool = True, observe: bool = False) -> "Cell":
+                    check: bool = True, observe: bool = False,
+                    sample: int = 0) -> "Cell":
         frozen = tuple(tuple(trace) for trace in traces)
         return Cell(key=key, workload=label, num_threads=len(frozen),
                     scale=0.0, params=params, check=check, traces=frozen,
-                    observe=observe)
+                    observe=observe, sample=sample)
 
     def spec(self) -> Dict:
         """Canonical description of everything that determines the
@@ -75,6 +80,7 @@ class Cell:
             "scale": self.scale,
             "check": self.check,
             "observe": self.observe,
+            "sample": self.sample,
             "params": params_spec(self.params),
         }
         if self.traces is not None:

@@ -623,6 +623,99 @@ def conformance_driver(cfg: BenchConfig, engine: ExperimentEngine
 
 
 #: Driver registry in canonical (report) order.
+# ----------------------------------------------------------- telemetry
+#: Directed scenarios sampled by the metrics driver.
+METRICS_SCENARIOS = ("mp", "sos")
+#: Commit modes sampled per target.
+METRICS_MODES = (CommitMode.OOO, CommitMode.OOO_WB)
+#: Headline gauges shown in the report table (full catalog in JSON).
+METRICS_TABLE_GAUGES = ("mshr", "lq", "lockdowns", "dirq", "wb", "link")
+
+
+def _litmus_slice() -> List[str]:
+    """One corpus test per litmus family (stratified, deterministic)."""
+    from ..conform.runner import load_corpus
+
+    families: Dict[str, str] = {}
+    for test in load_corpus():
+        family = test.name.split("+")[0]
+        if family not in families or test.name < families[family]:
+            families[family] = test.name
+    return [families[family] for family in sorted(families)]
+
+
+def metrics_driver(cfg: BenchConfig, engine: ExperimentEngine
+                   ) -> BenchReport:
+    """Telemetry grid: sampled scenarios + litmus slice + scaling probe.
+
+    Every cell runs with the metrics sampler (``Cell.sample``), so its
+    result carries a ``repro-metrics/1`` payload; the table condenses
+    each stream into per-gauge occupancy/saturation.  The scaling probe
+    re-runs one workload at growing tile counts; only its deterministic
+    columns appear in the text report — events/sec and other wall-clock
+    numbers live in ``BENCH_metrics.json`` alone.
+    """
+    from ..analysis.charts import heatmap_chart
+    from ..obs.metrics import DEFAULT_PERIOD, summarize_metrics, tile_series
+    from ..obs.scenarios import LITMUS_PREFIX, scenario_traces
+    from ..perf.scaling import run_scale_probe, scaling_report
+
+    targets = [(name, scenario_traces(name)) for name in METRICS_SCENARIOS]
+    targets += [(LITMUS_PREFIX + name,
+                 scenario_traces(LITMUS_PREFIX + name))
+                for name in _litmus_slice()]
+    cells = []
+    for target, traces in targets:
+        for mode in METRICS_MODES:
+            params = table6_system("SLM", num_cores=4, commit_mode=mode)
+            cells.append(Cell.from_traces(
+                f"metrics/{target}/{mode.value}", target, traces, params,
+                sample=DEFAULT_PERIOD))
+
+    def assemble(cells, results):
+        table_rows = []
+        rows = []
+        for target, __ in targets:
+            for mode in METRICS_MODES:
+                result = results[f"metrics/{target}/{mode.value}"]
+                summary = summarize_metrics(result.telemetry)
+                gauges = summary["gauges"]
+                hot_gauge, hot = max(
+                    gauges.items(),
+                    key=lambda item: (item[1]["saturation"],
+                                      item[1]["mean"], item[0]))
+                table_rows.append(
+                    (target, mode.value, result.cycles, summary["samples"])
+                    + tuple(f"{gauges[g]['mean']:.3f}"
+                            for g in METRICS_TABLE_GAUGES)
+                    + (f"{hot_gauge}:{hot['saturation']:.0%}",))
+                rows.append({"target": target, "mode": mode.value,
+                             "cycles": result.cycles,
+                             "samples": summary["samples"],
+                             "gauges": gauges})
+        text_parts = [format_table(
+            ["target", "mode", "cycles", "samples"]
+            + [f"{g} mean" for g in METRICS_TABLE_GAUGES] + ["hottest"],
+            table_rows,
+            title="Sampled telemetry (mean occupancy per gauge)")]
+        showcase = results["metrics/mp/ooo-wb"].telemetry
+        text_parts.append(heatmap_chart(
+            tile_series(showcase, "lockdowns"),
+            title="mp/ooo-wb: active lockdowns per tile over time"))
+        text_parts.append(heatmap_chart(
+            tile_series(showcase, "mshr"),
+            title="mp/ooo-wb: MSHR occupancy per tile over time"))
+        return "\n\n".join(text_parts), rows
+
+    report = _grid_report("metrics", "metrics", cfg, engine, cells,
+                          assemble)
+    tile_counts = tuple(t for t in (4, 8, 16) if t <= cfg.cores) or (4,)
+    points = run_scale_probe(tile_counts, scale=min(cfg.scale, 0.5))
+    report.totals["scale_probe"] = points
+    report.text += "\n\n" + scaling_report(points)
+    return report
+
+
 DRIVERS: Dict[str, Callable[[BenchConfig, ExperimentEngine], BenchReport]] = {
     "fig8": fig8_driver,
     "fig9": fig9_driver,
@@ -638,4 +731,5 @@ DRIVERS: Dict[str, Callable[[BenchConfig, ExperimentEngine], BenchReport]] = {
     "ablation_unsafe": ablation_unsafe_driver,
     "blame": blame_driver,
     "conformance": conformance_driver,
+    "metrics": metrics_driver,
 }

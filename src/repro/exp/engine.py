@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..sim.results import SimResult
-from ..sim.runner import run_blamed, run_traces, run_workload
+from ..sim.runner import run_blamed, run_sampled, run_traces, run_workload
 from .cache import ResultCache
 from .cells import Cell, cell_keys
 
@@ -43,6 +43,9 @@ def execute_cell(cell: Cell) -> SimResult:
     if cell.observe:
         result, __ = run_blamed(traces, cell.params, check=cell.check)
         return result
+    if cell.sample:
+        return run_sampled(traces, cell.params, period=cell.sample,
+                           check=cell.check)
     return run_traces(traces, cell.params, check=cell.check)
 
 

@@ -1,0 +1,187 @@
+"""Cross-generation bench trend tracking (``repro bench --trend``).
+
+Every bench artifact the repo emits — ``BENCH_<driver>.json``
+(``repro-bench/1``), ``BENCH_perf.json`` (``repro-perf/1``),
+``BENCH_metrics.json`` — is a tree of numeric leaves.  This module
+diffs two *generations* (directories of such artifacts, e.g. the
+committed ``benchmarks/out/`` goldens vs a fresh CI run) and reports
+per-metric movement, split into:
+
+* **model metrics** — deterministic simulation numbers (cycles,
+  messages, saturation...).  Any drift here is a real behavior change
+  and is flagged at any magnitude;
+* **host metrics** — wall-clock throughput (``*_per_sec``,
+  ``*_seconds``, allocation peaks).  Noisy across machines, so only
+  moves beyond the threshold are reported.
+
+Direction matters: ``sims_per_sec`` going up is an improvement,
+``cycles`` going up is a regression.  Unknown leaves are reported as
+neutral drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple
+
+TREND_SCHEMA = "repro-trend/1"
+
+#: Structural keys that are not metrics.
+_SKIP_KEYS = {"schema", "code_version", "name", "baseline_code_version",
+              "baseline_path", "generated"}
+
+#: Leaf-name fragments marking host wall-clock (noisy) metrics.
+_HOST_FRAGMENTS = ("per_sec", "seconds", "wall", "alloc", "speedup",
+                   "hit_rate")
+
+#: Leaf-name fragments where *larger is better* / *smaller is better*.
+_UP_GOOD = ("per_sec", "speedup", "hit_rate", "committed")
+_DOWN_GOOD = ("cycles", "seconds", "wall", "alloc", "stall", "blocked",
+              "squash", "uncacheable", "timeout", "retried", "flit_hops",
+              "messages", "saturation", "queue")
+
+
+def _leaf(key: str) -> str:
+    return key.rsplit(".", 1)[-1]
+
+
+def is_host_metric(key: str) -> bool:
+    leaf = _leaf(key)
+    return any(frag in leaf for frag in _HOST_FRAGMENTS)
+
+
+def direction(key: str) -> int:
+    """+1 if larger is better, -1 if smaller is better, 0 unknown."""
+    leaf = _leaf(key)
+    if any(frag in leaf for frag in _UP_GOOD):
+        return 1
+    if any(frag in leaf for frag in _DOWN_GOOD):
+        return -1
+    return 0
+
+
+def collect_metrics(node, prefix: str = "") -> Dict[str, float]:
+    """Flatten every numeric leaf of a payload into dotted keys."""
+    out: Dict[str, float] = {}
+    if isinstance(node, dict):
+        for key in sorted(node):
+            if key in _SKIP_KEYS:
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(collect_metrics(node[key], path))
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            out.update(collect_metrics(item, f"{prefix}[{index}]"))
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    return out
+
+
+def diff_metrics(old: Dict[str, float], new: Dict[str, float], *,
+                 threshold: float = 0.05) -> List[Dict]:
+    """Per-metric movement records for keys present in both payloads.
+
+    Model metrics report any drift; host metrics only beyond
+    *threshold* relative change.  Each record carries ``regression``
+    (the move is in the bad direction) and ``host`` flags.
+    """
+    moves: List[Dict] = []
+    for key in sorted(set(old) & set(new)):
+        a, b = old[key], new[key]
+        if a == b:
+            continue
+        rel = (b - a) / abs(a) if a else float("inf")
+        host = is_host_metric(key)
+        if host and abs(rel) < threshold:
+            continue
+        sign = direction(key)
+        moves.append({
+            "key": key,
+            "old": a,
+            "new": b,
+            "rel_change": round(rel, 4) if rel != float("inf") else None,
+            "host": host,
+            "regression": bool(sign) and (rel > 0) != (sign > 0),
+        })
+    return moves
+
+
+def _load_generation(path: pathlib.Path) -> Dict[str, Dict]:
+    files: Dict[str, Dict] = {}
+    for bench in sorted(path.glob("BENCH_*.json")):
+        files[bench.name] = json.loads(bench.read_text())
+    return files
+
+
+def diff_generations(old_dir, new_dir, *,
+                     threshold: float = 0.05) -> Dict:
+    """Diff every ``BENCH_*.json`` present in both directories."""
+    old_path, new_path = pathlib.Path(old_dir), pathlib.Path(new_dir)
+    old_gen = _load_generation(old_path)
+    new_gen = _load_generation(new_path)
+    if not old_gen:
+        raise ValueError(f"{old_path}: no BENCH_*.json artifacts found")
+    files: Dict[str, Dict] = {}
+    for name in sorted(set(old_gen) & set(new_gen)):
+        old_metrics = collect_metrics(old_gen[name])
+        new_metrics = collect_metrics(new_gen[name])
+        moves = diff_metrics(old_metrics, new_metrics, threshold=threshold)
+        files[name] = {
+            "metrics_compared": len(set(old_metrics) & set(new_metrics)),
+            "moves": moves,
+            "regressions": sum(1 for m in moves if m["regression"]),
+        }
+    return {
+        "schema": TREND_SCHEMA,
+        "old": str(old_path),
+        "new": str(new_path),
+        "threshold": threshold,
+        "files": files,
+        "only_in_old": sorted(set(old_gen) - set(new_gen)),
+        "only_in_new": sorted(set(new_gen) - set(old_gen)),
+    }
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}" if abs(value) < 1e6 else f"{value:.3e}"
+
+
+def render_trend(payload: Dict, *, top: int = 10) -> str:
+    """Terminal/job-summary report of a generation diff."""
+    lines: List[str] = [
+        f"bench trend: {payload['old']} -> {payload['new']} "
+        f"(host threshold {payload['threshold']:.0%})"
+    ]
+    total_regressions = 0
+    for name, entry in payload["files"].items():
+        moves = entry["moves"]
+        total_regressions += entry["regressions"]
+        if not moves:
+            lines.append(f"\n{name}: no movement "
+                         f"({entry['metrics_compared']} metrics compared)")
+            continue
+        lines.append(f"\n{name}: {len(moves)} metric(s) moved, "
+                     f"{entry['regressions']} regression(s)")
+        ranked = sorted(
+            moves, key=lambda m: (not m["regression"],
+                                  -abs(m["rel_change"] or float("inf"))))
+        for move in ranked[:top]:
+            rel = move["rel_change"]
+            pct = f"{rel:+.1%}" if rel is not None else "new-from-zero"
+            tag = ("REGRESSION" if move["regression"]
+                   else "improved" if direction(move["key"]) else "drift")
+            kind = "host" if move["host"] else "model"
+            lines.append(f"  {tag:10s} [{kind}]  {move['key']}: "
+                         f"{_fmt(move['old'])} -> {_fmt(move['new'])} "
+                         f"({pct})")
+        if len(moves) > top:
+            lines.append(f"  ... {len(moves) - top} more")
+    for name in payload["only_in_old"]:
+        lines.append(f"\n{name}: only in old generation")
+    for name in payload["only_in_new"]:
+        lines.append(f"\n{name}: only in new generation")
+    lines.append(f"\ntotal regressions: {total_regressions}")
+    return "\n".join(lines)

@@ -81,8 +81,13 @@ class MSHRFile:
         self.observer: Optional[Callable[[str, MSHREntry], None]] = None
 
     # -- capacity ----------------------------------------------------------
-    def _in_use(self) -> int:
+    @property
+    def occupancy(self) -> int:
+        """Allocated entries (regular + SoS-bypass); telemetry gauge."""
         return len(self._by_line) + len(self._bypass)
+
+    def _in_use(self) -> int:
+        return self.occupancy
 
     def can_allocate(self, *, sos: bool = False) -> bool:
         """True if an allocation of the given kind would succeed."""

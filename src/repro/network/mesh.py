@@ -42,6 +42,9 @@ class MeshNetwork:
         self.pool = MessagePool()
         self._endpoints: Dict[Tuple[int, str], Endpoint] = {}
         self._link_free: Dict[Link, int] = {}
+        #: Per-link flit-cycle accumulator for the metrics sampler;
+        #: ``None`` (the default) keeps the send path accumulator-free.
+        self._link_busy: Optional[Dict[Link, int]] = None
         self._msgs = stats.counter("network.messages")
         self._flits = stats.counter("network.flits")
         self._flit_hops = stats.counter("network.flit_hops")
@@ -93,6 +96,25 @@ class MeshNetwork:
         if not msg.parked:
             self.pool.release(msg)
 
+    # ------------------------------------------------------------- telemetry
+    def track_link_busy(self) -> None:
+        """Start accumulating per-link flit occupancy (metrics sampler)."""
+        if self._link_busy is None:
+            self._link_busy = {}
+
+    def drain_link_busy(self) -> list:
+        """Per-tile flit-cycles of the busiest *outgoing* link since the
+        last drain; resets the accumulator.  A tile's value approaches
+        the sampling window when one of its links is saturated."""
+        out = [0] * self.topology.num_tiles
+        busy = self._link_busy
+        if busy:
+            for (src, __), cycles in busy.items():
+                if cycles > out[src]:
+                    out[src] = cycles
+            busy.clear()
+        return out
+
     def _arrival_cycle(self, msg: Message) -> int:
         now = self.events.now
         route = self.topology.route(msg.src, msg.dst)
@@ -100,6 +122,10 @@ class MeshNetwork:
             return now + 1
         flits = flits_for(msg.msg_type)
         self._flit_hops.add(flits * len(route))
+        if self._link_busy is not None:
+            busy = self._link_busy
+            for link in route:
+                busy[link] = busy.get(link, 0) + flits
         arrival = now
         model_contention = self.params.model_contention
         switch_cycles = self.params.switch_cycles

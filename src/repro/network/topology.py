@@ -1,9 +1,13 @@
 """2D-mesh geometry and deterministic X-Y routing.
 
-Tiles are numbered row-major on a ``side x side`` mesh.  Routing is
-dimension-ordered (X first, then Y), which is deadlock-free and, crucially
-for this paper, **unordered across different source-destination pairs**:
-two messages between different endpoints may arrive in any relative order.
+Tiles are numbered row-major on a ``width x height`` mesh.  Square tile
+counts keep the historical ``side x side`` layout; non-square counts
+(the scaling probe's 8- or 32-tile configurations) fold onto the most
+nearly square ``width x height`` factorization with ``width >= height``,
+so 8 tiles form a 4x2 mesh.  Routing is dimension-ordered (X first,
+then Y), which is deadlock-free and, crucially for this paper,
+**unordered across different source-destination pairs**: two messages
+between different endpoints may arrive in any relative order.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..common.errors import ConfigError
+from ..common.params import mesh_dims
 
 Link = Tuple[int, int]  # directed link (from_tile, to_tile)
 
@@ -19,11 +24,12 @@ class MeshTopology:
     """Geometry helper: coordinates, hop counts, and X-Y routes."""
 
     def __init__(self, num_tiles: int) -> None:
-        side = int(round(num_tiles ** 0.5))
-        if side * side != num_tiles:
-            raise ConfigError(f"mesh requires a square tile count, got {num_tiles}")
+        width, height = mesh_dims(num_tiles)
         self.num_tiles = num_tiles
-        self.side = side
+        self.width = width
+        self.height = height
+        #: Historical alias from the square-only era; row length.
+        self.side = width
         # Routes are static per (src, dst) pair; memoize them — the mesh
         # asks for one on every single message.
         self._route_cache: dict = {}
@@ -32,10 +38,10 @@ class MeshTopology:
         """(x, y) coordinates of *tile*."""
         if not 0 <= tile < self.num_tiles:
             raise ConfigError(f"tile {tile} out of range 0..{self.num_tiles - 1}")
-        return tile % self.side, tile // self.side
+        return tile % self.width, tile // self.width
 
     def tile_at(self, x: int, y: int) -> int:
-        return y * self.side + x
+        return y * self.width + x
 
     def hops(self, src: int, dst: int) -> int:
         """Manhattan distance between two tiles."""

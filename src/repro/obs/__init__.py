@@ -26,6 +26,15 @@ from .export import (
     write_events_jsonl,
 )
 from .export import trace_spans
+from .metrics import (
+    DEFAULT_PERIOD,
+    GAUGES,
+    METRICS_SCHEMA,
+    MetricsSampler,
+    read_metrics_jsonl,
+    summarize_metrics,
+    write_metrics_jsonl,
+)
 from .profile import ProfileReport, Profiler, profile_system, profiled_run
 from .scenarios import TRACE_SCENARIOS, scenario_traces
 from .spans import Span, SpanTracker
@@ -50,4 +59,11 @@ __all__ = [
     "load_chrome_trace",
     "write_events_jsonl",
     "read_events_jsonl",
+    "DEFAULT_PERIOD",
+    "GAUGES",
+    "METRICS_SCHEMA",
+    "MetricsSampler",
+    "read_metrics_jsonl",
+    "summarize_metrics",
+    "write_metrics_jsonl",
 ]

@@ -1,0 +1,280 @@
+"""Sampled time-series telemetry (``repro-metrics/1``).
+
+Where the event stream (PR 1) answers "what happened" and blame graphs
+(PR 4) answer "what stalled whom", this layer answers "how full was
+everything, over time, per tile": a :class:`MetricsSampler` snapshots a
+fixed catalog of occupancy gauges every ``period`` cycles and the
+snapshots serialize to a versioned JSONL stream, feed the ``repro
+stats`` tables, and render as per-tile x time heatmaps.
+
+Design constraints, in order:
+
+* **Zero cost when off.**  Nothing in the simulator hot path maintains
+  telemetry state; every gauge is read lazily from existing component
+  structures (``len()`` of queues, the sparse directory array, the
+  mesh's link accumulator) at sample time.  An unsampled run performs
+  one ``is not None`` check per loop iteration and allocates nothing.
+* **Deterministic.**  Samples are stamped with simulated cycles and
+  hold only integers derived from simulation state, so the stream is
+  byte-identical across serial, process-pool and cache-replay runs —
+  the same contract the experiment engine gives ``SimResult``.
+* **Self-describing.**  The stream header carries the gauge catalog and
+  per-gauge capacities, so saturation analysis (and the dashboard) can
+  be re-derived offline from the file alone.
+
+Sampling happens on period boundaries of the simulated clock.  When the
+event queue fast-forwards over an idle region the skipped boundaries
+collapse into one sample stamped at the cycle actually reached — the
+sample records real state, never interpolation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .export import PathLike, open_output
+
+#: JSONL metrics format version (the first record of every stream).
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Default sampling period, simulated cycles.
+DEFAULT_PERIOD = 100
+
+#: Gauge catalog: key -> what the per-tile integer measures.  Order is
+#: the canonical presentation order (tables, heatmaps, dashboard).
+GAUGES: Dict[str, str] = {
+    "rob": "ROB occupancy (in-flight window on in-order cores)",
+    "lq": "load-queue fill",
+    "ldt": "lockdown-table fill",
+    "sq": "store-queue fill",
+    "sb": "store-buffer depth",
+    "lockdowns": "active lockdowns (M-speculative LQ entries + LDT)",
+    "mshr": "private-cache MSHR occupancy",
+    "dirq": "directory pending-queue depth (parked + alloc-stalled)",
+    "wb": "directory entries held in WritersBlock",
+    "evb": "directory eviction-buffer occupancy",
+    "link": "busiest outgoing mesh link, flit-cycles this window",
+}
+
+GAUGE_KEYS = tuple(GAUGES)
+
+
+def gauge_capacities(params) -> Dict[str, Optional[int]]:
+    """Per-gauge saturation ceilings for a :class:`SystemParams`.
+
+    ``None`` marks unbounded gauges; ``link`` saturates against the
+    sampling window instead (handled by :func:`summarize_metrics`).
+    """
+    cp = params.core
+    rob_cap = (cp.rob_entries if params.core_type == "ooo"
+               else max(cp.iq_entries, 8))  # in-order in-flight window
+    return {
+        "rob": rob_cap,
+        "lq": cp.lq_entries,
+        "ldt": cp.ldt_entries,
+        "sq": cp.sq_entries,
+        "sb": cp.sb_entries,
+        "lockdowns": cp.lq_entries + cp.ldt_entries,
+        "mshr": params.cache.mshr_entries,
+        "dirq": None,
+        "wb": None,
+        "evb": params.cache.dir_eviction_buffer,
+        "link": None,
+    }
+
+
+class MetricsSampler:
+    """Snapshots per-tile gauges on period boundaries of a system run.
+
+    Create via :meth:`repro.sim.system.MulticoreSystem.sample_metrics`
+    before ``run()``; the finished payload lands on the result's
+    ``telemetry`` field.
+    """
+
+    def __init__(self, system, period: int = DEFAULT_PERIOD) -> None:
+        if period < 1:
+            raise ValueError(f"sampling period must be >= 1, got {period}")
+        self.system = system
+        self.period = period
+        #: Next cycle at which the run loop should call :meth:`take`.
+        self.next_cycle = period
+        self.samples: List[Dict] = []
+        self._cycles = 0
+        system.network.track_link_busy()
+
+    def take(self, now: int) -> None:
+        """Record one sample at cycle *now*; advance the next boundary."""
+        self.samples.append(self._snapshot(now))
+        self.next_cycle = now - (now % self.period) + self.period
+
+    def finish(self, now: int) -> None:
+        """Flush a final sample at end-of-run (unless one just landed)."""
+        self._cycles = now
+        if not self.samples or self.samples[-1]["cycle"] < now:
+            self.samples.append(self._snapshot(now))
+
+    def _snapshot(self, cycle: int) -> Dict:
+        system = self.system
+        tiles = len(system.cores)
+        data: Dict[str, List[int]] = {key: [0] * tiles for key in GAUGE_KEYS}
+        for tile in range(tiles):
+            for key, value in system.cores[tile].gauges().items():
+                data[key][tile] = value
+            for key, value in system.caches[tile].gauges().items():
+                data[key][tile] = value
+            for key, value in system.directories[tile].gauges().items():
+                data[key][tile] = value
+        data["link"] = system.network.drain_link_busy()
+        sample: Dict = {"cycle": cycle}
+        sample.update(data)
+        return sample
+
+    def payload(self, *, meta: Optional[Dict] = None) -> Dict:
+        """The full ``repro-metrics/1`` payload (header + samples)."""
+        out: Dict = {
+            "schema": METRICS_SCHEMA,
+            "period": self.period,
+            "tiles": len(self.system.cores),
+            "cycles": self._cycles,
+            "gauges": list(GAUGE_KEYS),
+            "capacities": gauge_capacities(self.system.params),
+        }
+        if meta:
+            out["meta"] = dict(meta)
+        out["samples"] = list(self.samples)
+        return out
+
+
+# ----------------------------------------------------------------- JSONL
+def write_metrics_jsonl(payload: Dict, path: PathLike) -> int:
+    """Dump a metrics payload: header record, then one sample per line.
+
+    Returns the sample count (the header is not counted).  ``path`` may
+    be ``-`` to stream to stdout.
+    """
+    header = {key: value for key, value in payload.items()
+              if key != "samples"}
+    count = 0
+    with open_output(path) as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for sample in payload["samples"]:
+            handle.write(json.dumps(sample, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_metrics_jsonl(path: PathLike) -> Dict:
+    """Load a metrics stream back into its payload dict.
+
+    Raises :class:`ValueError` when the header record is missing or
+    declares a version this reader does not understand.
+    """
+    header: Optional[Dict] = None
+    samples: List[Dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if header is None:
+                if not isinstance(record, dict) or "schema" not in record:
+                    raise ValueError(
+                        f"{path}: missing {METRICS_SCHEMA!r} header record "
+                        "(re-export the stream with this version of repro)")
+                if record["schema"] != METRICS_SCHEMA:
+                    raise ValueError(
+                        f"{path}: unknown metrics schema "
+                        f"{record['schema']!r} (this reader understands "
+                        f"{METRICS_SCHEMA!r})")
+                header = record
+                continue
+            samples.append(record)
+    if header is None:
+        raise ValueError(f"{path}: empty metrics file (no header record)")
+    payload = dict(header)
+    payload["samples"] = samples
+    return payload
+
+
+# -------------------------------------------------------------- analysis
+def tile_series(payload: Dict, gauge: str) -> List[List[int]]:
+    """``rows[tile][sample]`` matrix for one gauge (heatmap input)."""
+    if gauge not in payload["gauges"]:
+        raise KeyError(f"unknown gauge {gauge!r}; "
+                       f"stream carries {payload['gauges']}")
+    tiles = payload["tiles"]
+    rows: List[List[int]] = [[] for __ in range(tiles)]
+    for sample in payload["samples"]:
+        values = sample[gauge]
+        for tile in range(tiles):
+            rows[tile].append(values[tile])
+    return rows
+
+
+def sample_cycles(payload: Dict) -> List[int]:
+    """The cycle stamps of every sample (heatmap time axis)."""
+    return [sample["cycle"] for sample in payload["samples"]]
+
+
+def summarize_metrics(payload: Dict) -> Dict:
+    """Per-gauge occupancy/saturation summary, derived purely from the
+    payload — recomputing this from a saved stream reproduces the live
+    run's summary byte-for-byte.
+
+    Every gauge reports ``mean``/``peak`` over all (sample, tile)
+    points, the fraction of points at capacity (``saturation``), and
+    the tile with the highest mean (``hottest_tile``).  ``link`` is
+    normalized by each sample's window length, so its mean/peak are
+    utilization fractions in [0, 1+] (a send can occupy a link past the
+    window edge).
+    """
+    tiles = payload["tiles"]
+    capacities = payload.get("capacities", {})
+    samples = payload["samples"]
+    summary: Dict = {
+        "tiles": tiles,
+        "samples": len(samples),
+        "cycles": payload.get("cycles", 0),
+        "period": payload.get("period", 0),
+        "gauges": {},
+    }
+    for gauge in payload["gauges"]:
+        cap = capacities.get(gauge)
+        points = 0
+        total = 0.0
+        peak = 0.0
+        saturated = 0
+        per_tile_total = [0.0] * tiles
+        prev_cycle = 0
+        for sample in samples:
+            window = max(sample["cycle"] - prev_cycle, 1)
+            prev_cycle = sample["cycle"]
+            for tile, value in enumerate(sample[gauge]):
+                if gauge == "link":
+                    util = value / window
+                    if value >= window:
+                        saturated += 1
+                    value = util
+                elif cap is not None and value >= cap:
+                    saturated += 1
+                total += value
+                per_tile_total[tile] += value
+                if value > peak:
+                    peak = value
+                points += 1
+        hottest = 0
+        for tile in range(tiles):
+            if per_tile_total[tile] > per_tile_total[hottest]:
+                hottest = tile
+        summary["gauges"][gauge] = {
+            "capacity": cap,
+            "mean": round(total / points, 4) if points else 0.0,
+            "peak": round(peak, 4),
+            "saturation": round(saturated / points, 4) if points else 0.0,
+            "hottest_tile": hottest,
+            "hottest_mean": (round(per_tile_total[hottest] / len(samples), 4)
+                             if samples else 0.0),
+        }
+    return summary

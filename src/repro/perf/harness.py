@@ -55,12 +55,15 @@ def _group_cases(group: str) -> List[PerfCase]:
                    f"choose from {sorted(DEFAULT_GROUPS)}")
 
 
-def run_case(case: PerfCase, *, observe: bool = False) -> int:
+def run_case(case: PerfCase, *, observe: bool = False,
+             sample: int = 0) -> int:
     """Build and run one corpus case; returns simulated cycles.
 
     ``observe=True`` attaches the span tracker and the causal-graph
     subscriber — the configuration the observability-overhead
-    regression test prices against the bus-off default.
+    regression test prices against the bus-off default.  ``sample > 0``
+    attaches the telemetry sampler at that period (the sampling-cost
+    gate prices this one too).
     """
     system = MulticoreSystem(case.params)
     if observe:
@@ -68,6 +71,8 @@ def run_case(case: PerfCase, *, observe: bool = False) -> int:
 
         system.observe()
         CausalObserver(system.bus)
+    if sample:
+        system.sample_metrics(sample)
     system.load_program(case.trace_lists())
     return system.run().cycles
 
@@ -109,21 +114,22 @@ class PerfResult:
 
 
 def run_group(group: str, *, reps: int = 3, warmup: int = 1,
-              observe: bool = False,
+              observe: bool = False, sample: int = 0,
               echo: Optional[Callable[[str], None]] = None) -> PerfResult:
     """Benchmark one corpus group: warmup, timed reps, one traced rep."""
     cases = _group_cases(group)
     for __ in range(warmup):
         for case in cases:
-            run_case(case, observe=observe)
+            run_case(case, observe=observe, sample=sample)
     start = time.perf_counter()
     sim_cycles = 0
     for rep in range(reps):
-        sim_cycles = sum(run_case(case, observe=observe) for case in cases)
+        sim_cycles = sum(run_case(case, observe=observe, sample=sample)
+                         for case in cases)
     wall = time.perf_counter() - start
     tracemalloc.start()
     for case in cases:
-        run_case(case, observe=observe)
+        run_case(case, observe=observe, sample=sample)
     __, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     result = PerfResult(group=group, cases=len(cases), reps=reps,

@@ -1,0 +1,117 @@
+"""Mesh-scaling probe: throughput and saturation vs tile count.
+
+The ROADMAP's 16/32/64-tile push needs to know where the simulator (and
+the modelled machine) first hits a wall as the mesh grows.  This probe
+runs one workload at a series of tile counts with the telemetry sampler
+attached and reports, per point:
+
+* **host throughput** — events fired per second of wall clock and
+  simulated cycles per second (an O(n^2) hot path shows up as a
+  collapse of these curves long before profiles pinpoint it);
+* **modelled saturation** — the per-gauge saturation/mean summary from
+  the sampled stream, which localizes *what* fills up first (MSHRs,
+  directory queues, mesh links) as the tile count rises.
+
+Saturation numbers are deterministic; the ``*_per_sec`` fields are
+wall-clock and belong in ``BENCH_metrics.json`` only, never in
+byte-compared report text.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..common.params import table6_system
+from ..common.types import CommitMode
+from ..obs.metrics import DEFAULT_PERIOD, summarize_metrics
+from ..sim.system import MulticoreSystem
+
+#: Tile counts probed by default (``repro stats --scale``).
+DEFAULT_TILE_COUNTS = (4, 8, 16)
+
+#: Default workload for the probe: enough sharing to exercise the
+#: directory and mesh without the all-pairs blowup of e.g. barnes.
+DEFAULT_WORKLOAD = "fft"
+
+
+def probe_point(tiles: int, *, workload: str = DEFAULT_WORKLOAD,
+                scale: float = 0.5, core_class: str = "SLM",
+                commit_mode: CommitMode = CommitMode.OOO_WB,
+                period: int = DEFAULT_PERIOD) -> Dict:
+    """Run one tile count; returns the scaling-point record."""
+    from ..workloads import ALL_WORKLOADS
+
+    params = table6_system(core_class, num_cores=tiles,
+                           commit_mode=commit_mode)
+    traces = ALL_WORKLOADS[workload](num_threads=tiles, scale=scale).traces
+    system = MulticoreSystem(params)
+    system.sample_metrics(period)
+    system.load_program(traces)
+    start = time.perf_counter()
+    result = system.run()
+    wall = time.perf_counter() - start
+    summary = summarize_metrics(result.telemetry)
+    saturation = {
+        gauge: {"mean": row["mean"], "saturation": row["saturation"],
+                "hottest_tile": row["hottest_tile"]}
+        for gauge, row in summary["gauges"].items()
+    }
+    events_fired = system.events.fired_total
+    return {
+        "tiles": tiles,
+        "workload": workload,
+        "scale": scale,
+        "mode": commit_mode.value,
+        "cycles": result.cycles,
+        "committed": result.committed,
+        "events_fired": events_fired,
+        "messages": result.counter("network.messages"),
+        "flit_hops": result.network_flit_hops,
+        "samples": summary["samples"],
+        "saturation": saturation,
+        # Wall-clock block: meaningful on one machine, never diffed.
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(events_fired / max(wall, 1e-9), 1),
+        "cycles_per_sec": round(result.cycles / max(wall, 1e-9), 1),
+    }
+
+
+def run_scale_probe(tile_counts: Sequence[int] = DEFAULT_TILE_COUNTS, *,
+                    workload: str = DEFAULT_WORKLOAD, scale: float = 0.5,
+                    core_class: str = "SLM",
+                    commit_mode: CommitMode = CommitMode.OOO_WB,
+                    period: int = DEFAULT_PERIOD,
+                    echo: Optional[Callable[[str], None]] = None
+                    ) -> List[Dict]:
+    """Probe every tile count; returns one record per point."""
+    points: List[Dict] = []
+    for tiles in tile_counts:
+        point = probe_point(tiles, workload=workload, scale=scale,
+                            core_class=core_class, commit_mode=commit_mode,
+                            period=period)
+        points.append(point)
+        if echo:
+            hot = max(point["saturation"].items(),
+                      key=lambda item: item[1]["saturation"])
+            echo(f"  {tiles:3d} tiles  {point['cycles']:8d} cyc  "
+                 f"{point['events_per_sec']:12,.0f} ev/s  "
+                 f"{point['cycles_per_sec']:10,.0f} cyc/s  "
+                 f"hottest {hot[0]} sat={hot[1]['saturation']:.1%}")
+    return points
+
+
+def scaling_report(points: Sequence[Dict]) -> str:
+    """Deterministic text table (no wall-clock columns) for reports."""
+    lines = ["tiles  cycles    committed  messages  flit_hops  "
+             "hottest-gauge  saturation"]
+    for point in points:
+        hot_gauge, hot = max(point["saturation"].items(),
+                             key=lambda item: (item[1]["saturation"],
+                                               item[1]["mean"], item[0]))
+        lines.append(
+            f"{point['tiles']:5d}  {point['cycles']:8d}  "
+            f"{point['committed']:9d}  {point['messages']:8d}  "
+            f"{point['flit_hops']:9d}  {hot_gauge:13s}  "
+            f"{hot['saturation']:.4f}")
+    return "\n".join(lines)

@@ -34,6 +34,10 @@ class SimResult:
     #: Causal stall attribution (schema ``repro-blame/1``), populated by
     #: ``repro.sim.runner.run_blamed`` / observed engine cells.
     blame: Optional[Dict] = None
+    #: Sampled time-series telemetry (schema ``repro-metrics/1``),
+    #: populated when the run was sampled via
+    #: ``MulticoreSystem.sample_metrics`` / ``repro.sim.runner.run_sampled``.
+    telemetry: Optional[Dict] = None
 
     # ----------------------------------------------------------- raw counters
     def counter(self, name: str, default: int = 0) -> int:
@@ -145,6 +149,10 @@ class SimResult:
             # Only observed runs carry a blame payload; omitting the key
             # otherwise keeps unobserved digests (goldens) unchanged.
             payload["blame"] = self.blame
+        if self.telemetry is not None:
+            # Same contract as blame: only sampled runs carry telemetry,
+            # so unsampled digests stay unchanged.
+            payload["telemetry"] = self.telemetry
         return payload
 
     def to_json(self) -> str:
@@ -174,6 +182,7 @@ class SimResult:
             span_summaries=dict(payload.get("span_summaries", {})),
             profile=payload.get("profile"),
             blame=payload.get("blame"),
+            telemetry=payload.get("telemetry"),
         )
 
     def save_json(self, path) -> None:

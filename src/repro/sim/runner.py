@@ -81,6 +81,30 @@ def run_blamed(traces: Sequence[List[Instruction]],
     return result, observer.graph
 
 
+def run_sampled(traces: Sequence[List[Instruction]],
+                params: Optional[SystemParams] = None, *,
+                period: Optional[int] = None,
+                check: bool = True) -> SimResult:
+    """Run with the telemetry sampler attached.
+
+    The result carries the ``repro-metrics/1`` payload on
+    ``result.telemetry`` (serializable, so engine-routed cells keep it
+    across pool and cache replays).  *period* defaults to
+    :data:`repro.obs.metrics.DEFAULT_PERIOD`.
+    """
+    from ..obs.metrics import DEFAULT_PERIOD
+
+    if params is None:
+        params = table6_system("SLM")
+    system = MulticoreSystem(params)
+    system.sample_metrics(DEFAULT_PERIOD if period is None else period)
+    system.load_program(traces)
+    result = system.run()
+    if check and params.record_execution:
+        check_tso(result.log)
+    return result
+
+
 def run_workload(workload, params: Optional[SystemParams] = None, *,
                  check: bool = True, observe: bool = False) -> SimResult:
     """Run a :class:`repro.workloads.trace.Workload`."""

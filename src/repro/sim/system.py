@@ -25,6 +25,7 @@ from ..core.instruction import Instruction
 from ..core.ooo_core import OoOCore
 from ..network.mesh import MeshNetwork
 from ..obs.events import EventBus
+from ..obs.metrics import DEFAULT_PERIOD, MetricsSampler
 from ..obs.spans import SpanTracker
 from .results import SimResult
 
@@ -42,6 +43,7 @@ class MulticoreSystem:
         #: something subscribes — e.g. :meth:`observe` or a ProtocolTracer.
         self.bus = EventBus(self.events)
         self.tracker: Optional[SpanTracker] = None
+        self.sampler: Optional[MetricsSampler] = None
         self.network = MeshNetwork(params.num_cores, params.network,
                                    self.events, self.stats, bus=self.bus)
         self.directories: List[DirectoryBank] = [
@@ -78,6 +80,16 @@ class MulticoreSystem:
             self.tracker = SpanTracker(self.bus, self.stats)
         return self.tracker
 
+    def sample_metrics(self, period: int = DEFAULT_PERIOD) -> MetricsSampler:
+        """Attach (once) and return a telemetry sampler for this run.
+
+        Call before :meth:`run`; the ``repro-metrics/1`` payload lands
+        on the result's ``telemetry`` field.
+        """
+        if self.sampler is None:
+            self.sampler = MetricsSampler(self, period)
+        return self.sampler
+
     def load_program(self, traces: Sequence[List[Instruction]]) -> None:
         """Assign per-core traces (shorter list leaves extra cores idle)."""
         if len(traces) > len(self.cores):
@@ -102,8 +114,11 @@ class MulticoreSystem:
         # empty trace never enter it), so the per-cycle loop only visits
         # cores that can still make progress.
         running = [core for core in self.cores if not core.done]
+        sampler = self.sampler
         while True:
             events.run_due()
+            if sampler is not None and events.now >= sampler.next_cycle:
+                sampler.take(events.now)
             if not running:
                 if events.empty:
                     break
@@ -139,6 +154,10 @@ class MulticoreSystem:
             self.tracker.finish(self.events.now)
             spans = self.tracker.spans
             span_summaries = self.tracker.summaries()
+        telemetry = None
+        if self.sampler is not None:
+            self.sampler.finish(self.events.now)
+            telemetry = self.sampler.payload()
         return SimResult(
             params=self.params,
             cycles=max(done_cycles) if done_cycles else self.events.now,
@@ -148,4 +167,5 @@ class MulticoreSystem:
             histograms=self.stats.histogram_summaries(),
             spans=spans,
             span_summaries=span_summaries,
+            telemetry=telemetry,
         )

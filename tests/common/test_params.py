@@ -8,6 +8,7 @@ from repro.common.params import (
     CacheParams,
     CoreParams,
     SystemParams,
+    mesh_dims,
     mesh_side,
     table6_system,
 )
@@ -55,10 +56,17 @@ def test_unknown_core_class_rejected():
         table6_system("XEON")
 
 
-def test_non_square_core_count_rejected():
+def test_rectangular_core_count_accepted():
+    params = table6_system("SLM")
+    SystemParams(num_cores=8, core=params.core).validate()
+    assert mesh_dims(8) == (4, 2)
+    assert mesh_dims(16) == (4, 4)
+
+
+def test_prime_core_count_rejected():
     params = table6_system("SLM")
     with pytest.raises(ConfigError):
-        SystemParams(num_cores=6, core=params.core).validate()
+        SystemParams(num_cores=7, core=params.core).validate()
 
 
 def test_ooo_wb_commit_requires_writers_block():

@@ -24,9 +24,20 @@ def test_empty_histogram():
     h = Histogram("e")
     assert h.total == 0
     assert h.mean == 0.0
-    assert h.max == 0
-    assert h.min == 0
+    # None, not 0: an untouched histogram must not masquerade as one
+    # that recorded a real zero sample.
+    assert h.max is None
+    assert h.min is None
     assert h.percentile(50) == 0
+
+
+def test_empty_histogram_omitted_from_summaries():
+    reg = StatsRegistry()
+    reg.histogram("touched").record(5)
+    reg.histogram("untouched")
+    summaries = reg.histogram_summaries()
+    assert "touched" in summaries
+    assert "untouched" not in summaries
 
 
 def test_histogram_min():
@@ -53,6 +64,15 @@ def test_percentile_weighted_buckets():
     assert h.percentile(50) == 10
     assert h.percentile(98) == 10
     assert h.percentile(99) == 1000
+
+
+def test_percentile_single_bucket():
+    """One distinct value: every percentile must land on it, including
+    the p=0 and p=100 edges."""
+    h = Histogram("lat")
+    h.record(42, count=17)
+    for p in (0, 1, 50, 99, 100):
+        assert h.percentile(p) == 42
 
 
 def test_percentile_rejects_out_of_range():
@@ -89,6 +109,13 @@ def test_histogram_registry():
     reg = StatsRegistry()
     h = reg.histogram("lat")
     assert reg.histogram("lat") is h
+
+
+def test_histograms_iterate_sorted():
+    reg = StatsRegistry()
+    reg.histogram("b.lat")
+    reg.histogram("a.lat")
+    assert [name for name, __ in reg.histograms()] == ["a.lat", "b.lat"]
 
 
 def test_histogram_summaries_include_percentiles():

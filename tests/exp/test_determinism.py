@@ -44,6 +44,47 @@ def test_serial_pool_cache_byte_identical(name, tmp_path):
     assert replay.results()[name].to_json() == baseline
 
 
+#: Telemetry targets: directed scenarios + the stratified litmus slice
+#: (one corpus test per family) — the set the acceptance bar names.
+def _telemetry_targets():
+    from repro.exp.drivers import _litmus_slice
+    from repro.obs.scenarios import LITMUS_PREFIX
+
+    return ["mp", "sos"] + [LITMUS_PREFIX + name for name in _litmus_slice()]
+
+
+def test_telemetry_serial_pool_cache_byte_identical(tmp_path):
+    """The ``repro-metrics/1`` payload rides inside ``SimResult``, so it
+    must satisfy the same contract as every other stat: byte-identical
+    whether the cell ran serially, in a worker pool, or out of the
+    result cache."""
+    from repro.obs.scenarios import scenario_traces
+
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    cells = [Cell.from_traces(name, name, scenario_traces(name), params,
+                              sample=100)
+             for name in _telemetry_targets()]
+
+    serial = ExperimentEngine(workers=0).run(cells)
+    baselines = {cell.key: serial.results()[cell.key].to_json()
+                 for cell in cells}
+    for key, result in serial.results().items():
+        assert result.telemetry is not None
+        assert result.telemetry["schema"] == "repro-metrics/1"
+
+    pooled = ExperimentEngine(workers=2, timeout=300.0).run(cells)
+    for key, baseline in baselines.items():
+        assert pooled.results()[key].to_json() == baseline
+
+    cache = ResultCache(tmp_path, version="pinned")
+    ExperimentEngine(cache=cache).run(cells)
+    replay = ExperimentEngine(cache=cache).run(cells)
+    assert replay.source_counts()["cache"] == len(cells)
+    for key, baseline in baselines.items():
+        assert replay.results()[key].to_json() == baseline
+
+
 def test_same_seed_same_workload_object():
     """The generator layer itself is deterministic (the engine relies
     on regenerating workloads inside workers)."""

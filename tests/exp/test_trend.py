@@ -1,0 +1,114 @@
+"""Bench trend tracking (``repro bench --trend``)."""
+
+import json
+
+import pytest
+
+from repro.exp.trend import (collect_metrics, diff_generations, diff_metrics,
+                             direction, is_host_metric, render_trend)
+
+
+# ------------------------------------------------------------ flattening
+def test_collect_metrics_flattens_nested_payloads():
+    payload = {
+        "schema": "repro-bench/1",  # structural, skipped
+        "config": {"cores": 16},
+        "rows": [{"cycles": 100}, {"cycles": 200}],
+        "ok": True,  # bools are not metrics
+    }
+    assert collect_metrics(payload) == {
+        "config.cores": 16.0,
+        "rows[0].cycles": 100.0,
+        "rows[1].cycles": 200.0,
+    }
+
+
+def test_collect_metrics_key_order_is_deterministic():
+    a = collect_metrics({"b": 1, "a": {"z": 2, "y": 3}})
+    b = collect_metrics({"a": {"y": 3, "z": 2}, "b": 1})
+    assert list(a) == list(b) == ["a.y", "a.z", "b"]
+
+
+# ---------------------------------------------------------- classification
+def test_host_vs_model_classification():
+    assert is_host_metric("suite.wall_seconds")
+    assert is_host_metric("benchmarks.litmus.sims_per_sec")
+    assert is_host_metric("rows[3].alloc_peak_kb")
+    assert not is_host_metric("rows[3].cycles")
+    assert not is_host_metric("totals.messages")
+
+
+def test_direction_heuristics():
+    assert direction("benchmarks.litmus.sims_per_sec") == 1
+    assert direction("rows[0].cycles") == -1
+    assert direction("totals.flit_hops") == -1
+    assert direction("config.cores") == 0  # unknown: neutral drift
+
+
+# ----------------------------------------------------------------- diffing
+def test_model_drift_reported_at_any_magnitude():
+    moves = diff_metrics({"rows[0].cycles": 1000.0},
+                         {"rows[0].cycles": 1001.0})
+    assert len(moves) == 1
+    assert moves[0]["regression"] is True  # cycles up = bad
+    assert moves[0]["host"] is False
+
+
+def test_host_noise_below_threshold_filtered():
+    old = {"suite.wall_seconds": 10.0, "x.sims_per_sec": 100.0}
+    new = {"suite.wall_seconds": 10.2, "x.sims_per_sec": 80.0}
+    moves = diff_metrics(old, new, threshold=0.05)
+    assert [m["key"] for m in moves] == ["x.sims_per_sec"]
+    assert moves[0]["regression"] is True  # throughput down = bad
+
+
+def test_improvement_is_not_a_regression():
+    moves = diff_metrics({"a.cycles": 200.0}, {"a.cycles": 150.0})
+    assert moves[0]["regression"] is False
+
+
+def test_equal_values_produce_no_moves():
+    assert diff_metrics({"a.cycles": 5.0}, {"a.cycles": 5.0}) == []
+
+
+# ------------------------------------------------------------ generations
+def _write_gen(path, name, payload):
+    path.mkdir(parents=True, exist_ok=True)
+    (path / name).write_text(json.dumps(payload))
+
+
+def test_diff_generations_end_to_end(tmp_path):
+    old, new = tmp_path / "old", tmp_path / "new"
+    _write_gen(old, "BENCH_a.json", {"totals": {"cycles": 100}})
+    _write_gen(new, "BENCH_a.json", {"totals": {"cycles": 120}})
+    _write_gen(old, "BENCH_gone.json", {"totals": {"cycles": 1}})
+    _write_gen(new, "BENCH_new.json", {"totals": {"cycles": 2}})
+    payload = diff_generations(old, new)
+    assert payload["schema"] == "repro-trend/1"
+    entry = payload["files"]["BENCH_a.json"]
+    assert entry["regressions"] == 1
+    assert entry["moves"][0]["key"] == "totals.cycles"
+    assert payload["only_in_old"] == ["BENCH_gone.json"]
+    assert payload["only_in_new"] == ["BENCH_new.json"]
+
+    text = render_trend(payload)
+    assert "REGRESSION" in text
+    assert "totals.cycles: 100 -> 120" in text
+    assert "total regressions: 1" in text
+    assert "only in old generation" in text
+
+
+def test_diff_generations_requires_old_artifacts(tmp_path):
+    (tmp_path / "empty").mkdir()
+    _write_gen(tmp_path / "new", "BENCH_a.json", {})
+    with pytest.raises(ValueError, match="no BENCH"):
+        diff_generations(tmp_path / "empty", tmp_path / "new")
+
+
+def test_render_trend_reports_no_movement(tmp_path):
+    old, new = tmp_path / "a", tmp_path / "b"
+    _write_gen(old, "BENCH_a.json", {"totals": {"cycles": 7}})
+    _write_gen(new, "BENCH_a.json", {"totals": {"cycles": 7}})
+    text = render_trend(diff_generations(old, new))
+    assert "no movement" in text
+    assert "total regressions: 0" in text

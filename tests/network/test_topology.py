@@ -15,9 +15,19 @@ def test_coords_row_major():
     assert mesh.coords(15) == (3, 3)
 
 
-def test_non_square_rejected():
+def test_non_square_folds_to_rectangle():
+    mesh = MeshTopology(8)
+    assert (mesh.width, mesh.height) == (4, 2)
+    assert mesh.coords(0) == (0, 0)
+    assert mesh.coords(3) == (3, 0)
+    assert mesh.coords(4) == (0, 1)
+    assert mesh.coords(7) == (3, 1)
+    assert mesh.hops(0, 7) == 4
+
+
+def test_non_positive_tile_count_rejected():
     with pytest.raises(ConfigError):
-        MeshTopology(6)
+        MeshTopology(0)
 
 
 def test_out_of_range_tile_rejected():

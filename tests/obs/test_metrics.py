@@ -1,0 +1,185 @@
+"""Telemetry sampler and the ``repro-metrics/1`` stream.
+
+Covers the tentpole contracts: period-boundary stamping, the versioned
+JSONL header (unknown versions are rejected, not misread), offline
+re-derivation of summaries from a saved stream, and the zero-impact
+guarantee for unsampled runs (no ``telemetry`` key, identical results).
+"""
+
+import json
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.obs.metrics import (DEFAULT_PERIOD, GAUGE_KEYS, METRICS_SCHEMA,
+                               MetricsSampler, gauge_capacities,
+                               read_metrics_jsonl, sample_cycles,
+                               summarize_metrics, tile_series,
+                               write_metrics_jsonl)
+from repro.obs.scenarios import scenario_traces
+from repro.sim.runner import run_sampled, run_traces
+from repro.sim.system import MulticoreSystem
+
+
+def _params(cores=4):
+    return table6_system("SLM", num_cores=cores,
+                         commit_mode=CommitMode.OOO_WB)
+
+
+def _sampled_mp(period=100):
+    return run_sampled(scenario_traces("mp"), _params(), period=period)
+
+
+# ----------------------------------------------------------- the sampler
+def test_period_must_be_positive():
+    system = MulticoreSystem(_params())
+    with pytest.raises(ValueError, match="period"):
+        MetricsSampler(system, period=0)
+
+
+def test_samples_land_on_period_boundaries():
+    result = _sampled_mp(period=100)
+    cycles = sample_cycles(result.telemetry)
+    assert cycles == sorted(cycles)
+    assert len(cycles) == len(set(cycles))  # no duplicate stamps
+    # Every sample except the final end-of-run flush sits at or past a
+    # period boundary it was triggered by; the final one is the end of
+    # the event clock (which can outlive the last core's done cycle
+    # while in-flight messages drain).
+    assert cycles[-1] == result.telemetry["cycles"]
+    assert cycles[-1] >= result.cycles
+    for stamp in cycles[:-1]:
+        assert stamp >= 100
+
+
+def test_final_flush_not_duplicated_when_run_ends_on_boundary():
+    system = MulticoreSystem(_params())
+    sampler = system.sample_metrics(50)
+    sampler.take(100)
+    sampler.finish(100)  # run ended exactly on the last sample's cycle
+    assert [s["cycle"] for s in sampler.samples] == [100]
+
+
+def test_boundary_rollover_collapses_idle_gaps():
+    system = MulticoreSystem(_params())
+    sampler = system.sample_metrics(100)
+    assert sampler.next_cycle == 100
+    sampler.take(730)  # event queue fast-forwarded over 7 boundaries
+    assert sampler.next_cycle == 800  # not 200: skipped boundaries collapse
+
+
+def test_payload_shape_and_capacities():
+    result = _sampled_mp()
+    payload = result.telemetry
+    assert payload["schema"] == METRICS_SCHEMA
+    assert payload["tiles"] == 4
+    assert tuple(payload["gauges"]) == GAUGE_KEYS
+    assert set(payload["capacities"]) == set(GAUGE_KEYS)
+    for sample in payload["samples"]:
+        assert set(sample) == {"cycle", *GAUGE_KEYS}
+        for gauge in GAUGE_KEYS:
+            assert len(sample[gauge]) == 4
+
+
+def test_gauge_capacities_cover_catalog():
+    caps = gauge_capacities(_params())
+    assert set(caps) == set(GAUGE_KEYS)
+    assert caps["lq"] > 0 and caps["mshr"] > 0
+    assert caps["dirq"] is None and caps["link"] is None
+
+
+# ------------------------------------------------------------- the JSONL
+def test_jsonl_roundtrip(tmp_path):
+    payload = _sampled_mp().telemetry
+    path = tmp_path / "m.jsonl"
+    count = write_metrics_jsonl(payload, path)
+    assert count == len(payload["samples"])
+    assert read_metrics_jsonl(path) == payload
+
+
+def test_unknown_schema_version_rejected(tmp_path):
+    path = tmp_path / "m.jsonl"
+    path.write_text(json.dumps({"schema": "repro-metrics/99"}) + "\n")
+    with pytest.raises(ValueError, match="unknown metrics schema"):
+        read_metrics_jsonl(path)
+
+
+def test_missing_header_rejected(tmp_path):
+    path = tmp_path / "m.jsonl"
+    path.write_text(json.dumps({"cycle": 100, "lq": [0]}) + "\n")
+    with pytest.raises(ValueError, match="header"):
+        read_metrics_jsonl(path)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "m.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_metrics_jsonl(path)
+
+
+def test_offline_summary_matches_live_byte_for_byte(tmp_path):
+    """Everything the tables/dashboard derive must be recomputable from
+    the saved stream alone."""
+    payload = _sampled_mp().telemetry
+    live = json.dumps(summarize_metrics(payload), sort_keys=True)
+    path = tmp_path / "m.jsonl"
+    write_metrics_jsonl(payload, path)
+    offline = json.dumps(summarize_metrics(read_metrics_jsonl(path)),
+                         sort_keys=True)
+    assert offline == live
+
+
+# ------------------------------------------------------------- analysis
+def test_tile_series_shape_and_unknown_gauge():
+    payload = _sampled_mp().telemetry
+    rows = tile_series(payload, "lq")
+    assert len(rows) == payload["tiles"]
+    assert all(len(row) == len(payload["samples"]) for row in rows)
+    with pytest.raises(KeyError, match="unknown gauge"):
+        tile_series(payload, "bogus")
+
+
+def test_summary_normalizes_link_by_window():
+    payload = {
+        "schema": METRICS_SCHEMA, "period": 100, "tiles": 1,
+        "cycles": 200, "gauges": ["link"], "capacities": {"link": None},
+        "samples": [{"cycle": 100, "link": [50]},
+                    {"cycle": 200, "link": [100]}],
+    }
+    row = summarize_metrics(payload)["gauges"]["link"]
+    assert row["mean"] == pytest.approx(0.75)  # (0.5 + 1.0) / 2
+    assert row["peak"] == pytest.approx(1.0)
+    assert row["saturation"] == pytest.approx(0.5)  # second window full
+
+
+def test_summary_saturation_against_capacity():
+    payload = {
+        "schema": METRICS_SCHEMA, "period": 10, "tiles": 2,
+        "cycles": 20, "gauges": ["lq"], "capacities": {"lq": 4},
+        "samples": [{"cycle": 10, "lq": [4, 1]},
+                    {"cycle": 20, "lq": [2, 4]}],
+    }
+    row = summarize_metrics(payload)["gauges"]["lq"]
+    assert row["saturation"] == pytest.approx(0.5)  # 2 of 4 points at cap
+    assert row["hottest_tile"] == 0  # 6 total vs 5
+
+
+# ------------------------------------------- zero impact when not sampling
+def test_unsampled_result_has_no_telemetry_key():
+    result = run_traces(scenario_traces("mp"), _params())
+    assert result.telemetry is None
+    assert "telemetry" not in result.to_dict()
+
+
+def test_sampling_does_not_perturb_the_simulation():
+    traces = scenario_traces("mp")
+    plain = run_traces(traces, _params())
+    sampled = run_sampled(traces, _params(), period=DEFAULT_PERIOD)
+    assert sampled.cycles == plain.cycles
+    assert sampled.committed == plain.committed
+    base = plain.to_dict()
+    mirrored = sampled.to_dict()
+    mirrored.pop("telemetry")
+    assert mirrored == base

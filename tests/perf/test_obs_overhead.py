@@ -1,4 +1,4 @@
-"""Observability-overhead regression gate.
+"""Observability-overhead regression gates.
 
 Running with the span tracker and the causal-graph subscriber attached
 is allowed to cost real time — every emit allocates an Event and the
@@ -6,13 +6,22 @@ graph links it — but the cost must stay bounded.  Measured on the
 reference machine the full-observation litmus battery runs ~1.7x slower
 than the bus-off default; the gate is set at 4x so cross-machine noise
 cannot trip it while an accidental O(n^2) subscriber still does.
+
+The telemetry sampler is held to a tighter bar: gauges are read lazily
+on period boundaries only, so sampling at the default period must cost
+well under the event-bus observers — measured ~1.05x, gated at 2x.
 """
 
+from repro.obs.metrics import DEFAULT_PERIOD
 from repro.perf.harness import run_group
 
 #: Max allowed slowdown of observed runs vs bus-off runs (documented in
 #: docs/performance.md; measured ~1.7x on the reference machine).
 MAX_OVERHEAD = 4.0
+
+#: Max allowed slowdown with the telemetry sampler at the default
+#: period (documented in docs/observability.md; measured ~1.05x).
+MAX_SAMPLING_OVERHEAD = 2.0
 
 
 def test_observed_litmus_overhead_is_bounded():
@@ -24,3 +33,14 @@ def test_observed_litmus_overhead_is_bounded():
         f"observed litmus run is {ratio:.2f}x slower than bus-off "
         f"(gate: {MAX_OVERHEAD:.1f}x); a subscriber or emit path "
         "likely regressed")
+
+
+def test_sampled_litmus_overhead_is_bounded():
+    base = run_group("litmus", reps=2, warmup=1)
+    sampled = run_group("litmus", reps=2, warmup=1, sample=DEFAULT_PERIOD)
+    assert sampled.sim_cycles == base.sim_cycles  # determinism unchanged
+    ratio = base.sims_per_sec / max(sampled.sims_per_sec, 1e-9)
+    assert ratio <= MAX_SAMPLING_OVERHEAD, (
+        f"sampled litmus run is {ratio:.2f}x slower than sampler-off "
+        f"(gate: {MAX_SAMPLING_OVERHEAD:.1f}x); a gauge read moved into "
+        "the hot path or the snapshot walk regressed")

@@ -97,6 +97,16 @@ def test_unobserved_run_allocates_no_events_or_spans(monkeypatch):
         run_case(case)  # would raise if any emit built an Event
 
 
+def test_unsampled_run_allocates_no_telemetry(monkeypatch):
+    """Telemetry's zero-cost-when-off contract: a run without
+    ``sample_metrics()`` must never construct a sampler (the run loop
+    pays one ``is not None`` check and nothing else)."""
+    monkeypatch.setattr("repro.sim.system.MetricsSampler",
+                        _Forbidden("MetricsSampler"))
+    for case in scenario_cases():
+        run_case(case)  # would raise if sampling state were ever built
+
+
 def test_forbidden_constructors_do_trip_when_observed(monkeypatch):
     """Positive control: the booby traps actually guard the code path."""
     monkeypatch.setattr("repro.obs.events.Event", _Forbidden("Event"))
@@ -106,3 +116,13 @@ def test_forbidden_constructors_do_trip_when_observed(monkeypatch):
     system.load_program(case.trace_lists())
     with pytest.raises(AssertionError, match="observer-free"):
         system.run()
+
+
+def test_forbidden_sampler_does_trip_when_sampled(monkeypatch):
+    """Positive control for the telemetry trap."""
+    monkeypatch.setattr("repro.sim.system.MetricsSampler",
+                        _Forbidden("MetricsSampler"))
+    case = scenario_cases()[0]
+    system = MulticoreSystem(case.params)
+    with pytest.raises(AssertionError, match="observer-free"):
+        system.sample_metrics()

@@ -1,6 +1,7 @@
 """ASCII chart rendering."""
 
-from repro.analysis.charts import grouped_chart, hbar_chart
+from repro.analysis.charts import (HEAT_RAMP, grouped_chart, hbar_chart,
+                                   heatmap_chart)
 
 
 def test_hbar_scales_to_peak():
@@ -31,3 +32,22 @@ def test_grouped_chart():
     chart = grouped_chart({"g1": [("a", 1.0)], "g2": [("b", 2.0)]},
                           title="all")
     assert "[g1]" in chart and "[g2]" in chart and chart.startswith("all")
+
+
+def test_heatmap_maps_values_onto_ramp():
+    chart = heatmap_chart([[0.0, 10.0], [5.0, 0.0]])
+    lines = chart.splitlines()
+    assert lines[0] == f"tile0 |{HEAT_RAMP[0]}{HEAT_RAMP[-1]}|"
+    assert lines[1][-2] == HEAT_RAMP[0]
+
+
+def test_heatmap_respects_explicit_peak():
+    # Against peak=20 a value of 10 lands mid-ramp, not at the top.
+    chart = heatmap_chart([[10.0]], peak=20.0)
+    cell = chart.splitlines()[0][-2]
+    assert cell not in (HEAT_RAMP[0], HEAT_RAMP[-1])
+
+
+def test_heatmap_empty_returns_title():
+    assert heatmap_chart([], title="T") == "T"
+    assert heatmap_chart([[], []], title="T") == "T"

@@ -1,0 +1,49 @@
+"""HTML telemetry dashboard rendering."""
+
+from repro.analysis.dashboard import (heat_color, heatmap_svg,
+                                      render_dashboard, write_dashboard)
+from repro.common.params import table6_system
+from repro.common.types import CommitMode
+from repro.obs.scenarios import scenario_traces
+from repro.sim.runner import run_sampled
+
+
+def _payload():
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    return run_sampled(scenario_traces("mp"), params).telemetry
+
+
+def test_heat_color_ramp_endpoints():
+    assert heat_color(0.0, 10.0) == "#101c38"  # low stop
+    assert heat_color(10.0, 10.0) == "#de5531"  # high stop
+    assert heat_color(5.0, 0.0) == "#101c38"  # degenerate peak
+
+
+def test_heatmap_svg_one_rect_per_cell():
+    svg = heatmap_svg([[0, 1, 2], [3, 4, 5]])
+    assert svg.count("<rect") == 6
+    assert svg.count("<text") == 2  # one tile label per row
+    assert heatmap_svg([]) == "<svg width='0' height='0'></svg>"
+
+
+def test_dashboard_is_self_contained_html():
+    doc = render_dashboard(_payload(), title="t & t")
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "t &amp; t" in doc  # titles are escaped
+    for gauge in ("rob", "lq", "mshr", "link"):
+        assert f"<h2>{gauge}</h2>" in doc
+    # Self-contained: no external fetches of any kind.
+    assert "http" not in doc.replace("http://www.w3.org/2000/svg", "")
+    assert "<script" not in doc
+
+
+def test_dashboard_render_is_byte_stable():
+    payload = _payload()
+    assert render_dashboard(payload) == render_dashboard(payload)
+
+
+def test_write_dashboard(tmp_path):
+    path = tmp_path / "dash.html"
+    write_dashboard(_payload(), path, title="mp")
+    assert path.read_text().startswith("<!DOCTYPE html>")
