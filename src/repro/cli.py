@@ -19,9 +19,10 @@ Commands
                          parallel experiment engine; writes the text
                          tables plus machine-readable ``BENCH_*.json``
                          to ``benchmarks/out/``
-``conform``              TSO conformance: run the litmus corpus through
-                         the three-way differential checker (simulator
-                         ⊆ operational x86-TSO ⊆ axiomatic) plus the
+``conform``              memory-model conformance: run the litmus
+                         corpus through the three-way differential
+                         checker (simulator ⊆ operational ⊆ axiomatic)
+                         under ``--model tso|sc|rmo`` plus the
                          POR-reduced protocol explorer; ``--replay``
                          re-executes an exported forbidden-outcome
                          witness with causal blame
@@ -259,9 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default="SLM", help="Table 6 core class")
 
     conf_p = sub.add_parser(
-        "conform", help="TSO conformance: three-way differential check "
-                        "of the litmus corpus (sim ⊆ operational ⊆ "
-                        "axiomatic) + exhaustive protocol exploration")
+        "conform", help="memory-model conformance: three-way differential "
+                        "check of the litmus corpus (sim ⊆ operational ⊆ "
+                        "axiomatic) under tso/sc/rmo + exhaustive "
+                        "protocol exploration")
+    conf_p.add_argument("--model", choices=("tso", "sc", "rmo"),
+                        default="tso",
+                        help="memory model to check against (default tso; "
+                             "sc skips the sim-inclusion phase — the "
+                             "simulated hardware is TSO)")
     conf_p.add_argument("--only", default=None,
                         help="comma-separated test names or families "
                              "(default: whole corpus)")
@@ -672,10 +679,12 @@ def cmd_conform(args) -> int:
     witness_dir = pathlib.Path(args.witness_dir) if args.witness_dir else None
     label = "slice" if sliced else "full"
     print(f"repro conform: {len(tests)} tests ({label}), "
-          f"mode={args.mode} core-class={args.core_class} "
+          f"model={args.model} mode={args.mode} "
+          f"core-class={args.core_class} "
           f"perturb={args.perturb} seed={args.seed}")
     result = run_conformance(
-        tests, mode=MODES[args.mode], core_class=args.core_class,
+        tests, model=args.model, mode=MODES[args.mode],
+        core_class=args.core_class,
         perturb=args.perturb, seed=args.seed, witness_dir=witness_dir,
         explore=not args.no_explore, por=not args.no_por)
     for row in result.family_rows():

@@ -221,6 +221,13 @@ class DirectoryBank:
                 self._stat_tearoffs.add()
                 self._send(MsgType.FWD_GETS, entry.owner, entry.line,
                            latency, requester=requester, uncacheable=True)
+            elif entry.state is DirState.M:
+                # The requester itself owns the line: ownership data
+                # travelled 3-hop (past us), so our parked copy may be
+                # stale.  Bounce the read; it replays and hits locally
+                # once the in-flight fill installs.
+                self._send(MsgType.DATA_UNCACHEABLE, requester, entry.line,
+                           latency, retry=True)
             else:
                 self._serve_tearoff(msg, entry.data)
             return

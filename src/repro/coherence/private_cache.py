@@ -340,6 +340,14 @@ class PrivateCache:
         mshr = self._find_read_mshr(msg.line)
         if mshr is None:
             raise ProtocolError(f"cache {self.tile}: DataU without MSHR {msg!r}")
+        if msg.payload.get("retry"):
+            # The directory bounced the tear-off (we own the line and
+            # the fresh copy is in flight to us): replay every load.
+            for request in mshr.waiting_loads:
+                self._stat_tearoff_retry.add()
+                request.on_must_retry(True)
+            self.mshrs.free(mshr)
+            return
         data: LineData = msg.payload["data"]
         consumed = False
         for request in mshr.waiting_loads:

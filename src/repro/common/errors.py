@@ -41,5 +41,20 @@ class DeadlockError(SimulationError):
         self.snapshot = snapshot
 
 
-class TSOViolationError(SimulationError):
+class MemoryModelViolationError(SimulationError):
+    """The axiomatic engine found an execution the model forbids.
+
+    ``model`` names the :class:`repro.consistency.models.MemoryModel`
+    whose axiom failed ("tso", "sc", "rmo", ...).
+    """
+
+    def __init__(self, message: str, model: str = "") -> None:
+        super().__init__(message)
+        self.model = model
+
+
+class TSOViolationError(MemoryModelViolationError):
     """The consistency checker found an execution forbidden by TSO."""
+
+    def __init__(self, message: str, model: str = "tso") -> None:
+        super().__init__(message, model=model)

@@ -1,18 +1,22 @@
-"""TSO conformance subsystem.
+"""Memory-model conformance subsystem.
 
-A herd7-style litmus corpus plus a three-way differential checker that
-pins the whole stack to x86-TSO:
+A herd7-style litmus corpus plus a model-parametric three-way
+differential checker (``tso`` / ``sc`` / ``rmo`` — the specs in
+:mod:`repro.consistency.models`):
 
 * :mod:`model` — the shared litmus IR (:class:`COp` /
-  :class:`ConformTest`) with adapters onto the full simulator
-  (:mod:`repro.consistency.litmus`), the operational x86-TSO abstract
-  machine (:mod:`repro.consistency.operational`) and the axiomatic
-  enumeration (:func:`repro.consistency.litmus.legal_tso_outcomes`);
+  :class:`ConformTest`, with per-model expectations) and adapters onto
+  the full simulator (:mod:`repro.consistency.litmus`) and the
+  per-model operational machines
+  (:mod:`repro.consistency.operational`);
+* :mod:`axiomatic` — the value-aware per-model axiomatic enumeration
+  (linearizations + merge);
 * :mod:`litmus_format` — the ``.litmus`` text parser and writer;
 * :mod:`generator` — the diy-style shape generator behind the committed
   corpus under ``tests/conformance/corpus/``;
-* :mod:`differential` — per-test three-way checking
-  (sim ⊆ operational ⊆ axiomatic) plus expectation checks;
+* :mod:`differential` — per-test three-way checking under a chosen
+  model (sim ⊆ operational ⊆ axiomatic, sim phase only where the
+  hardware satisfies the model) plus expectation checks;
 * :mod:`witness` — replayable forbidden-outcome witnesses with causal
   blame traces;
 * :mod:`runner` — corpus loading, tier-1 slicing and batch runs (the

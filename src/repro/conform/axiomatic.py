@@ -1,0 +1,155 @@
+"""Value-aware axiomatic outcome enumeration, parametric in the model.
+
+The third leg of the differential (besides the simulator and the
+operational machines): enumerate every final state a
+:class:`~repro.conform.model.ConformTest` program can reach under a
+:class:`~repro.consistency.models.MemoryModel`, by a construction that
+is deliberately *not* another step machine:
+
+1. **Per-thread linearizations** — for each thread, every reordering of
+   its ops the model admits.  Op *j* may be emitted once every po-earlier
+   op it is ordered after has been emitted; ordering comes from the
+   model's ppo matrix, fences (which order everything), and the
+   same-location coherence rules (same-location pairs never reorder —
+   except a load hoisting above its own thread's store, which is
+   annotated with a *pin*: the value it must forward).
+2. **Merge** — interleave one linearization per thread over a single
+   memory, reading pinned loads from their pin and plain loads from
+   memory.  Memoized on (positions, memory, registers).
+
+Because a model with fewer preserved pairs admits a superset of
+linearizations, outcome sets are monotone by construction:
+``ax(sc) ⊆ ax(tso) ⊆ ax(rmo)`` — the inclusion the model-matrix tests
+check programmatically.
+
+This replaces the old/new-vocabulary ``legal_tso_outcomes`` path for
+conformance (which could not express several stores to one variable and
+knew nothing of final memory); that enumeration remains in
+:mod:`repro.consistency.litmus` for the paper-table benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..consistency.models import MemoryModel, get_model
+from .model import COp
+
+#: One op of a linearization: (kind, var, value, regkey, pin).
+#: ``pin`` is the forwarded value for a hoisted load, else None.
+LinOp = Tuple[str, str, int, str, Optional[int]]
+Valuation = FrozenSet[Tuple[str, int]]
+FinalState = Tuple[Valuation, Valuation]  # (registers, memory)
+
+
+def _ordered(prev: COp, op: COp, model: MemoryModel) -> bool:
+    """Must *prev* stay before *op* in the thread's linearization?"""
+    if prev.kind == "mf" or op.kind == "mf":
+        return True
+    if prev.var == op.var:
+        # Same location: coherence pins every pair except st→ld, which
+        # may hoist (the load then forwards — see the pin annotation).
+        return not (prev.kind == "st" and op.kind == "ld")
+    kinds = {"ld": ("R",), "st": ("W",)}
+    return any((a, b) in model.ppo
+               for a in kinds[prev.kind] for b in kinds[op.kind])
+
+
+def _pin_value(thread: Sequence[COp], emitted: FrozenSet[int],
+               j: int) -> Optional[int]:
+    """The forwarding pin for load *j*: the youngest po-earlier
+    same-location store still unemitted, if any."""
+    for i in range(j - 1, -1, -1):
+        prev = thread[i]
+        if prev.kind == "st" and prev.var == thread[j].var:
+            return prev.value if i not in emitted else None
+    return None
+
+
+def _linearizations(tid: int, thread: Sequence[COp],
+                    model: MemoryModel) -> List[Tuple[LinOp, ...]]:
+    results: List[Tuple[LinOp, ...]] = []
+
+    def extend(emitted: FrozenSet[int], prefix: Tuple[LinOp, ...]) -> None:
+        if len(emitted) == len(thread):
+            results.append(prefix)
+            return
+        for j, op in enumerate(thread):
+            if j in emitted:
+                continue
+            if any(i not in emitted and _ordered(thread[i], op, model)
+                   for i in range(j)):
+                continue
+            if op.kind == "mf":
+                lin: LinOp = ("mf", "", 0, "", None)
+            elif op.kind == "st":
+                lin = ("st", op.var, op.value, "", None)
+            else:
+                lin = ("ld", op.var, 0, f"{tid}:{op.reg}",
+                       _pin_value(thread, emitted, j))
+            extend(emitted | {j}, prefix + (lin,))
+
+    extend(frozenset(), ())
+    # Distinct emission orders can collapse to the same linearization
+    # (mf placement); dedupe to keep the merge honest.
+    return sorted(set(results))
+
+
+def _merge(sequences: Sequence[Tuple[LinOp, ...]]) -> Set[FinalState]:
+    """All final (registers, memory) of interleaving the sequences."""
+    outcomes: Set[FinalState] = set()
+    seen: Set[Tuple] = set()
+    initial = (tuple(0 for __ in sequences), (), ())
+    stack = [initial]
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        positions, memory, registers = state
+        done = True
+        for tid, seq in enumerate(sequences):
+            if positions[tid] >= len(seq):
+                continue
+            done = False
+            kind, var, value, regkey, pin = seq[positions[tid]]
+            new_positions = (positions[:tid] + (positions[tid] + 1,)
+                             + positions[tid + 1:])
+            if kind == "st":
+                items = dict(memory)
+                items[var] = value
+                stack.append((new_positions,
+                              tuple(sorted(items.items())), registers))
+            elif kind == "ld":
+                observed = pin if pin is not None else dict(memory).get(var, 0)
+                items = dict(registers)
+                items[regkey] = observed
+                stack.append((new_positions, memory,
+                              tuple(sorted(items.items()))))
+            else:  # mf: ordering was resolved per thread already
+                stack.append((new_positions, memory, registers))
+        if done:
+            outcomes.add((frozenset(registers), frozenset(memory)))
+    return outcomes
+
+
+def axiomatic_final_states(threads: Sequence[Sequence[COp]],
+                           model="tso") -> Set[FinalState]:
+    """Every (registers, memory) final state the model admits."""
+    spec = get_model(model)
+    per_thread = [_linearizations(tid, thread, spec)
+                  for tid, thread in enumerate(threads)]
+    outcomes: Set[FinalState] = set()
+    chosen: List[Tuple[LinOp, ...]] = []
+
+    def pick(tid: int) -> None:
+        if tid == len(per_thread):
+            outcomes.update(_merge(chosen))
+            return
+        for sequence in per_thread[tid]:
+            chosen.append(sequence)
+            pick(tid + 1)
+            chosen.pop()
+
+    pick(0)
+    return outcomes

@@ -1,23 +1,29 @@
 """Three-way differential checking: sim ⊆ operational ⊆ axiomatic.
 
-For one :class:`~repro.conform.model.ConformTest` the checker
+For one :class:`~repro.conform.model.ConformTest` and one memory model
+(``tso`` default, ``sc``, ``rmo``) the checker
 
-1. enumerates the operational x86-TSO machine and the axiomatic
-   store-buffer relaxation and asserts every operational outcome is
-   axiomatically legal (``operational ⊆ axiomatic``);
-2. cross-checks the hand-encoded expectation: an expect-``forbidden``
-   test must have *no* operationally reachable ``exists`` clause, an
-   expect-``allowed`` test must have at least one;
+1. enumerates the model's operational machine and the model's axiomatic
+   enumeration and asserts every operational outcome is axiomatically
+   legal (``operational ⊆ axiomatic``);
+2. cross-checks the hand-encoded per-model expectation: an
+   expect-``forbidden`` test must have *no* operationally reachable
+   ``exists`` clause, an expect-``allowed`` test must have at least one;
 3. runs the full simulator across a deterministic grid of per-thread
    start offsets (plus seeded random perturbations) and asserts every
    observed valuation is operationally reachable (``sim ⊆
    operational``), no forbidden outcome fires, and the axiomatic TSO
    checker that rides along every run stays silent.
 
+Step 3 only makes sense for models the simulated hardware satisfies:
+the simulator is an x86-TSO machine, so sim inclusion runs under
+``tso`` and the (weaker) ``rmo`` but is skipped under ``sc`` — a store
+buffer legitimately exceeds SC.
+
 Any violation carries a replayable witness payload
-(:mod:`repro.conform.witness`): the full litmus text, commit mode and
-the exact delay schedule, enough to re-run the execution and attach a
-causal-blame trace.
+(:mod:`repro.conform.witness`): the full litmus text, commit mode,
+model and the exact delay schedule, enough to re-run the execution and
+attach a causal-blame trace.
 """
 
 from __future__ import annotations
@@ -29,12 +35,17 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..common.params import SystemParams, table6_system
 from ..common.types import CommitMode
 from ..consistency.litmus import perturbation_delays, run_litmus
+from ..consistency.models import MemoryModel, get_model
 from .model import (ConformTest, Outcome, axiomatic_outcomes,
                     exists_reachable, operational_outcomes, outcome_matches,
                     to_litmus)
 from .witness import witness_payload
 
 DEFAULT_CORE = "SLM"
+
+#: Models whose guarantees the simulated (x86-TSO) hardware satisfies,
+#: i.e. for which the sim-inclusion phase is sound.
+SIM_SOUND_MODELS = ("tso", "rmo")
 
 
 @dataclass
@@ -51,11 +62,12 @@ class Violation:
 
 @dataclass
 class TestReport:
-    """The outcome of checking one test."""
+    """The outcome of checking one test under one model."""
 
     name: str
     family: str
     expect: str
+    model: str = "tso"
     sim_runs: int = 0
     sim_outcomes: List[Dict[str, int]] = field(default_factory=list)
     operational_count: int = 0
@@ -85,16 +97,19 @@ def default_delays(num_threads: int) -> List[Tuple[int, ...]]:
 
 
 def check_test(test: ConformTest, *,
+               model="tso",
                params: Optional[SystemParams] = None,
                mode: CommitMode = CommitMode.OOO_WB,
                core_class: str = DEFAULT_CORE,
                delays: Optional[Sequence[Sequence[int]]] = None,
                perturb: int = 2, seed: int = 0) -> TestReport:
-    """Run the full three-way differential check on one test."""
+    """Run the full differential check on one test under one model."""
+    spec: MemoryModel = get_model(model)
+    expect = test.expect_for(spec)
     report = TestReport(name=test.name, family=test.family,
-                        expect=test.expect)
-    op_set = operational_outcomes(test)
-    ax_set = axiomatic_outcomes(test)
+                        expect=expect, model=spec.name)
+    op_set = operational_outcomes(test, spec)
+    ax_set = axiomatic_outcomes(test, spec)
     report.operational_count = len(op_set)
     report.axiomatic_count = len(ax_set)
 
@@ -102,25 +117,28 @@ def check_test(test: ConformTest, *,
                           key=lambda o: tuple(sorted(o))):
         report.violations.append(Violation(
             kind="operational-not-axiomatic", test=test.name,
-            detail=f"operationally reachable but axiomatically illegal: "
-                   f"{dict(sorted(outcome))}"))
+            detail=f"[{spec.name}] operationally reachable but "
+                   f"axiomatically illegal: {dict(sorted(outcome))}"))
 
-    if test.expect == "forbidden" and exists_reachable(op_set, test.exists):
+    if expect == "forbidden" and exists_reachable(op_set, test.exists):
         report.violations.append(Violation(
             kind="expectation-mismatch", test=test.name,
-            detail="expect: forbidden, but an exists clause is "
-                   "operationally reachable"))
-    elif test.expect == "allowed" and not exists_reachable(op_set,
-                                                           test.exists):
+            detail=f"[{spec.name}] expect: forbidden, but an exists "
+                   f"clause is operationally reachable"))
+    elif expect == "allowed" and not exists_reachable(op_set, test.exists):
         report.violations.append(Violation(
             kind="expectation-mismatch", test=test.name,
-            detail="expect: allowed, but no exists clause is "
-                   "operationally reachable"))
+            detail=f"[{spec.name}] expect: allowed, but no exists "
+                   f"clause is operationally reachable"))
+
+    if spec.name not in SIM_SOUND_MODELS:
+        return report
 
     if params is None:
         params = conform_params(test, core_class=core_class, mode=mode)
     litmus = to_litmus(test)
-    keys = test.load_keys()
+    load_keys = test.load_keys()
+    mem_keys = test.mem_keys()
     combos = ([tuple(combo) for combo in delays] if delays is not None
               else default_delays(len(test.threads)))
     if perturb:
@@ -130,29 +148,39 @@ def check_test(test: ConformTest, *,
     for combo in combos:
         outcome = run_litmus(litmus, params, extra_delays=combo)
         report.sim_runs += 1
-        regs = {key: outcome.registers.get(key, 0) for key in keys}
-        fingerprint: Outcome = frozenset(regs.items())
+        regs = {key: outcome.registers.get(key, 0) for key in load_keys}
+        values = dict(regs)
+        for var in mem_keys:
+            values[var] = outcome.memory.get(var, 0)
+        fingerprint: Outcome = frozenset(values.items())
         if fingerprint not in seen_sim:
             seen_sim.add(fingerprint)
-            report.sim_outcomes.append(regs)
+            report.sim_outcomes.append(values)
 
         def _witness(kind: str, detail: str) -> Dict:
             return witness_payload(test, kind=kind, detail=detail,
                                    mode=mode, core_class=core_class,
                                    num_cores=params.num_cores,
-                                   extra_delays=combo, registers=regs)
+                                   extra_delays=combo, registers=values,
+                                   model=spec.name)
 
         if fingerprint not in op_set:
-            detail = (f"simulated outcome {regs} not operationally "
-                      f"reachable (delays={combo})")
+            detail = (f"[{spec.name}] simulated outcome {values} not "
+                      f"operationally reachable (delays={combo})")
             report.violations.append(Violation(
                 kind="sim-not-operational", test=test.name, detail=detail,
                 witness=_witness("sim-not-operational", detail)))
-        if outcome.forbidden_hit:
+        # Evaluated here (not via outcome.forbidden_hit) so memory atoms
+        # count and the *model's* expectation decides, not always TSO's.
+        forbidden_hit = (
+            expect == "forbidden"
+            and any(outcome_matches(fingerprint, clause)
+                    for clause in test.exists))
+        if forbidden_hit:
             hit = next((clause for clause in test.exists
                         if outcome_matches(fingerprint, clause)), {})
-            detail = (f"forbidden outcome {hit} observed on the simulator "
-                      f"(delays={combo})")
+            detail = (f"[{spec.name}] forbidden outcome {hit} observed on "
+                      f"the simulator (delays={combo})")
             report.violations.append(Violation(
                 kind="forbidden-outcome", test=test.name, detail=detail,
                 witness=_witness("forbidden-outcome", detail)))

@@ -12,14 +12,16 @@ accesses of one thread gets one variant from
   load→load gaps; the paper's dangerous case, where an OoO core wants
   to perform the younger load first).
 
-``dep`` and ``slow`` never change TSO legality — they are timing
-variants the differential checker uses to probe the microarchitecture —
-so the hand-encoded expectation of each family depends only on which
-gaps carry fences.  The full cross product over the six base shapes and
-their 3- and 4-thread extensions yields the committed 164-test corpus.
+``dep`` and ``slow`` never change legality under any shipped model —
+they are timing variants the differential checker uses to probe the
+microarchitecture — so the hand-encoded expectations of each family
+depend only on which gaps carry fences.  The full cross product over
+the base shapes and their multi-thread extensions yields the committed
+344-test corpus across 21 families.
 
-Expectations are *hand-derived* from the axiomatic model (and
-double-checked against the operational machine by the test suite):
+Every test carries three *hand-derived* expectations (double-checked
+against the operational machines and the axiomatic enumeration by the
+test suite), one per :mod:`repro.consistency.models` spec:
 
 ===========  ==========================================================
 family       ``exists`` clause forbidden under x86-TSO iff ...
@@ -29,12 +31,26 @@ sb, sb3,     every thread's store→load gap carries ``mf`` (the store
 sb4          buffer is the one TSO relaxation)
 lb, lb3,     always (load→store never reorders)
 lb4
-corr, corr3  always (per-location coherence)
+corr, corr3, always (per-location coherence)
+corr4
 wrc          always (W→R causality is transitive through cores)
-iriw         always (stores hit a single memory order)
+iriw, iriw3  always (stores hit a single memory order)
 isa2, isa24  always (chained message passing)
-rwc          the writer-reader thread's store→load gap carries ``mf``
+rwc, irrwiw  the writer-reader thread's store→load gap carries ``mf``
+r            the store→load gap on the reading thread carries ``mf``
+             (the W→W half of the cycle is free under TSO)
+s, 2+2w,     always (only W→W / R→W / R→R edges in the cycle)
+wrwc
 ===========  ==========================================================
+
+Under **SC** every corpus shape is forbidden — each family's condition
+is a classic non-SC valuation by construction (this is asserted
+programmatically by the model-matrix tests).  Under **RMO** (our
+RMO-ish spec: empty ppo, fences only — address dependencies are
+deliberately *not* ordering, so ``dep``/``slow`` stay timing-only)
+the per-location families ``corr``/``corr3``/``corr4`` remain forbidden
+(SC-per-location holds under every model) and every other family is
+forbidden exactly when **all** of its decorated gaps carry ``mf``.
 """
 
 from __future__ import annotations
@@ -90,6 +106,12 @@ def _name(family: str, gaps: Sequence[str]) -> str:
     return family.upper() + "+" + "+".join(gaps)
 
 
+def _rmo_expect(gaps: Sequence[str]) -> str:
+    """RMO verdict for every non-coherence family: the cycle only closes
+    when *all* decorated gaps are fenced (dep/slow are timing-only)."""
+    return "forbidden" if all(gap == "mf" for gap in gaps) else "allowed"
+
+
 def _product(choices: Sequence[Sequence[str]]) -> Iterable[Tuple[str, ...]]:
     if not choices:
         yield ()
@@ -108,7 +130,8 @@ def _mp() -> List[ConformTest]:
             name=_name("mp", (w, r)),
             threads=[_writes(["x", "y"], [w]), reads],
             exists=[{keys[0]: 1, keys[1]: 0}],
-            expect="forbidden", family="mp",
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect((w, r)), family="mp",
             description="message passing: flag read 1 but data stale"))
     return tests
 
@@ -130,7 +153,8 @@ def _sb_ring(family: str, variables: Sequence[str]) -> List[ConformTest]:
         expect = "forbidden" if all(g == "mf" for g in gaps) else "allowed"
         tests.append(ConformTest(
             name=_name(family, gaps), threads=threads, exists=[clause],
-            expect=expect, family=family,
+            expect=expect, expect_sc="forbidden",
+            expect_rmo=_rmo_expect(gaps), family=family,
             description="store-buffering ring: every load reads 0"))
     return tests
 
@@ -151,7 +175,8 @@ def _lb_ring(family: str, variables: Sequence[str]) -> List[ConformTest]:
             clause[f"{tid}:{_REGS[0]}"] = 1
         tests.append(ConformTest(
             name=_name(family, gaps), threads=threads, exists=[clause],
-            expect="forbidden", family=family,
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect(gaps), family=family,
             description="load-buffering ring: every load sees the later "
                         "store"))
     return tests
@@ -165,7 +190,8 @@ def _corr() -> List[ConformTest]:
             name=_name("corr", (r,)),
             threads=[reads, [cst("x", 1)]],
             exists=[{keys[0]: 1, keys[1]: 0}],
-            expect="forbidden", family="corr",
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo="forbidden", family="corr",
             description="coherence: same-location reads go backwards"))
     return tests
 
@@ -178,7 +204,8 @@ def _corr3() -> List[ConformTest]:
             name=_name("corr3", gaps),
             threads=[reads, [cst("x", 1)]],
             exists=[{keys[1]: 1, keys[2]: 0}],
-            expect="forbidden", family="corr3",
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo="forbidden", family="corr3",
             description="coherence: three same-location reads, middle "
                         "pair goes backwards"))
     return tests
@@ -196,7 +223,8 @@ def _wrc() -> List[ConformTest]:
             name=_name("wrc", (g1, g2)),
             threads=[[cst("x", 1)], middle, reads],
             exists=[{f"1:{_REGS[0]}": 1, keys[0]: 1, keys[1]: 0}],
-            expect="forbidden", family="wrc",
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g1, g2)), family="wrc",
             description="write-read causality through a middleman core"))
     return tests
 
@@ -210,7 +238,8 @@ def _iriw() -> List[ConformTest]:
             name=_name("iriw", (g2, g3)),
             threads=[[cst("x", 1)], [cst("y", 1)], r2, r3],
             exists=[{k2[0]: 1, k2[1]: 0, k3[0]: 1, k3[1]: 0}],
-            expect="forbidden", family="iriw",
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g2, g3)), family="iriw",
             description="independent readers disagree on the write order"))
     return tests
 
@@ -227,7 +256,8 @@ def _isa2() -> List[ConformTest]:
             name=_name("isa2", (g0, g1, g2)),
             threads=[_writes(["x", "y"], [g0]), middle, reads],
             exists=[{f"1:{_REGS[0]}": 1, keys[0]: 1, keys[1]: 0}],
-            expect="forbidden", family="isa2",
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g0, g1, g2)), family="isa2",
             description="two-hop message passing (ISA2)"))
     return tests
 
@@ -249,7 +279,8 @@ def _isa24() -> List[ConformTest]:
             threads=[_writes(["x", "y"], [g0]), hop1, hop2, reads],
             exists=[{f"1:{_REGS[0]}": 1, f"2:{_REGS[0]}": 1,
                      keys[0]: 1, keys[1]: 0}],
-            expect="forbidden", family="isa24",
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g0, g1, g2, g3)), family="isa24",
             description="three-hop message passing (ISA2 on 4 cores)"))
     return tests
 
@@ -267,18 +298,171 @@ def _rwc() -> List[ConformTest]:
             name=_name("rwc", (g1, g2)),
             threads=[[cst("x", 1)], reads, writer],
             exists=[{keys[0]: 1, keys[1]: 0, f"2:{_REGS[0]}": 0}],
-            expect=expect, family="rwc",
+            expect=expect, expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g1, g2)), family="rwc",
             description="read-to-write causality: store buffer may hide "
                         "P2's write unless fenced"))
     return tests
 
 
+def _r() -> List[ConformTest]:
+    """R: the co half of SB.  P1's later write loses the coherence race
+    (final ``y=2``) yet its load still misses P0's first write."""
+    tests = []
+    for g0, g1 in _product([ST_GAPS, ST_GAPS]):
+        writer1: List[COp] = [cst("y", 2)]
+        if g1 == "mf":
+            writer1.append(cmf())
+        writer1.append(cld("x", _REGS[0]))
+        expect = "forbidden" if g1 == "mf" else "allowed"
+        tests.append(ConformTest(
+            name=_name("r", (g0, g1)),
+            threads=[_writes(["x", "y"], [g0]), writer1],
+            exists=[{"y": 2, f"1:{_REGS[0]}": 0}],
+            expect=expect, expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g0, g1)), family="r",
+            description="R: co-losing writer still reads stale x unless "
+                        "its store drains first"))
+    return tests
+
+
+def _s() -> List[ConformTest]:
+    """S: P1 reads P0's flag yet its own write loses the coherence race
+    against P0's first write (final ``x=2``)."""
+    tests = []
+    for g0, g1 in _product([ST_GAPS, ST_GAPS]):
+        writer0: List[COp] = [cst("x", 2)]
+        if g0 == "mf":
+            writer0.append(cmf())
+        writer0.append(cst("y", 1))
+        reader1: List[COp] = [cld("y", _REGS[0])]
+        if g1 == "mf":
+            reader1.append(cmf())
+        reader1.append(cst("x", 1))
+        tests.append(ConformTest(
+            name=_name("s", (g0, g1)),
+            threads=[writer0, reader1],
+            exists=[{"x": 2, f"1:{_REGS[0]}": 1}],
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g0, g1)), family="s",
+            description="S: flag observed but the reply write is "
+                        "co-before the observed thread's first write"))
+    return tests
+
+
+def _2p2w() -> List[ConformTest]:
+    """2+2W: two threads cross-write two variables; both first writes
+    win the coherence race only if W→W reorders."""
+    tests = []
+    for g0, g1 in _product([ST_GAPS, ST_GAPS]):
+        threads = []
+        for tid, (mine, theirs) in enumerate((("x", "y"), ("y", "x"))):
+            ops: List[COp] = [cst(mine, 1)]
+            if (g0, g1)[tid] == "mf":
+                ops.append(cmf())
+            ops.append(cst(theirs, 2))
+            threads.append(ops)
+        tests.append(ConformTest(
+            name=_name("2+2w", (g0, g1)), threads=threads,
+            exists=[{"x": 1, "y": 1}],
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g0, g1)), family="2+2w",
+            description="2+2W: both first writes end up coherence-last"))
+    return tests
+
+
+def _wrwc() -> List[ConformTest]:
+    """W+RWC: a reader chains an external write into an RWC-style
+    coherence edge back to the same variable (final ``x=2``)."""
+    tests = []
+    for g1, g2 in _product([LD_GAPS, ST_GAPS]):
+        reads, keys = _reads(1, ["x", "y"], [g1])
+        writer2: List[COp] = [cst("y", 1)]
+        if g2 == "mf":
+            writer2.append(cmf())
+        writer2.append(cst("x", 1))
+        tests.append(ConformTest(
+            name=_name("wrwc", (g1, g2)),
+            threads=[[cst("x", 2)], reads, writer2],
+            exists=[{keys[0]: 2, keys[1]: 0, "x": 2}],
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g1, g2)), family="wrwc",
+            description="W+RWC: observed write is coherence-after the "
+                        "writer the reader missed"))
+    return tests
+
+
+def _irrwiw() -> List[ConformTest]:
+    """IRRWIW: IRIW stretched to five threads — two pure readers chain
+    three writes, and a writer-reader closes the cycle through its own
+    store buffer."""
+    tests = []
+    for g2, g3, g4 in _product([LD_GAPS, LD_GAPS, ST_GAPS]):
+        r2, k2 = _reads(2, ["x", "y"], [g2])
+        r3, k3 = _reads(3, ["y", "z"], [g3])
+        writer4: List[COp] = [cst("z", 1)]
+        if g4 == "mf":
+            writer4.append(cmf())
+        writer4.append(cld("x", _REGS[0]))
+        expect = "forbidden" if g4 == "mf" else "allowed"
+        tests.append(ConformTest(
+            name=_name("irrwiw", (g2, g3, g4)),
+            threads=[[cst("x", 1)], [cst("y", 1)], r2, r3, writer4],
+            exists=[{k2[0]: 1, k2[1]: 0, k3[0]: 1, k3[1]: 0,
+                     f"4:{_REGS[0]}": 0}],
+            expect=expect, expect_sc="forbidden",
+            expect_rmo=_rmo_expect((g2, g3, g4)), family="irrwiw",
+            description="five-thread IRIW variant closed by a "
+                        "writer-reader"))
+    return tests
+
+
+def _iriw3() -> List[ConformTest]:
+    """IRIW3: three writers, three readers (six threads) — the readers
+    chain x→y→z→x and must agree on one memory order."""
+    tests = []
+    variables = ("x", "y", "z")
+    for gaps in _product([LD_GAPS] * 3):
+        threads: List[List[COp]] = [[cst(var, 1)] for var in variables]
+        clause: Dict[str, int] = {}
+        for index in range(3):
+            older = variables[index]
+            newer = variables[(index + 1) % 3]
+            reads, keys = _reads(3 + index, [older, newer], [gaps[index]])
+            threads.append(reads)
+            clause[keys[0]] = 1
+            clause[keys[1]] = 0
+        tests.append(ConformTest(
+            name=_name("iriw3", gaps), threads=threads, exists=[clause],
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo=_rmo_expect(gaps), family="iriw3",
+            description="six-thread IRIW: three readers chain three "
+                        "independent writes into a cycle"))
+    return tests
+
+
+def _corr4() -> List[ConformTest]:
+    tests = []
+    for gaps in _product([LD_GAPS] * 3):
+        reads, keys = _reads(0, ["x", "x", "x", "x"], list(gaps))
+        tests.append(ConformTest(
+            name=_name("corr4", gaps),
+            threads=[reads, [cst("x", 1)]],
+            exists=[{keys[2]: 1, keys[3]: 0}],
+            expect="forbidden", expect_sc="forbidden",
+            expect_rmo="forbidden", family="corr4",
+            description="coherence: four same-location reads, last "
+                        "pair goes backwards"))
+    return tests
+
+
 FAMILIES = ("mp", "sb", "lb", "corr", "corr3", "wrc", "iriw",
-            "isa2", "isa24", "sb3", "sb4", "lb3", "lb4", "rwc")
+            "isa2", "isa24", "sb3", "sb4", "lb3", "lb4", "rwc",
+            "r", "s", "2+2w", "wrwc", "irrwiw", "iriw3", "corr4")
 
 
 def generate_corpus() -> List[ConformTest]:
-    """The full committed corpus: 164 tests across 14 families."""
+    """The full committed corpus: 344 tests across 21 families."""
     tests: List[ConformTest] = []
     tests += _mp()
     tests += _sb_ring("sb", ["x", "y"])
@@ -294,6 +478,13 @@ def generate_corpus() -> List[ConformTest]:
     tests += _lb_ring("lb3", ["x", "y", "z"])
     tests += _lb_ring("lb4", ["x", "y", "z", "w"])
     tests += _rwc()
+    tests += _r()
+    tests += _s()
+    tests += _2p2w()
+    tests += _wrwc()
+    tests += _irrwiw()
+    tests += _iriw3()
+    tests += _corr4()
     names = set()
     for test in tests:
         test.validate()

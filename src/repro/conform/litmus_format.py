@@ -21,10 +21,14 @@ Instructions: ``MOV [var],$n`` (store), ``MOV REG,[var]`` (load),
 our timing extension over herd — herd expresses dependencies through
 register arithmetic, which the trace ISA lowers the same way.
 
-The final condition is ``exists`` over ``tid:REG=value`` atoms joined
-with ``/\\`` inside clauses and ``\\/`` between parenthesised clauses.
-Comments ``(* family: ... *)`` and ``(* expect: forbidden|allowed *)``
-carry corpus metadata; unknown ``(* ... *)`` comments are ignored.
+The final condition is ``exists`` over ``tid:REG=value`` atoms (final
+load values) and bare ``var=value`` atoms (final memory, herd's
+convention — used by R/2+2W-style shapes), joined with ``/\\`` inside
+clauses and ``\\/`` between parenthesised clauses.  Comments
+``(* family: ... *)`` and ``(* expect: forbidden|allowed *)`` carry
+corpus metadata; ``(* expect-sc: ... *)`` / ``(* expect-rmo: ... *)``
+carry the same verdict under the SC and RMO model specs; unknown
+``(* ... *)`` comments are ignored.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ _COMMENT_RE = re.compile(r"^\(\*\s*(.*?)\s*\*\)$")
 _STORE_RE = re.compile(r"^MOV\s+\[(\w+)\]\s*,\s*\$(-?\d+)$")
 _LOAD_RE = re.compile(r"^(MOV|MOVDEP|MOVSLOW)\s+(\w+)\s*,\s*\[(\w+)\]$")
 _ATOM_RE = re.compile(r"^(\d+)\s*:\s*(\w+)\s*=\s*(-?\d+)$")
+_MEM_ATOM_RE = re.compile(r"^(\w+)\s*=\s*(-?\d+)$")
 
 _LOAD_DEP = {"MOV": "", "MOVDEP": "dep", "MOVSLOW": "slow"}
 _DEP_MNEMONIC = {"": "MOV", "dep": "MOVDEP", "slow": "MOVSLOW"}
@@ -75,11 +80,17 @@ def _parse_exists(text: str) -> List[Dict[str, int]]:
             clause_text = clause_text[1:-1].strip()
         clause: Dict[str, int] = {}
         for atom_text in clause_text.split("/\\"):
-            match = _ATOM_RE.match(atom_text.strip())
+            atom_text = atom_text.strip()
+            match = _ATOM_RE.match(atom_text)
+            if match:
+                clause[f"{match.group(1)}:{match.group(2)}"] = \
+                    int(match.group(3))
+                continue
+            match = _MEM_ATOM_RE.match(atom_text)
             if not match:
                 raise LitmusParseError(
-                    f"unparseable exists atom {atom_text.strip()!r}")
-            clause[f"{match.group(1)}:{match.group(2)}"] = int(match.group(3))
+                    f"unparseable exists atom {atom_text!r}")
+            clause[match.group(1)] = int(match.group(2))
         clauses.append(clause)
     return clauses
 
@@ -97,6 +108,8 @@ def parse_litmus(text: str) -> ConformTest:
     description = ""
     family = ""
     expect = ""
+    expect_sc = ""
+    expect_rmo = ""
     init: Dict[str, int] = {}
     table: List[List[str]] = []
     exists: List[Dict[str, int]] = []
@@ -111,10 +124,11 @@ def parse_litmus(text: str) -> ConformTest:
             if body.startswith("family:"):
                 family = body[len("family:"):].strip()
             elif body.startswith("expect:"):
-                expect = body[len("expect:"):].strip()
-                if expect not in ("forbidden", "allowed"):
-                    raise LitmusParseError(
-                        f"expect must be forbidden/allowed, got {expect!r}")
+                expect = _parse_expect(body, "expect:")
+            elif body.startswith("expect-sc:"):
+                expect_sc = _parse_expect(body, "expect-sc:")
+            elif body.startswith("expect-rmo:"):
+                expect_rmo = _parse_expect(body, "expect-rmo:")
             continue
         match = _INIT_RE.match(stripped)
         if match:
@@ -154,9 +168,19 @@ def parse_litmus(text: str) -> ConformTest:
             raise LitmusParseError(
                 f"{name}: non-zero initial value {var}={value} unsupported")
     test = ConformTest(name=name, threads=threads, exists=exists,
-                       expect=expect, family=family, description=description)
+                       expect=expect, expect_sc=expect_sc,
+                       expect_rmo=expect_rmo, family=family,
+                       description=description)
     test.validate()
     return test
+
+
+def _parse_expect(body: str, label: str) -> str:
+    value = body[len(label):].strip()
+    if value not in ("forbidden", "allowed"):
+        raise LitmusParseError(
+            f"{label[:-1]} must be forbidden/allowed, got {value!r}")
+    return value
 
 
 def _format_instruction(op: COp) -> str:
@@ -189,6 +213,10 @@ def write_litmus(test: ConformTest) -> str:
         lines.append(f"(* family: {test.family} *)")
     if test.expect:
         lines.append(f"(* expect: {test.expect} *)")
+    if test.expect_sc:
+        lines.append(f"(* expect-sc: {test.expect_sc} *)")
+    if test.expect_rmo:
+        lines.append(f"(* expect-rmo: {test.expect_rmo} *)")
     lines.append("{ " + " ".join(f"{var}=0;" for var in test.all_vars())
                  + " }")
     cells = [[_format_instruction(op) for op in thread]

@@ -1,20 +1,22 @@
-"""The conformance litmus IR and its three backend adapters.
+"""The conformance litmus IR and its backend adapters.
 
 A :class:`ConformTest` is one litmus test in a tiny x86-flavoured
 vocabulary — plain/dependent/slow loads, constant stores, MFENCE — with
-its interesting final-state valuation (``exists``) and the hand-encoded
-TSO expectation (``forbidden`` / ``allowed``).  The same test lowers to
-all three oracles:
+its interesting final-state valuation (``exists``) and a hand-encoded
+expectation **per memory model** (``forbidden`` / ``allowed`` under
+x86-TSO, SC and RMO).  The same test lowers to all three oracles:
 
 * :func:`to_litmus` — the full microarchitectural simulator via
   :class:`repro.consistency.litmus.LitmusTest`;
-* :func:`to_operational` — the Owens/Sarkar/Sewell abstract machine in
+* :func:`to_operational` — the per-model abstract machines in
   :mod:`repro.consistency.operational`;
-* :func:`to_axiomatic` — the store-buffer-relaxation enumeration in
-  :func:`repro.consistency.litmus.legal_tso_outcomes`.
+* :mod:`repro.conform.axiomatic` — the per-model value-aware
+  linearization/merge enumeration.
 
 Outcomes from every backend are normalised to the same shape: a mapping
-from ``"{tid}:{REG}"`` to the integer the load observed, so inclusion
+from ``"{tid}:{REG}"`` (final load values) and bare variable names
+(final memory — used by families like R and 2+2W whose condition
+constrains the coherence-last write) to integers, so inclusion
 (sim ⊆ operational ⊆ axiomatic) is a set comparison.
 """
 
@@ -25,7 +27,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..consistency import litmus as lit
 from ..consistency import operational as opmodel
-from ..consistency.litmus import LitmusTest, SimpleOp, legal_tso_outcomes
+from ..consistency.litmus import LitmusTest
+from ..consistency.models import get_model
 
 #: Address-resolution delay for ``slow`` loads; long enough that a
 #: younger independent load would perform first on an OoO core.
@@ -44,7 +47,8 @@ class COp:
     ``"slow"`` (address resolves late).  Stores carry ``var``/``value``.
     Dep/slow only shape the microarchitectural timing — the operational
     and axiomatic backends treat them as plain loads, which is the point:
-    timing variants must not change the reachable-outcome set.
+    timing variants must not change the reachable-outcome set (under any
+    shipped model: the RMO spec deliberately ignores dependencies too).
     """
 
     kind: str  # "ld" | "st" | "mf"
@@ -66,7 +70,7 @@ def cld_slow(var: str, reg: str) -> COp:
     return COp("ld", var, reg=reg, dep="slow")
 
 
-def cst(var: str, value: int) -> COp:
+def cst(var: str, value: int = 1) -> COp:
     return COp("st", var, value=value)
 
 
@@ -78,17 +82,22 @@ def cmf() -> COp:
 class ConformTest:
     """A named conformance test.
 
-    ``exists`` is a disjunction of conjunctions over final load values
-    (herd's ``exists (... /\\ ...) \\/ (...)``); ``expect`` states
+    ``exists`` is a disjunction of conjunctions over final values
+    (herd's ``exists (... /\\ ...) \\/ (...)``); atom keys are either
+    ``"{tid}:{REG}"`` (a load's destination) or a bare variable name
+    (the final memory value — herd's ``x=1`` atoms).  ``expect`` states
     whether any ``exists`` clause is reachable under x86-TSO
     (``"forbidden"`` / ``"allowed"``; ``""`` = unstated, expectation
-    checks are skipped).
+    checks are skipped); ``expect_sc`` / ``expect_rmo`` state the same
+    under the SC and RMO specs.
     """
 
     name: str
     threads: List[List[COp]]
     exists: List[Dict[str, int]] = field(default_factory=list)
     expect: str = ""  # "forbidden" | "allowed" | ""
+    expect_sc: str = ""
+    expect_rmo: str = ""
     family: str = ""
     description: str = ""
 
@@ -104,6 +113,28 @@ class ConformTest:
         return [f"{tid}:{op.reg}"
                 for tid, thread in enumerate(self.threads)
                 for op in thread if op.kind == "ld"]
+
+    def mem_keys(self) -> List[str]:
+        """Variables whose final memory value the condition constrains."""
+        seen: List[str] = []
+        for clause in self.exists:
+            for key in clause:
+                if ":" not in key and key not in seen:
+                    seen.append(key)
+        return seen
+
+    def outcome_keys(self) -> List[str]:
+        return self.load_keys() + self.mem_keys()
+
+    def expect_for(self, model) -> str:
+        name = get_model(model).name
+        if name == "tso":
+            return self.expect
+        if name == "sc":
+            return self.expect_sc
+        if name == "rmo":
+            return self.expect_rmo
+        return ""
 
     def validate(self) -> None:
         for tid, thread in enumerate(self.threads):
@@ -130,19 +161,32 @@ class ConformTest:
                     raise ValueError(f"{self.name}: bad op kind "
                                      f"{op.kind!r}")
         keys = set(self.load_keys())
+        variables = set(self.all_vars())
         for clause in self.exists:
             for key in clause:
-                if key not in keys:
+                if ":" in key:
+                    if key not in keys:
+                        raise ValueError(f"{self.name}: exists references "
+                                         f"unknown register {key!r}")
+                elif key not in variables:
                     raise ValueError(f"{self.name}: exists references "
-                                     f"unknown register {key!r}")
+                                     f"unknown variable {key!r}")
+        for label, value in (("expect", self.expect),
+                             ("expect-sc", self.expect_sc),
+                             ("expect-rmo", self.expect_rmo)):
+            if value not in ("", "forbidden", "allowed"):
+                raise ValueError(f"{self.name}: bad {label} {value!r}")
 
 
 # ------------------------------------------------------------- adapters
 def to_litmus(test: ConformTest) -> LitmusTest:
     """Lower to the simulator-facing :class:`LitmusTest`.
 
-    ``forbidden`` is populated only for expect-forbidden tests, so
-    :func:`repro.consistency.litmus.run_litmus` flags a hit directly.
+    ``forbidden`` is populated only for expect-forbidden tests whose
+    condition is register-only, so
+    :func:`repro.consistency.litmus.run_litmus` flags a hit directly;
+    conditions with memory atoms are evaluated by the differential
+    checker, which sees the final memory.
     """
     threads: List[List[lit.Op]] = []
     for tid, ops in enumerate(test.threads):
@@ -160,8 +204,10 @@ def to_litmus(test: ConformTest) -> LitmusTest:
             else:
                 thread.append(lit.ld(op.var, f"{tid}:{op.reg}"))
         threads.append(thread)
-    forbidden = ([dict(clause) for clause in test.exists]
-                 if test.expect == "forbidden" else [])
+    forbidden = ([dict(clause) for clause in test.exists
+                  if all(":" in key for key in clause)]
+                 if test.expect == "forbidden" and not test.mem_keys()
+                 else [])
     return LitmusTest(name=test.name, threads=threads, forbidden=forbidden,
                       description=test.description or test.family)
 
@@ -181,68 +227,38 @@ def to_operational(test: ConformTest) -> List[List[opmodel.TOp]]:
     return threads
 
 
-def to_axiomatic(test: ConformTest) -> List[List[SimpleOp]]:
-    threads: List[List[SimpleOp]] = []
-    for tid, ops in enumerate(test.threads):
-        thread: List[SimpleOp] = []
-        for op in ops:
-            if op.kind == "st":
-                thread.append(SimpleOp(tid, "st", op.var))
-            elif op.kind == "mf":
-                thread.append(SimpleOp(tid, "mf"))
-            else:
-                thread.append(SimpleOp(tid, "ld", op.var,
-                                       out=f"{tid}:{op.reg}"))
-        threads.append(thread)
-    return threads
-
-
 # ------------------------------------------------------- outcome views
-def _store_values(test: ConformTest) -> Dict[str, int]:
-    values: Dict[str, int] = {}
-    for thread in test.threads:
-        for op in thread:
-            if op.kind == "st":
-                if op.var in values and values[op.var] != op.value:
-                    raise ValueError(
-                        f"{test.name}: axiomatic backend needs one store "
-                        f"value per variable; {op.var!r} has several")
-                values[op.var] = op.value
-    return values
+def _fingerprint(test: ConformTest, registers: Dict[str, int],
+                 memory: Dict[str, int]) -> Outcome:
+    """Normalise one final state onto the test's outcome keys."""
+    items: List[Tuple[str, int]] = []
+    for key in test.load_keys():
+        items.append((key, registers.get(key, 0)))
+    for var in test.mem_keys():
+        items.append((var, memory.get(var, 0)))
+    return frozenset(items)
 
 
-def operational_outcomes(test: ConformTest) -> Set[Outcome]:
-    """Reachable final load valuations under the abstract machine."""
-    keys = test.load_keys()
-    raw = opmodel.enumerate_outcomes(to_operational(test))
+def operational_outcomes(test: ConformTest, model="tso") -> Set[Outcome]:
+    """Reachable final valuations under the model's abstract machine."""
+    spec = get_model(model)
+    raw = opmodel.enumerate_final_states(to_operational(test),
+                                         model=spec.name)
     outcomes: Set[Outcome] = set()
-    for valuation in raw:
-        regs = dict(valuation)
-        outcomes.add(frozenset(
-            (key, regs.get(f"t{key.split(':', 1)[0]}:{key.split(':', 1)[1]}", 0))
-            for key in keys))
+    for registers, memory in raw:
+        regs = {key[1:]: value for key, value in registers}  # t0:R -> 0:R
+        outcomes.add(_fingerprint(test, regs, dict(memory)))
     return outcomes
 
 
-def axiomatic_outcomes(test: ConformTest) -> Set[Outcome]:
-    """Reachable final load valuations under the axiomatic enumeration.
+def axiomatic_outcomes(test: ConformTest, model="tso") -> Set[Outcome]:
+    """Reachable final valuations under the axiomatic enumeration."""
+    from .axiomatic import axiomatic_final_states
 
-    ``legal_tso_outcomes`` speaks old/new; translated to integers via
-    the (unique) store value per variable, 0 when old.
-    """
-    values = _store_values(test)
-    var_of: Dict[str, str] = {}
-    for tid, thread in enumerate(test.threads):
-        for op in thread:
-            if op.kind == "ld":
-                var_of[f"{tid}:{op.reg}"] = op.var
-    keys = test.load_keys()
+    spec = get_model(model)
     outcomes: Set[Outcome] = set()
-    for loads in legal_tso_outcomes(to_axiomatic(test)):
-        outcomes.add(frozenset(
-            (key, values.get(var_of[key], 0) if loads.get(key) == "new"
-             else 0)
-            for key in keys))
+    for registers, memory in axiomatic_final_states(test.threads, spec):
+        outcomes.add(_fingerprint(test, dict(registers), dict(memory)))
     return outcomes
 
 

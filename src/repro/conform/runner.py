@@ -80,6 +80,7 @@ class ConformanceResult:
 
     reports: List[TestReport] = field(default_factory=list)
     explorations: Dict[str, Dict] = field(default_factory=dict)
+    model: str = "tso"
 
     @property
     def violations(self) -> List[Violation]:
@@ -109,6 +110,7 @@ class ConformanceResult:
     def to_payload(self) -> Dict:
         return {
             "schema": "repro-conformance/1",
+            "model": self.model,
             "tests": len(self.reports),
             "ok": self.ok,
             "violations": [
@@ -121,6 +123,7 @@ class ConformanceResult:
 
 
 def run_conformance(tests: Sequence[ConformTest], *,
+                    model: str = "tso",
                     mode: CommitMode = CommitMode.OOO_WB,
                     core_class: str = "SLM",
                     perturb: int = 2, seed: int = 0,
@@ -137,9 +140,10 @@ def run_conformance(tests: Sequence[ConformTest], *,
     """
     from .witness import save_witness
 
-    result = ConformanceResult()
+    result = ConformanceResult(model=model)
     for test in tests:
-        report = check_test(test, mode=mode, core_class=core_class,
+        report = check_test(test, model=model, mode=mode,
+                            core_class=core_class,
                             perturb=perturb, seed=seed)
         result.reports.append(report)
         if witness_dir is not None:

@@ -17,8 +17,8 @@ from typing import Dict, Optional, Sequence, Union
 
 from ..common.types import CommitMode
 from ..common.params import table6_system
-from ..consistency.tso_checker import check_tso
-from ..common.errors import TSOViolationError
+from ..consistency.models import check_execution
+from ..common.errors import MemoryModelViolationError
 from ..workloads.trace import AddressSpace
 
 WITNESS_SCHEMA = "repro-witness/1"
@@ -27,7 +27,8 @@ WITNESS_SCHEMA = "repro-witness/1"
 def witness_payload(test, *, kind: str, detail: str, mode: CommitMode,
                     core_class: str, num_cores: int,
                     extra_delays: Sequence[int],
-                    registers: Dict[str, int]) -> Dict:
+                    registers: Dict[str, int],
+                    model: str = "tso") -> Dict:
     from .litmus_format import write_litmus
 
     return {
@@ -36,6 +37,7 @@ def witness_payload(test, *, kind: str, detail: str, mode: CommitMode,
         "family": test.family,
         "kind": kind,
         "detail": detail,
+        "model": model,
         "litmus": write_litmus(test),
         "commit_mode": mode.value,
         "core_class": core_class,
@@ -91,8 +93,8 @@ def replay_witness(payload: Union[Dict, str, Path], *,
                            num_cores=int(payload["num_cores"]),
                            commit_mode=CommitMode(payload["commit_mode"]))
     space = AddressSpace(params.cache.line_bytes)
-    traces, out_regs = litmus_traces(test=litmus, space=space,
-                                    extra_delays=payload["extra_delays"])
+    traces, out_regs, var_addr = litmus_traces(
+        test=litmus, space=space, extra_delays=payload["extra_delays"])
     system = MulticoreSystem(params)
     system.observe()
     observer = CausalObserver(system.bus)
@@ -102,14 +104,18 @@ def replay_witness(payload: Union[Dict, str, Path], *,
         name: system.cores[tid].reg_values.get(reg, 0)
         for tid, reg, name in out_regs
     }
-    keys = test.load_keys()
-    replayed = {key: registers.get(key, 0) for key in keys}
+    model = payload.get("model", "tso")
+    replayed = {key: registers.get(key, 0) for key in test.load_keys()}
+    for var in test.mem_keys():
+        versions = result.log.coherence_order.get(var_addr[var], [])
+        replayed[var] = (result.log.value_of(versions[-1])
+                         if versions else 0)
     recorded = {key: int(value)
                 for key, value in payload["registers"].items()}
     violation: Optional[str] = None
     try:
-        check_tso(result.log)
-    except TSOViolationError as exc:
+        check_execution(result.log, model)
+    except MemoryModelViolationError as exc:
         violation = str(exc)
     blame = build_blame(observer.graph, cycles=result.cycles,
                         meta={"witness": payload["test"],
@@ -117,11 +123,12 @@ def replay_witness(payload: Union[Dict, str, Path], *,
     blame["top"] = list(blame.get("critical_path") or [])[:blame_top]
     forbidden_hit = any(
         all(replayed.get(k) == v for k, v in clause.items())
-        for clause in test.exists) and test.expect == "forbidden"
+        for clause in test.exists) and test.expect_for(model) == "forbidden"
     return {
         "schema": "repro-witness-replay/1",
         "test": payload["test"],
         "kind": payload["kind"],
+        "model": model,
         "mode": payload["commit_mode"],
         "num_cores": int(payload["num_cores"]),
         "match": replayed == recorded,

@@ -1,7 +1,9 @@
-"""Consistency: execution recording and the axiomatic TSO checker."""
+"""Consistency: execution recording and the relational axiomatic engine."""
 
 from .execution import ExecutionLog, MemEvent, StoreInfo
+from .models import MODELS, RMO, SC, TSO, MemoryModel, check_execution
 from .operational import TOp, enumerate_outcomes, outcome_reachable
+from .relations import Relations, build_relations, find_cycle
 from .tso_checker import check_tso
 
 __all__ = [
@@ -9,6 +11,15 @@ __all__ = [
     "MemEvent",
     "StoreInfo",
     "check_tso",
+    "check_execution",
+    "MemoryModel",
+    "MODELS",
+    "TSO",
+    "SC",
+    "RMO",
+    "Relations",
+    "build_relations",
+    "find_cycle",
     "TOp",
     "enumerate_outcomes",
     "outcome_reachable",

@@ -110,11 +110,17 @@ class LitmusOutcome:
     registers: Dict[str, int]
     forbidden_hit: bool
     checker_violation: Optional[str] = None
+    #: final value of each litmus variable (last coherence-order write)
+    memory: Dict[str, int] = field(default_factory=dict)
 
 
 def _build_traces(test: LitmusTest, space: AddressSpace,
                   extra_delays: Sequence[int]):
-    """Compile litmus threads to traces; returns (traces, reg_map)."""
+    """Compile litmus threads to traces.
+
+    Returns ``(traces, reg_map, var_addr)`` where ``var_addr`` maps each
+    litmus variable to its byte address (final-memory extraction).
+    """
     addr = {var: space.new_var(var) for var in test.all_vars()}
     traces = []
     out_regs: List[Tuple[int, int, str]] = []  # (thread, reg, name)
@@ -169,7 +175,7 @@ def _build_traces(test: LitmusTest, space: AddressSpace,
             else:
                 raise ValueError(f"unknown litmus op {op.kind!r}")
         traces.append(t.build())
-    return traces, out_regs
+    return traces, out_regs, addr
 
 
 def litmus_traces(test: LitmusTest, space: AddressSpace,
@@ -180,7 +186,7 @@ def litmus_traces(test: LitmusTest, space: AddressSpace,
     pins, which need the raw traces (to run through ``run_traces`` and
     digest the full :class:`~repro.sim.results.SimResult`) rather than
     the register-outcome view of :func:`run_litmus`.
-    Returns ``(traces, out_regs)`` like :func:`_build_traces`.
+    Returns ``(traces, out_regs, var_addr)`` like :func:`_build_traces`.
     """
     return _build_traces(test, space, extra_delays)
 
@@ -193,7 +199,7 @@ def run_litmus(test: LitmusTest, params: Optional[SystemParams] = None, *,
     if params is None:
         params = table6_system("SLM", num_cores=4)
     space = AddressSpace(params.cache.line_bytes)
-    traces, out_regs = _build_traces(test, space, extra_delays)
+    traces, out_regs, var_addr = _build_traces(test, space, extra_delays)
     system = MulticoreSystem(params)
     system.load_program(traces)
     result = system.run()
@@ -201,6 +207,10 @@ def run_litmus(test: LitmusTest, params: Optional[SystemParams] = None, *,
         name: system.cores[tid].reg_values.get(reg, 0)
         for tid, reg, name in out_regs
     }
+    memory: Dict[str, int] = {}
+    for var, byte_addr in var_addr.items():
+        versions = result.log.coherence_order.get(byte_addr, [])
+        memory[var] = result.log.value_of(versions[-1]) if versions else 0
     violation: Optional[str] = None
     try:
         check_tso(result.log)
@@ -211,7 +221,7 @@ def run_litmus(test: LitmusTest, params: Optional[SystemParams] = None, *,
         for combo in test.forbidden
     )
     return LitmusOutcome(registers=registers, forbidden_hit=forbidden_hit,
-                         checker_violation=violation)
+                         checker_violation=violation, memory=memory)
 
 
 def perturbation_delays(test: LitmusTest, count: int,

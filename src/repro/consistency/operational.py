@@ -1,6 +1,6 @@
-"""Operational x86-TSO reference model.
+"""Operational reference machines, one per memory model.
 
-The abstract machine of Owens/Sarkar/Sewell ("x86-TSO: a rigorous and
+The x86-TSO machine is Owens/Sarkar/Sewell ("x86-TSO: a rigorous and
 usable programmer's model"): a single shared memory, one FIFO store
 buffer per hardware thread, and a nondeterministic scheduler.  At each
 step the machine may (a) execute the next instruction of some thread —
@@ -9,10 +9,24 @@ then memory; stores append to the buffer; RMWs require an *empty* own
 buffer and act atomically on memory — or (b) drain the oldest entry of
 some store buffer to memory.
 
+Two sibling machines make the conformance matrix operational:
+
+* ``sc`` — the same machine with the store buffer removed: stores hit
+  memory at execute, so every schedule is a plain interleaving.
+* ``rmo`` — an out-of-order issue machine: any not-yet-executed op of a
+  thread may fire as long as every *po-earlier* op it must stay behind
+  has fired.  An op stays behind fences, and behind same-location ops —
+  except a load hoisting above its own thread's store, which forwards
+  that store's value (the classic st→ld relaxation, now per location).
+  The machine keeps a single memory, so the model is store-atomic.
+
 :func:`enumerate_outcomes` explores every schedule of a small program
-and returns the set of reachable final register valuations.  This is
-the ground truth the *simulator* (operational, microarchitectural) and
-the *axiomatic checker* are validated against:
+and returns the set of reachable final register valuations;
+:func:`enumerate_final_states` also carries the final memory, which
+litmus families whose ``exists`` constrains memory (R, 2+2W, ...) need.
+This is the ground truth the *simulator* (operational,
+microarchitectural) and the *axiomatic enumeration* are validated
+against:
 
 * every outcome observed on the simulator must be operationally
   reachable (soundness of the whole machine);
@@ -28,7 +42,7 @@ litmus shapes explore a few thousand states.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -67,17 +81,34 @@ State = Tuple[
 ]
 
 
+FinalState = Tuple[FrozenSet[Tuple[str, int]], FrozenSet[Tuple[str, int]]]
+
+
 def enumerate_outcomes(threads: Sequence[Sequence[TOp]],
-                       *, max_states: int = 200_000
+                       *, model: str = "tso", max_states: int = 200_000
                        ) -> Set[FrozenSet[Tuple[str, int]]]:
-    """All reachable final register valuations under x86-TSO."""
+    """All reachable final register valuations under *model*."""
+    return {registers for registers, __ in
+            enumerate_final_states(threads, model=model,
+                                   max_states=max_states)}
+
+
+def enumerate_final_states(threads: Sequence[Sequence[TOp]],
+                           *, model: str = "tso",
+                           max_states: int = 200_000) -> Set[FinalState]:
+    """All reachable final (registers, memory) pairs under *model*."""
+    if model == "rmo":
+        return _enumerate_rmo(threads, max_states=max_states)
+    if model not in ("tso", "sc"):
+        raise ValueError(f"no operational machine for model {model!r}")
+    step = _successors if model == "tso" else _successors_sc
     initial: State = (
         tuple(0 for __ in threads),
         tuple(() for __ in threads),
         (),
         (),
     )
-    outcomes: Set[FrozenSet[Tuple[str, int]]] = set()
+    outcomes: Set[FinalState] = set()
     seen: Set[State] = set()
     stack: List[State] = [initial]
     while stack:
@@ -88,9 +119,9 @@ def enumerate_outcomes(threads: Sequence[Sequence[TOp]],
         if len(seen) > max_states:
             raise RuntimeError("state space too large; shrink the program")
         pcs, buffers, memory, registers = state
-        successors = _successors(threads, state)
+        successors = step(threads, state)
         if not successors:
-            outcomes.add(frozenset(registers))
+            outcomes.add((frozenset(registers), frozenset(memory)))
             continue
         stack.extend(successors)
     return outcomes
@@ -157,6 +188,132 @@ def _successors(threads, state: State) -> List[State]:
         else:
             raise ValueError(f"unknown op kind {op.kind!r}")
     return next_states
+
+
+def _successors_sc(threads, state: State) -> List[State]:
+    """SC: the TSO machine minus the store buffer (stores hit memory at
+    execute, MFENCE is a no-op, RMW needs no drain)."""
+    pcs, buffers, memory, registers = state
+    next_states: List[State] = []
+    for tid in range(len(threads)):
+        if pcs[tid] >= len(threads[tid]):
+            continue
+        op = threads[tid][pcs[tid]]
+        new_pcs = _replace(pcs, tid, pcs[tid] + 1)
+        if op.kind == "st":
+            next_states.append(
+                (new_pcs, buffers, _write(memory, op.loc, op.value),
+                 registers))
+        elif op.kind == "ld":
+            value = _read(memory, op.loc)
+            new_regs = _set_reg(registers, f"t{tid}:{op.reg}", value)
+            next_states.append((new_pcs, buffers, memory, new_regs))
+        elif op.kind == "mf":
+            next_states.append((new_pcs, buffers, memory, registers))
+        elif op.kind == "rmw":
+            old = _read(memory, op.loc)
+            new_regs = _set_reg(registers, f"t{tid}:{op.reg}", old)
+            next_states.append(
+                (new_pcs, buffers, _write(memory, op.loc, op.value),
+                 new_regs))
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+    return next_states
+
+
+# ----------------------------------------------------------------- rmo
+RmoState = Tuple[
+    Tuple[FrozenSet[int], ...],  # per-thread executed op indices
+    Tuple[Tuple[str, int], ...],  # memory
+    Tuple[Tuple[str, int], ...],  # registers
+]
+
+
+def _rmo_blockers(thread: Sequence[TOp]) -> List[Tuple[int, ...]]:
+    """For each op, the po-earlier indices it must wait for under RMO.
+
+    An op waits for fences (and a fence for everything), and for
+    same-location predecessors — except a load above a same-location
+    store, which may hoist (it forwards the store's value instead).
+    """
+    blockers: List[Tuple[int, ...]] = []
+    for j, op in enumerate(thread):
+        waits = []
+        for i in range(j):
+            prev = thread[i]
+            if prev.kind == "mf" or op.kind == "mf":
+                waits.append(i)
+            elif prev.kind == "rmw" or op.kind == "rmw":
+                waits.append(i)  # atomics are full fences
+            elif prev.loc == op.loc:
+                if prev.kind == "st" and op.kind == "ld":
+                    continue  # st→ld hoists via forwarding
+                waits.append(i)
+        blockers.append(tuple(waits))
+    return blockers
+
+
+def _enumerate_rmo(threads: Sequence[Sequence[TOp]],
+                   *, max_states: int) -> Set[FinalState]:
+    blockers = [_rmo_blockers(thread) for thread in threads]
+    initial: RmoState = (
+        tuple(frozenset() for __ in threads), (), ())
+    outcomes: Set[FinalState] = set()
+    seen: Set[RmoState] = set()
+    stack: List[RmoState] = [initial]
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        if len(seen) > max_states:
+            raise RuntimeError("state space too large; shrink the program")
+        done, memory, registers = state
+        successors: List[RmoState] = []
+        for tid, thread in enumerate(threads):
+            for j, op in enumerate(thread):
+                if j in done[tid]:
+                    continue
+                if any(i not in done[tid] for i in blockers[tid][j]):
+                    continue
+                new_done = _replace(done, tid, done[tid] | {j})
+                if op.kind == "st":
+                    successors.append(
+                        (new_done, _write(memory, op.loc, op.value),
+                         registers))
+                elif op.kind == "ld":
+                    value = _rmo_load_value(thread, done[tid], j, memory)
+                    new_regs = _set_reg(registers, f"t{tid}:{op.reg}", value)
+                    successors.append((new_done, memory, new_regs))
+                elif op.kind == "mf":
+                    successors.append((new_done, memory, registers))
+                elif op.kind == "rmw":
+                    old = _read(memory, op.loc)
+                    new_regs = _set_reg(registers, f"t{tid}:{op.reg}", old)
+                    successors.append(
+                        (new_done, _write(memory, op.loc, op.value),
+                         new_regs))
+                else:
+                    raise ValueError(f"unknown op kind {op.kind!r}")
+        if not successors:
+            outcomes.add((frozenset(registers), frozenset(memory)))
+            continue
+        stack.extend(successors)
+    return outcomes
+
+
+def _rmo_load_value(thread: Sequence[TOp], done: FrozenSet[int],
+                    j: int, memory: Tuple[Tuple[str, int], ...]) -> int:
+    """A load executing at *j*: forward from the youngest po-earlier
+    same-location store that has not yet executed, else read memory."""
+    op = thread[j]
+    for i in range(j - 1, -1, -1):
+        prev = thread[i]
+        if prev.kind in ("st", "rmw") and prev.loc == op.loc:
+            if i not in done:
+                return prev.value
+            break  # youngest same-loc store already in memory order
+    return _read(memory, op.loc)
 
 
 def _forwarded(buffer: Tuple[Tuple[str, int], ...], loc: str):

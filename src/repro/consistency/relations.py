@@ -1,0 +1,204 @@
+"""Relational view of an :class:`~repro.consistency.execution.ExecutionLog`.
+
+The axiomatic engine (:mod:`repro.consistency.models`) checks memory
+models as acyclicity axioms over a handful of standard relations.  This
+module derives them all from the log **once**, so every model is pure
+configuration on top:
+
+``po``
+    Program order: per-core event index lists, sorted by the per-core
+    ``seq`` number (commit *cycle* is irrelevant — two events committing
+    on the same cycle are still ordered by ``seq``).
+``rf``
+    Reads-from: one edge per load/atomic from the event that wrote the
+    version it observed.  Reads of version 0 (the initial contents)
+    have no writer and contribute no rf edge.  Each edge is tagged
+    internal (``rfi``, same core — store forwarding) or external
+    (``rfe``); TSO-like models drop ``rfi`` from the global order.
+``co``
+    Coherence order: the adjacent (immediate-successor) edges of each
+    address's version list.  The simulator appends versions at perform
+    time while holding the line in M state, so append order *is* co.
+``fr``
+    From-reads: every read points at the co-successor of the version it
+    read; a from-init read (version 0) points at the address's first
+    writer.
+
+The graph helpers at the bottom (:func:`find_cycle`) return a **minimal
+witness deterministically**: the shortest cycle in the graph, with ties
+broken by the smallest node sequence, independent of dict/set insertion
+order.  Violation messages therefore never flap across runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .execution import ExecutionLog, MemEvent
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RfEdge:
+    """One reads-from edge (event indices); internal = same core."""
+
+    writer: int
+    reader: int
+    internal: bool
+
+
+@dataclass
+class Relations:
+    """All base relations of one execution, over event indices."""
+
+    events: List[MemEvent]
+    #: per-core event indices in program order (sorted core ids)
+    po: Dict[int, List[int]] = field(default_factory=dict)
+    rf: List[RfEdge] = field(default_factory=list)
+    #: adjacent coherence edges, per address
+    co: Dict[int, List[Edge]] = field(default_factory=dict)
+    fr: List[Edge] = field(default_factory=list)
+    #: event index that produced each version
+    writer_of: Dict[int, int] = field(default_factory=dict)
+
+    def co_edges(self) -> List[Edge]:
+        return [edge for edges in self.co.values() for edge in edges]
+
+    def rf_edges(self, *, external_only: bool = False) -> List[Edge]:
+        return [(e.writer, e.reader) for e in self.rf
+                if not (external_only and e.internal)]
+
+
+def is_read(event: MemEvent) -> bool:
+    return event.kind in ("ld", "at")
+
+
+def is_write(event: MemEvent) -> bool:
+    return event.kind in ("st", "at")
+
+
+def build_relations(log: ExecutionLog) -> Relations:
+    """Derive po, rf, co and fr from a recorded execution."""
+    events = log.events
+    rel = Relations(events=events)
+
+    # po ------------------------------------------------------------------
+    by_core: Dict[int, List[int]] = defaultdict(list)
+    for idx, event in enumerate(events):
+        by_core[event.core].append(idx)
+    for core in sorted(by_core):
+        idxs = sorted(by_core[core], key=lambda i: events[i].seq)
+        rel.po[core] = idxs
+
+    # writer index per version --------------------------------------------
+    for idx, event in enumerate(events):
+        if event.version_written is not None:
+            rel.writer_of[event.version_written] = idx
+
+    # co: adjacent edges of each address's version list -------------------
+    co_pos: Dict[int, Dict[int, int]] = {}
+    for addr, versions in log.coherence_order.items():
+        co_pos[addr] = {version: pos for pos, version in enumerate(versions)}
+        edges: List[Edge] = []
+        for pos in range(len(versions) - 1):
+            src = rel.writer_of.get(versions[pos])
+            dst = rel.writer_of.get(versions[pos + 1])
+            if src is not None and dst is not None:
+                edges.append((src, dst))
+        rel.co[addr] = edges
+
+    # rf and fr ------------------------------------------------------------
+    for idx, event in enumerate(events):
+        if event.version_read is None:
+            continue
+        version = event.version_read
+        writer = rel.writer_of.get(version)
+        if writer is not None and writer != idx:
+            rel.rf.append(RfEdge(writer, idx,
+                                 internal=events[writer].core == event.core))
+        versions = log.coherence_order.get(event.addr, [])
+        if version == 0:
+            next_pos = 0  # from-init read: fr to the first writer
+        else:
+            next_pos = co_pos.get(event.addr, {}).get(version, -2) + 1
+        if 0 <= next_pos < len(versions):
+            successor = rel.writer_of.get(versions[next_pos])
+            if successor is not None and successor != idx:
+                rel.fr.append((idx, successor))
+    return rel
+
+
+# ------------------------------------------------------------------ graphs
+def has_cycle(n: int, adjacency: Dict[int, Set[int]]) -> bool:
+    """Kahn's algorithm: True iff the graph has a cycle (fast path)."""
+    indegree = [0] * n
+    for dsts in adjacency.values():
+        for dst in dsts:
+            indegree[dst] += 1
+    queue = deque(i for i in range(n) if indegree[i] == 0)
+    removed = 0
+    while queue:
+        node = queue.popleft()
+        removed += 1
+        for dst in adjacency.get(node, ()):
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                queue.append(dst)
+    return removed != n
+
+
+def find_cycle(n: int, adjacency: Dict[int, Set[int]]
+               ) -> Optional[List[int]]:
+    """Return the minimal witness cycle, deterministically.
+
+    Minimal means fewest nodes; among equally short cycles the one whose
+    rotated node list (starting at its smallest node) is lexicographically
+    least wins.  The result depends only on the edge *set*, never on
+    dict/set insertion order, so violation messages are stable.
+    """
+    if not has_cycle(n, adjacency):
+        return None
+    best: Optional[List[int]] = None
+    for start in range(n):
+        # BFS with sorted neighbour expansion: shortest path back to
+        # start; the parent pointers then reconstruct one shortest cycle
+        # through `start` that is deterministic for a given edge set.
+        parent: Dict[int, Optional[int]] = {start: None}
+        queue: deque = deque([start])
+        found: Optional[List[int]] = None
+        while queue and found is None:
+            node = queue.popleft()
+            for dst in sorted(adjacency.get(node, ())):
+                if dst == start:
+                    path = [node]
+                    while parent[path[-1]] is not None:
+                        path.append(parent[path[-1]])
+                    found = list(reversed(path))
+                    break
+                if dst not in parent:
+                    parent[dst] = node
+                    queue.append(dst)
+        if found is None:
+            continue
+        rotated = _rotate_min(found)
+        if best is None or (len(rotated), rotated) < (len(best), best):
+            best = rotated
+    return best
+
+
+def _rotate_min(cycle: List[int]) -> List[int]:
+    """Rotate a cycle's node list to start at its smallest node."""
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
+def describe_cycle(events: List[MemEvent], cycle: List[int]) -> str:
+    return " -> ".join(
+        f"[{events[i].kind} c{events[i].core}#{events[i].seq} "
+        f"a={events[i].addr:#x} r={events[i].version_read} "
+        f"w={events[i].version_written}]"
+        for i in cycle
+    )

@@ -622,6 +622,69 @@ def conformance_driver(cfg: BenchConfig, engine: ExperimentEngine
     return report
 
 
+#: Models compared by the matrix driver, weakest-last.
+MODEL_MATRIX = ("sc", "tso", "rmo")
+
+
+def models_driver(cfg: BenchConfig, engine: ExperimentEngine
+                  ) -> BenchReport:
+    """Memory-model matrix: the corpus under SC, x86-TSO and RMO.
+
+    Runs the same test list through the model-parametric differential
+    checker once per spec and tabulates, per family and model, how many
+    tests are expect-forbidden and how many outcomes each backend
+    enumerates.  The per-model outcome totals witness the strictness
+    chain ``sc ⊆ tso ⊆ rmo`` end to end (asserted as a totals row).
+    Engine-independent like the conformance driver; quick configurations
+    run the tier-1 slice.
+    """
+    from ..conform.runner import (full_requested, load_corpus,
+                                  run_conformance, tier1_slice)
+
+    tests = load_corpus()
+    sliced = cfg.scale < 1.0 and not full_requested()
+    if sliced:
+        tests = tier1_slice(tests)
+    lines = [f"{'model':6s} {'tests':>6s} {'forbid':>7s} {'allow':>6s} "
+             f"{'sim-runs':>9s} {'oper':>6s} {'axiom':>6s} {'viol':>5s}"]
+    rows: List[Dict] = []
+    oper_totals: Dict[str, int] = {}
+    ok = True
+    for model in MODEL_MATRIX:
+        result = run_conformance(tests, model=model,
+                                 perturb=CONFORM_PERTURB,
+                                 seed=CONFORM_SEED, explore=False)
+        ok = ok and result.ok
+        forbid = sum(1 for r in result.reports if r.expect == "forbidden")
+        allow = sum(1 for r in result.reports if r.expect == "allowed")
+        sim_runs = sum(r.sim_runs for r in result.reports)
+        oper = sum(r.operational_count for r in result.reports)
+        axiom = sum(r.axiomatic_count for r in result.reports)
+        oper_totals[model] = oper
+        lines.append(f"{model:6s} {len(result.reports):6d} {forbid:7d} "
+                     f"{allow:6d} {sim_runs:9d} {oper:6d} {axiom:6d} "
+                     f"{len(result.violations):5d}")
+        for row in result.family_rows():
+            rows.append({"model": model, **row})
+    chain = " <= ".join(f"{m}:{oper_totals[m]}" for m in MODEL_MATRIX)
+    monotone = (oper_totals["sc"] <= oper_totals["tso"]
+                <= oper_totals["rmo"])
+    lines.append(f"operational outcome totals {chain} "
+                 f"(monotone={monotone})")
+    lines.append(f"{len(tests)} tests x {len(MODEL_MATRIX)} models "
+                 f"({'tier-1 slice' if sliced else 'full corpus'})")
+    report = BenchReport(name="models", txt_name="models",
+                         text="\n".join(lines), rows=rows)
+    report.totals["tests"] = len(tests)
+    report.totals["models"] = list(MODEL_MATRIX)
+    report.totals["operational_outcomes"] = oper_totals
+    report.totals["monotone"] = monotone
+    report.totals["ok"] = ok
+    report.totals["sliced"] = sliced
+    report.finish_totals()
+    return report
+
+
 #: Driver registry in canonical (report) order.
 # ----------------------------------------------------------- telemetry
 #: Directed scenarios sampled by the metrics driver.
@@ -667,7 +730,10 @@ def metrics_driver(cfg: BenchConfig, engine: ExperimentEngine
     cells = []
     for target, traces in targets:
         for mode in METRICS_MODES:
-            params = table6_system("SLM", num_cores=4, commit_mode=mode)
+            # 5/6-thread litmus families need the next mesh size up.
+            cores = 4 if len(traces) <= 4 else 8
+            params = table6_system("SLM", num_cores=cores,
+                                   commit_mode=mode)
             cells.append(Cell.from_traces(
                 f"metrics/{target}/{mode.value}", target, traces, params,
                 sample=DEFAULT_PERIOD))
@@ -731,5 +797,6 @@ DRIVERS: Dict[str, Callable[[BenchConfig, ExperimentEngine], BenchReport]] = {
     "ablation_unsafe": ablation_unsafe_driver,
     "blame": blame_driver,
     "conformance": conformance_driver,
+    "models": models_driver,
     "metrics": metrics_driver,
 }

@@ -111,7 +111,7 @@ def litmus_scenario_traces(name: str, *,
     for test in load_corpus():
         if test.name == wanted:
             space = AddressSpace()
-            traces, __ = litmus_traces(to_litmus(test), space,
+            traces, __, __ = litmus_traces(to_litmus(test), space,
                                        extra_delays=extra_delays)
             return traces
     raise KeyError(f"no corpus test named {wanted!r}")

@@ -70,7 +70,7 @@ def litmus_cases() -> List[PerfCase]:
         params = table6_system("SLM", num_cores=cores,
                                commit_mode=CommitMode.OOO_WB)
         space = AddressSpace(params.cache.line_bytes)
-        traces, __ = litmus_traces(test, space)
+        traces, __, __ = litmus_traces(test, space)
         cases.append(_case(f"litmus/{test.name}", traces, params))
     return cases
 

@@ -92,10 +92,40 @@ def test_run_conformance_slice_is_clean(tmp_path):
     assert {"mp", "sb", "iriw", "corr3"} <= families
 
 
+def test_model_parametric_check_on_samples():
+    """The same test checked under sc/tso/rmo: sim phase only where
+    the hardware satisfies the model, per-model expectation applied."""
+    tests = corpus()
+    sb = tests["SB+po+po"]
+    sc_report = check_test(sb, model="sc", perturb=0, delays=[(0, 0)])
+    assert sc_report.model == "sc"
+    assert sc_report.sim_runs == 0  # TSO hardware exceeds SC: skipped
+    assert sc_report.ok, [v.detail for v in sc_report.violations]
+    rmo_report = check_test(tests["MP+po+po"], model="rmo",
+                            perturb=1, seed=0)
+    assert rmo_report.model == "rmo"
+    assert rmo_report.sim_runs > 0  # TSO hardware satisfies RMO
+    assert rmo_report.ok, [v.detail for v in rmo_report.violations]
+
+
+def test_run_conformance_records_model(tmp_path):
+    slice_ = [t for t in tier1_slice(load_corpus())
+              if t.family in ("r", "2+2w")]
+    result = run_conformance(slice_, model="rmo", witness_dir=tmp_path,
+                             perturb=0, seed=0)
+    assert result.ok, [v.detail for v in result.violations]
+    assert result.to_payload()["model"] == "rmo"
+
+
 def test_full_corpus_is_clean_when_slow(slow):
-    """--slow / nightly: the whole 164-test corpus, zero violations."""
+    """--slow / nightly: the whole 344-test corpus, zero violations,
+    under every model spec."""
     if not slow:
         return
     result = run_conformance(load_corpus(), perturb=2, seed=0, explore=True)
     assert result.ok, [v.detail for v in result.violations]
-    assert len(result.reports) >= 150
+    assert len(result.reports) >= 300
+    for model in ("sc", "rmo"):
+        result = run_conformance(load_corpus(), model=model,
+                                 perturb=2, seed=0)
+        assert result.ok, (model, [v.detail for v in result.violations])

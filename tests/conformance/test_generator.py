@@ -16,7 +16,7 @@ def by_name():
 
 def test_corpus_size_and_uniqueness():
     tests = generate_corpus()
-    assert len(tests) >= 150
+    assert len(tests) >= 300
     names = [test.name for test in tests]
     assert len(names) == len(set(names))
 
@@ -25,16 +25,28 @@ def test_every_test_validates_and_has_expectation():
     for test in generate_corpus():
         test.validate()  # raises on malformed shapes
         assert test.expect in ("forbidden", "allowed"), test.name
+        assert test.expect_sc in ("forbidden", "allowed"), test.name
+        assert test.expect_rmo in ("forbidden", "allowed"), test.name
         assert test.exists, test.name
-        assert 2 <= len(test.threads) <= 4, test.name
+        assert 2 <= len(test.threads) <= 6, test.name
 
 
 def test_family_coverage():
     families = {test.family for test in generate_corpus()}
     for family in ("mp", "sb", "sb3", "sb4", "lb", "lb3", "lb4", "corr",
-                   "corr3", "wrc", "iriw", "isa2", "isa24", "rwc"):
+                   "corr3", "corr4", "wrc", "iriw", "iriw3", "irrwiw",
+                   "isa2", "isa24", "rwc", "r", "s", "2+2w", "wrwc"):
         assert family in families
+    assert len(families) >= 18
     assert len(FAMILIES) == len(families)
+
+
+def test_wide_families_use_five_and_six_threads():
+    by_family = {}
+    for test in generate_corpus():
+        by_family.setdefault(test.family, test)
+    assert len(by_family["irrwiw"].threads) == 5
+    assert len(by_family["iriw3"].threads) == 6
 
 
 def test_committed_corpus_matches_generator():
@@ -63,9 +75,66 @@ def test_store_load_fence_expectations():
     assert tests["RWC+po+mf"].expect == "forbidden"
 
 
+def test_new_family_model_expectations():
+    """Hand-pinned verdict triples (tso, sc, rmo) for the new shapes."""
+    tests = by_name()
+    expected = {
+        # R: only the reading thread's st->ld gap matters under TSO.
+        "R+po+po": ("allowed", "forbidden", "allowed"),
+        "R+mf+po": ("allowed", "forbidden", "allowed"),
+        "R+po+mf": ("forbidden", "forbidden", "allowed"),
+        "R+mf+mf": ("forbidden", "forbidden", "forbidden"),
+        # S / 2+2W / WRWC: cycles of WW/RW/RR edges, TSO-forbidden
+        # under plain po.
+        "S+po+po": ("forbidden", "forbidden", "allowed"),
+        "S+mf+mf": ("forbidden", "forbidden", "forbidden"),
+        "2+2W+po+po": ("forbidden", "forbidden", "allowed"),
+        "2+2W+mf+mf": ("forbidden", "forbidden", "forbidden"),
+        "WRWC+po+po": ("forbidden", "forbidden", "allowed"),
+        "WRWC+mf+mf": ("forbidden", "forbidden", "forbidden"),
+        # IRRWIW: the writer-reader closes the cycle; like RWC, its
+        # fence decides the TSO verdict.
+        "IRRWIW+po+po+po": ("allowed", "forbidden", "allowed"),
+        "IRRWIW+po+po+mf": ("forbidden", "forbidden", "allowed"),
+        "IRRWIW+mf+mf+mf": ("forbidden", "forbidden", "forbidden"),
+        # IRIW3: pure-reader chains never need fences under TSO.
+        "IRIW3+po+po+po": ("forbidden", "forbidden", "allowed"),
+        "IRIW3+mf+mf+po": ("forbidden", "forbidden", "allowed"),
+        "IRIW3+mf+mf+mf": ("forbidden", "forbidden", "forbidden"),
+        # CORR4: per-location coherence holds under every model.
+        "CORR4+po+po+po": ("forbidden", "forbidden", "forbidden"),
+        "CORR4+slow+dep+po": ("forbidden", "forbidden", "forbidden"),
+    }
+    for name, (tso, sc, rmo) in expected.items():
+        test = tests[name]
+        assert (test.expect, test.expect_sc, test.expect_rmo) == \
+            (tso, sc, rmo), name
+
+
+def test_sc_forbids_everything():
+    """Every corpus shape is a non-SC valuation by construction."""
+    for test in generate_corpus():
+        assert test.expect_sc == "forbidden", test.name
+
+
+def test_rmo_forbidden_only_when_fully_fenced():
+    """Outside the coherence families an RMO-forbidden test must carry
+    mf in every decorated gap (never dep/slow, which are timing-only)."""
+    for test in generate_corpus():
+        # name = FAMILY.upper() + "+" + gaps; the family itself may
+        # contain "+" (2+2w), so slice rather than partition.
+        decorations = test.name[len(test.family) + 1:].split("+")
+        if test.family.startswith("corr"):
+            assert test.expect_rmo == "forbidden", test.name
+        elif all(gap == "mf" for gap in decorations):
+            assert test.expect_rmo == "forbidden", test.name
+        else:
+            assert test.expect_rmo == "allowed", test.name
+
+
 def test_dep_slow_variants_never_change_expectation():
-    """dep/slow decorate timing only; the TSO verdict must match the
-    plain-po variant of the same shape, family by family."""
+    """dep/slow decorate timing only; all three model verdicts must
+    match the plain-po variant of the same shape, family by family."""
     tests = by_name()
     for name, test in tests.items():
         family, _, gaps = name.partition("+")
@@ -73,6 +142,8 @@ def test_dep_slow_variants_never_change_expectation():
                          for g in gaps.split("+"))
         base = tests[f"{family}+{plain}"]
         assert test.expect == base.expect, name
+        assert test.expect_sc == base.expect_sc, name
+        assert test.expect_rmo == base.expect_rmo, name
 
 
 def test_dep_slow_variants_share_operational_outcomes():

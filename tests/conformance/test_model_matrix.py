@@ -1,0 +1,109 @@
+"""Model-matrix sanity: SC ⊆ TSO ⊆ RMO, checked programmatically.
+
+The three :class:`~repro.consistency.models.MemoryModel` specs must
+nest — every SC-reachable outcome is TSO-reachable, every TSO-reachable
+outcome is RMO-reachable — and the nesting must be *strict* somewhere
+(witnessed by SB under TSO and by MP under RMO).  Both the operational
+machines and the axiomatic enumeration are held to the same chain, and
+the per-model hand-encoded expectations must respect it.
+"""
+
+from repro.conform.model import (axiomatic_outcomes, exists_reachable,
+                                 operational_outcomes)
+from repro.conform.runner import load_corpus, tier1_slice
+from repro.consistency.models import MODELS, RMO, SC, TSO
+
+NEW_FAMILIES = ("r", "s", "2+2w", "wrwc", "irrwiw", "iriw3", "corr4")
+
+
+def corpus():
+    return {test.name: test for test in load_corpus()}
+
+
+def test_ppo_matrices_nest():
+    """Fewer preserved pairs = weaker model: RMO ⊆ TSO ⊆ SC."""
+    assert RMO.ppo <= TSO.ppo <= SC.ppo
+    assert RMO.ppo < TSO.ppo < SC.ppo  # and strictly so
+    assert set(MODELS) == {"sc", "tso", "rmo"}
+
+
+def test_expectations_respect_model_strength():
+    """allowed(sc) ⇒ allowed(tso) ⇒ allowed(rmo), contrapositive of
+    the outcome-set inclusion, on every corpus test."""
+    for test in load_corpus():
+        if test.expect_sc == "allowed":
+            assert test.expect == "allowed", test.name
+        if test.expect == "allowed":
+            assert test.expect_rmo == "allowed", test.name
+
+
+def test_outcome_sets_monotone_on_slice():
+    """op(sc) ⊆ op(tso) ⊆ op(rmo) and likewise axiomatically, for
+    every tier-1 test; strictness witnessed at both steps."""
+    sc_strict = tso_strict = False
+    for test in tier1_slice(load_corpus()):
+        op_sc = operational_outcomes(test, "sc")
+        op_tso = operational_outcomes(test, "tso")
+        op_rmo = operational_outcomes(test, "rmo")
+        assert op_sc <= op_tso <= op_rmo, test.name
+        ax_sc = axiomatic_outcomes(test, "sc")
+        ax_tso = axiomatic_outcomes(test, "tso")
+        ax_rmo = axiomatic_outcomes(test, "rmo")
+        assert ax_sc <= ax_tso <= ax_rmo, test.name
+        sc_strict = sc_strict or op_sc < op_tso
+        tso_strict = tso_strict or op_tso < op_rmo
+    assert sc_strict and tso_strict
+
+
+def test_sc_forbids_every_tso_allowed_outcome():
+    """Each corpus test that TSO *allows* (SB/R/RWC/IRRWIW shapes with
+    unfenced store→load gaps) must be semantically unreachable on the
+    SC machine — not just labelled forbidden."""
+    checked = 0
+    for test in load_corpus():
+        if test.expect != "allowed":
+            continue
+        checked += 1
+        assert exists_reachable(operational_outcomes(test, "tso"),
+                                test.exists), test.name
+        assert not exists_reachable(operational_outcomes(test, "sc"),
+                                    test.exists), test.name
+    assert checked >= 20
+
+
+def test_rmo_strictly_weaker_on_mp():
+    """MP+po+po: forbidden under TSO, observable under RMO — the
+    headline difference between the two specs."""
+    test = corpus()["MP+po+po"]
+    assert not exists_reachable(operational_outcomes(test, "tso"),
+                                test.exists)
+    assert exists_reachable(operational_outcomes(test, "rmo"),
+                            test.exists)
+
+
+def test_new_families_operational_equals_axiomatic():
+    """Both directions (set equality, not mere inclusion) for every
+    tier-1 member of the new families, under every model."""
+    slice_ = [t for t in tier1_slice(load_corpus())
+              if t.family in NEW_FAMILIES]
+    assert slice_
+    for test in slice_:
+        for model in ("sc", "tso", "rmo"):
+            op = operational_outcomes(test, model)
+            ax = axiomatic_outcomes(test, model)
+            assert op == ax, (test.name, model,
+                              sorted(map(sorted, op ^ ax))[:4])
+
+
+def test_full_matrix_cross_check_when_slow(slow):
+    """--slow / nightly: all 344 tests × 3 models, op == ax and the
+    hand-encoded expectation matches reachability exactly."""
+    if not slow:
+        return
+    for test in load_corpus():
+        for model in ("sc", "tso", "rmo"):
+            op = operational_outcomes(test, model)
+            assert op == axiomatic_outcomes(test, model), (test.name, model)
+            reachable = exists_reachable(op, test.exists)
+            assert reachable == (test.expect_for(model) == "allowed"), \
+                (test.name, model)

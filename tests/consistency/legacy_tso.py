@@ -1,0 +1,238 @@
+"""Frozen copy of the pre-relational monolithic TSO checker.
+
+Kept verbatim (imports aside) as the oracle for the equivalence
+property tests in ``test_model_engine.py``: the relational engine's
+TSO spec must agree with this implementation on accept/reject before
+the monolith could be deleted from ``src``.  Do not modernise.
+
+We follow the standard x86-TSO axiomatic formulation (Owens/Sarkar/Sewell;
+herd's ``x86tso.cat``):
+
+1. **SC per location**: for every address, ``po-loc ∪ rf ∪ co ∪ fr`` is
+   acyclic.
+2. **Atomicity**: a read-modify-write's write is the immediate coherence
+   successor of the version it read.
+3. **Global happens-before**: ``ghb = ppo ∪ rfe ∪ co ∪ fr`` is acyclic,
+   where ``ppo`` is program order minus store→load pairs (the store
+   buffer relaxation) and atomics act as full fences.  Internal rf
+   (store-buffer forwarding) is excluded from ghb, as x86-TSO allows a
+   load to read its own core's store early.
+
+The coherence order ``co`` comes straight from the simulator: stores
+perform while holding the line in M state, so their perform order *is*
+the per-address coherence order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.errors import TSOViolationError
+from repro.consistency.execution import ExecutionLog, MemEvent
+
+Edge = Tuple[int, int]
+
+
+def legacy_check_tso(log: ExecutionLog) -> None:
+    """Raise :class:`TSOViolationError` if the execution violates TSO."""
+    events = log.events
+    if not events:
+        return
+    _check_atomicity(log)
+    _check_sc_per_location(log)
+    _check_global_order(log)
+
+
+# --------------------------------------------------------------------- graph
+def _find_cycle(n: int, adjacency: Dict[int, Set[int]]) -> Optional[List[int]]:
+    """Return one cycle (as a node list) if the graph has any, else None."""
+    indegree = [0] * n
+    for src, dsts in adjacency.items():
+        for dst in dsts:
+            indegree[dst] += 1
+    queue = deque(i for i in range(n) if indegree[i] == 0)
+    removed = 0
+    while queue:
+        node = queue.popleft()
+        removed += 1
+        for dst in adjacency.get(node, ()):
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                queue.append(dst)
+    if removed == n:
+        return None
+    # A cycle exists among nodes with indegree > 0.  Strip nodes with no
+    # successor inside the remainder (they hang off the cycle), then walk
+    # successors until a node repeats.
+    remaining = {i for i in range(n) if indegree[i] > 0}
+    while True:
+        dead = [node for node in remaining
+                if not any(d in remaining for d in adjacency.get(node, ()))]
+        if not dead:
+            break
+        remaining.difference_update(dead)
+    start = next(iter(remaining))
+    path: List[int] = []
+    seen: Dict[int, int] = {}
+    node = start
+    while node not in seen:
+        seen[node] = len(path)
+        path.append(node)
+        node = next(iter(d for d in adjacency.get(node, ()) if d in remaining))
+    return path[seen[node]:]
+
+
+def _describe(events: List[MemEvent], cycle: Iterable[int]) -> str:
+    return " -> ".join(
+        f"[{events[i].kind} c{events[i].core}#{events[i].seq} "
+        f"a={events[i].addr:#x} r={events[i].version_read} "
+        f"w={events[i].version_written}]"
+        for i in cycle
+    )
+
+
+# ----------------------------------------------------------------- atomicity
+def _check_atomicity(log: ExecutionLog) -> None:
+    for event in log.events:
+        if event.kind != "at":
+            continue
+        co = log.coherence_order.get(event.addr, [])
+        try:
+            write_pos = co.index(event.version_written)
+        except ValueError:
+            raise TSOViolationError(
+                f"atomic wrote version {event.version_written} missing from "
+                f"coherence order of {event.addr:#x}"
+            )
+        read_pos = -1 if event.version_read == 0 else co.index(event.version_read)
+        if write_pos != read_pos + 1:
+            raise TSOViolationError(
+                f"atomicity violated at {event.addr:#x}: read version "
+                f"{event.version_read} (pos {read_pos}) but wrote "
+                f"{event.version_written} (pos {write_pos})"
+            )
+
+
+# --------------------------------------------------------------- per-address
+def _check_sc_per_location(log: ExecutionLog) -> None:
+    events = log.events
+    by_addr: Dict[int, List[int]] = defaultdict(list)
+    for idx, event in enumerate(events):
+        by_addr[event.addr].append(idx)
+    writer_of: Dict[int, int] = {}
+    for idx, event in enumerate(events):
+        if event.version_written is not None:
+            writer_of[event.version_written] = idx
+    for addr, idxs in by_addr.items():
+        adjacency: Dict[int, Set[int]] = defaultdict(set)
+        local = {global_idx: local_idx for local_idx, global_idx in enumerate(idxs)}
+        # po-loc: consecutive same-core accesses to this address.
+        last_by_core: Dict[int, int] = {}
+        for global_idx in sorted(idxs, key=lambda i: (events[i].core, events[i].seq)):
+            event = events[global_idx]
+            prev = last_by_core.get(event.core)
+            if prev is not None:
+                adjacency[local[prev]].add(local[global_idx])
+            last_by_core[event.core] = global_idx
+        co = log.coherence_order.get(addr, [])
+        co_pos = {version: pos for pos, version in enumerate(co)}
+        # co: consecutive coherence-order edges.
+        for pos in range(len(co) - 1):
+            src, dst = writer_of.get(co[pos]), writer_of.get(co[pos + 1])
+            if src is not None and dst is not None:
+                adjacency[local[src]].add(local[dst])
+        for global_idx in idxs:
+            event = events[global_idx]
+            if event.version_read is None:
+                continue
+            version = event.version_read
+            # rf: writer -> reader.
+            writer = writer_of.get(version)
+            if writer is not None and writer != global_idx:
+                adjacency[local[writer]].add(local[global_idx])
+            # fr: reader -> next coherence-order writer.
+            next_pos = 0 if version == 0 else co_pos.get(version, -2) + 1
+            if 0 <= next_pos < len(co):
+                successor = writer_of.get(co[next_pos])
+                if successor is not None and successor != global_idx:
+                    adjacency[local[global_idx]].add(local[successor])
+        cycle = _find_cycle(len(idxs), adjacency)
+        if cycle is not None:
+            raise TSOViolationError(
+                f"coherence (SC-per-location) violated at {addr:#x}: "
+                + _describe(events, [idxs[i] for i in cycle])
+            )
+
+
+# -------------------------------------------------------------------- global
+def _ppo_edges(events: List[MemEvent]) -> Iterable[Edge]:
+    """Generators of TSO preserved program order (po minus store->load).
+
+    Chains: every event is ordered after the last read (R->R, R->W); a
+    write is ordered after the last write (W->W); atomics are both read
+    and write, which makes them full fences.
+    """
+    by_core: Dict[int, List[int]] = defaultdict(list)
+    for idx, event in enumerate(events):
+        by_core[event.core].append(idx)
+    for idxs in by_core.values():
+        idxs.sort(key=lambda i: events[i].seq)
+        last_read: Optional[int] = None
+        last_write: Optional[int] = None
+        for idx in idxs:
+            event = events[idx]
+            if last_read is not None and last_read != idx:
+                yield last_read, idx
+            is_read = event.kind in ("ld", "at")
+            is_write = event.kind in ("st", "at")
+            if is_write:
+                if last_write is not None:
+                    yield last_write, idx
+                last_write = idx
+            if is_read:
+                last_read = idx
+
+
+def _check_global_order(log: ExecutionLog) -> None:
+    events = log.events
+    adjacency: Dict[int, Set[int]] = defaultdict(set)
+    for src, dst in _ppo_edges(events):
+        adjacency[src].add(dst)
+    writer_of: Dict[int, int] = {}
+    for idx, event in enumerate(events):
+        if event.version_written is not None:
+            writer_of[event.version_written] = idx
+    # co edges (consecutive) per address.
+    for addr, co in log.coherence_order.items():
+        for pos in range(len(co) - 1):
+            src, dst = writer_of.get(co[pos]), writer_of.get(co[pos + 1])
+            if src is not None and dst is not None:
+                adjacency[src].add(dst)
+    co_positions: Dict[int, Dict[int, int]] = {
+        addr: {v: p for p, v in enumerate(co)}
+        for addr, co in log.coherence_order.items()
+    }
+    # rfe and fr edges.
+    for idx, event in enumerate(events):
+        if event.version_read is None:
+            continue
+        version = event.version_read
+        writer = writer_of.get(version)
+        if writer is not None and writer != idx \
+                and events[writer].core != event.core:
+            adjacency[writer].add(idx)  # rfe only
+        co = log.coherence_order.get(event.addr, [])
+        if version == 0:
+            next_pos = 0
+        else:
+            next_pos = co_positions.get(event.addr, {}).get(version, -2) + 1
+        if 0 <= next_pos < len(co):
+            successor = writer_of.get(co[next_pos])
+            if successor is not None and successor != idx:
+                adjacency[idx].add(successor)  # fr (fri and fre)
+    cycle = _find_cycle(len(events), adjacency)
+    if cycle is not None:
+        raise TSOViolationError(
+            "TSO global order violated: " + _describe(events, cycle)
+        )

@@ -1,0 +1,134 @@
+"""Equivalence of the relational TSO spec with the frozen legacy checker.
+
+``tests/consistency/legacy_tso.py`` is a verbatim copy of the
+pre-relational monolithic checker.  Before that monolith could be
+deleted from ``src``, the relational engine's TSO configuration must
+agree with it verdict for verdict:
+
+* on real simulator executions of the conformance corpus (clean,
+  protected modes — both accept),
+* on deliberately broken executions (OOO_UNSAFE — both reject), and
+* on ~200 seeds of synthetic random logs that exercise the reject
+  paths (coherence inversions, stale reads, torn atomics) far more
+  densely than the simulator ever would.
+"""
+
+import random
+
+import pytest
+
+from tests.consistency.legacy_tso import legacy_check_tso
+from repro.common.errors import TSOViolationError
+from repro.common.types import CommitMode
+from repro.conform.differential import conform_params
+from repro.conform.model import to_litmus
+from repro.conform.runner import load_corpus, tier1_slice
+from repro.consistency.execution import ExecutionLog
+from repro.consistency.litmus import litmus_traces
+from repro.consistency.models import check_execution
+from repro.sim.system import MulticoreSystem
+from repro.workloads.trace import AddressSpace
+
+ADDRS = (0x40, 0x80, 0xC0)
+
+
+def simulate(test, mode=CommitMode.OOO_WB, extra_delays=()):
+    params = conform_params(test, mode=mode)
+    space = AddressSpace(params.cache.line_bytes)
+    traces, __, __ = litmus_traces(test=to_litmus(test), space=space,
+                                   extra_delays=extra_delays)
+    system = MulticoreSystem(params)
+    system.load_program(traces)
+    return system.run().log
+
+
+def verdict(checker, log):
+    try:
+        checker(log)
+        return None
+    except TSOViolationError as exc:
+        return type(exc)
+
+
+def test_engine_matches_legacy_on_corpus_sims():
+    """Tier-1 slice, protected mode: both checkers accept every log."""
+    for test in tier1_slice(load_corpus()):
+        log = simulate(test)
+        assert verdict(legacy_check_tso, log) is None, test.name
+        assert verdict(check_execution, log) is None, test.name
+
+
+def test_engine_matches_legacy_on_unsafe_executions():
+    """OOO_UNSAFE produces genuinely broken logs: the verdicts must
+    still agree, and at least one rejection must be exercised."""
+    tests = {t.name: t for t in load_corpus()}
+    rejected = 0
+    for name in ("CORR3+po+slow", "CORR+po", "MP+po+slow",
+                 "CORR4+slow+po+po"):
+        for delays in ((), (0, 40), (40, 0)):
+            log = simulate(tests[name], mode=CommitMode.OOO_UNSAFE,
+                           extra_delays=delays)
+            old = verdict(legacy_check_tso, log)
+            new = verdict(check_execution, log)
+            assert (old is None) == (new is None), (name, delays)
+            if old is not None:
+                rejected += 1
+                assert new is TSOViolationError
+    assert rejected, "no unsafe execution tripped the checkers"
+
+
+def random_log(rng):
+    """A synthetic execution: per-core streams with a randomly shuffled
+    global perform order and (mostly fresh, sometimes stale) reads."""
+    log = ExecutionLog()
+    ops = []
+    for core in range(rng.randrange(2, 5)):
+        for seq in range(1, rng.randrange(2, 7)):
+            ops.append((core, seq, rng.choice(ADDRS),
+                        rng.choice(["ld", "ld", "st", "st", "at"])))
+    if rng.random() < 0.5:
+        rng.shuffle(ops)  # perform order inconsistent with po
+    for core, seq, addr, kind in ops:
+        co = log.coherence_order.get(addr, [])
+        if kind == "st":
+            version = log.new_version(core, seq, addr, rng.randrange(64))
+            log.store_performed(version)
+            log.record_store(core, seq, addr, version, cycle=seq)
+        elif kind == "at":
+            stale = co and rng.random() < 0.25
+            read = rng.choice(co) if stale else (co[-1] if co else 0)
+            version = log.new_version(core, seq, addr, rng.randrange(64))
+            log.store_performed(version)
+            log.record_atomic(core, seq, addr, read, version, cycle=seq)
+        else:
+            stale = co and rng.random() < 0.3
+            read = rng.choice(co) if stale else (co[-1] if co else 0)
+            log.record_load(core, seq, addr, read, cycle=seq)
+    return log
+
+
+def test_engine_matches_legacy_on_random_logs():
+    """200-seed property sweep: verdicts agree on every synthetic log,
+    and both accept and reject classes are exercised."""
+    accepts = rejects = 0
+    for seed in range(200):
+        log = random_log(random.Random(seed))
+        old = verdict(legacy_check_tso, log)
+        new = verdict(check_execution, log)
+        assert (old is None) == (new is None), seed
+        if old is None:
+            accepts += 1
+        else:
+            rejects += 1
+    assert accepts > 10 and rejects > 10, (accepts, rejects)
+
+
+def test_full_corpus_equivalence_when_slow(slow):
+    """--slow / nightly: every corpus test's simulated log, both
+    checkers, byte-for-byte verdict agreement."""
+    if not slow:
+        pytest.skip("slow battery only")
+    for test in load_corpus():
+        log = simulate(test)
+        assert verdict(legacy_check_tso, log) is None, test.name
+        assert verdict(check_execution, log) is None, test.name

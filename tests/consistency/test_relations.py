@@ -1,0 +1,222 @@
+"""Directed unit tests for the relation builders and cycle witness.
+
+Each relation (po, rf, co, fr) is probed on hand-built
+:class:`ExecutionLog` instances with known edge sets, including the two
+historically fiddly corners: reads of the initial contents (version 0,
+no rf edge, fr to the address's *first* writer) and events committing
+on the same cycle (po must follow ``seq``, never ``cycle``).
+"""
+
+import random
+
+from repro.consistency.execution import ExecutionLog
+from repro.consistency.relations import (RfEdge, build_relations,
+                                         describe_cycle, find_cycle,
+                                         has_cycle, is_read, is_write)
+
+A, B = 0x40, 0x80  # two line-distinct byte addresses
+
+
+def make_store(log, core, seq, addr, value, cycle=0):
+    version = log.new_version(core, seq, addr, value)
+    log.store_performed(version)
+    log.record_store(core, seq, addr, version, cycle)
+    return version
+
+
+def test_po_is_per_core_and_ordered_by_seq():
+    log = ExecutionLog()
+    # Insert out of order and with inverted cycle numbers: only seq may
+    # decide program order.
+    log.record_load(core=1, seq=2, addr=A, version=0, cycle=5)
+    log.record_load(core=0, seq=1, addr=A, version=0, cycle=90)
+    log.record_load(core=1, seq=1, addr=B, version=0, cycle=80)
+    log.record_load(core=0, seq=2, addr=B, version=0, cycle=10)
+    rel = build_relations(log)
+    assert sorted(rel.po) == [0, 1]
+    for core in (0, 1):
+        seqs = [rel.events[i].seq for i in rel.po[core]]
+        assert seqs == sorted(seqs), core
+
+
+def test_same_cycle_commit_keeps_seq_order():
+    """Two accesses of one core retiring on the same cycle are still
+    po-ordered by their sequence numbers."""
+    log = ExecutionLog()
+    log.record_load(core=0, seq=7, addr=A, version=0, cycle=33)
+    log.record_load(core=0, seq=6, addr=B, version=0, cycle=33)
+    rel = build_relations(log)
+    assert [rel.events[i].seq for i in rel.po[0]] == [6, 7]
+
+
+def test_from_init_read_has_no_rf_but_fr_to_first_writer():
+    log = ExecutionLog()
+    log.record_load(core=0, seq=1, addr=A, version=0, cycle=1)
+    store = make_store(log, core=1, seq=1, addr=A, value=9, cycle=2)
+    rel = build_relations(log)
+    assert rel.rf == []  # version 0 has no writing event
+    (reader, successor), = rel.fr
+    assert rel.events[reader].kind == "ld"
+    assert rel.events[successor].version_written == store
+
+
+def test_from_init_read_with_no_writer_has_no_fr():
+    log = ExecutionLog()
+    log.record_load(core=0, seq=1, addr=A, version=0, cycle=1)
+    rel = build_relations(log)
+    assert rel.rf == [] and rel.fr == []
+
+
+def test_rf_tags_internal_vs_external():
+    log = ExecutionLog()
+    v = make_store(log, core=0, seq=1, addr=A, value=1)
+    log.record_load(core=0, seq=2, addr=A, version=v, cycle=2,
+                    forwarded=True)
+    log.record_load(core=1, seq=1, addr=A, version=v, cycle=3)
+    rel = build_relations(log)
+    writer = rel.po[0][0]
+    assert set(rel.rf) == {
+        RfEdge(writer, rel.po[0][1], internal=True),
+        RfEdge(writer, rel.po[1][0], internal=False),
+    }
+    assert rel.rf_edges() == [(writer, rel.po[0][1]),
+                              (writer, rel.po[1][0])]
+    assert rel.rf_edges(external_only=True) == [(writer, rel.po[1][0])]
+
+
+def test_co_is_adjacent_edges_in_perform_order():
+    log = ExecutionLog()
+    v1 = make_store(log, core=0, seq=1, addr=A, value=1)
+    v2 = make_store(log, core=1, seq=1, addr=A, value=2)
+    v3 = make_store(log, core=0, seq=2, addr=A, value=3)
+    make_store(log, core=1, seq=2, addr=B, value=4)
+    rel = build_relations(log)
+    edges = rel.co[A]
+    assert len(edges) == 2 and len(rel.co[B]) == 0
+    chain = [rel.events[edges[0][0]].version_written,
+             rel.events[edges[0][1]].version_written,
+             rel.events[edges[1][1]].version_written]
+    assert chain == [v1, v2, v3]
+    assert edges[0][1] == edges[1][0]  # adjacency chains through v2
+
+
+def test_fr_points_to_co_successor_only():
+    log = ExecutionLog()
+    v1 = make_store(log, core=0, seq=1, addr=A, value=1)
+    v2 = make_store(log, core=0, seq=2, addr=A, value=2)
+    log.record_load(core=1, seq=1, addr=A, version=v1, cycle=4)
+    rel = build_relations(log)
+    (reader, successor), = rel.fr
+    assert rel.events[reader].core == 1
+    # fr targets the *immediate* co-successor of v1, i.e. v2's store.
+    assert rel.events[successor].version_written == v2
+
+
+def test_atomic_is_both_read_and_write():
+    log = ExecutionLog()
+    v = log.new_version(0, 1, A, 5)
+    log.store_performed(v)
+    log.record_atomic(core=0, seq=1, addr=A, version_read=0,
+                      version_written=v, cycle=1)
+    rel = build_relations(log)
+    event = rel.events[0]
+    assert is_read(event) and is_write(event)
+    assert rel.writer_of[v] == 0
+
+
+# --------------------------------------------------------------- find_cycle
+def _assert_genuine(cycle, adjacency):
+    for src, dst in zip(cycle, cycle[1:] + cycle[:1]):
+        assert dst in adjacency.get(src, set()), (cycle, src, dst)
+
+
+def test_find_cycle_none_on_dag():
+    adjacency = {0: {1}, 1: {2}, 2: {3}}
+    assert not has_cycle(4, adjacency)
+    assert find_cycle(4, adjacency) is None
+
+
+def test_find_cycle_minimal_and_rotated():
+    # A 4-cycle and a 2-cycle share node 3: the witness must be the
+    # 2-cycle, rotated to start at its smallest node.
+    adjacency = {0: {1}, 1: {2}, 2: {3}, 3: {0, 4}, 4: {3}}
+    cycle = find_cycle(5, adjacency)
+    assert cycle == [3, 4]
+    _assert_genuine(cycle, adjacency)
+
+
+def test_find_cycle_lexicographic_tiebreak():
+    # Two disjoint 2-cycles: the lexicographically smaller one wins.
+    adjacency = {5: {6}, 6: {5}, 1: {2}, 2: {1}}
+    assert find_cycle(7, adjacency) == [1, 2]
+
+
+def test_find_cycle_independent_of_insertion_order():
+    """Regression: the witness used to depend on dict/set iteration
+    order; it must be a pure function of the edge set."""
+    edges = [(0, 1), (1, 2), (2, 0), (2, 4), (4, 2), (3, 0), (1, 3)]
+    forward = {}
+    for src, dst in edges:
+        forward.setdefault(src, set()).add(dst)
+    backward = {}
+    for src, dst in reversed(edges):
+        backward.setdefault(src, set()).add(dst)
+    assert find_cycle(5, forward) == find_cycle(5, backward) == [2, 4]
+
+
+def test_find_cycle_randomised_minimality_and_determinism():
+    rng = random.Random(20260807)
+    for _ in range(120):
+        n = rng.randrange(2, 9)
+        edges = {(rng.randrange(n), rng.randrange(n))
+                 for _ in range(rng.randrange(1, 14))}
+        edges = {(s, d) for s, d in edges if s != d}
+        adjacency = {}
+        for src, dst in edges:
+            adjacency.setdefault(src, set()).add(dst)
+        shuffled = list(edges)
+        rng.shuffle(shuffled)
+        other = {}
+        for src, dst in shuffled:
+            other.setdefault(src, set()).add(dst)
+        cycle = find_cycle(n, adjacency)
+        assert cycle == find_cycle(n, other)
+        if cycle is None:
+            assert not has_cycle(n, adjacency)
+            continue
+        _assert_genuine(cycle, adjacency)
+        # Brute-force minimal length via BFS from every edge.
+        best = min(len(c) for c in _all_shortest_cycles(n, adjacency))
+        assert len(cycle) == best
+
+
+def _all_shortest_cycles(n, adjacency):
+    from collections import deque
+
+    cycles = []
+    for start in range(n):
+        dist = {start: 0}
+        parent = {start: None}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for dst in adjacency.get(node, ()):
+                if dst == start:
+                    path = [node]
+                    while parent[path[-1]] is not None:
+                        path.append(parent[path[-1]])
+                    cycles.append(list(reversed(path)))
+                elif dst not in dist:
+                    dist[dst] = dist[node] + 1
+                    parent[dst] = node
+                    queue.append(dst)
+    return cycles or [[]]
+
+
+def test_describe_cycle_mentions_each_event():
+    log = ExecutionLog()
+    make_store(log, core=0, seq=1, addr=A, value=1)
+    log.record_load(core=1, seq=1, addr=A, version=0, cycle=2)
+    rel = build_relations(log)
+    text = describe_cycle(rel.events, [0, 1])
+    assert "st c0#1" in text and "ld c1#1" in text

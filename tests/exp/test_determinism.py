@@ -60,11 +60,15 @@ def test_telemetry_serial_pool_cache_byte_identical(tmp_path):
     result cache."""
     from repro.obs.scenarios import scenario_traces
 
-    params = table6_system("SLM", num_cores=4,
-                           commit_mode=CommitMode.OOO_WB)
-    cells = [Cell.from_traces(name, name, scenario_traces(name), params,
-                              sample=100)
-             for name in _telemetry_targets()]
+    cells = []
+    for name in _telemetry_targets():
+        traces = scenario_traces(name)
+        # 5/6-thread litmus families need the next mesh size up.
+        params = table6_system("SLM",
+                               num_cores=4 if len(traces) <= 4 else 8,
+                               commit_mode=CommitMode.OOO_WB)
+        cells.append(Cell.from_traces(name, name, traces, params,
+                                      sample=100))
 
     serial = ExperimentEngine(workers=0).run(cells)
     baselines = {cell.key: serial.results()[cell.key].to_json()

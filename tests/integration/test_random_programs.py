@@ -100,3 +100,32 @@ def test_random_programs_tso_clean_on_inorder_cores(core_type, wb, program):
     system.load_program(build_traces(program))
     result = system.run()
     check_tso(result.log)
+
+
+def test_tearoff_to_owner_is_bounced_not_served_stale():
+    """Regression: an SoS-bypass uncacheable GetS can reach the
+    directory after ownership of the line was granted to the requester
+    itself (the fresh data travels 3-hop, past the directory).  The
+    directory's parked copy is stale at that point and must NOT be
+    served as a tear-off; the read is bounced and replays locally.
+
+    Hypothesis-discovered program (inorder-ecl, WritersBlock on): the
+    stale tear-off let core 1's post-atomic ordered load read version 0
+    of a location already at version 1, breaking the TSO global order.
+    """
+    import dataclasses
+
+    program = [
+        [("ld", 0, 0)],
+        [("ld", 4, 0), ("ld", 0, 0), ("at", 4, 0), ("ld", 0, 0),
+         ("st", 0, 0)],
+        [("ld", 4, 0)],
+        [("ld", 4, 0), ("st", 0, 0), ("st", 4, 0)],
+    ]
+    params = table6_system("SLM", num_cores=NUM_THREADS)
+    params = dataclasses.replace(params, core_type="inorder-ecl",
+                                 writers_block=True)
+    system = MulticoreSystem(params)
+    system.load_program(build_traces(program))
+    result = system.run()
+    check_tso(result.log)
