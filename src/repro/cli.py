@@ -54,6 +54,7 @@ import sys
 from typing import List, Optional
 
 from .analysis import experiments
+from .coherence.backend import backend_names, get_backend
 from .common.params import CORE_CLASSES, table6_system
 from .common.types import CommitMode
 from .obs.export import (read_trace_jsonl, write_chrome_trace,
@@ -89,6 +90,33 @@ def _traceable(value: str) -> str:
         f"choose from {', '.join(TRACEABLE)} or litmus:<NAME>")
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=backend_names(),
+                        default="baseline",
+                        help="coherence backend (default baseline)")
+
+
+def _resolve_mode(backend: str, mode_arg: Optional[str]) -> CommitMode:
+    """Commit mode for a backend-aware command.
+
+    ``--mode`` omitted picks the strongest mode the backend supports
+    (ooo-wb where WritersBlock exists, ooo otherwise); an explicit mode
+    the backend cannot run soundly is rejected up front.
+    """
+    spec = get_backend(backend)
+    supported = spec.supported_commit_modes
+    if mode_arg is None:
+        if supported is None or CommitMode.OOO_WB in supported:
+            return CommitMode.OOO_WB
+        return CommitMode.OOO
+    mode = MODES[mode_arg]
+    if supported is not None and mode not in supported:
+        raise SystemExit(
+            f"repro: backend {backend!r} does not support --mode {mode_arg} "
+            f"(supported: {', '.join(m.value for m in supported)})")
+    return mode
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=16,
                         help="core count (square; default 16)")
@@ -110,7 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="simulate one workload")
     run_p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
-    run_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    run_p.add_argument("--mode", choices=sorted(MODES), default=None,
+                       help="commit mode (default: strongest the backend "
+                            "supports; ooo-wb for baseline)")
+    _add_backend(run_p)
     _add_common(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare commit modes")
@@ -130,7 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--events-out", default=None,
                          help="also dump the raw event stream as JSONL "
                               "('-' for stdout)")
-    trace_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    trace_p.add_argument("--mode", choices=sorted(MODES), default=None,
+                         help="commit mode (default: strongest the "
+                              "backend supports)")
+    _add_backend(trace_p)
     _add_common(trace_p)
 
     prof_p = sub.add_parser(
@@ -203,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workload subset for fig8/fig9/fig10")
     bench_p.add_argument("--cores", type=int, default=16)
     bench_p.add_argument("--scale", type=float, default=2.0)
+    bench_p.add_argument("--backend", choices=backend_names(), default=None,
+                         help="restrict backend-matrix drivers (e.g. "
+                              "conformance) to one coherence backend "
+                              "(default: the full matrix)")
     bench_p.add_argument("--out-dir", default=None,
                          help="output directory "
                               "(default benchmarks/out, or "
@@ -276,7 +314,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the full corpus (default: the tier-1 "
                              "slice; REPRO_CONFORM_FULL=1 also forces "
                              "full)")
-    conf_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    conf_p.add_argument("--mode", choices=sorted(MODES), default=None,
+                        help="commit mode (default: strongest the backend "
+                             "supports; ooo-wb for baseline, ooo for "
+                             "tardis)")
+    _add_backend(conf_p)
     conf_p.add_argument("--core-class", choices=sorted(CORE_CLASSES),
                         default="SLM")
     conf_p.add_argument("--seed", type=int, default=0,
@@ -340,14 +382,16 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
-    mode = MODES[args.mode]
+    mode = _resolve_mode(args.backend, args.mode)
     params = table6_system(args.core_class, num_cores=args.cores,
-                           commit_mode=mode)
+                           commit_mode=mode, backend=args.backend)
     workload = ALL_WORKLOADS[args.workload](num_threads=args.cores,
                                             scale=args.scale)
     result = run_workload(workload, params, check=mode is not CommitMode.OOO_UNSAFE)
+    label = mode.value if args.backend == "baseline" \
+        else f"{mode.value}, {args.backend}"
     print(f"{args.workload} on {args.cores}x {args.core_class} "
-          f"({mode.value}):")
+          f"({label}):")
     print("  " + result.summary())
     print(f"  blocked writes/kstore:   {result.writes_blocked_per_kilostore:.3f}")
     print(f"  uncacheable reads/kload: {result.uncacheable_per_kiloload:.3f}")
@@ -394,14 +438,15 @@ def cmd_trace(args) -> int:
     import time
 
     say = _say_for(args.out, args.events_out)
-    mode = MODES[args.mode]
+    mode = _resolve_mode(args.backend, args.mode)
     params = table6_system(args.core_class, num_cores=args.cores,
-                           commit_mode=mode)
+                           commit_mode=mode, backend=args.backend)
     traces = _resolve_traces(args.workload, args.cores, args.scale)
     result, events = run_observed(
         traces, params, check=mode is not CommitMode.OOO_UNSAFE)
     meta = {
         "workload": args.workload, "mode": mode.value,
+        "backend": args.backend,
         "cores": args.cores, "core_class": args.core_class,
         "cycles": result.cycles,
     }
@@ -607,13 +652,14 @@ def cmd_bench(args) -> int:
         cfg = BenchConfig(
             benches=tuple(args.benches) if args.benches else QUICK_BENCH_SET,
             cores=QUICK_CORES if args.cores == 16 else args.cores,
-            scale=QUICK_SCALE if args.scale == 2.0 else args.scale)
+            scale=QUICK_SCALE if args.scale == 2.0 else args.scale,
+            backend=args.backend)
         out_dir = args.out_dir or "benchmarks/out/quick"
     else:
         cfg = BenchConfig(
             benches=tuple(args.benches) if args.benches is not None
             else DEFAULT_BENCH_SET,
-            cores=args.cores, scale=args.scale)
+            cores=args.cores, scale=args.scale, backend=args.backend)
         out_dir = args.out_dir or "benchmarks/out"
     cache_dir = None
     if not args.no_cache:
@@ -677,14 +723,15 @@ def cmd_conform(args) -> int:
             raise SystemExit(f"repro: no corpus test or family matches "
                              f"{sorted(wanted)}")
     witness_dir = pathlib.Path(args.witness_dir) if args.witness_dir else None
+    mode = _resolve_mode(args.backend, args.mode)
     label = "slice" if sliced else "full"
     print(f"repro conform: {len(tests)} tests ({label}), "
-          f"model={args.model} mode={args.mode} "
+          f"model={args.model} backend={args.backend} mode={mode.value} "
           f"core-class={args.core_class} "
           f"perturb={args.perturb} seed={args.seed}")
     result = run_conformance(
-        tests, model=args.model, mode=MODES[args.mode],
-        core_class=args.core_class,
+        tests, model=args.model, mode=mode,
+        core_class=args.core_class, backend=args.backend,
         perturb=args.perturb, seed=args.seed, witness_dir=witness_dir,
         explore=not args.no_explore, por=not args.no_por)
     for row in result.family_rows():

@@ -1,16 +1,41 @@
-"""Directory MESI coherence with the WritersBlock extension."""
+"""Coherence protocols behind a pluggable backend interface.
 
+``baseline`` is the paper's directory MESI protocol with the
+WritersBlock extension; ``tardis`` is timestamp/lease coherence with no
+invalidation traffic.  See :mod:`repro.coherence.backend` and
+docs/coherence.md.
+"""
+
+from .backend import (
+    BaselineBackend,
+    CoherenceBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .directory import DirectoryBank, DirEntry, EvictingEntry
-from .invariants import check_coherence, check_quiescent
+from .invariants import attach_probe, check_coherence, check_cycle, check_quiescent
 from .private_cache import LoadRequest, PrivateCache, PrivateLine
+from .tardis import TardisBackend, TardisCache, TardisDirectory, TardisLine
 
 __all__ = [
+    "attach_probe",
+    "backend_names",
     "check_coherence",
+    "check_cycle",
     "check_quiescent",
+    "get_backend",
+    "register_backend",
+    "BaselineBackend",
+    "CoherenceBackend",
     "DirectoryBank",
     "DirEntry",
     "EvictingEntry",
     "LoadRequest",
     "PrivateCache",
     "PrivateLine",
+    "TardisBackend",
+    "TardisCache",
+    "TardisDirectory",
+    "TardisLine",
 ]

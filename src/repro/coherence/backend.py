@@ -1,0 +1,168 @@
+"""Pluggable coherence backends.
+
+A :class:`CoherenceBackend` packages one protocol's state machines —
+line-state transitions in the private caches, directory ownership and
+eviction policy, and the message vocabulary the two exchange — behind a
+narrow factory interface.  The simulator (``repro.sim``), the sleep-set
+POR explorer (``repro.verification``), and the conformance checker
+(``repro.conform``) all construct caches and directory banks through a
+backend instead of naming protocol classes, so an alternative protocol
+is a registry entry away from the full test matrix.
+
+Two backends ship today:
+
+``baseline``
+    The paper's directory MESI protocol with the WritersBlock extension
+    (:mod:`repro.coherence.directory` / ``private_cache``).  The refactor
+    is a strict no-op for it: construction goes through thin factories
+    and the 36 golden digests are byte-identical.
+
+``tardis``
+    Timestamp coherence after Yu & Devadas (PAPERS.md): leases instead
+    of invalidations, logical write/read timestamps on every line, and
+    directory-side timestamp bumping on ownership transfer.  See
+    :mod:`repro.coherence.tardis` and docs/coherence.md.
+
+Registering a third backend (the ROADMAP reserves a slot for RCP) takes
+a subclass plus one :func:`register_backend` call; docs/coherence.md
+walks through the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import ConfigError
+from ..common.types import CommitMode, MsgType
+from .directory import DirectoryBank
+from .private_cache import PrivateCache
+
+
+class CoherenceBackend:
+    """One coherence protocol behind the simulator-facing interface.
+
+    Subclasses override the two ``build_*`` factories (returning objects
+    that duck-type :class:`PrivateCache` / :class:`DirectoryBank` — see
+    docs/coherence.md for the exact method contract) and the two
+    invariant hooks.  Capability flags let callers and the test matrix
+    skip mechanisms a protocol does not have instead of failing on them.
+    """
+
+    #: Registry key and CLI spelling (``--backend <name>``).
+    name: str = "?"
+    #: Mesh message types this protocol may emit (trace filtering + docs).
+    message_types: Tuple[MsgType, ...] = ()
+    #: WritersBlock machinery (lockdowns, Nack/deferred-Ack, tear-off
+    #: reads) is available.  Protocols without it reject
+    #: ``writers_block=True`` and the OOO_WB commit mode.
+    supports_writers_block: bool = True
+    #: The protocol enforces ordering by sending invalidations.  When
+    #: False, cores still receive ``invalidation_hook`` callbacks — the
+    #: backend synthesizes them at the equivalent ordering points (e.g.
+    #: tardis lease expiry) so squash-based TSO recovery keeps working.
+    has_invalidations: bool = True
+    #: Commit modes the backend can run soundly; ``None`` means all.
+    supported_commit_modes: Optional[Tuple[CommitMode, ...]] = None
+
+    # -- construction -------------------------------------------------
+    def build_cache(self, tile, params, network, events, stats, *,
+                    writers_block, bus=None):
+        """Build the private cache for *tile* (PrivateCache contract)."""
+        raise NotImplementedError
+
+    def build_directory(self, tile, params, network, events, stats, *,
+                        writers_block, bus=None):
+        """Build the directory (LLC) bank for *tile*."""
+        raise NotImplementedError
+
+    def validate_params(self, params) -> None:
+        """Reject system configurations this protocol cannot honour.
+
+        Called by :class:`repro.sim.MulticoreSystem` at construction
+        (not by ``SystemParams.validate`` — params must stay importable
+        without the coherence layer).
+        """
+        if params.writers_block and not self.supports_writers_block:
+            raise ConfigError(
+                f"backend {self.name!r} does not implement WritersBlock; "
+                "run with writers_block=False")
+        if (self.supported_commit_modes is not None
+                and params.commit_mode not in self.supported_commit_modes):
+            supported = ", ".join(m.value for m in self.supported_commit_modes)
+            raise ConfigError(
+                f"backend {self.name!r} does not support commit mode "
+                f"{params.commit_mode.value!r} (supported: {supported})")
+
+    # -- invariants ---------------------------------------------------
+    def coherence_problems(self, system) -> List[str]:
+        """Structural invariant violations on a *quiescent* system."""
+        raise NotImplementedError
+
+    def cycle_problems(self, system) -> List[str]:
+        """Invariant violations checkable at *any* cycle (may be mid-
+        transaction); used by the per-cycle property-test probe."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<CoherenceBackend {self.name}>"
+
+
+class BaselineBackend(CoherenceBackend):
+    """The existing WritersBlock/MESI implementation, untouched."""
+
+    name = "baseline"
+    message_types = (
+        MsgType.GETS, MsgType.GETX, MsgType.UPGRADE, MsgType.PUTS,
+        MsgType.PUTM, MsgType.DATA, MsgType.DATA_EXCL,
+        MsgType.DATA_UNCACHEABLE, MsgType.INV, MsgType.FWD_GETS,
+        MsgType.FWD_GETX, MsgType.WB_ACK, MsgType.BLOCKED_HINT,
+        MsgType.ACK, MsgType.NACK, MsgType.NACK_DATA, MsgType.ACK_DATA,
+        MsgType.DEFERRED_ACK, MsgType.UNBLOCK, MsgType.COPYBACK,
+        MsgType.PERM,
+    )
+    supports_writers_block = True
+    has_invalidations = True
+
+    def build_cache(self, tile, params, network, events, stats, *,
+                    writers_block, bus=None):
+        return PrivateCache(tile, params, network, events, stats,
+                            writers_block=writers_block, bus=bus)
+
+    def build_directory(self, tile, params, network, events, stats, *,
+                        writers_block, bus=None):
+        return DirectoryBank(tile, params, network, events, stats,
+                             writers_block=writers_block, bus=bus)
+
+    def coherence_problems(self, system) -> List[str]:
+        from .invariants import baseline_coherence_problems
+        return baseline_coherence_problems(system)
+
+    def cycle_problems(self, system) -> List[str]:
+        from .invariants import baseline_cycle_problems
+        return baseline_cycle_problems(system)
+
+
+_REGISTRY: Dict[str, CoherenceBackend] = {}
+
+
+def register_backend(backend: CoherenceBackend) -> CoherenceBackend:
+    """Add *backend* to the registry (idempotent per name)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> CoherenceBackend:
+    """Look up a registered backend by name."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ConfigError(f"unknown coherence backend {name!r}; "
+                          f"registered: {backend_names()}")
+    return backend
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, sorted (CLI choices, test params)."""
+    return sorted(_REGISTRY)
+
+
+register_backend(BaselineBackend())

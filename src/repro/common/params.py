@@ -71,10 +71,15 @@ class CacheParams:
     dir_eviction_buffer: int = 8
     #: Evict shared lines silently (paper §3.8 baseline choice).
     silent_shared_evictions: bool = True
+    #: Lease length (logical timestamp units) granted per shared read by
+    #: the ``tardis`` backend; ignored by ``baseline``.
+    tardis_lease: int = 10
 
     def validate(self) -> None:
         if self.line_bytes & (self.line_bytes - 1):
             raise ConfigError("line_bytes must be a power of two")
+        if self.tardis_lease <= 0:
+            raise ConfigError("tardis_lease must be positive")
         if self.mshr_reserved_for_sos >= self.mshr_entries:
             raise ConfigError("SoS reservation must leave regular MSHRs")
         for attr in ("l1_sets", "l1_ways", "l2_sets", "l2_ways",
@@ -123,6 +128,11 @@ class SystemParams:
     #: piggybacked on blocked writes).  Demonstrates the MSHR deadlock
     #: of paper Figure 5.B — never enable outside tests/benchmarks.
     disable_sos_bypass: bool = False
+    #: Coherence backend name (see ``repro.coherence.backend``).  Backend-
+    #: specific constraints (e.g. tardis rejecting writers_block) are
+    #: checked by ``CoherenceBackend.validate_params`` at system build
+    #: time, keeping this module free of coherence imports.
+    backend: str = "baseline"
 
     def validate(self) -> None:
         if self.num_cores <= 0:
@@ -214,7 +224,8 @@ CORE_CLASSES = {"SLM": SLM_CORE, "NHM": NHM_CORE, "HSW": HSW_CORE}
 
 def table6_system(core_class: str = "SLM", *, num_cores: int = 16,
                   commit_mode: CommitMode = CommitMode.IN_ORDER,
-                  writers_block: bool = False) -> SystemParams:
+                  writers_block: bool = False,
+                  backend: str = "baseline") -> SystemParams:
     """Build a :class:`SystemParams` matching the paper's Table 6."""
     if core_class not in CORE_CLASSES:
         raise ConfigError(f"unknown core class {core_class!r}; "
@@ -224,6 +235,7 @@ def table6_system(core_class: str = "SLM", *, num_cores: int = 16,
         core=CORE_CLASSES[core_class],
         commit_mode=commit_mode,
         writers_block=writers_block or commit_mode is CommitMode.OOO_WB,
+        backend=backend,
     )
     params.validate()
     return params

@@ -94,6 +94,11 @@ class MsgType(enum.Enum):
     UNBLOCK = "Unblock"  # requester finished; directory leaves transient state
     COPYBACK = "CopyBack"  # owner's data copy to the LLC on a forwarded read
     PERM = "Perm"  # write permission grant without data (Upgrade response)
+    # Tardis backend (timestamp coherence; no invalidation traffic)
+    RENEW = "Renew"  # lease renewal request for a resident shared copy
+    RENEW_ACK = "RenewAck"  # lease extended, data unchanged (control-sized)
+    RECALL = "Recall"  # directory recalls the exclusive owner's copy
+    RECALL_ACK = "RecallAck"  # owner's data + timestamps back to the LLC
 
 
 #: Number of flits for data-bearing vs control messages (paper Table 6).
@@ -109,6 +114,7 @@ _DATA_BEARING = {
     MsgType.NACK_DATA,
     MsgType.ACK_DATA,
     MsgType.COPYBACK,
+    MsgType.RECALL_ACK,
 }
 
 

@@ -27,4 +27,5 @@ from .model import COp, ConformTest, cld, cld_dep, cld_slow, cmf, cst  # noqa: F
 from .litmus_format import parse_litmus, write_litmus  # noqa: F401
 from .generator import generate_corpus  # noqa: F401
 from .differential import check_test  # noqa: F401
-from .runner import load_corpus, run_conformance, tier1_slice  # noqa: F401
+from .runner import (default_mode_for, load_corpus,  # noqa: F401
+                     run_conformance, tier1_slice)

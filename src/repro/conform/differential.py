@@ -68,6 +68,7 @@ class TestReport:
     family: str
     expect: str
     model: str = "tso"
+    backend: str = "baseline"
     sim_runs: int = 0
     sim_outcomes: List[Dict[str, int]] = field(default_factory=list)
     operational_count: int = 0
@@ -81,9 +82,11 @@ class TestReport:
 
 def conform_params(test: ConformTest, *,
                    core_class: str = DEFAULT_CORE,
-                   mode: CommitMode = CommitMode.OOO_WB) -> SystemParams:
+                   mode: CommitMode = CommitMode.OOO_WB,
+                   backend: str = "baseline") -> SystemParams:
     cores = 4 if len(test.threads) <= 4 else 16
-    return table6_system(core_class, num_cores=cores, commit_mode=mode)
+    return table6_system(core_class, num_cores=cores, commit_mode=mode,
+                         backend=backend)
 
 
 def default_delays(num_threads: int) -> List[Tuple[int, ...]]:
@@ -101,13 +104,21 @@ def check_test(test: ConformTest, *,
                params: Optional[SystemParams] = None,
                mode: CommitMode = CommitMode.OOO_WB,
                core_class: str = DEFAULT_CORE,
+               backend: str = "baseline",
                delays: Optional[Sequence[Sequence[int]]] = None,
                perturb: int = 2, seed: int = 0) -> TestReport:
-    """Run the full differential check on one test under one model."""
+    """Run the full differential check on one test under one model.
+
+    ``backend`` selects the coherence protocol the simulated hardware
+    runs (the operational and axiomatic references are protocol-
+    independent — whatever the protocol, its executions must stay
+    inside the model).  Callers must pair the backend with a commit
+    mode it supports (tardis has no WritersBlock, so no OOO_WB).
+    """
     spec: MemoryModel = get_model(model)
     expect = test.expect_for(spec)
     report = TestReport(name=test.name, family=test.family,
-                        expect=expect, model=spec.name)
+                        expect=expect, model=spec.name, backend=backend)
     op_set = operational_outcomes(test, spec)
     ax_set = axiomatic_outcomes(test, spec)
     report.operational_count = len(op_set)
@@ -135,7 +146,8 @@ def check_test(test: ConformTest, *,
         return report
 
     if params is None:
-        params = conform_params(test, core_class=core_class, mode=mode)
+        params = conform_params(test, core_class=core_class, mode=mode,
+                                backend=backend)
     litmus = to_litmus(test)
     load_keys = test.load_keys()
     mem_keys = test.mem_keys()
@@ -162,7 +174,7 @@ def check_test(test: ConformTest, *,
                                    mode=mode, core_class=core_class,
                                    num_cores=params.num_cores,
                                    extra_delays=combo, registers=values,
-                                   model=spec.name)
+                                   model=spec.name, backend=backend)
 
         if fingerprint not in op_set:
             detail = (f"[{spec.name}] simulated outcome {values} not "

@@ -81,6 +81,7 @@ class ConformanceResult:
     reports: List[TestReport] = field(default_factory=list)
     explorations: Dict[str, Dict] = field(default_factory=dict)
     model: str = "tso"
+    backend: str = "baseline"
 
     @property
     def violations(self) -> List[Violation]:
@@ -111,6 +112,7 @@ class ConformanceResult:
         return {
             "schema": "repro-conformance/1",
             "model": self.model,
+            "backend": self.backend,
             "tests": len(self.reports),
             "ok": self.ok,
             "violations": [
@@ -126,6 +128,7 @@ def run_conformance(tests: Sequence[ConformTest], *,
                     model: str = "tso",
                     mode: CommitMode = CommitMode.OOO_WB,
                     core_class: str = "SLM",
+                    backend: str = "baseline",
                     perturb: int = 2, seed: int = 0,
                     witness_dir: Optional[Path] = None,
                     explore: bool = False, por: bool = True,
@@ -133,17 +136,22 @@ def run_conformance(tests: Sequence[ConformTest], *,
                     ) -> ConformanceResult:
     """Check every test; optionally save witnesses and run the explorer.
 
+    ``backend`` selects the coherence protocol the simulated hardware
+    runs; callers must pair it with a commit mode the backend supports
+    (:func:`default_mode_for` resolves the strongest one).
+
     ``explore=True`` additionally runs the POR-reduced exhaustive
-    explorer over the 4-tile ``mp``/``sos`` protocol scenarios
-    (:mod:`repro.conform.scenarios`) — deadlock-freedom and
-    SoS-never-blocked on every reachable protocol state.
+    explorer over the backend's 4-tile protocol scenarios
+    (:mod:`repro.conform.scenarios`) — deadlock-freedom plus
+    SoS-never-blocked (baseline) or the timestamp invariants (tardis)
+    on every reachable protocol state.
     """
     from .witness import save_witness
 
-    result = ConformanceResult(model=model)
+    result = ConformanceResult(model=model, backend=backend)
     for test in tests:
         report = check_test(test, model=model, mode=mode,
-                            core_class=core_class,
+                            core_class=core_class, backend=backend,
                             perturb=perturb, seed=seed)
         result.reports.append(report)
         if witness_dir is not None:
@@ -155,5 +163,18 @@ def run_conformance(tests: Sequence[ConformTest], *,
     if explore:
         from .scenarios import run_explorations
 
-        result.explorations = run_explorations(por=por)
+        result.explorations = run_explorations(por=por, backend=backend)
     return result
+
+
+def default_mode_for(backend: str) -> CommitMode:
+    """The strongest commit mode a backend's conformance run can use:
+    OOO_WB (WritersBlock load-load reordering) where supported, plain
+    OOO (squash-on-ordering-violation) otherwise."""
+    from ..coherence.backend import get_backend
+
+    spec = get_backend(backend)
+    modes = spec.supported_commit_modes
+    if modes is None or CommitMode.OOO_WB in modes:
+        return CommitMode.OOO_WB
+    return CommitMode.OOO

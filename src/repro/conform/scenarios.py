@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from ..common.params import CacheParams
 from ..common.types import CacheState, LineAddr
 from ..verification.explorer import ExplorationResult, VerifSystem, explore
-from ..verification.properties import conform_invariant, no_residue
+from ..verification.properties import (backend_cycle_invariant,
+                                       backend_quiescent_invariant,
+                                       conform_invariant, no_residue)
 
 #: The MP data line and the flag line (distinct cache lines, distinct
 #: directory homes) — cross-line message traffic is what the sleep-set
@@ -158,18 +161,158 @@ def explore_sos(*, por: bool = True,
                    on_quiescent=on_quiescent)
 
 
+def _drain_retries(system: VerifSystem) -> bool:
+    """Reissue every load bounced with ``on_must_retry`` (a tardis fill
+    can arrive with its lease already expired); True if any reissued."""
+    return any([core.reissue_retries() for core in system.cores])
+
+
+def _tardis_final(expect_loads: int, expect_grants: int,
+                  legal_reads: Optional[Dict[int, tuple]] = None):
+    """Path-end check for tardis scenarios: drained + quiescent
+    invariants + progress, plus per-core read-value admissibility
+    (``legal_reads`` maps core -> admissible (version, value) set for
+    that core's *last* completed load)."""
+
+    def check(system: VerifSystem) -> Optional[str]:
+        problem = no_residue(system) or backend_quiescent_invariant(system)
+        if problem:
+            return problem
+        loads = sum(len(core.load_results) for core in system.cores)
+        grants = sum(core.writes_granted for core in system.cores)
+        if loads < expect_loads:
+            return f"deadlock: only {loads}/{expect_loads} loads completed"
+        if grants < expect_grants:
+            return f"deadlock: only {grants}/{expect_grants} writes granted"
+        for tile, legal in (legal_reads or {}).items():
+            observed = system.cores[tile].load_results[-1][1]
+            if observed not in legal:
+                return (f"core {tile} read {observed}, not one of the "
+                        f"admissible versions {sorted(legal)}")
+        return None
+    return check
+
+
+def explore_tardis_lease(*, por: bool = True,
+                         max_states: int = 20_000) -> ExplorationResult:
+    """Lease expiry and renewal under a racing writer (4 tiles).
+
+    With ``tardis_lease=1`` every granted lease dies almost immediately,
+    so the re-reads after the write exercise the RENEW path, fills that
+    arrive already expired (bounced with ``on_must_retry`` and
+    reissued), and the exponential lease escalation.  Two readers share
+    the data line, a bystander touches the flag line (the cross-line
+    traffic the sleep sets prune), then the writer takes the line over —
+    with no invalidations ever sent.  Each re-read must observe either
+    the initial version or the new write, never a mixed/overlapping one
+    (the data-value invariant, asserted on every state via the backend's
+    cycle invariants and at every path end via the quiescent ones).
+    """
+    params = CacheParams(tardis_lease=1)
+
+    def setup(system: VerifSystem) -> None:
+        system.cores[0].issue_load(ADDR)
+        system.cores[2].issue_load(ADDR)
+        system.cores[3].issue_load(FLAG_ADDR)
+
+    def on_quiescent(system: VerifSystem) -> None:
+        if _drain_retries(system):
+            return
+        loads = sum(len(core.load_results) for core in system.cores)
+        if not system.scratch.get("write") and loads >= 3:
+            system.scratch["write"] = True
+            system.cores[1].request_write(LINE)
+            return
+        if system.scratch.get("write") \
+                and not system.scratch.get("stored") \
+                and system.cores[1].writes_granted:
+            system.scratch["stored"] = True
+            system.caches[1].perform_store(ADDR, 1, 42)
+            system.cores[0].issue_load(ADDR)
+            system.cores[2].issue_load(ADDR)
+
+    legal = {0: {(0, 0), (1, 42)}, 2: {(0, 0), (1, 42)}}
+    return explore(setup, backend_cycle_invariant,
+                   _tardis_final(expect_loads=5, expect_grants=1,
+                                 legal_reads=legal),
+                   num_tiles=4, max_states=max_states, por=por,
+                   backend="tardis", cache_params=params,
+                   on_quiescent=on_quiescent)
+
+
+def explore_tardis_recall(*, por: bool = True,
+                          max_states: int = 20_000) -> ExplorationResult:
+    """Ownership recall and timestamp bumping on transfer (4 tiles).
+
+    A writer owns the line (M); a reader's GETS forces the directory to
+    RECALL the owner's copy, and the read must observe the owner's
+    store (write propagation through the recall, no writeback race).  A
+    second writer then takes the line from shared state — the directory
+    must bump ``wts`` past every outstanding lease — and the *former*
+    owner re-reads: tardis legitimately lets it bind its still-leased
+    old version OR fetch the new one, but never an overlap of the two.
+    """
+
+    def setup(system: VerifSystem) -> None:
+        system.cores[1].request_write(LINE)
+
+    def on_quiescent(system: VerifSystem) -> None:
+        if _drain_retries(system):
+            return
+        cores, caches = system.cores, system.caches
+        if not system.scratch.get("stored") and cores[1].writes_granted:
+            system.scratch["stored"] = True
+            caches[1].perform_store(ADDR, 1, 7)
+            cores[0].issue_load(ADDR)       # forces a RECALL of the M copy
+            cores[3].issue_load(FLAG_ADDR)  # independent cross-line read
+            return
+        if system.scratch.get("stored") \
+                and not system.scratch.get("upgrade") \
+                and cores[0].load_results:
+            system.scratch["upgrade"] = True
+            cores[2].request_write(LINE)
+            return
+        if system.scratch.get("upgrade") \
+                and not system.scratch.get("stored2") \
+                and cores[2].writes_granted:
+            system.scratch["stored2"] = True
+            caches[2].perform_store(ADDR, 2, 9)
+            cores[1].issue_load(ADDR)       # former owner re-reads
+
+    legal = {0: {(1, 7)}, 1: {(1, 7), (2, 9)}}
+    return explore(setup, backend_cycle_invariant,
+                   _tardis_final(expect_loads=3, expect_grants=2,
+                                 legal_reads=legal),
+                   num_tiles=4, max_states=max_states, por=por,
+                   backend="tardis", on_quiescent=on_quiescent)
+
+
 SCENARIOS: Dict[str, Callable[..., ExplorationResult]] = {
     "mp": explore_mp,
     "sos": explore_sos,
 }
 
+TARDIS_SCENARIOS: Dict[str, Callable[..., ExplorationResult]] = {
+    "tardis_lease": explore_tardis_lease,
+    "tardis_recall": explore_tardis_recall,
+}
 
-def run_explorations(*, por: bool = True,
-                     max_states: int = 20_000) -> Dict[str, Dict]:
-    """Run every scenario; returns JSON-ready stats per scenario."""
+#: Exploration scenarios per coherence backend: the baseline set proves
+#: WritersBlock properties that do not exist under tardis, and vice
+#: versa, so ``--explore`` picks the set matching ``--backend``.
+SCENARIO_SETS: Dict[str, Dict[str, Callable[..., ExplorationResult]]] = {
+    "baseline": SCENARIOS,
+    "tardis": TARDIS_SCENARIOS,
+}
+
+
+def run_explorations(*, por: bool = True, max_states: int = 20_000,
+                     backend: str = "baseline") -> Dict[str, Dict]:
+    """Run every scenario for *backend*; JSON-ready stats per scenario."""
+    scenarios = SCENARIO_SETS.get(backend, {})
     summary: Dict[str, Dict] = {}
-    for name in sorted(SCENARIOS):
-        result = SCENARIOS[name](por=por, max_states=max_states)
+    for name in sorted(scenarios):
+        result = scenarios[name](por=por, max_states=max_states)
         summary[name] = {
             "ok": result.ok,
             "states": result.states_explored,

@@ -28,7 +28,8 @@ def witness_payload(test, *, kind: str, detail: str, mode: CommitMode,
                     core_class: str, num_cores: int,
                     extra_delays: Sequence[int],
                     registers: Dict[str, int],
-                    model: str = "tso") -> Dict:
+                    model: str = "tso",
+                    backend: str = "baseline") -> Dict:
     from .litmus_format import write_litmus
 
     return {
@@ -38,6 +39,7 @@ def witness_payload(test, *, kind: str, detail: str, mode: CommitMode,
         "kind": kind,
         "detail": detail,
         "model": model,
+        "backend": backend,
         "litmus": write_litmus(test),
         "commit_mode": mode.value,
         "core_class": core_class,
@@ -91,7 +93,8 @@ def replay_witness(payload: Union[Dict, str, Path], *,
     litmus = to_litmus(test)
     params = table6_system(payload["core_class"],
                            num_cores=int(payload["num_cores"]),
-                           commit_mode=CommitMode(payload["commit_mode"]))
+                           commit_mode=CommitMode(payload["commit_mode"]),
+                           backend=payload.get("backend", "baseline"))
     space = AddressSpace(params.cache.line_bytes)
     traces, out_regs, var_addr = litmus_traces(
         test=litmus, space=space, extra_delays=payload["extra_delays"])
@@ -129,6 +132,7 @@ def replay_witness(payload: Union[Dict, str, Path], *,
         "test": payload["test"],
         "kind": payload["kind"],
         "model": model,
+        "backend": payload.get("backend", "baseline"),
         "mode": payload["commit_mode"],
         "num_cores": int(payload["num_cores"]),
         "match": replayed == recorded,

@@ -34,6 +34,9 @@ class BenchConfig:
     benches: Tuple[str, ...] = ()
     cores: int = 16
     scale: float = 2.0
+    #: Restrict backend-matrix drivers (conformance) to one coherence
+    #: backend; ``None`` runs the full :data:`BACKEND_MATRIX`.
+    backend: Optional[str] = None
 
     def bench_list(self, default: Sequence[str]) -> Tuple[str, ...]:
         return tuple(self.benches) if self.benches else tuple(default)
@@ -575,48 +578,85 @@ CONFORM_SEED = 0
 CONFORM_PERTURB = 2
 
 
+#: Coherence backends the conformance driver compares (each under the
+#: strongest commit mode it supports: OOO_WB for baseline, OOO for
+#: tardis — ``repro.conform.runner.default_mode_for``).
+BACKEND_MATRIX = ("baseline", "tardis")
+
+
 def conformance_driver(cfg: BenchConfig, engine: ExperimentEngine
                        ) -> BenchReport:
-    """Three-way differential conformance over the committed corpus.
+    """Three-way differential conformance, per coherence backend.
 
-    Sub-second cells, run inline (engine-independent, so the payload is
-    trivially byte-stable across serial/pooled/cache-replay).  Quick
-    configurations (``scale < 1``) run the deterministic tier-1 slice;
-    ``REPRO_CONFORM_FULL=1`` forces the full corpus.
+    Runs the committed corpus through the differential checker once per
+    registered backend of :data:`BACKEND_MATRIX` — whatever the
+    coherence protocol, the simulated executions must stay inside
+    x86-TSO (sim ⊆ operational) — plus each backend's POR protocol
+    explorations.  Sub-second cells, run inline (engine-independent, so
+    the payload is trivially byte-stable across serial/pooled/
+    cache-replay).  Quick configurations (``scale < 1``) run the
+    deterministic tier-1 slice; ``REPRO_CONFORM_FULL=1`` forces the
+    full corpus.
     """
-    from ..conform.runner import (full_requested, load_corpus,
-                                  run_conformance, tier1_slice)
+    from ..conform.runner import (default_mode_for, full_requested,
+                                  load_corpus, run_conformance, tier1_slice)
 
+    matrix = (cfg.backend,) if cfg.backend else BACKEND_MATRIX
     tests = load_corpus()
     sliced = cfg.scale < 1.0 and not full_requested()
     if sliced:
         tests = tier1_slice(tests)
-    result = run_conformance(tests, perturb=CONFORM_PERTURB,
-                             seed=CONFORM_SEED, explore=True)
-    lines = [f"{'family':8s} {'tests':>6s} {'sim-runs':>9s} "
+    lines = [f"{'backend':9s} {'family':8s} {'tests':>6s} {'sim-runs':>9s} "
              f"{'sim-outs':>9s} {'oper':>6s} {'axiom':>6s} {'viol':>5s}"]
     rows: List[Dict] = []
-    for row in result.family_rows():
-        lines.append(f"{row['family']:8s} {row['tests']:6d} "
-                     f"{row['sim_runs']:9d} {row['sim_outcomes']:9d} "
-                     f"{row['operational']:6d} {row['axiomatic']:6d} "
-                     f"{row['violations']:5d}")
-        rows.append(dict(row))
-    for name in sorted(result.explorations):
-        info = result.explorations[name]
-        lines.append(f"explore/{name:4s} states={info['states']:<6d} "
-                     f"paths={info['paths']:<4d} "
-                     f"sleep_pruned={info['sleep_pruned']:<6d} "
-                     f"ok={info['ok']}")
-        rows.append({"exploration": name, **info})
-    lines.append(f"{len(result.reports)} tests "
+    backends: Dict[str, Dict] = {}
+    ok = True
+    violations = 0
+    for backend in matrix:
+        mode = default_mode_for(backend)
+        result = run_conformance(tests, mode=mode, backend=backend,
+                                 perturb=CONFORM_PERTURB,
+                                 seed=CONFORM_SEED, explore=True)
+        ok = ok and result.ok
+        violations += len(result.violations)
+        for row in result.family_rows():
+            lines.append(f"{backend:9s} {row['family']:8s} "
+                         f"{row['tests']:6d} {row['sim_runs']:9d} "
+                         f"{row['sim_outcomes']:9d} {row['operational']:6d} "
+                         f"{row['axiomatic']:6d} {row['violations']:5d}")
+            rows.append({"backend": backend, **row})
+        for name in sorted(result.explorations):
+            info = result.explorations[name]
+            lines.append(f"{backend:9s} explore/{name:13s} "
+                         f"states={info['states']:<6d} "
+                         f"paths={info['paths']:<4d} "
+                         f"sleep_pruned={info['sleep_pruned']:<6d} "
+                         f"ok={info['ok']}")
+            rows.append({"backend": backend, "exploration": name, **info})
+        backends[backend] = {
+            "mode": mode.value,
+            "tests": len(result.reports),
+            "violations": len(result.violations),
+            "sim_runs": sum(r.sim_runs for r in result.reports),
+            "sim_outcomes": sum(len(r.sim_outcomes)
+                                for r in result.reports),
+            "explorations": len(result.explorations),
+            "ok": result.ok,
+        }
+    comparison = "  ".join(
+        f"{name}[{info['mode']}]: outcomes={info['sim_outcomes']} "
+        f"viol={info['violations']}"
+        for name, info in backends.items())
+    lines.append(f"per-backend: {comparison}")
+    lines.append(f"{len(tests)} tests x {len(matrix)} backends "
                  f"({'tier-1 slice' if sliced else 'full corpus'}), "
-                 f"{len(result.violations)} violations")
+                 f"{violations} violations")
     report = BenchReport(name="conformance", txt_name="conformance",
                          text="\n".join(lines), rows=rows)
-    report.totals["tests"] = len(result.reports)
-    report.totals["violations"] = len(result.violations)
-    report.totals["ok"] = result.ok
+    report.totals["tests"] = len(tests)
+    report.totals["backends"] = backends
+    report.totals["violations"] = violations
+    report.totals["ok"] = ok
     report.totals["sliced"] = sliced
     report.finish_totals()
     return report

@@ -121,6 +121,14 @@ class SimResult:
         """
         params = dataclasses.asdict(self.params)
         params["commit_mode"] = self.params.commit_mode.value
+        if self.params.backend == "baseline":
+            # Same contract as the blame/telemetry keys below: only
+            # non-default backends serialize their selection (and the
+            # tardis-only lease knob), so pre-backend digests (goldens)
+            # stay unchanged.  ``system_params_from_dict`` restores the
+            # defaults on load.
+            del params["backend"]
+            del params["cache"]["tardis_lease"]
         payload = {
             "params": params,
             "cycles": self.cycles,

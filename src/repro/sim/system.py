@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..coherence.directory import DirectoryBank
-from ..coherence.private_cache import PrivateCache
+from ..coherence import get_backend
 from ..common.errors import DeadlockError, SimulationError
 from ..common.event_queue import EventQueue
 from ..common.params import SystemParams
@@ -35,6 +34,8 @@ class MulticoreSystem:
 
     def __init__(self, params: SystemParams) -> None:
         params.validate()
+        self.backend = get_backend(params.backend)
+        self.backend.validate_params(params)
         self.params = params
         self.events = EventQueue()
         self.stats = StatsRegistry()
@@ -44,18 +45,21 @@ class MulticoreSystem:
         self.bus = EventBus(self.events)
         self.tracker: Optional[SpanTracker] = None
         self.sampler: Optional[MetricsSampler] = None
+        #: Per-cycle callback (e.g. an invariant probe from
+        #: ``repro.coherence.invariants.attach_probe``); inert when None.
+        self.probe = None
         self.network = MeshNetwork(params.num_cores, params.network,
                                    self.events, self.stats, bus=self.bus)
-        self.directories: List[DirectoryBank] = [
-            DirectoryBank(tile, params.cache, self.network, self.events,
-                          self.stats, writers_block=params.writers_block,
-                          bus=self.bus)
+        self.directories: List = [
+            self.backend.build_directory(
+                tile, params.cache, self.network, self.events, self.stats,
+                writers_block=params.writers_block, bus=self.bus)
             for tile in range(params.num_cores)
         ]
-        self.caches: List[PrivateCache] = [
-            PrivateCache(tile, params.cache, self.network, self.events,
-                         self.stats, writers_block=params.writers_block,
-                         bus=self.bus)
+        self.caches: List = [
+            self.backend.build_cache(
+                tile, params.cache, self.network, self.events, self.stats,
+                writers_block=params.writers_block, bus=self.bus)
             for tile in range(params.num_cores)
         ]
         self.cores: List = [self._build_core(tile)
@@ -115,10 +119,13 @@ class MulticoreSystem:
         # cores that can still make progress.
         running = [core for core in self.cores if not core.done]
         sampler = self.sampler
+        probe = self.probe
         while True:
             events.run_due()
             if sampler is not None and events.now >= sampler.next_cycle:
                 sampler.take(events.now)
+            if probe is not None:
+                probe(events.now)
             if not running:
                 if events.empty:
                     break

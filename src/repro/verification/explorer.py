@@ -27,7 +27,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..coherence.directory import DirectoryBank
+from ..coherence.backend import get_backend
 from ..coherence.private_cache import LoadRequest, PrivateCache
 from ..common.errors import SimulationError
 from ..common.event_queue import EventQueue
@@ -112,6 +112,11 @@ class VerifCore:
         self.nacked: set = set()
         self.load_results: List[Tuple[int, Tuple[int, int], bool]] = []
         self.load_retries: int = 0
+        #: Byte addresses of loads bounced with ``on_must_retry`` and
+        #: not yet reissued (a tardis fill can arrive already expired).
+        #: Scenarios drain this from ``on_quiescent`` via
+        #: :meth:`reissue_retries`.
+        self.retry_addrs: List[int] = []
         self.writes_granted: int = 0
         self._next_load = 0
 
@@ -134,12 +139,14 @@ class VerifCore:
 
     def _on_retry(self, wait_for_sos: bool = True) -> None:
         self.load_retries += 1
+        self.retry_addrs.append(self._current_addr)
 
     def _is_ordered(self) -> bool:
         return True  # scripted loads act as the SoS load
 
     def issue_load(self, byte_addr: int) -> None:
         self._current_load = self._next_load
+        self._current_addr = byte_addr
         self._next_load += 1
         request = LoadRequest(byte_addr=byte_addr,
                               is_ordered=self._is_ordered,
@@ -153,12 +160,20 @@ class VerifCore:
         (paper §3.5.2 — what a real core does for its SoS load once the
         directory hints the write is blocked)."""
         self._current_load = self._next_load
+        self._current_addr = byte_addr
         self._next_load += 1
         request = LoadRequest(byte_addr=byte_addr,
                               is_ordered=self._is_ordered,
                               on_value=self._on_value,
                               on_must_retry=self._on_retry)
         self.cache.load(request, sos_bypass=True)
+
+    def reissue_retries(self) -> int:
+        """Reissue every bounced load once; returns how many."""
+        addrs, self.retry_addrs = self.retry_addrs, []
+        for addr in addrs:
+            self.issue_load(addr)
+        return len(addrs)
 
     def _on_granted(self) -> None:
         self.writes_granted += 1
@@ -174,22 +189,34 @@ class VerifCore:
 
 
 class VerifSystem:
-    """Protocol-only system (no pipelines) built for exploration."""
+    """Protocol-only system (no pipelines) built for exploration.
+
+    ``backend`` selects the coherence protocol under exploration (see
+    :mod:`repro.coherence.backend`); directories and caches come from
+    the backend's factories, so the explored objects are always the
+    production controllers.  A backend without WritersBlock support
+    (tardis) silently forces ``writers_block=False`` — the flag only
+    parameterizes the baseline protocol.
+    """
 
     def __init__(self, num_tiles: int = 4, *, writers_block: bool = True,
-                 cache_params: Optional[CacheParams] = None) -> None:
+                 cache_params: Optional[CacheParams] = None,
+                 backend: str = "baseline") -> None:
+        self.backend = get_backend(backend)
+        if not self.backend.supports_writers_block:
+            writers_block = False
         self.events = EventQueue()
         self.stats = StatsRegistry()
         params = cache_params or CacheParams()
         self.network = BufferingNetwork(
             num_tiles, NetworkParams(model_contention=False), self.events,
             self.stats)
-        self.dirs = [DirectoryBank(t, params, self.network, self.events,
-                                   self.stats, writers_block=writers_block)
-                     for t in range(num_tiles)]
-        self.caches = [PrivateCache(t, params, self.network, self.events,
-                                    self.stats, writers_block=writers_block)
-                       for t in range(num_tiles)]
+        self.dirs = [self.backend.build_directory(
+            t, params, self.network, self.events, self.stats,
+            writers_block=writers_block) for t in range(num_tiles)]
+        self.caches = [self.backend.build_cache(
+            t, params, self.network, self.events, self.stats,
+            writers_block=writers_block) for t in range(num_tiles)]
         self.cores = [VerifCore(t) for t in range(num_tiles)]
         #: Scenario scratch space: lives on the system so it forks with
         #: it at each exploration branch (use instead of closure state).
@@ -213,15 +240,30 @@ class VerifSystem:
                 raise SimulationError("settle() did not converge")
 
     def fingerprint(self) -> Tuple:
-        """Hashable summary of protocol-visible state."""
+        """Hashable summary of protocol-visible state.
+
+        Backend-tolerant: baseline-only fields (sharer lists, deferred
+        counts) and tardis-only fields (wts/rts leases, per-cache pts,
+        the stale-lease ledger, spilled timestamps) are read with
+        ``getattr`` defaults, so the same dedup key works for every
+        registered protocol without over-merging states that differ
+        only in timestamp bookkeeping.
+        """
         pend = tuple(sorted(
             (m.msg_type.value, m.src, m.dst, m.dst_port, int(m.line),
              tuple(sorted((k, str(v)) for k, v in m.payload.items()
                           if k != "data")))
             for m in self.network.pending))
         caches = tuple(
-            tuple(sorted((int(line), entry.state.value)
-                         for line, entry in cache._lines.items()))
+            (tuple(sorted((int(line), entry.state.value,
+                           getattr(entry, "wts", 0),
+                           getattr(entry, "rts", 0))
+                          for line, entry in cache._lines.items())),
+             getattr(cache, "pts", 0),
+             tuple(sorted((int(line), ts) for line, ts in
+                          getattr(cache, "_stale_leases", {}).items())),
+             tuple(sorted((int(line), n) for line, n in
+                          getattr(cache, "_renew_fails", {}).items())))
             for cache in self.caches)
         mshrs = tuple(
             tuple(sorted((int(e.line), e.kind, e.acks_received,
@@ -229,15 +271,25 @@ class VerifSystem:
                          for e in cache.mshrs.entries()))
             for cache in self.caches)
         dirs = tuple(
-            tuple(sorted((int(line), entry.state.value, str(entry.owner),
-                          tuple(sorted(entry.sharers)), len(entry.queue),
-                          entry.deferred_expected)
-                         for line, entry in bank._array.items()))
+            (tuple(sorted((int(line), entry.state.value, str(entry.owner),
+                           tuple(sorted(getattr(entry, "sharers", ()))),
+                           len(entry.queue),
+                           getattr(entry, "deferred_expected", 0),
+                           getattr(entry, "wts", 0),
+                           getattr(entry, "rts", 0),
+                           str(getattr(entry, "reader", None)),
+                           str(getattr(entry, "writer", None)),
+                           getattr(entry, "fetching", False))
+                          for line, entry in bank._array.items())),
+             tuple(sorted(int(line) for line in bank._evicting)),
+             tuple(sorted((int(line), ts) for line, ts in
+                          getattr(bank, "_ts_memory", {}).items())))
             for bank in self.dirs)
         cores = tuple(
             (tuple(sorted(int(l) for l in core.lockdowns)),
              tuple(sorted(int(l) for l in core.nacked)),
-             len(core.load_results), core.writes_granted)
+             len(core.load_results), tuple(core.retry_addrs),
+             core.writes_granted)
             for core in self.cores)
         return (pend, caches, mshrs, dirs, cores)
 
@@ -261,6 +313,8 @@ def explore(setup: Callable[[VerifSystem], None],
             final_check: Callable[[VerifSystem], Optional[str]], *,
             num_tiles: int = 4, writers_block: bool = True,
             max_states: int = 20_000, por: bool = True,
+            backend: str = "baseline",
+            cache_params: Optional[CacheParams] = None,
             on_quiescent: Optional[Callable[[VerifSystem], None]] = None,
             ) -> ExplorationResult:
     """Explore every delivery order of the scenario built by *setup*.
@@ -286,7 +340,8 @@ def explore(setup: Callable[[VerifSystem], None],
     is pruned outright, a revisit that would explore *more* (smaller
     sleep) re-expands and records the intersection.
     """
-    root = VerifSystem(num_tiles, writers_block=writers_block)
+    root = VerifSystem(num_tiles, writers_block=writers_block,
+                       backend=backend, cache_params=cache_params)
     setup(root)
     root.settle()
     result = ExplorationResult()

@@ -109,6 +109,21 @@ def conform_invariant(system: VerifSystem) -> Optional[str]:
     return combined_invariant(system) or sos_never_blocked(system)
 
 
+def backend_cycle_invariant(system: VerifSystem) -> Optional[str]:
+    """The system's backend-specific every-cycle invariants (first
+    violation, or None) — timestamp SWMR / monotonicity for tardis,
+    exclusive-owner SWMR for baseline."""
+    problems = system.backend.cycle_problems(system)
+    return problems[0] if problems else None
+
+
+def backend_quiescent_invariant(system: VerifSystem) -> Optional[str]:
+    """The backend's full quiescent-state invariants (path-end only:
+    they assume no in-flight messages)."""
+    problems = system.backend.coherence_problems(system)
+    return problems[0] if problems else None
+
+
 def no_residue(system: VerifSystem) -> Optional[str]:
     """Path-end check: nothing in flight, nothing transient, no MSHRs."""
     if system.network.pending:

@@ -1,7 +1,16 @@
 """Protocol-level harness: caches + directory + mesh, no cores.
 
-Tests drive PrivateCache methods directly and control the lockdown
+Tests drive the private-cache methods directly and control the lockdown
 hooks, so every protocol transition can be exercised deterministically.
+
+The harness is backend-parametric: ``base_harness`` (and the
+``backend_name`` fixture riding along with it) runs each test once per
+registered coherence backend, building the caches and directory banks
+through the backend's factories.  Tests that assert baseline-specific
+mechanics (MESI line states, invalidation traffic, sharer sets) carry
+``@pytest.mark.baseline_only`` and are skipped for the other backends.
+The ``harness`` fixture stays baseline-only by construction: it enables
+WritersBlock, which only the baseline protocol implements.
 """
 
 from __future__ import annotations
@@ -10,8 +19,8 @@ from typing import Dict, List, Optional, Set
 
 import pytest
 
-from repro.coherence.directory import DirectoryBank
-from repro.coherence.private_cache import LoadRequest, PrivateCache
+from repro.coherence.backend import backend_names, get_backend
+from repro.coherence.private_cache import LoadRequest
 from repro.common.event_queue import EventQueue
 from repro.common.params import CacheParams, NetworkParams
 from repro.common.stats import StatsRegistry
@@ -19,22 +28,36 @@ from repro.common.types import LineAddr
 from repro.network.mesh import MeshNetwork
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "baseline_only: test asserts baseline (MESI/WritersBlock) "
+        "mechanics; skipped for other coherence backends")
+
+
 class ProtocolHarness:
     def __init__(self, num_tiles: int = 4, *, writers_block: bool = True,
-                 cache_params: Optional[CacheParams] = None) -> None:
+                 cache_params: Optional[CacheParams] = None,
+                 backend: str = "baseline") -> None:
+        self.backend_name = backend
+        self.backend = get_backend(backend)
+        if not self.backend.supports_writers_block:
+            writers_block = False
         self.events = EventQueue()
         self.stats = StatsRegistry()
         self.params = cache_params or CacheParams()
         self.network = MeshNetwork(num_tiles, NetworkParams(), self.events,
                                    self.stats)
-        self.dirs: List[DirectoryBank] = [
-            DirectoryBank(t, self.params, self.network, self.events,
-                          self.stats, writers_block=writers_block)
+        self.dirs = [
+            self.backend.build_directory(t, self.params, self.network,
+                                         self.events, self.stats,
+                                         writers_block=writers_block)
             for t in range(num_tiles)
         ]
-        self.caches: List[PrivateCache] = [
-            PrivateCache(t, self.params, self.network, self.events,
-                         self.stats, writers_block=writers_block)
+        self.caches = [
+            self.backend.build_cache(t, self.params, self.network,
+                                     self.events, self.stats,
+                                     writers_block=writers_block)
             for t in range(num_tiles)
         ]
         #: Per-tile lines currently "in lockdown" (simulating the core).
@@ -112,7 +135,7 @@ class ProtocolHarness:
     def line(self, byte_addr: int) -> LineAddr:
         return LineAddr(byte_addr // self.params.line_bytes)
 
-    def home_dir(self, byte_addr: int) -> DirectoryBank:
+    def home_dir(self, byte_addr: int):
         return self.dirs[int(self.line(byte_addr)) % len(self.dirs)]
 
 
@@ -121,7 +144,18 @@ def harness():
     return ProtocolHarness()
 
 
+@pytest.fixture(params=backend_names())
+def backend_name(request):
+    """The coherence backend under test; skips ``baseline_only`` tests
+    for every backend except baseline."""
+    if request.param != "baseline" and \
+            request.node.get_closest_marker("baseline_only"):
+        pytest.skip(f"baseline-specific mechanics (backend={request.param})")
+    return request.param
+
+
 @pytest.fixture
-def base_harness():
-    """Harness with WritersBlock disabled (base MESI protocol)."""
-    return ProtocolHarness(writers_block=False)
+def base_harness(backend_name):
+    """Backend-parametric harness with WritersBlock disabled — the
+    protocol surface every backend must provide."""
+    return ProtocolHarness(writers_block=False, backend=backend_name)

@@ -1,0 +1,99 @@
+"""The backend registry and its capability contract.
+
+The matrix the rest of the suite relies on: both shipped backends are
+registered, their capability flags gate configuration validation (the
+tardis backend has no WritersBlock and therefore no OOO_WB commit
+mode), the conformance runner resolves each backend's strongest sound
+commit mode, and a third backend is one ``register_backend`` call away.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.coherence import backend as backend_mod
+from repro.coherence.backend import (
+    BaselineBackend,
+    CoherenceBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.coherence.tardis import TardisBackend, TardisCache, TardisDirectory
+from repro.common.errors import ConfigError
+from repro.common.types import CommitMode
+from repro.conform import default_mode_for
+from repro.common.params import table6_system
+from repro.sim import MulticoreSystem
+
+
+def test_both_shipped_backends_are_registered():
+    assert {"baseline", "tardis"} <= set(backend_names())
+    assert isinstance(get_backend("baseline"), BaselineBackend)
+    assert isinstance(get_backend("tardis"), TardisBackend)
+
+
+def test_unknown_backend_is_a_config_error():
+    with pytest.raises(ConfigError, match="unknown coherence backend"):
+        get_backend("dragon")
+
+
+def test_capability_flags():
+    baseline = get_backend("baseline")
+    assert baseline.supports_writers_block
+    assert baseline.has_invalidations
+    assert baseline.supported_commit_modes is None  # all modes
+    tardis = get_backend("tardis")
+    assert not tardis.supports_writers_block
+    assert not tardis.has_invalidations
+    assert CommitMode.OOO_WB not in tardis.supported_commit_modes
+    assert {CommitMode.IN_ORDER, CommitMode.OOO} \
+        <= set(tardis.supported_commit_modes)
+
+
+def test_tardis_rejects_writersblock_and_ooo_wb():
+    tardis = get_backend("tardis")
+    with pytest.raises(ConfigError, match="WritersBlock"):
+        tardis.validate_params(table6_system(
+            "SLM", commit_mode=CommitMode.OOO, writers_block=True))
+    # OOO_WB implies writers_block; probe the mode check on its own.
+    params = dataclasses.replace(
+        table6_system("SLM", commit_mode=CommitMode.OOO_WB),
+        writers_block=False)
+    with pytest.raises(ConfigError, match="commit mode"):
+        tardis.validate_params(params)
+    # The supported combination validates cleanly.
+    tardis.validate_params(table6_system("SLM", commit_mode=CommitMode.OOO))
+
+
+def test_system_construction_goes_through_the_backend():
+    params = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO,
+                           backend="tardis")
+    system = MulticoreSystem(params)
+    assert system.backend is get_backend("tardis")
+    assert all(isinstance(c, TardisCache) for c in system.caches)
+    assert all(isinstance(d, TardisDirectory) for d in system.directories)
+    bad = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO_WB,
+                        backend="tardis")
+    with pytest.raises(ConfigError):
+        MulticoreSystem(bad)
+
+
+def test_default_mode_for_resolves_the_strongest_sound_mode():
+    assert default_mode_for("baseline") is CommitMode.OOO_WB
+    assert default_mode_for("tardis") is CommitMode.OOO
+
+
+def test_third_backend_is_one_registration_away(monkeypatch):
+    class NullBackend(CoherenceBackend):
+        name = "null"
+        supports_writers_block = False
+        supported_commit_modes = (CommitMode.IN_ORDER, CommitMode.OOO)
+
+    monkeypatch.delitem(backend_mod._REGISTRY, "null", raising=False)
+    try:
+        register_backend(NullBackend())
+        assert "null" in backend_names()
+        assert default_mode_for("null") is CommitMode.OOO
+    finally:
+        backend_mod._REGISTRY.pop("null", None)

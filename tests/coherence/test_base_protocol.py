@@ -1,8 +1,18 @@
-"""Base MESI directory protocol: reads, writes, invalidations, writebacks."""
+"""Base protocol behavior: reads, writes, invalidations, writebacks.
+
+Backend-parametric via ``base_harness``: value-propagation tests run on
+every registered backend; tests pinned to MESI line states or
+invalidation traffic are ``baseline_only``.
+"""
+
+import pytest
 
 from repro.common.types import CacheState, DirState
 
+baseline_only = pytest.mark.baseline_only
 
+
+@baseline_only
 def test_cold_read_grants_exclusive(base_harness):
     h = base_harness
     out = h.read_blocking(0, 0x1000)
@@ -15,6 +25,7 @@ def test_cold_read_grants_exclusive(base_harness):
     assert entry.owner == 0
 
 
+@baseline_only
 def test_second_reader_makes_both_sharers(base_harness):
     h = base_harness
     h.read_blocking(0, 0x1000)
@@ -28,6 +39,7 @@ def test_second_reader_makes_both_sharers(base_harness):
     assert entry.sharers == {0, 1}
 
 
+@baseline_only
 def test_write_invalidates_sharers_and_transfers_value(base_harness):
     h = base_harness
     h.read_blocking(0, 0x1000)
@@ -45,6 +57,7 @@ def test_write_invalidates_sharers_and_transfers_value(base_harness):
     assert out["value"] == (1, 42)
 
 
+@baseline_only
 def test_read_after_write_downgrades_owner(base_harness):
     h = base_harness
     h.write_blocking(0, 0x1000, version=1, value=7)
@@ -57,6 +70,7 @@ def test_read_after_write_downgrades_owner(base_harness):
     assert entry.sharers == {0, 1}
 
 
+@baseline_only
 def test_upgrade_from_shared(base_harness):
     h = base_harness
     h.read_blocking(0, 0x1000)
@@ -68,6 +82,7 @@ def test_upgrade_from_shared(base_harness):
     assert h.caches[0].line_state(line) is CacheState.I
 
 
+@baseline_only
 def test_silent_store_upgrade_from_exclusive(base_harness):
     h = base_harness
     h.read_blocking(0, 0x1000)  # E state

@@ -1,5 +1,7 @@
 """Directory race handling: writebacks vs forwards, stale puts, queues."""
 
+import pytest
+
 from repro.common.types import CacheState, DirState, LineAddr, MsgType
 from repro.network.message import Message
 
@@ -77,6 +79,7 @@ def test_stale_putm_gets_wbacked(harness):
     assert out["value"] == (2, 10)  # stale data did not clobber
 
 
+@pytest.mark.baseline_only
 def test_puts_removes_sharer(base_harness):
     h = base_harness
     h.read_blocking(0, 0x1000)

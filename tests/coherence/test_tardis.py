@@ -1,0 +1,151 @@
+"""Directed tests for the tardis timestamp-coherence backend.
+
+Each test drives the protocol harness (``backend="tardis"``) through
+one mechanism of the Yu & Devadas design: lease-bounded stale reads
+with zero invalidation traffic, lease expiry forcing renewal, owner
+recalls on ownership transfer, directory-side timestamp bumping, the
+``_ts_memory`` ledger that keeps evicted leases ordered against future
+writes, and the exponential lease escalation that breaks renewal
+livelock.
+"""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.params import CacheParams
+from repro.common.types import CacheState, DirState, MsgType
+
+from .conftest import ProtocolHarness
+
+ADDR = 0x1000
+ADDR_B = 0x2000
+
+
+@pytest.fixture
+def th():
+    return ProtocolHarness(backend="tardis")
+
+
+def test_write_sends_no_invalidations_and_stale_read_is_lease_bounded(th):
+    h = th
+    assert h.read_blocking(0, ADDR)["value"] == (0, 0)
+    h.write_blocking(1, ADDR, version=1, value=42)
+    h.run()
+    # No invalidation reached core 0, and no recall was needed: the
+    # directory held the line in S, so ownership was granted directly.
+    assert h.invalidations[0] == []
+    assert h.stats.value("tardis.recalls") == 0
+    # Core 0's leased copy is still usable: the re-read hits locally
+    # and returns the OLD value — a legal (TSO-reorderable) stale read,
+    # ordered before the write because its timestamp is.
+    out = h.read_blocking(0, ADDR)
+    assert out["status"] == "hit"
+    assert out["value"] == (0, 0)
+
+
+def test_lease_expiry_fires_hook_and_renewal_fetches_fresh_data(th):
+    h = th
+    line = h.line(ADDR)
+    h.read_blocking(0, ADDR)                      # lease on ADDR, rts=10
+    h.write_blocking(1, ADDR, version=1, value=42)  # wts jumps past the lease
+    h.run()
+    h.write_blocking(1, ADDR_B, version=1, value=7)  # wts(B) = core 1's pts
+    h.run()
+    # Core 0 reads B: the directory recalls core 1's copy, and binding
+    # at B's write timestamp advances core 0 past its ADDR lease — the
+    # expiry sweep fires the synthetic invalidation hook for ADDR.
+    out = h.read_blocking(0, ADDR_B)
+    assert out["value"] == (1, 7)
+    assert line in h.invalidations[0]
+    assert h.stats.value("tardis.lease_expiries") >= 1
+    # The expired copy is still resident: the next read self-renews,
+    # and since the directory's wts moved, the renewal carries data.
+    out = h.read_blocking(0, ADDR)
+    assert out["value"] == (1, 42)
+    assert h.stats.value("tardis.renews_sent") == 1
+    assert h.stats.value("tardis.renewals_with_data") == 1
+
+
+def test_recall_downgrades_owner_and_extends_its_lease(th):
+    h = th
+    line = h.line(ADDR)
+    h.write_blocking(0, ADDR, version=1, value=7)
+    h.run()
+    out = h.read_blocking(1, ADDR)
+    assert out["value"] == (1, 7)
+    assert h.stats.value("tardis.recalls") == 1
+    # The recalled owner keeps a leased shared copy (no invalidation).
+    assert h.caches[0].line_state(line) is CacheState.S
+    entry = h.home_dir(ADDR).entry(line)
+    assert entry.state is DirState.S
+    # The directory merged the owner's timestamps: the reported rts
+    # covers the owner's extended lease, so the next writer's version
+    # lands strictly after it.
+    wts, rts = h.home_dir(ADDR).authoritative_ts(line)
+    assert wts == 1
+    assert rts >= wts + h.params.tardis_lease
+
+
+def test_ownership_transfer_bumps_write_timestamp_past_all_leases(th):
+    h = th
+    line = h.line(ADDR)
+    h.read_blocking(0, ADDR)
+    h.read_blocking(1, ADDR)
+    __, rts_before = h.home_dir(ADDR).authoritative_ts(line)
+    h.write_blocking(2, ADDR, version=1, value=5)
+    # The store's logical time is bumped past every lease the directory
+    # ever granted — SWMR in timestamp order without invalidating the
+    # readers' (still resident) copies.
+    assert h.caches[2].line_entry(line).wts > rts_before
+    assert h.invalidations[0] == [] and h.invalidations[1] == []
+
+
+def test_ts_memory_preserves_lease_obligations_across_llc_eviction():
+    params = CacheParams(llc_sets_per_bank=1, llc_ways=1)
+    h = ProtocolHarness(backend="tardis", cache_params=params)
+    line = h.line(0x000)
+    h.read_blocking(0, 0x000)                     # line 0, bank 0
+    __, rts_before = h.dirs[0].authoritative_ts(line)
+    assert rts_before == params.tardis_lease
+    h.read_blocking(1, 0x100)                     # line 4: same bank+set
+    # The S entry spilled silently, but its timestamps persisted.
+    assert h.dirs[0].entry(line) is None
+    assert h.dirs[0].authoritative_ts(line) == (0, rts_before)
+    # A writer re-fetching the line inherits the persisted rts, so its
+    # store still lands after core 0's outstanding lease.
+    h.write_blocking(2, 0x000, version=1, value=3)
+    assert h.caches[2].line_entry(line).wts > rts_before
+    # ... and core 0's leased copy stays usable until then.
+    assert h.read_blocking(0, 0x000)["value"] == (0, 0)
+
+
+def test_failed_renewals_escalate_the_requested_lease():
+    h = ProtocolHarness(backend="tardis",
+                        cache_params=CacheParams(tardis_lease=1))
+    line = h.line(ADDR)
+    h.read_blocking(0, ADDR)                      # rts = 1; bind puts pts = 1
+    sent = []
+    orig = h.caches[0]._send
+
+    def spy(msg_type, dst, port, line_, **payload):
+        sent.append((msg_type, dict(payload)))
+        orig(msg_type, dst, port, line_, **payload)
+
+    h.caches[0]._send = spy
+    h.caches[0]._renew_fails[line] = 3            # three bounced renewals
+    out = h.read_blocking(0, ADDR)                # expired: self-renew
+    assert out["value"] == (0, 0)
+    renews = [p for t, p in sent if t is MsgType.RENEW]
+    assert renews and renews[0]["lease"] == 1 << 3
+    # The directory honors the escalated ask: the granted lease is the
+    # requested one, not the (smaller) configured default.
+    assert h.caches[0].line_entry(line).rts >= renews[0]["pts"] + (1 << 3)
+
+
+def test_store_without_ownership_and_deferred_ack_are_protocol_errors(th):
+    h = th
+    h.read_blocking(0, ADDR)                      # leased, not owned
+    with pytest.raises(ProtocolError):
+        h.caches[0].perform_store(ADDR, 1, 1)
+    with pytest.raises(ProtocolError):
+        h.caches[0].send_deferred_ack(h.line(ADDR))

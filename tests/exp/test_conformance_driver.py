@@ -24,8 +24,20 @@ def test_quick_scale_runs_the_tier1_slice():
     assert 30 <= report.totals["tests"] < 100
     families = {row["family"] for row in report.rows if "family" in row}
     assert {"mp", "sb", "iriw", "corr3", "isa24"} <= families
+    # Every backend of the matrix ran the same slice under its
+    # strongest supported commit mode, sim ⊆ operational throughout.
+    backends = report.totals["backends"]
+    assert set(backends) == {"baseline", "tardis"}
+    assert backends["baseline"]["mode"] == "ooo-wb"
+    assert backends["tardis"]["mode"] == "ooo"
+    for info in backends.values():
+        assert info["ok"] is True
+        assert info["tests"] == report.totals["tests"]
+        assert info["violations"] == 0
     explorations = [row for row in report.rows if "exploration" in row]
-    assert {row["exploration"] for row in explorations} == {"mp", "sos"}
+    assert {(row["backend"], row["exploration"]) for row in explorations} \
+        == {("baseline", "mp"), ("baseline", "sos"),
+            ("tardis", "tardis_lease"), ("tardis", "tardis_recall")}
     for row in explorations:
         assert row["ok"] is True
         assert row["sleep_pruned"] > 0

@@ -16,6 +16,11 @@ where simulator and checker share a wrong assumption.
 Battery size: ~200 programs tier-1 (seconds), scaled up under
 ``--slow``; ``REPRO_FUZZ_COUNT`` overrides (CI smoke uses 40).
 Failures replay by seed alone.
+
+The battery runs once per coherence backend: the tardis leg replays the
+same seeds on timestamp coherence (which has no OOO_WB mode — leases
+stand in for invalidations), proving its reorderings stay inside
+x86-TSO too.
 """
 
 import os
@@ -33,6 +38,9 @@ from repro.workloads.generators import random_shared_program
 from repro.workloads.trace import AddressSpace, TraceBuilder
 
 MODES = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB)
+#: Tardis has no WritersBlock, hence no OOO_WB commit mode.
+TARDIS_MODES = (CommitMode.IN_ORDER, CommitMode.OOO)
+BACKEND_MODES = {"baseline": MODES, "tardis": TARDIS_MODES}
 DELAY_MENU = ((0, 0, 0), (0, 40, 0), (40, 0, 20), (15, 0, 55))
 
 
@@ -55,7 +63,7 @@ def to_operational(program):
     return lowered
 
 
-def run_on_simulator(program, mode, delays):
+def run_on_simulator(program, mode, delays, backend="baseline"):
     space = AddressSpace()
     addr = {}
     out_regs = []
@@ -78,7 +86,8 @@ def run_on_simulator(program, mode, delays):
                 t.tas(reg, addr[loc])
                 out_regs.append((tid, reg, f"t{tid}:{payload}"))
         traces.append(t.build())
-    params = table6_system("SLM", num_cores=4, commit_mode=mode)
+    params = table6_system("SLM", num_cores=4, commit_mode=mode,
+                           backend=backend)
     system = MulticoreSystem(params)
     system.load_program(traces)
     system.run()
@@ -86,33 +95,41 @@ def run_on_simulator(program, mode, delays):
             for tid, reg, name in out_regs}
 
 
-def check_seed(seed):
+def check_seed(seed, backend="baseline"):
     """One fuzz case: a program, checked across modes and skews."""
     num_threads = 2 + seed % 2
     program = random_shared_program(seed, num_threads=num_threads)
     reference = to_operational(program)
-    mode = MODES[seed % len(MODES)]
-    delays = DELAY_MENU[(seed // len(MODES)) % len(DELAY_MENU)]
-    observed = run_on_simulator(program, mode, delays)
+    modes = BACKEND_MODES[backend]
+    mode = modes[seed % len(modes)]
+    delays = DELAY_MENU[(seed // len(modes)) % len(DELAY_MENU)]
+    observed = run_on_simulator(program, mode, delays, backend)
     assert outcome_reachable(reference, observed), (
-        f"seed {seed}: {program} under {mode.value} delays {delays} "
-        f"produced {observed}, which x86-TSO cannot reach")
+        f"seed {seed}: {program} under {mode.value} ({backend}) delays "
+        f"{delays} produced {observed}, which x86-TSO cannot reach")
 
 
 BATCHES = 8
 
 
+@pytest.mark.parametrize("backend", ("baseline", "tardis"))
 @pytest.mark.parametrize("batch", range(BATCHES))
-def test_differential_fuzz_battery(batch, slow):
+def test_differential_fuzz_battery(batch, backend, slow):
     """Seeded battery, split into batches so failures localize."""
     count = default_count() * (10 if slow else 1)
     lo = batch * count // BATCHES
     hi = (batch + 1) * count // BATCHES
     for seed in range(lo, hi):
-        check_seed(seed)
+        check_seed(seed, backend)
 
 
 def test_known_racy_seed_is_admissible():
     """Pin one seed whose program races on a single line (regression
     anchor: its shape exercises tas + store + load on one location)."""
     check_seed(7)
+
+
+def test_tardis_regression_seed_107():
+    """Seed 107 once leaked a load bound from a superseded lease
+    (advance-then-bind ordering); keep it pinned on the tardis leg."""
+    check_seed(107, "tardis")

@@ -72,3 +72,43 @@ def test_goldens_file_is_canonical_json():
     canonical = json.dumps(committed, indent=1, sort_keys=True) + "\n"
     assert GOLDEN_PATH.read_text() == canonical, (
         "goldens file not in canonical form; rewrite with --update-goldens")
+
+
+def test_backend_keys_stay_out_of_baseline_payloads():
+    """The backend refactor must be byte-invisible to baseline results:
+    a baseline ``SimResult`` serializes without the ``backend`` /
+    ``tardis_lease`` params (so all committed digests are unchanged),
+    while a non-default backend records its selection."""
+    from repro.common.params import table6_system
+    from repro.common.types import CommitMode
+    from repro.sim.runner import run_traces
+    from repro.workloads.trace import AddressSpace, TraceBuilder
+
+    space = AddressSpace()
+    addr = space.new_var("x")
+    t0 = TraceBuilder()
+    t0.store(addr, 1)
+    t1 = TraceBuilder()
+    t1.load(t1.reg(), addr)
+    traces = [t0.build(), t1.build()]
+
+    base = run_traces(traces, table6_system(
+        "SLM", num_cores=4, commit_mode=CommitMode.OOO_WB))
+    payload = base.to_dict()
+    assert "backend" not in payload["params"]
+    assert "tardis_lease" not in payload["params"]["cache"]
+    assert "backend" not in base.to_json()
+
+    tardis = run_traces(traces, table6_system(
+        "SLM", num_cores=4, commit_mode=CommitMode.OOO, backend="tardis"))
+    payload = tardis.to_dict()
+    assert payload["params"]["backend"] == "tardis"
+    assert "tardis_lease" in payload["params"]["cache"]
+
+
+def test_golden_corpus_holds_the_36_pinned_cases(update_goldens):
+    """The backend-matrix PR pins the corpus size: 36 baseline digests,
+    all of which must survive the refactor byte-identically."""
+    if update_goldens:
+        pytest.skip("goldens being regenerated")
+    assert len(load_digests(GOLDEN_PATH)) == 36
