@@ -1,18 +1,23 @@
-"""Self-contained HTML dashboard for ``repro-metrics/1`` telemetry.
+"""Self-contained HTML dashboards for telemetry payloads.
 
-One static file, no external assets or scripts: inline CSS, inline SVG
-heatmaps (tile rows x sample columns, one panel per gauge), and the
-per-gauge summary table from :func:`repro.obs.metrics.summarize_metrics`.
-Output depends only on the payload (plus whatever ``meta`` the caller
-embeds), so regenerating a dashboard from the same stream is
-byte-stable.
+One static file, no external assets or scripts: inline CSS and inline
+SVG heatmaps.  Two renderers share the style: the ``repro-metrics/1``
+dashboard (tile rows x sample columns, one panel per gauge, plus the
+summary table from :func:`repro.obs.metrics.summarize_metrics`) and the
+``repro-coverage/1`` dashboard (state rows x event columns per
+component, cells heat-scaled by observation count, declared-but-cold
+transitions visibly distinct from impossible cells).  Output depends
+only on the payload (plus whatever ``meta`` the caller embeds), so
+regenerating a dashboard from the same stream is byte-stable.
 """
 
 from __future__ import annotations
 
 import html
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.coverage import CoverageMap, coverage_report, format_transition
 from ..obs.export import PathLike, open_output
 from ..obs.metrics import GAUGES, sample_cycles, summarize_metrics, tile_series
 
@@ -143,4 +148,142 @@ def write_dashboard(payload: Dict, path: PathLike, *,
     """Render and write the dashboard; returns *path*."""
     with open_output(path) as handle:
         handle.write(render_dashboard(payload, title=title, meta=meta))
+    return path
+
+
+# ------------------------------------------------------------- coverage
+#: Fill for (state, event) cells outside the declared alphabet — visually
+#: "impossible", distinct from declared-but-never-observed (coldest ramp).
+_VOID = "#16202e"
+
+
+def coverage_heatmap_svg(states: Sequence[str], events: Sequence[str],
+                         rows: Sequence[Sequence[int]],
+                         declared: Sequence[Tuple[str, str]], *,
+                         cell_h: int = 18) -> str:
+    """State-by-event heatmap with axis labels, log-scaled by count."""
+    if not states or not events:
+        return "<svg width='0' height='0'></svg>"
+    declared_cells = set(declared)
+    heats = [[math.log1p(value) for value in row] for row in rows]
+    peak = max(max(row) for row in heats)
+    cell_w = 22
+    label_w = 6 + 7 * max(len(name) for name in states)
+    header_h = 12 + 6 * max(len(name) for name in events)
+    width = label_w + len(events) * cell_w + 40
+    height = header_h + len(states) * cell_h
+    parts: List[str] = [
+        f"<svg width='{width}' height='{height}' "
+        f"xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    for col, event in enumerate(events):
+        x = label_w + col * cell_w + cell_w // 2
+        parts.append(
+            f"<text x='{x}' y='{header_h - 6}' fill='#7c8aa0' "
+            f"font-size='10' text-anchor='start' "
+            f"transform='rotate(-55 {x} {header_h - 6})'>"
+            f"{html.escape(event)}</text>")
+    for row, state in enumerate(states):
+        y = header_h + row * cell_h
+        parts.append(
+            f"<text x='{label_w - 6}' y='{y + cell_h - 5}' fill='#7c8aa0' "
+            f"font-size='10' text-anchor='end'>{html.escape(state)}</text>")
+        for col, event in enumerate(events):
+            if rows[row][col] or (state, event) in declared_cells:
+                fill = heat_color(heats[row][col], peak)
+            else:
+                fill = _VOID
+            parts.append(
+                f"<rect x='{label_w + col * cell_w}' y='{y}' "
+                f"width='{cell_w - 1}' height='{cell_h - 1}' "
+                f"fill='{fill}'>"
+                f"<title>{html.escape(state)} x {html.escape(event)}: "
+                f"{rows[row][col]}</title></rect>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_coverage_dashboard(cmap: CoverageMap, *,
+                              title: str = "repro coverage",
+                              meta: Optional[Dict] = None) -> str:
+    """The full coverage dashboard as one HTML document string.
+
+    One summary table over all backends in the map, then per backend and
+    component a state-by-event heatmap over the *declared* alphabet —
+    cold-but-declared cells show what the batteries never reached, and
+    cells outside the alphabet render as void so protocol shape stays
+    readable.
+    """
+    from ..obs.coverage import transition_matrix
+
+    reports = {backend: coverage_report(cmap, backend)
+               for backend in cmap.backends}
+    head = " &middot; ".join(
+        f"{backend} {report['covered']}/{report['alphabet']} "
+        f"({report['coverage']:.1%})"
+        for backend, report in reports.items())
+    if meta:
+        extras = " &middot; ".join(
+            f"{html.escape(str(k))}={html.escape(str(v))}"
+            for k, v in sorted(meta.items()))
+        head += f" &middot; {extras}"
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<div class='sub'>{head}</div>",
+        "<table><tr><th>backend</th><th>component</th><th>covered</th>"
+        "<th>alphabet</th><th>coverage</th><th>observations</th></tr>",
+    ]
+    for backend, report in reports.items():
+        for component, row in sorted(report["components"].items()):
+            cov = row["coverage"]
+            cov_cell = (f"<td class='hot'>{cov:.1%}</td>" if cov < 1.0
+                        else f"<td>{cov:.1%}</td>")
+            obs = sum(cmap.count(backend, t)
+                      for t in cmap.transitions(backend)
+                      if t[0] == component)
+            out.append(
+                f"<tr><td>{backend}</td><td>{component}</td>"
+                f"<td>{row['covered']}</td><td>{row['alphabet']}</td>"
+                f"{cov_cell}<td>{obs}</td></tr>")
+    out.append("</table>")
+    from ..coherence.backend import get_backend
+
+    for backend, report in reports.items():
+        alphabet = get_backend(backend).transition_alphabet()
+        for component in sorted(report["components"]):
+            states, events, rows = transition_matrix(cmap, backend,
+                                                     component,
+                                                     alphabet=alphabet)
+            declared = sorted({(t[1], t[2]) for t in alphabet
+                               if t[0] == component})
+            out.append("<div class='panel'>")
+            out.append(f"<h2>{backend} / {component}</h2>")
+            out.append("<div class='desc'>state rows x event columns; "
+                       "cold cells are declared but never observed, void "
+                       "cells are outside the alphabet</div>")
+            out.append(coverage_heatmap_svg(states, events, rows, declared))
+            out.append("</div>")
+        if report["uncovered"]:
+            out.append("<div class='panel'>")
+            out.append(f"<h2>{backend}: uncovered "
+                       f"({len(report['uncovered'])})</h2>")
+            for transition in report["uncovered"]:
+                out.append(f"<div class='desc'>"
+                           f"{html.escape(format_transition(transition))}"
+                           "</div>")
+            out.append("</div>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def write_coverage_dashboard(cmap: CoverageMap, path: PathLike, *,
+                             title: str = "repro coverage",
+                             meta: Optional[Dict] = None) -> PathLike:
+    """Render and write the coverage dashboard; returns *path*."""
+    with open_output(path) as handle:
+        handle.write(render_coverage_dashboard(cmap, title=title, meta=meta))
     return path

@@ -35,6 +35,15 @@ Commands
                          heatmap dashboard.  ``--scale 4,8,16``
                          switches to the mesh-scaling probe
                          (events/sec + saturation vs tile count)
+``coverage [TARGET...]`` protocol transition coverage: run the
+                         verification batteries (conformance corpus,
+                         directed scenarios, capacity sweep, fuzz
+                         replay, POR exploration) with the transition
+                         probe attached and report covered/alphabet
+                         per backend, every uncovered transition by
+                         name, a ``--diff`` across backends, a
+                         mergeable ``repro-coverage/1`` JSONL stream
+                         and an ``--html`` heatmap dashboard
 
 ``bench --trend OLD [NEW]`` diffs two generations of ``BENCH_*.json``
 artifacts (e.g. the committed goldens vs a fresh CI run) and prints
@@ -182,12 +191,15 @@ def build_parser() -> argparse.ArgumentParser:
     blame_p.add_argument("target",
                          help="workload/scenario name to run observed, "
                               "or an exported .jsonl event trace")
-    blame_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    blame_p.add_argument("--mode", choices=sorted(MODES), default=None,
+                         help="commit mode (default: strongest the "
+                              "backend supports)")
     blame_p.add_argument("--top", type=int, default=10,
                          help="rows per report section (default 10)")
     blame_p.add_argument("--json", default=None,
                          help="write the repro-blame/1 payload as JSON "
                               "('-' for stdout)")
+    _add_backend(blame_p)
     _add_common(blame_p)
 
     diff_p = sub.add_parser(
@@ -197,8 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     diff_p.add_argument("b", nargs="?", default=None,
                         help="second trace (default: re-run A under "
                              "--vs-mode)")
-    diff_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb",
-                        help="commit mode for side A (default ooo-wb)")
+    diff_p.add_argument("--mode", choices=sorted(MODES), default=None,
+                        help="commit mode for side A (default: strongest "
+                             "the backend supports)")
     diff_p.add_argument("--vs-mode", choices=sorted(MODES), default="ooo",
                         help="commit mode for side B when it is run live "
                              "(default ooo: the squash-based ablation)")
@@ -207,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     diff_p.add_argument("--json", default=None,
                         help="write the repro-diff/1 payload as JSON "
                              "('-' for stdout)")
+    _add_backend(diff_p)
     _add_common(diff_p)
 
     for fig in ("fig8", "fig9", "fig10"):
@@ -269,7 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "litmus:<NAME>; optional in --scale probe "
                               "mode (then: probe workload, default "
                               "fft)")
-    stats_p.add_argument("--mode", choices=sorted(MODES), default="ooo-wb")
+    stats_p.add_argument("--mode", choices=sorted(MODES), default=None,
+                         help="commit mode (default: strongest the "
+                              "backend supports)")
+    _add_backend(stats_p)
     stats_p.add_argument("--period", type=int, default=None,
                          help="sampling period in simulated cycles "
                               "(default 100)")
@@ -348,6 +365,44 @@ def build_parser() -> argparse.ArgumentParser:
     conf_p.add_argument("--json", default=None,
                         help="write the repro-conformance/1 payload as "
                              "JSON ('-' for stdout)")
+
+    cov_p = sub.add_parser(
+        "coverage", help="protocol transition coverage: which "
+                         "(state, event) -> (next, action) transitions "
+                         "the verification batteries exercise, against "
+                         "each backend's declared alphabet")
+    cov_p.add_argument("targets", nargs="*", metavar="TARGET",
+                       help="restrict collection to directed scenarios "
+                            "(mp, sos) and/or corpus tests "
+                            "(litmus:<NAME>); default: the full battery")
+    cov_p.add_argument("--backend", choices=backend_names(), default=None,
+                       help="one coherence backend (default: all)")
+    cov_p.add_argument("--sources", default=None, metavar="S,S,...",
+                       help="comma-separated phase subset of "
+                            "corpus,scenario,capacity,fuzz,explore "
+                            "(default: all)")
+    cov_p.add_argument("--full", action="store_true",
+                       help="corpus phase runs the full corpus (default: "
+                            "the tier-1 slice; REPRO_CONFORM_FULL=1 also "
+                            "forces full)")
+    cov_p.add_argument("--diff", action="store_true",
+                       help="print the side-by-side backend coverage diff")
+    cov_p.add_argument("--load", nargs="+", default=None, metavar="FILE",
+                       help="merge exported repro-coverage/1 JSONL files "
+                            "and report, instead of collecting")
+    cov_p.add_argument("--out", default=None,
+                       help="write the merged map as repro-coverage/1 "
+                            "JSONL ('-' for stdout)")
+    cov_p.add_argument("--json", default=None,
+                       help="write the per-backend coverage reports as "
+                            "JSON ('-' for stdout)")
+    cov_p.add_argument("--html", default=None,
+                       help="write the HTML coverage heatmap dashboard")
+    cov_p.add_argument("--max-states", type=int, default=20_000,
+                       help="exploration state budget per scenario "
+                            "(default 20000)")
+    cov_p.add_argument("--core-class", choices=sorted(CORE_CLASSES),
+                       default="SLM")
 
     perf_p = sub.add_parser(
         "perf", help="single-run throughput microbenchmarks "
@@ -512,12 +567,15 @@ def _blame_side(name_or_path: str, mode: CommitMode, args):
                          f"nor a workload/scenario/litmus: target (choose "
                          f"from {', '.join(TRACEABLE)} or litmus:<NAME>)")
     params = table6_system(args.core_class, num_cores=args.cores,
-                           commit_mode=mode)
+                           commit_mode=mode, backend=args.backend)
     traces = _resolve_traces(name_or_path, args.cores, args.scale)
     result, events = run_observed(
         traces, params, check=mode is not CommitMode.OOO_UNSAFE)
-    return (events, result.cycles, f"{name_or_path} ({mode.value})",
-            {"workload": name_or_path, "mode": mode.value})
+    label = name_or_path if args.backend == "baseline" \
+        else f"{name_or_path} [{args.backend}]"
+    return (events, result.cycles, f"{label} ({mode.value})",
+            {"workload": name_or_path, "mode": mode.value,
+             "backend": args.backend})
 
 
 def cmd_blame(args) -> int:
@@ -527,8 +585,8 @@ def cmd_blame(args) -> int:
     from .obs.causal import CausalGraph
 
     say = _say_for(args.json)
-    events, cycles, label, meta = _blame_side(args.target,
-                                              MODES[args.mode], args)
+    events, cycles, label, meta = _blame_side(
+        args.target, _resolve_mode(args.backend, args.mode), args)
     graph = CausalGraph.from_events(events)
     payload = build_blame(graph, cycles=cycles, meta=meta)
     say(f"{label}: {cycles} cycles, {len(events)} events, "
@@ -551,11 +609,11 @@ def cmd_trace_diff(args) -> int:
     from .obs.diff import diff_traces, render_diff
 
     say = _say_for(args.json)
-    events_a, cycles_a, label_a, __ = _blame_side(args.a,
-                                                  MODES[args.mode], args)
+    events_a, cycles_a, label_a, __ = _blame_side(
+        args.a, _resolve_mode(args.backend, args.mode), args)
     target_b = args.b if args.b is not None else args.a
-    events_b, cycles_b, label_b, __ = _blame_side(target_b,
-                                                  MODES[args.vs_mode], args)
+    events_b, cycles_b, label_b, __ = _blame_side(
+        target_b, _resolve_mode(args.backend, args.vs_mode), args)
     if label_a == label_b:
         label_a, label_b = f"a:{label_a}", f"b:{label_b}"
     payload = diff_traces(events_a, events_b,
@@ -743,8 +801,11 @@ def cmd_conform(args) -> int:
     for name in sorted(result.explorations):
         info = result.explorations[name]
         print(f"  explore/{name:<5} states={info['states']} "
+              f"transitions={info['transitions']} "
               f"dedup={info['deduplicated']} slept={info['sleep_pruned']} "
-              f"ok={info['ok']}")
+              f"memo-hit={info['memo_hit_rate']:.0%} "
+              f"pruned={info['sleep_prune_ratio']:.0%} "
+              f"frontier={info['frontier_peak']} ok={info['ok']}")
     verdict = "OK" if result.ok else "VIOLATIONS"
     print(f"{verdict}: {len(result.reports)} tests, "
           f"{len(result.violations)} violations")
@@ -755,6 +816,117 @@ def cmd_conform(args) -> int:
     if args.json:
         _dump_json(result.to_payload(), args.json)
     return 0 if result.ok else 1
+
+
+def cmd_coverage(args) -> int:
+    from .obs.coverage import (CoverageMap, coverage_report,
+                               read_coverage_jsonl, render_coverage,
+                               render_coverage_diff, write_coverage_jsonl)
+
+    say = _say_for(args.out, args.json)
+    backends = [args.backend] if args.backend else list(backend_names())
+    cmap = CoverageMap()
+    collection = {}
+
+    if args.load:
+        if args.targets or args.sources:
+            raise SystemExit("repro: --load merges exported maps; it takes "
+                             "no collection targets or --sources")
+        for path in args.load:
+            try:
+                header, loaded = read_coverage_jsonl(path)
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"repro: {exc}")
+            cmap.merge(loaded)
+            say(f"loaded {path}: backends "
+                f"{', '.join(loaded.backends) or '(none)'}")
+        if args.backend is None:
+            backends = cmap.backends
+    else:
+        from .conform.coverage import (COVERAGE_SOURCES, collect_coverage)
+        from .obs.scenarios import LITMUS_PREFIX
+
+        sources = COVERAGE_SOURCES
+        if args.sources:
+            sources = tuple(part.strip()
+                            for part in args.sources.split(",")
+                            if part.strip())
+            unknown = set(sources) - set(COVERAGE_SOURCES)
+            if unknown:
+                raise SystemExit(
+                    f"repro: unknown coverage sources {sorted(unknown)} "
+                    f"(choose from {', '.join(COVERAGE_SOURCES)})")
+        tests = None
+        scenario_names = None
+        if args.targets:
+            from .conform.runner import load_corpus
+
+            litmus_names = {t[len(LITMUS_PREFIX):] for t in args.targets
+                            if is_litmus_target(t)}
+            scenario_names = [t for t in args.targets
+                              if t in TRACE_SCENARIOS]
+            bad = [t for t in args.targets
+                   if not is_litmus_target(t) and t not in TRACE_SCENARIOS]
+            if bad:
+                raise SystemExit(
+                    f"repro: unknown coverage targets {bad} (scenarios: "
+                    f"{', '.join(sorted(TRACE_SCENARIOS))}; corpus tests: "
+                    f"litmus:<NAME>)")
+            if litmus_names:
+                tests = [t for t in load_corpus()
+                         if t.name in litmus_names]
+                missing = litmus_names - {t.name for t in tests}
+                if missing:
+                    raise SystemExit(f"repro: no corpus test named "
+                                     f"{sorted(missing)}")
+            # Targets pin the collection to exactly what was named.
+            sources = tuple(
+                s for s in sources
+                if (s == "corpus" and tests) or
+                   (s == "scenario" and scenario_names))
+        for backend in backends:
+            say(f"collecting {backend} "
+                f"({', '.join(sources) or 'nothing'}) ...")
+            bmap, info = collect_coverage(
+                backend, sources=sources, tests=tests,
+                scenario_names=scenario_names, full=args.full,
+                max_states=args.max_states, core_class=args.core_class)
+            cmap.merge(bmap)
+            collection[backend] = info
+
+    reports = {backend: coverage_report(cmap, backend)
+               for backend in backends}
+    for backend in backends:
+        say(render_coverage(reports[backend]))
+    if args.diff:
+        if len(backends) != 2:
+            raise SystemExit("repro: --diff wants exactly two backends in "
+                             "play (collect both, or --load a map that "
+                             "holds two)")
+        say("")
+        say(render_coverage_diff(reports[backends[0]],
+                                 reports[backends[1]], cmap))
+    if args.out:
+        count = write_coverage_jsonl(cmap, args.out,
+                                     meta={"backends": backends})
+        say(f"{count} transition records -> {args.out}")
+    if args.json:
+        _dump_json({"schema": "repro-coverage-report/1",
+                    "backends": reports,
+                    "collection": collection}, args.json)
+    if args.html:
+        from .analysis.dashboard import write_coverage_dashboard
+
+        write_coverage_dashboard(
+            cmap, args.html,
+            meta={"backends": ",".join(backends)})
+        say(f"dashboard -> {args.html}")
+    undeclared = sum(len(r["undeclared"]) for r in reports.values())
+    if undeclared:
+        say(f"repro: {undeclared} observed transition(s) outside the "
+            "declared alphabet — regenerate with tools/gen_alphabet.py")
+        return 1
+    return 0
 
 
 def _dump_json(payload, dest: str) -> None:
@@ -843,10 +1015,13 @@ def cmd_stats(args) -> int:
         wl_scale = 0.5 if args.workload_scale is None else args.workload_scale
         say(f"repro stats --scale: {workload} at "
             f"{', '.join(map(str, tile_counts))} tiles "
-            f"(scale {wl_scale}, period {period})")
+            f"(scale {wl_scale}, period {period}, "
+            f"backend {args.backend})")
         points = run_scale_probe(tile_counts, workload=workload,
                                  scale=wl_scale, core_class=args.core_class,
-                                 commit_mode=MODES[args.mode],
+                                 commit_mode=_resolve_mode(args.backend,
+                                                           args.mode),
+                                 backend=args.backend,
                                  period=period, echo=say)
         say("")
         say(scaling_report(points))
@@ -857,10 +1032,10 @@ def cmd_stats(args) -> int:
     if not args.target:
         raise SystemExit("repro: stats needs a TARGET (workload, scenario "
                          "or litmus:<NAME>) unless --scale is given")
-    mode = MODES[args.mode]
+    mode = _resolve_mode(args.backend, args.mode)
     wl_scale = 1.0 if args.workload_scale is None else args.workload_scale
     params = table6_system(args.core_class, num_cores=args.cores,
-                           commit_mode=mode)
+                           commit_mode=mode, backend=args.backend)
     traces = _resolve_traces(args.target, args.cores, wl_scale)
     from .sim.runner import run_sampled
 
@@ -868,6 +1043,7 @@ def cmd_stats(args) -> int:
                          check=mode is not CommitMode.OOO_UNSAFE)
     payload = dict(result.telemetry)
     payload["meta"] = {"workload": args.target, "mode": mode.value,
+                       "backend": args.backend,
                        "cores": args.cores, "core_class": args.core_class}
     summary = summarize_metrics(payload)
     say(f"{args.target} ({mode.value}): {result.cycles} cycles, "
@@ -920,6 +1096,7 @@ COMMANDS = {
     "table6": cmd_table6,
     "bench": cmd_bench,
     "conform": cmd_conform,
+    "coverage": cmd_coverage,
     "perf": cmd_perf,
     "stats": cmd_stats,
 }

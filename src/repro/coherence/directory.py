@@ -36,6 +36,7 @@ from ..mem.line_data import LineData
 from ..network.mesh import MeshNetwork
 from ..network.message import Message
 from ..obs.events import EventBus, Kind
+from . import probe
 
 
 @dataclass(slots=True, eq=False)
@@ -104,6 +105,9 @@ class DirectoryBank:
         self._evicting: Dict[LineAddr, EvictingEntry] = {}
         self._pending_allocs: List[Message] = []
         self._retry_scheduled = False
+        # Transition-coverage gate (repro.obs.coverage): None when off.
+        self._cov = None
+        self._cov_sends: List[str] = []
         s = stats
         self._stat_tearoffs = s.counter("dir.uncacheable_reads")
         self._stat_wb_entered = s.counter("dir.writersblock_entered")
@@ -143,6 +147,8 @@ class DirectoryBank:
         same cache (e.g. WbAck passing a FwdGetX would strand the
         requester).
         """
+        if self._cov is not None:
+            self._cov_sends.append(msg_type.name)
         if delay is None:
             delay = self.params.llc_hit_cycles
         msg = self.network.acquire_message(msg_type, self.tile, dst, "cache",
@@ -154,12 +160,24 @@ class DirectoryBank:
             self._memory[line] = LineData()
         return self._memory[line]
 
+    def _cov_state(self, line: LineAddr) -> str:
+        if line in self._evicting:
+            return "EVICTING"
+        entry = self._array.lookup(line, touch=False)
+        return entry.state.name if entry is not None else "I"
+
     # --------------------------------------------------------------- receive
     def handle_message(self, msg: Message) -> None:
         handler = self._dispatch.get(msg.msg_type)
         if handler is None:
             raise ProtocolError(f"directory {self.tile}: unexpected {msg!r}")
+        if self._cov is None:
+            handler(msg)
+            return
+        before = self._cov_state(msg.line)
+        mark = len(self._cov_sends)
         handler(msg)
+        probe.note(self, "dir", msg.line, msg.msg_type.name, before, mark)
 
     # --------------------------------------------------------------- requests
     def _on_request(self, msg: Message) -> None:
@@ -361,6 +379,17 @@ class DirectoryBank:
         self._schedule_retry()
 
     def _evict(self, line: LineAddr, entry: DirEntry) -> bool:
+        cov = self._cov
+        if cov is None:
+            return self._evict_impl(line, entry)
+        before = self._cov_state(line)
+        mark = len(self._cov_sends)
+        evicted = self._evict_impl(line, entry)
+        if evicted:
+            probe.note(self, "dir", line, "evict", before, mark)
+        return evicted
+
+    def _evict_impl(self, line: LineAddr, entry: DirEntry) -> bool:
         """Move *entry* to the eviction buffer and recall remote copies."""
         if len(self._evicting) >= self.params.dir_eviction_buffer:
             return False

@@ -36,6 +36,7 @@ from ..mem.mshr import MSHREntry, MSHRFile
 from ..network.mesh import MeshNetwork
 from ..network.message import Message
 from ..obs.events import EventBus, Kind
+from . import probe
 
 
 @dataclass(slots=True)
@@ -82,6 +83,9 @@ class PrivateCache:
         self._l1 = PresenceLRU(params.l1_sets, params.l1_ways)
         self.mshrs = MSHRFile(params.mshr_entries, params.mshr_reserved_for_sos)
         self.mshrs.observer = self._mshr_event
+        # Transition-coverage gate (repro.obs.coverage): None when off.
+        self._cov = None
+        self._cov_sends: List[str] = []
         # Core hooks, wired by the core model after construction.
         self.invalidation_hook: Callable[[LineAddr], bool] = lambda line: False
         self.lockdown_query: Callable[[LineAddr], bool] = lambda line: False
@@ -136,6 +140,8 @@ class PrivateCache:
 
     def _send(self, msg_type: MsgType, dst: int, port: str, line: LineAddr,
               **payload) -> None:
+        if self._cov is not None:
+            self._cov_sends.append(msg_type.name)
         network = self.network
         network.send(network.acquire_message(
             msg_type, self.tile, dst, port, line, payload))
@@ -143,6 +149,9 @@ class PrivateCache:
     def line_state(self, line: LineAddr) -> CacheState:
         entry = self._lines.lookup(line, touch=False)
         return entry.state if entry else CacheState.I
+
+    def _cov_state(self, line: LineAddr) -> str:
+        return self.line_state(line).name
 
     def line_entry(self, line: LineAddr) -> Optional[PrivateLine]:
         return self._lines.lookup(line, touch=False)
@@ -166,6 +175,18 @@ class PrivateCache:
         fresh (possibly reserved) MSHR, ignoring any same-line write MSHR
         it would otherwise piggyback on (paper §3.5.2).
         """
+        cov = self._cov
+        if cov is None:
+            return self._load(request, sos_bypass)
+        line = line_of(request.byte_addr, self.params.line_bytes)
+        before = self._cov_state(line)
+        mark = len(self._cov_sends)
+        result = self._load(request, sos_bypass)
+        probe.note(self, "cache", line,
+                   "load_sos" if sos_bypass else "load", before, mark)
+        return result
+
+    def _load(self, request: LoadRequest, sos_bypass: bool) -> str:
         self._stat_loads.add()
         line = line_of(request.byte_addr, self.params.line_bytes)
         entry = self._lines.lookup(line)
@@ -223,6 +244,17 @@ class PrivateCache:
     def request_write(self, line: LineAddr, on_granted: Callable[[], None]) -> str:
         """Acquire write permission for *line*; returns "granted",
         "pending" or "retry" (MSHR full)."""
+        cov = self._cov
+        if cov is None:
+            return self._request_write(line, on_granted)
+        before = self._cov_state(line)
+        mark = len(self._cov_sends)
+        result = self._request_write(line, on_granted)
+        probe.note(self, "cache", line, "write", before, mark)
+        return result
+
+    def _request_write(self, line: LineAddr,
+                       on_granted: Callable[[], None]) -> str:
         entry = self._lines.lookup(line)
         if entry is not None and entry.state in (CacheState.M, CacheState.E):
             entry.state = CacheState.M  # silent E->M upgrade
@@ -263,6 +295,9 @@ class PrivateCache:
             )
         entry.data.write(byte_addr % self.params.line_bytes, version, value)
         self._l1.touch(line)
+        if self._cov is not None:
+            probe.note(self, "cache", line, "store", "M",
+                       len(self._cov_sends))
 
     def perform_atomic(self, byte_addr: int, version: int,
                        value: int) -> VersionedValue:
@@ -276,6 +311,9 @@ class PrivateCache:
         old = entry.data.read(byte_addr % self.params.line_bytes)
         entry.data.write(byte_addr % self.params.line_bytes, version, value)
         self._l1.touch(line)
+        if self._cov is not None:
+            probe.note(self, "cache", line, "atomic", "M",
+                       len(self._cov_sends))
         return old
 
     def send_deferred_ack(self, line: LineAddr) -> None:
@@ -287,7 +325,13 @@ class PrivateCache:
         handler = self._dispatch.get(msg.msg_type)
         if handler is None:
             raise ProtocolError(f"cache {self.tile}: unexpected {msg!r}")
+        if self._cov is None:
+            handler(msg)
+            return
+        before = self._cov_state(msg.line)
+        mark = len(self._cov_sends)
         handler(msg)
+        probe.note(self, "cache", msg.line, msg.msg_type.name, before, mark)
 
     # Data responses -------------------------------------------------------
     def _on_data(self, msg: Message) -> None:
@@ -558,6 +602,15 @@ class PrivateCache:
         return self.mshrs.get(line) is not None
 
     def _evict(self, line: LineAddr) -> None:
+        cov = self._cov
+        if cov is None:
+            return self._evict_impl(line)
+        before = self._cov_state(line)
+        mark = len(self._cov_sends)
+        self._evict_impl(line)
+        probe.note(self, "cache", line, "evict", before, mark)
+
+    def _evict_impl(self, line: LineAddr) -> None:
         entry = self._lines.lookup(line, touch=False)
         if entry is None:
             return

@@ -1,0 +1,49 @@
+"""Transition-coverage probe shared by the protocol components.
+
+Every cache/directory class carries two attributes installed at
+construction time::
+
+    self._cov = None       # coverage gate: an observer, or None (off)
+    self._cov_sends = []   # message types sent while handling one event
+
+and a ``_cov_state(line) -> str`` method naming the protocol state of
+*line* right now.  An instrumented site brackets its work with::
+
+    cov = self._cov
+    if cov is None:
+        return self._the_real_work(...)
+    before = self._cov_state(line)
+    mark = len(self._cov_sends)
+    result = self._the_real_work(...)
+    probe.note(self, "cache", line, "load", before, mark)
+    return result
+
+so a run without coverage pays one attribute load + ``is None`` check
+per site and allocates nothing.  ``note`` folds everything the site
+sent (captured by the component's ``_send`` funnel) into the
+transition's action, truncates the capture back to ``mark`` (nested
+sites — an eviction inside a data fill, a deferred write chained after
+a read — claim their own sends first), and emits the tuple as a
+``Kind.COH_TRANSITION`` event on the component's bus for the
+subscribed :class:`~repro.obs.coverage.CoverageObserver`.
+"""
+
+from __future__ import annotations
+
+from ..obs.events import Kind
+
+
+def note(component, kind: str, line, event: str, before: str,
+         mark: int) -> None:
+    """Record one ``(kind, before, event) -> (state-now, sends)`` tuple."""
+    sends = component._cov_sends
+    if len(sends) > mark:
+        action = "+".join(sorted(set(sends[mark:])))
+        del sends[mark:]
+    else:
+        action = "-"
+    bus = component.bus
+    if bus.active:
+        bus.emit(Kind.COH_TRANSITION, component.tile, component=kind,
+                 state=before, event=event,
+                 next=component._cov_state(line), action=action)

@@ -70,6 +70,7 @@ from ..mem.mshr import MSHREntry, MSHRFile
 from ..network.mesh import MeshNetwork
 from ..network.message import Message
 from ..obs.events import EventBus, Kind
+from . import probe
 from .backend import CoherenceBackend, register_backend
 from .private_cache import LoadRequest
 
@@ -182,6 +183,9 @@ class TardisCache:
         self._stat_renews = stats.counter("tardis.renews_sent")
         self._stat_expiries = stats.counter("tardis.lease_expiries")
         self._num_tiles = network.topology.num_tiles
+        # Transition-coverage gate (repro.obs.coverage): None when off.
+        self._cov = None
+        self._cov_sends: List[str] = []
         self._dispatch = {
             MsgType.DATA: self._on_data,
             MsgType.DATA_EXCL: self._on_data_excl,
@@ -213,6 +217,8 @@ class TardisCache:
 
     def _send(self, msg_type: MsgType, dst: int, port: str, line: LineAddr,
               **payload) -> None:
+        if self._cov is not None:
+            self._cov_sends.append(msg_type.name)
         network = self.network
         network.send(network.acquire_message(
             msg_type, self.tile, dst, port, line, payload))
@@ -220,6 +226,9 @@ class TardisCache:
     def line_state(self, line: LineAddr) -> CacheState:
         entry = self._lines.lookup(line, touch=False)
         return entry.state if entry else CacheState.I
+
+    def _cov_state(self, line: LineAddr) -> str:
+        return self.line_state(line).name
 
     def line_entry(self, line: LineAddr) -> Optional[TardisLine]:
         return self._lines.lookup(line, touch=False)
@@ -304,6 +313,18 @@ class TardisCache:
         reads are never blocked behind a write, so an SoS load is just a
         load (it may still use the reserved MSHR).
         """
+        cov = self._cov
+        if cov is None:
+            return self._load(request, sos_bypass)
+        line = line_of(request.byte_addr, self.params.line_bytes)
+        before = self._cov_state(line)
+        mark = len(self._cov_sends)
+        result = self._load(request, sos_bypass)
+        probe.note(self, "cache", line,
+                   "load_sos" if sos_bypass else "load", before, mark)
+        return result
+
+    def _load(self, request: LoadRequest, sos_bypass: bool) -> str:
         self._stat_loads.add()
         line = line_of(request.byte_addr, self.params.line_bytes)
         entry = self._lines.lookup(line)
@@ -353,6 +374,17 @@ class TardisCache:
     def request_write(self, line: LineAddr,
                       on_granted: Callable[[], None]) -> str:
         """Acquire write permission; "granted", "pending" or "retry"."""
+        cov = self._cov
+        if cov is None:
+            return self._request_write(line, on_granted)
+        before = self._cov_state(line)
+        mark = len(self._cov_sends)
+        result = self._request_write(line, on_granted)
+        probe.note(self, "cache", line, "write", before, mark)
+        return result
+
+    def _request_write(self, line: LineAddr,
+                       on_granted: Callable[[], None]) -> str:
         entry = self._lines.lookup(line)
         if entry is not None and entry.state is CacheState.M:
             on_granted()
@@ -396,6 +428,9 @@ class TardisCache:
         entry.wts = entry.rts = ts
         entry.data.write(byte_addr % self.params.line_bytes, version, value)
         self._l1.touch(line)
+        if self._cov is not None:
+            probe.note(self, "cache", line, "store", "M",
+                       len(self._cov_sends))
 
     def perform_atomic(self, byte_addr: int, version: int,
                        value: int) -> VersionedValue:
@@ -411,6 +446,9 @@ class TardisCache:
         entry.wts = entry.rts = ts
         entry.data.write(byte_addr % self.params.line_bytes, version, value)
         self._l1.touch(line)
+        if self._cov is not None:
+            probe.note(self, "cache", line, "atomic", "M",
+                       len(self._cov_sends))
         return old
 
     def send_deferred_ack(self, line: LineAddr) -> None:
@@ -422,7 +460,13 @@ class TardisCache:
         handler = self._dispatch.get(msg.msg_type)
         if handler is None:
             raise ProtocolError(f"cache {self.tile}: unexpected {msg!r}")
+        if self._cov is None:
+            handler(msg)
+            return
+        before = self._cov_state(msg.line)
+        mark = len(self._cov_sends)
         handler(msg)
+        probe.note(self, "cache", msg.line, msg.msg_type.name, before, mark)
 
     def _update_line(self, line: LineAddr, state: CacheState, data: LineData,
                      wts: int, rts: int) -> Optional[TardisLine]:
@@ -593,6 +637,16 @@ class TardisCache:
         return self.mshrs.get(line) is not None
 
     def _evict(self, line: LineAddr) -> None:
+        cov = self._cov
+        if cov is None:
+            self._evict_impl(line)
+            return
+        before = self._cov_state(line)
+        mark = len(self._cov_sends)
+        self._evict_impl(line)
+        probe.note(self, "cache", line, "evict", before, mark)
+
+    def _evict_impl(self, line: LineAddr) -> None:
         entry = self._lines.lookup(line, touch=False)
         if entry is None:
             return
@@ -654,6 +708,9 @@ class TardisDirectory:
         self._evicting: Dict[LineAddr, EvictingTardisEntry] = {}
         self._pending_allocs: List[Message] = []
         self._retry_scheduled = False
+        # Transition-coverage gate (repro.obs.coverage): None when off.
+        self._cov = None
+        self._cov_sends: List[str] = []
         self._stat_requests = stats.counter("dir.requests")
         self._stat_evictions = stats.counter("dir.llc_evictions")
         self._stat_renews = stats.counter("tardis.renewals")
@@ -674,6 +731,8 @@ class TardisDirectory:
         """Send after the bank's access latency (uniform delay keeps
         per-channel FIFO order — a Recall must never overtake the DataE
         that created the owner it recalls)."""
+        if self._cov is not None:
+            self._cov_sends.append(msg_type.name)
         if delay is None:
             delay = self.params.llc_hit_cycles
         msg = self.network.acquire_message(msg_type, self.tile, dst, "cache",
@@ -685,12 +744,24 @@ class TardisDirectory:
             self._memory[line] = LineData()
         return self._memory[line]
 
+    def _cov_state(self, line: LineAddr) -> str:
+        if line in self._evicting:
+            return "EVICTING"
+        entry = self._array.lookup(line, touch=False)
+        return entry.state.name if entry is not None else "I"
+
     # --------------------------------------------------------------- receive
     def handle_message(self, msg: Message) -> None:
         handler = self._dispatch.get(msg.msg_type)
         if handler is None:
             raise ProtocolError(f"directory {self.tile}: unexpected {msg!r}")
+        if self._cov is None:
+            handler(msg)
+            return
+        before = self._cov_state(msg.line)
+        mark = len(self._cov_sends)
         handler(msg)
+        probe.note(self, "dir", msg.line, msg.msg_type.name, before, mark)
 
     # -------------------------------------------------------------- requests
     def _on_request(self, msg: Message) -> None:
@@ -910,6 +981,17 @@ class TardisDirectory:
         return recallable
 
     def _evict(self, line: LineAddr, entry: TardisDirEntry) -> bool:
+        cov = self._cov
+        if cov is None:
+            return self._evict_impl(line, entry)
+        before = self._cov_state(line)
+        mark = len(self._cov_sends)
+        evicted = self._evict_impl(line, entry)
+        if evicted:
+            probe.note(self, "dir", line, "evict", before, mark)
+        return evicted
+
+    def _evict_impl(self, line: LineAddr, entry: TardisDirEntry) -> bool:
         if entry.state is DirState.M:
             if len(self._evicting) >= self.params.dir_eviction_buffer:
                 return False
@@ -1004,6 +1086,10 @@ class TardisBackend(CoherenceBackend):
     #: the checker-validation ablation.
     supported_commit_modes = (CommitMode.IN_ORDER, CommitMode.OOO,
                               CommitMode.OOO_UNSAFE)
+
+    def transition_alphabet(self) -> frozenset:
+        from .alphabet import TARDIS_ALPHABET
+        return TARDIS_ALPHABET
 
     def build_cache(self, tile, params, network, events, stats, *,
                     writers_block, bus=None):

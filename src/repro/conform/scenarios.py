@@ -52,8 +52,8 @@ def _final(expect_loads: int, expect_grants: int):
     return check
 
 
-def explore_mp(*, por: bool = True,
-               max_states: int = 20_000) -> ExplorationResult:
+def explore_mp(*, por: bool = True, max_states: int = 20_000,
+               coverage=None, progress=None) -> ExplorationResult:
     """The paper's MP shape at protocol level (4 tiles, 2 lines).
 
     The reader (core 0) holds a lockdown on the *data* line while the
@@ -94,7 +94,8 @@ def explore_mp(*, por: bool = True,
     return explore(setup, invariant,
                    _final(expect_loads=3, expect_grants=2),
                    num_tiles=4, max_states=max_states, por=por,
-                   on_quiescent=on_quiescent)
+                   on_quiescent=on_quiescent, coverage=coverage,
+                   progress=progress)
 
 
 def _sos_invariant(system: VerifSystem) -> Optional[str]:
@@ -109,8 +110,8 @@ def _sos_invariant(system: VerifSystem) -> Optional[str]:
     return None
 
 
-def explore_sos(*, por: bool = True,
-                max_states: int = 20_000) -> ExplorationResult:
+def explore_sos(*, por: bool = True, max_states: int = 20_000,
+                coverage=None, progress=None) -> ExplorationResult:
     """SoS bypass while the write is WritersBlock'd (4 tiles).
 
     The SoS load (core 2) is issued only once the directory's blocked
@@ -158,7 +159,8 @@ def explore_sos(*, por: bool = True,
     return explore(setup, invariant,
                    _final(expect_loads=3, expect_grants=2),
                    num_tiles=4, max_states=max_states, por=por,
-                   on_quiescent=on_quiescent)
+                   on_quiescent=on_quiescent, coverage=coverage,
+                   progress=progress)
 
 
 def _drain_retries(system: VerifSystem) -> bool:
@@ -193,8 +195,8 @@ def _tardis_final(expect_loads: int, expect_grants: int,
     return check
 
 
-def explore_tardis_lease(*, por: bool = True,
-                         max_states: int = 20_000) -> ExplorationResult:
+def explore_tardis_lease(*, por: bool = True, max_states: int = 20_000,
+                         coverage=None, progress=None) -> ExplorationResult:
     """Lease expiry and renewal under a racing writer (4 tiles).
 
     With ``tardis_lease=1`` every granted lease dies almost immediately,
@@ -237,11 +239,12 @@ def explore_tardis_lease(*, por: bool = True,
                                  legal_reads=legal),
                    num_tiles=4, max_states=max_states, por=por,
                    backend="tardis", cache_params=params,
-                   on_quiescent=on_quiescent)
+                   on_quiescent=on_quiescent, coverage=coverage,
+                   progress=progress)
 
 
-def explore_tardis_recall(*, por: bool = True,
-                          max_states: int = 20_000) -> ExplorationResult:
+def explore_tardis_recall(*, por: bool = True, max_states: int = 20_000,
+                          coverage=None, progress=None) -> ExplorationResult:
     """Ownership recall and timestamp bumping on transfer (4 tiles).
 
     A writer owns the line (M); a reader's GETS forces the directory to
@@ -284,7 +287,8 @@ def explore_tardis_recall(*, por: bool = True,
                    _tardis_final(expect_loads=3, expect_grants=2,
                                  legal_reads=legal),
                    num_tiles=4, max_states=max_states, por=por,
-                   backend="tardis", on_quiescent=on_quiescent)
+                   backend="tardis", on_quiescent=on_quiescent,
+                   coverage=coverage, progress=progress)
 
 
 SCENARIOS: Dict[str, Callable[..., ExplorationResult]] = {
@@ -307,12 +311,20 @@ SCENARIO_SETS: Dict[str, Dict[str, Callable[..., ExplorationResult]]] = {
 
 
 def run_explorations(*, por: bool = True, max_states: int = 20_000,
-                     backend: str = "baseline") -> Dict[str, Dict]:
-    """Run every scenario for *backend*; JSON-ready stats per scenario."""
+                     backend: str = "baseline", coverage=None,
+                     progress=None) -> Dict[str, Dict]:
+    """Run every scenario for *backend*; JSON-ready stats per scenario.
+
+    ``coverage`` (a :class:`repro.obs.coverage.CoverageObserver`)
+    accumulates transition tuples across all scenarios and explored
+    interleavings; ``progress`` fires periodically during each search
+    (see :func:`repro.verification.explorer.explore`).
+    """
     scenarios = SCENARIO_SETS.get(backend, {})
     summary: Dict[str, Dict] = {}
     for name in sorted(scenarios):
-        result = scenarios[name](por=por, max_states=max_states)
+        result = scenarios[name](por=por, max_states=max_states,
+                                 coverage=coverage, progress=progress)
         summary[name] = {
             "ok": result.ok,
             "states": result.states_explored,
@@ -320,6 +332,13 @@ def run_explorations(*, por: bool = True, max_states: int = 20_000,
             "deduplicated": result.deduplicated,
             "sleep_pruned": result.sleep_pruned,
             "max_pending": result.max_pending,
+            "transitions": result.transitions,
+            "memoized": result.memoized,
+            "frontier_peak": result.frontier_peak,
+            "memo_hit_rate": round(result.memo_hit_rate, 4),
+            "sleep_prune_ratio": round(result.sleep_prune_ratio, 4),
+            "depth_histogram": {str(depth): count for depth, count in
+                                sorted(result.depth_histogram.items())},
             "violations": result.violations[:5],
         }
     return summary

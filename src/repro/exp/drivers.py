@@ -822,6 +822,59 @@ def metrics_driver(cfg: BenchConfig, engine: ExperimentEngine
     return report
 
 
+# ----------------------------------------------------------- coverage
+def coverage_driver(cfg: BenchConfig, engine: ExperimentEngine
+                    ) -> BenchReport:
+    """Transition coverage of the verification batteries, per backend.
+
+    Collects one coverage map per backend of :data:`BACKEND_MATRIX`
+    across the conformance corpus, the directed scenarios, the capacity
+    sweep, the fuzz replay and the POR explorations, then reports
+    covered/alphabet per component and names every uncovered transition.
+    Deterministic and inline (engine-independent) like the conformance
+    driver, so ``BENCH_coverage.json`` + ``coverage.txt`` are
+    byte-stable across serial/pooled/cache-replay runs.  Quick
+    configurations (``scale < 1``) use the tier-1 corpus slice;
+    ``REPRO_CONFORM_FULL=1`` forces the full corpus.
+    """
+    from ..conform.coverage import collect_coverage
+    from ..conform.runner import full_requested
+    from ..obs.coverage import (CoverageMap, coverage_report,
+                                render_coverage, render_coverage_diff)
+
+    matrix = (cfg.backend,) if cfg.backend else BACKEND_MATRIX
+    sliced = cfg.scale < 1.0 and not full_requested()
+    cmap = CoverageMap()
+    collection: Dict[str, Dict] = {}
+    for backend in matrix:
+        bmap, info = collect_coverage(backend, full=not sliced)
+        cmap.merge(bmap)
+        collection[backend] = info
+    reports = {backend: coverage_report(cmap, backend)
+               for backend in matrix}
+    parts = [render_coverage(reports[backend]) for backend in matrix]
+    if len(matrix) == 2:
+        parts.append(render_coverage_diff(reports[matrix[0]],
+                                          reports[matrix[1]], cmap))
+    parts.append(f"{'tier-1 slice' if sliced else 'full corpus'} x "
+                 f"{len(matrix)} backends, "
+                 f"{sum(len(cmap.transitions(b)) for b in matrix)} "
+                 f"distinct transitions observed")
+    report = BenchReport(name="coverage", txt_name="coverage",
+                         text="\n".join(parts), rows=cmap.records())
+    report.totals["backends"] = {
+        backend: {key: reports[backend][key]
+                  for key in ("alphabet", "covered", "coverage",
+                              "observations", "components", "sources",
+                              "uncovered", "undeclared")}
+        for backend in matrix}
+    report.totals["collection"] = collection
+    report.totals["ok"] = not any(r["undeclared"] for r in reports.values())
+    report.totals["sliced"] = sliced
+    report.finish_totals()
+    return report
+
+
 DRIVERS: Dict[str, Callable[[BenchConfig, ExperimentEngine], BenchReport]] = {
     "fig8": fig8_driver,
     "fig9": fig9_driver,
@@ -839,4 +892,5 @@ DRIVERS: Dict[str, Callable[[BenchConfig, ExperimentEngine], BenchReport]] = {
     "conformance": conformance_driver,
     "models": models_driver,
     "metrics": metrics_driver,
+    "coverage": coverage_driver,
 }

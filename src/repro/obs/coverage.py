@@ -1,0 +1,389 @@
+"""Protocol transition coverage (``repro-coverage/1``).
+
+Conformance, fuzzing and exploration all end in pass/fail; this layer
+answers the follow-up question *which protocol behaviors did they
+actually exercise*.  Both coherence backends instrument their message
+handlers and core-facing operations to report
+``(component, state, event) -> (next_state, action)`` transition tuples
+through the existing :class:`~repro.obs.events.EventBus`
+(``Kind.COH_TRANSITION``), a :class:`CoverageObserver` aggregates them
+into a mergeable :class:`CoverageMap`, and each backend declares its
+full transition alphabet (``CoherenceBackend.transition_alphabet``) so
+coverage denominators are exact — `repro coverage` can name every
+transition the corpus never reached.
+
+Design constraints, in order:
+
+* **Zero cost when off.**  Components carry a ``_cov`` attribute that
+  is ``None`` until an observer attaches; every instrumented site pays
+  one attribute load + ``is None`` check and allocates nothing.  A
+  plain run emits no ``coh.transition`` events and constructs no
+  observer (booby-trapped in ``tests/perf``), so the 36 golden digests
+  are untouched.
+* **Deterministic.**  Transition counts derive only from simulated
+  behavior under pinned seeds, so coverage payloads are byte-identical
+  across serial, process-pool and cache-replay runs.
+* **Mergeable.**  Maps from heterogeneous sources (conformance corpus,
+  differential fuzz, POR exploration, directed scenarios) merge by
+  summing per-source counts; the JSONL stream round-trips the merge.
+
+A transition is a 5-tuple of strings::
+
+    (component, state, event, next_state, action)
+
+``component`` is ``cache`` or ``dir``; ``state``/``next_state`` are the
+protocol state names of the addressed line before/after handling (``I``
+when absent, ``EVICTING`` while parked in an eviction buffer);
+``event`` is the incoming message type or a core-facing operation
+(``load``, ``load_sos``, ``write``, ``store``, ``atomic``, ``evict``);
+``action`` is the ``+``-joined sorted set of message types sent while
+handling, ``-`` when silent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import Kind
+from .export import PathLike, open_output
+
+#: JSONL coverage format version (the first record of every stream).
+COVERAGE_SCHEMA = "repro-coverage/1"
+
+#: (component, state, event, next_state, action)
+Transition = Tuple[str, str, str, str, str]
+
+
+def format_transition(transition: Sequence[str]) -> str:
+    """Human form: ``cache: S --INV--> I [ACK]``."""
+    component, state, event, nxt, action = transition
+    return f"{component}: {state} --{event}--> {nxt} [{action}]"
+
+
+class CoverageObserver:
+    """Counts transition tuples delivered over one or more event buses.
+
+    One observer may attach to many components across many systems (the
+    conformance collector reuses a single sink over hundreds of litmus
+    runs); set :attr:`source` between phases to tag where counts came
+    from.  ``__deepcopy__`` returns ``self`` so the POR explorer's
+    state forks all record into one shared sink.
+    """
+
+    def __init__(self, backend: str, *, source: str = "run") -> None:
+        self.backend = backend
+        self.source = source
+        #: transition -> {source: count}
+        self.counts: Dict[Transition, Dict[str, int]] = {}
+
+    def __deepcopy__(self, memo) -> "CoverageObserver":
+        return self
+
+    def handle(self, event) -> None:
+        args = event.args
+        key = (args["component"], args["state"], args["event"],
+               args["next"], args["action"])
+        per_source = self.counts.get(key)
+        if per_source is None:
+            per_source = self.counts[key] = {}
+        per_source[self.source] = per_source.get(self.source, 0) + 1
+
+    def attach(self, *components) -> None:
+        """Wire *components* (caches / directory banks) to this sink.
+
+        Sets each component's ``_cov`` gate and subscribes once per
+        distinct bus (components of one ``MulticoreSystem`` share the
+        system bus; explorer components each own a private bus).
+        """
+        seen_buses = set()
+        for component in components:
+            component._cov = self
+            bus = component.bus
+            if id(bus) not in seen_buses:
+                seen_buses.add(id(bus))
+                bus.subscribe(self.handle, kinds=(Kind.COH_TRANSITION,))
+
+    def attach_system(self, system) -> None:
+        """Attach to every cache and directory bank of a system.
+
+        Works for both :class:`~repro.sim.system.MulticoreSystem`
+        (``directories``) and the explorer's ``VerifSystem`` (``dirs``).
+        """
+        dirs = getattr(system, "directories", None)
+        if dirs is None:
+            dirs = system.dirs
+        self.attach(*system.caches, *dirs)
+
+    @property
+    def transitions(self) -> List[Transition]:
+        return sorted(self.counts)
+
+    def to_map(self) -> "CoverageMap":
+        cmap = CoverageMap()
+        cmap.absorb(self)
+        return cmap
+
+
+class CoverageMap:
+    """Mergeable per-backend transition counts, tagged by source."""
+
+    def __init__(self) -> None:
+        #: backend -> transition -> {source: count}
+        self.data: Dict[str, Dict[Transition, Dict[str, int]]] = {}
+
+    def add(self, backend: str, transition: Transition, source: str,
+            count: int = 1) -> None:
+        per_transition = self.data.setdefault(backend, {})
+        per_source = per_transition.setdefault(tuple(transition), {})
+        per_source[source] = per_source.get(source, 0) + count
+
+    def absorb(self, observer: CoverageObserver) -> None:
+        """Fold one observer's counts in (sums with what is there)."""
+        for transition, sources in observer.counts.items():
+            for source, count in sources.items():
+                self.add(observer.backend, transition, source, count)
+
+    def merge(self, other: "CoverageMap") -> None:
+        for backend, transitions in other.data.items():
+            for transition, sources in transitions.items():
+                for source, count in sources.items():
+                    self.add(backend, transition, source, count)
+
+    @property
+    def backends(self) -> List[str]:
+        return sorted(self.data)
+
+    def transitions(self, backend: str) -> List[Transition]:
+        return sorted(self.data.get(backend, {}))
+
+    def count(self, backend: str, transition: Transition) -> int:
+        sources = self.data.get(backend, {}).get(tuple(transition), {})
+        return sum(sources.values())
+
+    def source_totals(self, backend: str) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for sources in self.data.get(backend, {}).values():
+            for source, count in sources.items():
+                totals[source] = totals.get(source, 0) + count
+        return totals
+
+    def records(self) -> List[Dict]:
+        """Canonical (sorted, JSON-ready) record list for the stream."""
+        out: List[Dict] = []
+        for backend in self.backends:
+            for transition in self.transitions(backend):
+                sources = self.data[backend][transition]
+                out.append({
+                    "backend": backend,
+                    "transition": list(transition),
+                    "count": sum(sources.values()),
+                    "sources": {k: sources[k] for k in sorted(sources)},
+                })
+        return out
+
+    @classmethod
+    def from_records(cls, records: Iterable[Dict]) -> "CoverageMap":
+        cmap = cls()
+        for record in records:
+            transition = tuple(record["transition"])
+            for source, count in record.get("sources", {}).items():
+                cmap.add(record["backend"], transition, source, count)
+        return cmap
+
+
+# ----------------------------------------------------------------- JSONL
+def write_coverage_jsonl(cmap: CoverageMap, path: PathLike, *,
+                         meta: Optional[Dict] = None) -> int:
+    """Dump a coverage map: header record, then one transition per line.
+
+    Returns the transition-record count (the header is not counted).
+    ``path`` may be ``-`` to stream to stdout.
+    """
+    header: Dict = {"schema": COVERAGE_SCHEMA}
+    if meta:
+        header["meta"] = dict(meta)
+    count = 0
+    with open_output(path) as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in cmap.records():
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_coverage_jsonl(path: PathLike) -> Tuple[Dict, CoverageMap]:
+    """Load a coverage stream back into ``(header, CoverageMap)``.
+
+    Raises :class:`ValueError` when the header record is missing or
+    declares a version this reader does not understand.
+    """
+    header: Optional[Dict] = None
+    records: List[Dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if header is None:
+                if not isinstance(record, dict) or "schema" not in record:
+                    raise ValueError(
+                        f"{path}: missing {COVERAGE_SCHEMA!r} header record "
+                        "(re-export the map with this version of repro)")
+                if record["schema"] != COVERAGE_SCHEMA:
+                    raise ValueError(
+                        f"{path}: unknown coverage schema "
+                        f"{record['schema']!r} (this reader understands "
+                        f"{COVERAGE_SCHEMA!r})")
+                header = record
+                continue
+            records.append(record)
+    if header is None:
+        raise ValueError(f"{path}: empty coverage file (no header record)")
+    return header, CoverageMap.from_records(records)
+
+
+# ---------------------------------------------------------------- reports
+def coverage_report(cmap: CoverageMap, backend: str,
+                    alphabet: Optional[frozenset] = None) -> Dict:
+    """Coverage summary for one backend against its declared alphabet.
+
+    ``alphabet`` defaults to the backend's
+    ``CoherenceBackend.transition_alphabet()``.  ``uncovered`` lists
+    every declared-but-never-observed transition; ``undeclared`` lists
+    observations outside the declared alphabet (an alphabet bug — the
+    test matrix asserts it stays empty).
+    """
+    if alphabet is None:
+        from ..coherence.backend import get_backend
+
+        alphabet = get_backend(backend).transition_alphabet()
+    observed = set(cmap.transitions(backend))
+    covered = observed & alphabet
+    components: Dict[str, Dict] = {}
+    for component in sorted({t[0] for t in alphabet} |
+                            {t[0] for t in observed}):
+        comp_alpha = {t for t in alphabet if t[0] == component}
+        comp_cov = {t for t in covered if t[0] == component}
+        components[component] = {
+            "alphabet": len(comp_alpha),
+            "covered": len(comp_cov),
+            "coverage": (round(len(comp_cov) / len(comp_alpha), 4)
+                         if comp_alpha else 0.0),
+        }
+    total = sum(cmap.count(backend, t) for t in observed)
+    return {
+        "backend": backend,
+        "alphabet": len(alphabet),
+        "covered": len(covered),
+        "coverage": (round(len(covered) / len(alphabet), 4)
+                     if alphabet else 0.0),
+        "observations": total,
+        "components": components,
+        "sources": cmap.source_totals(backend),
+        "uncovered": [list(t) for t in sorted(alphabet - observed)],
+        "undeclared": [list(t) for t in sorted(observed - alphabet)],
+    }
+
+
+def covered_events(report: Dict, cmap: CoverageMap) -> Dict[str, set]:
+    """Per-component sets of event names observed for a report's backend."""
+    out: Dict[str, set] = {}
+    for transition in cmap.transitions(report["backend"]):
+        out.setdefault(transition[0], set()).add(transition[2])
+    return out
+
+
+def render_coverage(report: Dict, *, list_uncovered: bool = True) -> str:
+    """Text coverage table (+ the full uncovered-transition listing)."""
+    lines = [f"{report['backend']}: {report['covered']}/"
+             f"{report['alphabet']} transitions "
+             f"({report['coverage']:.1%}), "
+             f"{report['observations']} observations"]
+    for component, row in sorted(report["components"].items()):
+        lines.append(f"  {component:6s} {row['covered']:>4d}/"
+                     f"{row['alphabet']:<4d} ({row['coverage']:.1%})")
+    if report["sources"]:
+        parts = [f"{name}={count}" for name, count in
+                 sorted(report["sources"].items())]
+        lines.append(f"  sources: {', '.join(parts)}")
+    if report["undeclared"]:
+        lines.append(f"  UNDECLARED ({len(report['undeclared'])}) — "
+                     "observed outside the declared alphabet:")
+        for transition in report["undeclared"]:
+            lines.append(f"    {format_transition(transition)}")
+    if list_uncovered:
+        lines.append(f"  uncovered ({len(report['uncovered'])}):")
+        for transition in report["uncovered"]:
+            lines.append(f"    {format_transition(transition)}")
+    return "\n".join(lines)
+
+
+def render_coverage_diff(report_a: Dict, report_b: Dict,
+                         cmap: CoverageMap) -> str:
+    """Side-by-side coverage of two backends.
+
+    Alphabets are protocol-specific, so the diff compares coverage
+    fractions per component plus which *event names* (messages and core
+    operations) only one backend exercises.
+    """
+    a, b = report_a["backend"], report_b["backend"]
+    lines = [f"coverage diff: {a} vs {b}",
+             f"  {'component':10s} {a:>18s} {b:>18s}"]
+    components = sorted(set(report_a["components"]) |
+                        set(report_b["components"]))
+    for component in components:
+        ra = report_a["components"].get(
+            component, {"covered": 0, "alphabet": 0, "coverage": 0.0})
+        rb = report_b["components"].get(
+            component, {"covered": 0, "alphabet": 0, "coverage": 0.0})
+        cell_a = f"{ra['covered']}/{ra['alphabet']} ({ra['coverage']:.0%})"
+        cell_b = f"{rb['covered']}/{rb['alphabet']} ({rb['coverage']:.0%})"
+        lines.append(f"  {component:10s} {cell_a:>18s} {cell_b:>18s}")
+    total_a = (f"{report_a['covered']}/{report_a['alphabet']} "
+               f"({report_a['coverage']:.0%})")
+    total_b = (f"{report_b['covered']}/{report_b['alphabet']} "
+               f"({report_b['coverage']:.0%})")
+    lines.append(f"  {'total':10s} {total_a:>18s} {total_b:>18s}")
+    events_a = covered_events(report_a, cmap)
+    events_b = covered_events(report_b, cmap)
+    for component in components:
+        only_a = sorted(events_a.get(component, set()) -
+                        events_b.get(component, set()))
+        only_b = sorted(events_b.get(component, set()) -
+                        events_a.get(component, set()))
+        if only_a:
+            lines.append(f"  {component} events only in {a}: "
+                         f"{', '.join(only_a)}")
+        if only_b:
+            lines.append(f"  {component} events only in {b}: "
+                         f"{', '.join(only_b)}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- heatmap
+def transition_matrix(cmap: CoverageMap, backend: str, component: str,
+                      alphabet: Optional[frozenset] = None
+                      ) -> Tuple[List[str], List[str], List[List[int]]]:
+    """``(states, events, rows)`` count matrix for one component.
+
+    Rows span the declared alphabet (so never-reached states/events
+    still appear as cold rows); cells hold observation counts.
+    """
+    if alphabet is None:
+        from ..coherence.backend import get_backend
+
+        alphabet = get_backend(backend).transition_alphabet()
+    keys = ({t for t in alphabet if t[0] == component} |
+            {t for t in cmap.transitions(backend) if t[0] == component})
+    states = sorted({t[1] for t in keys})
+    events = sorted({t[2] for t in keys})
+    index = {name: i for i, name in enumerate(events)}
+    rows = [[0] * len(events) for __ in states]
+    for row, state in enumerate(states):
+        for transition in cmap.transitions(backend):
+            if transition[0] == component and transition[1] == state:
+                rows[row][index[transition[2]]] += \
+                    cmap.count(backend, transition)
+    return states, events, rows

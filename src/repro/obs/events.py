@@ -50,6 +50,8 @@ class Kind:
     COMMIT_STALL = "commit.stall"    # reason, cause, line (one per stalled cycle)
     # Network
     NET_SEND = "net.send"  # msg_type, src, dst, dst_port, line, arrival, flits
+    # Protocol transition coverage (repro.obs.coverage)
+    COH_TRANSITION = "coh.transition"  # component, state, event, next, action
 
     @classmethod
     def all(cls) -> List[str]:

@@ -38,12 +38,13 @@ DEFAULT_WORKLOAD = "fft"
 def probe_point(tiles: int, *, workload: str = DEFAULT_WORKLOAD,
                 scale: float = 0.5, core_class: str = "SLM",
                 commit_mode: CommitMode = CommitMode.OOO_WB,
+                backend: str = "baseline",
                 period: int = DEFAULT_PERIOD) -> Dict:
     """Run one tile count; returns the scaling-point record."""
     from ..workloads import ALL_WORKLOADS
 
     params = table6_system(core_class, num_cores=tiles,
-                           commit_mode=commit_mode)
+                           commit_mode=commit_mode, backend=backend)
     traces = ALL_WORKLOADS[workload](num_threads=tiles, scale=scale).traces
     system = MulticoreSystem(params)
     system.sample_metrics(period)
@@ -63,6 +64,7 @@ def probe_point(tiles: int, *, workload: str = DEFAULT_WORKLOAD,
         "workload": workload,
         "scale": scale,
         "mode": commit_mode.value,
+        "backend": backend,
         "cycles": result.cycles,
         "committed": result.committed,
         "events_fired": events_fired,
@@ -81,6 +83,7 @@ def run_scale_probe(tile_counts: Sequence[int] = DEFAULT_TILE_COUNTS, *,
                     workload: str = DEFAULT_WORKLOAD, scale: float = 0.5,
                     core_class: str = "SLM",
                     commit_mode: CommitMode = CommitMode.OOO_WB,
+                    backend: str = "baseline",
                     period: int = DEFAULT_PERIOD,
                     echo: Optional[Callable[[str], None]] = None
                     ) -> List[Dict]:
@@ -89,7 +92,7 @@ def run_scale_probe(tile_counts: Sequence[int] = DEFAULT_TILE_COUNTS, *,
     for tiles in tile_counts:
         point = probe_point(tiles, workload=workload, scale=scale,
                             core_class=core_class, commit_mode=commit_mode,
-                            period=period)
+                            backend=backend, period=period)
         points.append(point)
         if echo:
             hot = max(point["saturation"].items(),

@@ -23,6 +23,7 @@ from ..core.inorder_core import InOrderCore
 from ..core.instruction import Instruction
 from ..core.ooo_core import OoOCore
 from ..network.mesh import MeshNetwork
+from ..obs.coverage import CoverageObserver
 from ..obs.events import EventBus
 from ..obs.metrics import DEFAULT_PERIOD, MetricsSampler
 from ..obs.spans import SpanTracker
@@ -45,6 +46,7 @@ class MulticoreSystem:
         self.bus = EventBus(self.events)
         self.tracker: Optional[SpanTracker] = None
         self.sampler: Optional[MetricsSampler] = None
+        self.coverage: Optional[CoverageObserver] = None
         #: Per-cycle callback (e.g. an invariant probe from
         #: ``repro.coherence.invariants.attach_probe``); inert when None.
         self.probe = None
@@ -93,6 +95,18 @@ class MulticoreSystem:
         if self.sampler is None:
             self.sampler = MetricsSampler(self, period)
         return self.sampler
+
+    def observe_coverage(self, *, source: str = "run") -> CoverageObserver:
+        """Attach (once) and return a transition-coverage observer.
+
+        Call before :meth:`run`; transition tuples land on the observer
+        (``to_map()`` for the mergeable ``repro-coverage/1`` form).
+        """
+        if self.coverage is None:
+            observer = CoverageObserver(self.params.backend, source=source)
+            observer.attach(*self.caches, *self.directories)
+            self.coverage = observer
+        return self.coverage
 
     def load_program(self, traces: Sequence[List[Instruction]]) -> None:
         """Assign per-core traces (shorter list leaves extra cores idle)."""

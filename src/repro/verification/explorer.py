@@ -302,10 +302,28 @@ class ExplorationResult:
     sleep_pruned: int = 0
     max_pending: int = 0
     violations: List[str] = field(default_factory=list)
+    # Search telemetry (docs/verification.md): how the DFS spent its
+    # budget, not just what it concluded.
+    transitions: int = 0  # deliveries executed (forked children)
+    frontier_peak: int = 0  # deepest the DFS stack ever grew
+    memoized: int = 0  # distinct fingerprints in the memo table
+    depth_histogram: Dict[int, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of popped states answered by the memo table."""
+        visits = self.states_explored + self.deduplicated
+        return self.deduplicated / visits if visits else 0.0
+
+    @property
+    def sleep_prune_ratio(self) -> float:
+        """Fraction of enabled deliveries the sleep sets never forked."""
+        enabled = self.transitions + self.sleep_pruned
+        return self.sleep_pruned / enabled if enabled else 0.0
 
 
 def explore(setup: Callable[[VerifSystem], None],
@@ -316,6 +334,8 @@ def explore(setup: Callable[[VerifSystem], None],
             backend: str = "baseline",
             cache_params: Optional[CacheParams] = None,
             on_quiescent: Optional[Callable[[VerifSystem], None]] = None,
+            coverage=None,
+            progress: Optional[Callable[[ExplorationResult], None]] = None,
             ) -> ExplorationResult:
     """Explore every delivery order of the scenario built by *setup*.
 
@@ -339,16 +359,26 @@ def explore(setup: Callable[[VerifSystem], None],
     sleep set seen per fingerprint: a revisit with a superset sleep set
     is pruned outright, a revisit that would explore *more* (smaller
     sleep) re-expands and records the intersection.
+
+    ``coverage`` takes a :class:`repro.obs.coverage.CoverageObserver`:
+    it attaches to the root system's controllers before ``setup`` and
+    survives every ``deepcopy`` fork as a shared singleton, so one map
+    accumulates the transitions of all explored interleavings.
+    ``progress(result)`` fires every 2048 explored states (live
+    telemetry for long exhaustive runs).
     """
     root = VerifSystem(num_tiles, writers_block=writers_block,
                        backend=backend, cache_params=cache_params)
+    if coverage is not None:
+        coverage.attach(*root.caches, *root.dirs)
     setup(root)
     root.settle()
     result = ExplorationResult()
     seen: Dict[Tuple, frozenset] = {}
-    stack: List[Tuple[VerifSystem, frozenset]] = [(root, frozenset())]
+    stack: List[Tuple[VerifSystem, frozenset, int]] = [(root, frozenset(), 0)]
+    result.frontier_peak = 1
     while stack and result.states_explored < max_states:
-        system, sleep = stack.pop()
+        system, sleep, depth = stack.pop()
         fp = system.fingerprint()
         recorded = seen.get(fp)
         if recorded is not None and recorded <= sleep:
@@ -356,6 +386,11 @@ def explore(setup: Callable[[VerifSystem], None],
             continue
         seen[fp] = sleep if recorded is None else (recorded & sleep)
         result.states_explored += 1
+        result.depth_histogram[depth] = \
+            result.depth_histogram.get(depth, 0) + 1
+        if progress is not None and result.states_explored % 2048 == 0:
+            result.memoized = len(seen)
+            progress(result)
         result.max_pending = max(result.max_pending,
                                  len(system.network.pending))
         problem = invariant(system)
@@ -369,7 +404,7 @@ def explore(setup: Callable[[VerifSystem], None],
                 on_quiescent(system)
                 system.settle()
                 if system.network.pending or system.fingerprint() != before:
-                    stack.append((system, frozenset()))
+                    stack.append((system, frozenset(), depth))
                     continue
             problem = final_check(system)
             if problem:
@@ -393,12 +428,16 @@ def explore(setup: Callable[[VerifSystem], None],
             child = copy.deepcopy(system)
             child.network.deliver(index)
             child.settle()
+            result.transitions += 1
             if por:
                 child_sleep = frozenset(
                     other for other in sleep.union(explored_here)
                     if BufferingNetwork.independent(other, key))
             else:
                 child_sleep = frozenset()
-            stack.append((child, child_sleep))
+            stack.append((child, child_sleep, depth + 1))
             explored_here.append(key)
+        if len(stack) > result.frontier_peak:
+            result.frontier_peak = len(stack)
+    result.memoized = len(seen)
     return result

@@ -87,5 +87,5 @@ def test_every_driver_is_registered():
         "fig8", "fig9", "fig10", "table1", "table2", "table6",
         "sweep_lq", "ecl_inorder", "ablation_ldt", "ablation_evictions",
         "ablation_network", "ablation_unsafe", "blame", "conformance",
-        "models", "metrics",
+        "models", "metrics", "coverage",
     }

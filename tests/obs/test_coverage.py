@@ -1,0 +1,233 @@
+"""Transition coverage: observer, map algebra, JSONL, reports."""
+
+import copy
+import json
+
+import pytest
+
+from repro.common.params import table6_system
+from repro.common.types import CommitMode, LineAddr
+from repro.obs.coverage import (
+    COVERAGE_SCHEMA,
+    CoverageMap,
+    CoverageObserver,
+    coverage_report,
+    format_transition,
+    read_coverage_jsonl,
+    render_coverage,
+    render_coverage_diff,
+    transition_matrix,
+    write_coverage_jsonl,
+)
+from repro.obs.scenarios import scenario_traces
+from repro.sim.system import MulticoreSystem
+
+T1 = ("cache", "S", "INV", "I", "ACK")
+T2 = ("cache", "M", "FWD_GETS", "S", "COPYBACK+DATA")
+T3 = ("dir", "S", "GETX", "BUSY_WRITE", "DATA+INV")
+
+
+def observed_mp(backend="baseline"):
+    mode = (CommitMode.OOO_WB if backend == "baseline" else CommitMode.OOO)
+    params = table6_system("SLM", num_cores=4, commit_mode=mode,
+                           backend=backend)
+    system = MulticoreSystem(params)
+    observer = system.observe_coverage(source="test")
+    system.load_program(scenario_traces("mp"))
+    system.run()
+    return observer
+
+
+def test_format_transition():
+    assert format_transition(T1) == "cache: S --INV--> I [ACK]"
+
+
+def test_observer_records_through_bus():
+    observer = observed_mp()
+    assert observer.counts, "mp run produced no transitions"
+    for transition, sources in observer.counts.items():
+        assert len(transition) == 5
+        assert transition[0] in ("cache", "dir")
+        assert all(isinstance(part, str) for part in transition)
+        assert sources == {"test": sources["test"]}
+        assert sources["test"] > 0
+
+
+def test_observe_coverage_attaches_once():
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    system = MulticoreSystem(params)
+    first = system.observe_coverage()
+    assert system.observe_coverage(source="other") is first
+    assert first.source == "run"
+
+
+def test_plain_run_keeps_gates_closed():
+    """Without observe_coverage() every component's gate stays None."""
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    system = MulticoreSystem(params)
+    system.load_program(scenario_traces("mp"))
+    system.run()
+    for component in (*system.caches, *system.directories):
+        assert component._cov is None
+        assert component._cov_sends == []
+
+
+def test_observer_deepcopy_is_shared_sink():
+    observer = CoverageObserver("baseline")
+    assert copy.deepcopy(observer) is observer
+
+
+def test_map_add_absorb_merge_sum_counts():
+    observer = CoverageObserver("baseline", source="a")
+    observer.counts[T1] = {"a": 2}
+    observer.counts[T2] = {"a": 1}
+    cmap = observer.to_map()
+    cmap.add("baseline", T1, "b", 3)
+    other = CoverageMap()
+    other.add("baseline", T1, "a", 5)
+    other.add("tardis", T3, "c", 1)
+    cmap.merge(other)
+    assert cmap.backends == ["baseline", "tardis"]
+    assert cmap.count("baseline", T1) == 10
+    assert cmap.count("baseline", T2) == 1
+    assert cmap.count("tardis", T3) == 1
+    assert cmap.source_totals("baseline") == {"a": 8, "b": 3}
+
+
+def test_jsonl_round_trip(tmp_path):
+    observer = observed_mp()
+    cmap = observer.to_map()
+    path = tmp_path / "coverage.jsonl"
+    count = write_coverage_jsonl(cmap, path, meta={"backend": "baseline"})
+    assert count == len(cmap.transitions("baseline")) > 0
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first["schema"] == COVERAGE_SCHEMA
+    header, back = read_coverage_jsonl(path)
+    assert header["meta"] == {"backend": "baseline"}
+    assert back.records() == cmap.records()
+
+
+def test_jsonl_merge_across_files_equals_in_memory(tmp_path):
+    a = CoverageMap()
+    a.add("baseline", T1, "corpus", 2)
+    b = CoverageMap()
+    b.add("baseline", T1, "fuzz", 3)
+    b.add("tardis", T3, "corpus", 1)
+    write_coverage_jsonl(a, tmp_path / "a.jsonl")
+    write_coverage_jsonl(b, tmp_path / "b.jsonl")
+    merged = CoverageMap()
+    for name in ("a.jsonl", "b.jsonl"):
+        __, loaded = read_coverage_jsonl(tmp_path / name)
+        merged.merge(loaded)
+    expected = CoverageMap()
+    expected.merge(a)
+    expected.merge(b)
+    assert merged.records() == expected.records()
+
+
+def test_jsonl_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(json.dumps({"schema": "repro-coverage/99"}) + "\n")
+    with pytest.raises(ValueError, match="unknown coverage schema"):
+        read_coverage_jsonl(path)
+
+
+def test_jsonl_rejects_missing_header(tmp_path):
+    path = tmp_path / "headerless.jsonl"
+    path.write_text(json.dumps({"backend": "baseline",
+                                "transition": list(T1)}) + "\n")
+    with pytest.raises(ValueError, match="missing"):
+        read_coverage_jsonl(path)
+
+
+def test_jsonl_rejects_empty_file(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty coverage file"):
+        read_coverage_jsonl(empty)
+
+
+def test_coverage_report_against_synthetic_alphabet():
+    cmap = CoverageMap()
+    cmap.add("baseline", T1, "corpus", 4)
+    cmap.add("baseline", T3, "corpus", 1)  # not in the tiny alphabet
+    alphabet = frozenset((T1, T2))
+    report = coverage_report(cmap, "baseline", alphabet=alphabet)
+    assert report["alphabet"] == 2
+    assert report["covered"] == 1
+    assert report["coverage"] == 0.5
+    assert report["uncovered"] == [list(T2)]
+    assert report["undeclared"] == [list(T3)]
+    assert report["components"]["cache"]["covered"] == 1
+    assert report["observations"] == 5
+
+
+def test_report_against_declared_alphabet_has_no_undeclared():
+    observer = observed_mp()
+    report = coverage_report(observer.to_map(), "baseline")
+    assert report["undeclared"] == []
+    assert 0 < report["covered"] <= report["alphabet"]
+
+
+def test_render_coverage_lists_uncovered_by_name():
+    cmap = CoverageMap()
+    cmap.add("baseline", T1, "corpus", 1)
+    report = coverage_report(cmap, "baseline",
+                             alphabet=frozenset((T1, T2)))
+    text = render_coverage(report)
+    assert "1/2" in text
+    assert format_transition(T2) in text
+    assert format_transition(T1) not in text  # covered: not listed
+
+
+def test_render_coverage_diff_names_exclusive_events():
+    cmap = CoverageMap()
+    cmap.add("baseline", T1, "corpus", 1)
+    cmap.add("tardis", ("cache", "S", "RENEW_ACK", "S", "-"), "corpus", 1)
+    ra = coverage_report(cmap, "baseline", alphabet=frozenset((T1,)))
+    rb = coverage_report(cmap, "tardis", alphabet=frozenset(
+        (("cache", "S", "RENEW_ACK", "S", "-"),)))
+    text = render_coverage_diff(ra, rb, cmap)
+    assert "baseline vs tardis" in text
+    assert "only in baseline: INV" in text
+    assert "only in tardis: RENEW_ACK" in text
+
+
+def test_transition_matrix_cells_sum_to_counts():
+    observer = observed_mp()
+    cmap = observer.to_map()
+    states, events, rows = transition_matrix(cmap, "baseline", "cache")
+    assert len(rows) == len(states)
+    assert all(len(row) == len(events) for row in rows)
+    total = sum(cmap.count("baseline", t)
+                for t in cmap.transitions("baseline") if t[0] == "cache")
+    assert sum(sum(row) for row in rows) == total
+    # Alphabet-only states appear as all-cold rows, never vanish.
+    assert set(states) >= {t[1] for t in cmap.transitions("baseline")
+                           if t[0] == "cache"}
+
+
+def test_tardis_backend_records_its_own_transitions():
+    observer = observed_mp(backend="tardis")
+    assert observer.counts
+    report = coverage_report(observer.to_map(), "tardis")
+    assert report["undeclared"] == []
+
+
+def test_explorer_forks_record_into_one_sink():
+    from repro.verification import combined_invariant, explore
+
+    observer = CoverageObserver("baseline", source="explore")
+
+    def setup(system):
+        system.cores[0].issue_load(0x1000)
+        system.cores[1].request_write(LineAddr(0x40))
+
+    result = explore(setup, combined_invariant, lambda s: None,
+                     coverage=observer)
+    assert result.ok, result.violations
+    assert observer.counts
+    assert all(set(sources) == {"explore"}
+               for sources in observer.counts.values())

@@ -68,6 +68,92 @@ def test_jsonl_rejects_empty_file(tmp_path):
         read_trace_jsonl(empty)
 
 
+# Every JSONL schema family ships the same three header guards; pin
+# them together so a new exporter can't quietly skip one.
+SCHEMA_READERS = [
+    pytest.param("repro-trace", read_trace_jsonl,
+                 "unknown trace schema", "empty trace file",
+                 id="trace"),
+    pytest.param("repro-metrics", None,
+                 "unknown metrics schema", "empty metrics file",
+                 id="metrics"),
+    pytest.param("repro-coverage", None,
+                 "unknown coverage schema", "empty coverage file",
+                 id="coverage"),
+]
+
+
+def _reader_for(family, reader):
+    if reader is not None:
+        return reader
+    if family == "repro-metrics":
+        from repro.obs.metrics import read_metrics_jsonl
+        return read_metrics_jsonl
+    from repro.obs.coverage import read_coverage_jsonl
+    return read_coverage_jsonl
+
+
+@pytest.mark.parametrize("family,reader,unknown_match,empty_match",
+                         SCHEMA_READERS)
+def test_all_schemas_reject_unknown_version(tmp_path, family, reader,
+                                            unknown_match, empty_match):
+    path = tmp_path / "future.jsonl"
+    path.write_text(json.dumps({"schema": f"{family}/99"}) + "\n")
+    with pytest.raises(ValueError, match=unknown_match):
+        _reader_for(family, reader)(path)
+
+
+@pytest.mark.parametrize("family,reader,unknown_match,empty_match",
+                         SCHEMA_READERS)
+def test_all_schemas_reject_missing_header(tmp_path, family, reader,
+                                           unknown_match, empty_match):
+    path = tmp_path / "headerless.jsonl"
+    path.write_text(json.dumps({"some": "record"}) + "\n")
+    with pytest.raises(ValueError, match="missing"):
+        _reader_for(family, reader)(path)
+
+
+@pytest.mark.parametrize("family,reader,unknown_match,empty_match",
+                         SCHEMA_READERS)
+def test_all_schemas_reject_empty_file(tmp_path, family, reader,
+                                       unknown_match, empty_match):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError, match=empty_match):
+        _reader_for(family, reader)(path)
+
+
+def test_metrics_round_trip_preserves_known_version(tmp_path):
+    from repro.obs.metrics import (METRICS_SCHEMA, read_metrics_jsonl,
+                                   write_metrics_jsonl)
+    from repro.sim.runner import run_sampled
+
+    params = table6_system("SLM", num_cores=4,
+                           commit_mode=CommitMode.OOO_WB)
+    result = run_sampled(scenario_traces("mp"), params, period=100)
+    path = tmp_path / "metrics.jsonl"
+    write_metrics_jsonl(result.telemetry, path)
+    assert json.loads(path.read_text().splitlines()[0])["schema"] \
+        == METRICS_SCHEMA
+    back = read_metrics_jsonl(path)
+    assert back["samples"] == result.telemetry["samples"]
+
+
+def test_coverage_round_trip_preserves_known_version(tmp_path):
+    from repro.obs.coverage import (COVERAGE_SCHEMA, CoverageMap,
+                                    read_coverage_jsonl,
+                                    write_coverage_jsonl)
+
+    cmap = CoverageMap()
+    cmap.add("baseline", ("cache", "S", "INV", "I", "ACK"), "corpus", 2)
+    path = tmp_path / "coverage.jsonl"
+    write_coverage_jsonl(cmap, path)
+    assert json.loads(path.read_text().splitlines()[0])["schema"] \
+        == COVERAGE_SCHEMA
+    __, back = read_coverage_jsonl(path)
+    assert back.records() == cmap.records()
+
+
 def test_jsonl_streams_to_stdout(capsys):
     __, events = observed_mp()
     count = write_events_jsonl(events[:5], "-")

@@ -107,6 +107,27 @@ def test_unsampled_run_allocates_no_telemetry(monkeypatch):
         run_case(case)  # would raise if sampling state were ever built
 
 
+def test_unobserved_run_constructs_no_coverage_observer(monkeypatch):
+    """Coverage's zero-cost-when-off contract: without
+    ``observe_coverage()`` no component gate opens and no observer is
+    ever built (the probe pays one ``is not None`` check per
+    transition)."""
+    monkeypatch.setattr("repro.sim.system.CoverageObserver",
+                        _Forbidden("CoverageObserver"))
+    for case in scenario_cases():
+        run_case(case)  # would raise if coverage state were ever built
+
+
+def test_forbidden_coverage_observer_does_trip_when_attached(monkeypatch):
+    """Positive control for the coverage trap."""
+    monkeypatch.setattr("repro.sim.system.CoverageObserver",
+                        _Forbidden("CoverageObserver"))
+    case = scenario_cases()[0]
+    system = MulticoreSystem(case.params)
+    with pytest.raises(AssertionError, match="observer-free"):
+        system.observe_coverage()
+
+
 def test_forbidden_constructors_do_trip_when_observed(monkeypatch):
     """Positive control: the booby traps actually guard the code path."""
     monkeypatch.setattr("repro.obs.events.Event", _Forbidden("Event"))

@@ -1,0 +1,75 @@
+"""Regenerate src/repro/coherence/alphabet.py from observed transitions.
+
+Runs the broadest deterministic battery we have — the FULL conformance
+corpus across its delay grid, the directed scenarios, an extended fuzz
+sweep, and the POR explorations — with the coverage probe attached for
+every backend, then freezes every observed transition tuple into the
+declared alphabet tables.  Run from the repo root::
+
+    PYTHONPATH=src python tools/gen_alphabet.py
+
+Deterministic by construction (pinned seeds, fixed grids), so the
+output is byte-stable; re-run whenever a protocol or its
+instrumentation changes and commit the result.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.coherence.backend import backend_names
+from repro.conform.coverage import collect_coverage
+
+OUT = Path(__file__).resolve().parents[1] / "src" / "repro" / "coherence" \
+    / "alphabet.py"
+
+#: Wider than the default collection sweep: the alphabet must contain
+#: every tuple any later run can produce, so over-approximate the seeds.
+ALPHABET_FUZZ_SEEDS = tuple(range(60))
+
+HEADER = '''"""Declared transition alphabets for the shipped coherence backends.
+
+Each alphabet is the exact set of ``(component, state, event,
+next_state, action)`` tuples its protocol can produce — the denominator
+for :func:`repro.obs.coverage.coverage_report`.  The tables are
+generated empirically by ``tools/gen_alphabet.py``: it exhausts the
+conformance corpus (all held-back delay placements), the differential
+fuzz battery, the sleep-set POR explorer, and the directed scenarios
+with the coverage probe attached, then freezes every tuple observed.
+Tests pin observed ⊆ declared, so an instrumentation or protocol change
+that produces a new tuple fails loudly until the table is regenerated.
+"""
+
+from __future__ import annotations
+
+'''
+
+
+def render_alphabet(name: str, transitions) -> str:
+    lines = [f"{name}: frozenset = frozenset(("]
+    for component, state, event, nxt, action in sorted(transitions):
+        lines.append(f"    ({component!r}, {state!r}, {event!r}, "
+                     f"{nxt!r}, {action!r}),")
+    lines.append("))")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    blocks = []
+    for backend in backend_names():
+        print(f"collecting {backend} ...", flush=True)
+        cmap, info = collect_coverage(
+            backend, full=True, fuzz_seeds=ALPHABET_FUZZ_SEEDS)
+        transitions = cmap.transitions(backend)
+        print(f"  {len(transitions)} transitions "
+              f"({info['sources']})", flush=True)
+        blocks.append(render_alphabet(f"{backend.upper()}_ALPHABET",
+                                      transitions))
+    OUT.write_text(HEADER + "\n\n".join(blocks) + "\n")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
