@@ -899,13 +899,15 @@ def cmd_coverage(args) -> int:
     for backend in backends:
         say(render_coverage(reports[backend]))
     if args.diff:
-        if len(backends) != 2:
-            raise SystemExit("repro: --diff wants exactly two backends in "
-                             "play (collect both, or --load a map that "
-                             "holds two)")
-        say("")
-        say(render_coverage_diff(reports[backends[0]],
-                                 reports[backends[1]], cmap))
+        if len(backends) < 2:
+            raise SystemExit("repro: --diff wants at least two backends in "
+                             "play (collect them, or --load a map that "
+                             "holds several)")
+        import itertools
+
+        for a, b in itertools.combinations(backends, 2):
+            say("")
+            say(render_coverage_diff(reports[a], reports[b], cmap))
     if args.out:
         count = write_coverage_jsonl(cmap, args.out,
                                      meta={"backends": backends})

@@ -2,8 +2,9 @@
 
 ``baseline`` is the paper's directory MESI protocol with the
 WritersBlock extension; ``tardis`` is timestamp/lease coherence with no
-invalidation traffic.  See :mod:`repro.coherence.backend` and
-docs/coherence.md.
+invalidation traffic; ``rcp`` is reversible coherence — speculative
+reads acquire undo-able copies that a conflicting write rolls back.
+See :mod:`repro.coherence.backend` and docs/coherence.md.
 """
 
 from .backend import (
@@ -16,6 +17,7 @@ from .backend import (
 from .directory import DirectoryBank, DirEntry, EvictingEntry
 from .invariants import attach_probe, check_coherence, check_cycle, check_quiescent
 from .private_cache import LoadRequest, PrivateCache, PrivateLine
+from .rcp import RcpBackend, RcpCache, RcpDirectory, RcpLine
 from .tardis import TardisBackend, TardisCache, TardisDirectory, TardisLine
 
 __all__ = [
@@ -34,6 +36,10 @@ __all__ = [
     "LoadRequest",
     "PrivateCache",
     "PrivateLine",
+    "RcpBackend",
+    "RcpCache",
+    "RcpDirectory",
+    "RcpLine",
     "TardisBackend",
     "TardisCache",
     "TardisDirectory",

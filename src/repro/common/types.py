@@ -41,12 +41,19 @@ class CommitMode(enum.Enum):
 
 
 class CacheState(enum.Enum):
-    """Stable MESI states of a line in a private cache."""
+    """Stable MESI states of a line in a private cache.
+
+    SPEC is the rcp backend's speculative-read state: the line was
+    acquired by a not-yet-ordered load and can be *reversed* (rolled
+    back via Undo) by a conflicting write; it is never writable and
+    promotes to S on the first ordered read (confirm-on-commit).
+    """
 
     M = "M"
     E = "E"
     S = "S"
     I = "I"
+    SPEC = "Sp"
 
 
 class DirState(enum.Enum):
@@ -99,6 +106,11 @@ class MsgType(enum.Enum):
     RENEW_ACK = "RenewAck"  # lease extended, data unchanged (control-sized)
     RECALL = "Recall"  # directory recalls the exclusive owner's copy
     RECALL_ACK = "RecallAck"  # owner's data + timestamps back to the LLC
+    # RCP backend (reversible coherence)
+    GETS_SPEC = "GetSSpec"  # speculative read: acquire a reversible copy
+    UNDO = "Undo"  # reverse a speculative acquisition (conflicting write)
+    UNDO_ACK = "UndoAck"  # speculative copy dropped, reversal acknowledged
+    CONFIRM = "Confirm"  # commit a speculative copy to a stable sharer
 
 
 #: Number of flits for data-bearing vs control messages (paper Table 6).

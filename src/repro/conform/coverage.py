@@ -31,8 +31,11 @@ from .runner import default_mode_for, full_requested, load_corpus, tier1_slice
 #: The phases :func:`collect_coverage` runs, in order.
 COVERAGE_SOURCES = ("corpus", "scenario", "capacity", "fuzz", "explore")
 
-#: Seeds for the fuzz phase — the first 20 of the golden fuzz corpus.
-FUZZ_SEEDS: Tuple[int, ...] = tuple(range(20))
+#: Seeds for the fuzz phase — the first 20 of the golden fuzz corpus,
+#: plus seed 49 (the pinned rcp regression program: its racing
+#: test-and-sets are the only tier-1 source of the self-reversal,
+#: stale-undo and orphaned-fill transitions).
+FUZZ_SEEDS: Tuple[int, ...] = tuple(range(20)) + (49,)
 
 Echo = Optional[Callable[[str], None]]
 

@@ -165,13 +165,14 @@ def explore_sos(*, por: bool = True, max_states: int = 20_000,
 
 def _drain_retries(system: VerifSystem) -> bool:
     """Reissue every load bounced with ``on_must_retry`` (a tardis fill
-    can arrive with its lease already expired); True if any reissued."""
+    can arrive with its lease already expired, an rcp speculative copy
+    can be reversed under a pending hit); True if any reissued."""
     return any([core.reissue_retries() for core in system.cores])
 
 
-def _tardis_final(expect_loads: int, expect_grants: int,
-                  legal_reads: Optional[Dict[int, tuple]] = None):
-    """Path-end check for tardis scenarios: drained + quiescent
+def _backend_final(expect_loads: int, expect_grants: int,
+                   legal_reads: Optional[Dict[int, tuple]] = None):
+    """Path-end check for backend scenarios: drained + quiescent
     invariants + progress, plus per-core read-value admissibility
     (``legal_reads`` maps core -> admissible (version, value) set for
     that core's *last* completed load)."""
@@ -235,7 +236,7 @@ def explore_tardis_lease(*, por: bool = True, max_states: int = 20_000,
 
     legal = {0: {(0, 0), (1, 42)}, 2: {(0, 0), (1, 42)}}
     return explore(setup, backend_cycle_invariant,
-                   _tardis_final(expect_loads=5, expect_grants=1,
+                   _backend_final(expect_loads=5, expect_grants=1,
                                  legal_reads=legal),
                    num_tiles=4, max_states=max_states, por=por,
                    backend="tardis", cache_params=params,
@@ -284,10 +285,127 @@ def explore_tardis_recall(*, por: bool = True, max_states: int = 20_000,
 
     legal = {0: {(1, 7)}, 1: {(1, 7), (2, 9)}}
     return explore(setup, backend_cycle_invariant,
-                   _tardis_final(expect_loads=3, expect_grants=2,
+                   _backend_final(expect_loads=3, expect_grants=2,
                                  legal_reads=legal),
                    num_tiles=4, max_states=max_states, por=por,
                    backend="tardis", on_quiescent=on_quiescent,
+                   coverage=coverage, progress=progress)
+
+
+def _rcp_invariant(system: VerifSystem) -> Optional[str]:
+    problem = backend_cycle_invariant(system)
+    if problem:
+        return problem
+    # The reversal contract: the instant the writer holds M, every
+    # speculative (and stable) copy must already be gone — a surviving
+    # copy would let a squashed load commit against the old version.
+    if system.caches[1].line_state(LINE) is CacheState.M:
+        for tile in (0, 2, 3):
+            if system.caches[tile].line_state(LINE) is not CacheState.I:
+                return (f"write granted while cache {tile} still holds "
+                        f"{system.caches[tile].line_state(LINE)} on the "
+                        f"data line")
+    return None
+
+
+def explore_rcp_reversal(*, por: bool = True, max_states: int = 20_000,
+                         coverage=None, progress=None) -> ExplorationResult:
+    """Speculative acquisition raced by a conflicting write (4 tiles).
+
+    Two readers acquire the data line speculatively (GETS_SPEC) while a
+    writer's GETX races them at the directory and a bystander touches
+    the flag line (the cross-line traffic the sleep sets prune).
+    Depending on delivery order the directory either reverses the
+    speculative copies (UNDO / UNDO_ACK) or parks the spec reads behind
+    the write and serves them via recall — every order must leave the
+    writer's M copy exclusive, and the ordered re-reads after the store
+    must observe exactly the written version (the reversal squashed
+    anything older).
+    """
+
+    def setup(system: VerifSystem) -> None:
+        system.cores[0].issue_spec_load(ADDR)
+        system.cores[2].issue_spec_load(ADDR)
+        system.cores[1].request_write(LINE)
+        system.cores[3].issue_load(FLAG_ADDR)
+
+    def on_quiescent(system: VerifSystem) -> None:
+        if _drain_retries(system):
+            return
+        loads = sum(len(core.load_results) for core in system.cores)
+        if not system.scratch.get("stored") and loads >= 3 \
+                and system.cores[1].writes_granted:
+            if system.caches[1].line_state(LINE) is not CacheState.M:
+                # When the GETX won the race, the parked speculative
+                # reads drained through a recall and demoted the writer
+                # — take the line back before storing.
+                system.cores[1].request_write(LINE)
+                return
+            system.scratch["stored"] = True
+            system.caches[1].perform_store(ADDR, 1, 42)
+            system.cores[0].issue_load(ADDR)
+            system.cores[2].issue_load(ADDR)
+
+    legal = {0: {(1, 42)}, 2: {(1, 42)}}
+    return explore(setup, _rcp_invariant,
+                   _backend_final(expect_loads=5, expect_grants=1,
+                                  legal_reads=legal),
+                   num_tiles=4, max_states=max_states, por=por,
+                   backend="rcp", on_quiescent=on_quiescent,
+                   coverage=coverage, progress=progress)
+
+
+def explore_rcp_confirm(*, por: bool = True, max_states: int = 20_000,
+                        coverage=None, progress=None) -> ExplorationResult:
+    """Confirm-on-commit racing a conflicting write (4 tiles).
+
+    A speculative reader commits its load (ordered re-read of the SPEC
+    copy), firing a CONFIRM toward home exactly as a writer's GETX
+    races it there, with an independent flag-line write as cross-line
+    traffic.  CONFIRM-first promotes the reader to a stable sharer the
+    write must then invalidate; GETX-first reverses the registration
+    and the in-flight CONFIRM must be ignored as stale while the UNDO
+    lands on the already-promoted copy.  Afterwards a second core
+    speculatively reads the dirty line (recall with a speculative
+    grant) and confirms uncontended — it must observe the store.
+    """
+
+    def setup(system: VerifSystem) -> None:
+        system.cores[0].issue_spec_load(ADDR)
+        system.cores[3].issue_load(FLAG_ADDR)
+
+    def on_quiescent(system: VerifSystem) -> None:
+        if _drain_retries(system):
+            return
+        cores, caches = system.cores, system.caches
+        if not system.scratch.get("race") and cores[0].load_results:
+            system.scratch["race"] = True
+            cores[0].issue_load(ADDR)        # promotes the SPEC copy
+            cores[1].request_write(LINE)     # GETX races the CONFIRM
+            cores[1].request_write(FLAG_LINE)
+            return
+        if system.scratch.get("race") and not system.scratch.get("stored") \
+                and len(cores[0].load_results) >= 2:
+            if caches[1].line_state(LINE) is not CacheState.M:
+                # A reversed-then-retried commit read can demote the
+                # writer through a recall — take the line back.
+                cores[1].request_write(LINE)
+                return
+            system.scratch["stored"] = True
+            caches[1].perform_store(ADDR, 1, 42)
+            cores[2].issue_spec_load(ADDR)   # spec read of a dirty line
+            return
+        if system.scratch.get("stored") and not system.scratch.get("commit") \
+                and cores[2].load_results:
+            system.scratch["commit"] = True
+            cores[2].issue_load(ADDR)        # uncontended confirm
+
+    legal = {0: {(0, 0)}, 2: {(1, 42)}}
+    return explore(setup, _rcp_invariant,
+                   _backend_final(expect_loads=5, expect_grants=2,
+                                  legal_reads=legal),
+                   num_tiles=4, max_states=max_states, por=por,
+                   backend="rcp", on_quiescent=on_quiescent,
                    coverage=coverage, progress=progress)
 
 
@@ -301,11 +419,18 @@ TARDIS_SCENARIOS: Dict[str, Callable[..., ExplorationResult]] = {
     "tardis_recall": explore_tardis_recall,
 }
 
+RCP_SCENARIOS: Dict[str, Callable[..., ExplorationResult]] = {
+    "rcp_reversal": explore_rcp_reversal,
+    "rcp_confirm": explore_rcp_confirm,
+}
+
 #: Exploration scenarios per coherence backend: the baseline set proves
-#: WritersBlock properties that do not exist under tardis, and vice
-#: versa, so ``--explore`` picks the set matching ``--backend``.
+#: WritersBlock properties that do not exist under tardis or rcp, the
+#: tardis set leases/recalls, the rcp set reversal and confirm races —
+#: so ``--explore`` picks the set matching ``--backend``.
 SCENARIO_SETS: Dict[str, Dict[str, Callable[..., ExplorationResult]]] = {
     "baseline": SCENARIOS,
+    "rcp": RCP_SCENARIOS,
     "tardis": TARDIS_SCENARIOS,
 }
 

@@ -16,6 +16,7 @@ configurations without tripping full-scale expectations.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -580,8 +581,8 @@ CONFORM_PERTURB = 2
 
 #: Coherence backends the conformance driver compares (each under the
 #: strongest commit mode it supports: OOO_WB for baseline, OOO for
-#: tardis — ``repro.conform.runner.default_mode_for``).
-BACKEND_MATRIX = ("baseline", "tardis")
+#: rcp and tardis — ``repro.conform.runner.default_mode_for``).
+BACKEND_MATRIX = ("baseline", "rcp", "tardis")
 
 
 def conformance_driver(cfg: BenchConfig, engine: ExperimentEngine
@@ -853,9 +854,8 @@ def coverage_driver(cfg: BenchConfig, engine: ExperimentEngine
     reports = {backend: coverage_report(cmap, backend)
                for backend in matrix}
     parts = [render_coverage(reports[backend]) for backend in matrix]
-    if len(matrix) == 2:
-        parts.append(render_coverage_diff(reports[matrix[0]],
-                                          reports[matrix[1]], cmap))
+    for a, b in itertools.combinations(matrix, 2):
+        parts.append(render_coverage_diff(reports[a], reports[b], cmap))
     parts.append(f"{'tier-1 slice' if sliced else 'full corpus'} x "
                  f"{len(matrix)} backends, "
                  f"{sum(len(cmap.transitions(b)) for b in matrix)} "

@@ -144,6 +144,22 @@ class VerifCore:
     def _is_ordered(self) -> bool:
         return True  # scripted loads act as the SoS load
 
+    def _is_unordered(self) -> bool:
+        return False  # scripted speculative loads never become ordered
+
+    def issue_spec_load(self, byte_addr: int) -> None:
+        """Issue a load that reports itself unordered — on rcp it misses
+        with a speculative (reversible) acquire instead of a stable
+        read.  Other backends treat it as a plain load."""
+        self._current_load = self._next_load
+        self._current_addr = byte_addr
+        self._next_load += 1
+        request = LoadRequest(byte_addr=byte_addr,
+                              is_ordered=self._is_unordered,
+                              on_value=self._on_value,
+                              on_must_retry=self._on_retry)
+        self.cache.load(request)
+
     def issue_load(self, byte_addr: int) -> None:
         self._current_load = self._next_load
         self._current_addr = byte_addr
@@ -273,6 +289,8 @@ class VerifSystem:
         dirs = tuple(
             (tuple(sorted((int(line), entry.state.value, str(entry.owner),
                            tuple(sorted(getattr(entry, "sharers", ()))),
+                           tuple(sorted(getattr(entry, "spec", ()))),
+                           getattr(entry, "acks_left", 0),
                            len(entry.queue),
                            getattr(entry, "deferred_expected", 0),
                            getattr(entry, "wts", 0),

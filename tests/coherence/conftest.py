@@ -33,6 +33,11 @@ def pytest_configure(config):
         "markers",
         "baseline_only: test asserts baseline (MESI/WritersBlock) "
         "mechanics; skipped for other coherence backends")
+    config.addinivalue_line(
+        "markers",
+        "no_speculative_state: test assumes unordered loads install "
+        "stable (non-reversible) copies; skipped for backends with "
+        "has_speculative_state (rcp)")
 
 
 class ProtocolHarness:
@@ -146,11 +151,18 @@ def harness():
 
 @pytest.fixture(params=backend_names())
 def backend_name(request):
-    """The coherence backend under test; skips ``baseline_only`` tests
-    for every backend except baseline."""
+    """The coherence backend under test (every registered backend, so a
+    new ``register_backend`` call automatically joins the matrix).
+    Skips ``baseline_only`` tests for every backend except baseline and
+    ``no_speculative_state`` tests for backends whose unordered loads
+    install reversible (SPEC) copies."""
     if request.param != "baseline" and \
             request.node.get_closest_marker("baseline_only"):
         pytest.skip(f"baseline-specific mechanics (backend={request.param})")
+    if request.node.get_closest_marker("no_speculative_state") and \
+            get_backend(request.param).has_speculative_state:
+        pytest.skip(f"backend {request.param} tracks speculative reads "
+                    "in a dedicated SPEC state")
     return request.param
 
 

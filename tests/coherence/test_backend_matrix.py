@@ -1,10 +1,11 @@
 """The backend registry and its capability contract.
 
-The matrix the rest of the suite relies on: both shipped backends are
-registered, their capability flags gate configuration validation (the
-tardis backend has no WritersBlock and therefore no OOO_WB commit
-mode), the conformance runner resolves each backend's strongest sound
-commit mode, and a third backend is one ``register_backend`` call away.
+The matrix the rest of the suite relies on: all three shipped backends
+are registered, their capability flags gate configuration validation
+(tardis and rcp have no WritersBlock and therefore no OOO_WB commit
+mode; only rcp carries a speculative cache state), the conformance
+runner resolves each backend's strongest sound commit mode, and a
+fourth backend is one ``register_backend`` call away.
 """
 
 import dataclasses
@@ -19,6 +20,7 @@ from repro.coherence.backend import (
     get_backend,
     register_backend,
 )
+from repro.coherence.rcp import RcpBackend, RcpCache, RcpDirectory
 from repro.coherence.tardis import TardisBackend, TardisCache, TardisDirectory
 from repro.common.errors import ConfigError
 from repro.common.types import CommitMode
@@ -27,9 +29,10 @@ from repro.common.params import table6_system
 from repro.sim import MulticoreSystem
 
 
-def test_both_shipped_backends_are_registered():
-    assert {"baseline", "tardis"} <= set(backend_names())
+def test_all_shipped_backends_are_registered():
+    assert {"baseline", "rcp", "tardis"} <= set(backend_names())
     assert isinstance(get_backend("baseline"), BaselineBackend)
+    assert isinstance(get_backend("rcp"), RcpBackend)
     assert isinstance(get_backend("tardis"), TardisBackend)
 
 
@@ -43,27 +46,37 @@ def test_capability_flags():
     assert baseline.supports_writers_block
     assert baseline.has_invalidations
     assert baseline.supported_commit_modes is None  # all modes
+    assert not baseline.has_speculative_state
     tardis = get_backend("tardis")
     assert not tardis.supports_writers_block
     assert not tardis.has_invalidations
+    assert not tardis.has_speculative_state
     assert CommitMode.OOO_WB not in tardis.supported_commit_modes
     assert {CommitMode.IN_ORDER, CommitMode.OOO} \
         <= set(tardis.supported_commit_modes)
+    rcp = get_backend("rcp")
+    assert not rcp.supports_writers_block
+    assert rcp.has_invalidations
+    assert rcp.has_speculative_state
+    assert CommitMode.OOO_WB not in rcp.supported_commit_modes
+    assert {CommitMode.IN_ORDER, CommitMode.OOO} \
+        <= set(rcp.supported_commit_modes)
 
 
-def test_tardis_rejects_writersblock_and_ooo_wb():
-    tardis = get_backend("tardis")
+@pytest.mark.parametrize("name", ["tardis", "rcp"])
+def test_non_writersblock_backends_reject_writersblock_and_ooo_wb(name):
+    backend = get_backend(name)
     with pytest.raises(ConfigError, match="WritersBlock"):
-        tardis.validate_params(table6_system(
+        backend.validate_params(table6_system(
             "SLM", commit_mode=CommitMode.OOO, writers_block=True))
     # OOO_WB implies writers_block; probe the mode check on its own.
     params = dataclasses.replace(
         table6_system("SLM", commit_mode=CommitMode.OOO_WB),
         writers_block=False)
     with pytest.raises(ConfigError, match="commit mode"):
-        tardis.validate_params(params)
+        backend.validate_params(params)
     # The supported combination validates cleanly.
-    tardis.validate_params(table6_system("SLM", commit_mode=CommitMode.OOO))
+    backend.validate_params(table6_system("SLM", commit_mode=CommitMode.OOO))
 
 
 def test_system_construction_goes_through_the_backend():
@@ -79,12 +92,26 @@ def test_system_construction_goes_through_the_backend():
         MulticoreSystem(bad)
 
 
+def test_rcp_system_construction_goes_through_the_backend():
+    params = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO,
+                           backend="rcp")
+    system = MulticoreSystem(params)
+    assert system.backend is get_backend("rcp")
+    assert all(isinstance(c, RcpCache) for c in system.caches)
+    assert all(isinstance(d, RcpDirectory) for d in system.directories)
+    bad = table6_system("SLM", num_cores=4, commit_mode=CommitMode.OOO_WB,
+                        backend="rcp")
+    with pytest.raises(ConfigError):
+        MulticoreSystem(bad)
+
+
 def test_default_mode_for_resolves_the_strongest_sound_mode():
     assert default_mode_for("baseline") is CommitMode.OOO_WB
+    assert default_mode_for("rcp") is CommitMode.OOO
     assert default_mode_for("tardis") is CommitMode.OOO
 
 
-def test_third_backend_is_one_registration_away(monkeypatch):
+def test_fourth_backend_is_one_registration_away(monkeypatch):
     class NullBackend(CoherenceBackend):
         name = "null"
         supports_writers_block = False

@@ -5,13 +5,16 @@ cycle invariants into the simulator run loop, so every reachable
 mid-transaction state of a randomized racy workload is checked — for
 baseline that is single-writer exclusivity; for tardis it is timestamp
 SWMR, ``wts <= rts`` monotonicity, and ``pts`` never moving backwards
-(lease-expiry monotonicity).  Quiescent invariants (the data-value
-invariant, drained machinery) gate the end of each run.
+(lease-expiry monotonicity); for rcp it is SWMR over stable *and*
+speculative copies plus registration/data agreement for SPEC lines.
+Quiescent invariants (the data-value invariant, drained machinery)
+gate the end of each run.
 
 The battery is backend-parametric via the ``backend_name`` fixture:
 every registered backend runs the same seeds under its strongest sound
-commit mode.  A final negative test corrupts a timestamp to prove the
-hooks actually detect violations.
+commit mode.  The negative tests inject violations (a corrupted
+timestamp, an orphaned or dirtied SPEC copy, a duplicated owner) to
+prove the hooks actually detect them.
 """
 
 import pytest
@@ -85,6 +88,58 @@ def test_probe_detects_an_injected_timestamp_violation():
             break
     assert corrupted, "workload left no resident line to corrupt"
     with pytest.raises(ProtocolError, match="wts"):
+        check_coherence(system)
+
+
+def _resident_shared_line(system):
+    """A ``(tile, line, cache_entry, home_entry)`` with a stable S copy
+    registered at its home (seed 42 reliably leaves one behind)."""
+    from repro.common.types import CacheState
+
+    for tile, cache in enumerate(system.caches):
+        for line, entry in cache._lines.items():
+            if entry.state is not CacheState.S:
+                continue
+            home = system.directories[int(line) % len(system.directories)]
+            home_entry = home.entry(line)
+            if home_entry is not None and home_entry.is_stable() \
+                    and tile in home_entry.sharers:
+                return tile, line, entry, home_entry
+    return None
+
+
+def test_probe_detects_an_orphan_spec_copy():
+    """A resident SPEC copy its home never registered would escape every
+    future reversal — the rcp quiescent invariant must name it."""
+    from repro.common.types import CacheState
+
+    system, __ = probed_run("rcp", 42)
+    found = _resident_shared_line(system)
+    assert found, "workload left no registered shared copy to corrupt"
+    tile, line, entry, home_entry = found
+    entry.state = CacheState.SPEC
+    home_entry.sharers.discard(tile)  # home forgets the reader entirely
+    with pytest.raises(ProtocolError, match="orphan SPEC"):
+        check_coherence(system)
+
+
+def test_probe_detects_a_dirty_spec_copy():
+    """Speculative copies are read-only: one whose data diverged from
+    the home's authoritative line must trip the data-agreement check."""
+    from repro.common.types import CacheState
+
+    system, __ = probed_run("rcp", 42)
+    found = _resident_shared_line(system)
+    assert found, "workload left no registered shared copy to corrupt"
+    tile, line, entry, home_entry = found
+    # A correctly-registered speculative reader ...
+    entry.state = CacheState.SPEC
+    home_entry.sharers.discard(tile)
+    home_entry.spec.add(tile)
+    check_coherence(system)  # the re-registration alone is legal
+    # ... whose copy then grows a store the protocol never allows.
+    entry.data.write(0, 99, 123)
+    with pytest.raises(ProtocolError, match="differs from LLC"):
         check_coherence(system)
 
 

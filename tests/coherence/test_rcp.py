@@ -1,0 +1,227 @@
+"""Directed tests for the rcp reversible-coherence backend.
+
+Each test drives the protocol harness (``backend="rcp"``) through one
+mechanism of the reversible design: speculative acquisition in the SPEC
+state (invisible to the directory's conflict ordering), reversal of
+speculative copies by a conflicting write (UNDO / UNDO_ACK driving the
+squash hook), confirm-on-commit promotion to a stable sharer, the
+self-reversal a core performs when its own store conflicts with its own
+speculative read, reversal during directory eviction, and the
+ProtocolError guards on transitions the design rules out.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.coherence.backend import get_backend
+from repro.common.errors import ProtocolError
+from repro.common.params import CacheParams
+from repro.common.types import CacheState, DirState
+
+from .conftest import ProtocolHarness
+
+ADDR = 0x1000
+
+
+@pytest.fixture
+def rh():
+    return ProtocolHarness(backend="rcp")
+
+
+def test_speculative_read_installs_a_reversible_copy(rh):
+    h = rh
+    out = h.read_blocking(0, ADDR, ordered=False)
+    assert out["value"] == (0, 0)
+    line = h.line(ADDR)
+    assert h.caches[0].line_state(line) is CacheState.SPEC
+    entry = h.home_dir(ADDR).entry(line)
+    assert entry.state is DirState.S
+    assert entry.spec == {0}
+    assert entry.sharers == set()
+    assert h.stats.value("rcp.spec_reads") == 1
+    # An ordered read takes the stable path: registered as a sharer.
+    h.read_blocking(1, ADDR, ordered=True)
+    assert entry.sharers == {1}
+    assert h.stats.value("rcp.spec_reads") == 1
+
+
+def test_conflicting_write_reverses_the_speculative_copy(rh):
+    h = rh
+    line = h.line(ADDR)
+    h.read_blocking(0, ADDR, ordered=False)
+    h.write_blocking(1, ADDR, version=1, value=42)
+    h.run()
+    # The reversal dropped the copy and fired the squash hook — but it
+    # is an Undo, not an invalidation (the copy was never stable).
+    assert h.caches[0].line_state(line) is CacheState.I
+    assert h.invalidations[0] == [line]
+    assert h.stats.value("rcp.reversals") == 1
+    assert h.stats.value("cache.invalidations_received") == 0
+    entry = h.home_dir(ADDR).entry(line)
+    assert entry.state is DirState.M
+    assert entry.owner == 1
+    # The write propagated: a later ordered read recalls the owner and
+    # observes the store.
+    assert h.read_blocking(2, ADDR)["value"] == (1, 42)
+    assert h.stats.value("rcp.recalls") == 1
+
+
+def test_ordered_reread_confirms_and_promotes_to_stable_sharer(rh):
+    h = rh
+    line = h.line(ADDR)
+    h.read_blocking(0, ADDR, ordered=False)
+    out = h.read_blocking(0, ADDR, ordered=True)
+    assert out["status"] == "hit"
+    assert out["value"] == (0, 0)
+    assert h.caches[0].line_state(line) is CacheState.S
+    assert h.stats.value("rcp.confirms") == 1
+    entry = h.home_dir(ADDR).entry(line)
+    assert entry.spec == set()
+    assert entry.sharers == {0}
+    # Promoted copies are stable: a conflicting write now invalidates
+    # (Inv, not Undo) — the committed load needs no squash, but the
+    # hook still fires for the ordering point.
+    h.write_blocking(1, ADDR, version=1, value=9)
+    h.run()
+    assert h.caches[0].line_state(line) is CacheState.I
+    assert h.stats.value("cache.invalidations_received") == 1
+    assert h.stats.value("rcp.reversals") == 0
+
+
+def test_ordered_load_waiting_on_spec_fill_promotes_at_delivery(rh):
+    h = rh
+    line = h.line(ADDR)
+    spec = h.read(0, ADDR, ordered=False)     # miss: GetSSpec in flight
+    ordered = h.read(0, ADDR, ordered=True)   # piggybacks on the MSHR
+    assert ordered["status"] == "miss"
+    h.run()
+    assert spec["value"] == (0, 0) and ordered["value"] == (0, 0)
+    # The ordered waiter committed against the speculative fill, so the
+    # copy was promoted the moment the data arrived.
+    assert h.caches[0].line_state(line) is CacheState.S
+    assert h.stats.value("rcp.spec_reads") == 1
+    assert h.stats.value("rcp.confirms") == 1
+    assert h.home_dir(ADDR).entry(line).sharers == {0}
+
+
+def test_own_store_self_reverses_the_speculative_copy(rh):
+    h = rh
+    line = h.line(ADDR)
+    h.read_blocking(0, ADDR, ordered=False)
+    assert h.caches[0].line_state(line) is CacheState.SPEC
+    # The store conflicts with the core's own speculative read: the
+    # copy is rolled back (squashing younger loads bound from it)
+    # before ownership is even requested.
+    h.write_blocking(0, ADDR, version=1, value=5)
+    assert h.invalidations[0] == [line]
+    assert h.stats.value("rcp.reversals") == 1
+    assert h.caches[0].line_state(line) is CacheState.M
+    assert h.read_blocking(1, ADDR)["value"] == (1, 5)
+
+
+def test_speculative_read_of_a_dirty_line_recalls_the_owner(rh):
+    h = rh
+    line = h.line(ADDR)
+    h.write_blocking(0, ADDR, version=1, value=7)
+    out = h.read_blocking(1, ADDR, ordered=False)
+    assert out["value"] == (1, 7)
+    assert h.stats.value("rcp.recalls") == 1
+    # The recalled owner keeps a stable shared copy; the speculative
+    # reader is tracked reversibly.
+    assert h.caches[0].line_state(line) is CacheState.S
+    assert h.caches[1].line_state(line) is CacheState.SPEC
+    entry = h.home_dir(ADDR).entry(line)
+    assert entry.state is DirState.S
+    assert entry.sharers == {0}
+    assert entry.spec == {1}
+
+
+def test_directory_eviction_reverses_unconfirmed_copies():
+    params = CacheParams(llc_sets_per_bank=1, llc_ways=1)
+    h = ProtocolHarness(backend="rcp", cache_params=params)
+    line = h.line(0x000)
+    h.read_blocking(0, 0x000, ordered=False)      # line 0, bank 0
+    assert h.caches[0].line_state(line) is CacheState.SPEC
+    h.read_blocking(1, 0x100, ordered=True)       # line 4: same bank+set
+    # The home forgot the line, so it could not leave a reversible copy
+    # behind: the eviction sent an Undo and squashed the reader.
+    assert h.home_dir(0x000).entry(line) is None
+    assert h.caches[0].line_state(line) is CacheState.I
+    assert h.invalidations[0] == [line]
+    assert h.stats.value("rcp.reversals") == 1
+    assert h.stats.value("dir.llc_evictions") == 1
+    # The spilled data survives: a fresh read refetches version 0.
+    assert h.read_blocking(0, 0x000)["value"] == (0, 0)
+
+
+def test_undo_on_a_promoted_copy_is_accepted(rh):
+    # The confirm-crossed-undo race, delivered deterministically: the
+    # cache promoted its copy (Confirm in flight or ignored as stale)
+    # and the reversal lands on the now-stable S copy.
+    h = rh
+    line = h.line(ADDR)
+    h.read_blocking(0, ADDR, ordered=False)
+    h.read_blocking(0, ADDR, ordered=True)        # promotes to S
+    h.caches[0]._on_undo(SimpleNamespace(line=line))
+    # (The UndoAck stays undelivered — there is no real write
+    # collecting it; the cache-side effects are synchronous.)
+    assert h.caches[0].line_state(line) is CacheState.I
+    assert h.invalidations[0] == [line]
+    assert h.stats.value("rcp.reversals") == 1
+
+
+def test_stale_confirm_is_ignored(rh):
+    # A Confirm that lost the race to a conflicting write arrives at an
+    # entry whose spec set no longer names the sender — it must be
+    # dropped without disturbing the new owner.
+    h = rh
+    line = h.line(ADDR)
+    h.read_blocking(0, ADDR, ordered=False)
+    h.write_blocking(1, ADDR, version=1, value=3)
+    h.run()
+    entry = h.home_dir(ADDR).entry(line)
+    assert entry.state is DirState.M and entry.owner == 1
+    h.home_dir(ADDR)._on_confirm(SimpleNamespace(line=line, src=0))
+    assert entry.state is DirState.M and entry.owner == 1
+    assert entry.sharers == set() and entry.spec == set()
+
+
+def test_illegal_transitions_are_protocol_errors(rh):
+    h = rh
+    line = h.line(ADDR)
+    # A speculative copy carries no write permission.
+    h.read_blocking(0, ADDR, ordered=False)
+    with pytest.raises(ProtocolError):
+        h.caches[0].perform_store(ADDR, 1, 1)
+    with pytest.raises(ProtocolError):
+        h.caches[0].perform_atomic(ADDR, 1, lambda v: v)
+    # No WritersBlock machinery: deferred acks do not exist.
+    with pytest.raises(ProtocolError):
+        h.caches[0].send_deferred_ack(line)
+    # An Undo can never hit an owned copy (the write that owns the line
+    # flushed every speculative reader first).
+    h.write_blocking(1, ADDR, version=1, value=2)
+    with pytest.raises(ProtocolError):
+        h.caches[1]._on_undo(SimpleNamespace(line=line))
+    # A Recall must find the owner (or its crossing writeback).
+    with pytest.raises(ProtocolError):
+        h.caches[0]._on_recall(SimpleNamespace(line=line))
+    # A Confirm from the current owner is impossible by channel FIFO.
+    with pytest.raises(ProtocolError):
+        h.home_dir(ADDR)._on_confirm(SimpleNamespace(line=line, src=1))
+    # Acks only arrive while a write or eviction is collecting them.
+    with pytest.raises(ProtocolError):
+        h.home_dir(ADDR)._on_ack(
+            SimpleNamespace(line=line, src=0, payload={}))
+
+
+def test_rcp_construction_rejects_writersblock(rh):
+    h = rh
+    backend = get_backend("rcp")
+    with pytest.raises(ProtocolError):
+        backend.build_cache(0, h.params, h.network, h.events, h.stats,
+                            writers_block=True)
+    with pytest.raises(ProtocolError):
+        backend.build_directory(0, h.params, h.network, h.events, h.stats,
+                                writers_block=True)

@@ -1,0 +1,105 @@
+"""Cross-backend differential: one corpus slice, every protocol.
+
+A stratified slice of the litmus corpus runs under all three coherence
+backends at the one commit mode they share (plain OOO — baseline's
+OOO_WB default reaches load-reorder outcomes the others cannot, so the
+comparison pins the mode), over the same deterministic delay grid.
+
+Backends are *architecturally* interchangeable, not cycle-for-cycle
+identical: protocol timing may legally select different x86-TSO
+outcomes for the same program (an rcp reversal refetches a line where
+baseline's squash replays an older value).  The battery therefore
+asserts the strongest properties that are actually protocol-
+independent:
+
+* no backend ever commits an outcome outside the operational TSO
+  reference (zero sim-side violations per test per backend);
+* the agreement is the norm, not the exception: a healthy fraction of
+  the slice must produce bit-for-bit identical outcome sets across all
+  three backends, so the comparison cannot rot into vacuity;
+* where outcome sets do diverge, the divergence is pinned to the
+  dependency-chain variants (``+dep`` families), whose extra
+  address/data edges are exactly where protocol latency legally picks
+  different TSO points.  A non-``dep`` test diverging fails loudly —
+  that smells like a protocol bug, not architectural slack.
+"""
+
+import pytest
+
+from repro.coherence.backend import backend_names
+from repro.common.types import CommitMode
+from repro.conform.differential import check_test
+from repro.conform.runner import load_corpus, tier1_slice
+
+#: Coarser than the tier-1 stride: three backends multiply the work.
+STRIDE = 16
+
+
+def _outcome_set(report):
+    return {frozenset(values.items()) for values in report.sim_outcomes}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """``{test_name: (test, {backend: TestReport})}`` over the slice."""
+    tests = tier1_slice(load_corpus(), stride=STRIDE)
+    out = {}
+    for test in tests:
+        out[test.name] = (test, {
+            backend: check_test(test, mode=CommitMode.OOO,
+                                backend=backend, perturb=0)
+            for backend in backend_names()
+        })
+    return out
+
+
+def test_slice_is_meaningfully_sized(matrix):
+    assert len(matrix) >= 20
+    families = {test.family for test, __ in matrix.values()}
+    assert len(families) >= 5
+
+
+def test_no_backend_leaks_outside_tso(matrix):
+    bad = [(name, backend, report.violations[0].detail)
+           for name, (__, reports) in matrix.items()
+           for backend, report in reports.items()
+           if report.violations]
+    assert not bad, bad
+
+
+def test_every_backend_runs_the_same_grid(matrix):
+    for name, (__, reports) in matrix.items():
+        runs = {backend: report.sim_runs
+                for backend, report in reports.items()}
+        assert len(set(runs.values())) == 1, (name, runs)
+        assert all(report.sim_outcomes for report in reports.values()), name
+
+
+def test_exact_agreement_is_the_norm(matrix):
+    agreeing = 0
+    for name, (__, reports) in matrix.items():
+        sets = {backend: _outcome_set(report)
+                for backend, report in reports.items()}
+        first = next(iter(sets.values()))
+        if all(s == first for s in sets.values()):
+            agreeing += 1
+    # Every non-dependency test agrees today (13/29); leave headroom
+    # for corpus growth but refuse a comparison that stopped comparing.
+    assert agreeing >= len(matrix) // 3, (
+        f"only {agreeing}/{len(matrix)} tests produce identical outcome "
+        f"sets across backends — the equivalence battery lost its teeth")
+
+
+def test_divergence_is_pinned_to_dependency_variants(matrix):
+    divergent = []
+    for name, (__, reports) in matrix.items():
+        sets = {backend: _outcome_set(report)
+                for backend, report in reports.items()}
+        first = next(iter(sets.values()))
+        if not all(s == first for s in sets.values()):
+            divergent.append(name)
+    stray = [name for name in divergent if "+dep" not in name]
+    assert not stray, (
+        f"outcome sets diverged across backends on non-dependency "
+        f"tests {stray} — architectural slack only covers +dep "
+        f"variants; anything else is a protocol bug")

@@ -27,8 +27,9 @@ def test_quick_scale_runs_the_tier1_slice():
     # Every backend of the matrix ran the same slice under its
     # strongest supported commit mode, sim ⊆ operational throughout.
     backends = report.totals["backends"]
-    assert set(backends) == {"baseline", "tardis"}
+    assert set(backends) == {"baseline", "rcp", "tardis"}
     assert backends["baseline"]["mode"] == "ooo-wb"
+    assert backends["rcp"]["mode"] == "ooo"
     assert backends["tardis"]["mode"] == "ooo"
     for info in backends.values():
         assert info["ok"] is True
@@ -37,6 +38,7 @@ def test_quick_scale_runs_the_tier1_slice():
     explorations = [row for row in report.rows if "exploration" in row]
     assert {(row["backend"], row["exploration"]) for row in explorations} \
         == {("baseline", "mp"), ("baseline", "sos"),
+            ("rcp", "rcp_confirm"), ("rcp", "rcp_reversal"),
             ("tardis", "tardis_lease"), ("tardis", "tardis_recall")}
     for row in explorations:
         assert row["ok"] is True

@@ -17,16 +17,19 @@ Battery size: ~200 programs tier-1 (seconds), scaled up under
 ``--slow``; ``REPRO_FUZZ_COUNT`` overrides (CI smoke uses 40).
 Failures replay by seed alone.
 
-The battery runs once per coherence backend: the tardis leg replays the
-same seeds on timestamp coherence (which has no OOO_WB mode — leases
-stand in for invalidations), proving its reorderings stay inside
-x86-TSO too.
+The battery runs once per registered coherence backend (enumerated
+from the registry, so a new backend joins automatically): the tardis
+leg replays the same seeds on timestamp coherence (no OOO_WB mode —
+leases stand in for invalidations), the rcp leg on reversible
+coherence (speculative acquisitions rolled back by conflicting
+writes), proving their reorderings stay inside x86-TSO too.
 """
 
 import os
 
 import pytest
 
+from repro.coherence.backend import backend_names, get_backend
 from repro.common.params import table6_system
 from repro.common.types import CommitMode
 from repro.consistency.operational import ld as o_ld
@@ -38,9 +41,18 @@ from repro.workloads.generators import random_shared_program
 from repro.workloads.trace import AddressSpace, TraceBuilder
 
 MODES = (CommitMode.IN_ORDER, CommitMode.OOO, CommitMode.OOO_WB)
-#: Tardis has no WritersBlock, hence no OOO_WB commit mode.
-TARDIS_MODES = (CommitMode.IN_ORDER, CommitMode.OOO)
-BACKEND_MODES = {"baseline": MODES, "tardis": TARDIS_MODES}
+
+
+def _modes_for(backend):
+    """The commit-mode rotation for one backend (capability-gated:
+    tardis and rcp have no WritersBlock, hence no OOO_WB)."""
+    supported = get_backend(backend).supported_commit_modes
+    if supported is None:
+        return MODES
+    return tuple(mode for mode in MODES if mode in supported)
+
+
+BACKEND_MODES = {name: _modes_for(name) for name in backend_names()}
 DELAY_MENU = ((0, 0, 0), (0, 40, 0), (40, 0, 20), (15, 0, 55))
 
 
@@ -112,7 +124,7 @@ def check_seed(seed, backend="baseline"):
 BATCHES = 8
 
 
-@pytest.mark.parametrize("backend", ("baseline", "tardis"))
+@pytest.mark.parametrize("backend", backend_names())
 @pytest.mark.parametrize("batch", range(BATCHES))
 def test_differential_fuzz_battery(batch, backend, slow):
     """Seeded battery, split into batches so failures localize."""
@@ -133,3 +145,11 @@ def test_tardis_regression_seed_107():
     """Seed 107 once leaked a load bound from a superseded lease
     (advance-then-bind ordering); keep it pinned on the tardis leg."""
     check_seed(107, "tardis")
+
+
+def test_rcp_regression_seed_49():
+    """Seed 49 under OOO is the most reversal-heavy program in the
+    tier-1 range (five speculative acquisitions rolled back under
+    racing test-and-sets); keep it pinned on the rcp leg so the
+    squash-on-reversal ordering stays inside x86-TSO."""
+    check_seed(49, "rcp")
